@@ -1,0 +1,127 @@
+//! Experiment BASE — the Section 4 comparison: per-change tracking overhead
+//! of the event-driven BluePrint vs NELSIS-style eager revalidation,
+//! make-style polling, and no tracking, across design sizes.
+//!
+//! Expected shape: DAMOCLES per-checkin cost tracks the affected subgraph
+//! (stays near-flat as the design grows when changes are leaf-ish), the
+//! eager baseline grows linearly with design size on *every* change, and
+//! polling moves that linear cost to every query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use damocles_flows::baseline::{
+    ChangeTracker, DamoclesTracker, DepGraph, EagerTracker, ManualTracker, PollingTracker,
+};
+use damocles_flows::DesignSpec;
+
+fn shapes() -> Vec<(&'static str, DesignSpec)> {
+    vec![
+        (
+            "100oids",
+            DesignSpec {
+                stages: 4,
+                blocks: 25,
+                fanout: 3,
+            },
+        ),
+        (
+            "400oids",
+            DesignSpec {
+                stages: 4,
+                blocks: 100,
+                fanout: 3,
+            },
+        ),
+        (
+            "1600oids",
+            DesignSpec {
+                stages: 4,
+                blocks: 400,
+                fanout: 3,
+            },
+        ),
+    ]
+}
+
+/// One change + one query, on a rotating mid-graph node.
+fn op(tracker: &mut dyn ChangeTracker, len: usize, i: &mut usize) {
+    let node = (*i * 17 + len / 2) % len;
+    *i += 1;
+    tracker.on_checkin(node);
+    black_box(tracker.out_of_date());
+}
+
+fn bench_trackers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("base/checkin_plus_query");
+    group.sample_size(10);
+    for (label, spec) in shapes() {
+        let graph = DepGraph::from_spec(&spec);
+        let len = graph.len();
+        group.throughput(Throughput::Elements(1));
+
+        group.bench_with_input(
+            BenchmarkId::new("damocles", label),
+            &spec,
+            |b, spec| {
+                let mut tracker = DamoclesTracker::new(spec);
+                let mut i = 0usize;
+                b.iter(|| op(&mut tracker, len, &mut i));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("eager", label), &spec, |b, spec| {
+            let mut tracker = EagerTracker::new(DepGraph::from_spec(spec));
+            let mut i = 0usize;
+            b.iter(|| op(&mut tracker, len, &mut i));
+        });
+        group.bench_with_input(BenchmarkId::new("polling", label), &spec, |b, spec| {
+            let mut tracker = PollingTracker::new(DepGraph::from_spec(spec));
+            let mut i = 0usize;
+            b.iter(|| op(&mut tracker, len, &mut i));
+        });
+        group.bench_with_input(BenchmarkId::new("manual", label), &spec, |b, spec| {
+            let mut tracker = ManualTracker::new(DepGraph::from_spec(spec));
+            let mut i = 0usize;
+            b.iter(|| op(&mut tracker, len, &mut i));
+        });
+    }
+    group.finish();
+}
+
+fn bench_checkin_only(c: &mut Criterion) {
+    // The crossover axis the paper's "light weight / non obstructive" claim
+    // lives on: change-side cost alone, leaf changes, growing design.
+    let mut group = c.benchmark_group("base/leaf_checkin_only");
+    group.sample_size(10);
+    for (label, spec) in shapes() {
+        let graph = DepGraph::from_spec(&spec);
+        let leaf = graph.len() - 1;
+        group.bench_with_input(
+            BenchmarkId::new("damocles", label),
+            &spec,
+            |b, spec| {
+                let mut tracker = DamoclesTracker::new(spec);
+                b.iter(|| tracker.on_checkin(black_box(leaf)));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("eager", label), &spec, |b, spec| {
+            let mut tracker = EagerTracker::new(DepGraph::from_spec(spec));
+            b.iter(|| tracker.on_checkin(black_box(leaf)));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_trackers, bench_checkin_only
+}
+criterion_main!(benches);

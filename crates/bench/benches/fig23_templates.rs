@@ -1,0 +1,144 @@
+//! Experiments FIG2 + FIG3 — template-rule application across versions:
+//! property transfer (Fig. 2) and link shifting (Fig. 3).
+//!
+//! Series: new-version creation cost vs number of template properties
+//! (copy / move / default) and vs number of attached links (move).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use blueprint_core::engine::audit::AuditLog;
+use blueprint_core::engine::template;
+use blueprint_core::lang::parser::parse;
+use damocles_meta::{LinkClass, LinkKind, MetaDb, Oid, Value};
+
+/// A blueprint whose view carries `n` template properties of one transfer
+/// mode.
+fn property_blueprint(n: usize, mode: &str) -> blueprint_core::Blueprint {
+    let mut src = String::from("blueprint bp view V\n");
+    for i in 0..n {
+        src.push_str(&format!("    property p{i} default bad {mode}\n"));
+    }
+    src.push_str("endview endblueprint");
+    parse(&src).unwrap()
+}
+
+fn bench_property_transfer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2/property_transfer");
+    for &n in &[4usize, 16, 64, 256] {
+        for mode in ["", "copy", "move"] {
+            let label = if mode.is_empty() { "default" } else { mode };
+            let bp = property_blueprint(n, mode);
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &n,
+                |b, _| {
+                    b.iter_batched(
+                        || {
+                            // A v1 with all properties populated.
+                            let mut db = MetaDb::new();
+                            let mut audit = AuditLog::counters_only();
+                            let v1 = db.create_oid(Oid::new("alu", "V", 1)).unwrap();
+                            template::apply_on_create(&bp, &mut db, v1, &mut audit).unwrap();
+                            for i in 0..n {
+                                db.set_prop(v1, &format!("p{i}"), Value::from_atom("ok"))
+                                    .unwrap();
+                            }
+                            (db, audit)
+                        },
+                        |(mut db, mut audit)| {
+                            let v2 = db.create_oid(Oid::new("alu", "V", 2)).unwrap();
+                            let report =
+                                template::apply_on_create(&bp, &mut db, v2, &mut audit).unwrap();
+                            black_box(report)
+                        },
+                        criterion::BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_link_move(c: &mut Criterion) {
+    // Fig. 3 at scale: a GDSII object with n incoming derive links; creating
+    // version v+1 shifts them all.
+    let bp = parse(
+        "blueprint f3 view NetList endview view GDSII link_from NetList move propagates OutOfDate type derive_from endview endblueprint",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("fig3/link_move");
+    for &n in &[4usize, 16, 64, 256] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut db = MetaDb::new();
+                    let gds = db.create_oid(Oid::new("alu", "GDSII", 1)).unwrap();
+                    for i in 0..n {
+                        let nl = db
+                            .create_oid(Oid::new(format!("nl{i}"), "NetList", 1))
+                            .unwrap();
+                        db.add_link_with(
+                            nl,
+                            gds,
+                            LinkClass::Derive,
+                            LinkKind::DeriveFrom,
+                            ["OutOfDate"],
+                        )
+                        .unwrap();
+                    }
+                    db
+                },
+                |mut db| {
+                    let mut audit = AuditLog::counters_only();
+                    let v2 = db.create_oid(Oid::new("alu", "GDSII", 2)).unwrap();
+                    let report = template::apply_on_create(&bp, &mut db, v2, &mut audit).unwrap();
+                    assert_eq!(report.links_moved, n);
+                    black_box(db)
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_link_instantiation(c: &mut Criterion) {
+    // Template-filling link creation (the "new Link being created" path).
+    let bp = parse(
+        "blueprint t view A endview view B link_from A propagates e1, e2, e3 type derived endview endblueprint",
+    )
+    .unwrap();
+    c.bench_function("fig3/instantiate_link", |b| {
+        b.iter_batched(
+            || {
+                let mut db = MetaDb::new();
+                let a = db.create_oid(Oid::new("x", "A", 1)).unwrap();
+                let bb = db.create_oid(Oid::new("x", "B", 1)).unwrap();
+                (db, a, bb)
+            },
+            |(mut db, a, bb)| {
+                let link = template::instantiate_link(&bp, &mut db, a, bb).unwrap();
+                black_box(link)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_property_transfer, bench_link_move, bench_link_instantiation
+}
+criterion_main!(benches);

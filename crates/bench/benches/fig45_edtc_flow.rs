@@ -1,0 +1,146 @@
+//! Experiment FIG45 — the sample design flow of Figs. 4–5: the complete
+//! Section 3.4 walkthrough and the event-message cost per designer action.
+//!
+//! Series: full walkthrough latency, per-action event counts, and the
+//! automated (tool-driven) variant of the same flow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use blueprint_core::engine::server::ProjectServer;
+use damocles_flows::edtc_blueprint;
+use damocles_flows::scenario::{play, Step};
+use damocles_tools::{design_data, FaultPlan, ToolExecutor};
+
+fn walkthrough_steps() -> Vec<Step> {
+    vec![
+        Step::checkin("CPU", "HDL_model", "designers", b"module cpu; BUG"),
+        Step::ProcessAll,
+        Step::post("postEvent hdl_sim up CPU,HDL_model,1 \"4 errors\"", "sim"),
+        Step::ProcessAll,
+        Step::checkin("CPU", "HDL_model", "designers", b"module cpu; fixed"),
+        Step::ProcessAll,
+        Step::post("postEvent hdl_sim up CPU,HDL_model,2 \"good\"", "sim"),
+        Step::ProcessAll,
+        Step::checkin("CPU", "schematic", "synthesis", b"cpu sch"),
+        Step::checkin("REG", "schematic", "synthesis", b"reg sch"),
+        Step::ProcessAll,
+        Step::checkin("CPU", "HDL_model", "designers", b"module cpu; v3"),
+        Step::ProcessAll,
+    ]
+}
+
+fn bench_walkthrough(c: &mut Criterion) {
+    c.bench_function("fig45/edtc_walkthrough", |b| {
+        b.iter_batched(
+            || ProjectServer::new(edtc_blueprint()).unwrap(),
+            |mut server| {
+                let report = play(&mut server, &walkthrough_steps()).unwrap();
+                black_box(report)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_checkin_action(c: &mut Criterion) {
+    // One designer action (schematic check-in) on a standing EDTC design:
+    // the paper's per-action tracking overhead.
+    let mut server = ProjectServer::new(edtc_blueprint()).unwrap();
+    let hdl = server
+        .checkin("CPU", "HDL_model", "d", b"m".to_vec())
+        .unwrap();
+    let sch = server.checkin("CPU", "schematic", "d", b"s".to_vec()).unwrap();
+    let net = server.checkin("CPU", "netlist", "d", b"n".to_vec()).unwrap();
+    let lay = server.checkin("CPU", "layout", "d", b"l".to_vec()).unwrap();
+    server.connect_oids(&hdl, &sch).unwrap();
+    server.connect_oids(&sch, &net).unwrap();
+    server.connect_oids(&sch, &lay).unwrap();
+    server.process_all().unwrap();
+    c.bench_function("fig45/hdl_checkin_action", |b| {
+        b.iter(|| {
+            server
+                .checkin("CPU", "HDL_model", "d", b"next".to_vec())
+                .unwrap();
+            let report = server.process_all().unwrap();
+            black_box(report)
+        });
+    });
+}
+
+const AUTOMATED: &str = r#"
+blueprint automated
+view default
+    property uptodate default true
+    when ckin do uptodate = true; post outofdate down done
+    when outofdate do uptodate = false done
+endview
+view HDL_model
+    property sim_result default bad
+    when hdl_sim do sim_result = $arg done
+    when ckin do exec synthesizer "$oid" done
+endview
+view schematic
+    property nl_sim_res default bad
+    link_from HDL_model move propagates outofdate type derived
+    use_link move propagates outofdate
+    when nl_sim do nl_sim_res = $arg done
+    when ckin do exec netlister "$oid"; exec layout_gen "$oid" done
+endview
+view netlist
+    property sim_result default bad
+    link_from schematic move propagates nl_sim, outofdate type derived
+    when nl_sim do sim_result = $arg done
+    when ckin do exec simulator "$oid" done
+endview
+view layout
+    property drc_result default bad
+    property lvs_result default not_equiv
+    link_from schematic move propagates lvs, outofdate type equivalence
+    when drc do drc_result = $arg done
+    when lvs do lvs_result = $arg done
+    when ckin do exec drc "$oid"; exec lvs "$oid" done
+endview
+endblueprint
+"#;
+
+fn bench_automated_cascade(c: &mut Criterion) {
+    // Fig. 4's classical tool pipeline, executed automatically: one HDL
+    // check-in drives synthesis → netlist → sim → layout → DRC/LVS.
+    c.bench_function("fig45/automated_cascade_per_hdl_checkin", |b| {
+        b.iter_batched(
+            || {
+                let bp = blueprint_core::parse(AUTOMATED).unwrap();
+                ProjectServer::with_executor(bp, ToolExecutor::standard(FaultPlan::never()))
+                    .unwrap()
+            },
+            |mut server| {
+                server
+                    .checkin(
+                        "CPU",
+                        "HDL_model",
+                        "bench",
+                        design_data::hdl_source("CPU", 1, &["REG"], false),
+                    )
+                    .unwrap();
+                let report = server.process_all().unwrap();
+                black_box(report)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_walkthrough, bench_checkin_action, bench_automated_cascade
+}
+criterion_main!(benches);

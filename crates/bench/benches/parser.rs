@@ -1,0 +1,66 @@
+//! Experiment LANG — BluePrint initialization: parse/validate/print
+//! throughput on the ASCII rule files of Section 3.2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use blueprint_core::lang::{parser, printer, validate};
+use damocles_bench::chain_blueprint_source;
+use damocles_flows::{EDTC_SOURCE};
+
+fn bench_edtc_parse(c: &mut Criterion) {
+    c.bench_function("lang/parse_edtc", |b| {
+        b.iter(|| {
+            let bp = parser::parse(black_box(EDTC_SOURCE)).unwrap();
+            black_box(bp)
+        });
+    });
+    let bp = parser::parse(EDTC_SOURCE).unwrap();
+    c.bench_function("lang/validate_edtc", |b| {
+        b.iter(|| black_box(validate::validate(black_box(&bp))));
+    });
+    c.bench_function("lang/print_edtc", |b| {
+        b.iter(|| black_box(printer::print(black_box(&bp))));
+    });
+}
+
+fn bench_parse_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lang/parse_scaling");
+    for &views in &[10usize, 50, 200, 800] {
+        let src = chain_blueprint_source(views);
+        group.throughput(Throughput::Bytes(src.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(views), &src, |b, src| {
+            b.iter(|| {
+                let bp = parser::parse(black_box(src)).unwrap();
+                black_box(bp)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_server_init(c: &mut Criterion) {
+    // Full (re-)initialization as the project administrator does it:
+    // parse + validate + server construction.
+    c.bench_function("lang/server_init_edtc", |b| {
+        b.iter(|| {
+            let server =
+                blueprint_core::ProjectServer::from_source(black_box(EDTC_SOURCE)).unwrap();
+            black_box(server)
+        });
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_edtc_parse, bench_parse_scaling, bench_server_init
+}
+criterion_main!(benches);

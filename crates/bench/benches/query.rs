@@ -1,0 +1,147 @@
+//! Experiment QUERY — designer queries and Configuration snapshots
+//! (Sections 2 and 3.1): project-state query latency and snapshot build
+//! cost vs database size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use damocles_bench::populated_server;
+use damocles_flows::DesignSpec;
+use damocles_meta::{ConfigurationBuilder, ProjectQuery, SnapshotRule};
+
+fn sizes() -> Vec<DesignSpec> {
+    vec![
+        DesignSpec {
+            stages: 4,
+            blocks: 25,
+            fanout: 3,
+        },
+        DesignSpec {
+            stages: 4,
+            blocks: 100,
+            fanout: 3,
+        },
+        DesignSpec {
+            stages: 4,
+            blocks: 400,
+            fanout: 3,
+        },
+    ]
+}
+
+fn bench_out_of_date(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query/out_of_date");
+    for spec in sizes() {
+        let mut server = populated_server(&spec);
+        // Make roughly half the design stale.
+        server
+            .checkin("blk0", "v0", "bench", b"change".to_vec())
+            .unwrap();
+        server.process_all().unwrap();
+        group.throughput(Throughput::Elements(spec.oid_count() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.oid_count()),
+            &server,
+            |b, server| {
+                b.iter(|| black_box(server.query().out_of_date("uptodate")));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_work_remaining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query/work_remaining");
+    for spec in sizes() {
+        let server = populated_server(&spec);
+        let sink = server
+            .db()
+            .latest_version(
+                &DesignSpec::block_name(spec.blocks - 1),
+                &DesignSpec::view_name(spec.stages - 1),
+            )
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.oid_count()),
+            &server,
+            |b, server| {
+                b.iter(|| {
+                    let work = server
+                        .query()
+                        .work_remaining(black_box(sink), "uptodate")
+                        .unwrap();
+                    black_box(work)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_snapshots(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query/snapshot_build");
+    for spec in sizes() {
+        let server = populated_server(&spec);
+        let root = server.db().latest_version("blk0", "v0").unwrap();
+        group.throughput(Throughput::Elements(spec.oid_count() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("closure", spec.oid_count()),
+            &server,
+            |b, server| {
+                b.iter(|| {
+                    let snap = ConfigurationBuilder::new(server.db())
+                        .traverse(black_box(root), SnapshotRule::Closure)
+                        .build("bench");
+                    black_box(snap)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("query_rule", spec.oid_count()),
+            &server,
+            |b, server| {
+                b.iter(|| {
+                    let snap = ConfigurationBuilder::new(server.db())
+                        .query(|entry| entry.oid.version == 1)
+                        .build("bench");
+                    black_box(snap)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dependency_closure(c: &mut Criterion) {
+    let spec = DesignSpec {
+        stages: 6,
+        blocks: 100,
+        fanout: 2,
+    };
+    let server = populated_server(&spec);
+    let sink = server
+        .db()
+        .latest_version(
+            &DesignSpec::block_name(spec.blocks - 1),
+            &DesignSpec::view_name(spec.stages - 1),
+        )
+        .unwrap();
+    c.bench_function("query/dependency_closure", |b| {
+        let q = ProjectQuery::new(server.db());
+        b.iter(|| black_box(q.dependency_closure(black_box(sink)).unwrap()));
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_out_of_date, bench_work_remaining, bench_snapshots, bench_dependency_closure
+}
+criterion_main!(benches);

@@ -1,0 +1,197 @@
+//! Experiment TOOL — tool scheduling (Section 3.3): automated flow depth,
+//! wrapper permission-check overhead, and simulated tool cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use blueprint_core::engine::audit::AuditLog;
+use blueprint_core::engine::exec::{ScriptExecutor, ScriptInvocation, ToolCtx};
+use blueprint_core::engine::server::ProjectServer;
+use blueprint_core::lang::parser::parse;
+use damocles_meta::{MetaDb, Oid, Workspace};
+use damocles_tools::{design_data, FaultPlan, Netlister, Requirement, Tool, ToolExecutor};
+
+/// Chain blueprints where every stage's ckin execs the tool for the next.
+fn chained_exec_blueprint(depth: usize) -> String {
+    let mut src = String::from(
+        "blueprint chain\nview default\n    property uptodate default true\n    when ckin do uptodate = true done\nendview\n",
+    );
+    for i in 0..depth {
+        src.push_str(&format!("view s{i}\n"));
+        if i > 0 {
+            src.push_str(&format!(
+                "    link_from s{} move propagates outofdate type derived\n",
+                i - 1
+            ));
+        }
+        if i + 1 < depth {
+            src.push_str(&format!("    when ckin do exec mkstage{} \"$oid\" done\n", i + 1));
+        }
+        src.push_str("endview\n");
+    }
+    src.push_str("endblueprint\n");
+    src
+}
+
+/// A tool that derives the next stage's object from its input.
+struct StageMaker {
+    stage: usize,
+    name: &'static str,
+}
+
+impl Tool for StageMaker {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn run(
+        &mut self,
+        ctx: &mut ToolCtx<'_>,
+        args: &[String],
+    ) -> Result<Vec<damocles_meta::EventMessage>, damocles_meta::MetaError> {
+        let oid: Oid = args[0].parse()?;
+        let input = ctx.db.require(&oid)?;
+        let payload = ctx
+            .workspace
+            .datum(input)
+            .map(|d| d.content.clone())
+            .unwrap_or_default();
+        let derived = design_data::derive("stage", &payload);
+        let (new_id, new_oid) = ctx.create_versioned(
+            oid.block.as_str(),
+            &format!("s{}", self.stage),
+            self.name,
+            derived,
+        )?;
+        let _ = ctx.connect(input, new_id);
+        Ok(vec![damocles_meta::EventMessage::new(
+            "ckin",
+            damocles_meta::Direction::Up,
+            new_oid,
+        )])
+    }
+}
+
+fn stage_names() -> [&'static str; 8] {
+    [
+        "mkstage0", "mkstage1", "mkstage2", "mkstage3", "mkstage4", "mkstage5", "mkstage6",
+        "mkstage7",
+    ]
+}
+
+fn bench_cascade_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tool/cascade_depth");
+    group.sample_size(10);
+    for &depth in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter_batched(
+                || {
+                    let bp = parse(&chained_exec_blueprint(depth)).unwrap();
+                    let mut ex = ToolExecutor::new();
+                    for (i, name) in stage_names().iter().enumerate().take(depth).skip(1) {
+                        ex.register(Box::new(StageMaker { stage: i, name }));
+                    }
+                    ProjectServer::with_executor(bp, ex).unwrap()
+                },
+                |mut server| {
+                    server
+                        .checkin("chip", "s0", "bench", b"seed".to_vec())
+                        .unwrap();
+                    let report = server.process_all().unwrap();
+                    assert_eq!(report.scripts as usize, depth - 1);
+                    black_box(report)
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_permission_check(c: &mut Criterion) {
+    // Wrapper permission query (§3.3): the per-run overhead of checking the
+    // input state before the tool may run.
+    let bp = parse("blueprint t view schematic endview view netlist link_from schematic propagates outofdate type derived endview endblueprint").unwrap();
+    let mut db = MetaDb::new();
+    let mut ws = Workspace::new("w");
+    let mut audit = AuditLog::counters_only();
+    let (_, sch) = ws
+        .checkin(&mut db, "cpu", "schematic", "bench", b"s".to_vec())
+        .unwrap();
+    db.set_prop(db.require(&sch).unwrap(), "uptodate", damocles_meta::Value::Bool(true))
+        .unwrap();
+
+    let mut denied_ex = ToolExecutor::new();
+    denied_ex.register(Box::new(Netlister::new()));
+    denied_ex.require("netlister", Requirement::prop("nonexistent_prop"));
+
+    let invocation = ScriptInvocation {
+        script: "netlister".into(),
+        args: vec![sch.to_string()],
+        notify: false,
+        origin: sch.to_string(),
+        event: "ckin".into(),
+    };
+    c.bench_function("tool/permission_denied_path", |b| {
+        b.iter(|| {
+            let mut ctx = ToolCtx {
+                db: &mut db,
+                workspace: &mut ws,
+                blueprint: &bp,
+                audit: &mut audit,
+            };
+            let msgs = denied_ex.execute(black_box(&invocation), &mut ctx);
+            black_box(msgs)
+        });
+    });
+}
+
+fn bench_tool_runs(c: &mut Criterion) {
+    // Raw cost of one simulated netlister run (object creation + payload
+    // derivation + linking).
+    let bp = parse("blueprint t view schematic endview view netlist link_from schematic propagates outofdate type derived endview endblueprint").unwrap();
+    c.bench_function("tool/netlister_run", |b| {
+        b.iter_batched(
+            || {
+                let mut db = MetaDb::new();
+                let mut ws = Workspace::new("w");
+                let (_, sch) = ws
+                    .checkin(&mut db, "cpu", "schematic", "bench", b"sch-data".to_vec())
+                    .unwrap();
+                (db, ws, sch)
+            },
+            |(mut db, mut ws, sch)| {
+                let mut audit = AuditLog::counters_only();
+                let mut ctx = ToolCtx {
+                    db: &mut db,
+                    workspace: &mut ws,
+                    blueprint: &bp,
+                    audit: &mut audit,
+                };
+                let msgs = Netlister::new()
+                    .run(&mut ctx, &[sch.to_string()])
+                    .unwrap();
+                black_box(msgs)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("tool/fault_plan_decision", |b| {
+        let plan = FaultPlan::new(7, 0.3);
+        b.iter(|| black_box(plan.fails("drc", black_box("alu,layout,17"))));
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_cascade_depth, bench_permission_check, bench_tool_runs
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Engine error type.
+
+use std::fmt;
+
+use damocles_meta::MetaError;
+
+use crate::engine::policy::PolicyViolation;
+use crate::lang::diag::ParseError;
+
+/// Errors surfaced by the run-time engine and the project server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// A meta-database operation failed.
+    Meta(MetaError),
+    /// A project policy rejected the operation.
+    Policy(PolicyViolation),
+    /// Blueprint source failed to parse during (re-)initialization.
+    Parse(ParseError),
+    /// Blueprint failed static validation during (re-)initialization.
+    Invalid {
+        /// The rendered validation errors.
+        issues: Vec<String>,
+    },
+    /// `process_all` exceeded the server's event budget — almost always a
+    /// blueprint whose rules keep generating new events.
+    Runaway {
+        /// Events processed before giving up.
+        processed: u64,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Meta(e) => write!(f, "meta-database error: {e}"),
+            EngineError::Policy(v) => write!(f, "policy violation: {v}"),
+            EngineError::Parse(e) => write!(f, "blueprint parse error: {e}"),
+            EngineError::Invalid { issues } => {
+                write!(f, "blueprint validation failed: {}", issues.join("; "))
+            }
+            EngineError::Runaway { processed } => {
+                write!(f, "event budget exhausted after {processed} events")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Meta(e) => Some(e),
+            EngineError::Policy(v) => Some(v),
+            EngineError::Parse(e) => Some(e),
+            EngineError::Invalid { .. } | EngineError::Runaway { .. } => None,
+        }
+    }
+}
+
+impl From<MetaError> for EngineError {
+    fn from(e: MetaError) -> Self {
+        EngineError::Meta(e)
+    }
+}
+
+impl From<PolicyViolation> for EngineError {
+    fn from(v: PolicyViolation) -> Self {
+        EngineError::Policy(v)
+    }
+}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EngineError = MetaError::ForeignEndpoint.into();
+        assert!(e.to_string().contains("meta-database"));
+        let e: EngineError = PolicyViolation::FrozenView {
+            view: "layout".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("policy"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EngineError>();
+    }
+}

@@ -1,0 +1,141 @@
+//! Internal event representation used by the run-time engine.
+//!
+//! External `postEvent` messages ([`damocles_meta::EventMessage`]) are
+//! resolved against the meta-database into [`QueuedEvent`]s before entering
+//! the FIFO queue.
+
+use damocles_meta::{Direction, EventMessage, MetaDb, MetaError, OidId};
+
+/// How an event reaches the design graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The event is targeted at this OID: its rules execute, then the event
+    /// propagates outwards (a wrapper's `postEvent` message).
+    Target(OidId),
+    /// The event was posted *from* this OID by a `post <event> <dir>` rule:
+    /// it does not execute on the origin, only propagates outwards
+    /// (Section 3.2, and required for `when ckin do uptodate = true; post
+    /// outofdate down` not to clear its own flag).
+    PropagateFrom(OidId),
+}
+
+impl Delivery {
+    /// The OID anchoring the delivery.
+    pub fn anchor(self) -> OidId {
+        match self {
+            Delivery::Target(id) | Delivery::PropagateFrom(id) => id,
+        }
+    }
+}
+
+/// An event waiting in (or travelling out of) the engine's FIFO queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueuedEvent {
+    /// Event name.
+    pub event: String,
+    /// Up/down through the links.
+    pub direction: Direction,
+    /// Where and how it lands.
+    pub delivery: Delivery,
+    /// Arguments; the first is `$arg`.
+    pub args: Vec<String>,
+    /// The designer (or tool) on whose behalf the event was produced; the
+    /// `$user` of run-time rules.
+    pub user: String,
+}
+
+impl QueuedEvent {
+    /// Creates a targeted event.
+    pub fn target(
+        event: impl Into<String>,
+        direction: Direction,
+        id: OidId,
+        user: impl Into<String>,
+    ) -> Self {
+        QueuedEvent {
+            event: event.into(),
+            direction,
+            delivery: Delivery::Target(id),
+            args: Vec::new(),
+            user: user.into(),
+        }
+    }
+
+    /// Adds an argument (builder style).
+    pub fn with_arg(mut self, arg: impl Into<String>) -> Self {
+        self.args.push(arg.into());
+        self
+    }
+
+    /// The `$arg` value.
+    pub fn arg(&self) -> Option<&str> {
+        self.args.first().map(String::as_str)
+    }
+
+    /// Resolves an external wire message against the database.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetaError::UnknownOid`] if the message targets a triplet the
+    /// database does not hold.
+    pub fn from_message(
+        db: &MetaDb,
+        msg: &EventMessage,
+        user: impl Into<String>,
+    ) -> Result<Self, MetaError> {
+        let id = db.require(&msg.target)?;
+        Ok(QueuedEvent {
+            event: msg.event.clone(),
+            direction: msg.direction,
+            delivery: Delivery::Target(id),
+            args: msg.args.clone(),
+            user: user.into(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use damocles_meta::Oid;
+
+    #[test]
+    fn from_message_resolves_target() {
+        let mut db = MetaDb::new();
+        let id = db.create_oid(Oid::new("reg", "verilog", 4)).unwrap();
+        let msg: EventMessage = r#"postEvent ckin up reg,verilog,4 "logic sim passed""#
+            .parse()
+            .unwrap();
+        let ev = QueuedEvent::from_message(&db, &msg, "yves").unwrap();
+        assert_eq!(ev.delivery, Delivery::Target(id));
+        assert_eq!(ev.arg(), Some("logic sim passed"));
+        assert_eq!(ev.user, "yves");
+    }
+
+    #[test]
+    fn from_message_unknown_target_fails() {
+        let db = MetaDb::new();
+        let msg: EventMessage = "postEvent ckin up reg,verilog,4".parse().unwrap();
+        assert!(matches!(
+            QueuedEvent::from_message(&db, &msg, "yves"),
+            Err(MetaError::UnknownOid { .. })
+        ));
+    }
+
+    #[test]
+    fn delivery_anchor() {
+        let mut db = MetaDb::new();
+        let id = db.create_oid(Oid::new("a", "v", 1)).unwrap();
+        assert_eq!(Delivery::Target(id).anchor(), id);
+        assert_eq!(Delivery::PropagateFrom(id).anchor(), id);
+    }
+
+    #[test]
+    fn builder_style() {
+        let mut db = MetaDb::new();
+        let id = db.create_oid(Oid::new("a", "v", 1)).unwrap();
+        let ev = QueuedEvent::target("drc", Direction::Down, id, "tool").with_arg("ok");
+        assert_eq!(ev.event, "drc");
+        assert_eq!(ev.arg(), Some("ok"));
+    }
+}

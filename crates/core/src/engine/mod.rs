@@ -1,0 +1,15 @@
+//! The run-time half of the project BluePrint: event queue, rule engine,
+//! template application, policies, audit trail and the project server
+//! façade.
+
+pub mod audit;
+pub mod error;
+pub mod eval;
+pub mod event;
+pub mod exec;
+pub mod policy;
+pub mod queue;
+pub mod runtime;
+pub mod server;
+pub mod tasks;
+pub mod template;

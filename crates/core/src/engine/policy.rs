@@ -1,0 +1,173 @@
+//! Project policies governing the run-time engine.
+//!
+//! "The BluePrint allows to capture the entire information about the design
+//! flow and to implement design policies for enforcing the project
+//! methodology." — Section 3.2. Policies are the knobs the project
+//! administrator turns per project phase: strictness towards unknown views
+//! and events, propagation depth limits, and frozen views (a sign-off phase
+//! may forbid check-ins to released views).
+
+use std::collections::BTreeSet;
+
+/// How the engine treats events for which nothing is defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strictness {
+    /// Silently ignore (the paper's non-obstructive default).
+    #[default]
+    Lenient,
+    /// Record an [`super::audit::AuditRecord::UnmatchedEvent`] but continue.
+    Observe,
+    /// Fail the event with an error (for locked-down sign-off phases).
+    Reject,
+}
+
+/// Engine policy configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Policy {
+    /// Maximum depth of post-cascades within one wave. The paper never
+    /// bounds this (1995 blueprints were small); we bound it so a
+    /// mis-written blueprint cannot hang the project server. Deviations are
+    /// recorded in the audit log as `DepthTruncated`.
+    pub max_post_depth: u32,
+    /// Treatment of events targeting views with no rules at all.
+    pub unmatched_events: Strictness,
+    /// Treatment of OIDs whose view is not declared in the blueprint.
+    pub unknown_views: Strictness,
+    /// Views whose `ckin` is forbidden (released / signed-off data).
+    pub frozen_views: BTreeSet<String>,
+    /// Whether the cycle guard is enabled. Disabling it is only safe on
+    /// acyclic link graphs; the ablation bench measures its cost.
+    pub cycle_guard: bool,
+    /// Whether continuous assignments are re-evaluated eagerly on every
+    /// delivery (the paper's "continuously being reevaluated"). With
+    /// `false`, deliveries skip the `let` phase and the caller batches the
+    /// work through `ProjectServer::refresh_lets` — the ⚗ ablation of
+    /// DESIGN.md.
+    pub eager_lets: bool,
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy {
+            max_post_depth: 64,
+            unmatched_events: Strictness::Lenient,
+            unknown_views: Strictness::Lenient,
+            frozen_views: BTreeSet::new(),
+            cycle_guard: true,
+            eager_lets: true,
+        }
+    }
+}
+
+impl Policy {
+    /// The paper's non-obstructive defaults.
+    pub fn non_obstructive() -> Self {
+        Policy::default()
+    }
+
+    /// A locked-down policy for sign-off phases: unknown views and unmatched
+    /// events are rejected.
+    pub fn signoff() -> Self {
+        Policy {
+            unmatched_events: Strictness::Reject,
+            unknown_views: Strictness::Reject,
+            ..Policy::default()
+        }
+    }
+
+    /// Freezes a view (builder style).
+    pub fn freeze_view(mut self, view: impl Into<String>) -> Self {
+        self.frozen_views.insert(view.into());
+        self
+    }
+
+    /// Whether check-ins to `view` are forbidden.
+    pub fn is_frozen(&self, view: &str) -> bool {
+        self.frozen_views.contains(view)
+    }
+}
+
+/// A policy violation surfaced to the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyViolation {
+    /// An event targeted an OID whose view the blueprint does not declare.
+    UnknownView {
+        /// The undeclared view name.
+        view: String,
+        /// The offending event.
+        event: String,
+    },
+    /// An event matched no rule anywhere under a rejecting policy.
+    UnmatchedEvent {
+        /// The view that had no rules for it.
+        view: String,
+        /// The offending event.
+        event: String,
+    },
+    /// A check-in targeted a frozen view.
+    FrozenView {
+        /// The frozen view name.
+        view: String,
+    },
+}
+
+impl std::fmt::Display for PolicyViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyViolation::UnknownView { view, event } => {
+                write!(f, "event `{event}` targets undeclared view `{view}`")
+            }
+            PolicyViolation::UnmatchedEvent { view, event } => {
+                write!(f, "event `{event}` matches no rule of view `{view}`")
+            }
+            PolicyViolation::FrozenView { view } => {
+                write!(f, "view `{view}` is frozen by project policy")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_non_obstructive() {
+        let p = Policy::default();
+        assert_eq!(p.unmatched_events, Strictness::Lenient);
+        assert_eq!(p.unknown_views, Strictness::Lenient);
+        assert!(p.cycle_guard);
+        assert!(p.frozen_views.is_empty());
+        assert_eq!(p, Policy::non_obstructive());
+    }
+
+    #[test]
+    fn signoff_rejects() {
+        let p = Policy::signoff();
+        assert_eq!(p.unmatched_events, Strictness::Reject);
+        assert_eq!(p.unknown_views, Strictness::Reject);
+    }
+
+    #[test]
+    fn freeze_view_builder() {
+        let p = Policy::default().freeze_view("layout").freeze_view("netlist");
+        assert!(p.is_frozen("layout"));
+        assert!(p.is_frozen("netlist"));
+        assert!(!p.is_frozen("schematic"));
+    }
+
+    #[test]
+    fn violation_messages() {
+        let v = PolicyViolation::FrozenView {
+            view: "layout".into(),
+        };
+        assert!(v.to_string().contains("frozen"));
+        let v = PolicyViolation::UnknownView {
+            view: "ghost".into(),
+            event: "ckin".into(),
+        };
+        assert!(v.to_string().contains("undeclared"));
+    }
+}

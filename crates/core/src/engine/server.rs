@@ -1,0 +1,731 @@
+//! The DAMOCLES project server: the façade tying blueprint, meta-database,
+//! workspace, event queue and run-time engine together (Fig. 1).
+//!
+//! Wrapper programs (and designers' front-ends) talk to a [`ProjectServer`]:
+//! they check data in and out, post event messages, and query project state.
+//! The server drains its FIFO queue with [`ProjectServer::process_all`],
+//! dispatching `exec` invocations to its [`ScriptExecutor`] and feeding any
+//! events those wrappers post back into the queue — the automatic tool
+//! invocation loop of Section 3.3.
+
+use damocles_meta::{
+    Direction, EventMessage, MetaDb, MetaError, Oid, OidId, ProjectQuery, Value, Workspace,
+};
+
+use crate::engine::audit::AuditLog;
+use crate::engine::error::EngineError;
+use crate::engine::event::QueuedEvent;
+use crate::engine::exec::{NullExecutor, ScriptExecutor, ToolCtx};
+use crate::engine::policy::{Policy, PolicyViolation, Strictness};
+use crate::engine::queue::EventQueue;
+use crate::engine::runtime::RuntimeEngine;
+use crate::engine::template;
+use crate::lang::ast::Blueprint;
+use crate::lang::{parser, validate};
+
+/// Aggregate results of one [`ProjectServer::process_all`] drain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcessReport {
+    /// Design events processed (queue entries).
+    pub events: u64,
+    /// OIDs that executed rules across all waves.
+    pub deliveries: u64,
+    /// Wrapper invocations dispatched.
+    pub scripts: u64,
+    /// Event messages wrappers posted back.
+    pub emitted: u64,
+}
+
+impl ProcessReport {
+    fn absorb(&mut self, other: ProcessReport) {
+        self.events += other.events;
+        self.deliveries += other.deliveries;
+        self.scripts += other.scripts;
+        self.emitted += other.emitted;
+    }
+}
+
+/// The project server.
+///
+/// Generic over its script executor so tests can use
+/// [`RecordingExecutor`](crate::engine::exec::RecordingExecutor) and the
+/// `damocles-tools` crate can plug a simulated tool chain in, while the
+/// default is the inert [`NullExecutor`].
+///
+/// # Example
+///
+/// ```
+/// use blueprint_core::engine::server::ProjectServer;
+///
+/// # fn main() -> Result<(), blueprint_core::engine::error::EngineError> {
+/// let mut server = ProjectServer::from_source(r#"
+///     blueprint demo
+///     view default
+///         property uptodate default true
+///         when ckin do uptodate = true; post outofdate down done
+///         when outofdate do uptodate = false done
+///     endview
+///     view HDL_model endview
+///     view schematic
+///         link_from HDL_model move propagates outofdate type derived
+///     endview
+///     endblueprint
+/// "#)?;
+/// let hdl = server.checkin("cpu", "HDL_model", "yves", b"module cpu;".to_vec())?;
+/// let sch = server.checkin("cpu", "schematic", "yves", b"...".to_vec())?;
+/// server.connect_oids(&hdl, &sch)?;
+/// server.process_all()?;
+///
+/// // A new HDL version invalidates the derived schematic.
+/// server.checkin("cpu", "HDL_model", "yves", b"module cpu; // v2".to_vec())?;
+/// server.process_all()?;
+/// assert_eq!(server.prop(&sch, "uptodate").unwrap().as_atom(), "false");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ProjectServer<E = NullExecutor> {
+    blueprint: Blueprint,
+    db: MetaDb,
+    workspace: Workspace,
+    engine: RuntimeEngine,
+    queue: EventQueue,
+    audit: AuditLog,
+    executor: E,
+    /// Safety valve for `process_all`.
+    pub max_events_per_drain: u64,
+}
+
+impl ProjectServer<NullExecutor> {
+    /// Initializes a server from blueprint source text, validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors or validation errors (warnings are tolerated,
+    /// matching the non-obstructive stance).
+    pub fn from_source(source: &str) -> Result<Self, EngineError> {
+        let bp = parser::parse(source)?;
+        Self::new(bp)
+    }
+
+    /// Initializes a server from a parsed blueprint, validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Invalid`] when validation finds errors.
+    pub fn new(blueprint: Blueprint) -> Result<Self, EngineError> {
+        Self::with_executor(blueprint, NullExecutor)
+    }
+}
+
+impl<E: ScriptExecutor> ProjectServer<E> {
+    /// Initializes a server with a custom script executor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Invalid`] when validation finds errors.
+    pub fn with_executor(blueprint: Blueprint, executor: E) -> Result<Self, EngineError> {
+        validate::check(&blueprint).map_err(|issues| EngineError::Invalid {
+            issues: issues.iter().map(ToString::to_string).collect(),
+        })?;
+        Ok(ProjectServer {
+            blueprint,
+            db: MetaDb::new(),
+            workspace: Workspace::new("project"),
+            engine: RuntimeEngine::default(),
+            queue: EventQueue::new(),
+            audit: AuditLog::counters_only(),
+            executor,
+            max_events_per_drain: 1_000_000,
+        })
+    }
+
+    /// Replaces the blueprint — "re-initializing the BluePrint mechanism"
+    /// between project phases (Section 3.2). The meta-database, workspace
+    /// and queue are kept.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Invalid`] when the new blueprint fails
+    /// validation; the old blueprint stays in force.
+    pub fn reinit(&mut self, blueprint: Blueprint) -> Result<(), EngineError> {
+        validate::check(&blueprint).map_err(|issues| EngineError::Invalid {
+            issues: issues.iter().map(ToString::to_string).collect(),
+        })?;
+        self.blueprint = blueprint;
+        Ok(())
+    }
+
+    /// Batch re-evaluation of every continuous assignment on every live
+    /// OID — the deferred half of the `eager_lets` ablation (with eager
+    /// evaluation disabled, `let` properties are only refreshed when this is
+    /// called, e.g. once per query burst instead of once per delivery).
+    ///
+    /// Returns the number of `let` properties written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates database errors (none expected on a live database).
+    pub fn refresh_lets(&mut self) -> Result<u64, EngineError> {
+        use crate::engine::eval::EvalCtx;
+        let ids: Vec<OidId> = self.db.iter_oids().map(|(id, _)| id).collect();
+        let mut written = 0u64;
+        for id in ids {
+            let oid = self.db.oid(id)?.clone();
+            let view_name = oid.view.to_string();
+            let mut lets: Vec<&crate::lang::ast::LetDef> = Vec::new();
+            if let Some(default) = self.blueprint.default_view() {
+                if view_name != "default" {
+                    lets.extend(default.lets.iter());
+                }
+            }
+            if let Some(v) = self.blueprint.view(&view_name) {
+                lets.extend(v.lets.iter());
+            }
+            // Evaluate against a stable snapshot of the entry's properties.
+            let values: Vec<(String, Value)> = {
+                let entry = self.db.entry(id)?;
+                let ctx = EvalCtx {
+                    props: &entry.props,
+                    oid: &oid,
+                    event: "refresh",
+                    args: &[],
+                    user: "server",
+                    date: 0,
+                };
+                lets.iter()
+                    .map(|l| (l.name.clone(), ctx.eval(&l.expr)))
+                    .collect()
+            };
+            for (name, value) in values {
+                self.db.set_prop(id, &name, value)?;
+                written += 1;
+            }
+        }
+        Ok(written)
+    }
+
+    /// Adopts a restored database and workspace (e.g. from
+    /// [`damocles_meta::persist::load_project`]), discarding the current
+    /// ones. Any queued events are dropped — their addresses belong to the
+    /// old database.
+    pub fn adopt_project(&mut self, db: MetaDb, workspace: Workspace) {
+        while self.queue.dequeue().is_some() {}
+        for _ in self.queue.drain_inbox() {}
+        self.db = db;
+        self.workspace = workspace;
+    }
+
+    /// Replaces the blueprint from source text.
+    ///
+    /// # Errors
+    ///
+    /// Parse or validation errors; the old blueprint stays in force.
+    pub fn reinit_from_source(&mut self, source: &str) -> Result<(), EngineError> {
+        let bp = parser::parse(source)?;
+        self.reinit(bp)
+    }
+
+    /// Sets the engine policy (builder style).
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.engine = RuntimeEngine::new(policy);
+        self
+    }
+
+    /// Turns on full audit-record retention (builder style).
+    pub fn with_audit_retention(mut self) -> Self {
+        self.audit = AuditLog::retaining();
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The active blueprint.
+    pub fn blueprint(&self) -> &Blueprint {
+        &self.blueprint
+    }
+
+    /// The meta-database (read-only; mutate through server operations).
+    pub fn db(&self) -> &MetaDb {
+        &self.db
+    }
+
+    /// The workspace.
+    pub fn workspace(&self) -> &Workspace {
+        &self.workspace
+    }
+
+    /// The audit log.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// Clears the audit log (counters and records).
+    pub fn reset_audit(&mut self) {
+        self.audit.reset();
+    }
+
+    /// The engine policy in force.
+    pub fn policy(&self) -> &Policy {
+        &self.engine.policy
+    }
+
+    /// Mutable policy access (tighten/loosen between phases).
+    pub fn policy_mut(&mut self) -> &mut Policy {
+        &mut self.engine.policy
+    }
+
+    /// The script executor.
+    pub fn executor(&self) -> &E {
+        &self.executor
+    }
+
+    /// Mutable executor access.
+    pub fn executor_mut(&mut self) -> &mut E {
+        &mut self.executor
+    }
+
+    /// Read-only query facade.
+    pub fn query(&self) -> ProjectQuery<'_> {
+        ProjectQuery::new(&self.db)
+    }
+
+    /// Events currently queued.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// A property of an OID, by triplet.
+    pub fn prop(&self, oid: &Oid, name: &str) -> Option<Value> {
+        let id = self.db.resolve(oid)?;
+        self.db.get_prop(id, name).ok().flatten().cloned()
+    }
+
+    // ------------------------------------------------------------------
+    // Design activities
+    // ------------------------------------------------------------------
+
+    /// Checks new design data in: creates the next version OID, applies
+    /// template rules, records the owner, and queues a `ckin` event targeted
+    /// at the new OID (direction `up`, as in the paper's wire example).
+    ///
+    /// # Errors
+    ///
+    /// Fails on frozen views (policy), check-out conflicts, or database
+    /// errors.
+    pub fn checkin(
+        &mut self,
+        block: &str,
+        view: &str,
+        user: &str,
+        payload: Vec<u8>,
+    ) -> Result<Oid, EngineError> {
+        if self.engine.policy.is_frozen(view) {
+            return Err(PolicyViolation::FrozenView {
+                view: view.to_string(),
+            }
+            .into());
+        }
+        let (id, oid) = self.workspace.checkin(&mut self.db, block, view, user, payload)?;
+        template::apply_on_create(&self.blueprint, &mut self.db, id, &mut self.audit)?;
+        self.db.set_prop(id, "owner", Value::Str(user.to_string()))?;
+        self.queue.enqueue(
+            QueuedEvent::target("ckin", Direction::Up, id, user),
+        );
+        Ok(oid)
+    }
+
+    /// Checks a `(block, view)` chain out for `user`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on check-out conflicts.
+    pub fn checkout(&mut self, block: &str, view: &str, user: &str) -> Result<(), EngineError> {
+        self.workspace.checkout(&self.db, block, view, user)?;
+        Ok(())
+    }
+
+    /// Creates a bare OID (no payload) with template application — for tools
+    /// and setup code. No `ckin` event is queued.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate triplets.
+    pub fn create_object(&mut self, oid: Oid) -> Result<OidId, EngineError> {
+        let id = self.db.create_oid(oid)?;
+        template::apply_on_create(&self.blueprint, &mut self.db, id, &mut self.audit)?;
+        Ok(id)
+    }
+
+    /// Relates two OIDs (by address), attaching the template's
+    /// PROPAGATE/TYPE annotation.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale handles or self-links.
+    pub fn connect(&mut self, from: OidId, to: OidId) -> Result<(), EngineError> {
+        template::instantiate_link(&self.blueprint, &mut self.db, from, to)?;
+        Ok(())
+    }
+
+    /// Relates two OIDs by triplet.
+    ///
+    /// # Errors
+    ///
+    /// Fails when either triplet is unknown.
+    pub fn connect_oids(&mut self, from: &Oid, to: &Oid) -> Result<(), EngineError> {
+        let f = self.db.require(from)?;
+        let t = self.db.require(to)?;
+        self.connect(f, t)
+    }
+
+    /// Resolves a triplet to its address.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the triplet is unknown.
+    pub fn resolve(&self, oid: &Oid) -> Result<OidId, EngineError> {
+        Ok(self.db.require(oid)?)
+    }
+
+    // ------------------------------------------------------------------
+    // Event traffic
+    // ------------------------------------------------------------------
+
+    /// Queues an event message on behalf of `user`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the target OID does not exist.
+    pub fn post(&mut self, message: &EventMessage, user: &str) -> Result<(), EngineError> {
+        let ev = QueuedEvent::from_message(&self.db, message, user)?;
+        self.queue.enqueue(ev);
+        Ok(())
+    }
+
+    /// Queues an event from a raw `postEvent` line.
+    ///
+    /// # Errors
+    ///
+    /// Fails on wire-format errors or unknown targets.
+    pub fn post_line(&mut self, line: &str, user: &str) -> Result<(), EngineError> {
+        let message: EventMessage = line.parse::<EventMessage>().map_err(EngineError::Meta)?;
+        self.post(&message, user)
+    }
+
+    /// A cloneable handle that concurrent wrapper threads can post through;
+    /// the messages are folded into FIFO order at the next
+    /// [`ProjectServer::process_all`].
+    pub fn sender(&self) -> crossbeam::channel::Sender<crate::engine::queue::Posted> {
+        self.queue.sender()
+    }
+
+    /// Drains the event queue to quiescence: processes every queued event,
+    /// dispatches wrapper invocations, and feeds posted messages back until
+    /// nothing is left.
+    ///
+    /// # Errors
+    ///
+    /// Policy violations under strict policies, database errors, or
+    /// [`EngineError::Runaway`] when `max_events_per_drain` is exceeded.
+    pub fn process_all(&mut self) -> Result<ProcessReport, EngineError> {
+        let mut report = ProcessReport::default();
+        loop {
+            for posted in self.queue.drain_inbox() {
+                self.enqueue_lenient(&posted.message, &posted.user)?;
+            }
+            let Some(ev) = self.queue.dequeue() else {
+                break;
+            };
+            if report.events >= self.max_events_per_drain {
+                return Err(EngineError::Runaway {
+                    processed: report.events,
+                });
+            }
+            let outcome = self
+                .engine
+                .process(&self.blueprint, &mut self.db, &mut self.audit, ev)?;
+            report.absorb(ProcessReport {
+                events: 1,
+                deliveries: outcome.delivered,
+                ..Default::default()
+            });
+            for invocation in outcome.invocations {
+                let mut ctx = ToolCtx {
+                    db: &mut self.db,
+                    workspace: &mut self.workspace,
+                    blueprint: &self.blueprint,
+                    audit: &mut self.audit,
+                };
+                let messages = self.executor.execute(&invocation, &mut ctx);
+                report.scripts += 1;
+                for message in messages {
+                    report.emitted += 1;
+                    self.enqueue_lenient(&message, &invocation.script)?;
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Enqueues a message; unknown targets are dropped under lenient
+    /// policies (a wrapper may race a deletion) and rejected under strict
+    /// ones.
+    fn enqueue_lenient(&mut self, message: &EventMessage, user: &str) -> Result<(), EngineError> {
+        match QueuedEvent::from_message(&self.db, message, user) {
+            Ok(ev) => {
+                self.queue.enqueue(ev);
+                Ok(())
+            }
+            Err(MetaError::UnknownOid { .. })
+                if self.engine.policy.unknown_views != Strictness::Reject =>
+            {
+                Ok(())
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::exec::RecordingExecutor;
+
+    const SIMPLE: &str = r#"
+        blueprint simple
+        view default
+            property uptodate default true
+            when ckin do uptodate = true; post outofdate down done
+            when outofdate do uptodate = false done
+        endview
+        view HDL_model
+            property sim_result default bad
+            when hdl_sim do sim_result = $arg done
+        endview
+        view schematic
+            link_from HDL_model move propagates outofdate type derived
+            use_link move propagates outofdate
+            when ckin do exec netlister "$oid" done
+        endview
+        endblueprint
+    "#;
+
+    #[test]
+    fn from_source_validates() {
+        assert!(ProjectServer::from_source(SIMPLE).is_ok());
+        let broken = "blueprint b view a endview view a endview endblueprint";
+        assert!(matches!(
+            ProjectServer::from_source(broken),
+            Err(EngineError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn checkin_queues_and_processes_ckin() {
+        let mut server = ProjectServer::from_source(SIMPLE).unwrap();
+        let hdl = server
+            .checkin("cpu", "HDL_model", "yves", b"v1".to_vec())
+            .unwrap();
+        assert_eq!(server.pending_events(), 1);
+        let report = server.process_all().unwrap();
+        assert_eq!(report.events, 1);
+        assert_eq!(server.pending_events(), 0);
+        assert_eq!(server.prop(&hdl, "uptodate").unwrap(), Value::Bool(true));
+        assert_eq!(server.prop(&hdl, "owner").unwrap().as_atom(), "yves");
+    }
+
+    #[test]
+    fn post_line_accepts_wire_format() {
+        let mut server = ProjectServer::from_source(SIMPLE).unwrap();
+        let hdl = server
+            .checkin("cpu", "HDL_model", "yves", b"v1".to_vec())
+            .unwrap();
+        server.process_all().unwrap();
+        server
+            .post_line(&format!("postEvent hdl_sim up {hdl} \"good\""), "simwrap")
+            .unwrap();
+        server.process_all().unwrap();
+        assert_eq!(server.prop(&hdl, "sim_result").unwrap().as_atom(), "good");
+    }
+
+    #[test]
+    fn change_propagates_to_derived_views() {
+        let mut server = ProjectServer::from_source(SIMPLE).unwrap();
+        let hdl = server
+            .checkin("cpu", "HDL_model", "yves", b"v1".to_vec())
+            .unwrap();
+        let sch = server
+            .checkin("cpu", "schematic", "synth", b"s1".to_vec())
+            .unwrap();
+        server.connect_oids(&hdl, &sch).unwrap();
+        server.process_all().unwrap();
+        assert_eq!(server.prop(&sch, "uptodate").unwrap(), Value::Bool(true));
+
+        server
+            .checkin("cpu", "HDL_model", "yves", b"v2".to_vec())
+            .unwrap();
+        server.process_all().unwrap();
+        assert_eq!(server.prop(&sch, "uptodate").unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn executor_receives_exec_invocations() {
+        let bp = parser::parse(SIMPLE).unwrap();
+        let mut server = ProjectServer::with_executor(bp, RecordingExecutor::new()).unwrap();
+        server
+            .checkin("cpu", "schematic", "yves", b"s1".to_vec())
+            .unwrap();
+        server.process_all().unwrap();
+        assert_eq!(server.executor().invocations_of("netlister").len(), 1);
+    }
+
+    #[test]
+    fn executor_replies_are_fed_back() {
+        let bp = parser::parse(SIMPLE).unwrap();
+        let mut exec = RecordingExecutor::new();
+        // When the netlister runs, it reports an hdl_sim result for the HDL
+        // model (contrived, but exercises the feedback loop).
+        exec.reply_with(
+            "netlister",
+            vec!["postEvent hdl_sim up cpu,HDL_model,1 \"good\""
+                .parse()
+                .unwrap()],
+        );
+        let mut server = ProjectServer::with_executor(bp, exec).unwrap();
+        let hdl = server
+            .checkin("cpu", "HDL_model", "yves", b"v1".to_vec())
+            .unwrap();
+        server
+            .checkin("cpu", "schematic", "yves", b"s1".to_vec())
+            .unwrap();
+        let report = server.process_all().unwrap();
+        assert_eq!(report.scripts, 1);
+        assert_eq!(report.emitted, 1);
+        assert_eq!(server.prop(&hdl, "sim_result").unwrap().as_atom(), "good");
+    }
+
+    #[test]
+    fn frozen_view_rejects_checkin() {
+        let mut server = ProjectServer::from_source(SIMPLE).unwrap();
+        server.policy_mut().frozen_views.insert("schematic".into());
+        let err = server
+            .checkin("cpu", "schematic", "yves", b"s1".to_vec())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Policy(PolicyViolation::FrozenView { .. })
+        ));
+    }
+
+    #[test]
+    fn reinit_swaps_blueprint_keeping_data() {
+        let mut server = ProjectServer::from_source(SIMPLE).unwrap();
+        let hdl = server
+            .checkin("cpu", "HDL_model", "yves", b"v1".to_vec())
+            .unwrap();
+        server.process_all().unwrap();
+        // Loosened blueprint: outofdate propagation removed.
+        server
+            .reinit_from_source(
+                r#"blueprint loose
+                view default
+                    property uptodate default true
+                endview
+                view HDL_model endview
+                view schematic endview
+                endblueprint"#,
+            )
+            .unwrap();
+        assert_eq!(server.blueprint().name, "loose");
+        // Data survived.
+        assert!(server.prop(&hdl, "uptodate").is_some());
+        // Bad blueprint: reinit fails, old one stays.
+        let err = server.reinit_from_source("blueprint x view a endview view a endview endblueprint");
+        assert!(err.is_err());
+        assert_eq!(server.blueprint().name, "loose");
+    }
+
+    #[test]
+    fn concurrent_wrappers_post_through_sender() {
+        let mut server = ProjectServer::from_source(SIMPLE).unwrap();
+        let hdl = server
+            .checkin("cpu", "HDL_model", "yves", b"v1".to_vec())
+            .unwrap();
+        server.process_all().unwrap();
+        let sender = server.sender();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = sender.clone();
+                let oid = hdl.clone();
+                std::thread::spawn(move || {
+                    tx.send(crate::engine::queue::Posted {
+                        message: EventMessage::new("hdl_sim", Direction::Up, oid)
+                            .with_arg(format!("run {i}")),
+                        user: format!("sim{i}"),
+                    })
+                    .unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = server.process_all().unwrap();
+        assert_eq!(report.events, 4);
+        // Last writer wins; any of the four is acceptable, but one landed.
+        assert!(server
+            .prop(&hdl, "sim_result")
+            .unwrap()
+            .as_atom()
+            .starts_with("run "));
+    }
+
+    #[test]
+    fn runaway_guard_trips() {
+        // Self-feeding executor: every netlister run checks in a new
+        // schematic, which runs the netlister again, forever.
+        #[derive(Debug, Default)]
+        struct SelfFeeding;
+        impl ScriptExecutor for SelfFeeding {
+            fn execute(
+                &mut self,
+                _inv: &crate::engine::exec::ScriptInvocation,
+                ctx: &mut ToolCtx<'_>,
+            ) -> Vec<EventMessage> {
+                let (_, oid) = ctx
+                    .create_versioned("cpu", "schematic", "netlister", b"n".to_vec())
+                    .unwrap();
+                vec![EventMessage::new("ckin", Direction::Up, oid)]
+            }
+        }
+        let bp = parser::parse(SIMPLE).unwrap();
+        let mut server = ProjectServer::with_executor(bp, SelfFeeding).unwrap();
+        server.max_events_per_drain = 50;
+        server
+            .checkin("cpu", "schematic", "yves", b"s1".to_vec())
+            .unwrap();
+        let err = server.process_all().unwrap_err();
+        assert!(matches!(err, EngineError::Runaway { processed: 50 }));
+    }
+
+    #[test]
+    fn lenient_drop_of_unknown_targets() {
+        let bp = parser::parse(SIMPLE).unwrap();
+        let mut exec = RecordingExecutor::new();
+        exec.reply_with(
+            "netlister",
+            vec!["postEvent nl_sim down ghost,netlist,9".parse().unwrap()],
+        );
+        let mut server = ProjectServer::with_executor(bp, exec).unwrap();
+        server
+            .checkin("cpu", "schematic", "yves", b"s1".to_vec())
+            .unwrap();
+        // The ghost target is dropped, not an error.
+        let report = server.process_all().unwrap();
+        assert_eq!(report.emitted, 1);
+        assert_eq!(report.events, 1);
+    }
+}

@@ -1,0 +1,466 @@
+//! Design tasks: the paper's stated future work, implemented.
+//!
+//! "We are currently investigating ways to incorporate the notion of design
+//! tasks to the project BluePrint which gives a higher level of description
+//! of design activities and their environment." — Section 5.
+//!
+//! A [`DesignTask`] bundles a sequence of design activities with the project
+//! state it *requires* (preconditions, checked against the meta-database the
+//! way wrapper programs request permission in Section 3.3) and the state it
+//! *promises* (postconditions, verified after the event queue drains). Tasks
+//! compose into ordered plans via [`run_plan`], giving the project
+//! administrator a milestone-level view on top of the event-level BluePrint.
+
+use std::fmt;
+
+use damocles_meta::Value;
+
+use crate::engine::error::EngineError;
+use crate::engine::exec::ScriptExecutor;
+use crate::engine::server::{ProcessReport, ProjectServer};
+
+/// A predicate over project state, checked against the latest version of a
+/// `(block, view)` chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Condition {
+    /// The chain has at least one live version.
+    Exists {
+        /// Block name.
+        block: String,
+        /// View name.
+        view: String,
+    },
+    /// The named property on the latest version is truthy.
+    PropTruthy {
+        /// Block name.
+        block: String,
+        /// View name.
+        view: String,
+        /// Property to test.
+        prop: String,
+    },
+    /// The named property equals an expected atom (loose comparison).
+    PropEquals {
+        /// Block name.
+        block: String,
+        /// View name.
+        view: String,
+        /// Property to test.
+        prop: String,
+        /// Expected value atom.
+        expected: String,
+    },
+}
+
+impl Condition {
+    /// Builder: the chain exists.
+    pub fn exists(block: &str, view: &str) -> Self {
+        Condition::Exists {
+            block: block.to_string(),
+            view: view.to_string(),
+        }
+    }
+
+    /// Builder: the property is truthy.
+    pub fn truthy(block: &str, view: &str, prop: &str) -> Self {
+        Condition::PropTruthy {
+            block: block.to_string(),
+            view: view.to_string(),
+            prop: prop.to_string(),
+        }
+    }
+
+    /// Builder: the property equals `expected`.
+    pub fn equals(block: &str, view: &str, prop: &str, expected: &str) -> Self {
+        Condition::PropEquals {
+            block: block.to_string(),
+            view: view.to_string(),
+            prop: prop.to_string(),
+            expected: expected.to_string(),
+        }
+    }
+
+    /// Evaluates the condition against a server.
+    pub fn holds<E: ScriptExecutor>(&self, server: &ProjectServer<E>) -> bool {
+        let latest = |block: &str, view: &str| server.db().latest_version(block, view);
+        match self {
+            Condition::Exists { block, view } => latest(block, view).is_some(),
+            Condition::PropTruthy { block, view, prop } => latest(block, view)
+                .and_then(|id| server.db().get_prop(id, prop).ok().flatten())
+                .is_some_and(Value::is_truthy),
+            Condition::PropEquals {
+                block,
+                view,
+                prop,
+                expected,
+            } => latest(block, view)
+                .and_then(|id| server.db().get_prop(id, prop).ok().flatten())
+                .is_some_and(|v| v.loose_eq(&Value::from_atom(expected))),
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::Exists { block, view } => write!(f, "{block}.{view} exists"),
+            Condition::PropTruthy { block, view, prop } => {
+                write!(f, "{block}.{view}.{prop} is satisfied")
+            }
+            Condition::PropEquals {
+                block,
+                view,
+                prop,
+                expected,
+            } => write!(f, "{block}.{view}.{prop} == {expected}"),
+        }
+    }
+}
+
+/// One activity inside a task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskStep {
+    /// Check in new design data.
+    Checkin {
+        /// Block name.
+        block: String,
+        /// View name.
+        view: String,
+        /// Acting designer.
+        user: String,
+        /// Design payload.
+        payload: Vec<u8>,
+    },
+    /// Post a raw `postEvent` line.
+    PostLine {
+        /// The wire line.
+        line: String,
+        /// Posting user.
+        user: String,
+    },
+    /// Relate the latest versions of two chains (template-filled link).
+    Connect {
+        /// Source block.
+        from_block: String,
+        /// Source view.
+        from_view: String,
+        /// Target block.
+        to_block: String,
+        /// Target view.
+        to_view: String,
+    },
+}
+
+/// A higher-level description of a design activity and its environment.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DesignTask {
+    /// Task name (e.g. `"netlist-signoff"`).
+    pub name: String,
+    /// Human-readable intent.
+    pub description: String,
+    /// State required before the task may run.
+    pub preconditions: Vec<Condition>,
+    /// The activities, in order.
+    pub steps: Vec<TaskStep>,
+    /// State promised once the queue drains.
+    pub postconditions: Vec<Condition>,
+}
+
+impl DesignTask {
+    /// Starts a task definition.
+    pub fn new(name: impl Into<String>, description: impl Into<String>) -> Self {
+        DesignTask {
+            name: name.into(),
+            description: description.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds a precondition (builder style).
+    pub fn requires(mut self, condition: Condition) -> Self {
+        self.preconditions.push(condition);
+        self
+    }
+
+    /// Adds a check-in step (builder style).
+    pub fn checkin(mut self, block: &str, view: &str, user: &str, payload: &[u8]) -> Self {
+        self.steps.push(TaskStep::Checkin {
+            block: block.to_string(),
+            view: view.to_string(),
+            user: user.to_string(),
+            payload: payload.to_vec(),
+        });
+        self
+    }
+
+    /// Adds an event-post step (builder style).
+    pub fn post(mut self, line: &str, user: &str) -> Self {
+        self.steps.push(TaskStep::PostLine {
+            line: line.to_string(),
+            user: user.to_string(),
+        });
+        self
+    }
+
+    /// Adds a connect step relating the latest versions of two chains
+    /// (builder style).
+    pub fn connect(mut self, from: (&str, &str), to: (&str, &str)) -> Self {
+        self.steps.push(TaskStep::Connect {
+            from_block: from.0.to_string(),
+            from_view: from.1.to_string(),
+            to_block: to.0.to_string(),
+            to_view: to.1.to_string(),
+        });
+        self
+    }
+
+    /// Adds a postcondition (builder style).
+    pub fn promises(mut self, condition: Condition) -> Self {
+        self.postconditions.push(condition);
+        self
+    }
+}
+
+/// How a task run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskStatus {
+    /// Preconditions and postconditions all held.
+    Completed,
+    /// A precondition failed; no step ran.
+    Blocked,
+    /// Steps ran but a postcondition failed.
+    Unverified,
+}
+
+impl fmt::Display for TaskStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TaskStatus::Completed => "completed",
+            TaskStatus::Blocked => "blocked",
+            TaskStatus::Unverified => "unverified",
+        })
+    }
+}
+
+/// Outcome of one task run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskReport {
+    /// Task name.
+    pub name: String,
+    /// Final status.
+    pub status: TaskStatus,
+    /// Preconditions that failed (rendered), if blocked.
+    pub failed_preconditions: Vec<String>,
+    /// Postconditions that failed (rendered), if unverified.
+    pub failed_postconditions: Vec<String>,
+    /// Queue activity while the task ran.
+    pub process: ProcessReport,
+}
+
+/// Runs one task: check preconditions, apply steps, drain the queue, verify
+/// postconditions.
+///
+/// # Errors
+///
+/// Propagates server errors from steps (e.g. frozen views, bad wire lines);
+/// condition failures are reported, not raised — the tracking system stays
+/// non-obstructive.
+pub fn run_task<E: ScriptExecutor>(
+    server: &mut ProjectServer<E>,
+    task: &DesignTask,
+) -> Result<TaskReport, EngineError> {
+    let failed_preconditions: Vec<String> = task
+        .preconditions
+        .iter()
+        .filter(|c| !c.holds(server))
+        .map(ToString::to_string)
+        .collect();
+    if !failed_preconditions.is_empty() {
+        return Ok(TaskReport {
+            name: task.name.clone(),
+            status: TaskStatus::Blocked,
+            failed_preconditions,
+            failed_postconditions: Vec::new(),
+            process: ProcessReport::default(),
+        });
+    }
+
+    for step in &task.steps {
+        match step {
+            TaskStep::Checkin {
+                block,
+                view,
+                user,
+                payload,
+            } => {
+                server.checkin(block, view, user, payload.clone())?;
+            }
+            TaskStep::PostLine { line, user } => {
+                server.post_line(line, user)?;
+            }
+            TaskStep::Connect {
+                from_block,
+                from_view,
+                to_block,
+                to_view,
+            } => {
+                let from = server
+                    .db()
+                    .latest_version(from_block, from_view)
+                    .ok_or_else(|| damocles_meta::MetaError::UnknownOid {
+                        oid: damocles_meta::Oid::new(from_block.as_str(), from_view.as_str(), 0),
+                    })?;
+                let to = server
+                    .db()
+                    .latest_version(to_block, to_view)
+                    .ok_or_else(|| damocles_meta::MetaError::UnknownOid {
+                        oid: damocles_meta::Oid::new(to_block.as_str(), to_view.as_str(), 0),
+                    })?;
+                server.connect(from, to)?;
+            }
+        }
+    }
+    let process = server.process_all()?;
+
+    let failed_postconditions: Vec<String> = task
+        .postconditions
+        .iter()
+        .filter(|c| !c.holds(server))
+        .map(ToString::to_string)
+        .collect();
+    let status = if failed_postconditions.is_empty() {
+        TaskStatus::Completed
+    } else {
+        TaskStatus::Unverified
+    };
+    Ok(TaskReport {
+        name: task.name.clone(),
+        status,
+        failed_preconditions: Vec::new(),
+        failed_postconditions,
+        process,
+    })
+}
+
+/// Runs tasks in order, stopping at the first one that does not complete —
+/// a milestone plan over the design flow.
+///
+/// # Errors
+///
+/// Propagates server errors.
+pub fn run_plan<E: ScriptExecutor>(
+    server: &mut ProjectServer<E>,
+    tasks: &[DesignTask],
+) -> Result<Vec<TaskReport>, EngineError> {
+    let mut reports = Vec::new();
+    for task in tasks {
+        let report = run_task(server, task)?;
+        let done = report.status == TaskStatus::Completed;
+        reports.push(report);
+        if !done {
+            break;
+        }
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BP: &str = r#"blueprint t
+        view default
+            property uptodate default true
+            when ckin do uptodate = true; post outofdate down done
+            when outofdate do uptodate = false done
+        endview
+        view HDL_model
+            property sim_result default bad
+            when hdl_sim do sim_result = $arg done
+        endview
+        view schematic
+            link_from HDL_model move propagates outofdate type derived
+        endview
+        endblueprint"#;
+
+    fn server() -> ProjectServer {
+        ProjectServer::from_source(BP).unwrap()
+    }
+
+    fn model_task() -> DesignTask {
+        DesignTask::new("model", "write and validate the HDL model")
+            .checkin("CPU", "HDL_model", "yves", b"module cpu;")
+            .post("postEvent hdl_sim up CPU,HDL_model,1 \"good\"", "sim")
+            .promises(Condition::equals("CPU", "HDL_model", "sim_result", "good"))
+    }
+
+    #[test]
+    fn completed_task_reports_green() {
+        let mut s = server();
+        let report = run_task(&mut s, &model_task()).unwrap();
+        assert_eq!(report.status, TaskStatus::Completed);
+        assert!(report.failed_postconditions.is_empty());
+        assert!(report.process.events >= 2);
+    }
+
+    #[test]
+    fn blocked_task_runs_no_steps() {
+        let mut s = server();
+        let task = DesignTask::new("synth", "synthesize the model")
+            .requires(Condition::equals("CPU", "HDL_model", "sim_result", "good"))
+            .checkin("CPU", "schematic", "synth", b"sch");
+        let report = run_task(&mut s, &task).unwrap();
+        assert_eq!(report.status, TaskStatus::Blocked);
+        assert_eq!(report.failed_preconditions.len(), 1);
+        assert!(s.db().latest_version("CPU", "schematic").is_none());
+    }
+
+    #[test]
+    fn unverified_task_reports_failures() {
+        let mut s = server();
+        let task = DesignTask::new("model", "simulate badly")
+            .checkin("CPU", "HDL_model", "yves", b"module cpu; BUG")
+            .post("postEvent hdl_sim up CPU,HDL_model,1 \"3 errors\"", "sim")
+            .promises(Condition::equals("CPU", "HDL_model", "sim_result", "good"));
+        let report = run_task(&mut s, &task).unwrap();
+        assert_eq!(report.status, TaskStatus::Unverified);
+        assert_eq!(report.failed_postconditions.len(), 1);
+    }
+
+    #[test]
+    fn plan_stops_at_first_incomplete_task() {
+        let mut s = server();
+        let plan = [
+            model_task(),
+            // Blocked: requires a property nothing sets.
+            DesignTask::new("impossible", "never satisfiable")
+                .requires(Condition::truthy("CPU", "HDL_model", "ghost_prop")),
+            model_task(),
+        ];
+        let reports = run_plan(&mut s, &plan).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].status, TaskStatus::Completed);
+        assert_eq!(reports[1].status, TaskStatus::Blocked);
+    }
+
+    #[test]
+    fn conditions_evaluate_against_latest_version() {
+        let mut s = server();
+        run_task(&mut s, &model_task()).unwrap();
+        // New version resets sim_result to default bad.
+        s.checkin("CPU", "HDL_model", "yves", b"v2".to_vec()).unwrap();
+        s.process_all().unwrap();
+        assert!(!Condition::equals("CPU", "HDL_model", "sim_result", "good").holds(&s));
+        assert!(Condition::exists("CPU", "HDL_model").holds(&s));
+        assert!(Condition::truthy("CPU", "HDL_model", "uptodate").holds(&s));
+    }
+
+    #[test]
+    fn condition_display_is_readable() {
+        assert_eq!(
+            Condition::equals("a", "v", "p", "x").to_string(),
+            "a.v.p == x"
+        );
+        assert_eq!(Condition::exists("a", "v").to_string(), "a.v exists");
+    }
+}

@@ -1,0 +1,485 @@
+//! Abstract syntax of BluePrint rule files.
+//!
+//! A [`Blueprint`] divides, as the paper does, into *template rules*
+//! (configuration information: [`PropertyDef`], [`LinkDef`]) and *run-time*
+//! information ([`LetDef`] continuous assignments and [`RuleDef`] event
+//! rules).
+
+use damocles_meta::Direction;
+
+use crate::lang::diag::Span;
+
+/// A complete `blueprint … endblueprint` description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Blueprint {
+    /// The project name following the `blueprint` keyword.
+    pub name: String,
+    /// View descriptions, in source order. The special view named `default`
+    /// "applies to all the views" (Section 3.4).
+    pub views: Vec<ViewDef>,
+    /// Source extent.
+    pub span: Span,
+}
+
+impl Blueprint {
+    /// Looks up a view by name.
+    pub fn view(&self, name: &str) -> Option<&ViewDef> {
+        self.views.iter().find(|v| v.name == name)
+    }
+
+    /// The special `default` view applying to all views, if declared.
+    pub fn default_view(&self) -> Option<&ViewDef> {
+        self.view("default")
+    }
+
+    /// A copy with every source span cleared, for structural comparison of
+    /// blueprints from different sources (e.g. print/parse round-trips).
+    pub fn normalized(&self) -> Blueprint {
+        let mut bp = self.clone();
+        bp.span = Span::default();
+        for view in &mut bp.views {
+            view.span = Span::default();
+            for p in &mut view.properties {
+                p.span = Span::default();
+            }
+            for l in &mut view.links {
+                l.span = Span::default();
+            }
+            for l in &mut view.lets {
+                l.span = Span::default();
+            }
+            for r in &mut view.rules {
+                r.span = Span::default();
+            }
+        }
+        bp
+    }
+
+    /// Every event name mentioned anywhere (rule triggers, propagate sets,
+    /// post actions) — useful for policy checks and workload generation.
+    pub fn known_events(&self) -> Vec<String> {
+        let mut events: Vec<String> = Vec::new();
+        for view in &self.views {
+            for rule in &view.rules {
+                events.push(rule.event.clone());
+                for action in &rule.actions {
+                    if let Action::Post { event, .. } = action {
+                        events.push(event.clone());
+                    }
+                }
+            }
+            for link in &view.links {
+                events.extend(link.propagates.iter().cloned());
+            }
+        }
+        events.sort();
+        events.dedup();
+        events
+    }
+}
+
+/// A `view … endview` description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewDef {
+    /// The view-type name (`HDL_model`, `schematic`, …) or `default`.
+    pub name: String,
+    /// Template properties attached to each new OID of this view.
+    pub properties: Vec<PropertyDef>,
+    /// Template links (`link_from` and `use_link` declarations).
+    pub links: Vec<LinkDef>,
+    /// Continuous assignments (`let state = …`).
+    pub lets: Vec<LetDef>,
+    /// Run-time rules (`when … do … done`).
+    pub rules: Vec<RuleDef>,
+    /// Source extent.
+    pub span: Span,
+}
+
+impl ViewDef {
+    /// An empty view definition (used by builders and tests).
+    pub fn empty(name: impl Into<String>) -> Self {
+        ViewDef {
+            name: name.into(),
+            properties: Vec::new(),
+            links: Vec::new(),
+            lets: Vec::new(),
+            rules: Vec::new(),
+            span: Span::default(),
+        }
+    }
+
+    /// The rules triggered by `event`, in source order.
+    pub fn rules_for<'a>(&'a self, event: &'a str) -> impl Iterator<Item = &'a RuleDef> + 'a {
+        self.rules.iter().filter(move |r| r.event == event)
+    }
+
+    /// The `use_link` template of this view, if declared.
+    pub fn use_link(&self) -> Option<&LinkDef> {
+        self.links.iter().find(|l| l.source == LinkSource::UseLink)
+    }
+
+    /// The `link_from <view>` template naming `source_view`, if declared.
+    pub fn link_from(&self, source_view: &str) -> Option<&LinkDef> {
+        self.links
+            .iter()
+            .find(|l| matches!(&l.source, LinkSource::View(v) if v == source_view))
+    }
+}
+
+/// How a template item carries over when a new version of an OID is created
+/// (Figs. 2–3: "property COPY or MOVE … default value for 1st version").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transfer {
+    /// Fresh default on every version (no keyword).
+    #[default]
+    Create,
+    /// Copied from the previous version (stays on the old one too).
+    Copy,
+    /// Moved from the previous version (removed from the old one).
+    Move,
+}
+
+impl Transfer {
+    /// The source keyword, if any.
+    pub fn keyword(self) -> Option<&'static str> {
+        match self {
+            Transfer::Create => None,
+            Transfer::Copy => Some("copy"),
+            Transfer::Move => Some("move"),
+        }
+    }
+}
+
+/// A template property: `property DRC default bad copy`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyDef {
+    /// Property name.
+    pub name: String,
+    /// Default value atom, used for the first version (and for
+    /// [`Transfer::Create`] on every version).
+    pub default: String,
+    /// Version-transfer behaviour.
+    pub transfer: Transfer,
+    /// Source extent.
+    pub span: Span,
+}
+
+/// Where a template link comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkSource {
+    /// `link_from <view>`: a derive link whose *from* end is an OID of the
+    /// named view and whose *to* end is an OID of the declaring view.
+    View(String),
+    /// `use_link`: hierarchy within the declaring view ("the parent and
+    /// child views of the use link are of the same view type").
+    UseLink,
+}
+
+/// A template link declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkDef {
+    /// `link_from <view>` or `use_link`.
+    pub source: LinkSource,
+    /// Version-transfer behaviour (`move` shifts the link to new versions).
+    pub transfer: Transfer,
+    /// The PROPAGATE property: events allowed through instances of the link.
+    pub propagates: Vec<String>,
+    /// The TYPE property keyword (`derived`, `equivalence`, `depend_on`, …).
+    pub kind: Option<String>,
+    /// Source extent.
+    pub span: Span,
+}
+
+/// A continuous assignment: `let state = ($sim == ok) and ($DRC == good)`.
+///
+/// "Such an assignment is continuously being reevaluated." — Section 3.2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LetDef {
+    /// The derived property name.
+    pub name: String,
+    /// The defining expression.
+    pub expr: Expr,
+    /// Source extent.
+    pub span: Span,
+}
+
+/// A run-time rule: `when <event> do <action> [; <action>]* done`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleDef {
+    /// Triggering event name.
+    pub event: String,
+    /// Actions executed in order.
+    pub actions: Vec<Action>,
+    /// Source extent.
+    pub span: Span,
+}
+
+/// One action of a run-time rule.
+///
+/// Section 3.2 enumerates the three action classes: property assignment,
+/// script execution, and event posting; `notify` is the messaging form of
+/// script execution shown in the same section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// `prop = <value>` — assign a (possibly interpolated) value.
+    Assign {
+        /// Target property name.
+        prop: String,
+        /// Value template, interpolated at execution time.
+        value: Template,
+    },
+    /// `exec <script> [args…]` — invoke a wrapper script / tool.
+    Exec {
+        /// Script name template.
+        script: Template,
+        /// Argument templates.
+        args: Vec<Template>,
+    },
+    /// `notify "<message>"` — send a message to users.
+    Notify {
+        /// Message template.
+        message: Template,
+    },
+    /// `post <event> <up|down> [to <view>] [args…]`.
+    Post {
+        /// Event to post.
+        event: String,
+        /// Propagation direction.
+        direction: Direction,
+        /// Targeted view for the `post … to <view>` form.
+        to_view: Option<String>,
+        /// Argument templates.
+        args: Vec<Template>,
+    },
+}
+
+/// A `$`-interpolatable string: a sequence of literal and variable segments.
+///
+/// `"$oid changed by $user"` becomes
+/// `[Var("oid"), Lit(" changed by "), Var("user")]`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Template {
+    /// The segments, in order.
+    pub segments: Vec<Segment>,
+}
+
+/// One segment of a [`Template`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Segment {
+    /// Literal text.
+    Lit(String),
+    /// A `$variable` reference.
+    Var(String),
+}
+
+impl Template {
+    /// A template consisting of a single literal.
+    pub fn lit(text: impl Into<String>) -> Self {
+        Template {
+            segments: vec![Segment::Lit(text.into())],
+        }
+    }
+
+    /// A template consisting of a single variable reference.
+    pub fn var(name: impl Into<String>) -> Self {
+        Template {
+            segments: vec![Segment::Var(name.into())],
+        }
+    }
+
+    /// Splits a raw double-quoted string into literal and `$var` segments,
+    /// shell-style. A variable name starts with a letter or `_`; `$` followed
+    /// by anything else is literal, and the lexer's `\$` marker is an escaped
+    /// literal dollar.
+    pub fn parse_interpolated(raw: &str) -> Self {
+        let mut segments = Vec::new();
+        let mut lit = String::new();
+        let mut chars = raw.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c == '\\' && chars.peek() == Some(&'$') {
+                chars.next();
+                lit.push('$');
+            } else if c == '$' {
+                let starts_name = chars
+                    .peek()
+                    .is_some_and(|&n| n.is_ascii_alphabetic() || n == '_');
+                if !starts_name {
+                    lit.push('$');
+                    continue;
+                }
+                let mut name = String::new();
+                while let Some(&n) = chars.peek() {
+                    if n.is_ascii_alphanumeric() || n == '_' {
+                        name.push(n);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if !lit.is_empty() {
+                    segments.push(Segment::Lit(std::mem::take(&mut lit)));
+                }
+                segments.push(Segment::Var(name));
+            } else {
+                lit.push(c);
+            }
+        }
+        if !lit.is_empty() {
+            segments.push(Segment::Lit(lit));
+        }
+        Template { segments }
+    }
+
+    /// Removes the lexer's `\$` escape marker from a raw string that is used
+    /// verbatim (not interpolated), e.g. expression string literals.
+    pub fn unescape_raw(raw: &str) -> String {
+        raw.replace("\\$", "$")
+    }
+
+    /// Whether the template is a single bare variable (`$arg`).
+    pub fn as_single_var(&self) -> Option<&str> {
+        match self.segments.as_slice() {
+            [Segment::Var(v)] => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether the template contains no variables at all.
+    pub fn is_literal(&self) -> bool {
+        self.segments
+            .iter()
+            .all(|s| matches!(s, Segment::Lit(_)))
+    }
+}
+
+/// A boolean/comparison expression for continuous assignments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A `$property` (or builtin) reference.
+    Var(String),
+    /// A bare atom (`good`, `true`, `42`).
+    Atom(String),
+    /// A quoted string literal.
+    Str(String),
+    /// `a == b`
+    Eq(Box<Expr>, Box<Expr>),
+    /// `a != b`
+    Ne(Box<Expr>, Box<Expr>),
+    /// `a and b`
+    And(Box<Expr>, Box<Expr>),
+    /// `a or b`
+    Or(Box<Expr>, Box<Expr>),
+    /// `not a`
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// All `$var` names referenced by the expression, deduplicated.
+    pub fn variables(&self) -> Vec<String> {
+        let mut vars = Vec::new();
+        self.collect_vars(&mut vars);
+        vars.sort();
+        vars.dedup();
+        vars
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(v) => out.push(v.clone()),
+            Expr::Atom(_) | Expr::Str(_) => {}
+            Expr::Eq(a, b) | Expr::Ne(a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Not(a) => a.collect_vars(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_interpolation_splits_segments() {
+        let t = Template::parse_interpolated("$oid changed by $user");
+        assert_eq!(
+            t.segments,
+            vec![
+                Segment::Var("oid".into()),
+                Segment::Lit(" changed by ".into()),
+                Segment::Var("user".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lone_dollar_is_literal() {
+        let t = Template::parse_interpolated("costs 5$ only");
+        assert!(t.is_literal());
+        assert_eq!(t.segments, vec![Segment::Lit("costs 5$ only".into())]);
+    }
+
+    #[test]
+    fn single_var_detection() {
+        assert_eq!(Template::var("arg").as_single_var(), Some("arg"));
+        assert_eq!(Template::lit("bad").as_single_var(), None);
+        assert_eq!(
+            Template::parse_interpolated("$arg").as_single_var(),
+            Some("arg")
+        );
+    }
+
+    #[test]
+    fn expr_variables_deduplicated() {
+        let e = Expr::And(
+            Box::new(Expr::Eq(
+                Box::new(Expr::Var("uptodate".into())),
+                Box::new(Expr::Atom("true".into())),
+            )),
+            Box::new(Expr::Ne(
+                Box::new(Expr::Var("uptodate".into())),
+                Box::new(Expr::Var("drc_result".into())),
+            )),
+        );
+        assert_eq!(e.variables(), vec!["drc_result", "uptodate"]);
+    }
+
+    #[test]
+    fn view_lookup_helpers() {
+        let mut v = ViewDef::empty("schematic");
+        v.links.push(LinkDef {
+            source: LinkSource::View("HDL_model".into()),
+            transfer: Transfer::Create,
+            propagates: vec!["outofdate".into()],
+            kind: Some("derived".into()),
+            span: Span::default(),
+        });
+        v.links.push(LinkDef {
+            source: LinkSource::UseLink,
+            transfer: Transfer::Move,
+            propagates: vec!["outofdate".into()],
+            kind: None,
+            span: Span::default(),
+        });
+        assert!(v.use_link().is_some());
+        assert!(v.link_from("HDL_model").is_some());
+        assert!(v.link_from("netlist").is_none());
+
+        let bp = Blueprint {
+            name: "t".into(),
+            views: vec![ViewDef::empty("default"), v],
+            span: Span::default(),
+        };
+        assert!(bp.default_view().is_some());
+        assert!(bp.view("schematic").is_some());
+        assert_eq!(bp.known_events(), vec!["outofdate"]);
+    }
+
+    #[test]
+    fn transfer_keywords() {
+        assert_eq!(Transfer::Create.keyword(), None);
+        assert_eq!(Transfer::Copy.keyword(), Some("copy"));
+        assert_eq!(Transfer::Move.keyword(), Some("move"));
+    }
+}

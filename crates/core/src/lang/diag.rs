@@ -1,0 +1,133 @@
+//! Source positions and parse diagnostics for the BluePrint rule language.
+
+use std::fmt;
+
+/// A position in a BluePrint source file (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Pos {
+    /// Creates a position.
+    pub fn new(line: u32, col: u32) -> Self {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A half-open source span from `start` to `end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Where the spanned item begins.
+    pub start: Pos,
+    /// Where it ends (exclusive).
+    pub end: Pos,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: Pos, end: Pos) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `pos`.
+    pub fn point(pos: Pos) -> Self {
+        Span {
+            start: pos,
+            end: pos,
+        }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)
+    }
+}
+
+/// A diagnostic produced while lexing or parsing a BluePrint source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Where it occurred.
+    pub span: Span,
+    /// Optional hint suggesting a fix.
+    pub hint: Option<String>,
+}
+
+impl ParseError {
+    /// Creates a diagnostic.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError {
+            message: message.into(),
+            span,
+            hint: None,
+        }
+    }
+
+    /// Attaches a fix-it hint.
+    pub fn with_hint(mut self, hint: impl Into<String>) -> Self {
+        self.hint = Some(hint.into());
+        self
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)?;
+        if let Some(hint) = &self.hint {
+            write!(f, " (hint: {hint})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_and_span_display() {
+        let span = Span::new(Pos::new(3, 7), Pos::new(3, 12));
+        assert_eq!(span.to_string(), "3:7");
+        assert_eq!(Pos::new(1, 1).to_string(), "1:1");
+    }
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(Pos::new(1, 5), Pos::new(1, 9));
+        let b = Span::new(Pos::new(2, 1), Pos::new(2, 4));
+        let m = a.merge(b);
+        assert_eq!(m.start, Pos::new(1, 5));
+        assert_eq!(m.end, Pos::new(2, 4));
+    }
+
+    #[test]
+    fn error_display_includes_hint() {
+        let e = ParseError::new("unexpected `done`", Span::point(Pos::new(4, 2)))
+            .with_hint("did you forget `when`?");
+        let s = e.to_string();
+        assert!(s.contains("4:2"));
+        assert!(s.contains("hint"));
+    }
+}

@@ -1,0 +1,320 @@
+//! Lexer for the BluePrint rule language.
+//!
+//! Notable choices, all derived from the paper's listings:
+//!
+//! * `#` starts a line comment ("# note: keywords appear in bold…").
+//! * `$name` is a variable reference token.
+//! * Double-quoted strings keep their raw content; `$` interpolation inside
+//!   them is resolved later (at rule execution, like a shell).
+//! * Bare words that are not keywords are identifiers — view names, event
+//!   names and atom values (`good`, `not_equiv`) share one namespace.
+//! * Identifiers may contain `.` so prose OID forms like `CPU.HDL_model.1`
+//!   lex as single atoms where they appear in argument position.
+
+use crate::lang::diag::{ParseError, Pos, Span};
+use crate::lang::token::{Keyword, Token, TokenKind};
+
+/// Tokenizes a full BluePrint source.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for unterminated strings or characters outside
+/// the language's alphabet.
+///
+/// # Example
+///
+/// ```
+/// use blueprint_core::lang::lexer::lex;
+/// use blueprint_core::lang::token::TokenKind;
+///
+/// let tokens = lex("when ckin do uptodate = true done")?;
+/// assert_eq!(tokens.len(), 8); // 7 tokens + Eof
+/// assert!(matches!(tokens[0].kind, TokenKind::Keyword(_)));
+/// # Ok::<(), blueprint_core::lang::diag::ParseError>(())
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    chars: std::iter::Peekable<std::str::Chars<'s>>,
+    pos: Pos,
+    tokens: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(source: &'s str) -> Self {
+        Lexer {
+            chars: source.chars().peekable(),
+            pos: Pos::new(1, 1),
+            tokens: Vec::new(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.pos.line += 1;
+            self.pos.col = 1;
+        } else {
+            self.pos.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: Pos) {
+        self.tokens.push(Token::new(kind, Span::new(start, self.pos)));
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        while let Some(c) = self.peek() {
+            let start = self.pos;
+            match c {
+                ' ' | '\t' | '\r' | '\n' => {
+                    self.bump();
+                }
+                '#' => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                '(' => {
+                    self.bump();
+                    self.push(TokenKind::LParen, start);
+                }
+                ')' => {
+                    self.bump();
+                    self.push(TokenKind::RParen, start);
+                }
+                ';' => {
+                    self.bump();
+                    self.push(TokenKind::Semi, start);
+                }
+                ',' => {
+                    self.bump();
+                    self.push(TokenKind::Comma, start);
+                }
+                '=' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(TokenKind::EqEq, start);
+                    } else {
+                        self.push(TokenKind::Assign, start);
+                    }
+                }
+                '!' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(TokenKind::NotEq, start);
+                    } else {
+                        return Err(ParseError::new(
+                            "stray `!` (use `!=` or `not`)",
+                            Span::point(start),
+                        ));
+                    }
+                }
+                '"' => self.lex_string(start)?,
+                '$' => {
+                    self.bump();
+                    let name = self.take_word();
+                    if name.is_empty() {
+                        return Err(ParseError::new(
+                            "`$` must be followed by a variable name",
+                            Span::point(start),
+                        ));
+                    }
+                    self.push(TokenKind::Var(name), start);
+                }
+                c if c.is_ascii_digit() || c == '-' => {
+                    let word = self.take_word_with(|ch| {
+                        ch.is_ascii_alphanumeric() || ch == '_' || ch == '-' || ch == '.'
+                    });
+                    match word.parse::<i64>() {
+                        Ok(n) => self.push(TokenKind::Int(n), start),
+                        // `3v3` or `1.2um`: treat as a bare atom.
+                        Err(_) => self.push(TokenKind::Ident(word), start),
+                    }
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let word = self.take_word();
+                    match Keyword::from_word(&word) {
+                        Some(kw) => self.push(TokenKind::Keyword(kw), start),
+                        None => self.push(TokenKind::Ident(word), start),
+                    }
+                }
+                other => {
+                    return Err(ParseError::new(
+                        format!("unexpected character `{other}`"),
+                        Span::point(start),
+                    ));
+                }
+            }
+        }
+        let end = self.pos;
+        self.push(TokenKind::Eof, end);
+        Ok(self.tokens)
+    }
+
+    fn take_word(&mut self) -> String {
+        self.take_word_with(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-')
+    }
+
+    fn take_word_with(&mut self, pred: impl Fn(char) -> bool) -> String {
+        let mut word = String::new();
+        while let Some(c) = self.peek() {
+            if pred(c) {
+                word.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        word
+    }
+
+    fn lex_string(&mut self, start: Pos) -> Result<(), ParseError> {
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => break,
+                Some('\\') => match self.bump() {
+                    // `\$` stays marked so interpolation can tell an escaped
+                    // dollar from a variable reference.
+                    Some('$') => value.push_str("\\$"),
+                    Some(escaped) => value.push(escaped),
+                    None => {
+                        return Err(ParseError::new(
+                            "unterminated string literal",
+                            Span::new(start, self.pos),
+                        ))
+                    }
+                },
+                Some(c) => value.push(c),
+                None => {
+                    return Err(ParseError::new(
+                        "unterminated string literal",
+                        Span::new(start, self.pos),
+                    ))
+                }
+            }
+        }
+        self.push(TokenKind::Str(value), start);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_the_papers_property_rule() {
+        let ks = kinds("property sim_result default bad");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::Property),
+                TokenKind::Ident("sim_result".into()),
+                TokenKind::Keyword(Keyword::Default),
+                TokenKind::Ident("bad".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_when_rule_with_var_and_semi() {
+        let ks = kinds("when hdl_sim do sim_result = $arg done");
+        assert!(ks.contains(&TokenKind::Var("arg".into())));
+        assert!(ks.contains(&TokenKind::Assign));
+    }
+
+    #[test]
+    fn lexes_continuous_assignment() {
+        let ks = kinds("let state = ($nl_sim_res == good) and ($uptodate == true)");
+        assert!(ks.contains(&TokenKind::Keyword(Keyword::Let)));
+        assert!(ks.contains(&TokenKind::EqEq));
+        assert!(ks.contains(&TokenKind::LParen));
+        assert!(ks.contains(&TokenKind::Keyword(Keyword::And)));
+    }
+
+    #[test]
+    fn strings_keep_dollar_signs_raw() {
+        let ks = kinds(r#"notify "$owner: Your oid $OID has been modified""#);
+        assert_eq!(
+            ks[1],
+            TokenKind::Str("$owner: Your oid $OID has been modified".into())
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("# note: keywords appear in bold\nview schematic");
+        assert_eq!(ks.len(), 3);
+        assert_eq!(ks[0], TokenKind::Keyword(Keyword::View));
+    }
+
+    #[test]
+    fn event_list_with_commas() {
+        let ks = kinds("link_from schematic propagates nl_sim, outofdate type derived");
+        assert!(ks.contains(&TokenKind::Comma));
+        assert!(ks.contains(&TokenKind::Ident("nl_sim".into())));
+    }
+
+    #[test]
+    fn integers_and_negative() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("-3")[0], TokenKind::Int(-3));
+    }
+
+    #[test]
+    fn not_eq_operator() {
+        assert_eq!(
+            kinds("$a != bad")[1],
+            TokenKind::NotEq
+        );
+    }
+
+    #[test]
+    fn errors_on_stray_bang_and_bad_char() {
+        assert!(lex("a ! b").is_err());
+        assert!(lex("a @ b").is_err());
+        assert!(lex("\"open").is_err());
+        assert!(lex("$ alone").is_err());
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let ks = kinds(r#""say \"hi\"""#);
+        assert_eq!(ks[0], TokenKind::Str(r#"say "hi""#.into()));
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let tokens = lex("view a\nview b").unwrap();
+        let second_view = &tokens[2];
+        assert_eq!(second_view.span.start.line, 2);
+        assert_eq!(second_view.span.start.col, 1);
+    }
+
+    #[test]
+    fn uppercase_move_is_keyword() {
+        // Fig. 3 writes `MOVE` in caps.
+        let ks = kinds("link_from NetList propagates OutOfDate type derive_from MOVE");
+        assert!(ks.contains(&TokenKind::Keyword(Keyword::Move)));
+    }
+}

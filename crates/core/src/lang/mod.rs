@@ -1,0 +1,15 @@
+//! The BluePrint rule language: lexer, parser, AST, pretty-printer and
+//! static validation.
+//!
+//! "Prior to processing any event, the BluePrint must be initialized by the
+//! project administrator; this is done by reading in an ASCII file which
+//! contains a set of rules" — Section 3.2. This module is that ASCII file's
+//! implementation.
+
+pub mod ast;
+pub mod diag;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod token;
+pub mod validate;

@@ -1,0 +1,277 @@
+//! Pretty-printer emitting canonical BluePrint source.
+//!
+//! `parse(print(bp))` recovers `bp` modulo source spans (see the round-trip
+//! property test in `tests/lang_roundtrip.rs`). The canonical form always
+//! writes `endview`, lowercases keywords, and orders link clauses as
+//! *transfer, propagates, type*.
+
+use std::fmt::Write;
+
+use damocles_meta::Direction;
+
+use crate::lang::ast::{
+    Action, Blueprint, Expr, LinkDef, LinkSource, PropertyDef, RuleDef, Segment, Template,
+    ViewDef,
+};
+use crate::lang::token::Keyword;
+
+/// Renders a blueprint as canonical source text.
+///
+/// # Example
+///
+/// ```
+/// use blueprint_core::lang::{parser::parse, printer::print};
+///
+/// let bp = parse("blueprint t view a property p default x copy endview endblueprint")?;
+/// let src = print(&bp);
+/// assert!(src.contains("property p default x copy"));
+/// let reparsed = parse(&src)?;
+/// assert_eq!(reparsed.normalized(), bp.normalized());
+/// # Ok::<(), blueprint_core::lang::diag::ParseError>(())
+/// ```
+pub fn print(bp: &Blueprint) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "blueprint {}", bp.name);
+    for view in &bp.views {
+        print_view(&mut out, view);
+    }
+    out.push_str("endblueprint\n");
+    out
+}
+
+fn print_view(out: &mut String, view: &ViewDef) {
+    let _ = writeln!(out, "view {}", view.name);
+    for p in &view.properties {
+        print_property(out, p);
+    }
+    for l in &view.links {
+        print_link(out, l);
+    }
+    for l in &view.lets {
+        let _ = writeln!(out, "    let {} = {}", l.name, print_expr(&l.expr));
+    }
+    for r in &view.rules {
+        print_rule(out, r);
+    }
+    out.push_str("endview\n");
+}
+
+fn print_property(out: &mut String, p: &PropertyDef) {
+    let _ = write!(out, "    property {} default {}", p.name, bare_or_quoted(&p.default));
+    if let Some(kw) = p.transfer.keyword() {
+        let _ = write!(out, " {kw}");
+    }
+    out.push('\n');
+}
+
+fn print_link(out: &mut String, l: &LinkDef) {
+    match &l.source {
+        LinkSource::View(v) => {
+            let _ = write!(out, "    link_from {v}");
+        }
+        LinkSource::UseLink => out.push_str("    use_link"),
+    }
+    if let Some(kw) = l.transfer.keyword() {
+        let _ = write!(out, " {kw}");
+    }
+    if !l.propagates.is_empty() {
+        let _ = write!(out, " propagates {}", l.propagates.join(", "));
+    }
+    if let Some(kind) = &l.kind {
+        let _ = write!(out, " type {kind}");
+    }
+    out.push('\n');
+}
+
+fn print_rule(out: &mut String, r: &RuleDef) {
+    let actions: Vec<String> = r.actions.iter().map(print_action).collect();
+    let _ = writeln!(out, "    when {} do {} done", r.event, actions.join("; "));
+}
+
+fn print_action(a: &Action) -> String {
+    match a {
+        Action::Assign { prop, value } => format!("{prop} = {}", print_template(value)),
+        Action::Exec { script, args } => {
+            let mut s = format!("exec {}", print_template(script));
+            for arg in args {
+                s.push(' ');
+                s.push_str(&print_template(arg));
+            }
+            s
+        }
+        Action::Notify { message } => format!("notify {}", print_template(message)),
+        Action::Post {
+            event,
+            direction,
+            to_view,
+            args,
+        } => {
+            let mut s = format!(
+                "post {event} {}",
+                match direction {
+                    Direction::Up => "up",
+                    Direction::Down => "down",
+                }
+            );
+            if let Some(v) = to_view {
+                s.push_str(" to ");
+                s.push_str(v);
+            }
+            for arg in args {
+                s.push(' ');
+                s.push_str(&print_template(arg));
+            }
+            s
+        }
+    }
+}
+
+/// Prints a template: bare when it is a single keyword-free atom, a `$var`
+/// when it is a single variable, quoted otherwise.
+fn print_template(t: &Template) -> String {
+    if let Some(v) = t.as_single_var() {
+        return format!("${v}");
+    }
+    match t.segments.as_slice() {
+        [Segment::Lit(text)] => bare_or_quoted(text),
+        segments => {
+            let mut s = String::from("\"");
+            for seg in segments {
+                match seg {
+                    Segment::Lit(text) => s.push_str(&escape(text)),
+                    Segment::Var(v) => {
+                        s.push('$');
+                        s.push_str(v);
+                    }
+                }
+            }
+            s.push('"');
+            s
+        }
+    }
+}
+
+/// Whether `text` survives re-lexing as a single bare atom with the same
+/// meaning.
+fn is_bare_atom(text: &str) -> bool {
+    if text.is_empty() || Keyword::from_word(text).is_some() {
+        return false;
+    }
+    let mut chars = text.chars();
+    let first = chars.next().expect("non-empty");
+    if !(first.is_ascii_alphabetic() || first == '_' || first.is_ascii_digit() || first == '-') {
+        return false;
+    }
+    text.chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-')
+}
+
+fn bare_or_quoted(text: &str) -> String {
+    if is_bare_atom(text) && !text.contains('$') {
+        text.to_string()
+    } else {
+        format!("\"{}\"", escape(text))
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('$', "\\$")
+}
+
+fn print_expr(e: &Expr) -> String {
+    // Fully parenthesized: unambiguous and stable under re-parsing.
+    match e {
+        Expr::Var(v) => format!("${v}"),
+        Expr::Atom(a) => bare_or_quoted(a),
+        Expr::Str(s) => format!("\"{}\"", escape(s)),
+        Expr::Eq(a, b) => format!("({} == {})", print_expr(a), print_expr(b)),
+        Expr::Ne(a, b) => format!("({} != {})", print_expr(a), print_expr(b)),
+        Expr::And(a, b) => format!("({} and {})", print_expr(a), print_expr(b)),
+        Expr::Or(a, b) => format!("({} or {})", print_expr(a), print_expr(b)),
+        Expr::Not(a) => format!("(not {})", print_expr(a)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let bp = parse(src).unwrap();
+        let printed = print(&bp);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\nprinted source:\n{printed}"));
+        assert_eq!(reparsed.normalized(), bp.normalized(), "printed:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrips_simple_blueprint() {
+        roundtrip("blueprint t view a property p default x copy endview endblueprint");
+    }
+
+    #[test]
+    fn roundtrips_links_and_rules() {
+        roundtrip(
+            r#"blueprint t
+            view schematic
+                property nl_sim_res default bad
+                link_from HDL_model propagates outofdate type derived
+                use_link move propagates outofdate
+                let state = ($nl_sim_res == good) and ($uptodate == true)
+                when nl_sim do nl_sim_res = $arg done
+                when ckin do lvs_res = "$oid changed by $user"; post lvs down "$lvs_res" done
+                when ckin do exec netlister "$oid" done
+            endview
+            endblueprint"#,
+        );
+    }
+
+    #[test]
+    fn roundtrips_post_to_view_and_notify() {
+        roundtrip(
+            r#"blueprint t view a
+            when checkin do post behavioral_sim_ok down to VerilogNetList done
+            when checkin do notify "$owner: modified" done
+            endview endblueprint"#,
+        );
+    }
+
+    #[test]
+    fn quoted_default_with_spaces_roundtrips() {
+        roundtrip(r#"blueprint t view a property msg default "4 errors" endview endblueprint"#);
+    }
+
+    #[test]
+    fn keyword_valued_atom_is_quoted() {
+        // An atom spelled like a keyword must be quoted to survive.
+        let bp = parse(r#"blueprint t view a property p default "move" endview endblueprint"#)
+            .unwrap();
+        let printed = print(&bp);
+        assert!(printed.contains("\"move\""), "printed:\n{printed}");
+        roundtrip(r#"blueprint t view a property p default "move" endview endblueprint"#);
+    }
+
+    #[test]
+    fn literal_dollar_survives() {
+        roundtrip(r#"blueprint t view a when e do msg = "cost \$5" done endview endblueprint"#);
+    }
+
+    #[test]
+    fn expression_printing_parenthesizes() {
+        let bp = parse(
+            "blueprint t view a let s = not ($a == 1) or ($b != 2) and ($c == 3) endview endblueprint",
+        )
+        .unwrap();
+        let printed = print(&bp);
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(reparsed.normalized(), bp.normalized());
+    }
+
+    #[test]
+    fn empty_view_roundtrips() {
+        roundtrip("blueprint t view synth_lib endview endblueprint");
+    }
+}

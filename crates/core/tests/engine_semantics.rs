@@ -1,0 +1,363 @@
+//! Fine-grained semantics of the run-time engine, pinned as crate-level
+//! tests: the Section 3.2 phase ordering (assign → let → exec → post),
+//! default-view layering, argument plumbing, and audit-trail ordering.
+
+use blueprint_core::engine::audit::AuditRecord;
+use blueprint_core::engine::exec::RecordingExecutor;
+use blueprint_core::engine::policy::{Policy, Strictness};
+use blueprint_core::engine::server::ProjectServer;
+use blueprint_core::lang::parser::parse;
+use damocles_meta::{Oid, Value};
+
+#[test]
+fn assigns_run_before_lets_before_execs_before_posts() {
+    // The exec argument reads a property assigned in the *same* rule, and a
+    // let-derived property: both must be visible, proving the phase order.
+    let bp = parse(
+        r#"blueprint order
+        view v
+            property raw default none
+            let derived = ($raw == fresh)
+            when go do raw = fresh; exec probe "$raw" "$derived" done
+        endview endblueprint"#,
+    )
+    .unwrap();
+    let mut s = ProjectServer::with_executor(bp, RecordingExecutor::new()).unwrap();
+    let oid = s.checkin("b", "v", "d", b"x".to_vec()).unwrap();
+    s.process_all().unwrap();
+    s.post_line(&format!("postEvent go up {oid}"), "d").unwrap();
+    s.process_all().unwrap();
+    let inv = &s.executor().invocations_of("probe")[0];
+    assert_eq!(
+        inv.args,
+        vec!["fresh".to_string(), "true".to_string()],
+        "assign ran first, then the continuous assignment, then exec rendering"
+    );
+}
+
+#[test]
+fn posts_render_arguments_after_assigns() {
+    // The §3.4 schematic pattern: `lvs_res = "$oid changed by $user"; post
+    // lvs down "$lvs_res"` — the posted argument must carry the *new* value.
+    let bp = parse(
+        r#"blueprint t
+        view a
+            property note default empty
+            when go do note = "$user was here"; post relay down "$note" done
+        endview
+        view b
+            property got default empty
+            link_from a propagates relay type derived
+            when relay do got = $arg done
+        endview
+        endblueprint"#,
+    )
+    .unwrap();
+    let mut s = ProjectServer::new(bp).unwrap();
+    let a = s.checkin("x", "a", "yves", b"1".to_vec()).unwrap();
+    let b = s.checkin("x", "b", "yves", b"1".to_vec()).unwrap();
+    s.connect_oids(&a, &b).unwrap();
+    s.process_all().unwrap();
+    s.post_line(&format!("postEvent go up {a}"), "marc").unwrap();
+    s.process_all().unwrap();
+    assert_eq!(
+        s.prop(&b, "got").unwrap().as_atom(),
+        "marc was here",
+        "the rendered note travelled as $arg"
+    );
+}
+
+#[test]
+fn default_view_rules_run_before_view_rules() {
+    // Both the default view and the specific view assign the same property;
+    // the view-specific rule must win by running second.
+    let bp = parse(
+        r#"blueprint t
+        view default
+            property who default nobody
+            when mark do who = generic done
+        endview
+        view special
+            when mark do who = specific done
+        endview
+        endblueprint"#,
+    )
+    .unwrap();
+    let mut s = ProjectServer::new(bp).unwrap();
+    let sp = s.checkin("b", "special", "d", b"x".to_vec()).unwrap();
+    let other = s.checkin("b", "plain_view", "d", b"x".to_vec()).unwrap();
+    s.process_all().unwrap();
+    for oid in [&sp, &other] {
+        s.post_line(&format!("postEvent mark up {oid}"), "d").unwrap();
+    }
+    s.process_all().unwrap();
+    assert_eq!(s.prop(&sp, "who").unwrap().as_atom(), "specific");
+    // Views without their own rule get the default behaviour.
+    assert_eq!(s.prop(&other, "who").unwrap().as_atom(), "generic");
+}
+
+#[test]
+fn multiple_rules_for_one_event_run_in_source_order() {
+    let bp = parse(
+        r#"blueprint t
+        view v
+            property trail default start
+            when go do trail = "$trail-a" done
+            when go do trail = "$trail-b" done
+            when go do trail = "$trail-c" done
+        endview endblueprint"#,
+    )
+    .unwrap();
+    let mut s = ProjectServer::new(bp).unwrap();
+    let oid = s.checkin("b", "v", "d", b"x".to_vec()).unwrap();
+    s.process_all().unwrap();
+    s.post_line(&format!("postEvent go up {oid}"), "d").unwrap();
+    s.process_all().unwrap();
+    assert_eq!(s.prop(&oid, "trail").unwrap().as_atom(), "start-a-b-c");
+}
+
+#[test]
+fn audit_retention_records_full_wave_order() {
+    let bp = parse(
+        r#"blueprint t
+        view default
+            property uptodate default true
+            when ckin do uptodate = true; post outofdate down done
+            when outofdate do uptodate = false done
+        endview
+        view src endview
+        view dst
+            link_from src move propagates outofdate type derived
+        endview
+        endblueprint"#,
+    )
+    .unwrap();
+    let mut s = ProjectServer::new(bp).unwrap().with_audit_retention();
+    let a = s.checkin("b", "src", "d", b"1".to_vec()).unwrap();
+    let b = s.checkin("b", "dst", "d", b"1".to_vec()).unwrap();
+    s.connect_oids(&a, &b).unwrap();
+    s.process_all().unwrap();
+    s.reset_audit();
+
+    s.checkin("b", "src", "d", b"2".to_vec()).unwrap();
+    s.process_all().unwrap();
+
+    let kinds: Vec<&'static str> = s
+        .audit()
+        .records()
+        .iter()
+        .map(|r| match r {
+            AuditRecord::TemplateApplied { .. } => "template",
+            AuditRecord::Delivered { .. } => "delivered",
+            AuditRecord::Assigned { .. } => "assigned",
+            AuditRecord::Reevaluated { .. } => "let",
+            AuditRecord::EventPosted { .. } => "posted",
+            AuditRecord::Propagated { .. } => "propagated",
+            AuditRecord::ScriptInvoked { .. } => "script",
+            AuditRecord::CycleSkipped { .. } => "cycle",
+            AuditRecord::DepthTruncated { .. } => "depth",
+            AuditRecord::UnmatchedEvent { .. } => "unmatched",
+        })
+        .collect();
+    // template application (+ owner assign is a raw set, not audited), then
+    // the ckin delivery at src: assign, post, propagation to dst, delivery
+    // at dst with its own assign.
+    let expected_subsequence = [
+        "template",
+        "delivered",
+        "assigned",
+        "posted",
+        "propagated",
+        "delivered",
+        "assigned",
+    ];
+    let mut it = kinds.iter();
+    for want in expected_subsequence {
+        assert!(
+            it.any(|k| *k == want),
+            "missing `{want}` in audit order {kinds:?}"
+        );
+    }
+}
+
+#[test]
+fn observe_strictness_records_unmatched_events() {
+    let bp = parse("blueprint t view v endview endblueprint").unwrap();
+    let policy = Policy {
+        unmatched_events: Strictness::Observe,
+        ..Policy::default()
+    };
+    let mut s = ProjectServer::new(bp)
+        .unwrap()
+        .with_policy(policy)
+        .with_audit_retention();
+    let oid = s.checkin("b", "v", "d", b"x".to_vec()).unwrap();
+    s.process_all().unwrap();
+    s.post_line(&format!("postEvent mystery up {oid}"), "d").unwrap();
+    s.process_all().unwrap();
+    let unmatched = s
+        .audit()
+        .records()
+        .iter()
+        .filter(|r| matches!(r, AuditRecord::UnmatchedEvent { .. }))
+        .count();
+    // ckin matched nothing either (no default view): 2 unmatched total.
+    assert!(unmatched >= 1, "expected UnmatchedEvent records");
+}
+
+#[test]
+fn reject_strictness_fails_unmatched_events() {
+    let bp = parse("blueprint t view v when known do p = x done endview endblueprint").unwrap();
+    let policy = Policy {
+        unmatched_events: Strictness::Reject,
+        ..Policy::default()
+    };
+    let mut s = ProjectServer::new(bp).unwrap().with_policy(policy);
+    let oid = s.checkin("b", "v", "d", b"x".to_vec()).unwrap();
+    // Even the built-in ckin event is unmatched here -> rejection.
+    let err = s.process_all().unwrap_err();
+    assert!(err.to_string().contains("matches no rule"), "{err}");
+    // Known events are fine after draining the poisoned queue.
+    let mut s2 = {
+        let bp = parse("blueprint t view v property p default none when known do p = $arg done when ckin do p = checked done endview endblueprint").unwrap();
+        let policy = Policy {
+            unmatched_events: Strictness::Reject,
+            ..Policy::default()
+        };
+        ProjectServer::new(bp).unwrap().with_policy(policy)
+    };
+    let oid2 = s2.checkin("b", "v", "d", b"x".to_vec()).unwrap();
+    s2.process_all().unwrap();
+    s2.post_line(&format!("postEvent known up {oid2} \"y\""), "d").unwrap();
+    s2.process_all().unwrap();
+    assert_eq!(s2.prop(&oid2, "p").unwrap().as_atom(), "y");
+    let _ = oid;
+}
+
+#[test]
+fn version_variable_and_date_are_available() {
+    let bp = parse(
+        r#"blueprint t
+        view v
+            property stamp default none
+            when go do stamp = "v$version at $date by $user" done
+        endview endblueprint"#,
+    )
+    .unwrap();
+    let mut s = ProjectServer::new(bp).unwrap();
+    let oid = s.checkin("b", "v", "d", b"x".to_vec()).unwrap();
+    s.process_all().unwrap();
+    s.post_line(&format!("postEvent go up {oid}"), "marc").unwrap();
+    s.process_all().unwrap();
+    let stamp = s.prop(&oid, "stamp").unwrap().as_atom();
+    assert!(stamp.starts_with("v1 at "), "{stamp}");
+    assert!(stamp.ends_with("by marc"), "{stamp}");
+}
+
+#[test]
+fn checkin_sets_owner_for_notify_rules() {
+    let bp = parse(
+        r#"blueprint t
+        view v
+            when poke do notify "$owner: Your oid $OID has been modified" done
+        endview endblueprint"#,
+    )
+    .unwrap();
+    let mut s = ProjectServer::with_executor(bp, RecordingExecutor::new()).unwrap();
+    let oid = s.checkin("reg", "v", "salma", b"x".to_vec()).unwrap();
+    s.process_all().unwrap();
+    s.post_line(&format!("postEvent poke up {oid}"), "someone-else")
+        .unwrap();
+    s.process_all().unwrap();
+    assert_eq!(
+        s.executor().notifications(),
+        &[format!("salma: Your oid {oid} has been modified")]
+    );
+}
+
+#[test]
+fn values_assigned_by_rules_are_typed() {
+    let bp = parse(
+        r#"blueprint t
+        view v
+            property flag default maybe
+            property count default 0
+            when set do flag = false; count = 42 done
+        endview endblueprint"#,
+    )
+    .unwrap();
+    let mut s = ProjectServer::new(bp).unwrap();
+    let oid = s.checkin("b", "v", "d", b"x".to_vec()).unwrap();
+    s.process_all().unwrap();
+    s.post_line(&format!("postEvent set up {oid}"), "d").unwrap();
+    s.process_all().unwrap();
+    assert_eq!(s.prop(&oid, "flag").unwrap(), Value::Bool(false));
+    assert_eq!(s.prop(&oid, "count").unwrap(), Value::Int(42));
+}
+
+#[test]
+fn unknown_oid_in_post_line_is_an_error_for_direct_posts() {
+    let bp = parse("blueprint t view v endview endblueprint").unwrap();
+    let mut s = ProjectServer::new(bp).unwrap();
+    let err = s.post_line("postEvent e up ghost,v,1", "d").unwrap_err();
+    assert!(err.to_string().contains("unknown OID"));
+    let _ = Oid::new("ghost", "v", 1);
+}
+
+#[test]
+fn lazy_lets_defer_to_refresh() {
+    let bp = parse(
+        r#"blueprint t
+        view v
+            property raw default bad
+            let ok = ($raw == good)
+            when set do raw = $arg done
+        endview endblueprint"#,
+    )
+    .unwrap();
+    let policy = Policy {
+        eager_lets: false,
+        ..Policy::default()
+    };
+    let mut s = ProjectServer::new(bp).unwrap().with_policy(policy);
+    let oid = s.checkin("b", "v", "d", b"x".to_vec()).unwrap();
+    s.process_all().unwrap();
+    s.post_line(&format!("postEvent set up {oid} \"good\""), "d").unwrap();
+    s.process_all().unwrap();
+    // The raw property changed but the let has not been evaluated at all.
+    assert_eq!(s.prop(&oid, "raw").unwrap().as_atom(), "good");
+    assert_eq!(s.prop(&oid, "ok"), None);
+    // A batch refresh brings every derived property up to date.
+    let written = s.refresh_lets().unwrap();
+    assert_eq!(written, 1);
+    assert_eq!(s.prop(&oid, "ok").unwrap(), Value::Bool(true));
+}
+
+#[test]
+fn eager_and_lazy_lets_agree_after_refresh() {
+    let src = r#"blueprint t
+        view v
+            property a default 0
+            property b default 0
+            let both = ($a == 1) and ($b == 1)
+            when ev do a = $arg done
+            when ev2 do b = $arg done
+        endview endblueprint"#;
+    let mut eager = ProjectServer::from_source(src).unwrap();
+    let lazy_policy = Policy {
+        eager_lets: false,
+        ..Policy::default()
+    };
+    let mut lazy = ProjectServer::from_source(src).unwrap().with_policy(lazy_policy);
+    for s in [&mut eager, &mut lazy] {
+        let oid = s.checkin("b", "v", "d", b"x".to_vec()).unwrap();
+        s.process_all().unwrap();
+        s.post_line(&format!("postEvent ev up {oid} \"1\""), "d").unwrap();
+        s.post_line(&format!("postEvent ev2 up {oid} \"1\""), "d").unwrap();
+        s.process_all().unwrap();
+    }
+    lazy.refresh_lets().unwrap();
+    let oid = Oid::new("b", "v", 1);
+    assert_eq!(eager.prop(&oid, "both"), lazy.prop(&oid, "both"));
+    assert_eq!(eager.prop(&oid, "both").unwrap(), Value::Bool(true));
+}

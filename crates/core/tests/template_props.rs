@@ -1,0 +1,178 @@
+//! Property tests on template-rule invariants (Figs. 2–3) across random
+//! version histories.
+
+use blueprint_core::engine::audit::AuditLog;
+use blueprint_core::engine::template;
+use blueprint_core::lang::parser::parse;
+use damocles_meta::{MetaDb, Oid, Value};
+use proptest::prelude::*;
+
+fn mode_keyword(mode: u8) -> &'static str {
+    match mode % 3 {
+        0 => "",
+        1 => "copy",
+        _ => "move",
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After template application, the new version carries *every* template
+    /// property; `copy` preserves the predecessor's annotation, `move`
+    /// strips it, `default` resets.
+    #[test]
+    fn every_template_property_is_attached(
+        n_props in 1usize..12,
+        modes in proptest::collection::vec(any::<u8>(), 12),
+        chain_len in 1u32..6,
+        edits in proptest::collection::vec((0usize..12, "[a-z]{1,6}"), 0..12),
+    ) {
+        let mut src = String::from("blueprint t view V\n");
+        for (i, mode) in modes.iter().enumerate().take(n_props) {
+            src.push_str(&format!(
+                "    property p{i} default d{i} {}\n",
+                mode_keyword(*mode)
+            ));
+        }
+        src.push_str("endview endblueprint");
+        let bp = parse(&src).unwrap();
+        let mut db = MetaDb::new();
+        let mut audit = AuditLog::counters_only();
+
+        let mut prev = None;
+        for version in 1..=chain_len {
+            let id = db.create_oid(Oid::new("b", "V", version)).unwrap();
+            let report = template::apply_on_create(&bp, &mut db, id, &mut audit).unwrap();
+            prop_assert_eq!(report.props_attached, n_props);
+            // Every template property is present on the new version.
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..n_props {
+                let present = db.get_prop(id, &format!("p{i}")).unwrap().is_some();
+                prop_assert!(present);
+            }
+            // Move templates stripped the predecessor.
+            if let Some(prev_id) = prev {
+                #[allow(clippy::needless_range_loop)]
+                for i in 0..n_props {
+                    let mode = mode_keyword(modes[i]);
+                    let on_prev = db.get_prop(prev_id, &format!("p{i}")).unwrap();
+                    if mode == "move" {
+                        let stripped = on_prev.is_none();
+                        prop_assert!(stripped, "move must strip the old version");
+                    } else {
+                        let kept = on_prev.is_some();
+                        prop_assert!(kept);
+                    }
+                }
+            }
+            // Designer edits between versions.
+            if version < chain_len {
+                for (slot, value) in &edits {
+                    if slot % n_props.max(1) < n_props {
+                        let name = format!("p{}", slot % n_props);
+                        db.set_prop(id, &name, Value::from_atom(value)).unwrap();
+                    }
+                }
+            }
+            prev = Some(id);
+        }
+    }
+
+    /// Copy semantics: the value seen on version k+1 equals whatever version
+    /// k held at creation time of k+1.
+    #[test]
+    fn copy_carries_the_latest_value(values in proptest::collection::vec("[a-z]{1,5}", 1..6)) {
+        let bp = parse("blueprint t view V property tag default init copy endview endblueprint")
+            .unwrap();
+        let mut db = MetaDb::new();
+        let mut audit = AuditLog::counters_only();
+        let v1 = db.create_oid(Oid::new("b", "V", 1)).unwrap();
+        template::apply_on_create(&bp, &mut db, v1, &mut audit).unwrap();
+        let mut prev = v1;
+        for (i, value) in values.iter().enumerate() {
+            db.set_prop(prev, "tag", Value::from_atom(value)).unwrap();
+            let next = db.create_oid(Oid::new("b", "V", i as u32 + 2)).unwrap();
+            template::apply_on_create(&bp, &mut db, next, &mut audit).unwrap();
+            prop_assert_eq!(
+                db.get_prop(next, "tag").unwrap().unwrap().as_atom(),
+                value.clone()
+            );
+            prev = next;
+        }
+    }
+
+    /// Link conservation: under a `move` template the live link count is
+    /// invariant across version creation; under `copy` it grows by the
+    /// number of incident links; with no transfer keyword it is invariant
+    /// (links stay on the old version).
+    #[test]
+    fn link_counts_follow_transfer_mode(
+        n_links in 1usize..10,
+        mode in 0u8..3,
+    ) {
+        let keyword = mode_keyword(mode);
+        let src = format!(
+            "blueprint t view S endview view T link_from S {keyword} propagates e type derived endview endblueprint"
+        );
+        let bp = parse(&src).unwrap();
+        let mut db = MetaDb::new();
+        let mut audit = AuditLog::counters_only();
+        let t1 = db.create_oid(Oid::new("b", "T", 1)).unwrap();
+        for i in 0..n_links {
+            let s = db.create_oid(Oid::new(format!("s{i}"), "S", 1)).unwrap();
+            template::instantiate_link(&bp, &mut db, s, t1).unwrap();
+        }
+        let before = db.link_count();
+        let t2 = db.create_oid(Oid::new("b", "T", 2)).unwrap();
+        let report = template::apply_on_create(&bp, &mut db, t2, &mut audit).unwrap();
+        let after = db.link_count();
+        match keyword {
+            "move" => {
+                prop_assert_eq!(after, before);
+                prop_assert_eq!(report.links_moved, n_links);
+                prop_assert!(db.entry(t1).unwrap().link_ids().is_empty());
+            }
+            "copy" => {
+                prop_assert_eq!(after, before + n_links);
+                prop_assert_eq!(report.links_copied, n_links);
+                prop_assert_eq!(db.entry(t1).unwrap().link_ids().len(), n_links);
+            }
+            _ => {
+                prop_assert_eq!(after, before);
+                prop_assert_eq!(report.links_moved + report.links_copied, 0);
+                prop_assert_eq!(db.entry(t2).unwrap().link_ids().len(), 0);
+            }
+        }
+    }
+
+    /// Version chains built through templates never lose the invariant that
+    /// the newest version holds every `move`-mode link.
+    #[test]
+    fn moved_links_always_track_the_head(versions in 2u32..8) {
+        let bp = parse(
+            "blueprint t view S endview view T link_from S move propagates e type derived endview endblueprint",
+        )
+        .unwrap();
+        let mut db = MetaDb::new();
+        let mut audit = AuditLog::counters_only();
+        let s = db.create_oid(Oid::new("src", "S", 1)).unwrap();
+        let t1 = db.create_oid(Oid::new("b", "T", 1)).unwrap();
+        template::instantiate_link(&bp, &mut db, s, t1).unwrap();
+        for v in 2..=versions {
+            let t = db.create_oid(Oid::new("b", "T", v)).unwrap();
+            template::apply_on_create(&bp, &mut db, t, &mut audit).unwrap();
+        }
+        let head = db.latest_version("b", "T").unwrap();
+        let links = db.entry(head).unwrap().link_ids();
+        prop_assert_eq!(links.len(), 1);
+        let link = db.link(links[0]).unwrap();
+        prop_assert_eq!(link.from, s);
+        prop_assert_eq!(link.to, head);
+        // All non-head versions are bare.
+        for v in 1..versions {
+            let id = db.resolve(&Oid::new("b", "T", v)).unwrap();
+            prop_assert!(db.entry(id).unwrap().link_ids().is_empty());
+        }
+    }
+}

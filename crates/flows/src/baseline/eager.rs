@@ -1,0 +1,128 @@
+//! NELSIS-style activity-driven tracker: full revalidation per activity.
+//!
+//! "In the NELSIS framework the data flow management is driven by design
+//! activities" (Section 4): the framework owns the flow and re-derives the
+//! state of the whole flow graph whenever an activity completes. That global
+//! re-derivation is what makes it obstructive at scale — and what this
+//! baseline counts.
+
+use std::collections::BTreeSet;
+
+use super::{ChangeTracker, DepGraph, TrackerWork};
+
+/// Eager full-revalidation tracker.
+#[derive(Debug, Clone)]
+pub struct EagerTracker {
+    graph: DepGraph,
+    timestamps: Vec<u64>,
+    stale: BTreeSet<usize>,
+    seq: u64,
+    work: TrackerWork,
+}
+
+impl EagerTracker {
+    /// A tracker over `graph` with everything initially fresh.
+    pub fn new(graph: DepGraph) -> Self {
+        let n = graph.len();
+        EagerTracker {
+            graph,
+            timestamps: vec![0; n],
+            stale: BTreeSet::new(),
+            seq: 0,
+            work: TrackerWork::default(),
+        }
+    }
+
+    /// Recomputes the stale set for the entire graph: one pass in
+    /// topological order, carrying the max upstream timestamp.
+    fn revalidate_everything(&mut self) {
+        self.stale.clear();
+        let order = self.graph.topo_order();
+        let mut max_upstream = vec![0u64; self.graph.len()];
+        for &node in &order {
+            self.work.checkin_units += 1;
+            let mut newest = 0;
+            for &dep in self.graph.upstream(node) {
+                self.work.checkin_units += 1;
+                newest = newest
+                    .max(self.timestamps[dep])
+                    .max(max_upstream[dep]);
+            }
+            max_upstream[node] = newest;
+            if newest > self.timestamps[node] {
+                self.stale.insert(node);
+            }
+        }
+    }
+}
+
+impl ChangeTracker for EagerTracker {
+    fn name(&self) -> &'static str {
+        "eager (NELSIS-style)"
+    }
+
+    fn on_checkin(&mut self, node: usize) {
+        self.seq += 1;
+        self.timestamps[node] = self.seq;
+        self.revalidate_everything();
+    }
+
+    fn out_of_date(&mut self) -> BTreeSet<usize> {
+        self.work.query_units += 1;
+        self.stale.clone()
+    }
+
+    fn work(&self) -> TrackerWork {
+        self.work
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::DesignSpec;
+
+    fn chain3() -> DepGraph {
+        // 0 -> 1 -> 2
+        let mut g = DepGraph::isolated(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g
+    }
+
+    #[test]
+    fn root_change_invalidates_descendants() {
+        let mut t = EagerTracker::new(chain3());
+        t.on_checkin(0);
+        assert_eq!(t.out_of_date(), BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn checking_in_descendant_refreshes_it() {
+        let mut t = EagerTracker::new(chain3());
+        t.on_checkin(0);
+        t.on_checkin(1);
+        // 1 now newer than 0; 2 still older than 1.
+        assert_eq!(t.out_of_date(), BTreeSet::from([2]));
+        t.on_checkin(2);
+        assert!(t.out_of_date().is_empty());
+    }
+
+    #[test]
+    fn work_scales_with_whole_graph() {
+        let spec = DesignSpec {
+            stages: 5,
+            blocks: 10,
+            fanout: 2,
+        };
+        let g = DepGraph::from_spec(&spec);
+        let per_pass = (g.len() + g.edge_count()) as u64;
+        let mut t = EagerTracker::new(g);
+        t.on_checkin(0);
+        assert_eq!(t.work().checkin_units, per_pass);
+        // A sink checkin costs exactly the same: the whole graph again.
+        let sink = spec.oid_count() - 1;
+        t.on_checkin(sink);
+        assert_eq!(t.work().checkin_units, 2 * per_pass);
+    }
+}

@@ -1,0 +1,173 @@
+//! The shared dependency-graph model all baseline trackers operate on.
+
+use crate::generator::DesignSpec;
+
+/// A DAG of design objects: node `n` depends on its `upstream` neighbours
+/// (derivation sources and hierarchical parents), and invalidates its
+/// `downstream` neighbours when it changes.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    upstream: Vec<Vec<usize>>,
+    downstream: Vec<Vec<usize>>,
+    labels: Vec<(String, String)>,
+}
+
+impl DepGraph {
+    /// Builds the graph matching [`crate::generator::populate`]: node
+    /// `stage * blocks + b`, derivation edges along the stage chain, and
+    /// hierarchy edges within each stage.
+    pub fn from_spec(spec: &DesignSpec) -> Self {
+        let n = spec.oid_count();
+        let mut g = DepGraph {
+            upstream: vec![Vec::new(); n],
+            downstream: vec![Vec::new(); n],
+            labels: Vec::with_capacity(n),
+        };
+        for stage in 0..spec.stages {
+            for b in 0..spec.blocks {
+                g.labels.push((
+                    DesignSpec::block_name(b),
+                    DesignSpec::view_name(stage),
+                ));
+            }
+        }
+        let idx = |stage: usize, b: usize| stage * spec.blocks + b;
+        for stage in 0..spec.stages {
+            for b in 0..spec.blocks {
+                if stage > 0 {
+                    g.add_edge(idx(stage - 1, b), idx(stage, b));
+                }
+                if let Some(parent) = spec.parent_of(b) {
+                    g.add_edge(idx(stage, parent), idx(stage, b));
+                }
+            }
+        }
+        g
+    }
+
+    /// An empty graph with `n` isolated nodes (for tests).
+    pub fn isolated(n: usize) -> Self {
+        DepGraph {
+            upstream: vec![Vec::new(); n],
+            downstream: vec![Vec::new(); n],
+            labels: (0..n).map(|i| (format!("n{i}"), "v".to_string())).collect(),
+        }
+    }
+
+    /// Adds a dependency edge `from → to` (`to` depends on `from`).
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        self.downstream[from].push(to);
+        self.upstream[to].push(from);
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.upstream.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.upstream.is_empty()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.downstream.iter().map(Vec::len).sum()
+    }
+
+    /// Direct dependencies of `n`.
+    pub fn upstream(&self, n: usize) -> &[usize] {
+        &self.upstream[n]
+    }
+
+    /// Direct dependents of `n`.
+    pub fn downstream(&self, n: usize) -> &[usize] {
+        &self.downstream[n]
+    }
+
+    /// The `(block, view)` label of node `n`.
+    pub fn label(&self, n: usize) -> (&str, &str) {
+        let (b, v) = &self.labels[n];
+        (b, v)
+    }
+
+    /// Nodes in topological order (dependencies first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has a cycle; generated design graphs are DAGs.
+    pub fn topo_order(&self) -> Vec<usize> {
+        let n = self.len();
+        let mut indegree: Vec<usize> = (0..n).map(|i| self.upstream[i].len()).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(node) = queue.pop() {
+            order.push(node);
+            for &next in &self.downstream[node] {
+                indegree[next] -= 1;
+                if indegree[next] == 0 {
+                    queue.push(next);
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "dependency graph has a cycle");
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_graph_shape() {
+        let spec = DesignSpec {
+            stages: 3,
+            blocks: 3,
+            fanout: 2,
+        };
+        let g = DepGraph::from_spec(&spec);
+        assert_eq!(g.len(), 9);
+        // chain edges: 2 stages * 3 blocks; hierarchy: 3 stages * 2 children
+        assert_eq!(g.edge_count(), 6 + 6);
+        // stage-1 node depends on its stage-0 counterpart.
+        assert_eq!(g.upstream(3), &[0]);
+        // node 1 (stage 0, blk1) depends on node 0 (its hierarchy parent).
+        assert_eq!(g.upstream(1), &[0]);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let spec = DesignSpec {
+            stages: 4,
+            blocks: 5,
+            fanout: 2,
+        };
+        let g = DepGraph::from_spec(&spec);
+        let order = g.topo_order();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.len()];
+            for (i, &node) in order.iter().enumerate() {
+                p[node] = i;
+            }
+            p
+        };
+        for from in 0..g.len() {
+            for &to in g.downstream(from) {
+                assert!(pos[from] < pos[to], "{from} must precede {to}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_generator_names() {
+        let spec = DesignSpec {
+            stages: 2,
+            blocks: 2,
+            fanout: 2,
+        };
+        let g = DepGraph::from_spec(&spec);
+        assert_eq!(g.label(0), ("blk0", "v0"));
+        assert_eq!(g.label(3), ("blk1", "v1"));
+    }
+}

@@ -1,0 +1,120 @@
+//! No-tracking baseline: the designer reconstructs staleness by hand.
+
+use std::collections::BTreeSet;
+
+use super::{ChangeTracker, DepGraph, TrackerWork};
+
+/// No bookkeeping beyond raw timestamps; every query walks each node's
+/// dependency cone separately (with early exit on the first newer
+/// dependency), the way a designer would chase "is my netlist current?"
+/// through the team.
+#[derive(Debug, Clone)]
+pub struct ManualTracker {
+    graph: DepGraph,
+    timestamps: Vec<u64>,
+    seq: u64,
+    work: TrackerWork,
+}
+
+impl ManualTracker {
+    /// A tracker over `graph` with everything initially fresh.
+    pub fn new(graph: DepGraph) -> Self {
+        let n = graph.len();
+        ManualTracker {
+            graph,
+            timestamps: vec![0; n],
+            seq: 0,
+            work: TrackerWork::default(),
+        }
+    }
+
+    /// Whether any transitive dependency of `node` is newer (DFS, early
+    /// exit).
+    fn is_stale(&mut self, node: usize) -> bool {
+        let mut visited = vec![false; self.graph.len()];
+        let mut stack: Vec<usize> = self.graph.upstream(node).to_vec();
+        while let Some(dep) = stack.pop() {
+            if visited[dep] {
+                continue;
+            }
+            visited[dep] = true;
+            self.work.query_units += 1;
+            if self.timestamps[dep] > self.timestamps[node] {
+                return true;
+            }
+            stack.extend_from_slice(self.graph.upstream(dep));
+        }
+        false
+    }
+}
+
+impl ChangeTracker for ManualTracker {
+    fn name(&self) -> &'static str {
+        "manual (no tracking)"
+    }
+
+    fn on_checkin(&mut self, node: usize) {
+        self.seq += 1;
+        self.timestamps[node] = self.seq;
+    }
+
+    fn out_of_date(&mut self) -> BTreeSet<usize> {
+        (0..self.graph.len()).filter(|&n| self.is_stale(n)).collect()
+    }
+
+    fn work(&self) -> TrackerWork {
+        self.work
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_expected_staleness() {
+        let mut g = DepGraph::isolated(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 3);
+        let mut t = ManualTracker::new(g);
+        t.on_checkin(0);
+        assert_eq!(t.out_of_date(), BTreeSet::from([1, 2, 3]));
+        t.on_checkin(1);
+        t.on_checkin(2);
+        t.on_checkin(3);
+        assert!(t.out_of_date().is_empty());
+    }
+
+    #[test]
+    fn checkin_is_free_queries_are_expensive() {
+        let mut g = DepGraph::isolated(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let mut t = ManualTracker::new(g);
+        t.on_checkin(0);
+        assert_eq!(t.work().checkin_units, 0);
+        t.out_of_date();
+        // node0: 0 deps; node1: visits 0; node2: early-exits at 1.
+        assert!(t.work().query_units >= 2);
+    }
+
+    #[test]
+    fn transitive_staleness_found_deep() {
+        // long chain; only the root changes.
+        let n = 30;
+        let mut g = DepGraph::isolated(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1);
+        }
+        let mut t = ManualTracker::new(g);
+        // establish increasing timestamps so everything starts fresh
+        for i in 0..n {
+            t.on_checkin(i);
+        }
+        assert!(t.out_of_date().is_empty());
+        t.on_checkin(0);
+        let stale = t.out_of_date();
+        assert_eq!(stale.len(), n - 1);
+    }
+}

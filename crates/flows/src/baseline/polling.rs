@@ -1,0 +1,101 @@
+//! Make-style polling tracker: cheap check-ins, full rescans on query.
+
+use std::collections::BTreeSet;
+
+use super::{ChangeTracker, DepGraph, TrackerWork};
+
+/// Timestamp-scanning tracker: `on_checkin` is O(1); every `out_of_date`
+/// query rescans the whole graph, like `make` re-statting every file.
+#[derive(Debug, Clone)]
+pub struct PollingTracker {
+    graph: DepGraph,
+    timestamps: Vec<u64>,
+    seq: u64,
+    work: TrackerWork,
+}
+
+impl PollingTracker {
+    /// A tracker over `graph` with everything initially fresh.
+    pub fn new(graph: DepGraph) -> Self {
+        let n = graph.len();
+        PollingTracker {
+            graph,
+            timestamps: vec![0; n],
+            seq: 0,
+            work: TrackerWork::default(),
+        }
+    }
+}
+
+impl ChangeTracker for PollingTracker {
+    fn name(&self) -> &'static str {
+        "polling (make-style)"
+    }
+
+    fn on_checkin(&mut self, node: usize) {
+        self.seq += 1;
+        self.timestamps[node] = self.seq;
+        self.work.checkin_units += 1;
+    }
+
+    fn out_of_date(&mut self) -> BTreeSet<usize> {
+        // Full rescan: carry max upstream timestamps in topological order.
+        let order = self.graph.topo_order();
+        let mut max_upstream = vec![0u64; self.graph.len()];
+        let mut stale = BTreeSet::new();
+        for &node in &order {
+            self.work.query_units += 1;
+            let mut newest = 0;
+            for &dep in self.graph.upstream(node) {
+                self.work.query_units += 1;
+                newest = newest.max(self.timestamps[dep]).max(max_upstream[dep]);
+            }
+            max_upstream[node] = newest;
+            if newest > self.timestamps[node] {
+                stale.insert(node);
+            }
+        }
+        stale
+    }
+
+    fn work(&self) -> TrackerWork {
+        self.work
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkins_are_cheap_queries_are_not() {
+        let mut g = DepGraph::isolated(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(1, 3);
+        let mut t = PollingTracker::new(g);
+        t.on_checkin(0);
+        assert_eq!(t.work().checkin_units, 1);
+        let stale = t.out_of_date();
+        assert_eq!(stale, BTreeSet::from([1, 2, 3]));
+        assert_eq!(t.work().query_units, 4 + 3);
+    }
+
+    #[test]
+    fn diamond_dependency_handled() {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut g = DepGraph::isolated(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        let mut t = PollingTracker::new(g);
+        t.on_checkin(1);
+        // 3 stale through the 1-branch; 2 unaffected.
+        assert_eq!(t.out_of_date(), BTreeSet::from([3]));
+        t.on_checkin(3);
+        assert!(t.out_of_date().is_empty());
+        t.on_checkin(0);
+        assert_eq!(t.out_of_date(), BTreeSet::from([1, 2, 3]));
+    }
+}

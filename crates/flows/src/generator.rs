@@ -1,0 +1,352 @@
+//! Synthetic design and workload generation.
+//!
+//! The paper evaluates nothing quantitatively; to characterize the system we
+//! need parameterized designs. A [`DesignSpec`] describes a design the way
+//! the paper's examples are shaped:
+//!
+//! * a *flow chain* of `stages` views (`v0 → v1 → … → v(d-1)`), each derived
+//!   from its predecessor (`link_from v(i-1) … propagates outofdate`);
+//! * a *block hierarchy* of `blocks` blocks arranged as a tree of the given
+//!   `fanout`, expressed per view through use links;
+//! * the default view's `ckin`/`outofdate` rules, so a check-in anywhere
+//!   invalidates everything downstream.
+//!
+//! [`populate`] instantiates the design in a project server;
+//! [`ActivityStream`] generates a seeded random stream of designer actions
+//! over it.
+
+use blueprint_core::engine::exec::ScriptExecutor;
+use blueprint_core::engine::server::ProjectServer;
+use blueprint_core::EngineError;
+use damocles_meta::Oid;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a generated design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignSpec {
+    /// Number of views in the derivation chain (≥ 1).
+    pub stages: usize,
+    /// Number of blocks in the hierarchy (≥ 1).
+    pub blocks: usize,
+    /// Hierarchy fanout (children per node, ≥ 1).
+    pub fanout: usize,
+}
+
+impl DesignSpec {
+    /// A small smoke-test design.
+    pub fn tiny() -> Self {
+        DesignSpec {
+            stages: 3,
+            blocks: 4,
+            fanout: 2,
+        }
+    }
+
+    /// Total OIDs a populated design starts with.
+    pub fn oid_count(&self) -> usize {
+        self.stages * self.blocks
+    }
+
+    /// The view name of stage `i`.
+    pub fn view_name(i: usize) -> String {
+        format!("v{i}")
+    }
+
+    /// The block name of node `b`.
+    pub fn block_name(b: usize) -> String {
+        format!("blk{b}")
+    }
+
+    /// Generates the blueprint source for this design shape.
+    ///
+    /// `propagate_outofdate` mirrors the strict/loosened distinction of
+    /// Section 3.2: with `false`, links exist but carry nothing.
+    pub fn blueprint_source(&self, propagate_outofdate: bool) -> String {
+        let events = if propagate_outofdate {
+            "outofdate"
+        } else {
+            "nothing"
+        };
+        let mut src = String::from("blueprint generated\nview default\n");
+        src.push_str("    property uptodate default true\n");
+        if propagate_outofdate {
+            src.push_str("    when ckin do uptodate = true; post outofdate down done\n");
+            src.push_str("    when outofdate do uptodate = false done\n");
+        }
+        src.push_str("endview\n");
+        for i in 0..self.stages {
+            src.push_str(&format!("view {}\n", Self::view_name(i)));
+            if i > 0 {
+                src.push_str(&format!(
+                    "    link_from {} move propagates {events} type derived\n",
+                    Self::view_name(i - 1)
+                ));
+            }
+            src.push_str(&format!("    use_link move propagates {events}\n"));
+            src.push_str("endview\n");
+        }
+        src.push_str("endblueprint\n");
+        src
+    }
+
+    /// Parent of block `b` in the fanout tree (`None` for the root).
+    pub fn parent_of(&self, b: usize) -> Option<usize> {
+        if b == 0 {
+            None
+        } else {
+            Some((b - 1) / self.fanout)
+        }
+    }
+}
+
+/// Builds the design in a fresh-or-existing server: one OID per
+/// (stage, block), chain links between stages, use links down the hierarchy.
+///
+/// Check-ins run bottom-up through the stages so the design starts fully up
+/// to date; call `process_all` afterwards (this function does).
+///
+/// # Errors
+///
+/// Propagates server errors (none expected on a fresh server).
+pub fn populate<E: ScriptExecutor>(
+    server: &mut ProjectServer<E>,
+    spec: &DesignSpec,
+) -> Result<(), EngineError> {
+    // Create stage by stage so upstream objects exist before links form.
+    let mut prev_stage: Vec<Oid> = Vec::new();
+    for i in 0..spec.stages {
+        let view = DesignSpec::view_name(i);
+        let mut this_stage = Vec::with_capacity(spec.blocks);
+        for b in 0..spec.blocks {
+            let block = DesignSpec::block_name(b);
+            let payload = format!("{block}:{view}:seed").into_bytes();
+            let oid = server.checkin(&block, &view, "generator", payload)?;
+            this_stage.push(oid);
+        }
+        // Derivation links from the previous stage, block-wise.
+        if i > 0 {
+            for b in 0..spec.blocks {
+                server.connect_oids(&prev_stage[b], &this_stage[b])?;
+            }
+        }
+        // Hierarchy links within this stage.
+        for b in 1..spec.blocks {
+            let parent = spec.parent_of(b).expect("non-root");
+            server.connect_oids(&this_stage[parent], &this_stage[b])?;
+        }
+        prev_stage = this_stage;
+    }
+    server.process_all()?;
+    Ok(())
+}
+
+/// One designer action in a generated workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Activity {
+    /// Check in a new version of `(block, view)`.
+    Checkin {
+        /// Block name.
+        block: String,
+        /// View name.
+        view: String,
+    },
+    /// Post a validation event (e.g. a simulation verdict) at the newest
+    /// version of `(block, view)`.
+    Validate {
+        /// Block name.
+        block: String,
+        /// View name.
+        view: String,
+        /// Event name.
+        event: String,
+        /// Verdict argument.
+        arg: String,
+    },
+}
+
+/// A seeded random stream of designer activities over a [`DesignSpec`].
+#[derive(Debug)]
+pub struct ActivityStream {
+    spec: DesignSpec,
+    rng: StdRng,
+    /// Fraction of activities that are check-ins (rest are validations).
+    checkin_ratio: f64,
+}
+
+impl ActivityStream {
+    /// A stream over `spec` with the given `seed`; `checkin_ratio` of the
+    /// activities are check-ins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `checkin_ratio` is outside `0.0..=1.0`.
+    pub fn new(spec: DesignSpec, seed: u64, checkin_ratio: f64) -> Self {
+        assert!((0.0..=1.0).contains(&checkin_ratio));
+        ActivityStream {
+            spec,
+            rng: StdRng::seed_from_u64(seed),
+            checkin_ratio,
+        }
+    }
+
+    /// The next activity.
+    pub fn next_activity(&mut self) -> Activity {
+        let block = DesignSpec::block_name(self.rng.gen_range(0..self.spec.blocks));
+        let view = DesignSpec::view_name(self.rng.gen_range(0..self.spec.stages));
+        if self.rng.gen_bool(self.checkin_ratio) {
+            Activity::Checkin { block, view }
+        } else {
+            let good = self.rng.gen_bool(0.8);
+            Activity::Validate {
+                block,
+                view,
+                event: "sim".to_string(),
+                arg: if good { "good" } else { "bad" }.to_string(),
+            }
+        }
+    }
+
+    /// The next `n` activities.
+    pub fn take_activities(&mut self, n: usize) -> Vec<Activity> {
+        (0..n).map(|_| self.next_activity()).collect()
+    }
+}
+
+/// Applies one activity to a server (the DAMOCLES side of the baseline
+/// comparison).
+///
+/// # Errors
+///
+/// Propagates server errors.
+pub fn apply_activity<E: ScriptExecutor>(
+    server: &mut ProjectServer<E>,
+    activity: &Activity,
+) -> Result<(), EngineError> {
+    match activity {
+        Activity::Checkin { block, view } => {
+            let version = server.db().versions(block, view).last().map_or(1, |v| v + 1);
+            let payload = format!("{block}:{view}:v{version}").into_bytes();
+            server.checkin(block, view, "designer", payload)?;
+            server.process_all()?;
+        }
+        Activity::Validate {
+            block,
+            view,
+            event,
+            arg,
+        } => {
+            if let Some(id) = server.db().latest_version(block, view) {
+                let oid = server.db().oid(id).expect("live").clone();
+                let line = format!("postEvent {event} up {oid} \"{arg}\"");
+                server.post_line(&line, "validator")?;
+                server.process_all()?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use damocles_meta::Value;
+
+    #[test]
+    fn blueprint_source_parses_for_various_shapes() {
+        for (stages, blocks, fanout) in [(1, 1, 1), (3, 4, 2), (6, 10, 3)] {
+            let spec = DesignSpec {
+                stages,
+                blocks,
+                fanout,
+            };
+            let src = spec.blueprint_source(true);
+            let bp = blueprint_core::parse(&src).unwrap();
+            assert_eq!(bp.views.len(), stages + 1);
+            blueprint_core::lang::validate::check(&bp).unwrap();
+        }
+    }
+
+    #[test]
+    fn populate_creates_expected_counts() {
+        let spec = DesignSpec::tiny();
+        let mut server =
+            ProjectServer::from_source(&spec.blueprint_source(true)).unwrap();
+        populate(&mut server, &spec).unwrap();
+        assert_eq!(server.db().oid_count(), spec.oid_count());
+        // chain links: (stages-1)*blocks; hierarchy: stages*(blocks-1)
+        let expected_links = (spec.stages - 1) * spec.blocks + spec.stages * (spec.blocks - 1);
+        assert_eq!(server.db().link_count(), expected_links);
+    }
+
+    #[test]
+    fn populated_design_starts_up_to_date() {
+        let spec = DesignSpec::tiny();
+        let mut server =
+            ProjectServer::from_source(&spec.blueprint_source(true)).unwrap();
+        populate(&mut server, &spec).unwrap();
+        let stale = server.query().out_of_date("uptodate");
+        assert!(stale.is_empty(), "stale after populate: {stale:?}");
+    }
+
+    #[test]
+    fn checkin_at_root_invalidates_downstream() {
+        let spec = DesignSpec {
+            stages: 3,
+            blocks: 2,
+            fanout: 2,
+        };
+        let mut server =
+            ProjectServer::from_source(&spec.blueprint_source(true)).unwrap();
+        populate(&mut server, &spec).unwrap();
+        apply_activity(
+            &mut server,
+            &Activity::Checkin {
+                block: "blk0".into(),
+                view: "v0".into(),
+            },
+        )
+        .unwrap();
+        // v0/blk0 fresh; derived v1..v2 of blk0 (and hierarchy children)
+        // stale.
+        let fresh = server
+            .prop(&Oid::new("blk0", "v0", 2), "uptodate")
+            .unwrap();
+        assert_eq!(fresh, Value::Bool(true));
+        let stale = server.query().out_of_date("uptodate");
+        assert!(!stale.is_empty());
+    }
+
+    #[test]
+    fn activity_stream_is_deterministic() {
+        let spec = DesignSpec::tiny();
+        let a: Vec<Activity> = ActivityStream::new(spec, 7, 0.5).take_activities(20);
+        let b: Vec<Activity> = ActivityStream::new(spec, 7, 0.5).take_activities(20);
+        assert_eq!(a, b);
+        let c: Vec<Activity> = ActivityStream::new(spec, 8, 0.5).take_activities(20);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn checkin_ratio_respected() {
+        let spec = DesignSpec::tiny();
+        let acts = ActivityStream::new(spec, 1, 1.0).take_activities(10);
+        assert!(acts.iter().all(|a| matches!(a, Activity::Checkin { .. })));
+        let acts = ActivityStream::new(spec, 1, 0.0).take_activities(10);
+        assert!(acts.iter().all(|a| matches!(a, Activity::Validate { .. })));
+    }
+
+    #[test]
+    fn parent_of_builds_a_tree() {
+        let spec = DesignSpec {
+            stages: 1,
+            blocks: 7,
+            fanout: 2,
+        };
+        assert_eq!(spec.parent_of(0), None);
+        assert_eq!(spec.parent_of(1), Some(0));
+        assert_eq!(spec.parent_of(2), Some(0));
+        assert_eq!(spec.parent_of(3), Some(1));
+        assert_eq!(spec.parent_of(6), Some(2));
+    }
+}

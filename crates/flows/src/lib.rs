@@ -1,0 +1,30 @@
+//! # damocles-flows — flows, workloads and baseline trackers
+//!
+//! Everything the reproduction experiments run on:
+//!
+//! * [`edtc`] — the paper's Section 3.4 BluePrint, embedded (normalized)
+//!   plus the "loosened" early-phase variant of Section 3.2;
+//! * [`asic`] — a deeper nine-view ASIC sign-off flow exercising longer
+//!   derivation chains;
+//! * [`generator`] — parameterized design shapes ([`generator::DesignSpec`]),
+//!   server population and seeded designer-activity streams;
+//! * [`scenario`] — a scripted scenario player;
+//! * [`baseline`] — the Section 4 comparison strategies (event-driven
+//!   DAMOCLES vs NELSIS-style eager revalidation vs make-style polling vs no
+//!   tracking), cross-validated to compute identical out-of-date sets;
+//! * [`metrics`] — ASCII report helpers used by examples and benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asic;
+pub mod baseline;
+pub mod edtc;
+pub mod generator;
+pub mod metrics;
+pub mod scenario;
+pub mod viz;
+
+pub use baseline::{ChangeTracker, DamoclesTracker, DepGraph, EagerTracker, ManualTracker, PollingTracker, TrackerWork};
+pub use edtc::{edtc_blueprint, edtc_loosened_blueprint, EDTC_LOOSENED_SOURCE, EDTC_SOURCE};
+pub use generator::{populate, Activity, ActivityStream, DesignSpec};

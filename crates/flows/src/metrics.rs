@@ -1,0 +1,116 @@
+//! Small reporting helpers shared by examples and the benchmark harness.
+
+use std::fmt::Write;
+use std::time::{Duration, Instant};
+
+/// Renders an ASCII table: a header row plus data rows, columns padded to
+/// the widest cell.
+///
+/// # Example
+///
+/// ```
+/// use damocles_flows::metrics::table;
+///
+/// let out = table(
+///     &["tracker", "work"],
+///     &[vec!["damocles".into(), "12".into()],
+///       vec!["eager".into(), "340".into()]],
+/// );
+/// assert!(out.contains("tracker"));
+/// assert!(out.lines().count() >= 4);
+/// ```
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |out: &mut String, cells: &[String]| {
+        let mut line = String::from("|");
+        for (i, w) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = cells.get(i).unwrap_or(&empty);
+            let _ = write!(line, " {cell:w$} |");
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    };
+    let separator = {
+        let mut line = String::from("|");
+        for w in &widths {
+            line.push_str(&"-".repeat(w + 2));
+            line.push('|');
+        }
+        line
+    };
+    render_row(
+        &mut out,
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    );
+    out.push_str(&separator);
+    out.push('\n');
+    for row in rows {
+        render_row(&mut out, row);
+    }
+    out
+}
+
+/// Times a closure, returning its result and the elapsed wall time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Formats a duration compactly (µs / ms / s).
+pub fn fmt_duration(d: Duration) -> String {
+    let micros = d.as_micros();
+    if micros < 1_000 {
+        format!("{micros}µs")
+    } else if micros < 1_000_000 {
+        format!("{:.1}ms", micros as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", micros as f64 / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_pads_columns() {
+        let out = table(
+            &["a", "longer"],
+            &[vec!["xxxx".into(), "1".into()], vec!["y".into(), "2".into()]],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // all rows same width
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn table_handles_empty_rows() {
+        let out = table(&["h"], &[]);
+        assert_eq!(out.lines().count(), 2);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(500)), "500µs");
+        assert_eq!(fmt_duration(Duration::from_micros(2_500)), "2.5ms");
+        assert_eq!(fmt_duration(Duration::from_millis(1_500)), "1.50s");
+    }
+
+    #[test]
+    fn timed_returns_value() {
+        let (v, d) = timed(|| 6 * 7);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0);
+    }
+}

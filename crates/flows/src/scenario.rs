@@ -1,0 +1,130 @@
+//! Scripted scenario player: replays designer sessions against a project
+//! server, as the Section 3.4 walkthrough does.
+
+use blueprint_core::engine::exec::ScriptExecutor;
+use blueprint_core::engine::server::{ProcessReport, ProjectServer};
+use blueprint_core::EngineError;
+
+/// One scripted designer action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// Check in new design data.
+    Checkin {
+        /// Block name.
+        block: String,
+        /// View name.
+        view: String,
+        /// Acting designer.
+        user: String,
+        /// Design data payload.
+        payload: Vec<u8>,
+    },
+    /// Post a raw `postEvent` line.
+    PostLine {
+        /// The wire-format line.
+        line: String,
+        /// Posting user/tool.
+        user: String,
+    },
+    /// Drain the event queue.
+    ProcessAll,
+}
+
+impl Step {
+    /// Convenience constructor for check-ins.
+    pub fn checkin(block: &str, view: &str, user: &str, payload: &[u8]) -> Self {
+        Step::Checkin {
+            block: block.to_string(),
+            view: view.to_string(),
+            user: user.to_string(),
+            payload: payload.to_vec(),
+        }
+    }
+
+    /// Convenience constructor for event posts.
+    pub fn post(line: &str, user: &str) -> Self {
+        Step::PostLine {
+            line: line.to_string(),
+            user: user.to_string(),
+        }
+    }
+}
+
+/// Replays a list of steps, returning the merged process report.
+///
+/// # Errors
+///
+/// Propagates the first server error; earlier steps remain applied
+/// (observer semantics).
+pub fn play<E: ScriptExecutor>(
+    server: &mut ProjectServer<E>,
+    steps: &[Step],
+) -> Result<ProcessReport, EngineError> {
+    let mut total = ProcessReport::default();
+    for step in steps {
+        match step {
+            Step::Checkin {
+                block,
+                view,
+                user,
+                payload,
+            } => {
+                server.checkin(block, view, user, payload.clone())?;
+            }
+            Step::PostLine { line, user } => {
+                server.post_line(line, user)?;
+            }
+            Step::ProcessAll => {
+                let report = server.process_all()?;
+                total = merge(total, report);
+            }
+        }
+    }
+    Ok(total)
+}
+
+fn merge(a: ProcessReport, b: ProcessReport) -> ProcessReport {
+    ProcessReport {
+        events: a.events + b.events,
+        deliveries: a.deliveries + b.deliveries,
+        scripts: a.scripts + b.scripts,
+        emitted: a.emitted + b.emitted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edtc::edtc_blueprint;
+    use blueprint_core::engine::server::ProjectServer;
+    use damocles_meta::Value;
+
+    #[test]
+    fn plays_a_checkin_and_simulation() {
+        let mut server = ProjectServer::new(edtc_blueprint()).unwrap();
+        let steps = vec![
+            Step::checkin("CPU", "HDL_model", "yves", b"module cpu;"),
+            Step::ProcessAll,
+            Step::post("postEvent hdl_sim up CPU,HDL_model,1 \"good\"", "simwrap"),
+            Step::ProcessAll,
+        ];
+        let report = play(&mut server, &steps).unwrap();
+        assert_eq!(report.events, 2);
+        assert_eq!(
+            server
+                .prop(&damocles_meta::Oid::new("CPU", "HDL_model", 1), "sim_result")
+                .unwrap(),
+            Value::Str("good".into())
+        );
+    }
+
+    #[test]
+    fn error_stops_playback() {
+        let mut server = ProjectServer::new(edtc_blueprint()).unwrap();
+        let steps = vec![
+            Step::post("postEvent hdl_sim up ghost,HDL_model,1 \"good\"", "x"),
+            Step::ProcessAll,
+        ];
+        assert!(play(&mut server, &steps).is_err());
+    }
+}

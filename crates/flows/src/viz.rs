@@ -1,0 +1,194 @@
+//! Design-state visualization: the paper's second stated future-work item.
+//!
+//! "In addition, we are working on a graphical interface to visualize the
+//! design state relative to its flow." — Section 5.
+//!
+//! Two Graphviz DOT exporters:
+//!
+//! * [`blueprint_to_dot`] renders the *flow* — the BluePrint representation
+//!   of Fig. 5: views as nodes, `link_from`/`use_link` templates as edges
+//!   labelled with their PROPAGATE sets and types;
+//! * [`db_to_dot`] renders the *design state* — the live meta-database with
+//!   one node per OID, coloured by a chosen state property, and one edge per
+//!   link.
+
+use std::fmt::Write;
+
+use blueprint_core::lang::ast::{Blueprint, LinkSource};
+use damocles_meta::{LinkClass, MetaDb, Value};
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the BluePrint's view/link structure (the Fig. 5 representation)
+/// as a DOT digraph.
+///
+/// # Example
+///
+/// ```
+/// use damocles_flows::{edtc_blueprint, viz};
+///
+/// let dot = viz::blueprint_to_dot(&edtc_blueprint());
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("schematic"));
+/// assert!(dot.contains("outofdate"));
+/// ```
+pub fn blueprint_to_dot(bp: &Blueprint) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(&bp.name));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for view in &bp.views {
+        if view.name == "default" {
+            continue;
+        }
+        let props: Vec<&str> = view.properties.iter().map(|p| p.name.as_str()).collect();
+        let label = if props.is_empty() {
+            view.name.clone()
+        } else {
+            format!("{}\\n[{}]", view.name, props.join(", "))
+        };
+        let _ = writeln!(out, "  \"{}\" [label=\"{}\"];", escape(&view.name), escape(&label).replace("\\\\n", "\\n"));
+    }
+    for view in &bp.views {
+        for link in &view.links {
+            let (from, style) = match &link.source {
+                LinkSource::View(v) => (v.clone(), "solid"),
+                LinkSource::UseLink => (view.name.clone(), "dashed"),
+            };
+            let mut label = link.propagates.join(", ");
+            if let Some(kind) = &link.kind {
+                if label.is_empty() {
+                    label = kind.clone();
+                } else {
+                    label = format!("{kind}: {label}");
+                }
+            }
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [label=\"{}\", style={}];",
+                escape(&from),
+                escape(&view.name),
+                escape(&label),
+                style
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the live design state as a DOT digraph: one node per OID,
+/// coloured green/red/grey by the truthiness (or absence) of `state_prop`,
+/// one edge per link (use links dashed).
+pub fn db_to_dot(db: &MetaDb, state_prop: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph design_state {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(
+        out,
+        "  node [shape=box, style=filled, fontname=\"monospace\"];"
+    );
+    for (_, entry) in db.iter_oids() {
+        let color = match entry.props.get(state_prop) {
+            Some(v) if v.is_truthy() => "palegreen",
+            Some(_) => "lightcoral",
+            None => "lightgrey",
+        };
+        let state = entry
+            .props
+            .get(state_prop)
+            .map(Value::as_atom)
+            .unwrap_or_else(|| "untracked".to_string());
+        let _ = writeln!(
+            out,
+            "  \"{}\" [label=\"{}\\n{}={}\", fillcolor={}];",
+            escape(&entry.oid.to_string()),
+            escape(&entry.oid.to_string()),
+            escape(state_prop),
+            escape(&state),
+            color
+        );
+    }
+    for (_, link) in db.iter_links() {
+        let (Ok(from), Ok(to)) = (db.oid(link.from), db.oid(link.to)) else {
+            continue;
+        };
+        let style = match link.class {
+            LinkClass::Use => "dashed",
+            LinkClass::Derive => "solid",
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [label=\"{}\", style={}];",
+            escape(&from.to_string()),
+            escape(&to.to_string()),
+            escape(link.kind.as_keyword()),
+            style
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edtc::edtc_blueprint;
+    use blueprint_core::engine::server::ProjectServer;
+
+    #[test]
+    fn blueprint_dot_contains_views_and_events() {
+        let dot = blueprint_to_dot(&edtc_blueprint());
+        for needle in [
+            "digraph",
+            "HDL_model",
+            "schematic",
+            "netlist",
+            "layout",
+            "synth_lib",
+            "outofdate",
+            "equivalence",
+        ] {
+            assert!(dot.contains(needle), "missing {needle} in:\n{dot}");
+        }
+        // The default view is configuration, not a flow node.
+        assert!(!dot.contains("\"default\""));
+    }
+
+    #[test]
+    fn use_links_are_dashed() {
+        let dot = blueprint_to_dot(&edtc_blueprint());
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn db_dot_colors_by_state() {
+        let mut server = ProjectServer::new(edtc_blueprint()).unwrap();
+        let hdl = server.checkin("CPU", "HDL_model", "d", b"m".to_vec()).unwrap();
+        let sch = server.checkin("CPU", "schematic", "d", b"s".to_vec()).unwrap();
+        server.connect_oids(&hdl, &sch).unwrap();
+        server.process_all().unwrap();
+        server.checkin("CPU", "HDL_model", "d", b"m2".to_vec()).unwrap();
+        server.process_all().unwrap();
+
+        let dot = db_to_dot(server.db(), "uptodate");
+        assert!(dot.contains("palegreen"), "fresh nodes green");
+        assert!(dot.contains("lightcoral"), "stale nodes red");
+        assert!(dot.contains("CPU,schematic,1"));
+        assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let mut db = MetaDb::new();
+        let id = db
+            .create_oid(damocles_meta::Oid::new("blk", "v", 1))
+            .unwrap();
+        db.set_prop(id, "state", Value::Str("say \"hi\"".into()))
+            .unwrap();
+        let dot = db_to_dot(&db, "state");
+        assert!(dot.contains("\\\"hi\\\""));
+    }
+}

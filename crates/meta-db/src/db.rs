@@ -1,0 +1,690 @@
+//! The meta-database proper: arena-backed storage of OIDs and Links with the
+//! indices the run-time engine and the query layer need.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::arena::{Arena, ArenaIndex};
+use crate::error::MetaError;
+use crate::link::{Direction, Link, LinkClass, LinkId, LinkKind};
+use crate::oid::{BlockName, Oid, ViewType};
+use crate::property::{PropertyMap, Value};
+
+/// Stable database address of an [`OidEntry`].
+pub type OidId = ArenaIndex<OidEntry>;
+
+/// A stored meta-data object: the OID triplet plus its annotation.
+#[derive(Debug, Clone)]
+pub struct OidEntry {
+    /// The block/view/version triplet.
+    pub oid: Oid,
+    /// Property/value pairs holding the design state.
+    pub props: PropertyMap,
+    /// Incident links (either end). Maintained by [`MetaDb`].
+    links: Vec<LinkId>,
+}
+
+impl OidEntry {
+    /// Incident link addresses, in insertion order.
+    pub fn link_ids(&self) -> &[LinkId] {
+        &self.links
+    }
+}
+
+/// Aggregate counters, cheap to copy; used by benches and EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbStats {
+    /// Live meta-data objects.
+    pub live_oids: usize,
+    /// Live links.
+    pub live_links: usize,
+    /// OIDs ever created (including deleted ones).
+    pub created_oids: u64,
+    /// Links ever created.
+    pub created_links: u64,
+    /// Property writes performed through [`MetaDb::set_prop`].
+    pub prop_writes: u64,
+}
+
+/// The DAMOCLES meta-database.
+///
+/// Stores [`OidEntry`] and [`Link`] objects in generational arenas and keeps
+/// three indices: triplet → address, `(block, view)` → sorted version list,
+/// and view → live objects. All mutation goes through methods so the indices
+/// never drift from the arenas.
+///
+/// # Example
+///
+/// ```
+/// use damocles_meta::{MetaDb, Oid, Value};
+///
+/// # fn main() -> Result<(), damocles_meta::MetaError> {
+/// let mut db = MetaDb::new();
+/// let v1 = db.create_oid(Oid::new("alu", "GDSII", 5))?;
+/// db.set_prop(v1, "DRC", Value::from_atom("ok"))?;
+/// assert_eq!(db.get_prop(v1, "DRC")?.unwrap().as_atom(), "ok");
+/// assert_eq!(db.latest_version("alu", "GDSII"), Some(v1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetaDb {
+    oids: Arena<OidEntry>,
+    links: Arena<Link>,
+    by_oid: HashMap<Oid, OidId>,
+    chains: BTreeMap<(BlockName, ViewType), Vec<u32>>,
+    by_view: BTreeMap<ViewType, BTreeSet<OidId>>,
+    stats: DbStats,
+}
+
+impl MetaDb {
+    /// Creates an empty meta-database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty meta-database pre-sized for `oids` objects.
+    pub fn with_capacity(oids: usize) -> Self {
+        MetaDb {
+            oids: Arena::with_capacity(oids),
+            links: Arena::with_capacity(oids * 2),
+            by_oid: HashMap::with_capacity(oids),
+            ..Default::default()
+        }
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> DbStats {
+        DbStats {
+            live_oids: self.oids.len(),
+            live_links: self.links.len(),
+            ..self.stats
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // OID lifecycle
+    // ------------------------------------------------------------------
+
+    /// Registers a new meta-data object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetaError::DuplicateOid`] if the triplet already exists.
+    pub fn create_oid(&mut self, oid: Oid) -> Result<OidId, MetaError> {
+        if self.by_oid.contains_key(&oid) {
+            return Err(MetaError::DuplicateOid { oid });
+        }
+        let id = self.oids.insert(OidEntry {
+            oid: oid.clone(),
+            props: PropertyMap::new(),
+            links: Vec::new(),
+        });
+        self.by_oid.insert(oid.clone(), id);
+        let chain = self
+            .chains
+            .entry((oid.block.clone(), oid.view.clone()))
+            .or_default();
+        let pos = chain.partition_point(|&v| v < oid.version);
+        chain.insert(pos, oid.version);
+        self.by_view.entry(oid.view.clone()).or_default().insert(id);
+        self.stats.created_oids += 1;
+        Ok(id)
+    }
+
+    /// Deletes a meta-data object and every link incident to it.
+    ///
+    /// Configurations holding this address will observe it as dangling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetaError::StaleOid`] if the handle is stale.
+    pub fn delete_oid(&mut self, id: OidId) -> Result<OidEntry, MetaError> {
+        let entry = self.oids.get(id).ok_or_else(|| stale(id))?;
+        let incident = entry.links.clone();
+        for link_id in incident {
+            // Ignore already-removed links: incidence lists may lag only
+            // within this loop (a link appears in both endpoints' lists).
+            let _ = self.remove_link(link_id);
+        }
+        let entry = self.oids.remove(id).ok_or_else(|| stale(id))?;
+        self.by_oid.remove(&entry.oid);
+        if let Some(chain) = self
+            .chains
+            .get_mut(&(entry.oid.block.clone(), entry.oid.view.clone()))
+        {
+            chain.retain(|&v| v != entry.oid.version);
+            if chain.is_empty() {
+                self.chains
+                    .remove(&(entry.oid.block.clone(), entry.oid.view.clone()));
+            }
+        }
+        if let Some(set) = self.by_view.get_mut(&entry.oid.view) {
+            set.remove(&id);
+            if set.is_empty() {
+                self.by_view.remove(&entry.oid.view);
+            }
+        }
+        Ok(entry)
+    }
+
+    /// Resolves a triplet to its database address.
+    pub fn resolve(&self, oid: &Oid) -> Option<OidId> {
+        self.by_oid.get(oid).copied()
+    }
+
+    /// Resolves a triplet, failing with [`MetaError::UnknownOid`].
+    pub fn require(&self, oid: &Oid) -> Result<OidId, MetaError> {
+        self.resolve(oid).ok_or_else(|| MetaError::UnknownOid {
+            oid: oid.clone(),
+        })
+    }
+
+    /// Returns the stored entry for a live address.
+    pub fn entry(&self, id: OidId) -> Result<&OidEntry, MetaError> {
+        self.oids.get(id).ok_or_else(|| stale(id))
+    }
+
+    /// The triplet stored at `id`.
+    pub fn oid(&self, id: OidId) -> Result<&Oid, MetaError> {
+        Ok(&self.entry(id)?.oid)
+    }
+
+    /// Whether `id` refers to a live object.
+    pub fn is_live(&self, id: OidId) -> bool {
+        self.oids.contains(id)
+    }
+
+    /// Number of live objects.
+    pub fn oid_count(&self) -> usize {
+        self.oids.len()
+    }
+
+    /// Number of live links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Iterates over all live objects.
+    pub fn iter_oids(&self) -> impl Iterator<Item = (OidId, &OidEntry)> {
+        self.oids.iter()
+    }
+
+    /// Iterates over all live links.
+    pub fn iter_links(&self) -> impl Iterator<Item = (LinkId, &Link)> {
+        self.links.iter()
+    }
+
+    // ------------------------------------------------------------------
+    // Properties
+    // ------------------------------------------------------------------
+
+    /// Sets a property on an object, returning the previous value.
+    pub fn set_prop(
+        &mut self,
+        id: OidId,
+        name: &str,
+        value: Value,
+    ) -> Result<Option<Value>, MetaError> {
+        let entry = self.oids.get_mut(id).ok_or_else(|| stale(id))?;
+        self.stats.prop_writes += 1;
+        Ok(entry.props.set(name, value))
+    }
+
+    /// Reads a property from an object.
+    pub fn get_prop(&self, id: OidId, name: &str) -> Result<Option<&Value>, MetaError> {
+        Ok(self.entry(id)?.props.get(name))
+    }
+
+    /// Removes a property from an object.
+    pub fn remove_prop(&mut self, id: OidId, name: &str) -> Result<Option<Value>, MetaError> {
+        let entry = self.oids.get_mut(id).ok_or_else(|| stale(id))?;
+        Ok(entry.props.remove(name))
+    }
+
+    /// The full property map of an object.
+    pub fn props(&self, id: OidId) -> Result<&PropertyMap, MetaError> {
+        Ok(&self.entry(id)?.props)
+    }
+
+    // ------------------------------------------------------------------
+    // Links
+    // ------------------------------------------------------------------
+
+    /// Adds a link from `from` to `to` with an empty PROPAGATE set.
+    ///
+    /// # Errors
+    ///
+    /// * [`MetaError::StaleOid`] if either endpoint handle is stale.
+    /// * [`MetaError::SelfLink`] if the endpoints coincide.
+    pub fn add_link(
+        &mut self,
+        from: OidId,
+        to: OidId,
+        class: LinkClass,
+        kind: LinkKind,
+    ) -> Result<LinkId, MetaError> {
+        self.add_link_with(from, to, class, kind, std::iter::empty::<String>())
+    }
+
+    /// Adds a link whose PROPAGATE set is given up front.
+    pub fn add_link_with<I, S>(
+        &mut self,
+        from: OidId,
+        to: OidId,
+        class: LinkClass,
+        kind: LinkKind,
+        propagates: I,
+    ) -> Result<LinkId, MetaError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        if !self.oids.contains(from) {
+            return Err(stale(from));
+        }
+        if !self.oids.contains(to) {
+            return Err(stale(to));
+        }
+        if from == to {
+            return Err(MetaError::SelfLink {
+                oid: self.oids[from].oid.clone(),
+            });
+        }
+        let mut link = Link::new(from, to, class, kind);
+        link.propagates = propagates.into_iter().map(Into::into).collect();
+        let id = self.links.insert(link);
+        self.oids
+            .get_mut(from)
+            .expect("endpoint checked above")
+            .links
+            .push(id);
+        self.oids
+            .get_mut(to)
+            .expect("endpoint checked above")
+            .links
+            .push(id);
+        self.stats.created_links += 1;
+        Ok(id)
+    }
+
+    /// Removes a link, detaching it from both endpoints.
+    pub fn remove_link(&mut self, id: LinkId) -> Result<Link, MetaError> {
+        let link = self
+            .links
+            .remove(id)
+            .ok_or(MetaError::StaleLink { link: id })?;
+        for end in [link.from, link.to] {
+            if let Some(entry) = self.oids.get_mut(end) {
+                entry.links.retain(|&l| l != id);
+            }
+        }
+        Ok(link)
+    }
+
+    /// Returns the link stored at `id`.
+    pub fn link(&self, id: LinkId) -> Result<&Link, MetaError> {
+        self.links.get(id).ok_or(MetaError::StaleLink { link: id })
+    }
+
+    /// Mutable access to a stored link (e.g. to edit its PROPAGATE set).
+    pub fn link_mut(&mut self, id: LinkId) -> Result<&mut Link, MetaError> {
+        self.links
+            .get_mut(id)
+            .ok_or(MetaError::StaleLink { link: id })
+    }
+
+    /// Iterates over the links incident to `id` (either end).
+    pub fn links_of(&self, id: OidId) -> Result<Vec<(LinkId, &Link)>, MetaError> {
+        let entry = self.entry(id)?;
+        Ok(entry
+            .links
+            .iter()
+            .filter_map(|&l| self.links.get(l).map(|link| (l, link)))
+            .collect())
+    }
+
+    /// OIDs reachable from `id` through one link in direction `dir`,
+    /// optionally restricted to links whose PROPAGATE set allows `event`.
+    ///
+    /// This is exactly the per-hop rule of Section 3.2: "for each link, the
+    /// event is passed on to the OID at the other end of the link if the link
+    /// propagates the given type of event and if the direction of the link
+    /// matches the up or down direction specified in the event message".
+    pub fn neighbors(
+        &self,
+        id: OidId,
+        dir: Direction,
+        event: Option<&str>,
+    ) -> Result<Vec<OidId>, MetaError> {
+        let entry = self.entry(id)?;
+        let mut out = Vec::new();
+        for &link_id in &entry.links {
+            let Some(link) = self.links.get(link_id) else {
+                continue;
+            };
+            if let Some(ev) = event {
+                if !link.allows(ev) {
+                    continue;
+                }
+            }
+            if let Some(next) = link.traverse_from(id, dir) {
+                out.push(next);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Re-points whichever end of `link_id` currently equals `old` to `new`.
+    ///
+    /// This implements the `move` keyword of template link rules (Fig. 3):
+    /// "when a new version of an OID is created, these links are
+    /// automatically shifted from the old version to the new version".
+    pub fn move_link_end(
+        &mut self,
+        link_id: LinkId,
+        old: OidId,
+        new: OidId,
+    ) -> Result<(), MetaError> {
+        if !self.oids.contains(new) {
+            return Err(stale(new));
+        }
+        let link = self
+            .links
+            .get_mut(link_id)
+            .ok_or(MetaError::StaleLink { link: link_id })?;
+        let mut moved = false;
+        if link.from == old {
+            link.from = new;
+            moved = true;
+        } else if link.to == old {
+            link.to = new;
+            moved = true;
+        }
+        if !moved {
+            return Err(MetaError::StaleLink { link: link_id });
+        }
+        if let Some(entry) = self.oids.get_mut(old) {
+            entry.links.retain(|&l| l != link_id);
+        }
+        self.oids
+            .get_mut(new)
+            .expect("checked above")
+            .links
+            .push(link_id);
+        Ok(())
+    }
+
+    /// Duplicates `link_id`, substituting `new` for `old` at whichever end
+    /// matches — the `copy` transfer mode for links.
+    pub fn copy_link_to(
+        &mut self,
+        link_id: LinkId,
+        old: OidId,
+        new: OidId,
+    ) -> Result<LinkId, MetaError> {
+        let link = self.link(link_id)?.clone();
+        let (from, to) = if link.from == old {
+            (new, link.to)
+        } else if link.to == old {
+            (link.from, new)
+        } else {
+            return Err(MetaError::StaleLink { link: link_id });
+        };
+        let id = self.add_link_with(from, to, link.class, link.kind, link.propagates)?;
+        let props = link.props;
+        self.link_mut(id)?.props = props;
+        Ok(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Version chains & views
+    // ------------------------------------------------------------------
+
+    /// Sorted version numbers existing for `(block, view)`.
+    pub fn versions(&self, block: &str, view: &str) -> Vec<u32> {
+        let key = match chain_key(block, view) {
+            Some(k) => k,
+            None => return Vec::new(),
+        };
+        self.chains.get(&key).cloned().unwrap_or_default()
+    }
+
+    /// The address of the highest-numbered version of `(block, view)`.
+    pub fn latest_version(&self, block: &str, view: &str) -> Option<OidId> {
+        let key = chain_key(block, view)?;
+        let chain = self.chains.get(&key)?;
+        let &version = chain.last()?;
+        self.by_oid.get(&Oid {
+            block: key.0,
+            view: key.1,
+            version,
+        })
+        .copied()
+    }
+
+    /// The address of the version preceding `oid.version` in its chain.
+    pub fn predecessor(&self, oid: &Oid) -> Option<OidId> {
+        let chain = self
+            .chains
+            .get(&(oid.block.clone(), oid.view.clone()))?;
+        let pos = chain.partition_point(|&v| v < oid.version);
+        if pos == 0 {
+            return None;
+        }
+        let prev = chain[pos - 1];
+        self.by_oid.get(&oid.at_version(prev)).copied()
+    }
+
+    /// Live objects of the given view type, in address order.
+    pub fn oids_of_view(&self, view: &str) -> Vec<OidId> {
+        match ViewType::try_new(view) {
+            Ok(v) => self
+                .by_view
+                .get(&v)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// All view types with at least one live object.
+    pub fn view_types(&self) -> Vec<ViewType> {
+        self.by_view.keys().cloned().collect()
+    }
+
+    /// All distinct block names with at least one live object.
+    pub fn block_names(&self) -> Vec<BlockName> {
+        let mut blocks: BTreeSet<BlockName> = BTreeSet::new();
+        for (_, entry) in self.oids.iter() {
+            blocks.insert(entry.oid.block.clone());
+        }
+        blocks.into_iter().collect()
+    }
+}
+
+fn chain_key(block: &str, view: &str) -> Option<(BlockName, ViewType)> {
+    Some((
+        BlockName::try_new(block).ok()?,
+        ViewType::try_new(view).ok()?,
+    ))
+}
+
+fn stale(id: OidId) -> MetaError {
+    MetaError::StaleOid {
+        handle: format!("{id:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_oid_rejected() {
+        let mut db = MetaDb::new();
+        db.create_oid(Oid::new("cpu", "HDL_model", 1)).unwrap();
+        let err = db.create_oid(Oid::new("cpu", "HDL_model", 1)).unwrap_err();
+        assert!(matches!(err, MetaError::DuplicateOid { .. }));
+    }
+
+    #[test]
+    fn resolve_and_require() {
+        let mut db = MetaDb::new();
+        let oid = Oid::new("cpu", "HDL_model", 1);
+        let id = db.create_oid(oid.clone()).unwrap();
+        assert_eq!(db.resolve(&oid), Some(id));
+        assert_eq!(db.require(&oid).unwrap(), id);
+        let missing = Oid::new("cpu", "HDL_model", 2);
+        assert!(matches!(
+            db.require(&missing),
+            Err(MetaError::UnknownOid { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_removes_incident_links_and_indices() {
+        let mut db = MetaDb::new();
+        let a = db.create_oid(Oid::new("cpu", "HDL_model", 1)).unwrap();
+        let b = db.create_oid(Oid::new("cpu", "schematic", 1)).unwrap();
+        let l = db
+            .add_link(a, b, LinkClass::Derive, LinkKind::DeriveFrom)
+            .unwrap();
+        db.delete_oid(a).unwrap();
+        assert!(!db.is_live(a));
+        assert!(db.link(l).is_err());
+        assert!(db.entry(b).unwrap().link_ids().is_empty());
+        assert!(db.versions("cpu", "HDL_model").is_empty());
+        assert_eq!(db.oids_of_view("HDL_model"), Vec::<OidId>::new());
+    }
+
+    #[test]
+    fn version_chain_ordering() {
+        let mut db = MetaDb::new();
+        // Created out of order on purpose.
+        db.create_oid(Oid::new("cpu", "schematic", 3)).unwrap();
+        let v1 = db.create_oid(Oid::new("cpu", "schematic", 1)).unwrap();
+        let v5 = db.create_oid(Oid::new("cpu", "schematic", 5)).unwrap();
+        assert_eq!(db.versions("cpu", "schematic"), vec![1, 3, 5]);
+        assert_eq!(db.latest_version("cpu", "schematic"), Some(v5));
+        let prev = db.predecessor(&Oid::new("cpu", "schematic", 3)).unwrap();
+        assert_eq!(prev, v1);
+        assert!(db.predecessor(&Oid::new("cpu", "schematic", 1)).is_none());
+    }
+
+    #[test]
+    fn self_link_rejected() {
+        let mut db = MetaDb::new();
+        let a = db.create_oid(Oid::new("cpu", "HDL_model", 1)).unwrap();
+        let err = db
+            .add_link(a, a, LinkClass::Use, LinkKind::Composition)
+            .unwrap_err();
+        assert!(matches!(err, MetaError::SelfLink { .. }));
+    }
+
+    #[test]
+    fn neighbors_respect_direction_and_propagate() {
+        let mut db = MetaDb::new();
+        let hdl = db.create_oid(Oid::new("cpu", "HDL_model", 1)).unwrap();
+        let sch = db.create_oid(Oid::new("cpu", "schematic", 1)).unwrap();
+        let lay = db.create_oid(Oid::new("cpu", "layout", 1)).unwrap();
+        db.add_link_with(
+            hdl,
+            sch,
+            LinkClass::Derive,
+            LinkKind::DeriveFrom,
+            ["outofdate"],
+        )
+        .unwrap();
+        db.add_link_with(sch, lay, LinkClass::Derive, LinkKind::Equivalence, ["lvs"])
+            .unwrap();
+
+        assert_eq!(
+            db.neighbors(hdl, Direction::Down, Some("outofdate")).unwrap(),
+            vec![sch]
+        );
+        // Wrong event name: filtered out.
+        assert!(db
+            .neighbors(hdl, Direction::Down, Some("lvs"))
+            .unwrap()
+            .is_empty());
+        // Wrong direction: filtered out.
+        assert!(db
+            .neighbors(hdl, Direction::Up, Some("outofdate"))
+            .unwrap()
+            .is_empty());
+        // Up from layout crosses the equivalence link back to schematic.
+        assert_eq!(
+            db.neighbors(lay, Direction::Up, Some("lvs")).unwrap(),
+            vec![sch]
+        );
+        // No filter: all direction-compatible links count.
+        assert_eq!(db.neighbors(sch, Direction::Down, None).unwrap(), vec![lay]);
+    }
+
+    #[test]
+    fn move_link_end_shifts_to_new_version() {
+        // Fig. 3: NetList.8 -> GDSII.5 moves to NetList.8 -> GDSII.6.
+        let mut db = MetaDb::new();
+        let nl = db.create_oid(Oid::new("alu", "NetList", 8)).unwrap();
+        let g5 = db.create_oid(Oid::new("alu", "GDSII", 5)).unwrap();
+        let g6 = db.create_oid(Oid::new("alu", "GDSII", 6)).unwrap();
+        let l = db
+            .add_link_with(nl, g5, LinkClass::Derive, LinkKind::DeriveFrom, ["OutOfDate"])
+            .unwrap();
+        db.move_link_end(l, g5, g6).unwrap();
+        let link = db.link(l).unwrap();
+        assert_eq!(link.from, nl);
+        assert_eq!(link.to, g6);
+        assert!(db.entry(g5).unwrap().link_ids().is_empty());
+        assert_eq!(db.entry(g6).unwrap().link_ids(), &[l]);
+        assert!(link.allows("OutOfDate"));
+    }
+
+    #[test]
+    fn copy_link_to_duplicates() {
+        let mut db = MetaDb::new();
+        let a = db.create_oid(Oid::new("a", "v", 1)).unwrap();
+        let b1 = db.create_oid(Oid::new("b", "v", 1)).unwrap();
+        let b2 = db.create_oid(Oid::new("b", "v", 2)).unwrap();
+        let l = db
+            .add_link_with(a, b1, LinkClass::Use, LinkKind::Composition, ["outofdate"])
+            .unwrap();
+        let l2 = db.copy_link_to(l, b1, b2).unwrap();
+        assert!(db.link(l).is_ok(), "original link survives a copy");
+        let copy = db.link(l2).unwrap();
+        assert_eq!(copy.from, a);
+        assert_eq!(copy.to, b2);
+        assert!(copy.allows("outofdate"));
+        assert_eq!(db.link_count(), 2);
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let mut db = MetaDb::new();
+        let a = db.create_oid(Oid::new("a", "v", 1)).unwrap();
+        let b = db.create_oid(Oid::new("b", "v", 1)).unwrap();
+        db.add_link(a, b, LinkClass::Use, LinkKind::Composition)
+            .unwrap();
+        db.set_prop(a, "x", Value::Int(1)).unwrap();
+        db.delete_oid(b).unwrap();
+        let s = db.stats();
+        assert_eq!(s.live_oids, 1);
+        assert_eq!(s.live_links, 0);
+        assert_eq!(s.created_oids, 2);
+        assert_eq!(s.created_links, 1);
+        assert_eq!(s.prop_writes, 1);
+    }
+
+    #[test]
+    fn view_and_block_enumeration() {
+        let mut db = MetaDb::new();
+        db.create_oid(Oid::new("cpu", "schematic", 1)).unwrap();
+        db.create_oid(Oid::new("reg", "schematic", 1)).unwrap();
+        db.create_oid(Oid::new("cpu", "layout", 1)).unwrap();
+        assert_eq!(db.oids_of_view("schematic").len(), 2);
+        let views: Vec<String> = db.view_types().iter().map(|v| v.to_string()).collect();
+        assert_eq!(views, vec!["layout", "schematic"]);
+        let blocks: Vec<String> = db.block_names().iter().map(|b| b.to_string()).collect();
+        assert_eq!(blocks, vec!["cpu", "reg"]);
+    }
+}

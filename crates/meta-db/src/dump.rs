@@ -1,0 +1,136 @@
+//! Deterministic, human-readable dumps of the meta-database.
+//!
+//! DAMOCLES administrators lived in terminals; a stable textual rendering of
+//! the whole database doubles as a golden-test format (two databases are
+//! equivalent iff their dumps match) and as the CLI's `dump` output.
+
+use std::fmt::Write;
+
+use crate::db::MetaDb;
+use crate::link::LinkClass;
+
+/// Renders every live OID (sorted by triplet) with its properties, followed
+/// by every live link (sorted by endpoint triplets).
+///
+/// The format is stable: equal databases produce byte-equal dumps.
+///
+/// # Example
+///
+/// ```
+/// use damocles_meta::{dump::dump, MetaDb, Oid, Value};
+///
+/// # fn main() -> Result<(), damocles_meta::MetaError> {
+/// let mut db = MetaDb::new();
+/// let id = db.create_oid(Oid::new("cpu", "schematic", 1))?;
+/// db.set_prop(id, "uptodate", Value::Bool(true))?;
+/// let text = dump(&db);
+/// assert!(text.contains("oid cpu,schematic,1"));
+/// assert!(text.contains("uptodate = true"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn dump(db: &MetaDb) -> String {
+    let mut out = String::new();
+
+    let mut oids: Vec<_> = db.iter_oids().collect();
+    oids.sort_by(|a, b| a.1.oid.cmp(&b.1.oid));
+    let _ = writeln!(out, "# {} oids, {} links", db.oid_count(), db.link_count());
+    for (_, entry) in &oids {
+        let _ = writeln!(out, "oid {}", entry.oid);
+        for (name, value) in entry.props.iter() {
+            let _ = writeln!(out, "  {name} = {value}");
+        }
+    }
+
+    let mut links: Vec<(String, String, String, String)> = db
+        .iter_links()
+        .filter_map(|(_, link)| {
+            let from = db.oid(link.from).ok()?;
+            let to = db.oid(link.to).ok()?;
+            let class = match link.class {
+                LinkClass::Use => "use",
+                LinkClass::Derive => "derive",
+            };
+            let propagates: Vec<&str> = link.propagates.iter().map(String::as_str).collect();
+            Some((
+                from.to_string(),
+                to.to_string(),
+                format!("{class}/{}", link.kind),
+                propagates.join(","),
+            ))
+        })
+        .collect();
+    links.sort();
+    for (from, to, kind, propagates) in links {
+        let _ = writeln!(out, "link {from} -> {to} [{kind}] propagates({propagates})");
+    }
+    out
+}
+
+/// Line-level diff of two dumps: `(only_in_a, only_in_b)`.
+pub fn diff(a: &MetaDb, b: &MetaDb) -> (Vec<String>, Vec<String>) {
+    let dump_a = dump(a);
+    let dump_b = dump(b);
+    let set_a: std::collections::BTreeSet<&str> = dump_a.lines().collect();
+    let set_b: std::collections::BTreeSet<&str> = dump_b.lines().collect();
+    (
+        set_a.difference(&set_b).map(|s| s.to_string()).collect(),
+        set_b.difference(&set_a).map(|s| s.to_string()).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkKind;
+    use crate::oid::Oid;
+    use crate::property::Value;
+
+    fn sample() -> MetaDb {
+        let mut db = MetaDb::new();
+        let a = db.create_oid(Oid::new("cpu", "HDL_model", 1)).unwrap();
+        let b = db.create_oid(Oid::new("cpu", "schematic", 1)).unwrap();
+        db.set_prop(a, "sim_result", Value::from_atom("good")).unwrap();
+        db.add_link_with(a, b, LinkClass::Derive, LinkKind::DeriveFrom, ["outofdate"])
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn dump_is_deterministic_and_complete() {
+        let db = sample();
+        let d1 = dump(&db);
+        let d2 = dump(&db.clone());
+        assert_eq!(d1, d2);
+        assert!(d1.contains("# 2 oids, 1 links"));
+        assert!(d1.contains("oid cpu,HDL_model,1"));
+        assert!(d1.contains("sim_result = good"));
+        assert!(d1.contains(
+            "link cpu,HDL_model,1 -> cpu,schematic,1 [derive/derive_from] propagates(outofdate)"
+        ));
+    }
+
+    #[test]
+    fn dump_orders_by_triplet_not_insertion() {
+        let mut db = MetaDb::new();
+        db.create_oid(Oid::new("z", "v", 1)).unwrap();
+        db.create_oid(Oid::new("a", "v", 1)).unwrap();
+        let d = dump(&db);
+        let a_pos = d.find("oid a,v,1").unwrap();
+        let z_pos = d.find("oid z,v,1").unwrap();
+        assert!(a_pos < z_pos);
+    }
+
+    #[test]
+    fn diff_finds_changes() {
+        let db_a = sample();
+        let mut db_b = sample();
+        let id = db_b.resolve(&Oid::new("cpu", "HDL_model", 1)).unwrap();
+        db_b.set_prop(id, "sim_result", Value::from_atom("bad")).unwrap();
+        let (only_a, only_b) = diff(&db_a, &db_b);
+        assert_eq!(only_a, vec!["  sim_result = good"]);
+        assert_eq!(only_b, vec!["  sim_result = bad"]);
+        let (x, y) = diff(&db_a, &db_a.clone());
+        assert!(x.is_empty() && y.is_empty());
+    }
+}

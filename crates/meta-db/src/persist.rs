@@ -1,0 +1,407 @@
+//! Save/load of the meta-database as a line-oriented text image.
+//!
+//! DAMOCLES is a project *database*: it outlives any one session. This
+//! module serializes the full database — OIDs, typed properties, links with
+//! their PROPAGATE sets and annotations — to a stable text format and loads
+//! it back, with a round-trip guarantee (see the property test in
+//! `tests/persist_roundtrip.rs`).
+//!
+//! Format (version 1):
+//!
+//! ```text
+//! damocles-db v1
+//! oid cpu,schematic,1
+//! prop uptodate b:true
+//! prop nl_sim_res s:good
+//! link cpu,HDL_model,1 cpu,schematic,1 derive derive_from outofdate,nl_sim
+//! lprop weight i:3
+//! ```
+//!
+//! `prop` lines attach to the preceding `oid`; `lprop` lines to the
+//! preceding `link`. Values carry a type tag (`b:`/`i:`/`s:`) so `"4"` the
+//! string survives distinct from `4` the integer; strings are
+//! percent-escaped for whitespace, `%` and newlines.
+//!
+//! Scope: the image captures the durable project state — meta-data and
+//! (via [`save_project`]) design payloads. Session-transient state is
+//! deliberately excluded: queued events, check-out holders and the
+//! workspace's logical clock all belong to the running server, matching the
+//! paper's split between the meta-database and the tracking session.
+
+use crate::db::{MetaDb, OidId};
+use crate::error::MetaError;
+use crate::link::{LinkClass, LinkKind};
+use crate::oid::Oid;
+use crate::property::Value;
+
+const HEADER: &str = "damocles-db v1";
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '\t' => out.push_str("%09"),
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '%' {
+            let hi = chars.next().ok_or("truncated escape")?;
+            let lo = chars.next().ok_or("truncated escape")?;
+            let code = u8::from_str_radix(&format!("{hi}{lo}"), 16)
+                .map_err(|_| format!("bad escape %{hi}{lo}"))?;
+            out.push(code as char);
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Bool(b) => format!("b:{b}"),
+        Value::Int(n) => format!("i:{n}"),
+        Value::Str(s) => format!("s:{}", escape(s)),
+    }
+}
+
+fn decode_value(s: &str) -> Result<Value, String> {
+    let (tag, body) = s.split_once(':').ok_or("value missing type tag")?;
+    match tag {
+        "b" => body
+            .parse::<bool>()
+            .map(Value::Bool)
+            .map_err(|_| format!("bad bool `{body}`")),
+        "i" => body
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| format!("bad int `{body}`")),
+        "s" => Ok(Value::Str(unescape(body)?)),
+        other => Err(format!("unknown value tag `{other}`")),
+    }
+}
+
+/// Serializes the database to its text image.
+pub fn save(db: &MetaDb) -> String {
+    let mut out = String::from(HEADER);
+    out.push('\n');
+
+    let mut oids: Vec<_> = db.iter_oids().collect();
+    oids.sort_by(|a, b| a.1.oid.cmp(&b.1.oid));
+    for (_, entry) in &oids {
+        out.push_str(&format!("oid {}\n", entry.oid));
+        for (name, value) in entry.props.iter() {
+            out.push_str(&format!("prop {} {}\n", escape(name), encode_value(value)));
+        }
+    }
+
+    let mut links: Vec<_> = db
+        .iter_links()
+        .filter_map(|(_, link)| {
+            let from = db.oid(link.from).ok()?;
+            let to = db.oid(link.to).ok()?;
+            Some((from.clone(), to.clone(), link.clone()))
+        })
+        .collect();
+    links.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+    for (from, to, link) in links {
+        let class = match link.class {
+            LinkClass::Use => "use",
+            LinkClass::Derive => "derive",
+        };
+        let propagates: Vec<String> = link.propagates.iter().map(|e| escape(e)).collect();
+        out.push_str(&format!(
+            "link {from} {to} {class} {} {}\n",
+            escape(link.kind.as_keyword()),
+            if propagates.is_empty() {
+                "-".to_string()
+            } else {
+                propagates.join(",")
+            }
+        ));
+        for (name, value) in link.props.iter() {
+            out.push_str(&format!("lprop {} {}\n", escape(name), encode_value(value)));
+        }
+    }
+    out
+}
+
+/// Loads a database from its text image.
+///
+/// # Errors
+///
+/// Returns [`MetaError::WireParse`] with the offending line for any format
+/// violation.
+pub fn load(image: &str) -> Result<MetaDb, MetaError> {
+    let err = |line: &str, reason: String| MetaError::WireParse {
+        reason,
+        input: line.to_string(),
+    };
+    let mut lines = image.lines();
+    match lines.next() {
+        Some(h) if h.trim() == HEADER => {}
+        other => {
+            return Err(err(
+                other.unwrap_or(""),
+                format!("expected header `{HEADER}`"),
+            ))
+        }
+    }
+
+    let mut db = MetaDb::new();
+    let mut current_oid: Option<OidId> = None;
+    let mut current_link: Option<crate::link::LinkId> = None;
+    for line in lines {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (keyword, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match keyword {
+            "oid" => {
+                let oid: Oid = rest.trim().parse()?;
+                current_oid = Some(db.create_oid(oid)?);
+                current_link = None;
+            }
+            "prop" => {
+                let id = current_oid
+                    .ok_or_else(|| err(line, "prop before any oid".to_string()))?;
+                let (name, value) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| err(line, "prop needs name and value".to_string()))?;
+                let name = unescape(name).map_err(|e| err(line, e))?;
+                let value = decode_value(value).map_err(|e| err(line, e))?;
+                db.set_prop(id, &name, value)?;
+            }
+            "link" => {
+                let words: Vec<&str> = rest.split_whitespace().collect();
+                let [from, to, class, kind, propagates] = words.as_slice() else {
+                    return Err(err(line, "link needs 5 fields".to_string()));
+                };
+                let from_id = db.require(&from.parse()?)?;
+                let to_id = db.require(&to.parse()?)?;
+                let class = match *class {
+                    "use" => LinkClass::Use,
+                    "derive" => LinkClass::Derive,
+                    other => return Err(err(line, format!("unknown link class `{other}`"))),
+                };
+                let kind: LinkKind = unescape(kind)
+                    .map_err(|e| err(line, e))?
+                    .parse()
+                    .expect("LinkKind::from_str is infallible");
+                let events: Vec<String> = if *propagates == "-" {
+                    Vec::new()
+                } else {
+                    propagates
+                        .split(',')
+                        .map(unescape)
+                        .collect::<Result<_, _>>()
+                        .map_err(|e| err(line, e))?
+                };
+                current_link = Some(db.add_link_with(from_id, to_id, class, kind, events)?);
+                current_oid = None;
+            }
+            "lprop" => {
+                let link_id = current_link
+                    .ok_or_else(|| err(line, "lprop before any link".to_string()))?;
+                let (name, value) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| err(line, "lprop needs name and value".to_string()))?;
+                let name = unescape(name).map_err(|e| err(line, e))?;
+                let value = decode_value(value).map_err(|e| err(line, e))?;
+                db.link_mut(link_id)?.props.set(name, value);
+            }
+            other => return Err(err(line, format!("unknown record `{other}`"))),
+        }
+    }
+    Ok(db)
+}
+
+/// Serializes database + workspace payloads (hex-encoded `data` records
+/// appended to the [`save`] image).
+pub fn save_project(db: &MetaDb, workspace: &crate::workspace::Workspace) -> String {
+    let mut out = save(db);
+    let mut data: Vec<(Oid, Vec<u8>)> = workspace
+        .timestamps()
+        .filter_map(|(id, _)| {
+            let oid = db.oid(id).ok()?.clone();
+            let payload = workspace.datum(id)?.content.clone();
+            Some((oid, payload))
+        })
+        .collect();
+    data.sort_by(|a, b| a.0.cmp(&b.0));
+    for (oid, payload) in data {
+        let hex: String = payload.iter().map(|b| format!("{b:02x}")).collect();
+        out.push_str(&format!("data {oid} {hex}\n"));
+    }
+    out
+}
+
+/// Loads database + workspace from a [`save_project`] image.
+///
+/// # Errors
+///
+/// Returns [`MetaError::WireParse`] on any format violation.
+pub fn load_project(image: &str) -> Result<(MetaDb, crate::workspace::Workspace), MetaError> {
+    // `load` ignores nothing, so strip data records first.
+    let db_image: String = image
+        .lines()
+        .filter(|l| !l.starts_with("data "))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let db = load(&db_image)?;
+    let mut workspace = crate::workspace::Workspace::new("restored");
+    for line in image.lines().filter(|l| l.starts_with("data ")) {
+        let err = |reason: &str| MetaError::WireParse {
+            reason: reason.to_string(),
+            input: line.to_string(),
+        };
+        let mut words = line.split_whitespace();
+        let _ = words.next();
+        let oid: Oid = words.next().ok_or_else(|| err("missing OID"))?.parse()?;
+        let hex = words.next().unwrap_or("");
+        if hex.len() % 2 != 0 {
+            return Err(err("odd hex length"));
+        }
+        let payload: Vec<u8> = (0..hex.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&hex[i..i + 2], 16))
+            .collect::<Result<_, _>>()
+            .map_err(|_| err("bad hex payload"))?;
+        let id = db.require(&oid)?;
+        workspace.store(id, payload);
+    }
+    Ok((db, workspace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetaDb {
+        let mut db = MetaDb::new();
+        let a = db.create_oid(Oid::new("cpu", "HDL_model", 1)).unwrap();
+        let b = db.create_oid(Oid::new("cpu", "schematic", 1)).unwrap();
+        db.set_prop(a, "sim_result", Value::Str("4 errors".into()))
+            .unwrap();
+        db.set_prop(a, "uptodate", Value::Bool(true)).unwrap();
+        db.set_prop(b, "version_count", Value::Int(7)).unwrap();
+        let l = db
+            .add_link_with(
+                a,
+                b,
+                LinkClass::Derive,
+                LinkKind::DeriveFrom,
+                ["outofdate", "nl sim"],
+            )
+            .unwrap();
+        db.link_mut(l).unwrap().props.set("weight", Value::Int(3));
+        db
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let db = sample();
+        let image = save(&db);
+        let loaded = load(&image).unwrap();
+        assert_eq!(save(&loaded), image, "save∘load∘save is stable");
+        assert_eq!(loaded.oid_count(), 2);
+        assert_eq!(loaded.link_count(), 1);
+        let a = loaded.resolve(&Oid::new("cpu", "HDL_model", 1)).unwrap();
+        assert_eq!(
+            loaded.get_prop(a, "sim_result").unwrap(),
+            Some(&Value::Str("4 errors".into()))
+        );
+        assert_eq!(
+            loaded.get_prop(a, "uptodate").unwrap(),
+            Some(&Value::Bool(true))
+        );
+        let (_, link) = loaded.iter_links().next().unwrap();
+        assert!(link.allows("outofdate"));
+        assert!(link.allows("nl sim"));
+        assert_eq!(link.props.get("weight"), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn type_fidelity_for_stringly_numbers() {
+        let mut db = MetaDb::new();
+        let a = db.create_oid(Oid::new("b", "v", 1)).unwrap();
+        db.set_prop(a, "s", Value::Str("42".into())).unwrap();
+        db.set_prop(a, "n", Value::Int(42)).unwrap();
+        db.set_prop(a, "t", Value::Str("true".into())).unwrap();
+        let loaded = load(&save(&db)).unwrap();
+        let id = loaded.resolve(&Oid::new("b", "v", 1)).unwrap();
+        assert_eq!(loaded.get_prop(id, "s").unwrap(), Some(&Value::Str("42".into())));
+        assert_eq!(loaded.get_prop(id, "n").unwrap(), Some(&Value::Int(42)));
+        assert_eq!(
+            loaded.get_prop(id, "t").unwrap(),
+            Some(&Value::Str("true".into()))
+        );
+    }
+
+    #[test]
+    fn escaping_survives_hostile_content() {
+        let mut db = MetaDb::new();
+        let a = db.create_oid(Oid::new("b", "v", 1)).unwrap();
+        db.set_prop(a, "msg", Value::Str("line one\nline two % done".into()))
+            .unwrap();
+        let loaded = load(&save(&db)).unwrap();
+        let id = loaded.resolve(&Oid::new("b", "v", 1)).unwrap();
+        assert_eq!(
+            loaded.get_prop(id, "msg").unwrap().unwrap().as_atom(),
+            "line one\nline two % done"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_images() {
+        for bad in [
+            "",
+            "not-a-header",
+            "damocles-db v1\nprop orphan s:x",
+            "damocles-db v1\nlprop orphan s:x",
+            "damocles-db v1\noid b,v,1\nprop broken",
+            "damocles-db v1\noid b,v,1\nprop p q:x",
+            "damocles-db v1\nlink a,v,1 b,v,1 use composition -",
+            "damocles-db v1\nmystery record",
+        ] {
+            assert!(load(bad).is_err(), "should reject: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn project_image_restores_payloads() {
+        let mut db = MetaDb::new();
+        let mut ws = crate::workspace::Workspace::new("w");
+        let (id, oid) = ws
+            .checkin(&mut db, "cpu", "HDL_model", "yves", b"module cpu; \xffraw".to_vec())
+            .unwrap();
+        db.set_prop(id, "uptodate", Value::Bool(true)).unwrap();
+        let image = save_project(&db, &ws);
+        let (db2, ws2) = load_project(&image).unwrap();
+        let id2 = db2.require(&oid).unwrap();
+        assert_eq!(
+            ws2.datum(id2).unwrap().content,
+            b"module cpu; \xffraw".to_vec()
+        );
+        assert_eq!(db2.get_prop(id2, "uptodate").unwrap(), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn empty_db_roundtrips() {
+        let db = MetaDb::new();
+        let loaded = load(&save(&db)).unwrap();
+        assert_eq!(loaded.oid_count(), 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Designer-facing project-state queries.
+//!
+//! "Designers can retrieve the state of the project by performing queries.
+//! Therefore, designers know exactly what data still needs to be modified
+//! before reaching a planned state in the project." — Section 1.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::db::{MetaDb, OidId};
+use crate::error::MetaError;
+use crate::link::Direction;
+use crate::oid::Oid;
+use crate::property::Value;
+
+/// One blocking item returned by [`ProjectQuery::work_remaining`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkItem {
+    /// Address of the blocking object.
+    pub id: OidId,
+    /// Its triplet.
+    pub oid: Oid,
+    /// The state property that is not satisfied (name, current value).
+    pub blocking: (String, Option<Value>),
+}
+
+/// Per-view aggregate returned by [`ProjectQuery::summary`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateSummary {
+    /// The view type.
+    pub view: String,
+    /// Live objects of this view.
+    pub total: usize,
+    /// Objects whose `state_prop` is truthy.
+    pub satisfied: usize,
+    /// Objects lacking the property entirely.
+    pub untracked: usize,
+}
+
+/// Read-only query facade over a [`MetaDb`].
+///
+/// # Example
+///
+/// ```
+/// use damocles_meta::{MetaDb, Oid, ProjectQuery, Value};
+///
+/// # fn main() -> Result<(), damocles_meta::MetaError> {
+/// let mut db = MetaDb::new();
+/// let a = db.create_oid(Oid::new("cpu", "schematic", 1))?;
+/// db.set_prop(a, "uptodate", Value::Bool(false))?;
+/// let stale = ProjectQuery::new(&db).out_of_date("uptodate");
+/// assert_eq!(stale, vec![a]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ProjectQuery<'db> {
+    db: &'db MetaDb,
+}
+
+impl<'db> ProjectQuery<'db> {
+    /// Creates a query facade.
+    pub fn new(db: &'db MetaDb) -> Self {
+        ProjectQuery { db }
+    }
+
+    /// Objects whose `prop` is present and not truthy — the classic
+    /// "what is out of date" query of Section 3.4 (`uptodate == false`).
+    pub fn out_of_date(&self, prop: &str) -> Vec<OidId> {
+        self.where_prop(prop, |v| !v.is_truthy())
+    }
+
+    /// Objects whose `prop` satisfies `pred`, in address order.
+    pub fn where_prop(&self, prop: &str, mut pred: impl FnMut(&Value) -> bool) -> Vec<OidId> {
+        let mut out: Vec<OidId> = self
+            .db
+            .iter_oids()
+            .filter(|(_, e)| e.props.get(prop).is_some_and(&mut pred))
+            .map(|(id, _)| id)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Everything `target` transitively depends on (following links upwards
+    /// from derived object to source), including `target` itself.
+    pub fn dependency_closure(&self, target: OidId) -> Result<Vec<OidId>, MetaError> {
+        self.closure(target, Direction::Up)
+    }
+
+    /// Everything transitively derived from `source` (following links
+    /// downwards), including `source` itself.
+    pub fn derived_closure(&self, source: OidId) -> Result<Vec<OidId>, MetaError> {
+        self.closure(source, Direction::Down)
+    }
+
+    fn closure(&self, start: OidId, dir: Direction) -> Result<Vec<OidId>, MetaError> {
+        self.db.entry(start)?;
+        let mut seen: BTreeSet<OidId> = BTreeSet::new();
+        let mut order = Vec::new();
+        let mut stack = vec![start];
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            order.push(id);
+            for next in self.db.neighbors(id, dir, None)? {
+                stack.push(next);
+            }
+        }
+        Ok(order)
+    }
+
+    /// What still needs to be modified before `target` reaches its planned
+    /// state: every object in `target`'s dependency closure whose
+    /// `state_prop` is missing or not truthy.
+    pub fn work_remaining(
+        &self,
+        target: OidId,
+        state_prop: &str,
+    ) -> Result<Vec<WorkItem>, MetaError> {
+        let mut items = Vec::new();
+        for id in self.dependency_closure(target)? {
+            let entry = self.db.entry(id)?;
+            let value = entry.props.get(state_prop);
+            if value.is_none_or(|v| !v.is_truthy()) {
+                items.push(WorkItem {
+                    id,
+                    oid: entry.oid.clone(),
+                    blocking: (state_prop.to_string(), value.cloned()),
+                });
+            }
+        }
+        Ok(items)
+    }
+
+    /// Per-view aggregate of `state_prop` over all live objects.
+    pub fn summary(&self, state_prop: &str) -> Vec<StateSummary> {
+        let mut per_view: BTreeMap<String, (usize, usize, usize)> = BTreeMap::new();
+        for (_, entry) in self.db.iter_oids() {
+            let slot = per_view.entry(entry.oid.view.to_string()).or_default();
+            slot.0 += 1;
+            match entry.props.get(state_prop) {
+                Some(v) if v.is_truthy() => slot.1 += 1,
+                Some(_) => {}
+                None => slot.2 += 1,
+            }
+        }
+        per_view
+            .into_iter()
+            .map(|(view, (total, satisfied, untracked))| StateSummary {
+                view,
+                total,
+                satisfied,
+                untracked,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{LinkClass, LinkKind};
+
+    /// hdl -> sch -> net, sch -> lay (equivalence), sch uses reg_sch.
+    fn flow_db() -> (MetaDb, BTreeMap<&'static str, OidId>) {
+        let mut db = MetaDb::new();
+        let hdl = db.create_oid(Oid::new("cpu", "HDL_model", 1)).unwrap();
+        let sch = db.create_oid(Oid::new("cpu", "schematic", 1)).unwrap();
+        let reg = db.create_oid(Oid::new("reg", "schematic", 1)).unwrap();
+        let net = db.create_oid(Oid::new("cpu", "netlist", 1)).unwrap();
+        let lay = db.create_oid(Oid::new("cpu", "layout", 1)).unwrap();
+        db.add_link(hdl, sch, LinkClass::Derive, LinkKind::DeriveFrom)
+            .unwrap();
+        db.add_link(sch, reg, LinkClass::Use, LinkKind::Composition)
+            .unwrap();
+        db.add_link(sch, net, LinkClass::Derive, LinkKind::DeriveFrom)
+            .unwrap();
+        db.add_link(sch, lay, LinkClass::Derive, LinkKind::Equivalence)
+            .unwrap();
+        let mut ids = BTreeMap::new();
+        ids.insert("hdl", hdl);
+        ids.insert("sch", sch);
+        ids.insert("reg", reg);
+        ids.insert("net", net);
+        ids.insert("lay", lay);
+        (db, ids)
+    }
+
+    #[test]
+    fn out_of_date_finds_stale_objects() {
+        let (mut db, ids) = flow_db();
+        db.set_prop(ids["sch"], "uptodate", Value::Bool(false)).unwrap();
+        db.set_prop(ids["net"], "uptodate", Value::Bool(true)).unwrap();
+        let q = ProjectQuery::new(&db);
+        assert_eq!(q.out_of_date("uptodate"), vec![ids["sch"]]);
+    }
+
+    #[test]
+    fn dependency_closure_goes_upstream() {
+        let (db, ids) = flow_db();
+        let q = ProjectQuery::new(&db);
+        let deps: BTreeSet<OidId> = q.dependency_closure(ids["net"]).unwrap().into_iter().collect();
+        // netlist depends on schematic which derives from hdl.
+        assert!(deps.contains(&ids["net"]));
+        assert!(deps.contains(&ids["sch"]));
+        assert!(deps.contains(&ids["hdl"]));
+        assert!(!deps.contains(&ids["lay"]));
+    }
+
+    #[test]
+    fn derived_closure_goes_downstream() {
+        let (db, ids) = flow_db();
+        let q = ProjectQuery::new(&db);
+        let derived: BTreeSet<OidId> =
+            q.derived_closure(ids["hdl"]).unwrap().into_iter().collect();
+        assert_eq!(derived.len(), 5, "hdl reaches the whole flow downwards");
+    }
+
+    #[test]
+    fn work_remaining_lists_blockers() {
+        let (mut db, ids) = flow_db();
+        db.set_prop(ids["hdl"], "state", Value::Bool(true)).unwrap();
+        db.set_prop(ids["sch"], "state", Value::Bool(false)).unwrap();
+        // net has no state property at all -> also blocking.
+        let q = ProjectQuery::new(&db);
+        let work = q.work_remaining(ids["net"], "state").unwrap();
+        let blockers: BTreeSet<OidId> = work.iter().map(|w| w.id).collect();
+        assert!(blockers.contains(&ids["sch"]));
+        assert!(blockers.contains(&ids["net"]));
+        assert!(!blockers.contains(&ids["hdl"]));
+        let sch_item = work.iter().find(|w| w.id == ids["sch"]).unwrap();
+        assert_eq!(sch_item.blocking.1, Some(Value::Bool(false)));
+    }
+
+    #[test]
+    fn summary_aggregates_per_view() {
+        let (mut db, ids) = flow_db();
+        db.set_prop(ids["sch"], "state", Value::Bool(true)).unwrap();
+        db.set_prop(ids["reg"], "state", Value::Bool(false)).unwrap();
+        let q = ProjectQuery::new(&db);
+        let summary = q.summary("state");
+        let sch_row = summary.iter().find(|s| s.view == "schematic").unwrap();
+        assert_eq!(sch_row.total, 2);
+        assert_eq!(sch_row.satisfied, 1);
+        assert_eq!(sch_row.untracked, 0);
+        let hdl_row = summary.iter().find(|s| s.view == "HDL_model").unwrap();
+        assert_eq!(hdl_row.untracked, 1);
+    }
+
+    #[test]
+    fn closure_on_stale_handle_errors() {
+        let (mut db, ids) = flow_db();
+        db.delete_oid(ids["hdl"]).unwrap();
+        let q = ProjectQuery::new(&db);
+        assert!(q.dependency_closure(ids["hdl"]).is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! The `postEvent` wire format of Section 3.1.
+//!
+//! "An event message consists of an event name, a propagation direction
+//! (either up or down through the links), a target OID and optional
+//! arguments:
+//!
+//! ```text
+//! postEvent ckin up reg,verilog,4 "logic sim passed"
+//! ```
+//!
+//! Wrapper programs emit these lines over the network; the BluePrint engine
+//! parses them into [`EventMessage`] values and queues them FIFO.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::MetaError;
+use crate::link::Direction;
+use crate::oid::Oid;
+
+/// A parsed design-event message.
+///
+/// # Example
+///
+/// ```
+/// use damocles_meta::{EventMessage, Direction};
+///
+/// let msg: EventMessage = r#"postEvent ckin up reg,verilog,4 "logic sim passed""#.parse()?;
+/// assert_eq!(msg.event, "ckin");
+/// assert_eq!(msg.direction, Direction::Up);
+/// assert_eq!(msg.target.to_string(), "reg,verilog,4");
+/// assert_eq!(msg.args, vec!["logic sim passed"]);
+/// // Round-trips back to the wire form:
+/// assert_eq!(msg.to_string(), r#"postEvent ckin up reg,verilog,4 "logic sim passed""#);
+/// # Ok::<(), damocles_meta::MetaError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventMessage {
+    /// The event name (`ckin`, `hdl_sim`, `outofdate`, …).
+    pub event: String,
+    /// Propagation direction through the links.
+    pub direction: Direction,
+    /// The OID the event is targeted at.
+    pub target: Oid,
+    /// Optional arguments; the first one is what run-time rules see as
+    /// `$arg` (e.g. `"4 errors"` or `"good"`).
+    pub args: Vec<String>,
+}
+
+impl EventMessage {
+    /// Builds an event message.
+    pub fn new(event: impl Into<String>, direction: Direction, target: Oid) -> Self {
+        EventMessage {
+            event: event.into(),
+            direction,
+            target,
+            args: Vec::new(),
+        }
+    }
+
+    /// Adds an argument (builder style).
+    pub fn with_arg(mut self, arg: impl Into<String>) -> Self {
+        self.args.push(arg.into());
+        self
+    }
+
+    /// The first argument, the `$arg` of run-time rules.
+    pub fn arg(&self) -> Option<&str> {
+        self.args.first().map(String::as_str)
+    }
+}
+
+impl fmt::Display for EventMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "postEvent {} {} {}",
+            self.event, self.direction, self.target
+        )?;
+        for arg in &self.args {
+            write!(
+                f,
+                " \"{}\"",
+                arg.replace('\\', "\\\\").replace('"', "\\\"")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for EventMessage {
+    type Err = MetaError;
+
+    fn from_str(line: &str) -> Result<Self, Self::Err> {
+        let parse_err = |reason: &str| MetaError::WireParse {
+            reason: reason.to_string(),
+            input: line.to_string(),
+        };
+        let mut rest = line.trim();
+        if let Some(stripped) = rest.strip_prefix("postEvent") {
+            rest = stripped.trim_start();
+        } else {
+            return Err(parse_err("missing `postEvent` keyword"));
+        }
+        let mut words = rest.splitn(3, char::is_whitespace);
+        let event = words.next().filter(|w| !w.is_empty()).ok_or_else(|| {
+            parse_err("missing event name")
+        })?;
+        let dir_word = words
+            .next()
+            .ok_or_else(|| parse_err("missing direction"))?;
+        let direction: Direction = dir_word
+            .parse()
+            .map_err(|e: String| parse_err(&e))?;
+        let tail = words.next().ok_or_else(|| parse_err("missing target OID"))?;
+        let tail = tail.trim_start();
+        // Target is the first whitespace-delimited word; arguments follow as
+        // a sequence of double-quoted strings.
+        let (target_word, mut arg_tail) = match tail.find(char::is_whitespace) {
+            Some(pos) => (&tail[..pos], tail[pos..].trim_start()),
+            None => (tail, ""),
+        };
+        let target: Oid = target_word.parse()?;
+        let mut args = Vec::new();
+        while !arg_tail.is_empty() {
+            let stripped = arg_tail
+                .strip_prefix('"')
+                .ok_or_else(|| parse_err("arguments must be double-quoted"))?;
+            let mut value = String::new();
+            let mut chars = stripped.char_indices();
+            let mut end = None;
+            while let Some((i, c)) = chars.next() {
+                match c {
+                    '\\' => {
+                        if let Some((_, next)) = chars.next() {
+                            value.push(next);
+                        }
+                    }
+                    '"' => {
+                        end = Some(i);
+                        break;
+                    }
+                    other => value.push(other),
+                }
+            }
+            let end = end.ok_or_else(|| parse_err("unterminated quoted argument"))?;
+            args.push(value);
+            arg_tail = stripped[end + 1..].trim_start();
+        }
+        Ok(EventMessage {
+            event: event.to_string(),
+            direction,
+            target,
+            args,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_example() {
+        let msg: EventMessage = r#"postEvent ckin up reg,verilog,4 "logic sim passed""#
+            .parse()
+            .unwrap();
+        assert_eq!(msg.event, "ckin");
+        assert_eq!(msg.direction, Direction::Up);
+        assert_eq!(msg.target, Oid::new("reg", "verilog", 4));
+        assert_eq!(msg.arg(), Some("logic sim passed"));
+    }
+
+    #[test]
+    fn parses_without_args() {
+        let msg: EventMessage = "postEvent outofdate down cpu,schematic,1".parse().unwrap();
+        assert!(msg.args.is_empty());
+        assert_eq!(msg.arg(), None);
+    }
+
+    #[test]
+    fn parses_multiple_args() {
+        let msg: EventMessage =
+            r#"postEvent lvs up alu,layout,2 "not_equiv" "rerun extraction""#
+                .parse()
+                .unwrap();
+        assert_eq!(msg.args, vec!["not_equiv", "rerun extraction"]);
+    }
+
+    #[test]
+    fn escaped_quotes_roundtrip() {
+        let original = EventMessage::new("note", Direction::Down, Oid::new("a", "v", 1))
+            .with_arg(r#"says "hello""#);
+        let wire = original.to_string();
+        let parsed: EventMessage = wire.parse().unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let original = EventMessage::new("ckin", Direction::Up, Oid::new("reg", "verilog", 4))
+            .with_arg("logic sim passed");
+        let parsed: EventMessage = original.to_string().parse().unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "ckin up reg,verilog,4",              // missing keyword
+            "postEvent",                          // nothing else
+            "postEvent ckin",                     // no direction
+            "postEvent ckin sideways reg,v,1",    // bad direction
+            "postEvent ckin up",                  // no target
+            "postEvent ckin up reg,verilog",      // bad OID
+            r#"postEvent ckin up reg,v,1 "open"#, // unterminated arg
+            "postEvent ckin up reg,v,1 bare",     // unquoted arg
+        ] {
+            assert!(
+                bad.parse::<EventMessage>().is_err(),
+                "should have rejected `{bad}`"
+            );
+        }
+    }
+}

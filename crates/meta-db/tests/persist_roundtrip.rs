@@ -1,0 +1,113 @@
+//! Property test: arbitrary databases survive save/load byte-identically.
+
+use damocles_meta::persist::{load, load_project, save, save_project};
+use damocles_meta::{LinkClass, LinkKind, MetaDb, Oid, Value, Workspace};
+use proptest::prelude::*;
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Hostile strings: whitespace, %, newlines, unicode.
+        "[ -~àß%\\n\\t]{0,20}".prop_map(Value::Str),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct DbSpec {
+    oids: Vec<(u8, u8, u8)>,                   // (block, view, version) indices
+    props: Vec<(usize, String, Value)>,        // (oid slot, name, value)
+    links: Vec<(usize, usize, bool, Vec<String>)>, // (from, to, is_use, events)
+}
+
+fn db_spec() -> impl Strategy<Value = DbSpec> {
+    (
+        proptest::collection::btree_set((0u8..5, 0u8..4, 1u8..5), 1..12),
+        proptest::collection::vec((any::<usize>(), "[a-z_]{1,8}", value()), 0..20),
+        proptest::collection::vec(
+            (
+                any::<usize>(),
+                any::<usize>(),
+                any::<bool>(),
+                proptest::collection::vec("[a-z_]{1,6}", 0..3),
+            ),
+            0..10,
+        ),
+    )
+        .prop_map(|(oids, props, links)| DbSpec {
+            oids: oids.into_iter().collect(),
+            props,
+            links,
+        })
+}
+
+fn build(spec: &DbSpec) -> MetaDb {
+    let mut db = MetaDb::new();
+    let ids: Vec<_> = spec
+        .oids
+        .iter()
+        .map(|(b, v, ver)| {
+            db.create_oid(Oid::new(
+                format!("blk{b}"),
+                format!("view{v}"),
+                u32::from(*ver),
+            ))
+            .unwrap()
+        })
+        .collect();
+    for (slot, name, value) in &spec.props {
+        let id = ids[slot % ids.len()];
+        db.set_prop(id, name, value.clone()).unwrap();
+    }
+    for (from, to, is_use, events) in &spec.links {
+        let f = ids[from % ids.len()];
+        let t = ids[to % ids.len()];
+        if f == t {
+            continue;
+        }
+        let class = if *is_use {
+            LinkClass::Use
+        } else {
+            LinkClass::Derive
+        };
+        db.add_link_with(f, t, class, LinkKind::DeriveFrom, events.clone())
+            .unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn save_load_save_is_identity(spec in db_spec()) {
+        let db = build(&spec);
+        let image = save(&db);
+        let loaded = load(&image).unwrap();
+        prop_assert_eq!(save(&loaded), image);
+        prop_assert_eq!(loaded.oid_count(), db.oid_count());
+        prop_assert_eq!(loaded.link_count(), db.link_count());
+        // Dumps agree too (independent rendering path).
+        prop_assert_eq!(
+            damocles_meta::dump::dump(&loaded),
+            damocles_meta::dump::dump(&db)
+        );
+    }
+
+    #[test]
+    fn project_images_with_payloads_roundtrip(
+        spec in db_spec(),
+        payloads in proptest::collection::vec((any::<usize>(), proptest::collection::vec(any::<u8>(), 0..40)), 0..6),
+    ) {
+        let mut db = build(&spec);
+        let mut ws = Workspace::new("w");
+        let ids: Vec<_> = db.iter_oids().map(|(id, _)| id).collect();
+        for (slot, bytes) in &payloads {
+            ws.store(ids[slot % ids.len()], bytes.clone());
+        }
+        let _ = &mut db;
+        let image = save_project(&db, &ws);
+        let (db2, ws2) = load_project(&image).unwrap();
+        prop_assert_eq!(save_project(&db2, &ws2), image);
+    }
+}

@@ -1,0 +1,247 @@
+//! Property tests on meta-database invariants: arena address stability,
+//! version-chain ordering, link incidence symmetry, wire-format round-trips.
+
+use std::collections::BTreeSet;
+
+use damocles_meta::{
+    Arena, Direction, EventMessage, LinkClass, LinkKind, MetaDb, Oid, Value,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Arena
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum ArenaOp {
+    Insert(u16),
+    RemoveNth(usize),
+    LookupNth(usize),
+}
+
+fn arena_ops() -> impl Strategy<Value = Vec<ArenaOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<u16>().prop_map(ArenaOp::Insert),
+            any::<usize>().prop_map(ArenaOp::RemoveNth),
+            any::<usize>().prop_map(ArenaOp::LookupNth),
+        ],
+        0..120,
+    )
+}
+
+proptest! {
+    /// The arena behaves exactly like a map from issued handles to values:
+    /// live handles resolve to their value, removed handles never resolve,
+    /// and `len` matches the live count.
+    #[test]
+    fn arena_matches_model(ops in arena_ops()) {
+        let mut arena: Arena<u16> = Arena::new();
+        let mut live: Vec<(damocles_meta::ArenaIndex<u16>, u16)> = Vec::new();
+        let mut dead: Vec<damocles_meta::ArenaIndex<u16>> = Vec::new();
+        for op in ops {
+            match op {
+                ArenaOp::Insert(v) => {
+                    let idx = arena.insert(v);
+                    live.push((idx, v));
+                }
+                ArenaOp::RemoveNth(n) => {
+                    if !live.is_empty() {
+                        let (idx, v) = live.remove(n % live.len());
+                        prop_assert_eq!(arena.remove(idx), Some(v));
+                        dead.push(idx);
+                    }
+                }
+                ArenaOp::LookupNth(n) => {
+                    if !live.is_empty() {
+                        let (idx, v) = live[n % live.len()];
+                        prop_assert_eq!(arena.get(idx), Some(&v));
+                    }
+                }
+            }
+            prop_assert_eq!(arena.len(), live.len());
+            for idx in &dead {
+                prop_assert_eq!(arena.get(*idx), None);
+            }
+        }
+        let from_iter: BTreeSet<u16> = arena.iter().map(|(_, v)| *v).collect();
+        let expected: BTreeSet<u16> = live.iter().map(|(_, v)| *v).collect();
+        prop_assert_eq!(from_iter, expected);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Version chains
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Whatever order versions are created in, the chain stays sorted, the
+    /// latest is the max, and predecessors are the next-lower live version.
+    #[test]
+    fn version_chains_stay_sorted(mut versions in proptest::collection::btree_set(1u32..60, 1..12)) {
+        let versions: Vec<u32> = {
+            // Insert in a scrambled (reverse) order.
+            let mut v: Vec<u32> = std::mem::take(&mut versions).into_iter().collect();
+            v.reverse();
+            v
+        };
+        let mut db = MetaDb::new();
+        for &v in &versions {
+            db.create_oid(Oid::new("blk", "view", v)).unwrap();
+        }
+        let mut sorted = versions.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(db.versions("blk", "view"), sorted.clone());
+        let latest = db.latest_version("blk", "view").unwrap();
+        prop_assert_eq!(db.oid(latest).unwrap().version, *sorted.last().unwrap());
+        for window in sorted.windows(2) {
+            let pred = db.predecessor(&Oid::new("blk", "view", window[1])).unwrap();
+            prop_assert_eq!(db.oid(pred).unwrap().version, window[0]);
+        }
+        prop_assert!(db.predecessor(&Oid::new("blk", "view", sorted[0])).is_none());
+    }
+
+    /// Deleting versions keeps every index consistent.
+    #[test]
+    fn deletion_keeps_indices_consistent(
+        n in 2u32..12,
+        delete_mask in proptest::collection::vec(any::<bool>(), 12),
+    ) {
+        let mut db = MetaDb::new();
+        let ids: Vec<_> = (1..=n)
+            .map(|v| db.create_oid(Oid::new("b", "v", v)).unwrap())
+            .collect();
+        let mut kept = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if delete_mask[i] {
+                db.delete_oid(*id).unwrap();
+            } else {
+                kept.push(i as u32 + 1);
+            }
+        }
+        prop_assert_eq!(db.versions("b", "v"), kept.clone());
+        prop_assert_eq!(db.oid_count(), kept.len());
+        match kept.last() {
+            Some(&max) => {
+                let latest = db.latest_version("b", "v").unwrap();
+                prop_assert_eq!(db.oid(latest).unwrap().version, max);
+            }
+            None => prop_assert!(db.latest_version("b", "v").is_none()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Links
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Incidence lists stay symmetric under arbitrary add/remove/move
+    /// sequences: every live link appears in exactly its two endpoints'
+    /// lists.
+    #[test]
+    fn link_incidence_is_symmetric(ops in proptest::collection::vec((0usize..8, 0usize..8, any::<bool>()), 1..40)) {
+        let mut db = MetaDb::new();
+        let ids: Vec<_> = (0..8)
+            .map(|i| db.create_oid(Oid::new(format!("b{i}"), "v", 1)).unwrap())
+            .collect();
+        let mut links = Vec::new();
+        for (a, b, remove) in ops {
+            if remove && !links.is_empty() {
+                let link = links.swap_remove(a % links.len());
+                let _ = db.remove_link(link);
+            } else if a != b {
+                let link = db
+                    .add_link_with(ids[a], ids[b], LinkClass::Derive, LinkKind::DeriveFrom, ["e"])
+                    .unwrap();
+                links.push(link);
+            }
+        }
+        // Symmetry check.
+        for &id in &ids {
+            for link_id in db.entry(id).unwrap().link_ids() {
+                let link = db.link(*link_id).unwrap();
+                prop_assert!(link.from == id || link.to == id);
+            }
+        }
+        for (link_id, link) in db.iter_links() {
+            prop_assert!(db.entry(link.from).unwrap().link_ids().contains(&link_id));
+            prop_assert!(db.entry(link.to).unwrap().link_ids().contains(&link_id));
+        }
+        prop_assert_eq!(db.link_count(), links.len());
+    }
+
+    /// `neighbors` is consistent with raw link traversal.
+    #[test]
+    fn neighbors_matches_manual_traversal(edges in proptest::collection::vec((0usize..6, 0usize..6), 0..15)) {
+        let mut db = MetaDb::new();
+        let ids: Vec<_> = (0..6)
+            .map(|i| db.create_oid(Oid::new(format!("b{i}"), "v", 1)).unwrap())
+            .collect();
+        for (a, b) in edges {
+            if a != b {
+                db.add_link_with(ids[a], ids[b], LinkClass::Use, LinkKind::Composition, ["x"])
+                    .unwrap();
+            }
+        }
+        for &id in &ids {
+            let down: BTreeSet<_> = db.neighbors(id, Direction::Down, Some("x")).unwrap().into_iter().collect();
+            let manual: BTreeSet<_> = db
+                .iter_links()
+                .filter(|(_, l)| l.from == id)
+                .map(|(_, l)| l.to)
+                .collect();
+            prop_assert_eq!(down, manual);
+            let up: BTreeSet<_> = db.neighbors(id, Direction::Up, Some("x")).unwrap().into_iter().collect();
+            let manual_up: BTreeSet<_> = db
+                .iter_links()
+                .filter(|(_, l)| l.to == id)
+                .map(|(_, l)| l.from)
+                .collect();
+            prop_assert_eq!(up, manual_up);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire format & values
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// postEvent lines round-trip for arbitrary event names, targets and
+    /// argument text (including quotes and backslashes).
+    #[test]
+    fn wire_roundtrip(
+        event in "[a-z][a-z0-9_]{0,10}",
+        block in "[A-Za-z][A-Za-z0-9_]{0,6}",
+        view in "[A-Za-z][A-Za-z0-9_]{0,6}",
+        version in 1u32..100,
+        up in any::<bool>(),
+        args in proptest::collection::vec("[ -~]{0,15}", 0..3),
+    ) {
+        let dir = if up { Direction::Up } else { Direction::Down };
+        let mut msg = EventMessage::new(event, dir, Oid::new(block, view, version));
+        for a in args {
+            msg = msg.with_arg(a);
+        }
+        let parsed: EventMessage = msg.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, msg);
+    }
+
+    /// Value atoms round-trip through their canonical string form.
+    #[test]
+    fn value_atom_roundtrip(atom in "[a-zA-Z0-9_ ]{1,20}") {
+        let v = Value::from_atom(&atom);
+        // from_atom(as_atom(v)) is idempotent (canonical form is stable).
+        prop_assert_eq!(Value::from_atom(&v.as_atom()), v);
+    }
+
+    /// loose_eq is reflexive and symmetric.
+    #[test]
+    fn loose_eq_properties(a in "[a-z0-9]{0,6}", b in "[a-z0-9]{0,6}") {
+        let va = Value::from_atom(&a);
+        let vb = Value::from_atom(&b);
+        prop_assert!(va.loose_eq(&va));
+        prop_assert_eq!(va.loose_eq(&vb), vb.loose_eq(&va));
+    }
+}

@@ -1,0 +1,139 @@
+//! Deterministic simulated design data.
+//!
+//! The tracking system treats design data as opaque, but the *tools* need
+//! content with real derivation structure so that equivalence checks mean
+//! something: an LVS run must be able to tell whether a layout was produced
+//! from the current schematic or from a stale one. The scheme:
+//!
+//! * HDL sources are text listing the block, a version marker, optional
+//!   `submodule <name>` lines (consumed by the synthesizer to build the
+//!   schematic hierarchy) and an optional `BUG` marker (failing simulations).
+//! * Every derived artifact embeds `<kind>-of:<fnv64 of input>`, so
+//!   derivation lineage is checkable by recomputation.
+
+/// FNV-1a content hash used for derivation lineage.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Builds an HDL source payload.
+///
+/// `submodules` become `submodule <name>` lines the synthesizer expands into
+/// hierarchy; `buggy` plants the `BUG` marker the simulator detects.
+pub fn hdl_source(block: &str, version: u32, submodules: &[&str], buggy: bool) -> Vec<u8> {
+    let mut text = format!("module {block}; // v{version}\n");
+    for sub in submodules {
+        text.push_str(&format!("submodule {sub}\n"));
+    }
+    if buggy {
+        text.push_str("BUG\n");
+    }
+    text.push_str("endmodule\n");
+    text.into_bytes()
+}
+
+/// Extracts the `submodule` names from an HDL payload.
+pub fn submodules_of(payload: &[u8]) -> Vec<String> {
+    let text = String::from_utf8_lossy(payload);
+    text.lines()
+        .filter_map(|l| l.strip_prefix("submodule "))
+        .map(|s| s.trim().to_string())
+        .collect()
+}
+
+/// Whether the payload carries the simulated bug marker.
+pub fn has_bug(payload: &[u8]) -> bool {
+    payload
+        .windows(3)
+        .any(|w| w == b"BUG")
+}
+
+/// Derives an artifact of `kind` from `input`, embedding the lineage hash.
+pub fn derive(kind: &str, input: &[u8]) -> Vec<u8> {
+    let mut out = format!("{kind}-of:{:016x}\n", content_hash(input)).into_bytes();
+    // Derived data inherits the bug marker: a buggy HDL model produces a
+    // buggy netlist, so netlist simulation fails too.
+    if has_bug(input) {
+        out.extend_from_slice(b"BUG\n");
+    }
+    out
+}
+
+/// Whether `derived` was produced (by [`derive()`]) from exactly `input`.
+pub fn derived_from(kind: &str, derived: &[u8], input: &[u8]) -> bool {
+    let expected = format!("{kind}-of:{:016x}", content_hash(input));
+    String::from_utf8_lossy(derived)
+        .lines()
+        .next()
+        .is_some_and(|first| first == expected)
+}
+
+/// The simulated result message for a payload: `good`, or `N errors` with a
+/// deterministic pseudo-count derived from the content hash.
+pub fn sim_verdict(payload: &[u8]) -> String {
+    if has_bug(payload) {
+        let errors = (content_hash(payload) % 7) + 1;
+        format!("{errors} errors")
+    } else {
+        "good".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hdl_source_lists_submodules() {
+        let src = hdl_source("cpu", 1, &["reg", "alu"], false);
+        assert_eq!(submodules_of(&src), vec!["reg", "alu"]);
+        assert!(!has_bug(&src));
+    }
+
+    #[test]
+    fn bug_marker_detected() {
+        let src = hdl_source("cpu", 2, &[], true);
+        assert!(has_bug(&src));
+        assert!(sim_verdict(&src).ends_with("errors"));
+        let clean = hdl_source("cpu", 3, &[], false);
+        assert_eq!(sim_verdict(&clean), "good");
+    }
+
+    #[test]
+    fn derivation_lineage_checks() {
+        let src = hdl_source("cpu", 1, &[], false);
+        let netlist = derive("netlist", &src);
+        assert!(derived_from("netlist", &netlist, &src));
+        let src2 = hdl_source("cpu", 2, &[], false);
+        assert!(!derived_from("netlist", &netlist, &src2));
+        assert!(!derived_from("layout", &netlist, &src));
+    }
+
+    #[test]
+    fn bugs_propagate_through_derivation() {
+        let buggy = hdl_source("cpu", 1, &[], true);
+        let netlist = derive("netlist", &buggy);
+        assert!(has_bug(&netlist));
+        let layout = derive("layout", &netlist);
+        assert!(has_bug(&layout));
+    }
+
+    #[test]
+    fn hash_is_stable_and_content_sensitive() {
+        let a = hdl_source("cpu", 1, &[], false);
+        assert_eq!(content_hash(&a), content_hash(&a));
+        let b = hdl_source("cpu", 2, &[], false);
+        assert_ne!(content_hash(&a), content_hash(&b));
+    }
+
+    #[test]
+    fn verdict_is_deterministic() {
+        let buggy = hdl_source("x", 1, &[], true);
+        assert_eq!(sim_verdict(&buggy), sim_verdict(&buggy));
+    }
+}

@@ -1,0 +1,130 @@
+//! Seeded fault injection for simulated tools.
+//!
+//! Real design flows fail stochastically — DRC violations, LVS mismatches,
+//! simulator crashes. Workload generators use a [`FaultPlan`] to make
+//! simulated tools fail deterministically-per-seed, so experiments are
+//! reproducible while still exercising failure paths.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic failure plan.
+///
+/// Failure is decided by hashing the `(tool, subject)` pair with the seed, so
+/// the same plan gives the same verdicts regardless of query order.
+///
+/// # Example
+///
+/// ```
+/// use damocles_tools::FaultPlan;
+///
+/// let plan = FaultPlan::new(42, 0.25);
+/// let a = plan.fails("drc", "alu,layout,1");
+/// // Deterministic: same inputs, same verdict.
+/// assert_eq!(a, plan.fails("drc", "alu,layout,1"));
+/// // A plan with rate 0 never fails anything.
+/// assert!(!FaultPlan::never().fails("drc", "alu,layout,1"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    rate: f64,
+}
+
+impl FaultPlan {
+    /// A plan failing roughly `rate` (0.0–1.0) of tool runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not within `0.0..=1.0`.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in 0.0..=1.0");
+        FaultPlan { seed, rate }
+    }
+
+    /// A plan that never injects failures.
+    pub fn never() -> Self {
+        FaultPlan { seed: 0, rate: 0.0 }
+    }
+
+    /// The configured failure rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Whether the run of `tool` on `subject` fails under this plan.
+    pub fn fails(&self, tool: &str, subject: &str) -> bool {
+        if self.rate <= 0.0 {
+            return false;
+        }
+        if self.rate >= 1.0 {
+            return true;
+        }
+        let mut h: u64 = self.seed ^ 0x9e37_79b9_7f4a_7c15;
+        for b in tool.bytes().chain([0u8]).chain(subject.bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut rng = StdRng::seed_from_u64(h);
+        rng.gen_bool(self.rate)
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::never()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_pair() {
+        let plan = FaultPlan::new(7, 0.5);
+        for i in 0..20 {
+            let subject = format!("b{i},layout,1");
+            assert_eq!(plan.fails("drc", &subject), plan.fails("drc", &subject));
+        }
+    }
+
+    #[test]
+    fn rate_zero_and_one() {
+        let never = FaultPlan::new(1, 0.0);
+        let always = FaultPlan::new(1, 1.0);
+        assert!(!never.fails("lvs", "x"));
+        assert!(always.fails("lvs", "x"));
+    }
+
+    #[test]
+    fn rate_is_roughly_respected() {
+        let plan = FaultPlan::new(99, 0.3);
+        let failures = (0..1000)
+            .filter(|i| plan.fails("drc", &format!("blk{i},layout,1")))
+            .count();
+        assert!(
+            (200..400).contains(&failures),
+            "expected ~300 failures, got {failures}"
+        );
+    }
+
+    #[test]
+    fn different_tools_decorrelated() {
+        let plan = FaultPlan::new(5, 0.5);
+        let same = (0..200)
+            .filter(|i| {
+                let s = format!("b{i}");
+                plan.fails("drc", &s) == plan.fails("lvs", &s)
+            })
+            .count();
+        // If correlated, this would be ~200; independent ≈ 100.
+        assert!((60..150).contains(&same), "correlation suspicious: {same}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be")]
+    fn bad_rate_panics() {
+        let _ = FaultPlan::new(0, 1.5);
+    }
+}

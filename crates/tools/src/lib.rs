@@ -1,0 +1,36 @@
+//! # damocles-tools — the simulated EDA tool substrate
+//!
+//! The paper integrates real 1995 EDA tools (netlister, simulators, DRC, LVS,
+//! synthesis) behind *wrapper programs* that (a) query the meta-database for
+//! permission based on input state and (b) post event messages to the
+//! BluePrint (Sections 3.1 and 3.3). Those tools no longer exist; this crate
+//! provides deterministic simulated equivalents that exercise the identical
+//! engine paths:
+//!
+//! * every tool consumes and produces *design-data payloads* through the
+//!   workspace ([`design_data`] defines the deterministic derivation scheme,
+//!   so LVS can really detect a stale layout);
+//! * every tool creates OIDs through the template engine and posts the same
+//!   events the paper's wrappers post (`ckin`, `hdl_sim`, `nl_sim`, `drc`,
+//!   `lvs`);
+//! * failures are injectable ([`FaultPlan`]) for workload realism;
+//! * [`ToolExecutor`] plugs the whole chain into a
+//!   [`blueprint_core::ProjectServer`](blueprint_core::engine::server::ProjectServer),
+//!   implementing the automatic tool invocation of Section 3.3 with per-tool
+//!   permission requirements.
+//!
+//! See `examples/automated_flow.rs` at the workspace root for the end-to-end
+//! loop: one `checkin` of an HDL model drives synthesis, netlisting,
+//! simulation, layout, DRC and LVS entirely through blueprint rules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod design_data;
+pub mod fault;
+pub mod tool;
+pub mod tools;
+
+pub use fault::FaultPlan;
+pub use tool::{Requirement, Tool, ToolExecutor, ToolRun};
+pub use tools::{Drc, LayoutGen, Lvs, Netlister, Simulator, Synthesizer};

@@ -1,0 +1,458 @@
+//! The [`Tool`] trait, per-tool permission requirements, and the
+//! [`ToolExecutor`] that plugs a simulated tool chain into a project server.
+//!
+//! "Tool scheduling is implemented by the wrapper programs. The program
+//! queries the meta-database, requesting the permission to access data and to
+//! run the tool. The permission is given based on the state of the input
+//! data." — Section 3.3.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use blueprint_core::engine::exec::{ScriptExecutor, ScriptInvocation, ToolCtx};
+use damocles_meta::{EventMessage, MetaError, Oid, OidId};
+
+/// A simulated EDA tool invoked through wrapper scripts.
+pub trait Tool: Send {
+    /// The script name rules use (`exec netlister "$oid"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs the tool. `args` are the interpolated script arguments; by
+    /// convention `args[0]` is the input OID. Returns the event messages the
+    /// wrapper posts back to the BluePrint.
+    ///
+    /// # Errors
+    ///
+    /// Database errors (stale/unknown OIDs) abort the run; the executor
+    /// records the failure and continues, as a crashed wrapper would not
+    /// take the project server down.
+    fn run(
+        &mut self,
+        ctx: &mut ToolCtx<'_>,
+        args: &[String],
+    ) -> Result<Vec<EventMessage>, MetaError>;
+}
+
+/// A permission requirement checked before a tool runs: the named property
+/// on the input OID (args\[0\]) must be truthy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Requirement {
+    /// Property that must be truthy on the input OID.
+    pub prop: String,
+}
+
+impl Requirement {
+    /// Requires `prop` to be truthy on the input.
+    pub fn prop(prop: impl Into<String>) -> Self {
+        Requirement { prop: prop.into() }
+    }
+}
+
+/// How one dispatched invocation ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The tool ran; this many messages were posted back.
+    Completed {
+        /// Number of event messages returned.
+        messages: usize,
+    },
+    /// Permission denied by a [`Requirement`].
+    Denied {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The tool itself failed.
+    Failed {
+        /// Rendered error.
+        error: String,
+    },
+    /// No tool is registered under the script name.
+    UnknownScript,
+    /// The invocation was a `notify`; the message was recorded.
+    Notification,
+}
+
+impl fmt::Display for RunStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunStatus::Completed { messages } => write!(f, "completed ({messages} messages)"),
+            RunStatus::Denied { reason } => write!(f, "denied: {reason}"),
+            RunStatus::Failed { error } => write!(f, "failed: {error}"),
+            RunStatus::UnknownScript => f.write_str("unknown script"),
+            RunStatus::Notification => f.write_str("notification"),
+        }
+    }
+}
+
+/// A log entry for one dispatched invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ToolRun {
+    /// Script name.
+    pub script: String,
+    /// Arguments.
+    pub args: Vec<String>,
+    /// Outcome.
+    pub status: RunStatus,
+}
+
+/// Dispatches `exec` invocations to registered [`Tool`]s, enforcing
+/// permission requirements and keeping a run log.
+#[derive(Default)]
+pub struct ToolExecutor {
+    tools: BTreeMap<String, Box<dyn Tool>>,
+    requirements: BTreeMap<String, Vec<Requirement>>,
+    runs: Vec<ToolRun>,
+    notifications: Vec<String>,
+}
+
+impl fmt::Debug for ToolExecutor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ToolExecutor")
+            .field("tools", &self.tools.keys().collect::<Vec<_>>())
+            .field("runs", &self.runs.len())
+            .field("notifications", &self.notifications.len())
+            .finish()
+    }
+}
+
+impl ToolExecutor {
+    /// An executor with no tools registered.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The standard simulated tool chain of the EDTC flow: synthesizer,
+    /// netlister, simulator, layout generator, DRC and LVS, with the
+    /// Section 3.3 permission rule (simulation requires an up-to-date
+    /// input).
+    pub fn standard(fault: crate::FaultPlan) -> Self {
+        let mut ex = Self::new();
+        ex.register(Box::new(crate::Synthesizer::new()));
+        ex.register(Box::new(crate::Netlister::new()));
+        ex.register(Box::new(crate::Simulator::new(fault)));
+        ex.register(Box::new(crate::LayoutGen::new()));
+        ex.register(Box::new(crate::Drc::new(fault)));
+        ex.register(Box::new(crate::Lvs::new(fault)));
+        ex.require("simulator", Requirement::prop("uptodate"));
+        ex
+    }
+
+    /// Registers a tool under its own name.
+    pub fn register(&mut self, tool: Box<dyn Tool>) -> &mut Self {
+        self.tools.insert(tool.name().to_string(), tool);
+        self
+    }
+
+    /// Adds a permission requirement for `script`.
+    pub fn require(&mut self, script: impl Into<String>, req: Requirement) -> &mut Self {
+        self.requirements.entry(script.into()).or_default().push(req);
+        self
+    }
+
+    /// The run log.
+    pub fn runs(&self) -> &[ToolRun] {
+        &self.runs
+    }
+
+    /// Runs of one script.
+    pub fn runs_of(&self, script: &str) -> Vec<&ToolRun> {
+        self.runs.iter().filter(|r| r.script == script).collect()
+    }
+
+    /// Recorded `notify` messages, in order.
+    pub fn notifications(&self) -> &[String] {
+        &self.notifications
+    }
+
+    /// Clears the run log and notifications.
+    pub fn reset_log(&mut self) {
+        self.runs.clear();
+        self.notifications.clear();
+    }
+
+    fn check_permission(
+        &self,
+        ctx: &ToolCtx<'_>,
+        script: &str,
+        args: &[String],
+    ) -> Result<(), String> {
+        let Some(reqs) = self.requirements.get(script) else {
+            return Ok(());
+        };
+        if reqs.is_empty() {
+            return Ok(());
+        }
+        let Some(first) = args.first() else {
+            return Err("no input OID argument".to_string());
+        };
+        let oid: Oid = first
+            .parse()
+            .map_err(|e: MetaError| format!("bad input OID: {e}"))?;
+        let id = ctx
+            .db
+            .resolve(&oid)
+            .ok_or_else(|| format!("input {oid} does not exist"))?;
+        for req in reqs {
+            let ok = ctx
+                .db
+                .get_prop(id, &req.prop)
+                .ok()
+                .flatten()
+                .is_some_and(damocles_meta::Value::is_truthy);
+            if !ok {
+                return Err(format!("input {oid} fails requirement `{}`", req.prop));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ScriptExecutor for ToolExecutor {
+    fn execute(
+        &mut self,
+        invocation: &ScriptInvocation,
+        ctx: &mut ToolCtx<'_>,
+    ) -> Vec<EventMessage> {
+        if invocation.notify {
+            self.notifications.push(invocation.args.join(" "));
+            self.runs.push(ToolRun {
+                script: invocation.script.clone(),
+                args: invocation.args.clone(),
+                status: RunStatus::Notification,
+            });
+            return Vec::new();
+        }
+        if let Err(reason) = self.check_permission(ctx, &invocation.script, &invocation.args) {
+            self.runs.push(ToolRun {
+                script: invocation.script.clone(),
+                args: invocation.args.clone(),
+                status: RunStatus::Denied { reason },
+            });
+            return Vec::new();
+        }
+        let Some(tool) = self.tools.get_mut(&invocation.script) else {
+            self.runs.push(ToolRun {
+                script: invocation.script.clone(),
+                args: invocation.args.clone(),
+                status: RunStatus::UnknownScript,
+            });
+            return Vec::new();
+        };
+        match tool.run(ctx, &invocation.args) {
+            Ok(messages) => {
+                self.runs.push(ToolRun {
+                    script: invocation.script.clone(),
+                    args: invocation.args.clone(),
+                    status: RunStatus::Completed {
+                        messages: messages.len(),
+                    },
+                });
+                messages
+            }
+            Err(e) => {
+                self.runs.push(ToolRun {
+                    script: invocation.script.clone(),
+                    args: invocation.args.clone(),
+                    status: RunStatus::Failed {
+                        error: e.to_string(),
+                    },
+                });
+                Vec::new()
+            }
+        }
+    }
+}
+
+/// The input OID argument of a tool run (`args[0]`), resolved.
+///
+/// # Errors
+///
+/// Fails when the argument is missing, malformed, or unknown.
+pub(crate) fn input_oid(ctx: &ToolCtx<'_>, args: &[String]) -> Result<(OidId, Oid), MetaError> {
+    let first = args.first().ok_or_else(|| MetaError::OidParse {
+        reason: "tool invoked without an input OID argument".to_string(),
+        input: String::new(),
+    })?;
+    let oid: Oid = first.parse()?;
+    let id = ctx.db.require(&oid)?;
+    Ok((id, oid))
+}
+
+/// The stored payload of `id`, or a deterministic placeholder when the
+/// workspace has none (objects created outside the workspace).
+pub(crate) fn payload_of(ctx: &ToolCtx<'_>, id: OidId, oid: &Oid) -> Vec<u8> {
+    ctx.workspace
+        .datum(id)
+        .map(|d| d.content.clone())
+        .unwrap_or_else(|| format!("placeholder:{oid}").into_bytes())
+}
+
+/// Connects `from` to `to` unless a link between them already exists (the
+/// template engine may have moved one over from a previous version).
+pub(crate) fn ensure_connected(
+    ctx: &mut ToolCtx<'_>,
+    from: OidId,
+    to: OidId,
+) -> Result<(), MetaError> {
+    let already = ctx
+        .db
+        .links_of(from)?
+        .iter()
+        .any(|(_, link)| link.other_end(from) == Some(to));
+    if !already {
+        ctx.connect(from, to)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_core::engine::audit::AuditLog;
+    use blueprint_core::lang::parser::parse;
+    use damocles_meta::{Direction, MetaDb, Value, Workspace};
+
+    struct Echo;
+    impl Tool for Echo {
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+        fn run(
+            &mut self,
+            ctx: &mut ToolCtx<'_>,
+            args: &[String],
+        ) -> Result<Vec<EventMessage>, MetaError> {
+            let (_, oid) = input_oid(ctx, args)?;
+            Ok(vec![EventMessage::new("echoed", Direction::Down, oid)])
+        }
+    }
+
+    fn harness() -> (MetaDb, Workspace, blueprint_core::Blueprint, AuditLog) {
+        let bp = parse("blueprint t view v endview endblueprint").unwrap();
+        (
+            MetaDb::new(),
+            Workspace::new("w"),
+            bp,
+            AuditLog::counters_only(),
+        )
+    }
+
+    fn invocation(script: &str, args: Vec<String>) -> ScriptInvocation {
+        ScriptInvocation {
+            script: script.into(),
+            args,
+            notify: false,
+            origin: "b,v,1".into(),
+            event: "ckin".into(),
+        }
+    }
+
+    #[test]
+    fn dispatches_to_registered_tool() {
+        let (mut db, mut ws, bp, mut audit) = harness();
+        db.create_oid(Oid::new("b", "v", 1)).unwrap();
+        let mut ex = ToolExecutor::new();
+        ex.register(Box::new(Echo));
+        let mut ctx = ToolCtx {
+            db: &mut db,
+            workspace: &mut ws,
+            blueprint: &bp,
+            audit: &mut audit,
+        };
+        let msgs = ex.execute(&invocation("echo", vec!["b,v,1".into()]), &mut ctx);
+        assert_eq!(msgs.len(), 1);
+        assert!(matches!(
+            ex.runs()[0].status,
+            RunStatus::Completed { messages: 1 }
+        ));
+    }
+
+    #[test]
+    fn unknown_script_is_recorded_not_fatal() {
+        let (mut db, mut ws, bp, mut audit) = harness();
+        let mut ex = ToolExecutor::new();
+        let mut ctx = ToolCtx {
+            db: &mut db,
+            workspace: &mut ws,
+            blueprint: &bp,
+            audit: &mut audit,
+        };
+        let msgs = ex.execute(&invocation("ghost.sh", vec![]), &mut ctx);
+        assert!(msgs.is_empty());
+        assert_eq!(ex.runs()[0].status, RunStatus::UnknownScript);
+    }
+
+    #[test]
+    fn permission_denied_when_input_stale() {
+        let (mut db, mut ws, bp, mut audit) = harness();
+        let id = db.create_oid(Oid::new("b", "v", 1)).unwrap();
+        db.set_prop(id, "uptodate", Value::Bool(false)).unwrap();
+        let mut ex = ToolExecutor::new();
+        ex.register(Box::new(Echo));
+        ex.require("echo", Requirement::prop("uptodate"));
+        let mut ctx = ToolCtx {
+            db: &mut db,
+            workspace: &mut ws,
+            blueprint: &bp,
+            audit: &mut audit,
+        };
+        let msgs = ex.execute(&invocation("echo", vec!["b,v,1".into()]), &mut ctx);
+        assert!(msgs.is_empty());
+        assert!(matches!(ex.runs()[0].status, RunStatus::Denied { .. }));
+
+        // Once the input is up to date, the tool runs.
+        ctx.db.set_prop(id, "uptodate", Value::Bool(true)).unwrap();
+        let msgs = ex.execute(&invocation("echo", vec!["b,v,1".into()]), &mut ctx);
+        assert_eq!(msgs.len(), 1);
+    }
+
+    #[test]
+    fn tool_failure_is_contained() {
+        let (mut db, mut ws, bp, mut audit) = harness();
+        let mut ex = ToolExecutor::new();
+        ex.register(Box::new(Echo));
+        let mut ctx = ToolCtx {
+            db: &mut db,
+            workspace: &mut ws,
+            blueprint: &bp,
+            audit: &mut audit,
+        };
+        // echo on a nonexistent OID fails inside the tool.
+        let msgs = ex.execute(&invocation("echo", vec!["ghost,v,9".into()]), &mut ctx);
+        assert!(msgs.is_empty());
+        assert!(matches!(ex.runs()[0].status, RunStatus::Failed { .. }));
+    }
+
+    #[test]
+    fn notifications_are_recorded() {
+        let (mut db, mut ws, bp, mut audit) = harness();
+        let mut ex = ToolExecutor::new();
+        let mut ctx = ToolCtx {
+            db: &mut db,
+            workspace: &mut ws,
+            blueprint: &bp,
+            audit: &mut audit,
+        };
+        let mut inv = invocation("notify", vec!["yves: modified".into()]);
+        inv.notify = true;
+        ex.execute(&inv, &mut ctx);
+        assert_eq!(ex.notifications(), &["yves: modified".to_string()]);
+        assert_eq!(ex.runs()[0].status, RunStatus::Notification);
+    }
+
+    #[test]
+    fn ensure_connected_is_idempotent() {
+        let (mut db, mut ws, bp, mut audit) = harness();
+        let a = db.create_oid(Oid::new("a", "v", 1)).unwrap();
+        let b = db.create_oid(Oid::new("b", "v", 1)).unwrap();
+        let mut ctx = ToolCtx {
+            db: &mut db,
+            workspace: &mut ws,
+            blueprint: &bp,
+            audit: &mut audit,
+        };
+        ensure_connected(&mut ctx, a, b).unwrap();
+        ensure_connected(&mut ctx, a, b).unwrap();
+        assert_eq!(ctx.db.link_count(), 1);
+    }
+}

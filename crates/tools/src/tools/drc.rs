@@ -1,0 +1,79 @@
+//! Design-rule check: layout → `drc` verdict event.
+
+use blueprint_core::engine::exec::ToolCtx;
+use damocles_meta::{Direction, EventMessage, MetaError};
+
+use crate::tool::{input_oid, Tool};
+use crate::FaultPlan;
+
+/// Simulated DRC.
+///
+/// Geometry is not modelled; violations come from the fault plan, which is
+/// exactly the role DRC failures play in the tracking experiments — an
+/// externally decided verdict the BluePrint must record and propagate.
+#[derive(Debug, Clone, Copy)]
+pub struct Drc {
+    fault: FaultPlan,
+}
+
+impl Drc {
+    /// A DRC with fault injection.
+    pub fn new(fault: FaultPlan) -> Self {
+        Drc { fault }
+    }
+}
+
+impl Tool for Drc {
+    fn name(&self) -> &'static str {
+        "drc"
+    }
+
+    /// Posts `drc <verdict>` targeted at the input layout.
+    fn run(
+        &mut self,
+        ctx: &mut ToolCtx<'_>,
+        args: &[String],
+    ) -> Result<Vec<EventMessage>, MetaError> {
+        let (_, oid) = input_oid(ctx, args)?;
+        let verdict = if self.fault.fails("drc", &oid.to_string()) {
+            "bad"
+        } else {
+            "good"
+        };
+        Ok(vec![
+            EventMessage::new("drc", Direction::Up, oid).with_arg(verdict)
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_core::engine::audit::AuditLog;
+    use blueprint_core::lang::parser::parse;
+    use damocles_meta::{MetaDb, Oid, Workspace};
+
+    #[test]
+    fn verdicts_follow_fault_plan() {
+        let bp = parse("blueprint t view layout endview endblueprint").unwrap();
+        let mut db = MetaDb::new();
+        let mut ws = Workspace::new("w");
+        let mut audit = AuditLog::counters_only();
+        db.create_oid(Oid::new("alu", "layout", 1)).unwrap();
+        let mut ctx = ToolCtx {
+            db: &mut db,
+            workspace: &mut ws,
+            blueprint: &bp,
+            audit: &mut audit,
+        };
+        let msgs = Drc::new(FaultPlan::never())
+            .run(&mut ctx, &["alu,layout,1".into()])
+            .unwrap();
+        assert_eq!(msgs[0].event, "drc");
+        assert_eq!(msgs[0].arg(), Some("good"));
+        let msgs = Drc::new(FaultPlan::new(0, 1.0))
+            .run(&mut ctx, &["alu,layout,1".into()])
+            .unwrap();
+        assert_eq!(msgs[0].arg(), Some("bad"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Layout-versus-schematic: a real equivalence check over simulated data.
+//!
+//! Unlike DRC, the LVS verdict is computed, not injected: the layout payload
+//! embeds the content hash of the schematic it was derived from
+//! ([`crate::design_data::derive`]), so LVS can detect a layout that lags its
+//! schematic — the exact staleness the Fig. 5 equivalence link models.
+
+use blueprint_core::engine::exec::ToolCtx;
+use damocles_meta::{Direction, EventMessage, LinkClass, MetaError, OidId};
+
+use crate::design_data;
+use crate::tool::{input_oid, payload_of, Tool};
+use crate::FaultPlan;
+
+/// Simulated LVS.
+#[derive(Debug, Clone, Copy)]
+pub struct Lvs {
+    fault: FaultPlan,
+}
+
+impl Lvs {
+    /// An LVS with fault injection (a fault forces `not_equiv`).
+    pub fn new(fault: FaultPlan) -> Self {
+        Lvs { fault }
+    }
+
+    /// The schematic OID the layout is linked to, if any.
+    fn linked_schematic(ctx: &ToolCtx<'_>, layout: OidId) -> Result<Option<OidId>, MetaError> {
+        for (_, link) in ctx.db.links_of(layout)? {
+            if link.class != LinkClass::Derive {
+                continue;
+            }
+            let other = match link.other_end(layout) {
+                Some(o) => o,
+                None => continue,
+            };
+            if ctx.db.oid(other)?.view.as_str() == "schematic" {
+                return Ok(Some(other));
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl Tool for Lvs {
+    fn name(&self) -> &'static str {
+        "lvs"
+    }
+
+    /// Posts `lvs <verdict>` targeted at the input layout, direction `up` so
+    /// the verdict also crosses the equivalence link back to the schematic
+    /// side when the blueprint propagates `lvs`.
+    fn run(
+        &mut self,
+        ctx: &mut ToolCtx<'_>,
+        args: &[String],
+    ) -> Result<Vec<EventMessage>, MetaError> {
+        let (lay_id, lay_oid) = input_oid(ctx, args)?;
+        let verdict = if self.fault.fails("lvs", &lay_oid.to_string()) {
+            "not_equiv".to_string()
+        } else {
+            match Self::linked_schematic(ctx, lay_id)? {
+                Some(sch_id) => {
+                    let sch_oid = ctx.db.oid(sch_id)?.clone();
+                    let layout = payload_of(ctx, lay_id, &lay_oid);
+                    let schematic = payload_of(ctx, sch_id, &sch_oid);
+                    if design_data::derived_from("layout", &layout, &schematic) {
+                        "is_equiv".to_string()
+                    } else {
+                        "not_equiv".to_string()
+                    }
+                }
+                None => "not_equiv".to_string(),
+            }
+        };
+        Ok(vec![
+            EventMessage::new("lvs", Direction::Up, lay_oid).with_arg(verdict)
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tools::LayoutGen;
+    use blueprint_core::engine::audit::AuditLog;
+    use blueprint_core::lang::parser::parse;
+    use damocles_meta::{MetaDb, Oid, Workspace};
+
+    const BP: &str = r#"blueprint t
+        view schematic endview
+        view layout
+            link_from schematic propagates lvs, outofdate type equivalence
+        endview
+    endblueprint"#;
+
+    fn setup() -> (MetaDb, Workspace, blueprint_core::Blueprint, AuditLog) {
+        (
+            MetaDb::new(),
+            Workspace::new("w"),
+            parse(BP).unwrap(),
+            AuditLog::counters_only(),
+        )
+    }
+
+    #[test]
+    fn fresh_layout_is_equivalent() {
+        let (mut db, mut ws, bp, mut audit) = setup();
+        let (_, sch_oid) = ws
+            .checkin(&mut db, "alu", "schematic", "yves", b"sch-v1".to_vec())
+            .unwrap();
+        let mut ctx = ToolCtx {
+            db: &mut db,
+            workspace: &mut ws,
+            blueprint: &bp,
+            audit: &mut audit,
+        };
+        LayoutGen::new().run(&mut ctx, &[sch_oid.to_string()]).unwrap();
+        let msgs = Lvs::new(FaultPlan::never())
+            .run(&mut ctx, &["alu,layout,1".into()])
+            .unwrap();
+        assert_eq!(msgs[0].arg(), Some("is_equiv"));
+    }
+
+    #[test]
+    fn stale_layout_is_detected() {
+        let (mut db, mut ws, bp, mut audit) = setup();
+        let (sch_id, sch_oid) = ws
+            .checkin(&mut db, "alu", "schematic", "yves", b"sch-v1".to_vec())
+            .unwrap();
+        let mut ctx = ToolCtx {
+            db: &mut db,
+            workspace: &mut ws,
+            blueprint: &bp,
+            audit: &mut audit,
+        };
+        LayoutGen::new().run(&mut ctx, &[sch_oid.to_string()]).unwrap();
+        // The schematic changes in place (same OID, new payload): the layout
+        // now lags it.
+        ctx.workspace.store(sch_id, b"sch-v1-edited".to_vec());
+        let msgs = Lvs::new(FaultPlan::never())
+            .run(&mut ctx, &["alu,layout,1".into()])
+            .unwrap();
+        assert_eq!(msgs[0].arg(), Some("not_equiv"));
+    }
+
+    #[test]
+    fn unlinked_layout_is_not_equiv() {
+        let (mut db, mut ws, bp, mut audit) = setup();
+        db.create_oid(Oid::new("alu", "layout", 1)).unwrap();
+        let mut ctx = ToolCtx {
+            db: &mut db,
+            workspace: &mut ws,
+            blueprint: &bp,
+            audit: &mut audit,
+        };
+        let msgs = Lvs::new(FaultPlan::never())
+            .run(&mut ctx, &["alu,layout,1".into()])
+            .unwrap();
+        assert_eq!(msgs[0].arg(), Some("not_equiv"));
+    }
+
+    #[test]
+    fn fault_forces_not_equiv() {
+        let (mut db, mut ws, bp, mut audit) = setup();
+        let (_, sch_oid) = ws
+            .checkin(&mut db, "alu", "schematic", "yves", b"sch-v1".to_vec())
+            .unwrap();
+        let mut ctx = ToolCtx {
+            db: &mut db,
+            workspace: &mut ws,
+            blueprint: &bp,
+            audit: &mut audit,
+        };
+        LayoutGen::new().run(&mut ctx, &[sch_oid.to_string()]).unwrap();
+        let msgs = Lvs::new(FaultPlan::new(0, 1.0))
+            .run(&mut ctx, &["alu,layout,1".into()])
+            .unwrap();
+        assert_eq!(msgs[0].arg(), Some("not_equiv"));
+    }
+}

@@ -1,0 +1,16 @@
+//! The simulated EDA tools of the sample design flow (Fig. 4): synthesis,
+//! schematic generation, netlisting, simulation, layout, DRC and LVS.
+
+mod drc;
+mod layout;
+mod lvs;
+mod netlister;
+mod simulator;
+mod synthesis;
+
+pub use drc::Drc;
+pub use layout::LayoutGen;
+pub use lvs::Lvs;
+pub use netlister::Netlister;
+pub use simulator::Simulator;
+pub use synthesis::Synthesizer;

@@ -1,0 +1,143 @@
+//! The netlister: schematic → netlist.
+//!
+//! "Let's take an example where the netlister has to be invoked every time a
+//! new version of schematic is promoted (checked in) to the project
+//! workspace. The run-time rule would be `when ckin do exec netlister.sh
+//! "$OID" done`" — Section 3.3. In the Section 3.4 walkthrough this is how
+//! `<CPU.netlist.1>` comes to exist.
+
+use blueprint_core::engine::exec::ToolCtx;
+use damocles_meta::{Direction, EventMessage, MetaError};
+
+use crate::design_data;
+use crate::tool::{ensure_connected, input_oid, payload_of, Tool};
+
+/// Simulated netlister.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Netlister {
+    _private: (),
+}
+
+impl Netlister {
+    /// Creates a netlister.
+    pub fn new() -> Self {
+        Netlister::default()
+    }
+}
+
+impl Tool for Netlister {
+    fn name(&self) -> &'static str {
+        "netlister"
+    }
+
+    /// Derives a netlist payload from the input schematic, creates the next
+    /// `(block, netlist)` version, links it to the schematic, and posts
+    /// `ckin` for the new netlist so the BluePrint tracks it.
+    fn run(
+        &mut self,
+        ctx: &mut ToolCtx<'_>,
+        args: &[String],
+    ) -> Result<Vec<EventMessage>, MetaError> {
+        let (sch_id, sch_oid) = input_oid(ctx, args)?;
+        let schematic = payload_of(ctx, sch_id, &sch_oid);
+        let netlist = design_data::derive("netlist", &schematic);
+        let (net_id, net_oid) = ctx.create_versioned(
+            sch_oid.block.as_str(),
+            "netlist",
+            "netlister",
+            netlist,
+        )?;
+        ensure_connected(ctx, sch_id, net_id)?;
+        Ok(vec![EventMessage::new("ckin", Direction::Up, net_oid)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_core::engine::audit::AuditLog;
+    use blueprint_core::lang::parser::parse;
+    use damocles_meta::{MetaDb, Oid, Workspace};
+
+    const BP: &str = r#"blueprint t
+        view schematic endview
+        view netlist
+            link_from schematic propagates nl_sim, outofdate type derived
+        endview
+    endblueprint"#;
+
+    #[test]
+    fn creates_linked_netlist_and_posts_ckin() {
+        let bp = parse(BP).unwrap();
+        let mut db = MetaDb::new();
+        let mut ws = Workspace::new("w");
+        let mut audit = AuditLog::counters_only();
+        let (sch_id, sch_oid) = ws
+            .checkin(&mut db, "cpu", "schematic", "yves", b"sch-v1".to_vec())
+            .unwrap();
+        let mut ctx = ToolCtx {
+            db: &mut db,
+            workspace: &mut ws,
+            blueprint: &bp,
+            audit: &mut audit,
+        };
+        let mut tool = Netlister::new();
+        let msgs = tool.run(&mut ctx, &[sch_oid.to_string()]).unwrap();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].event, "ckin");
+        assert_eq!(msgs[0].target, Oid::new("cpu", "netlist", 1));
+
+        let net_id = ctx.db.require(&Oid::new("cpu", "netlist", 1)).unwrap();
+        // Linked with the template's PROPAGATE set.
+        let neighbors = ctx
+            .db
+            .neighbors(sch_id, Direction::Down, Some("outofdate"))
+            .unwrap();
+        assert_eq!(neighbors, vec![net_id]);
+        // Payload is derived from the schematic content.
+        let sch_payload = ctx.workspace.datum(sch_id).unwrap().content.clone();
+        let net_payload = ctx.workspace.datum(net_id).unwrap().content.clone();
+        assert!(design_data::derived_from("netlist", &net_payload, &sch_payload));
+    }
+
+    #[test]
+    fn reruns_create_new_versions_without_duplicate_links() {
+        let bp = parse(BP).unwrap();
+        let mut db = MetaDb::new();
+        let mut ws = Workspace::new("w");
+        let mut audit = AuditLog::counters_only();
+        let (_, sch_oid) = ws
+            .checkin(&mut db, "cpu", "schematic", "yves", b"sch-v1".to_vec())
+            .unwrap();
+        let mut ctx = ToolCtx {
+            db: &mut db,
+            workspace: &mut ws,
+            blueprint: &bp,
+            audit: &mut audit,
+        };
+        let mut tool = Netlister::new();
+        tool.run(&mut ctx, &[sch_oid.to_string()]).unwrap();
+        tool.run(&mut ctx, &[sch_oid.to_string()]).unwrap();
+        assert_eq!(ctx.db.versions("cpu", "netlist"), vec![1, 2]);
+        // The template has no `move` on this link, so v1 keeps its link and
+        // v2 got a fresh one: exactly two links total.
+        assert_eq!(ctx.db.link_count(), 2);
+    }
+
+    #[test]
+    fn missing_input_fails() {
+        let bp = parse(BP).unwrap();
+        let mut db = MetaDb::new();
+        let mut ws = Workspace::new("w");
+        let mut audit = AuditLog::counters_only();
+        let mut ctx = ToolCtx {
+            db: &mut db,
+            workspace: &mut ws,
+            blueprint: &bp,
+            audit: &mut audit,
+        };
+        let mut tool = Netlister::new();
+        assert!(tool.run(&mut ctx, &[]).is_err());
+        assert!(tool.run(&mut ctx, &["ghost,schematic,1".into()]).is_err());
+    }
+}

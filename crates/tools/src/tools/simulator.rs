@@ -1,0 +1,167 @@
+//! The simulator: HDL models and netlists → pass/fail verdicts.
+//!
+//! The Section 3.4 walkthrough: "They then simulate the model and get a
+//! negative result … They run the simulation again and this time get a
+//! 'good' result." The wrapper posts the designer's interpretation as an
+//! event (`hdl_sim` / `nl_sim`) with the verdict as `$arg` — the simulation
+//! *output* itself is deliberately not tracked ("the views for the output of
+//! simulations were deliberately left out and replaced by event messages").
+
+use blueprint_core::engine::exec::ToolCtx;
+use damocles_meta::{Direction, EventMessage, MetaError};
+
+use crate::design_data;
+use crate::tool::{input_oid, payload_of, Tool};
+use crate::FaultPlan;
+
+/// Simulated HDL/netlist simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct Simulator {
+    fault: FaultPlan,
+}
+
+impl Simulator {
+    /// A simulator with fault injection.
+    pub fn new(fault: FaultPlan) -> Self {
+        Simulator { fault }
+    }
+
+    /// The event name for a given input view, following the paper's naming:
+    /// `HDL_model → hdl_sim`, `netlist → nl_sim`, anything else
+    /// `<view>_sim`.
+    pub fn event_for_view(view: &str) -> String {
+        match view {
+            "HDL_model" => "hdl_sim".to_string(),
+            "netlist" => "nl_sim".to_string(),
+            other => format!("{other}_sim"),
+        }
+    }
+}
+
+impl Tool for Simulator {
+    fn name(&self) -> &'static str {
+        "simulator"
+    }
+
+    /// Simulates the input payload and posts the verdict event targeted at
+    /// the input OID, direction `up` (results flow back towards sources,
+    /// e.g. `nl_sim` crossing the schematic→netlist link to update the
+    /// schematic's `nl_sim_res`).
+    fn run(
+        &mut self,
+        ctx: &mut ToolCtx<'_>,
+        args: &[String],
+    ) -> Result<Vec<EventMessage>, MetaError> {
+        let (id, oid) = input_oid(ctx, args)?;
+        let payload = payload_of(ctx, id, &oid);
+        let verdict = if self.fault.fails("simulator", &oid.to_string()) {
+            "simulation crashed".to_string()
+        } else {
+            design_data::sim_verdict(&payload)
+        };
+        let event = Self::event_for_view(oid.view.as_str());
+        Ok(vec![
+            EventMessage::new(event, Direction::Up, oid).with_arg(verdict)
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_core::engine::audit::AuditLog;
+    use blueprint_core::lang::parser::parse;
+    use damocles_meta::{MetaDb, Workspace};
+
+    fn harness() -> (MetaDb, Workspace, blueprint_core::Blueprint, AuditLog) {
+        let bp = parse("blueprint t view HDL_model endview view netlist endview endblueprint")
+            .unwrap();
+        (
+            MetaDb::new(),
+            Workspace::new("w"),
+            bp,
+            AuditLog::counters_only(),
+        )
+    }
+
+    #[test]
+    fn clean_model_simulates_good() {
+        let (mut db, mut ws, bp, mut audit) = harness();
+        let (_, oid) = ws
+            .checkin(
+                &mut db,
+                "cpu",
+                "HDL_model",
+                "yves",
+                design_data::hdl_source("cpu", 1, &[], false),
+            )
+            .unwrap();
+        let mut ctx = ToolCtx {
+            db: &mut db,
+            workspace: &mut ws,
+            blueprint: &bp,
+            audit: &mut audit,
+        };
+        let msgs = Simulator::new(FaultPlan::never())
+            .run(&mut ctx, &[oid.to_string()])
+            .unwrap();
+        assert_eq!(msgs[0].event, "hdl_sim");
+        assert_eq!(msgs[0].arg(), Some("good"));
+        assert_eq!(msgs[0].direction, Direction::Up);
+    }
+
+    #[test]
+    fn buggy_model_reports_errors() {
+        let (mut db, mut ws, bp, mut audit) = harness();
+        let (_, oid) = ws
+            .checkin(
+                &mut db,
+                "cpu",
+                "HDL_model",
+                "yves",
+                design_data::hdl_source("cpu", 1, &[], true),
+            )
+            .unwrap();
+        let mut ctx = ToolCtx {
+            db: &mut db,
+            workspace: &mut ws,
+            blueprint: &bp,
+            audit: &mut audit,
+        };
+        let msgs = Simulator::new(FaultPlan::never())
+            .run(&mut ctx, &[oid.to_string()])
+            .unwrap();
+        assert!(msgs[0].arg().unwrap().ends_with("errors"));
+    }
+
+    #[test]
+    fn netlist_view_gets_nl_sim_event() {
+        assert_eq!(Simulator::event_for_view("netlist"), "nl_sim");
+        assert_eq!(Simulator::event_for_view("HDL_model"), "hdl_sim");
+        assert_eq!(Simulator::event_for_view("spice"), "spice_sim");
+    }
+
+    #[test]
+    fn fault_injection_crashes_runs() {
+        let (mut db, mut ws, bp, mut audit) = harness();
+        let (_, oid) = ws
+            .checkin(
+                &mut db,
+                "cpu",
+                "HDL_model",
+                "yves",
+                design_data::hdl_source("cpu", 1, &[], false),
+            )
+            .unwrap();
+        let mut ctx = ToolCtx {
+            db: &mut db,
+            workspace: &mut ws,
+            blueprint: &bp,
+            audit: &mut audit,
+        };
+        let msgs = Simulator::new(FaultPlan::new(1, 1.0))
+            .run(&mut ctx, &[oid.to_string()])
+            .unwrap();
+        assert_eq!(msgs[0].arg(), Some("simulation crashed"));
+    }
+}

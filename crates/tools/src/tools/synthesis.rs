@@ -1,0 +1,173 @@
+//! The synthesizer: HDL model → schematic hierarchy.
+//!
+//! In Section 3.4 synthesis of the CPU model "creates OIDs
+//! `<CPU.schematic.1>` and `<REG.schematic.1>`. The second OID is part of the
+//! hierarchy of the CPU schematic. It has a use link (hierarchical link)
+//! which points to it from the CPU schematic." The simulated synthesizer
+//! reads `submodule` lines out of the HDL payload to build that hierarchy.
+
+use blueprint_core::engine::exec::ToolCtx;
+use damocles_meta::{Direction, EventMessage, MetaError};
+
+use crate::design_data;
+use crate::tool::{ensure_connected, input_oid, payload_of, Tool};
+
+/// Simulated synthesis tool.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Synthesizer {
+    _private: (),
+}
+
+impl Synthesizer {
+    /// Creates a synthesizer.
+    pub fn new() -> Self {
+        Synthesizer::default()
+    }
+}
+
+impl Tool for Synthesizer {
+    fn name(&self) -> &'static str {
+        "synthesizer"
+    }
+
+    /// Creates the next schematic version for the input block, one schematic
+    /// per `submodule` with use links from the top, a derive link from the
+    /// HDL model, and posts `ckin` for every created schematic (top first).
+    fn run(
+        &mut self,
+        ctx: &mut ToolCtx<'_>,
+        args: &[String],
+    ) -> Result<Vec<EventMessage>, MetaError> {
+        let (hdl_id, hdl_oid) = input_oid(ctx, args)?;
+        let hdl = payload_of(ctx, hdl_id, &hdl_oid);
+        let top_payload = design_data::derive("schematic", &hdl);
+        let (top_id, top_oid) =
+            ctx.create_versioned(hdl_oid.block.as_str(), "schematic", "synthesizer", top_payload)?;
+        ensure_connected(ctx, hdl_id, top_id)?;
+
+        let mut messages = vec![EventMessage::new("ckin", Direction::Up, top_oid)];
+        for sub in design_data::submodules_of(&hdl) {
+            let sub_payload = design_data::derive("schematic", sub.as_bytes());
+            let (sub_id, sub_oid) =
+                ctx.create_versioned(&sub, "schematic", "synthesizer", sub_payload)?;
+            ensure_connected(ctx, top_id, sub_id)?;
+            messages.push(EventMessage::new("ckin", Direction::Up, sub_oid));
+        }
+        Ok(messages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_core::engine::audit::AuditLog;
+    use blueprint_core::lang::parser::parse;
+    use damocles_meta::{LinkClass, MetaDb, Oid, Workspace};
+
+    const BP: &str = r#"blueprint t
+        view HDL_model endview
+        view schematic
+            link_from HDL_model move propagates outofdate type derived
+            use_link move propagates outofdate
+        endview
+    endblueprint"#;
+
+    #[test]
+    fn synthesizes_the_papers_cpu_reg_hierarchy() {
+        let bp = parse(BP).unwrap();
+        let mut db = MetaDb::new();
+        let mut ws = Workspace::new("w");
+        let mut audit = AuditLog::counters_only();
+        let (_, hdl_oid) = ws
+            .checkin(
+                &mut db,
+                "CPU",
+                "HDL_model",
+                "yves",
+                design_data::hdl_source("CPU", 2, &["REG"], false),
+            )
+            .unwrap();
+        let mut ctx = ToolCtx {
+            db: &mut db,
+            workspace: &mut ws,
+            blueprint: &bp,
+            audit: &mut audit,
+        };
+        let msgs = Synthesizer::new()
+            .run(&mut ctx, &[hdl_oid.to_string()])
+            .unwrap();
+        // ckin for CPU.schematic.1 then REG.schematic.1.
+        assert_eq!(msgs.len(), 2);
+        assert_eq!(msgs[0].target, Oid::new("CPU", "schematic", 1));
+        assert_eq!(msgs[1].target, Oid::new("REG", "schematic", 1));
+
+        let cpu = ctx.db.require(&Oid::new("CPU", "schematic", 1)).unwrap();
+        let reg = ctx.db.require(&Oid::new("REG", "schematic", 1)).unwrap();
+        // CPU schematic uses REG schematic through a use link.
+        let links = ctx.db.links_of(cpu).unwrap();
+        assert!(links
+            .iter()
+            .any(|(_, l)| l.class == LinkClass::Use && l.to == reg));
+        // And derives from the HDL model through a derive link.
+        let hdl = ctx.db.require(&Oid::new("CPU", "HDL_model", 1)).unwrap();
+        assert!(links
+            .iter()
+            .any(|(_, l)| l.class == LinkClass::Derive && l.from == hdl));
+    }
+
+    #[test]
+    fn flat_model_creates_single_schematic() {
+        let bp = parse(BP).unwrap();
+        let mut db = MetaDb::new();
+        let mut ws = Workspace::new("w");
+        let mut audit = AuditLog::counters_only();
+        let (_, hdl_oid) = ws
+            .checkin(
+                &mut db,
+                "alu",
+                "HDL_model",
+                "yves",
+                design_data::hdl_source("alu", 1, &[], false),
+            )
+            .unwrap();
+        let mut ctx = ToolCtx {
+            db: &mut db,
+            workspace: &mut ws,
+            blueprint: &bp,
+            audit: &mut audit,
+        };
+        let msgs = Synthesizer::new()
+            .run(&mut ctx, &[hdl_oid.to_string()])
+            .unwrap();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(ctx.db.oids_of_view("schematic").len(), 1);
+    }
+
+    #[test]
+    fn resynthesis_creates_new_versions() {
+        let bp = parse(BP).unwrap();
+        let mut db = MetaDb::new();
+        let mut ws = Workspace::new("w");
+        let mut audit = AuditLog::counters_only();
+        let (_, hdl_oid) = ws
+            .checkin(
+                &mut db,
+                "CPU",
+                "HDL_model",
+                "yves",
+                design_data::hdl_source("CPU", 1, &["REG"], false),
+            )
+            .unwrap();
+        let mut ctx = ToolCtx {
+            db: &mut db,
+            workspace: &mut ws,
+            blueprint: &bp,
+            audit: &mut audit,
+        };
+        let mut tool = Synthesizer::new();
+        tool.run(&mut ctx, &[hdl_oid.to_string()]).unwrap();
+        tool.run(&mut ctx, &[hdl_oid.to_string()]).unwrap();
+        assert_eq!(ctx.db.versions("CPU", "schematic"), vec![1, 2]);
+        assert_eq!(ctx.db.versions("REG", "schematic"), vec![1, 2]);
+    }
+}

@@ -1,0 +1,108 @@
+//! A deeper, modern-shaped flow on the same 1995 machinery: the nine-view
+//! ASIC sign-off pipeline from `damocles_flows::asic`, driven to tape-out
+//! with milestone tasks, then invalidated by a late spec change.
+//!
+//! Run with: `cargo run --example asic_signoff`
+
+use damocles::core::engine::tasks::{run_plan, Condition, DesignTask};
+use damocles::flows::asic::{asic_blueprint, ASIC_CHAIN};
+use damocles::flows::metrics;
+use damocles::prelude::*;
+
+fn main() -> Result<(), EngineError> {
+    let mut server = ProjectServer::new(asic_blueprint())?;
+
+    // The standard-cell library arrives first (its ckin must precede the
+    // data that depends on it, or the FIFO queue will re-invalidate them).
+    let lib = server.checkin("lib7nm", "stdcell_lib", "vendor", b"lib-v1".to_vec())?;
+    server.process_all()?;
+
+    // Build the chain for one SoC block, linking each stage to the previous.
+    let mut prev: Option<Oid> = None;
+    for view in ASIC_CHAIN {
+        let oid = server.checkin("soc", view, "team", format!("{view}-v1").into_bytes())?;
+        if let Some(p) = &prev {
+            server.connect_oids(p, &oid)?;
+        }
+        prev = Some(oid);
+    }
+    // The netlist depends on the library through a depend_on link.
+    let net = Oid::new("soc", "netlist", 1);
+    server.connect_oids(&lib, &net)?;
+    server.process_all()?;
+
+    // Milestone plan to sign-off.
+    let plan = vec![
+        DesignTask::new("rtl-clean", "lint + simulation green on RTL")
+            .post("postEvent lint up soc,rtl,1 \"clean\"", "lint-wrapper")
+            .post("postEvent rtl_sim up soc,rtl,1 \"good\"", "sim-wrapper")
+            .promises(Condition::truthy("soc", "rtl", "state")),
+        DesignTask::new("synth-qor", "synthesis equivalence proven")
+            .requires(Condition::truthy("soc", "rtl", "state"))
+            .post("postEvent synth up soc,netlist,1 \"met\"", "synth-wrapper")
+            .post("postEvent lec up soc,netlist,1 \"pass\"", "lec-wrapper")
+            .promises(Condition::truthy("soc", "netlist", "state")),
+        DesignTask::new("route-signoff", "timing, power and DRC all green")
+            .requires(Condition::truthy("soc", "netlist", "state"))
+            .post("postEvent sta up soc,routed,1 \"met\"", "sta-wrapper")
+            .post("postEvent power_rpt up soc,routed,1 \"ok\"", "power-wrapper")
+            .post("postEvent drc up soc,routed,1 \"clean\"", "drc-wrapper")
+            .promises(Condition::truthy("soc", "routed", "signoff")),
+        DesignTask::new("tapeout", "stream GDS once routing is signed off")
+            .requires(Condition::truthy("soc", "routed", "signoff"))
+            .post("postEvent signoff_ok up soc,gds,1", "release-manager")
+            .promises(Condition::truthy("soc", "gds", "tapeout_ok")),
+    ];
+    let reports = run_plan(&mut server, &plan)?;
+    println!("sign-off plan:");
+    for r in &reports {
+        println!("  [{}] {}", r.status, r.name);
+    }
+
+    // State of the whole pipeline.
+    let rows: Vec<Vec<String>> = ASIC_CHAIN
+        .iter()
+        .map(|view| {
+            let oid = Oid::new("soc", *view, 1);
+            vec![
+                view.to_string(),
+                server
+                    .prop(&oid, "uptodate")
+                    .map(|v| v.as_atom())
+                    .unwrap_or_default(),
+                server
+                    .prop(&oid, "signoff")
+                    .or_else(|| server.prop(&oid, "state"))
+                    .or_else(|| server.prop(&oid, "tapeout_ok"))
+                    .map(|v| v.as_atom())
+                    .unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    println!(
+        "\n{}",
+        metrics::table(&["view", "uptodate", "state/signoff"], &rows)
+    );
+
+    // A late spec change: everything downstream goes stale instantly.
+    println!("late spec change arrives…");
+    server.checkin("soc", "spec", "architect", b"spec-v2".to_vec())?;
+    server.process_all()?;
+    let stale = server.query().out_of_date("uptodate");
+    println!(
+        "{} of {} pipeline stages invalidated:",
+        stale.len(),
+        ASIC_CHAIN.len()
+    );
+    for id in stale {
+        println!("  {}", server.db().oid(id).unwrap());
+    }
+    // And the library release invalidates the netlist path independently.
+    server.checkin("lib7nm", "stdcell_lib", "vendor", b"lib-v2".to_vec())?;
+    server.process_all()?;
+    println!(
+        "\nafter stdcell_lib v2: netlist uptodate = {}",
+        server.prop(&net, "uptodate").unwrap()
+    );
+    Ok(())
+}

@@ -1,0 +1,126 @@
+//! Fully automated design flow (Section 3.3 tool scheduling): one HDL
+//! check-in drives synthesis, netlisting, simulation, layout, DRC and LVS —
+//! entirely through BluePrint `exec` rules and the simulated tool chain.
+//!
+//! Run with: `cargo run --example automated_flow`
+
+use damocles::prelude::*;
+use damocles::tools::design_data;
+
+/// EDTC-shaped blueprint with full automation: each stage's `ckin` invokes
+/// the next tool.
+const AUTOMATED: &str = r#"
+blueprint automated_edtc
+
+view default
+    property uptodate default true
+    when ckin do uptodate = true; post outofdate down done
+    when outofdate do uptodate = false done
+endview
+
+view HDL_model
+    property sim_result default bad
+    when hdl_sim do sim_result = $arg done
+    when ckin do exec synthesizer "$oid" done
+endview
+
+view schematic
+    property nl_sim_res default bad
+    let state = ($nl_sim_res == good) and ($uptodate == true)
+    link_from HDL_model move propagates outofdate type derived
+    use_link move propagates outofdate
+    when nl_sim do nl_sim_res = $arg done
+    when ckin do exec netlister "$oid"; exec layout_gen "$oid" done
+endview
+
+view netlist
+    property sim_result default bad
+    link_from schematic move propagates nl_sim, outofdate type derived
+    when nl_sim do sim_result = $arg done
+    when ckin do exec simulator "$oid" done
+endview
+
+view layout
+    property drc_result default bad
+    property lvs_result default not_equiv
+    let state = ($drc_result == good) and ($lvs_result == is_equiv) and ($uptodate == true)
+    link_from schematic move propagates lvs, outofdate type equivalence
+    when drc do drc_result = $arg done
+    when lvs do lvs_result = $arg done
+    when ckin do exec drc "$oid"; exec lvs "$oid" done
+endview
+
+endblueprint
+"#;
+
+fn main() -> Result<(), EngineError> {
+    let bp = damocles::core::parse(AUTOMATED).expect("valid blueprint");
+    let executor = ToolExecutor::standard(FaultPlan::never());
+    let mut server = ProjectServer::with_executor(bp, executor)?;
+
+    // One designer action: check in the CPU HDL model (with a REG
+    // submodule). Everything else happens automatically.
+    println!("checking in CPU.HDL_model (one designer action)…\n");
+    server.checkin(
+        "CPU",
+        "HDL_model",
+        "yves",
+        design_data::hdl_source("CPU", 1, &["REG"], false),
+    )?;
+    let report = server.process_all()?;
+
+    println!(
+        "cascade complete: {} events processed, {} rule deliveries, {} tool runs\n",
+        report.events, report.deliveries, report.scripts
+    );
+
+    println!("tool runs (in dispatch order):");
+    for run in server.executor().runs() {
+        println!("  {:12} {:28} -> {}", run.script, run.args.join(" "), run.status);
+    }
+
+    println!("\nresulting design database:");
+    let mut oids: Vec<_> = server.db().iter_oids().map(|(_, e)| e.oid.clone()).collect();
+    oids.sort();
+    for oid in &oids {
+        let props: Vec<String> = {
+            let id = server.resolve(oid)?;
+            server
+                .db()
+                .props(id)
+                .unwrap()
+                .iter()
+                .filter(|(n, _)| *n != "owner")
+                .map(|(n, v)| format!("{n}={v}"))
+                .collect()
+        };
+        println!("  {oid:24} {}", props.join(" "));
+    }
+
+    // The netlist simulated clean, so the schematic's continuous assignment
+    // should have gone true.
+    let cpu_sch = Oid::new("CPU", "schematic", 1);
+    println!(
+        "\nCPU schematic state (nl_sim good and uptodate): {}",
+        server.prop(&cpu_sch, "state").unwrap()
+    );
+
+    // Now check in a *buggy* HDL model: the whole cascade reruns and the
+    // schematic's state turns false because simulation fails downstream.
+    println!("\nchecking in a buggy CPU.HDL_model v2…");
+    server.checkin(
+        "CPU",
+        "HDL_model",
+        "yves",
+        design_data::hdl_source("CPU", 2, &["REG"], true),
+    )?;
+    server.process_all()?;
+    let cpu_sch2 = Oid::new("CPU", "schematic", 2);
+    println!(
+        "CPU schematic v2: nl_sim_res = {}, state = {}",
+        server.prop(&cpu_sch2, "nl_sim_res").unwrap(),
+        server.prop(&cpu_sch2, "state").unwrap()
+    );
+
+    Ok(())
+}

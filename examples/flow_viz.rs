@@ -1,0 +1,33 @@
+//! Visualizing the design flow and the live design state as Graphviz DOT
+//! (the paper's Section 5 "graphical interface" future work).
+//!
+//! Run with: `cargo run --example flow_viz > flow.dot && dot -Tsvg flow.dot`
+//! (the example prints the flow graph first, then the state graph, separated
+//! by a comment line — split them if feeding `dot` directly).
+
+use damocles::flows::{edtc_blueprint, viz};
+use damocles::prelude::*;
+
+fn main() -> Result<(), EngineError> {
+    // The Fig. 5 representation: views, links, and the events they carry.
+    let bp = edtc_blueprint();
+    println!("// ---- Fig. 5: the BluePrint flow graph ----");
+    print!("{}", viz::blueprint_to_dot(&bp));
+
+    // A live design mid-change: the CPU model moved on, derived data is red.
+    let mut server = ProjectServer::new(bp)?;
+    let hdl = server.checkin("CPU", "HDL_model", "yves", b"m1".to_vec())?;
+    let sch = server.checkin("CPU", "schematic", "synth", b"s1".to_vec())?;
+    let reg = server.checkin("REG", "schematic", "synth", b"r1".to_vec())?;
+    let net = server.checkin("CPU", "netlist", "tool", b"n1".to_vec())?;
+    server.connect_oids(&hdl, &sch)?;
+    server.connect_oids(&sch, &reg)?;
+    server.connect_oids(&sch, &net)?;
+    server.process_all()?;
+    server.checkin("CPU", "HDL_model", "yves", b"m2".to_vec())?;
+    server.process_all()?;
+
+    println!("// ---- design state relative to the flow ----");
+    print!("{}", viz::db_to_dot(server.db(), "uptodate"));
+    Ok(())
+}

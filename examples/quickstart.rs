@@ -1,0 +1,68 @@
+//! Quickstart: initialize a BluePrint, track a tiny design, query its state.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use damocles::prelude::*;
+
+fn main() -> Result<(), EngineError> {
+    // The project administrator writes the BluePrint as an ASCII rule file
+    // (Section 3.2). This one tracks two views with the paper's standard
+    // uptodate/outofdate discipline.
+    let mut server = ProjectServer::from_source(
+        r#"
+        blueprint quickstart
+        view default
+            property uptodate default true
+            when ckin do uptodate = true; post outofdate down done
+            when outofdate do uptodate = false done
+        endview
+        view HDL_model
+            property sim_result default bad
+            when hdl_sim do sim_result = $arg done
+        endview
+        view schematic
+            let state = ($sim_ok == true) and ($uptodate == true)
+            property sim_ok default false
+            link_from HDL_model move propagates outofdate type derived
+            when nl_sim do sim_ok = $arg done
+        endview
+        endblueprint
+        "#,
+    )?;
+
+    // Designers check design data in; each check-in creates the next OID
+    // version, applies template rules and queues a `ckin` event.
+    let hdl = server.checkin("cpu", "HDL_model", "yves", b"module cpu; endmodule".to_vec())?;
+    let sch = server.checkin("cpu", "schematic", "yves", b"cell cpu".to_vec())?;
+    // The synthesis activity relates the two views; the link template fills
+    // in the PROPAGATE set.
+    server.connect_oids(&hdl, &sch)?;
+    server.process_all()?;
+    println!("created {hdl} and {sch}, both tracked and up to date");
+
+    // A simulation wrapper posts its verdict over the wire format of §3.1.
+    server.post_line(&format!("postEvent hdl_sim up {hdl} \"good\""), "sim-wrapper")?;
+    server.process_all()?;
+    println!(
+        "hdl_sim result recorded: sim_result = {}",
+        server.prop(&hdl, "sim_result").unwrap()
+    );
+
+    // The designers modify the model: checking in version 2 invalidates the
+    // derived schematic through the outofdate propagation.
+    server.checkin("cpu", "HDL_model", "yves", b"module cpu; /*v2*/ endmodule".to_vec())?;
+    server.process_all()?;
+    println!(
+        "after HDL change: schematic uptodate = {}",
+        server.prop(&sch, "uptodate").unwrap()
+    );
+
+    // Designers query what still needs work before the project reaches its
+    // planned state.
+    let stale = server.query().out_of_date("uptodate");
+    println!("{} object(s) out of date:", stale.len());
+    for id in stale {
+        println!("  {}", server.db().oid(id).unwrap());
+    }
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! The DAMOCLES command-line shell.
+//!
+//! ```console
+//! $ damocles my_project.bp          # load a blueprint, start the REPL
+//! $ damocles my_project.bp script   # run a command script, then exit
+//! $ echo "help" | damocles          # commands on stdin work too
+//! ```
+
+use std::io::{BufRead, Write};
+
+use damocles::shell::{Shell, ShellOutput};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut shell = Shell::new();
+
+    let mut arg_iter = args.iter();
+    if let Some(blueprint_path) = arg_iter.next() {
+        let out = shell.execute(&format!("init {blueprint_path}"));
+        report(&out);
+        if out.is_error() {
+            std::process::exit(2);
+        }
+    }
+    if let Some(script_path) = arg_iter.next() {
+        let script = match std::fs::read_to_string(script_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read script {script_path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let outputs = shell.run_script(&script);
+        let mut failed = false;
+        for out in &outputs {
+            report(out);
+            failed |= out.is_error();
+        }
+        std::process::exit(if failed { 1 } else { 0 });
+    }
+
+    // Interactive / stdin mode.
+    let stdin = std::io::stdin();
+    let interactive = atty_like();
+    loop {
+        if interactive {
+            print!("damocles> ");
+            let _ = std::io::stdout().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let trimmed = line.trim();
+                if trimmed == "quit" || trimmed == "exit" {
+                    break;
+                }
+                report(&shell.execute(trimmed));
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                break;
+            }
+        }
+    }
+}
+
+fn report(out: &ShellOutput) {
+    match out {
+        ShellOutput::Silent => {}
+        ShellOutput::Text(t) => println!("{t}"),
+        ShellOutput::Error(t) => eprintln!("{t}"),
+    }
+}
+
+/// Crude interactivity probe without extra dependencies: honour an explicit
+/// environment override, default to non-interactive prompts only when piped
+/// input is likely (TERM unset).
+fn atty_like() -> bool {
+    std::env::var_os("DAMOCLES_PROMPT").is_some()
+}

@@ -1,0 +1,78 @@
+//! # damocles — reproduction of the DAMOCLES project BluePrint
+//!
+//! A from-scratch Rust reproduction of *Controlling Change Propagation and
+//! Project Policies in IC Design* (Yves Mathys, Marc Morgan, Salma Soudagar —
+//! Motorola SSDT, DATE 1995): an event-driven design-data-flow management
+//! system for IC design.
+//!
+//! This façade crate re-exports the four implementation crates:
+//!
+//! | crate | paper role |
+//! |---|---|
+//! | [`meta`] (`damocles-meta`) | §2 — the DAMOCLES meta-database: OIDs, Links, Configurations, workspaces |
+//! | [`core`] (`blueprint-core`) | §3 — the project BluePrint: rule language + run-time engine + project server |
+//! | [`tools`] (`damocles-tools`) | §3.1/3.3 — wrapper programs and simulated EDA tools |
+//! | [`flows`] (`damocles-flows`) | §3.4/§4 — the EDTC flow, workload generators, baseline trackers |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use damocles::prelude::*;
+//!
+//! # fn main() -> Result<(), damocles::core::EngineError> {
+//! // 1. The project administrator writes an ASCII rule file (§3.2).
+//! let mut server = ProjectServer::from_source(damocles::flows::EDTC_SOURCE)?;
+//!
+//! // 2. Designers check data in; wrapper programs post events (§3.1).
+//! let hdl = server.checkin("CPU", "HDL_model", "yves", b"module cpu;".to_vec())?;
+//! server.process_all()?;
+//! server.post_line(&format!("postEvent hdl_sim up {hdl} \"good\""), "sim-wrapper")?;
+//! server.process_all()?;
+//!
+//! // 3. Designers query the state of the project (§3.1).
+//! assert_eq!(server.prop(&hdl, "sim_result").unwrap().as_atom(), "good");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The runnable examples in `examples/` walk through the paper end to end:
+//! `quickstart`, `edtc_walkthrough` (the §3.4 CPU/REG scenario),
+//! `automated_flow` (§3.3 tool scheduling), `project_policies` (loosened vs
+//! strict blueprints, frozen views), `baseline_report` (§4 comparison),
+//! `design_tasks` and `flow_viz` (the §5 future-work items) and
+//! `asic_signoff` (a deep modern flow). The `damocles` binary wraps the
+//! same API in a line-oriented [`shell`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod shell;
+
+pub use blueprint_core as core;
+pub use damocles_flows as flows;
+pub use damocles_meta as meta;
+pub use damocles_tools as tools;
+
+/// The types most programs need.
+pub mod prelude {
+    pub use blueprint_core::engine::exec::{RecordingExecutor, ScriptExecutor};
+    pub use blueprint_core::engine::policy::Policy;
+    pub use blueprint_core::engine::server::{ProcessReport, ProjectServer};
+    pub use blueprint_core::lang::parser::parse;
+    pub use blueprint_core::EngineError;
+    pub use damocles_meta::{
+        Configuration, Direction, EventMessage, MetaDb, Oid, ProjectQuery, Value, Workspace,
+    };
+    pub use damocles_tools::{FaultPlan, ToolExecutor};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let _ = Oid::new("a", "v", 1);
+        let _ = FaultPlan::never();
+        let _ = Policy::default();
+    }
+}

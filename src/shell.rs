@@ -1,0 +1,573 @@
+//! The DAMOCLES command shell: the designer/administrator front-end the
+//! paper's wrapper scripts talk to.
+//!
+//! One command per line; `#` starts a comment. Commands:
+//!
+//! | command | effect |
+//! |---|---|
+//! | `init <file>` / `initsrc … endblueprint` | load a BluePrint (§3.2) |
+//! | `checkin <block> <view> <user> [payload…]` | promote design data |
+//! | `checkout <block> <view> <user>` | reserve a chain |
+//! | `connect <block,view,ver> <block,view,ver>` | relate two OIDs |
+//! | `postEvent <event> <up\|down> <oid> ["args"…]` | the §3.1 wire line |
+//! | `process` | drain the event queue |
+//! | `show <block,view,ver>` | properties of one OID |
+//! | `query <terms…>` | run a `qlang` query (e.g. `stale.uptodate latest`) |
+//! | `workleft <block,view,ver> <prop>` | §3.1 "what still needs work" |
+//! | `summary <prop>` | per-view state summary |
+//! | `snapshot <name> <block,view,ver>` | store a closure Configuration |
+//! | `snapshots` | list stored configurations |
+//! | `freeze <view>` / `thaw <view>` | project policy: frozen views |
+//! | `dot` | DOT dump of the live design state |
+//! | `audit` | engine counters |
+//! | `help` | this table |
+//!
+//! The shell is a thin, line-oriented wrapper over the public API, so
+//! everything it does is equally scriptable from Rust.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use blueprint_core::engine::server::ProjectServer;
+use blueprint_core::EngineError;
+use damocles_flows::{metrics, viz};
+use damocles_meta::qlang::Query;
+use damocles_meta::{Configuration, ConfigurationBuilder, Oid, SnapshotRule};
+
+/// A stateful command shell around a project server.
+pub struct Shell {
+    server: Option<ProjectServer>,
+    snapshots: BTreeMap<String, Configuration>,
+}
+
+impl Default for Shell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Outcome of one shell line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShellOutput {
+    /// Nothing to say (comment, blank line).
+    Silent,
+    /// Normal output text.
+    Text(String),
+    /// A user-level error (bad command, engine error) — the shell keeps
+    /// running.
+    Error(String),
+}
+
+impl ShellOutput {
+    /// The rendered text, empty when silent.
+    pub fn text(&self) -> &str {
+        match self {
+            ShellOutput::Silent => "",
+            ShellOutput::Text(t) | ShellOutput::Error(t) => t,
+        }
+    }
+
+    /// Whether this is an error.
+    pub fn is_error(&self) -> bool {
+        matches!(self, ShellOutput::Error(_))
+    }
+}
+
+impl Shell {
+    /// A shell with no BluePrint loaded yet.
+    pub fn new() -> Self {
+        Shell {
+            server: None,
+            snapshots: BTreeMap::new(),
+        }
+    }
+
+    /// A shell pre-initialized with a server.
+    pub fn with_server(server: ProjectServer) -> Self {
+        Shell {
+            server: Some(server),
+            snapshots: BTreeMap::new(),
+        }
+    }
+
+    /// The server, if initialized.
+    pub fn server(&self) -> Option<&ProjectServer> {
+        self.server.as_ref()
+    }
+
+    /// Executes one command line.
+    pub fn execute(&mut self, line: &str) -> ShellOutput {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return ShellOutput::Silent;
+        }
+        match self.dispatch(line) {
+            Ok(out) => out,
+            Err(e) => ShellOutput::Error(format!("error: {e}")),
+        }
+    }
+
+    /// Executes a whole script, collecting non-silent outputs.
+    pub fn run_script(&mut self, script: &str) -> Vec<ShellOutput> {
+        script
+            .lines()
+            .map(|l| self.execute(l))
+            .filter(|o| !matches!(o, ShellOutput::Silent))
+            .collect()
+    }
+
+    fn dispatch(&mut self, line: &str) -> Result<ShellOutput, EngineError> {
+        let mut words = line.split_whitespace();
+        let command = words.next().expect("non-empty line");
+        match command {
+            "help" => Ok(ShellOutput::Text(HELP.trim().to_string())),
+            "init" => {
+                let path = words
+                    .next()
+                    .ok_or_else(|| invalid("init needs a file path"))?;
+                let source = std::fs::read_to_string(path)
+                    .map_err(|e| invalid(&format!("cannot read {path}: {e}")))?;
+                self.server = Some(ProjectServer::from_source(&source)?);
+                Ok(ShellOutput::Text(format!(
+                    "blueprint `{}` initialized",
+                    self.server.as_ref().expect("just set").blueprint().name
+                )))
+            }
+            "postEvent" => {
+                let server = self.need_server()?;
+                server.post_line(line, "shell")?;
+                Ok(ShellOutput::Text("queued".to_string()))
+            }
+            "checkin" => {
+                let server = self.need_server()?;
+                let (block, view, user) = three(&mut words, "checkin <block> <view> <user>")?;
+                let payload: String = words.collect::<Vec<_>>().join(" ");
+                let oid = server.checkin(&block, &view, &user, payload.into_bytes())?;
+                Ok(ShellOutput::Text(format!("created {oid} (ckin queued)")))
+            }
+            "checkout" => {
+                let server = self.need_server()?;
+                let (block, view, user) = three(&mut words, "checkout <block> <view> <user>")?;
+                server.checkout(&block, &view, &user)?;
+                Ok(ShellOutput::Text(format!("{block}.{view} checked out by {user}")))
+            }
+            "connect" => {
+                let server = self.need_server()?;
+                let from = parse_oid(words.next(), "connect needs two OIDs")?;
+                let to = parse_oid(words.next(), "connect needs two OIDs")?;
+                server.connect_oids(&from, &to)?;
+                Ok(ShellOutput::Text(format!("linked {from} -> {to}")))
+            }
+            "process" => {
+                let server = self.need_server()?;
+                let report = server.process_all()?;
+                Ok(ShellOutput::Text(format!(
+                    "processed {} events ({} deliveries, {} scripts)",
+                    report.events, report.deliveries, report.scripts
+                )))
+            }
+            "show" => {
+                let server = self.need_server_ref()?;
+                let oid = parse_oid(words.next(), "show needs an OID")?;
+                let id = server.resolve(&oid)?;
+                let props = server.db().props(id).map_err(EngineError::Meta)?;
+                let mut out = format!("{oid}\n");
+                for (name, value) in props.iter() {
+                    let _ = writeln!(out, "  {name} = {value}");
+                }
+                Ok(ShellOutput::Text(out.trim_end().to_string()))
+            }
+            "query" => {
+                let server = self.need_server_ref()?;
+                let terms: String = words.collect::<Vec<_>>().join(" ");
+                let query: Query = terms.parse().map_err(EngineError::Meta)?;
+                let hits = query.run(server.db());
+                let mut out = format!("{} match(es)\n", hits.len());
+                for id in hits {
+                    let _ = writeln!(out, "  {}", server.db().oid(id).map_err(EngineError::Meta)?);
+                }
+                Ok(ShellOutput::Text(out.trim_end().to_string()))
+            }
+            "workleft" => {
+                let server = self.need_server_ref()?;
+                let oid = parse_oid(words.next(), "workleft needs an OID")?;
+                let prop = words
+                    .next()
+                    .ok_or_else(|| invalid("workleft needs a state property"))?;
+                let id = server.resolve(&oid)?;
+                let work = server
+                    .query()
+                    .work_remaining(id, prop)
+                    .map_err(EngineError::Meta)?;
+                let mut out = format!("{} item(s) blocking {oid}\n", work.len());
+                for item in work {
+                    let current = item
+                        .blocking
+                        .1
+                        .map(|v| v.as_atom())
+                        .unwrap_or_else(|| "<unset>".into());
+                    let _ = writeln!(out, "  {} ({} = {current})", item.oid, item.blocking.0);
+                }
+                Ok(ShellOutput::Text(out.trim_end().to_string()))
+            }
+            "summary" => {
+                let server = self.need_server_ref()?;
+                let prop = words
+                    .next()
+                    .ok_or_else(|| invalid("summary needs a property name"))?;
+                let rows: Vec<Vec<String>> = server
+                    .query()
+                    .summary(prop)
+                    .into_iter()
+                    .map(|s| {
+                        vec![
+                            s.view,
+                            s.total.to_string(),
+                            s.satisfied.to_string(),
+                            s.untracked.to_string(),
+                        ]
+                    })
+                    .collect();
+                Ok(ShellOutput::Text(
+                    metrics::table(&["view", "total", "satisfied", "untracked"], &rows)
+                        .trim_end()
+                        .to_string(),
+                ))
+            }
+            "snapshot" => {
+                let name = words
+                    .next()
+                    .ok_or_else(|| invalid("snapshot needs a name and an OID"))?
+                    .to_string();
+                let oid = parse_oid(words.next(), "snapshot needs a root OID")?;
+                let server = self.need_server_ref()?;
+                let id = server.resolve(&oid)?;
+                let snap = ConfigurationBuilder::new(server.db())
+                    .traverse(id, SnapshotRule::Closure)
+                    .build(name.clone());
+                let count = snap.oid_count();
+                self.snapshots.insert(name.clone(), snap);
+                Ok(ShellOutput::Text(format!(
+                    "snapshot `{name}` pinned {count} OIDs"
+                )))
+            }
+            "snapshots" => {
+                let server = self.need_server_ref()?;
+                let mut out = String::new();
+                for (name, snap) in &self.snapshots {
+                    let _ = writeln!(
+                        out,
+                        "  {name}: {} OIDs, {} links, {} dangling",
+                        snap.oid_count(),
+                        snap.link_count(),
+                        snap.dangling(server.db())
+                    );
+                }
+                if out.is_empty() {
+                    out = "  (none)".to_string();
+                }
+                Ok(ShellOutput::Text(out.trim_end().to_string()))
+            }
+            "freeze" | "thaw" => {
+                let view = words
+                    .next()
+                    .ok_or_else(|| invalid("freeze/thaw needs a view name"))?
+                    .to_string();
+                let freezing = command == "freeze";
+                let server = self.need_server()?;
+                if freezing {
+                    server.policy_mut().frozen_views.insert(view.clone());
+                } else {
+                    server.policy_mut().frozen_views.remove(&view);
+                }
+                Ok(ShellOutput::Text(format!(
+                    "view `{view}` {}",
+                    if freezing { "frozen" } else { "thawed" }
+                )))
+            }
+            "load" => {
+                let path = words
+                    .next()
+                    .ok_or_else(|| invalid("load needs a file path"))?;
+                let image = std::fs::read_to_string(path)
+                    .map_err(|e| invalid(&format!("cannot read {path}: {e}")))?;
+                let (db, workspace) =
+                    damocles_meta::persist::load_project(&image).map_err(EngineError::Meta)?;
+                let oids = db.oid_count();
+                let server = self.need_server()?;
+                server.adopt_project(db, workspace);
+                Ok(ShellOutput::Text(format!(
+                    "project restored from {path} ({oids} OIDs)"
+                )))
+            }
+            "save" => {
+                let path = words
+                    .next()
+                    .ok_or_else(|| invalid("save needs a file path"))?;
+                let server = self.need_server_ref()?;
+                let image =
+                    damocles_meta::persist::save_project(server.db(), server.workspace());
+                std::fs::write(path, image)
+                    .map_err(|e| invalid(&format!("cannot write {path}: {e}")))?;
+                Ok(ShellOutput::Text(format!("project saved to {path}")))
+            }
+            "dump" => {
+                let server = self.need_server_ref()?;
+                Ok(ShellOutput::Text(
+                    damocles_meta::dump::dump(server.db()).trim_end().to_string(),
+                ))
+            }
+            "dot" => {
+                let server = self.need_server_ref()?;
+                Ok(ShellOutput::Text(viz::db_to_dot(server.db(), "uptodate")))
+            }
+            "audit" => {
+                let server = self.need_server_ref()?;
+                let s = server.audit().summary();
+                Ok(ShellOutput::Text(format!(
+                    "deliveries={} assignments={} lets={} scripts={} posts={} propagations={} cycles={} templates={}",
+                    s.deliveries,
+                    s.assignments,
+                    s.reevaluations,
+                    s.scripts,
+                    s.posts,
+                    s.propagations,
+                    s.cycle_skips,
+                    s.templates
+                )))
+            }
+            other => Err(invalid(&format!(
+                "unknown command `{other}` (try `help`)"
+            ))),
+        }
+    }
+
+    fn need_server(&mut self) -> Result<&mut ProjectServer, EngineError> {
+        self.server
+            .as_mut()
+            .ok_or_else(|| invalid("no blueprint loaded; use `init <file>` first"))
+    }
+
+    fn need_server_ref(&self) -> Result<&ProjectServer, EngineError> {
+        self.server
+            .as_ref()
+            .ok_or_else(|| invalid("no blueprint loaded; use `init <file>` first"))
+    }
+}
+
+fn invalid(reason: &str) -> EngineError {
+    EngineError::Meta(damocles_meta::MetaError::WireParse {
+        reason: reason.to_string(),
+        input: String::new(),
+    })
+}
+
+fn three(
+    words: &mut std::str::SplitWhitespace<'_>,
+    usage: &str,
+) -> Result<(String, String, String), EngineError> {
+    match (words.next(), words.next(), words.next()) {
+        (Some(a), Some(b), Some(c)) => Ok((a.to_string(), b.to_string(), c.to_string())),
+        _ => Err(invalid(usage)),
+    }
+}
+
+fn parse_oid(word: Option<&str>, usage: &str) -> Result<Oid, EngineError> {
+    let word = word.ok_or_else(|| invalid(usage))?;
+    word.parse::<Oid>().map_err(EngineError::Meta)
+}
+
+const HELP: &str = r#"
+commands:
+  init <file>                         load a BluePrint rule file
+  checkin <block> <view> <user> [..]  promote design data (queues ckin)
+  checkout <block> <view> <user>      reserve a chain
+  connect <oid> <oid>                 relate two OIDs (template-filled)
+  postEvent <ev> <up|down> <oid> [..] queue a design event (wire format)
+  process                             drain the event queue
+  show <oid>                          properties of one OID
+  query <terms..>                     e.g. `view=schematic stale.uptodate latest`
+  workleft <oid> <prop>               what blocks this OID's planned state
+  summary <prop>                      per-view state counts
+  snapshot <name> <oid>               pin the closure as a Configuration
+  snapshots                           list stored configurations
+  freeze <view> / thaw <view>         project policy: forbid/allow check-ins
+  save <file>                         persist database + payloads
+  load <file>                         restore database + payloads
+  dump                                full textual database dump
+  dot                                 Graphviz dump of the design state
+  audit                               engine counters
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edtc_shell() -> Shell {
+        let server =
+            ProjectServer::from_source(damocles_flows::EDTC_SOURCE).expect("EDTC parses");
+        Shell::with_server(server)
+    }
+
+    #[test]
+    fn uninitialized_shell_demands_init() {
+        let mut sh = Shell::new();
+        let out = sh.execute("process");
+        assert!(out.is_error());
+        assert!(out.text().contains("init"));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_silent() {
+        let mut sh = edtc_shell();
+        assert_eq!(sh.execute("# a comment"), ShellOutput::Silent);
+        assert_eq!(sh.execute("   "), ShellOutput::Silent);
+    }
+
+    #[test]
+    fn checkin_show_roundtrip() {
+        let mut sh = edtc_shell();
+        let out = sh.execute("checkin CPU HDL_model yves module cpu");
+        assert!(out.text().contains("CPU,HDL_model,1"), "{out:?}");
+        sh.execute("process");
+        let out = sh.execute("show CPU,HDL_model,1");
+        assert!(out.text().contains("sim_result = bad"), "{out:?}");
+        assert!(out.text().contains("uptodate = true"));
+    }
+
+    #[test]
+    fn post_event_wire_line_works_verbatim() {
+        let mut sh = edtc_shell();
+        sh.execute("checkin reg verilog_ wrapperuser x");
+        // Use a tracked view for the real test:
+        sh.execute("checkin CPU HDL_model yves module");
+        sh.execute("process");
+        let out = sh.execute("postEvent hdl_sim up CPU,HDL_model,1 \"logic sim passed\"");
+        assert!(!out.is_error(), "{out:?}");
+        sh.execute("process");
+        let out = sh.execute("show CPU,HDL_model,1");
+        assert!(out.text().contains("sim_result = logic sim passed"));
+    }
+
+    #[test]
+    fn full_scripted_session() {
+        let mut sh = edtc_shell();
+        let outputs = sh.run_script(
+            r#"
+            # the §3.4 scenario, scripted
+            checkin CPU HDL_model designers module cpu v1
+            checkin CPU schematic synth cpu schematic
+            connect CPU,HDL_model,1 CPU,schematic,1
+            process
+            checkin CPU HDL_model designers module cpu v2
+            process
+            query stale.uptodate
+            workleft CPU,schematic,1 uptodate
+            summary uptodate
+            audit
+            "#,
+        );
+        assert!(outputs.iter().all(|o| !o.is_error()), "{outputs:?}");
+        let query_out = &outputs[6];
+        assert!(query_out.text().contains("1 match(es)"), "{query_out:?}");
+        assert!(query_out.text().contains("CPU,schematic,1"));
+        let summary_out = &outputs[8];
+        assert!(summary_out.text().contains("schematic"));
+    }
+
+    #[test]
+    fn freeze_blocks_checkin_until_thaw() {
+        let mut sh = edtc_shell();
+        sh.execute("freeze layout");
+        let out = sh.execute("checkin CPU layout mask data");
+        assert!(out.is_error());
+        assert!(out.text().contains("frozen"));
+        sh.execute("thaw layout");
+        let out = sh.execute("checkin CPU layout mask data");
+        assert!(!out.is_error());
+    }
+
+    #[test]
+    fn snapshots_are_stored_and_listed() {
+        let mut sh = edtc_shell();
+        sh.run_script(
+            "checkin CPU HDL_model d x\ncheckin CPU schematic d y\nconnect CPU,HDL_model,1 CPU,schematic,1\nprocess",
+        );
+        let out = sh.execute("snapshot step1 CPU,HDL_model,1");
+        assert!(out.text().contains("pinned 2 OIDs"), "{out:?}");
+        let out = sh.execute("snapshots");
+        assert!(out.text().contains("step1"));
+    }
+
+    #[test]
+    fn dot_output_is_graphviz() {
+        let mut sh = edtc_shell();
+        sh.run_script("checkin CPU HDL_model d x\nprocess");
+        let out = sh.execute("dot");
+        assert!(out.text().starts_with("digraph"));
+    }
+
+    #[test]
+    fn unknown_command_is_reported() {
+        let mut sh = edtc_shell();
+        let out = sh.execute("frobnicate");
+        assert!(out.is_error());
+        assert!(out.text().contains("unknown command"));
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let mut sh = Shell::new();
+        let out = sh.execute("help");
+        assert!(out.text().contains("postEvent"));
+        assert!(out.text().contains("snapshot"));
+    }
+
+    #[test]
+    fn init_from_file_works() {
+        let dir = std::env::temp_dir().join("damocles-shell-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bp.bp");
+        std::fs::write(&path, "blueprint filetest view v endview endblueprint").unwrap();
+        let mut sh = Shell::new();
+        let out = sh.execute(&format!("init {}", path.display()));
+        assert!(out.text().contains("filetest"), "{out:?}");
+        let out = sh.execute("init /nonexistent/path.bp");
+        assert!(out.is_error());
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+
+    #[test]
+    fn save_and_load_roundtrip_through_files() {
+        let dir = std::env::temp_dir().join("damocles-shell-persist");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("proj.ddb");
+        let path_s = path.display().to_string();
+
+        let server =
+            ProjectServer::from_source(damocles_flows::EDTC_SOURCE).expect("EDTC parses");
+        let mut sh = Shell::with_server(server);
+        sh.run_script(
+            "checkin CPU HDL_model yves module cpu\ncheckin CPU schematic synth cell\nconnect CPU,HDL_model,1 CPU,schematic,1\nprocess",
+        );
+        let out = sh.execute(&format!("save {path_s}"));
+        assert!(!out.is_error(), "{out:?}");
+
+        // A fresh shell restores the project and continues tracking.
+        let server2 =
+            ProjectServer::from_source(damocles_flows::EDTC_SOURCE).expect("EDTC parses");
+        let mut sh2 = Shell::with_server(server2);
+        let out = sh2.execute(&format!("load {path_s}"));
+        assert!(out.text().contains("2 OIDs"), "{out:?}");
+        let out = sh2.execute("show CPU,schematic,1");
+        assert!(out.text().contains("uptodate = true"), "{out:?}");
+        // Change propagation still works on the restored database.
+        sh2.run_script("checkin CPU HDL_model yves module v2\nprocess");
+        let out = sh2.execute("show CPU,schematic,1");
+        assert!(out.text().contains("uptodate = false"), "{out:?}");
+    }
+}

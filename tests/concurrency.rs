@@ -1,0 +1,108 @@
+//! Concurrent wrapper programs: the paper's wrappers post event messages
+//! "through the computer network" from many tools at once; the server folds
+//! them into FIFO order. These tests drive the channel path hard.
+
+use damocles::flows::edtc_blueprint;
+use damocles::prelude::*;
+
+#[test]
+fn many_threads_post_simulation_results() {
+    let mut server = ProjectServer::new(edtc_blueprint()).unwrap();
+    // 16 blocks, each with an HDL model.
+    let oids: Vec<Oid> = (0..16)
+        .map(|i| {
+            server
+                .checkin(&format!("blk{i}"), "HDL_model", "setup", b"m".to_vec())
+                .unwrap()
+        })
+        .collect();
+    server.process_all().unwrap();
+
+    // 8 wrapper threads post 50 results each, racing.
+    let sender = server.sender();
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let tx = sender.clone();
+            let oids = oids.clone();
+            std::thread::spawn(move || {
+                for i in 0..50 {
+                    let target = oids[(t * 7 + i) % oids.len()].clone();
+                    tx.send(damocles::core::engine::queue::Posted {
+                        message: EventMessage::new("hdl_sim", Direction::Up, target)
+                            .with_arg(format!("run-{t}-{i}")),
+                        user: format!("sim{t}"),
+                    })
+                    .unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let report = server.process_all().unwrap();
+    assert_eq!(report.events, 400);
+    assert_eq!(server.pending_events(), 0);
+    // Every model ended with *some* thread's verdict.
+    for oid in &oids {
+        let verdict = server.prop(oid, "sim_result").unwrap().as_atom();
+        assert!(verdict.starts_with("run-"), "{oid}: {verdict}");
+    }
+    // Exactly 400 deliveries (hdl_sim does not propagate anywhere).
+    assert_eq!(report.deliveries, 400);
+}
+
+#[test]
+fn posts_interleave_with_checkins_without_loss() {
+    let mut server = ProjectServer::new(edtc_blueprint()).unwrap();
+    let hdl = server
+        .checkin("CPU", "HDL_model", "setup", b"m".to_vec())
+        .unwrap();
+    server.process_all().unwrap();
+
+    let sender = server.sender();
+    let poster = {
+        let tx = sender.clone();
+        let hdl = hdl.clone();
+        std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(damocles::core::engine::queue::Posted {
+                    message: EventMessage::new("hdl_sim", Direction::Up, hdl.clone())
+                        .with_arg(format!("v{i}")),
+                    user: "sim".into(),
+                })
+                .unwrap();
+            }
+        })
+    };
+    // Main thread interleaves drains while the poster runs.
+    let mut total_events = 0;
+    while total_events < 100 {
+        let report = server.process_all().unwrap();
+        total_events += report.events;
+        std::thread::yield_now();
+    }
+    poster.join().unwrap();
+    let report = server.process_all().unwrap();
+    total_events += report.events;
+    assert_eq!(total_events, 100, "every posted message processed exactly once");
+}
+
+#[test]
+fn queue_stats_survive_heavy_traffic() {
+    let mut server = ProjectServer::new(edtc_blueprint()).unwrap();
+    let hdl = server
+        .checkin("CPU", "HDL_model", "setup", b"m".to_vec())
+        .unwrap();
+    server.process_all().unwrap();
+    for _ in 0..1000 {
+        server
+            .post_line(&format!("postEvent hdl_sim up {hdl} \"x\""), "sim")
+            .unwrap();
+    }
+    let report = server.process_all().unwrap();
+    assert_eq!(report.events, 1000);
+    let summary = server.audit().summary();
+    assert!(summary.deliveries >= 1000);
+}

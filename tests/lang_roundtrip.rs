@@ -1,0 +1,234 @@
+//! Experiment LANG (integration side): property tests on the BluePrint
+//! language — print/parse round-trips over generated ASTs, parser
+//! robustness, and idempotence of the canonical form.
+
+use damocles::core::lang::ast::{
+    Action, Blueprint, Expr, LetDef, LinkDef, LinkSource, PropertyDef, RuleDef, Segment,
+    Template, Transfer, ViewDef,
+};
+use damocles::core::lang::diag::Span;
+use damocles::core::lang::parser::parse;
+use damocles::core::lang::printer::print;
+use damocles::meta::Direction;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// AST generators
+// ---------------------------------------------------------------------
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+        damocles::core::lang::token::Keyword::from_word(s).is_none()
+    })
+}
+
+fn atom() -> impl Strategy<Value = String> {
+    prop_oneof![
+        ident(),
+        Just("true".to_string()),
+        Just("false".to_string()),
+        (0i64..1000).prop_map(|n| n.to_string()),
+        // quoted-value material with spaces and the odd dollar
+        "[a-z ]{1,12}",
+    ]
+}
+
+fn transfer() -> impl Strategy<Value = Transfer> {
+    prop_oneof![
+        Just(Transfer::Create),
+        Just(Transfer::Copy),
+        Just(Transfer::Move)
+    ]
+}
+
+fn template() -> impl Strategy<Value = Template> {
+    prop_oneof![
+        atom().prop_map(Template::lit),
+        ident().prop_map(Template::var),
+        (ident(), "[a-z ]{1,6}", ident()).prop_map(|(v1, lit, v2)| Template {
+            segments: vec![
+                Segment::Var(v1),
+                Segment::Lit(format!(" {lit} ")),
+                Segment::Var(v2),
+            ],
+        }),
+    ]
+}
+
+fn expr(depth: u32) -> BoxedStrategy<Expr> {
+    // Parser invariant: `Expr::Atom` only ever holds bare tokens (idents,
+    // ints, bools); anything with spaces parses as `Expr::Str`.
+    let leaf = prop_oneof![
+        ident().prop_map(Expr::Var),
+        ident().prop_map(Expr::Atom),
+        (0i64..1000).prop_map(|n| Expr::Atom(n.to_string())),
+        Just(Expr::Atom("true".to_string())),
+        "[a-z ]{1,10}".prop_map(Expr::Str),
+    ];
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Eq(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Ne(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Expr::Not(Box::new(a))),
+        ]
+    })
+    .boxed()
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (ident(), template()).prop_map(|(prop, value)| Action::Assign { prop, value }),
+        (template(), proptest::collection::vec(template(), 0..3))
+            .prop_map(|(script, args)| Action::Exec { script, args }),
+        template().prop_map(|message| Action::Notify { message }),
+        (
+            ident(),
+            prop_oneof![Just(Direction::Up), Just(Direction::Down)],
+            proptest::option::of(ident()),
+            proptest::collection::vec(template(), 0..2),
+        )
+            .prop_map(|(event, direction, to_view, args)| Action::Post {
+                event,
+                direction,
+                to_view,
+                args
+            }),
+    ]
+}
+
+fn view(name: String) -> impl Strategy<Value = ViewDef> {
+    (
+        proptest::collection::vec((ident(), atom(), transfer()), 0..4),
+        proptest::collection::vec(
+            (
+                prop_oneof![
+                    ident().prop_map(LinkSource::View),
+                    Just(LinkSource::UseLink)
+                ],
+                transfer(),
+                proptest::collection::vec(ident(), 0..3),
+                proptest::option::of(ident()),
+            ),
+            0..3,
+        ),
+        proptest::collection::vec((ident(), expr(3)), 0..2),
+        proptest::collection::vec(
+            (ident(), proptest::collection::vec(action(), 1..4)),
+            0..3,
+        ),
+    )
+        .prop_map(move |(props, links, lets, rules)| {
+            let mut v = ViewDef::empty(name.clone());
+            let mut seen = std::collections::BTreeSet::new();
+            for (pname, default, transfer) in props {
+                if seen.insert(pname.clone()) {
+                    v.properties.push(PropertyDef {
+                        name: pname,
+                        default,
+                        transfer,
+                        span: Span::default(),
+                    });
+                }
+            }
+            for (source, transfer, propagates, kind) in links {
+                v.links.push(LinkDef {
+                    source,
+                    transfer,
+                    propagates,
+                    kind,
+                    span: Span::default(),
+                });
+            }
+            for (lname, e) in lets {
+                if seen.insert(lname.clone()) {
+                    v.lets.push(LetDef {
+                        name: lname,
+                        expr: e,
+                        span: Span::default(),
+                    });
+                }
+            }
+            for (event, actions) in rules {
+                v.rules.push(RuleDef {
+                    event,
+                    actions,
+                    span: Span::default(),
+                });
+            }
+            v
+        })
+}
+
+fn blueprint() -> impl Strategy<Value = Blueprint> {
+    (
+        ident(),
+        proptest::collection::btree_set(ident(), 1..5),
+    )
+        .prop_flat_map(|(name, view_names)| {
+            let views: Vec<_> = view_names.into_iter().map(view).collect();
+            (Just(name), views)
+        })
+        .prop_map(|(name, views)| Blueprint {
+            name,
+            views,
+            span: Span::default(),
+        })
+}
+
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print ∘ parse is the identity on generated ASTs (modulo spans).
+    #[test]
+    fn printed_blueprints_reparse_identically(bp in blueprint()) {
+        let printed = print(&bp);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\nsource:\n{printed}"));
+        prop_assert_eq!(reparsed.normalized(), bp.normalized());
+    }
+
+    /// The canonical form is a fixed point: printing a reparsed print
+    /// changes nothing.
+    #[test]
+    fn printing_is_idempotent(bp in blueprint()) {
+        let once = print(&bp);
+        let twice = print(&parse(&once).unwrap());
+        prop_assert_eq!(once, twice);
+    }
+
+    /// The parser never panics on arbitrary input (errors are values).
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// The lexer+parser never panic on keyword-dense word soup either.
+    #[test]
+    fn parser_survives_keyword_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("blueprint".to_string()), Just("view".to_string()),
+                Just("endview".to_string()), Just("when".to_string()),
+                Just("do".to_string()), Just("done".to_string()),
+                Just("post".to_string()), Just("exec".to_string()),
+                Just("let".to_string()), Just("=".to_string()),
+                Just("(".to_string()), Just(")".to_string()),
+                Just(";".to_string()), ident(),
+            ],
+            0..40,
+        )
+    ) {
+        let source = words.join(" ");
+        let _ = parse(&source);
+    }
+}

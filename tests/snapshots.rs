@@ -1,0 +1,143 @@
+//! Experiment QUERY (integration side): Configurations as snapshots of the
+//! design cycle, and the designer-facing state queries of Section 3.1.
+
+use damocles::flows::edtc_blueprint;
+use damocles::meta::{ConfigurationBuilder, SnapshotRule};
+use damocles::prelude::*;
+
+fn edtc_server() -> ProjectServer<RecordingExecutor> {
+    ProjectServer::with_executor(edtc_blueprint(), RecordingExecutor::new()).unwrap()
+}
+
+#[test]
+fn snapshot_per_design_step_diffs_cleanly() {
+    let mut s = edtc_server();
+    let hdl = s.checkin("CPU", "HDL_model", "d", b"m1".to_vec()).unwrap();
+    let sch = s.checkin("CPU", "schematic", "d", b"s1".to_vec()).unwrap();
+    s.connect_oids(&hdl, &sch).unwrap();
+    s.process_all().unwrap();
+
+    let hdl_id = s.resolve(&hdl).unwrap();
+    let step1 = ConfigurationBuilder::new(s.db())
+        .traverse(hdl_id, SnapshotRule::Closure)
+        .build("step-1");
+    assert_eq!(step1.oid_count(), 2);
+
+    // Next step of the cycle: the netlist appears.
+    let net = s.checkin("CPU", "netlist", "tool", b"n1".to_vec()).unwrap();
+    s.connect_oids(&sch, &net).unwrap();
+    s.process_all().unwrap();
+    let step2 = ConfigurationBuilder::new(s.db())
+        .traverse(hdl_id, SnapshotRule::Closure)
+        .build("step-2");
+    assert_eq!(step2.oid_count(), 3);
+
+    let added = step2.diff(&step1);
+    assert_eq!(added.len(), 1);
+    assert_eq!(s.db().oid(added[0]).unwrap(), &net);
+    assert!(step1.diff(&step2).is_empty());
+}
+
+#[test]
+fn hierarchy_snapshot_pins_versions_across_time() {
+    let mut s = edtc_server();
+    let cpu = s.checkin("CPU", "schematic", "d", b"c1".to_vec()).unwrap();
+    let reg = s.checkin("REG", "schematic", "d", b"r1".to_vec()).unwrap();
+    s.connect_oids(&cpu, &reg).unwrap();
+    s.process_all().unwrap();
+
+    let cpu_id = s.resolve(&cpu).unwrap();
+    let snap = ConfigurationBuilder::new(s.db())
+        .traverse(cpu_id, SnapshotRule::Hierarchy)
+        .build("tapeout-candidate");
+
+    // New REG version appears; the EDTC use_link is `move`, so the live
+    // hierarchy shifts — but the snapshot still resolves the pinned v1.
+    s.checkin("REG", "schematic", "d", b"r2".to_vec()).unwrap();
+    s.process_all().unwrap();
+    let resolved = snap.resolve(s.db(), true).unwrap();
+    assert!(resolved.contains(&reg), "snapshot pinned REG v1");
+    assert_eq!(resolved.len(), 2);
+}
+
+#[test]
+fn deleting_pinned_data_makes_snapshot_dangle() {
+    let mut s = edtc_server();
+    let cpu = s.checkin("CPU", "schematic", "d", b"c1".to_vec()).unwrap();
+    s.process_all().unwrap();
+    let cpu_id = s.resolve(&cpu).unwrap();
+    let snap = ConfigurationBuilder::new(s.db())
+        .traverse(cpu_id, SnapshotRule::Hierarchy)
+        .build("snap");
+    assert_eq!(snap.dangling(s.db()), 0);
+
+    // Deletion is a design activity too (§3.1); do it directly on a clone of
+    // the db to keep server invariants out of scope.
+    let mut db = s.db().clone();
+    db.delete_oid(cpu_id).unwrap();
+    assert_eq!(snap.dangling(&db), 1);
+    assert!(snap.resolve(&db, true).is_err());
+    assert!(snap.resolve(&db, false).unwrap().is_empty());
+}
+
+#[test]
+fn query_configuration_stores_volume_query_results() {
+    let mut s = edtc_server();
+    for block in ["a", "b", "c"] {
+        let oid = s
+            .checkin(block, "schematic", "d", block.as_bytes().to_vec())
+            .unwrap();
+        s.process_all().unwrap();
+        if block == "b" {
+            s.post_line(&format!("postEvent nl_sim up {oid} \"good\""), "sim")
+                .unwrap();
+            s.process_all().unwrap();
+        }
+    }
+    let good = ConfigurationBuilder::new(s.db())
+        .query(|entry| {
+            entry.props.get("nl_sim_res").map(Value::as_atom) == Some("good".into())
+        })
+        .build("passing-sims");
+    assert_eq!(good.oid_count(), 1);
+    let oids = good.resolve(s.db(), true).unwrap();
+    assert_eq!(oids[0].block.as_str(), "b");
+}
+
+#[test]
+fn work_remaining_walks_the_dependency_cone() {
+    let mut s = edtc_server();
+    let hdl = s.checkin("CPU", "HDL_model", "d", b"m".to_vec()).unwrap();
+    let sch = s.checkin("CPU", "schematic", "d", b"s".to_vec()).unwrap();
+    let net = s.checkin("CPU", "netlist", "d", b"n".to_vec()).unwrap();
+    s.connect_oids(&hdl, &sch).unwrap();
+    s.connect_oids(&sch, &net).unwrap();
+    s.process_all().unwrap();
+
+    // Target: the netlist. Its planned state (`state` prop) only exists on
+    // the schematic; the netlist and the HDL model lack it entirely, so
+    // work_remaining reports them as untracked blockers and the schematic as
+    // a false blocker.
+    let net_id = s.resolve(&net).unwrap();
+    let work = s.query().work_remaining(net_id, "state").unwrap();
+    assert_eq!(work.len(), 3);
+    let sch_item = work.iter().find(|w| w.oid == sch).unwrap();
+    assert_eq!(sch_item.blocking.1, Some(Value::Bool(false)));
+    let hdl_item = work.iter().find(|w| w.oid == hdl).unwrap();
+    assert_eq!(hdl_item.blocking.1, None);
+}
+
+#[test]
+fn summary_counts_per_view_state() {
+    let mut s = edtc_server();
+    for (block, view) in [("a", "schematic"), ("b", "schematic"), ("a", "layout")] {
+        s.checkin(block, view, "d", b"x".to_vec()).unwrap();
+    }
+    s.process_all().unwrap();
+    let summary = s.query().summary("uptodate");
+    let sch = summary.iter().find(|r| r.view == "schematic").unwrap();
+    assert_eq!(sch.total, 2);
+    assert_eq!(sch.satisfied, 2);
+    let lay = summary.iter().find(|r| r.view == "layout").unwrap();
+    assert_eq!(lay.total, 1);
+}

@@ -1,0 +1,135 @@
+//! Soak test: a long seeded random workload through the automated tool
+//! chain with fault injection, asserting global invariants at the end.
+
+use damocles::prelude::*;
+use damocles::tools::design_data;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const AUTOMATED: &str = r#"
+blueprint soak
+view default
+    property uptodate default true
+    when ckin do uptodate = true; post outofdate down done
+    when outofdate do uptodate = false done
+endview
+view HDL_model
+    property sim_result default bad
+    when hdl_sim do sim_result = $arg done
+    when ckin do exec synthesizer "$oid" done
+endview
+view schematic
+    property nl_sim_res default bad
+    link_from HDL_model move propagates outofdate type derived
+    use_link move propagates outofdate
+    when nl_sim do nl_sim_res = $arg done
+    when ckin do exec netlister "$oid" done
+endview
+view netlist
+    property sim_result default bad
+    link_from schematic move propagates nl_sim, outofdate type derived
+    when nl_sim do sim_result = $arg done
+    when ckin do exec simulator "$oid" done
+endview
+endblueprint
+"#;
+
+#[test]
+fn hundred_generations_with_faults_stay_consistent() {
+    let bp = damocles::core::parse(AUTOMATED).unwrap();
+    let executor = ToolExecutor::standard(FaultPlan::new(17, 0.15));
+    let mut server = ProjectServer::with_executor(bp, executor).unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+
+    let blocks = ["CPU", "DSP", "MMU"];
+    for generation in 1..=100u32 {
+        let block = blocks[rng.gen_range(0..blocks.len())];
+        let buggy = rng.gen_bool(0.3);
+        let subs: &[&str] = if rng.gen_bool(0.5) { &["SUB"] } else { &[] };
+        server
+            .checkin(
+                block,
+                "HDL_model",
+                "soak",
+                design_data::hdl_source(block, generation, subs, buggy),
+            )
+            .unwrap();
+        let report = server.process_all().unwrap();
+        assert!(report.events > 0);
+        assert_eq!(server.pending_events(), 0, "queue fully drained");
+    }
+
+    // Invariants over the whole database.
+    let db = server.db();
+    assert!(db.oid_count() > 300, "three views × many generations");
+    for (_, entry) in db.iter_oids() {
+        // Every object got its template properties.
+        let fresh = entry.props.get("uptodate").expect("uptodate templated");
+        assert!(matches!(fresh, Value::Bool(_)));
+    }
+    // Version chains are contiguous from 1.
+    for block in blocks {
+        for view in ["HDL_model", "schematic", "netlist"] {
+            let versions = db.versions(block, view);
+            if versions.is_empty() {
+                continue;
+            }
+            let expected: Vec<u32> = (1..=versions.len() as u32).collect();
+            assert_eq!(versions, expected, "{block}.{view} chain has holes");
+        }
+    }
+    // Every netlist's latest generation matches its schematic lineage.
+    for block in blocks {
+        let (Some(net), Some(sch)) = (
+            db.latest_version(block, "netlist"),
+            db.latest_version(block, "schematic"),
+        ) else {
+            continue;
+        };
+        let net_payload = server.workspace().datum(net).unwrap().content.clone();
+        let sch_payload = server.workspace().datum(sch).unwrap().content.clone();
+        assert!(
+            design_data::derived_from("netlist", &net_payload, &sch_payload),
+            "{block}'s latest netlist must derive from its latest schematic"
+        );
+    }
+    // The audit counters are plausible: every event delivered at least once.
+    let summary = server.audit().summary();
+    assert!(summary.deliveries >= 100);
+    assert!(summary.templates as usize >= db.oid_count());
+}
+
+#[test]
+fn alternating_loose_and_strict_phases_keep_state_sane() {
+    let spec = damocles::flows::DesignSpec {
+        stages: 4,
+        blocks: 6,
+        fanout: 2,
+    };
+    let strict_src = spec.blueprint_source(true);
+    let loose_src = spec.blueprint_source(false);
+    let mut server = ProjectServer::from_source(&strict_src).unwrap();
+    damocles::flows::populate(&mut server, &spec).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(5);
+    for phase in 0..6 {
+        // Re-initialize the BluePrint between phases (§3.2).
+        server
+            .reinit_from_source(if phase % 2 == 0 { &strict_src } else { &loose_src })
+            .unwrap();
+        for _ in 0..10 {
+            let block = damocles::flows::DesignSpec::block_name(rng.gen_range(0..spec.blocks));
+            let view = damocles::flows::DesignSpec::view_name(rng.gen_range(0..spec.stages));
+            server
+                .checkin(&block, &view, "soak", b"data".to_vec())
+                .unwrap();
+            server.process_all().unwrap();
+        }
+    }
+    assert_eq!(server.pending_events(), 0);
+    // All uptodate values are booleans and queries still work.
+    let stale = server.query().out_of_date("uptodate");
+    for id in stale {
+        assert!(server.db().is_live(id));
+    }
+}

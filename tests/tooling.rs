@@ -1,0 +1,232 @@
+//! Experiment TOOL (integration side): automatic tool invocation, permission
+//! gating, and failure containment across the full stack.
+
+use damocles::prelude::*;
+use damocles::tools::design_data;
+use damocles::tools::tool::RunStatus;
+
+const AUTOMATED: &str = r#"
+blueprint automated
+view default
+    property uptodate default true
+    when ckin do uptodate = true; post outofdate down done
+    when outofdate do uptodate = false done
+endview
+view HDL_model
+    property sim_result default bad
+    when hdl_sim do sim_result = $arg done
+    when ckin do exec synthesizer "$oid" done
+endview
+view schematic
+    property nl_sim_res default bad
+    link_from HDL_model move propagates outofdate type derived
+    use_link move propagates outofdate
+    when nl_sim do nl_sim_res = $arg done
+    when ckin do exec netlister "$oid"; exec layout_gen "$oid" done
+endview
+view netlist
+    property sim_result default bad
+    link_from schematic move propagates nl_sim, outofdate type derived
+    when nl_sim do sim_result = $arg done
+    when ckin do exec simulator "$oid" done
+endview
+view layout
+    property drc_result default bad
+    property lvs_result default not_equiv
+    let state = ($drc_result == good) and ($lvs_result == is_equiv) and ($uptodate == true)
+    link_from schematic move propagates lvs, outofdate type equivalence
+    when drc do drc_result = $arg done
+    when lvs do lvs_result = $arg done
+    when ckin do exec drc "$oid"; exec lvs "$oid" done
+endview
+endblueprint
+"#;
+
+fn automated_server(fault: FaultPlan) -> ProjectServer<ToolExecutor> {
+    let bp = damocles::core::parse(AUTOMATED).unwrap();
+    ProjectServer::with_executor(bp, ToolExecutor::standard(fault)).unwrap()
+}
+
+#[test]
+fn one_checkin_drives_the_whole_flow() {
+    let mut s = automated_server(FaultPlan::never());
+    s.checkin(
+        "CPU",
+        "HDL_model",
+        "yves",
+        design_data::hdl_source("CPU", 1, &["REG"], false),
+    )
+    .unwrap();
+    let report = s.process_all().unwrap();
+
+    // Every view materialized for both blocks.
+    for block in ["CPU", "REG"] {
+        for view in ["schematic", "netlist", "layout"] {
+            assert!(
+                s.db().latest_version(block, view).is_some(),
+                "{block}.{view} missing"
+            );
+        }
+    }
+    // Clean design: simulations good, layouts signed off.
+    for block in ["CPU", "REG"] {
+        let lay = Oid::new(block, "layout", 1);
+        assert_eq!(s.prop(&lay, "drc_result").unwrap().as_atom(), "good");
+        assert_eq!(s.prop(&lay, "lvs_result").unwrap().as_atom(), "is_equiv");
+        assert_eq!(s.prop(&lay, "state").unwrap(), Value::Bool(true));
+        let sch = Oid::new(block, "schematic", 1);
+        assert_eq!(s.prop(&sch, "nl_sim_res").unwrap().as_atom(), "good");
+    }
+    assert!(report.scripts >= 11, "expected the full cascade, got {report:?}");
+    // No tool run failed or was denied.
+    assert!(s
+        .executor()
+        .runs()
+        .iter()
+        .all(|r| matches!(r.status, RunStatus::Completed { .. })));
+}
+
+#[test]
+fn buggy_model_fails_downstream_simulations() {
+    let mut s = automated_server(FaultPlan::never());
+    s.checkin(
+        "CPU",
+        "HDL_model",
+        "yves",
+        design_data::hdl_source("CPU", 1, &[], true),
+    )
+    .unwrap();
+    s.process_all().unwrap();
+    // The bug marker propagated through derivation into the netlist, so the
+    // netlist simulation reports errors (not "good").
+    let net = Oid::new("CPU", "netlist", 1);
+    let verdict = s.prop(&net, "sim_result").unwrap().as_atom();
+    assert!(verdict.ends_with("errors"), "got {verdict}");
+    let sch = Oid::new("CPU", "schematic", 1);
+    assert_eq!(s.prop(&sch, "nl_sim_res").unwrap().as_atom(), verdict);
+}
+
+#[test]
+fn simulator_is_denied_on_stale_input() {
+    // Make the netlist stale before the simulator would run: the permission
+    // requirement (uptodate on input) must deny the run.
+    let bp = damocles::core::parse(AUTOMATED).unwrap();
+    let mut executor = ToolExecutor::new();
+    executor.register(Box::new(damocles::tools::Simulator::new(FaultPlan::never())));
+    executor.require("simulator", damocles::tools::Requirement::prop("uptodate"));
+    let mut s = ProjectServer::with_executor(bp, executor).unwrap();
+
+    let net = s.checkin("CPU", "netlist", "d", b"n1".to_vec()).unwrap();
+    s.process_all().unwrap();
+    // First run: permitted (fresh checkin ⇒ uptodate).
+    assert!(matches!(
+        s.executor().runs_of("simulator")[0].status,
+        RunStatus::Completed { .. }
+    ));
+
+    // Stale it and re-trigger by posting ckin-like exec manually: reuse the
+    // rule by posting outofdate then a direct ckin of the schematic is not
+    // available here, so invoke through a fresh event on the netlist whose
+    // rule execs the simulator — simplest: mark stale, then post ckin event
+    // at the same netlist (ckin rule runs exec simulator again, but the
+    // default ckin rule would first set uptodate=true; so instead check the
+    // permission path directly with a stale object and a hand-posted event).
+    let id = s.resolve(&net).unwrap();
+    // Post outofdate to stale it (no links, so only the target is hit).
+    s.post_line(&format!("postEvent outofdate down {net}"), "t")
+        .unwrap();
+    s.process_all().unwrap();
+    assert_eq!(s.prop(&net, "uptodate").unwrap(), Value::Bool(false));
+    let _ = id;
+
+    // Now a rule-driven exec of the simulator must be denied. Trigger via a
+    // custom event rule? The AUTOMATED blueprint only execs simulator on
+    // ckin (which freshens). Emulate the §3.3 wrapper path: a permission
+    // check against stale input.
+    let bp2 = damocles::core::parse(
+        r#"blueprint p
+        view netlist
+            property uptodate default false
+            when try_sim do exec simulator "$oid" done
+        endview endblueprint"#,
+    )
+    .unwrap();
+    let mut executor2 = ToolExecutor::new();
+    executor2.register(Box::new(damocles::tools::Simulator::new(FaultPlan::never())));
+    executor2.require("simulator", damocles::tools::Requirement::prop("uptodate"));
+    let mut s2 = ProjectServer::with_executor(bp2, executor2).unwrap();
+    let net2 = s2.checkin("CPU", "netlist", "d", b"n1".to_vec()).unwrap();
+    s2.process_all().unwrap();
+    s2.post_line(&format!("postEvent try_sim up {net2}"), "d")
+        .unwrap();
+    s2.process_all().unwrap();
+    let denied = s2
+        .executor()
+        .runs_of("simulator")
+        .iter()
+        .any(|r| matches!(r.status, RunStatus::Denied { .. }));
+    assert!(denied, "runs: {:?}", s2.executor().runs());
+}
+
+#[test]
+fn injected_faults_surface_as_bad_verdicts() {
+    // All DRC runs fail under a rate-1.0 plan; LVS forces not_equiv.
+    let mut s = automated_server(FaultPlan::new(3, 1.0));
+    s.checkin(
+        "CPU",
+        "HDL_model",
+        "yves",
+        design_data::hdl_source("CPU", 1, &[], false),
+    )
+    .unwrap();
+    s.process_all().unwrap();
+    let lay = Oid::new("CPU", "layout", 1);
+    assert_eq!(s.prop(&lay, "drc_result").unwrap().as_atom(), "bad");
+    assert_eq!(s.prop(&lay, "lvs_result").unwrap().as_atom(), "not_equiv");
+    assert_eq!(s.prop(&lay, "state").unwrap(), Value::Bool(false));
+}
+
+#[test]
+fn rerunning_the_flow_versions_everything() {
+    let mut s = automated_server(FaultPlan::never());
+    for v in 1..=3 {
+        s.checkin(
+            "CPU",
+            "HDL_model",
+            "yves",
+            design_data::hdl_source("CPU", v, &[], false),
+        )
+        .unwrap();
+        s.process_all().unwrap();
+    }
+    assert_eq!(s.db().versions("CPU", "HDL_model"), vec![1, 2, 3]);
+    assert_eq!(s.db().versions("CPU", "schematic"), vec![1, 2, 3]);
+    assert_eq!(s.db().versions("CPU", "netlist"), vec![1, 2, 3]);
+    assert_eq!(s.db().versions("CPU", "layout"), vec![1, 2, 3]);
+    // Only the latest generation is fully current.
+    let stale = s.query().out_of_date("uptodate");
+    for id in &stale {
+        let oid = s.db().oid(*id).unwrap();
+        assert!(oid.version < 3, "latest generation must be fresh: {oid}");
+    }
+}
+
+#[test]
+fn unknown_script_does_not_stop_the_flow() {
+    let bp = damocles::core::parse(
+        r#"blueprint u
+        view v
+            when ckin do exec not_a_tool "$oid"; exec also_missing done
+        endview endblueprint"#,
+    )
+    .unwrap();
+    let mut s = ProjectServer::with_executor(bp, ToolExecutor::new()).unwrap();
+    s.checkin("b", "v", "d", b"x".to_vec()).unwrap();
+    let report = s.process_all().unwrap();
+    assert_eq!(report.scripts, 2);
+    assert!(s
+        .executor()
+        .runs()
+        .iter()
+        .all(|r| r.status == RunStatus::UnknownScript));
+}

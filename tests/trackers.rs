@@ -1,0 +1,113 @@
+//! Experiment BASE (integration side): the four tracking strategies must
+//! compute identical out-of-date sets on arbitrary activity streams, and the
+//! cost asymmetry claimed by Section 4 must hold.
+
+use damocles::flows::baseline::{
+    ChangeTracker, DamoclesTracker, DepGraph, EagerTracker, ManualTracker, PollingTracker,
+};
+use damocles::flows::DesignSpec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Cross-validation over random shapes and random check-in streams.
+    #[test]
+    fn all_trackers_agree(
+        stages in 2usize..5,
+        blocks in 2usize..8,
+        fanout in 1usize..4,
+        stream in proptest::collection::vec(0usize..1000, 1..25),
+    ) {
+        let spec = DesignSpec { stages, blocks, fanout };
+        let graph = DepGraph::from_spec(&spec);
+        let mut damocles = DamoclesTracker::new(&spec);
+        let mut eager = EagerTracker::new(graph.clone());
+        let mut polling = PollingTracker::new(graph.clone());
+        let mut manual = ManualTracker::new(graph.clone());
+        for raw in stream {
+            let node = raw % graph.len();
+            damocles.on_checkin(node);
+            eager.on_checkin(node);
+            polling.on_checkin(node);
+            manual.on_checkin(node);
+            let d = damocles.out_of_date();
+            prop_assert_eq!(&d, &eager.out_of_date());
+            prop_assert_eq!(&d, &polling.out_of_date());
+            prop_assert_eq!(&d, &manual.out_of_date());
+        }
+    }
+}
+
+#[test]
+fn damocles_scales_with_affected_subgraph_not_design_size() {
+    // The same sink-node check-in on growing designs: DAMOCLES work stays
+    // flat, the eager baseline grows with the design.
+    let mut damocles_units = Vec::new();
+    let mut eager_units = Vec::new();
+    for blocks in [10usize, 40, 160] {
+        let spec = DesignSpec {
+            stages: 4,
+            blocks,
+            fanout: 2,
+        };
+        let graph = DepGraph::from_spec(&spec);
+        let sink = graph.len() - 1;
+        let mut d = DamoclesTracker::new(&spec);
+        let mut e = EagerTracker::new(graph);
+        d.on_checkin(sink);
+        e.on_checkin(sink);
+        damocles_units.push(d.work().checkin_units);
+        eager_units.push(e.work().checkin_units);
+    }
+    // Flat for DAMOCLES (leaf change touches a constant-size subgraph)…
+    assert_eq!(damocles_units[0], damocles_units[2], "{damocles_units:?}");
+    // …monotonically growing for the eager baseline, by at least the design
+    // growth factor between the smallest and largest shapes.
+    assert!(eager_units[2] > eager_units[0] * 8, "{eager_units:?}");
+}
+
+#[test]
+fn polling_pays_on_query_eager_pays_on_change() {
+    let spec = DesignSpec {
+        stages: 4,
+        blocks: 30,
+        fanout: 2,
+    };
+    let graph = DepGraph::from_spec(&spec);
+    let mut eager = EagerTracker::new(graph.clone());
+    let mut polling = PollingTracker::new(graph);
+
+    // Many changes, one query.
+    for node in 0..20 {
+        eager.on_checkin(node);
+        polling.on_checkin(node);
+    }
+    eager.out_of_date();
+    polling.out_of_date();
+    assert!(eager.work().checkin_units > polling.work().checkin_units * 10);
+    assert!(polling.work().query_units > eager.work().query_units * 10);
+}
+
+#[test]
+fn root_change_hits_everything_in_every_tracker() {
+    let spec = DesignSpec {
+        stages: 3,
+        blocks: 7,
+        fanout: 2,
+    };
+    let graph = DepGraph::from_spec(&spec);
+    let n = graph.len();
+    let mut trackers: Vec<Box<dyn ChangeTracker>> = vec![
+        Box::new(DamoclesTracker::new(&spec)),
+        Box::new(EagerTracker::new(graph.clone())),
+        Box::new(PollingTracker::new(graph.clone())),
+        Box::new(ManualTracker::new(graph)),
+    ];
+    for t in &mut trackers {
+        t.on_checkin(0);
+        let stale = t.out_of_date();
+        assert_eq!(stale.len(), n - 1, "{} missed nodes", t.name());
+        assert!(!stale.contains(&0));
+    }
+}
