@@ -60,15 +60,11 @@ fn bench_trackers(c: &mut Criterion) {
         let len = graph.len();
         group.throughput(Throughput::Elements(1));
 
-        group.bench_with_input(
-            BenchmarkId::new("damocles", label),
-            &spec,
-            |b, spec| {
-                let mut tracker = DamoclesTracker::new(spec);
-                let mut i = 0usize;
-                b.iter(|| op(&mut tracker, len, &mut i));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("damocles", label), &spec, |b, spec| {
+            let mut tracker = DamoclesTracker::new(spec);
+            let mut i = 0usize;
+            b.iter(|| op(&mut tracker, len, &mut i));
+        });
         group.bench_with_input(BenchmarkId::new("eager", label), &spec, |b, spec| {
             let mut tracker = EagerTracker::new(DepGraph::from_spec(spec));
             let mut i = 0usize;
@@ -96,14 +92,10 @@ fn bench_checkin_only(c: &mut Criterion) {
     for (label, spec) in shapes() {
         let graph = DepGraph::from_spec(&spec);
         let leaf = graph.len() - 1;
-        group.bench_with_input(
-            BenchmarkId::new("damocles", label),
-            &spec,
-            |b, spec| {
-                let mut tracker = DamoclesTracker::new(spec);
-                b.iter(|| tracker.on_checkin(black_box(leaf)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("damocles", label), &spec, |b, spec| {
+            let mut tracker = DamoclesTracker::new(spec);
+            b.iter(|| tracker.on_checkin(black_box(leaf)));
+        });
         group.bench_with_input(BenchmarkId::new("eager", label), &spec, |b, spec| {
             let mut tracker = EagerTracker::new(DepGraph::from_spec(spec));
             b.iter(|| tracker.on_checkin(black_box(leaf)));

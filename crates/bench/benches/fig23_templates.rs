@@ -30,33 +30,29 @@ fn bench_property_transfer(c: &mut Criterion) {
             let label = if mode.is_empty() { "default" } else { mode };
             let bp = property_blueprint(n, mode);
             group.throughput(Throughput::Elements(n as u64));
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &n,
-                |b, _| {
-                    b.iter_batched(
-                        || {
-                            // A v1 with all properties populated.
-                            let mut db = MetaDb::new();
-                            let mut audit = AuditLog::counters_only();
-                            let v1 = db.create_oid(Oid::new("alu", "V", 1)).unwrap();
-                            template::apply_on_create(&bp, &mut db, v1, &mut audit).unwrap();
-                            for i in 0..n {
-                                db.set_prop(v1, &format!("p{i}"), Value::from_atom("ok"))
-                                    .unwrap();
-                            }
-                            (db, audit)
-                        },
-                        |(mut db, mut audit)| {
-                            let v2 = db.create_oid(Oid::new("alu", "V", 2)).unwrap();
-                            let report =
-                                template::apply_on_create(&bp, &mut db, v2, &mut audit).unwrap();
-                            black_box(report)
-                        },
-                        criterion::BatchSize::SmallInput,
-                    );
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter_batched(
+                    || {
+                        // A v1 with all properties populated.
+                        let mut db = MetaDb::new();
+                        let mut audit = AuditLog::counters_only();
+                        let v1 = db.create_oid(Oid::new("alu", "V", 1)).unwrap();
+                        template::apply_on_create(&bp, &mut db, v1, &mut audit).unwrap();
+                        for i in 0..n {
+                            db.set_prop(v1, &format!("p{i}"), Value::from_atom("ok"))
+                                .unwrap();
+                        }
+                        (db, audit)
+                    },
+                    |(mut db, mut audit)| {
+                        let v2 = db.create_oid(Oid::new("alu", "V", 2)).unwrap();
+                        let report =
+                            template::apply_on_create(&bp, &mut db, v2, &mut audit).unwrap();
+                        black_box(report)
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            });
         }
     }
     group.finish();

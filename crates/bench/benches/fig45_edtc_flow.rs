@@ -50,8 +50,12 @@ fn bench_checkin_action(c: &mut Criterion) {
     let hdl = server
         .checkin("CPU", "HDL_model", "d", b"m".to_vec())
         .unwrap();
-    let sch = server.checkin("CPU", "schematic", "d", b"s".to_vec()).unwrap();
-    let net = server.checkin("CPU", "netlist", "d", b"n".to_vec()).unwrap();
+    let sch = server
+        .checkin("CPU", "schematic", "d", b"s".to_vec())
+        .unwrap();
+    let net = server
+        .checkin("CPU", "netlist", "d", b"n".to_vec())
+        .unwrap();
     let lay = server.checkin("CPU", "layout", "d", b"l".to_vec()).unwrap();
     server.connect_oids(&hdl, &sch).unwrap();
     server.connect_oids(&sch, &net).unwrap();

@@ -6,7 +6,7 @@ use std::hint::black_box;
 
 use blueprint_core::lang::{parser, printer, validate};
 use damocles_bench::chain_blueprint_source;
-use damocles_flows::{EDTC_SOURCE};
+use damocles_flows::EDTC_SOURCE;
 
 fn bench_edtc_parse(c: &mut Criterion) {
     c.bench_function("lang/parse_edtc", |b| {

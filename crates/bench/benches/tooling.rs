@@ -25,7 +25,10 @@ fn chained_exec_blueprint(depth: usize) -> String {
             ));
         }
         if i + 1 < depth {
-            src.push_str(&format!("    when ckin do exec mkstage{} \"$oid\" done\n", i + 1));
+            src.push_str(&format!(
+                "    when ckin do exec mkstage{} \"$oid\" done\n",
+                i + 1
+            ));
         }
         src.push_str("endview\n");
     }
@@ -117,8 +120,12 @@ fn bench_permission_check(c: &mut Criterion) {
     let (_, sch) = ws
         .checkin(&mut db, "cpu", "schematic", "bench", b"s".to_vec())
         .unwrap();
-    db.set_prop(db.require(&sch).unwrap(), "uptodate", damocles_meta::Value::Bool(true))
-        .unwrap();
+    db.set_prop(
+        db.require(&sch).unwrap(),
+        "uptodate",
+        damocles_meta::Value::Bool(true),
+    )
+    .unwrap();
 
     let mut denied_ex = ToolExecutor::new();
     denied_ex.register(Box::new(Netlister::new()));
@@ -167,9 +174,7 @@ fn bench_tool_runs(c: &mut Criterion) {
                     blueprint: &bp,
                     audit: &mut audit,
                 };
-                let msgs = Netlister::new()
-                    .run(&mut ctx, &[sch.to_string()])
-                    .unwrap();
+                let msgs = Netlister::new().run(&mut ctx, &[sch.to_string()]).unwrap();
                 black_box(msgs)
             },
             criterion::BatchSize::SmallInput,

@@ -100,6 +100,52 @@ pub enum AuditRecord {
     },
 }
 
+/// The discriminant of an [`AuditRecord`], used by the run-time engine's
+/// allocation-free counting path: when record retention is off, the engine
+/// reports [`AuditLog::note`] with a kind instead of building a full record
+/// (which would clone the OID and event name per delivery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditKind {
+    /// See [`AuditRecord::Delivered`].
+    Delivered,
+    /// See [`AuditRecord::Assigned`].
+    Assigned,
+    /// See [`AuditRecord::Reevaluated`].
+    Reevaluated,
+    /// See [`AuditRecord::ScriptInvoked`].
+    ScriptInvoked,
+    /// See [`AuditRecord::EventPosted`].
+    EventPosted,
+    /// See [`AuditRecord::Propagated`].
+    Propagated,
+    /// See [`AuditRecord::CycleSkipped`].
+    CycleSkipped,
+    /// See [`AuditRecord::DepthTruncated`].
+    DepthTruncated,
+    /// See [`AuditRecord::TemplateApplied`].
+    TemplateApplied,
+    /// See [`AuditRecord::UnmatchedEvent`].
+    UnmatchedEvent,
+}
+
+impl AuditRecord {
+    /// This record's counting discriminant.
+    pub fn kind(&self) -> AuditKind {
+        match self {
+            AuditRecord::Delivered { .. } => AuditKind::Delivered,
+            AuditRecord::Assigned { .. } => AuditKind::Assigned,
+            AuditRecord::Reevaluated { .. } => AuditKind::Reevaluated,
+            AuditRecord::ScriptInvoked { .. } => AuditKind::ScriptInvoked,
+            AuditRecord::EventPosted { .. } => AuditKind::EventPosted,
+            AuditRecord::Propagated { .. } => AuditKind::Propagated,
+            AuditRecord::CycleSkipped { .. } => AuditKind::CycleSkipped,
+            AuditRecord::DepthTruncated { .. } => AuditKind::DepthTruncated,
+            AuditRecord::TemplateApplied { .. } => AuditKind::TemplateApplied,
+            AuditRecord::UnmatchedEvent { .. } => AuditKind::UnmatchedEvent,
+        }
+    }
+}
+
 /// Aggregate counters over an [`AuditLog`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AuditSummary {
@@ -153,20 +199,35 @@ impl AuditLog {
         self.retain
     }
 
+    /// Whether callers should build full [`AuditRecord`]s at all — an alias
+    /// of [`AuditLog::is_retaining`] named for the hot path's question. When
+    /// this is `false` the engine reports [`AuditLog::note`] instead,
+    /// skipping every per-record OID/string clone; counters stay exact
+    /// either way.
+    pub fn enabled(&self) -> bool {
+        self.is_retaining()
+    }
+
+    /// Counts an action without materializing its record — the
+    /// allocation-free path used when retention is off.
+    pub fn note(&mut self, kind: AuditKind) {
+        match kind {
+            AuditKind::Delivered => self.summary.deliveries += 1,
+            AuditKind::Assigned => self.summary.assignments += 1,
+            AuditKind::Reevaluated => self.summary.reevaluations += 1,
+            AuditKind::ScriptInvoked => self.summary.scripts += 1,
+            AuditKind::EventPosted => self.summary.posts += 1,
+            AuditKind::Propagated => self.summary.propagations += 1,
+            AuditKind::CycleSkipped => self.summary.cycle_skips += 1,
+            AuditKind::DepthTruncated => self.summary.depth_truncations += 1,
+            AuditKind::TemplateApplied => self.summary.templates += 1,
+            AuditKind::UnmatchedEvent => {}
+        }
+    }
+
     /// Appends a record, updating counters.
     pub fn push(&mut self, record: AuditRecord) {
-        match &record {
-            AuditRecord::Delivered { .. } => self.summary.deliveries += 1,
-            AuditRecord::Assigned { .. } => self.summary.assignments += 1,
-            AuditRecord::Reevaluated { .. } => self.summary.reevaluations += 1,
-            AuditRecord::ScriptInvoked { .. } => self.summary.scripts += 1,
-            AuditRecord::EventPosted { .. } => self.summary.posts += 1,
-            AuditRecord::Propagated { .. } => self.summary.propagations += 1,
-            AuditRecord::CycleSkipped { .. } => self.summary.cycle_skips += 1,
-            AuditRecord::DepthTruncated { .. } => self.summary.depth_truncations += 1,
-            AuditRecord::TemplateApplied { .. } => self.summary.templates += 1,
-            AuditRecord::UnmatchedEvent { .. } => {}
-        }
+        self.note(record.kind());
         if self.retain {
             self.records.push(record);
         }

@@ -1,0 +1,465 @@
+//! The blueprint compiler: the one-time translation from the parsed rule
+//! language to the run-time engine's dispatch tables.
+//!
+//! The paper's run-time loop (Section 3.2) consults the blueprint on every
+//! delivered event: find the OID's view, collect the `default` view's rules
+//! plus the view's own rules for the event, split their actions into phases,
+//! and walk the links. Interpreting the AST for each of those steps costs a
+//! linear scan over `Vec<ViewDef>`, a string comparison per rule, and a
+//! phase-partitioning pass per delivery — all of it identical every time.
+//!
+//! [`CompiledBlueprint`] does that work once per blueprint load, the way a
+//! query planner separates planning from execution:
+//!
+//! * every event, view and property name is interned into a [`SymbolTable`]
+//!   (shared `damocles-meta` intern module), so the wave loop keys its
+//!   visited set and rule lookups by `Copy` symbols;
+//! * each view gets a [`DispatchTable`] mapping event symbol → pre-merged,
+//!   pre-phase-split action lists (`default` view's rules first, "applies to
+//!   all the views"), so delivery is a single hash lookup;
+//! * the PROPAGATE sets of link templates are precomputed as [`SymSet`]
+//!   bitsets over the interned event universe — the blueprint-level mirror
+//!   of the per-link bitsets the meta-database keeps for the engine's
+//!   per-hop filter (see `MetaDb::neighbors_iter`). Their union
+//!   ([`CompiledBlueprint::may_propagate`]) answers "could any template
+//!   forward this event" for tooling and validation; the engine itself
+//!   keeps the exact per-link check, since links created through the raw
+//!   database API may forward events no template mentions;
+//! * continuous assignments are pre-merged per view in evaluation order.
+//!
+//! The compiled form owns its data (templates and expressions are cloned out
+//! of the AST), so the engine can hold it alongside the blueprint without
+//! self-referential lifetimes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use damocles_meta::{Direction, Sym, SymSet, SymbolTable};
+
+use crate::lang::ast::{Action, Blueprint, Expr, Template};
+
+/// A compiled `prop = value` action.
+#[derive(Debug, Clone)]
+pub struct CompiledAssign {
+    /// Target property name.
+    pub prop: String,
+    /// Value template.
+    pub value: Template,
+}
+
+/// A compiled `exec`/`notify` action.
+#[derive(Debug, Clone)]
+pub struct CompiledExec {
+    /// Script-name template (for `notify`, the message template).
+    pub script: Template,
+    /// Argument templates.
+    pub args: Vec<Template>,
+    /// True for `notify` actions.
+    pub notify: bool,
+}
+
+/// A compiled `post` action.
+#[derive(Debug, Clone)]
+pub struct CompiledPost {
+    /// The posted event, interned.
+    pub event: Sym,
+    /// Propagation direction.
+    pub direction: Direction,
+    /// Target view of the `post … to <view>` form.
+    pub to_view: Option<String>,
+    /// Argument templates.
+    pub args: Vec<Template>,
+}
+
+/// A compiled continuous assignment.
+#[derive(Debug, Clone)]
+pub struct CompiledLet {
+    /// The derived property name.
+    pub name: String,
+    /// The defining expression.
+    pub expr: Expr,
+}
+
+/// The pre-merged, pre-phase-split actions one `(view, event)` pair executes:
+/// Section 3.2's assign / exec / post ordering, with the `default` view's
+/// rules already merged in front.
+#[derive(Debug, Clone, Default)]
+pub struct Dispatch {
+    /// Phase 1: property assignments.
+    pub assigns: Vec<CompiledAssign>,
+    /// Phase 3: script invocations (collected, dispatched post-wave).
+    pub execs: Vec<CompiledExec>,
+    /// Phase 4: event posts.
+    pub posts: Vec<CompiledPost>,
+}
+
+impl Dispatch {
+    fn absorb(&mut self, actions: &[Action], symbols: &mut SymbolTable) {
+        for action in actions {
+            match action {
+                Action::Assign { prop, value } => {
+                    symbols.intern(prop);
+                    self.assigns.push(CompiledAssign {
+                        prop: prop.clone(),
+                        value: value.clone(),
+                    });
+                }
+                Action::Exec { script, args } => self.execs.push(CompiledExec {
+                    script: script.clone(),
+                    args: args.clone(),
+                    notify: false,
+                }),
+                Action::Notify { message } => self.execs.push(CompiledExec {
+                    script: message.clone(),
+                    args: Vec::new(),
+                    notify: true,
+                }),
+                Action::Post {
+                    event,
+                    direction,
+                    to_view,
+                    args,
+                } => self.posts.push(CompiledPost {
+                    event: symbols.intern(event),
+                    direction: *direction,
+                    to_view: to_view.clone(),
+                    args: args.clone(),
+                }),
+            }
+        }
+    }
+}
+
+/// One view's compiled run-time information.
+#[derive(Debug, Clone, Default)]
+pub struct DispatchTable {
+    /// Event symbol → merged phase-split actions. Only events with at least
+    /// one matching rule (in `default` or the view itself) appear.
+    dispatch: HashMap<Sym, Dispatch>,
+    /// Continuous assignments in evaluation order (`default`'s, then the
+    /// view's own).
+    lets: Vec<CompiledLet>,
+}
+
+impl DispatchTable {
+    /// The actions for an event, if any rule anywhere matches it.
+    pub fn dispatch(&self, event: Sym) -> Option<&Dispatch> {
+        self.dispatch.get(&event)
+    }
+
+    /// The pre-merged continuous assignments, in evaluation order.
+    pub fn lets(&self) -> &[CompiledLet] {
+        &self.lets
+    }
+
+    /// Number of events with at least one rule.
+    pub fn rule_event_count(&self) -> usize {
+        self.dispatch.len()
+    }
+}
+
+/// A compiled link template's PROPAGATE set (diagnostic / tooling view; the
+/// per-instance sets live on the database links themselves).
+#[derive(Debug, Clone)]
+pub struct CompiledLinkTemplate {
+    /// The declaring view's name.
+    pub view: String,
+    /// PROPAGATE set as a bitset over the blueprint's event universe.
+    pub propagates: SymSet,
+}
+
+/// A blueprint compiled for the run-time engine. Built once per blueprint
+/// load by [`CompiledBlueprint::compile`]; immutable afterwards.
+#[derive(Debug, Clone)]
+pub struct CompiledBlueprint {
+    symbols: SymbolTable,
+    /// Shared name behind each symbol, aligned with `symbols`: wave items
+    /// carry a clone of these so per-hop scheduling never copies a string.
+    arc_names: Vec<Arc<str>>,
+    /// Declared view name → index into `tables`. Presence here is what
+    /// distinguishes "declared view without rules" from "unknown view".
+    view_index: HashMap<String, usize>,
+    tables: Vec<DispatchTable>,
+    /// Dispatch for OIDs whose view the blueprint does not declare: the
+    /// `default` view's rules only.
+    fallback: DispatchTable,
+    /// Index of the `default` view in `tables`, if declared.
+    default_index: Option<usize>,
+    /// Compiled link templates, in declaration order.
+    link_templates: Vec<CompiledLinkTemplate>,
+    /// Union of every link template's PROPAGATE set: an event outside this
+    /// set can never cross a template-instantiated link.
+    propagate_union: SymSet,
+}
+
+impl CompiledBlueprint {
+    /// Compiles a parsed blueprint.
+    pub fn compile(bp: &Blueprint) -> Self {
+        let mut symbols = SymbolTable::new();
+
+        // Intern the full event/view/property universe first so symbol
+        // handles are dense and stable regardless of rule order.
+        for view in &bp.views {
+            symbols.intern(&view.name);
+            for rule in &view.rules {
+                symbols.intern(&rule.event);
+            }
+            for link in &view.links {
+                for event in &link.propagates {
+                    symbols.intern(event);
+                }
+            }
+            for prop in &view.properties {
+                symbols.intern(&prop.name);
+            }
+            for let_def in &view.lets {
+                symbols.intern(&let_def.name);
+            }
+        }
+
+        let default = bp.default_view();
+
+        // The fallback table: `default` rules and lets only, for OIDs of
+        // undeclared views ("applies to all the views").
+        let mut fallback = DispatchTable::default();
+        if let Some(default) = default {
+            for rule in &default.rules {
+                let sym = symbols.intern(&rule.event);
+                fallback
+                    .dispatch
+                    .entry(sym)
+                    .or_default()
+                    .absorb(&rule.actions, &mut symbols);
+            }
+            fallback
+                .lets
+                .extend(default.lets.iter().map(|l| CompiledLet {
+                    name: l.name.clone(),
+                    expr: l.expr.clone(),
+                }));
+        }
+
+        let mut view_index = HashMap::with_capacity(bp.views.len());
+        let mut tables = Vec::with_capacity(bp.views.len());
+        let mut default_index = None;
+        let mut link_templates = Vec::new();
+        let mut propagate_union = SymSet::new();
+
+        for view in &bp.views {
+            let is_default = view.name == "default";
+            // Merged table: default's rules first (unless this *is* the
+            // default view), then the view's own — the order `deliver`
+            // executes them in.
+            let mut table = if is_default {
+                DispatchTable::default()
+            } else {
+                fallback.clone()
+            };
+            for rule in &view.rules {
+                let sym = symbols.intern(&rule.event);
+                table
+                    .dispatch
+                    .entry(sym)
+                    .or_default()
+                    .absorb(&rule.actions, &mut symbols);
+            }
+            table.lets.extend(view.lets.iter().map(|l| CompiledLet {
+                name: l.name.clone(),
+                expr: l.expr.clone(),
+            }));
+
+            for link in &view.links {
+                let propagates: SymSet = link
+                    .propagates
+                    .iter()
+                    .map(|event| symbols.intern(event))
+                    .collect();
+                for event in &link.propagates {
+                    propagate_union.insert(symbols.intern(event));
+                }
+                link_templates.push(CompiledLinkTemplate {
+                    view: view.name.clone(),
+                    propagates,
+                });
+            }
+
+            let index = tables.len();
+            if is_default {
+                default_index = Some(index);
+            }
+            // First declaration wins on duplicate names, matching
+            // `Blueprint::view`'s linear-scan semantics (the validator
+            // rejects duplicates anyway).
+            view_index.entry(view.name.clone()).or_insert(index);
+            tables.push(table);
+        }
+
+        let arc_names = symbols.iter().map(|(_, name)| Arc::from(name)).collect();
+        CompiledBlueprint {
+            symbols,
+            arc_names,
+            view_index,
+            tables,
+            fallback,
+            default_index,
+            link_templates,
+            propagate_union,
+        }
+    }
+
+    /// The interned name universe (events, views, properties).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// The symbol of an already-interned name. Never allocates.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.symbols.lookup(name)
+    }
+
+    /// The shared name behind a symbol; cloning the `Arc` is how wave items
+    /// carry event names without string copies.
+    pub fn name_arc(&self, sym: Sym) -> Option<&Arc<str>> {
+        self.arc_names.get(sym.index())
+    }
+
+    /// Whether the blueprint declares a view of this name.
+    pub fn declares_view(&self, view: &str) -> bool {
+        self.view_index.contains_key(view)
+    }
+
+    /// The dispatch table for OIDs of `view`: the view's merged table if
+    /// declared, the `default`-only fallback otherwise.
+    pub fn table_for_view(&self, view: &str) -> &DispatchTable {
+        match self.view_index.get(view) {
+            Some(&index) => &self.tables[index],
+            None => &self.fallback,
+        }
+    }
+
+    /// Whether a `default` view is declared.
+    pub fn has_default_view(&self) -> bool {
+        self.default_index.is_some()
+    }
+
+    /// Whether any link template's PROPAGATE set forwards `event` — the
+    /// cheap pre-check before walking a node's links. Events outside the
+    /// union can still cross links added through the raw
+    /// [`MetaDb`](damocles_meta::MetaDb) API, so this is advisory for
+    /// template-instantiated graphs; the engine keeps the exact per-link
+    /// check.
+    pub fn may_propagate(&self, event: Sym) -> bool {
+        self.propagate_union.contains(event)
+    }
+
+    /// Compiled link templates, in declaration order.
+    pub fn link_templates(&self) -> &[CompiledLinkTemplate] {
+        &self.link_templates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parser::parse;
+
+    fn edtc_like() -> Blueprint {
+        parse(
+            r#"blueprint t
+            view default
+                property uptodate default true
+                when ckin do uptodate = true; post outofdate down done
+                when outofdate do uptodate = false done
+            endview
+            view HDL_model
+                when hdl_sim do sim_result = $arg done
+            endview
+            view schematic
+                link_from HDL_model move propagates outofdate type derived
+                use_link move propagates outofdate
+                let state = ($uptodate == true)
+            endview
+            endblueprint"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn merged_dispatch_prepends_default_rules() {
+        let bp = edtc_like();
+        let compiled = CompiledBlueprint::compile(&bp);
+        let ckin = compiled.lookup("ckin").unwrap();
+        let hdl_sim = compiled.lookup("hdl_sim").unwrap();
+
+        // HDL_model answers both its own event and the default's.
+        let table = compiled.table_for_view("HDL_model");
+        assert!(table.dispatch(ckin).is_some());
+        let d = table.dispatch(hdl_sim).unwrap();
+        assert_eq!(d.assigns.len(), 1);
+        assert_eq!(d.assigns[0].prop, "sim_result");
+
+        // The default view's own table holds its rules exactly once.
+        let d = compiled.table_for_view("default").dispatch(ckin).unwrap();
+        assert_eq!(d.assigns.len(), 1);
+        assert_eq!(d.posts.len(), 1);
+    }
+
+    #[test]
+    fn unknown_views_fall_back_to_default_rules() {
+        let bp = edtc_like();
+        let compiled = CompiledBlueprint::compile(&bp);
+        assert!(!compiled.declares_view("mystery"));
+        let ckin = compiled.lookup("ckin").unwrap();
+        let table = compiled.table_for_view("mystery");
+        assert!(table.dispatch(ckin).is_some());
+        assert_eq!(table.rule_event_count(), 2);
+    }
+
+    #[test]
+    fn lets_merge_in_evaluation_order() {
+        let bp = parse(
+            r#"blueprint t
+            view default
+                let base = (1 == 1)
+            endview
+            view layout
+                let refined = ($base == true)
+            endview
+            endblueprint"#,
+        )
+        .unwrap();
+        let compiled = CompiledBlueprint::compile(&bp);
+        let names: Vec<&str> = compiled
+            .table_for_view("layout")
+            .lets()
+            .iter()
+            .map(|l| l.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["base", "refined"]);
+        // The default view itself evaluates its own lets once.
+        assert_eq!(compiled.table_for_view("default").lets().len(), 1);
+    }
+
+    #[test]
+    fn propagate_union_covers_template_sets_only() {
+        let bp = edtc_like();
+        let compiled = CompiledBlueprint::compile(&bp);
+        let outofdate = compiled.lookup("outofdate").unwrap();
+        let ckin = compiled.lookup("ckin").unwrap();
+        assert!(compiled.may_propagate(outofdate));
+        assert!(!compiled.may_propagate(ckin));
+        assert_eq!(compiled.link_templates().len(), 2);
+        assert!(compiled.link_templates()[0].propagates.contains(outofdate));
+    }
+
+    #[test]
+    fn posts_are_interned() {
+        let bp = edtc_like();
+        let compiled = CompiledBlueprint::compile(&bp);
+        let ckin = compiled.lookup("ckin").unwrap();
+        let outofdate = compiled.lookup("outofdate").unwrap();
+        let d = compiled.table_for_view("schematic").dispatch(ckin).unwrap();
+        assert_eq!(d.posts[0].event, outofdate);
+        assert_eq!(d.posts[0].direction, Direction::Down);
+    }
+}

@@ -215,9 +215,8 @@ mod tests {
     #[test]
     fn evaluates_the_papers_state_assignment() {
         let oid = Oid::new("cpu", "schematic", 1);
-        let expr = expr_of(
-            "($nl_sim_res == good) and ($lvs_res == is_equiv) and ($uptodate == true)",
-        );
+        let expr =
+            expr_of("($nl_sim_res == good) and ($lvs_res == is_equiv) and ($uptodate == true)");
 
         let p = props(&[
             ("nl_sim_res", "good"),

@@ -66,7 +66,9 @@ impl ToolCtx<'_> {
         user: &str,
         payload: Vec<u8>,
     ) -> Result<(OidId, Oid), MetaError> {
-        let (id, oid) = self.workspace.checkin(self.db, block, view, user, payload)?;
+        let (id, oid) = self
+            .workspace
+            .checkin(self.db, block, view, user, payload)?;
         template::apply_on_create(self.blueprint, self.db, id, self.audit)?;
         Ok((id, oid))
     }
@@ -76,11 +78,7 @@ impl ToolCtx<'_> {
     /// # Errors
     ///
     /// Propagates database errors.
-    pub fn connect(
-        &mut self,
-        from: OidId,
-        to: OidId,
-    ) -> Result<damocles_meta::LinkId, MetaError> {
+    pub fn connect(&mut self, from: OidId, to: OidId) -> Result<damocles_meta::LinkId, MetaError> {
         template::instantiate_link(self.blueprint, self.db, from, to)
     }
 
@@ -103,8 +101,11 @@ impl ToolCtx<'_> {
 /// Executes wrapper scripts on behalf of the project server.
 pub trait ScriptExecutor {
     /// Runs one invocation, returning any event messages the wrapper posts.
-    fn execute(&mut self, invocation: &ScriptInvocation, ctx: &mut ToolCtx<'_>)
-        -> Vec<EventMessage>;
+    fn execute(
+        &mut self,
+        invocation: &ScriptInvocation,
+        ctx: &mut ToolCtx<'_>,
+    ) -> Vec<EventMessage>;
 }
 
 /// Discards every invocation.
@@ -203,7 +204,12 @@ mod tests {
             "blueprint t view default property uptodate default true endview view schematic endview view netlist link_from schematic propagates outofdate type derived endview endblueprint",
         )
         .unwrap();
-        (MetaDb::new(), Workspace::new("w"), bp, AuditLog::counters_only())
+        (
+            MetaDb::new(),
+            Workspace::new("w"),
+            bp,
+            AuditLog::counters_only(),
+        )
     }
 
     #[test]

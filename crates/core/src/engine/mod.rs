@@ -3,6 +3,7 @@
 //! façade.
 
 pub mod audit;
+pub mod compile;
 pub mod error;
 pub mod eval;
 pub mod event;

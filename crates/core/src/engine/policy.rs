@@ -152,7 +152,9 @@ mod tests {
 
     #[test]
     fn freeze_view_builder() {
-        let p = Policy::default().freeze_view("layout").freeze_view("netlist");
+        let p = Policy::default()
+            .freeze_view("layout")
+            .freeze_view("netlist");
         assert!(p.is_frozen("layout"));
         assert!(p.is_frozen("netlist"));
         assert!(!p.is_frozen("schematic"));

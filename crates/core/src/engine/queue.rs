@@ -106,10 +106,17 @@ impl EventQueue {
     /// the engine, which owns the database).
     pub fn drain_inbox(&mut self) -> Vec<Posted> {
         let mut posted = Vec::new();
-        while let Ok(p) = self.inbox_rx.try_recv() {
-            posted.push(p);
-        }
+        self.drain_inbox_into(&mut posted);
         posted
+    }
+
+    /// Allocation-reusing form of [`EventQueue::drain_inbox`]: appends the
+    /// postings to a caller-owned buffer (not cleared first), so a polling
+    /// loop can recycle one buffer instead of allocating a `Vec` per poll.
+    pub fn drain_inbox_into(&mut self, out: &mut Vec<Posted>) {
+        while let Ok(p) = self.inbox_rx.try_recv() {
+            out.push(p);
+        }
     }
 }
 
@@ -119,9 +126,7 @@ mod tests {
     use damocles_meta::{Direction, MetaDb, Oid};
 
     fn ev(db: &mut MetaDb, name: &str, n: u32) -> QueuedEvent {
-        let id = db
-            .create_oid(Oid::new(format!("b{n}"), "v", 1))
-            .unwrap();
+        let id = db.create_oid(Oid::new(format!("b{n}"), "v", 1)).unwrap();
         QueuedEvent::target(name, Direction::Down, id, "t")
     }
 
@@ -154,14 +159,11 @@ mod tests {
 
     #[test]
     fn concurrent_senders_feed_the_inbox() {
-        let q_tx = {
-            let q = EventQueue::new();
-            let tx = q.sender();
-            // The queue outlives this scope in real use; here we only test
-            // the channel plumbing.
-            std::mem::forget(q);
-            tx
-        };
+        // The queue stays alive in scope while producer threads run (it used
+        // to be `std::mem::forget`-leaked here; keeping it live also lets the
+        // test assert the messages actually arrive).
+        let mut q = EventQueue::new();
+        let q_tx = q.sender();
         let handles: Vec<_> = (0..4)
             .map(|i| {
                 let tx = q_tx.clone();
@@ -179,6 +181,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        assert_eq!(q.drain_inbox().len(), 4);
     }
 
     #[test]
@@ -196,5 +199,28 @@ mod tests {
         let names: Vec<&str> = drained.iter().map(|p| p.message.event.as_str()).collect();
         assert_eq!(names, vec!["e0", "e1", "e2"]);
         assert!(q.drain_inbox().is_empty());
+    }
+
+    #[test]
+    fn drain_inbox_into_reuses_the_buffer() {
+        let mut q = EventQueue::new();
+        let tx = q.sender();
+        let mut buf: Vec<Posted> = Vec::new();
+        for round in 0..3 {
+            for i in 0..2 {
+                tx.send(Posted {
+                    message: format!("postEvent r{round}e{i} down b,v,1")
+                        .parse()
+                        .unwrap(),
+                    user: "u".into(),
+                })
+                .unwrap();
+            }
+            buf.clear();
+            q.drain_inbox_into(&mut buf);
+            assert_eq!(buf.len(), 2);
+        }
+        let final_capacity = buf.capacity();
+        assert!(final_capacity >= 2);
     }
 }

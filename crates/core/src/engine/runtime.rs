@@ -21,11 +21,13 @@
 //! `(OID, event)` pair so cyclic link graphs terminate; the paper is silent
 //! on cycles, so this is a documented deviation (see DESIGN.md §7).
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
-use damocles_meta::{Direction, MetaDb, OidId};
+use damocles_meta::{Direction, MetaDb, OidId, Sym};
 
-use crate::engine::audit::{AuditLog, AuditRecord};
+use crate::engine::audit::{AuditKind, AuditLog, AuditRecord};
+use crate::engine::compile::CompiledBlueprint;
 use crate::engine::error::EngineError;
 use crate::engine::eval::EvalCtx;
 use crate::engine::event::{Delivery, QueuedEvent};
@@ -42,14 +44,55 @@ pub struct ProcessOutcome {
     pub delivered: u64,
 }
 
-/// The run-time engine. Owns the policy and the logical clock; borrows the
-/// blueprint, database and audit log per call so the project server can keep
-/// them in one place.
+/// Reusable buffers for the compiled wave loop, owned by the engine so one
+/// `process_compiled` call allocates nothing in the steady state: the
+/// visited set, the work queue and the neighbor scratch keep their capacity
+/// across waves.
+#[derive(Debug, Default)]
+struct WaveScratch {
+    /// `(OID, event)` pairs already delivered in the current wave.
+    visited: HashSet<(OidId, Sym)>,
+    /// Pending wave items.
+    work: VecDeque<CompiledWaveItem>,
+    /// Neighbor output buffer for [`MetaDb::neighbors_into`].
+    neighbors: Vec<OidId>,
+    /// Symbols for event names outside the compiled blueprint's universe
+    /// (wire messages may post arbitrary names). Indexed above the compiled
+    /// table. Cleared at the start of every wave — extras are only needed
+    /// for intra-wave visited-set keys, and retaining them would grow
+    /// engine memory by one entry per distinct unknown name for the
+    /// server's lifetime.
+    extra_map: HashMap<String, (Sym, Arc<str>)>,
+}
+
+impl WaveScratch {
+    /// Interns an event name against `compiled`'s universe, extending it
+    /// with wave-local symbols for unknown names.
+    fn intern(&mut self, compiled: &CompiledBlueprint, event: &str) -> (Sym, Arc<str>) {
+        if let Some(sym) = compiled.lookup(event) {
+            let name = compiled.name_arc(sym).expect("interned names resolve");
+            return (sym, Arc::clone(name));
+        }
+        if let Some((sym, name)) = self.extra_map.get(event) {
+            return (*sym, Arc::clone(name));
+        }
+        let sym = Sym((compiled.symbols().len() + self.extra_map.len()) as u32);
+        let name: Arc<str> = Arc::from(event);
+        self.extra_map
+            .insert(event.to_string(), (sym, Arc::clone(&name)));
+        (sym, name)
+    }
+}
+
+/// The run-time engine. Owns the policy, the logical clock and the wave
+/// scratch buffers; borrows the blueprint, database and audit log per call
+/// so the project server can keep them in one place.
 #[derive(Debug)]
 pub struct RuntimeEngine {
     /// Project policy in force.
     pub policy: Policy,
     clock: u64,
+    scratch: WaveScratch,
 }
 
 impl Default for RuntimeEngine {
@@ -58,7 +101,7 @@ impl Default for RuntimeEngine {
     }
 }
 
-/// One unit of wave work.
+/// One unit of wave work on the interpreted (AST-walking) path.
 #[derive(Debug)]
 struct WaveItem {
     event: String,
@@ -68,10 +111,44 @@ struct WaveItem {
     depth: u32,
 }
 
+/// Counts `kind` on the allocation-free path, or materializes the full
+/// record (the closure may look OIDs up in the database, hence the
+/// `Result`) when the log retains records. Keeping the kind and the record
+/// constructor in one call site prevents the two from drifting apart.
+fn audit_record(
+    audit: &mut AuditLog,
+    kind: AuditKind,
+    make: impl FnOnce() -> Result<AuditRecord, EngineError>,
+) -> Result<(), EngineError> {
+    if audit.enabled() {
+        audit.push(make()?);
+    } else {
+        audit.note(kind);
+    }
+    Ok(())
+}
+
+/// One unit of wave work on the compiled path: the event travels as an
+/// interned symbol plus a shared name, and the arguments are shared, so
+/// scheduling a propagation hop clones two `Arc`s instead of strings.
+#[derive(Debug)]
+struct CompiledWaveItem {
+    event: Sym,
+    name: Arc<str>,
+    direction: Direction,
+    delivery: Delivery,
+    args: Arc<[String]>,
+    depth: u32,
+}
+
 impl RuntimeEngine {
     /// Creates an engine with the given policy.
     pub fn new(policy: Policy) -> Self {
-        RuntimeEngine { policy, clock: 0 }
+        RuntimeEngine {
+            policy,
+            clock: 0,
+            scratch: WaveScratch::default(),
+        }
     }
 
     /// The logical clock: number of design events processed so far. Exposed
@@ -110,7 +187,17 @@ impl RuntimeEngine {
         while let Some(item) = work.pop_front() {
             match item.delivery {
                 Delivery::Target(id) => {
-                    self.deliver(bp, db, audit, &ev.user, &item, id, &mut visited, &mut work, &mut outcome)?;
+                    self.deliver(
+                        bp,
+                        db,
+                        audit,
+                        &ev.user,
+                        &item,
+                        id,
+                        &mut visited,
+                        &mut work,
+                        &mut outcome,
+                    )?;
                 }
                 Delivery::PropagateFrom(id) => {
                     self.propagate(db, audit, &item, id, &mut work)?;
@@ -398,6 +485,390 @@ impl RuntimeEngine {
                 direction: item.direction,
                 delivery: Delivery::Target(next),
                 args: item.args.clone(),
+                depth: item.depth,
+            });
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Compiled dispatch path
+    // ------------------------------------------------------------------
+
+    /// Processes one design event through the compiled dispatch path —
+    /// semantically identical to [`RuntimeEngine::process`] (the
+    /// differential property test in `tests/compiled_differential.rs` holds
+    /// the two to the same outcome, audit sequence and database state), but:
+    ///
+    /// * rule lookup is a hash probe on an interned event symbol instead of
+    ///   a linear scan with string compares;
+    /// * the visited set is keyed by `(OidId, Sym)` — `Copy`, no `String`
+    ///   clone per probe;
+    /// * the visited set, work queue and neighbor buffers are engine-owned
+    ///   scratch reused across waves, so steady-state processing does not
+    ///   allocate;
+    /// * audit records are only materialized when the log retains them
+    ///   (counters stay exact either way).
+    ///
+    /// # Errors
+    ///
+    /// As [`RuntimeEngine::process`].
+    pub fn process_compiled(
+        &mut self,
+        compiled: &CompiledBlueprint,
+        db: &mut MetaDb,
+        audit: &mut AuditLog,
+        ev: QueuedEvent,
+    ) -> Result<ProcessOutcome, EngineError> {
+        self.clock += 1;
+        let mut outcome = ProcessOutcome::default();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.visited.clear();
+        scratch.work.clear();
+        scratch.extra_map.clear();
+        let QueuedEvent {
+            event,
+            direction,
+            delivery,
+            args,
+            user,
+        } = ev;
+        let (sym, name) = scratch.intern(compiled, &event);
+        scratch.work.push_back(CompiledWaveItem {
+            event: sym,
+            name,
+            direction,
+            delivery,
+            args: args.into(),
+            depth: 0,
+        });
+        let result = self.run_compiled_wave(compiled, db, audit, &user, &mut scratch, &mut outcome);
+        self.scratch = scratch;
+        result.map(|()| outcome)
+    }
+
+    fn run_compiled_wave(
+        &self,
+        compiled: &CompiledBlueprint,
+        db: &mut MetaDb,
+        audit: &mut AuditLog,
+        user: &str,
+        scratch: &mut WaveScratch,
+        outcome: &mut ProcessOutcome,
+    ) -> Result<(), EngineError> {
+        while let Some(item) = scratch.work.pop_front() {
+            match item.delivery {
+                Delivery::Target(id) => {
+                    self.deliver_compiled(compiled, db, audit, user, &item, id, scratch, outcome)?;
+                }
+                Delivery::PropagateFrom(id) => {
+                    self.propagate_compiled(db, audit, &item, id, scratch)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rule execution at one OID on the compiled path, then onward
+    /// propagation. Mirrors [`RuntimeEngine::deliver`] step for step
+    /// (including audit-record order) so the two paths stay differentially
+    /// testable.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_compiled(
+        &self,
+        compiled: &CompiledBlueprint,
+        db: &mut MetaDb,
+        audit: &mut AuditLog,
+        user: &str,
+        item: &CompiledWaveItem,
+        id: OidId,
+        scratch: &mut WaveScratch,
+        outcome: &mut ProcessOutcome,
+    ) -> Result<(), EngineError> {
+        let ev_name: &str = &item.name;
+        // Probe liveness first, as the interpreted path does.
+        let _ = db.entry(id)?;
+        if self.policy.cycle_guard && !scratch.visited.insert((id, item.event)) {
+            audit_record(audit, AuditKind::CycleSkipped, || {
+                Ok(AuditRecord::CycleSkipped {
+                    oid: db.oid(id)?.clone(),
+                    event: ev_name.to_string(),
+                })
+            })?;
+            return Ok(());
+        }
+
+        let (table, dispatch) = {
+            let oid = &db.entry(id)?.oid;
+            let view_name = oid.view.as_str();
+            if !compiled.declares_view(view_name) && view_name != "default" {
+                match self.policy.unknown_views {
+                    Strictness::Reject => {
+                        return Err(PolicyViolation::UnknownView {
+                            view: view_name.to_string(),
+                            event: ev_name.to_string(),
+                        }
+                        .into());
+                    }
+                    Strictness::Observe => {
+                        audit_record(audit, AuditKind::UnmatchedEvent, || {
+                            Ok(AuditRecord::UnmatchedEvent {
+                                oid: oid.clone(),
+                                event: ev_name.to_string(),
+                            })
+                        })?;
+                    }
+                    Strictness::Lenient => {}
+                }
+            }
+            let table = compiled.table_for_view(view_name);
+            (table, table.dispatch(item.event))
+        };
+
+        if dispatch.is_none() {
+            match self.policy.unmatched_events {
+                Strictness::Reject => {
+                    return Err(PolicyViolation::UnmatchedEvent {
+                        view: db.oid(id)?.view.to_string(),
+                        event: ev_name.to_string(),
+                    }
+                    .into());
+                }
+                Strictness::Observe => {
+                    audit_record(audit, AuditKind::UnmatchedEvent, || {
+                        Ok(AuditRecord::UnmatchedEvent {
+                            oid: db.oid(id)?.clone(),
+                            event: ev_name.to_string(),
+                        })
+                    })?;
+                }
+                Strictness::Lenient => {}
+            }
+        }
+
+        audit_record(audit, AuditKind::Delivered, || {
+            Ok(AuditRecord::Delivered {
+                oid: db.oid(id)?.clone(),
+                event: ev_name.to_string(),
+            })
+        })?;
+        outcome.delivered += 1;
+
+        // 1. assign rules (pre-merged, pre-phase-split).
+        if let Some(d) = dispatch {
+            for assign in &d.assigns {
+                let value = {
+                    let entry = db.entry(id)?;
+                    let ctx = EvalCtx {
+                        props: &entry.props,
+                        oid: &entry.oid,
+                        event: ev_name,
+                        args: &item.args,
+                        user,
+                        date: self.clock,
+                    };
+                    ctx.render_value(&assign.value)
+                };
+                if audit.enabled() {
+                    let old = db.set_prop(id, &assign.prop, value.clone())?;
+                    audit.push(AuditRecord::Assigned {
+                        oid: db.oid(id)?.clone(),
+                        prop: assign.prop.clone(),
+                        old,
+                        new: value,
+                    });
+                } else {
+                    db.set_prop(id, &assign.prop, value)?;
+                    audit.note(AuditKind::Assigned);
+                }
+            }
+        }
+
+        // 2. continuous assignments (pre-merged per view).
+        if self.policy.eager_lets {
+            for let_def in table.lets() {
+                let value = {
+                    let entry = db.entry(id)?;
+                    let ctx = EvalCtx {
+                        props: &entry.props,
+                        oid: &entry.oid,
+                        event: ev_name,
+                        args: &item.args,
+                        user,
+                        date: self.clock,
+                    };
+                    ctx.eval(&let_def.expr)
+                };
+                if audit.enabled() {
+                    db.set_prop(id, &let_def.name, value.clone())?;
+                    audit.push(AuditRecord::Reevaluated {
+                        oid: db.oid(id)?.clone(),
+                        name: let_def.name.clone(),
+                        value,
+                    });
+                } else {
+                    db.set_prop(id, &let_def.name, value)?;
+                    audit.note(AuditKind::Reevaluated);
+                }
+            }
+        }
+
+        if let Some(d) = dispatch {
+            // 3. exec rules (collected; the server dispatches them post-wave).
+            for exec in &d.execs {
+                let invocation = {
+                    let entry = db.entry(id)?;
+                    let ctx = EvalCtx {
+                        props: &entry.props,
+                        oid: &entry.oid,
+                        event: ev_name,
+                        args: &item.args,
+                        user,
+                        date: self.clock,
+                    };
+                    if exec.notify {
+                        ScriptInvocation {
+                            script: "notify".to_string(),
+                            args: vec![ctx.render(&exec.script)],
+                            notify: true,
+                            origin: entry.oid.to_string(),
+                            event: ev_name.to_string(),
+                        }
+                    } else {
+                        ScriptInvocation {
+                            script: ctx.render(&exec.script),
+                            args: exec.args.iter().map(|a| ctx.render(a)).collect(),
+                            notify: false,
+                            origin: entry.oid.to_string(),
+                            event: ev_name.to_string(),
+                        }
+                    }
+                };
+                audit_record(audit, AuditKind::ScriptInvoked, || {
+                    Ok(AuditRecord::ScriptInvoked {
+                        script: invocation.script.clone(),
+                        args: invocation.args.clone(),
+                        notify: exec.notify,
+                    })
+                })?;
+                outcome.invocations.push(invocation);
+            }
+
+            // 4. post rules.
+            for post in &d.posts {
+                let post_name = compiled
+                    .name_arc(post.event)
+                    .expect("compiled posts resolve");
+                let rendered_args: Arc<[String]> = {
+                    let entry = db.entry(id)?;
+                    let ctx = EvalCtx {
+                        props: &entry.props,
+                        oid: &entry.oid,
+                        event: ev_name,
+                        args: &item.args,
+                        user,
+                        date: self.clock,
+                    };
+                    post.args
+                        .iter()
+                        .map(|a| ctx.render(a))
+                        .collect::<Vec<_>>()
+                        .into()
+                };
+                audit_record(audit, AuditKind::EventPosted, || {
+                    Ok(AuditRecord::EventPosted {
+                        from: db.oid(id)?.clone(),
+                        event: post_name.to_string(),
+                        direction: post.direction,
+                        to_view: post.to_view.clone(),
+                    })
+                })?;
+                if item.depth >= self.policy.max_post_depth {
+                    audit_record(audit, AuditKind::DepthTruncated, || {
+                        Ok(AuditRecord::DepthTruncated {
+                            event: post_name.to_string(),
+                        })
+                    })?;
+                    continue;
+                }
+                match &post.to_view {
+                    Some(target_view) => {
+                        // Targeted post: one hop through an allowing link to
+                        // OIDs of the named view; rules run there.
+                        scratch.neighbors.clear();
+                        db.neighbors_into(
+                            id,
+                            post.direction,
+                            Some(post_name),
+                            &mut scratch.neighbors,
+                        )?;
+                        for i in 0..scratch.neighbors.len() {
+                            let next = scratch.neighbors[i];
+                            if db.oid(next)?.view.as_str() == target_view.as_str() {
+                                audit_record(audit, AuditKind::Propagated, || {
+                                    Ok(AuditRecord::Propagated {
+                                        from: db.oid(id)?.clone(),
+                                        to: db.oid(next)?.clone(),
+                                        event: post_name.to_string(),
+                                    })
+                                })?;
+                                scratch.work.push_back(CompiledWaveItem {
+                                    event: post.event,
+                                    name: Arc::clone(post_name),
+                                    direction: post.direction,
+                                    delivery: Delivery::Target(next),
+                                    args: Arc::clone(&rendered_args),
+                                    depth: item.depth + 1,
+                                });
+                            }
+                        }
+                    }
+                    None => {
+                        scratch.work.push_back(CompiledWaveItem {
+                            event: post.event,
+                            name: Arc::clone(post_name),
+                            direction: post.direction,
+                            delivery: Delivery::PropagateFrom(id),
+                            args: rendered_args,
+                            depth: item.depth + 1,
+                        });
+                    }
+                }
+            }
+        }
+
+        // 5. propagate the delivered event itself.
+        self.propagate_compiled(db, audit, item, id, scratch)?;
+        Ok(())
+    }
+
+    /// Compiled-path counterpart of [`RuntimeEngine::propagate`]: crosses
+    /// every allowing link out of `id` using the reusable neighbor buffer.
+    fn propagate_compiled(
+        &self,
+        db: &mut MetaDb,
+        audit: &mut AuditLog,
+        item: &CompiledWaveItem,
+        id: OidId,
+        scratch: &mut WaveScratch,
+    ) -> Result<(), EngineError> {
+        scratch.neighbors.clear();
+        db.neighbors_into(id, item.direction, Some(&item.name), &mut scratch.neighbors)?;
+        for i in 0..scratch.neighbors.len() {
+            let next = scratch.neighbors[i];
+            audit_record(audit, AuditKind::Propagated, || {
+                Ok(AuditRecord::Propagated {
+                    from: db.oid(id)?.clone(),
+                    to: db.oid(next)?.clone(),
+                    event: item.name.to_string(),
+                })
+            })?;
+            scratch.work.push_back(CompiledWaveItem {
+                event: item.event,
+                name: Arc::clone(&item.name),
+                direction: item.direction,
+                delivery: Delivery::Target(next),
+                args: Arc::clone(&item.args),
                 depth: item.depth,
             });
         }
@@ -710,6 +1181,129 @@ mod tests {
         }
     }
 
+    /// Compiles `bp` and runs one event through the compiled path.
+    fn process_c(
+        engine: &mut RuntimeEngine,
+        bp: &Blueprint,
+        db: &mut MetaDb,
+        audit: &mut AuditLog,
+        ev: QueuedEvent,
+    ) -> ProcessOutcome {
+        let compiled = CompiledBlueprint::compile(bp);
+        engine.process_compiled(&compiled, db, audit, ev).unwrap()
+    }
+
+    #[test]
+    fn compiled_path_invalidates_derived_hierarchy() {
+        let (bp, mut db, hdl, sch, reg) = flow();
+        let mut audit = AuditLog::counters_only();
+        let mut engine = RuntimeEngine::default();
+        let ev = QueuedEvent::target("ckin", Direction::Up, hdl, "yves");
+        let outcome = process_c(&mut engine, &bp, &mut db, &mut audit, ev);
+        assert!(uptodate(&db, hdl));
+        assert!(!uptodate(&db, sch));
+        assert!(!uptodate(&db, reg));
+        assert_eq!(outcome.delivered, 3);
+        assert_eq!(audit.summary().propagations, 2);
+    }
+
+    #[test]
+    fn compiled_path_reuses_scratch_across_waves() {
+        let (bp, mut db, hdl, _, _) = flow();
+        let mut audit = AuditLog::counters_only();
+        let mut engine = RuntimeEngine::default();
+        let compiled = CompiledBlueprint::compile(&bp);
+        for _ in 0..3 {
+            let ev = QueuedEvent::target("ckin", Direction::Up, hdl, "yves");
+            engine
+                .process_compiled(&compiled, &mut db, &mut audit, ev)
+                .unwrap();
+        }
+        assert_eq!(engine.clock(), 3);
+        assert_eq!(audit.summary().deliveries, 9);
+    }
+
+    #[test]
+    fn compiled_path_handles_events_outside_the_blueprint() {
+        // An event name the blueprint never mentions must still deliver,
+        // propagate across manually-created links that allow it, and hit the
+        // cycle guard — exercising the engine-local symbol extension.
+        let bp =
+            parse("blueprint t view A property got default false endview endblueprint").unwrap();
+        let mut db = MetaDb::new();
+        let mut audit = AuditLog::counters_only();
+        let a = db.create_oid(Oid::new("x", "A", 1)).unwrap();
+        let b = db.create_oid(Oid::new("y", "A", 1)).unwrap();
+        db.add_link_with(
+            a,
+            b,
+            damocles_meta::LinkClass::Derive,
+            damocles_meta::LinkKind::DeriveFrom,
+            ["zap"],
+        )
+        .unwrap();
+        let mut engine = RuntimeEngine::default();
+        let ev = QueuedEvent::target("zap", Direction::Down, a, "t");
+        let outcome = process_c(&mut engine, &bp, &mut db, &mut audit, ev);
+        assert_eq!(outcome.delivered, 2);
+        assert_eq!(audit.summary().propagations, 1);
+    }
+
+    #[test]
+    fn compiled_path_respects_post_to_view() {
+        let bp = parse(
+            r#"blueprint t
+            view src
+                use_link propagates sim_ok
+                when checkin do post sim_ok down to VerilogNetList done
+            endview
+            view VerilogNetList
+                property seen default false
+                link_from src propagates sim_ok type derived
+                when sim_ok do seen = true done
+            endview
+            view EdifNetlist
+                property seen default false
+                link_from src propagates sim_ok type derived
+                when sim_ok do seen = true done
+            endview
+            endblueprint"#,
+        )
+        .unwrap();
+        let mut db = MetaDb::new();
+        let mut audit = AuditLog::counters_only();
+        let src = db.create_oid(Oid::new("cpu", "src", 1)).unwrap();
+        let vnl = db.create_oid(Oid::new("cpu", "VerilogNetList", 1)).unwrap();
+        let enl = db.create_oid(Oid::new("cpu", "EdifNetlist", 1)).unwrap();
+        template::apply_on_create(&bp, &mut db, vnl, &mut audit).unwrap();
+        template::apply_on_create(&bp, &mut db, enl, &mut audit).unwrap();
+        template::instantiate_link(&bp, &mut db, src, vnl).unwrap();
+        template::instantiate_link(&bp, &mut db, src, enl).unwrap();
+        let mut engine = RuntimeEngine::default();
+        let ev = QueuedEvent::target("checkin", Direction::Down, src, "yves");
+        process_c(&mut engine, &bp, &mut db, &mut audit, ev);
+        assert_eq!(db.get_prop(vnl, "seen").unwrap(), Some(&Value::Bool(true)));
+        assert_eq!(db.get_prop(enl, "seen").unwrap(), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn compiled_path_enforces_strict_policies() {
+        let bp = parse("blueprint t view known endview endblueprint").unwrap();
+        let mut db = MetaDb::new();
+        let mut audit = AuditLog::counters_only();
+        let id = db.create_oid(Oid::new("b", "mystery", 1)).unwrap();
+        let compiled = CompiledBlueprint::compile(&bp);
+        let mut engine = RuntimeEngine::new(Policy::signoff());
+        let ev = QueuedEvent::target("ckin", Direction::Up, id, "t");
+        let err = engine
+            .process_compiled(&compiled, &mut db, &mut audit, ev)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Policy(PolicyViolation::UnknownView { .. })
+        ));
+    }
+
     #[test]
     fn notify_renders_message() {
         let bp = parse(
@@ -721,7 +1315,8 @@ mod tests {
         let mut db = MetaDb::new();
         let mut audit = AuditLog::retaining();
         let id = db.create_oid(Oid::new("reg", "v", 4)).unwrap();
-        db.set_prop(id, "owner", Value::Str("salma".into())).unwrap();
+        db.set_prop(id, "owner", Value::Str("salma".into()))
+            .unwrap();
         let mut engine = RuntimeEngine::default();
         let ev = QueuedEvent::target("checkin", Direction::Up, id, "yves");
         let outcome = engine.process(&bp, &mut db, &mut audit, ev).unwrap();

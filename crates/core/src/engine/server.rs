@@ -13,11 +13,12 @@ use damocles_meta::{
 };
 
 use crate::engine::audit::AuditLog;
+use crate::engine::compile::CompiledBlueprint;
 use crate::engine::error::EngineError;
 use crate::engine::event::QueuedEvent;
 use crate::engine::exec::{NullExecutor, ScriptExecutor, ToolCtx};
 use crate::engine::policy::{Policy, PolicyViolation, Strictness};
-use crate::engine::queue::EventQueue;
+use crate::engine::queue::{EventQueue, Posted};
 use crate::engine::runtime::RuntimeEngine;
 use crate::engine::template;
 use crate::lang::ast::Blueprint;
@@ -86,12 +87,21 @@ impl ProcessReport {
 #[derive(Debug)]
 pub struct ProjectServer<E = NullExecutor> {
     blueprint: Blueprint,
+    /// The blueprint compiled for the engine; rebuilt whenever the
+    /// blueprint changes (`reinit`).
+    compiled: CompiledBlueprint,
     db: MetaDb,
     workspace: Workspace,
     engine: RuntimeEngine,
     queue: EventQueue,
     audit: AuditLog,
     executor: E,
+    /// Reusable inbox-drain buffer (see `EventQueue::drain_inbox_into`).
+    inbox_buf: Vec<Posted>,
+    /// When true, events run through the seed's AST-walking engine path
+    /// instead of the compiled dispatch tables — kept for differential
+    /// testing and as the benches' baseline.
+    ast_dispatch: bool,
     /// Safety valve for `process_all`.
     pub max_events_per_drain: u64,
 }
@@ -128,14 +138,18 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         validate::check(&blueprint).map_err(|issues| EngineError::Invalid {
             issues: issues.iter().map(ToString::to_string).collect(),
         })?;
+        let compiled = CompiledBlueprint::compile(&blueprint);
         Ok(ProjectServer {
             blueprint,
+            compiled,
             db: MetaDb::new(),
             workspace: Workspace::new("project"),
             engine: RuntimeEngine::default(),
             queue: EventQueue::new(),
             audit: AuditLog::counters_only(),
             executor,
+            inbox_buf: Vec::new(),
+            ast_dispatch: false,
             max_events_per_drain: 1_000_000,
         })
     }
@@ -152,6 +166,7 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         validate::check(&blueprint).map_err(|issues| EngineError::Invalid {
             issues: issues.iter().map(ToString::to_string).collect(),
         })?;
+        self.compiled = CompiledBlueprint::compile(&blueprint);
         self.blueprint = blueprint;
         Ok(())
     }
@@ -171,29 +186,26 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         let ids: Vec<OidId> = self.db.iter_oids().map(|(id, _)| id).collect();
         let mut written = 0u64;
         for id in ids {
-            let oid = self.db.oid(id)?.clone();
-            let view_name = oid.view.to_string();
-            let mut lets: Vec<&crate::lang::ast::LetDef> = Vec::new();
-            if let Some(default) = self.blueprint.default_view() {
-                if view_name != "default" {
-                    lets.extend(default.lets.iter());
-                }
-            }
-            if let Some(v) = self.blueprint.view(&view_name) {
-                lets.extend(v.lets.iter());
-            }
+            // The compiled per-view tables hold the default view's lets and
+            // the view's own pre-merged in evaluation order.
+            let table = {
+                let view = &self.db.oid(id)?.view;
+                self.compiled.table_for_view(view.as_str())
+            };
             // Evaluate against a stable snapshot of the entry's properties.
             let values: Vec<(String, Value)> = {
                 let entry = self.db.entry(id)?;
                 let ctx = EvalCtx {
                     props: &entry.props,
-                    oid: &oid,
+                    oid: &entry.oid,
                     event: "refresh",
                     args: &[],
                     user: "server",
                     date: 0,
                 };
-                lets.iter()
+                table
+                    .lets()
+                    .iter()
                     .map(|l| (l.name.clone(), ctx.eval(&l.expr)))
                     .collect()
             };
@@ -238,6 +250,20 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         self
     }
 
+    /// Routes events through the seed's AST-walking engine path instead of
+    /// the compiled dispatch tables (builder style) — the baseline side of
+    /// the differential tests and the `propagation`/`fig1_event_queue`
+    /// benches.
+    pub fn with_ast_dispatch(mut self) -> Self {
+        self.ast_dispatch = true;
+        self
+    }
+
+    /// Whether the AST-walking dispatch path is in force.
+    pub fn uses_ast_dispatch(&self) -> bool {
+        self.ast_dispatch
+    }
+
     // ------------------------------------------------------------------
     // Accessors
     // ------------------------------------------------------------------
@@ -245,6 +271,11 @@ impl<E: ScriptExecutor> ProjectServer<E> {
     /// The active blueprint.
     pub fn blueprint(&self) -> &Blueprint {
         &self.blueprint
+    }
+
+    /// The active blueprint's compiled form.
+    pub fn compiled(&self) -> &CompiledBlueprint {
+        &self.compiled
     }
 
     /// The meta-database (read-only; mutate through server operations).
@@ -328,12 +359,14 @@ impl<E: ScriptExecutor> ProjectServer<E> {
             }
             .into());
         }
-        let (id, oid) = self.workspace.checkin(&mut self.db, block, view, user, payload)?;
+        let (id, oid) = self
+            .workspace
+            .checkin(&mut self.db, block, view, user, payload)?;
         template::apply_on_create(&self.blueprint, &mut self.db, id, &mut self.audit)?;
-        self.db.set_prop(id, "owner", Value::Str(user.to_string()))?;
-        self.queue.enqueue(
-            QueuedEvent::target("ckin", Direction::Up, id, user),
-        );
+        self.db
+            .set_prop(id, "owner", Value::Str(user.to_string()))?;
+        self.queue
+            .enqueue(QueuedEvent::target("ckin", Direction::Up, id, user));
         Ok(oid)
     }
 
@@ -433,9 +466,16 @@ impl<E: ScriptExecutor> ProjectServer<E> {
     pub fn process_all(&mut self) -> Result<ProcessReport, EngineError> {
         let mut report = ProcessReport::default();
         loop {
-            for posted in self.queue.drain_inbox() {
-                self.enqueue_lenient(&posted.message, &posted.user)?;
-            }
+            // Reuse one inbox buffer across polls instead of allocating a
+            // fresh Vec per drain.
+            let mut inbox = std::mem::take(&mut self.inbox_buf);
+            inbox.clear();
+            self.queue.drain_inbox_into(&mut inbox);
+            let drained: Result<(), EngineError> = inbox
+                .iter()
+                .try_for_each(|posted| self.enqueue_lenient(&posted.message, &posted.user));
+            self.inbox_buf = inbox;
+            drained?;
             let Some(ev) = self.queue.dequeue() else {
                 break;
             };
@@ -444,9 +484,13 @@ impl<E: ScriptExecutor> ProjectServer<E> {
                     processed: report.events,
                 });
             }
-            let outcome = self
-                .engine
-                .process(&self.blueprint, &mut self.db, &mut self.audit, ev)?;
+            let outcome = if self.ast_dispatch {
+                self.engine
+                    .process(&self.blueprint, &mut self.db, &mut self.audit, ev)?
+            } else {
+                self.engine
+                    .process_compiled(&self.compiled, &mut self.db, &mut self.audit, ev)?
+            };
             report.absorb(ProcessReport {
                 events: 1,
                 deliveries: outcome.delivered,
@@ -643,7 +687,8 @@ mod tests {
         // Data survived.
         assert!(server.prop(&hdl, "uptodate").is_some());
         // Bad blueprint: reinit fails, old one stays.
-        let err = server.reinit_from_source("blueprint x view a endview view a endview endblueprint");
+        let err =
+            server.reinit_from_source("blueprint x view a endview view a endview endblueprint");
         assert!(err.is_err());
         assert_eq!(server.blueprint().name, "loose");
     }

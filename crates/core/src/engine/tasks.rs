@@ -433,8 +433,11 @@ mod tests {
         let plan = [
             model_task(),
             // Blocked: requires a property nothing sets.
-            DesignTask::new("impossible", "never satisfiable")
-                .requires(Condition::truthy("CPU", "HDL_model", "ghost_prop")),
+            DesignTask::new("impossible", "never satisfiable").requires(Condition::truthy(
+                "CPU",
+                "HDL_model",
+                "ghost_prop",
+            )),
             model_task(),
         ];
         let reports = run_plan(&mut s, &plan).unwrap();
@@ -448,7 +451,8 @@ mod tests {
         let mut s = server();
         run_task(&mut s, &model_task()).unwrap();
         // New version resets sim_result to default bad.
-        s.checkin("CPU", "HDL_model", "yves", b"v2".to_vec()).unwrap();
+        s.checkin("CPU", "HDL_model", "yves", b"v2".to_vec())
+            .unwrap();
         s.process_all().unwrap();
         assert!(!Condition::equals("CPU", "HDL_model", "sim_result", "good").holds(&s));
         assert!(Condition::exists("CPU", "HDL_model").holds(&s));

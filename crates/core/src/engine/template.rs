@@ -271,8 +271,8 @@ mod tests {
 
     #[test]
     fn create_transfer_resets_to_default() {
-        let bp =
-            parse("blueprint t view V property uptodate default true endview endblueprint").unwrap();
+        let bp = parse("blueprint t view V property uptodate default true endview endblueprint")
+            .unwrap();
         let mut db = MetaDb::new();
         let mut audit = AuditLog::counters_only();
         let v1 = db.create_oid(Oid::new("b", "V", 1)).unwrap();
@@ -280,7 +280,10 @@ mod tests {
         db.set_prop(v1, "uptodate", Value::Bool(false)).unwrap();
         let v2 = db.create_oid(Oid::new("b", "V", 2)).unwrap();
         apply_on_create(&bp, &mut db, v2, &mut audit).unwrap();
-        assert_eq!(db.get_prop(v2, "uptodate").unwrap(), Some(&Value::Bool(true)));
+        assert_eq!(
+            db.get_prop(v2, "uptodate").unwrap(),
+            Some(&Value::Bool(true))
+        );
     }
 
     #[test]
@@ -294,7 +297,10 @@ mod tests {
         let id = db.create_oid(Oid::new("b", "V", 1)).unwrap();
         let report = apply_on_create(&bp, &mut db, id, &mut audit).unwrap();
         assert_eq!(report.props_attached, 2);
-        assert_eq!(db.get_prop(id, "uptodate").unwrap(), Some(&Value::Bool(true)));
+        assert_eq!(
+            db.get_prop(id, "uptodate").unwrap(),
+            Some(&Value::Bool(true))
+        );
         assert_eq!(db.get_prop(id, "x").unwrap().unwrap().as_atom(), "y");
         // Unknown views still get the default-view properties.
         let ghost = db.create_oid(Oid::new("b", "Ghost", 1)).unwrap();
@@ -397,7 +403,10 @@ mod tests {
         let b2 = db.create_oid(Oid::new("x", "B", 2)).unwrap();
         let report = apply_on_create(&bp, &mut db, b2, &mut audit).unwrap();
         assert_eq!(report.links_copied, 1);
-        assert_eq!(db.neighbors(a, Direction::Down, Some("e")).unwrap().len(), 2);
+        assert_eq!(
+            db.neighbors(a, Direction::Down, Some("e")).unwrap().len(),
+            2
+        );
     }
 
     #[test]

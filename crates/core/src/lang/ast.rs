@@ -346,9 +346,7 @@ impl Template {
 
     /// Whether the template contains no variables at all.
     pub fn is_literal(&self) -> bool {
-        self.segments
-            .iter()
-            .all(|s| matches!(s, Segment::Lit(_)))
+        self.segments.iter().all(|s| matches!(s, Segment::Lit(_)))
     }
 }
 

@@ -67,7 +67,8 @@ impl<'s> Lexer<'s> {
     }
 
     fn push(&mut self, kind: TokenKind, start: Pos) {
-        self.tokens.push(Token::new(kind, Span::new(start, self.pos)));
+        self.tokens
+            .push(Token::new(kind, Span::new(start, self.pos)));
     }
 
     fn run(mut self) -> Result<Vec<Token>, ParseError> {
@@ -283,10 +284,7 @@ mod tests {
 
     #[test]
     fn not_eq_operator() {
-        assert_eq!(
-            kinds("$a != bad")[1],
-            TokenKind::NotEq
-        );
+        assert_eq!(kinds("$a != bad")[1], TokenKind::NotEq);
     }
 
     #[test]

@@ -312,7 +312,10 @@ impl Parser {
         let name = self.expect_ident("property name")?;
         if !matches!(self.peek_kind(), TokenKind::Assign) {
             return Err(ParseError::new(
-                format!("expected `=` in continuous assignment, found {}", self.peek_kind()),
+                format!(
+                    "expected `=` in continuous assignment, found {}",
+                    self.peek_kind()
+                ),
                 self.peek().span,
             ));
         }
@@ -559,8 +562,9 @@ mod tests {
     #[test]
     fn parses_fig2_property_rule() {
         // Fig. 2: "view GDSII / property DRC default bad copy / endview"
-        let bp = parse("blueprint f2 view GDSII property DRC default bad copy endview endblueprint")
-            .unwrap();
+        let bp =
+            parse("blueprint f2 view GDSII property DRC default bad copy endview endblueprint")
+                .unwrap();
         let prop = &bp.views[0].properties[0];
         assert_eq!(prop.name, "DRC");
         assert_eq!(prop.default, "bad");
@@ -658,7 +662,8 @@ mod tests {
 
     #[test]
     fn parses_notify() {
-        let v = parse_view(r#"when checkin do notify "$owner: Your oid $OID has been modified" done"#);
+        let v =
+            parse_view(r#"when checkin do notify "$owner: Your oid $OID has been modified" done"#);
         match &v.rules[0].actions[0] {
             Action::Notify { message } => {
                 assert!(!message.is_literal());
@@ -677,8 +682,9 @@ mod tests {
 
     #[test]
     fn view_default_is_allowed() {
-        let bp = parse("blueprint t view default property uptodate default true endview endblueprint")
-            .unwrap();
+        let bp =
+            parse("blueprint t view default property uptodate default true endview endblueprint")
+                .unwrap();
         assert_eq!(bp.views[0].name, "default");
     }
 
@@ -729,8 +735,8 @@ mod tests {
 
     #[test]
     fn error_spans_point_at_problem() {
-        let err = parse("blueprint t\nview a\nproperty = default x\nendview endblueprint")
-            .unwrap_err();
+        let err =
+            parse("blueprint t\nview a\nproperty = default x\nendview endblueprint").unwrap_err();
         assert_eq!(err.span.start.line, 3);
     }
 

@@ -10,8 +10,7 @@ use std::fmt::Write;
 use damocles_meta::Direction;
 
 use crate::lang::ast::{
-    Action, Blueprint, Expr, LinkDef, LinkSource, PropertyDef, RuleDef, Segment, Template,
-    ViewDef,
+    Action, Blueprint, Expr, LinkDef, LinkSource, PropertyDef, RuleDef, Segment, Template, ViewDef,
 };
 use crate::lang::token::Keyword;
 
@@ -57,7 +56,12 @@ fn print_view(out: &mut String, view: &ViewDef) {
 }
 
 fn print_property(out: &mut String, p: &PropertyDef) {
-    let _ = write!(out, "    property {} default {}", p.name, bare_or_quoted(&p.default));
+    let _ = write!(
+        out,
+        "    property {} default {}",
+        p.name,
+        bare_or_quoted(&p.default)
+    );
     if let Some(kw) = p.transfer.keyword() {
         let _ = write!(out, " {kw}");
     }
@@ -204,7 +208,11 @@ mod tests {
         let printed = print(&bp);
         let reparsed = parse(&printed)
             .unwrap_or_else(|e| panic!("reparse failed: {e}\nprinted source:\n{printed}"));
-        assert_eq!(reparsed.normalized(), bp.normalized(), "printed:\n{printed}");
+        assert_eq!(
+            reparsed.normalized(),
+            bp.normalized(),
+            "printed:\n{printed}"
+        );
     }
 
     #[test]
@@ -247,8 +255,8 @@ mod tests {
     #[test]
     fn keyword_valued_atom_is_quoted() {
         // An atom spelled like a keyword must be quoted to survive.
-        let bp = parse(r#"blueprint t view a property p default "move" endview endblueprint"#)
-            .unwrap();
+        let bp =
+            parse(r#"blueprint t view a property p default "move" endview endblueprint"#).unwrap();
         let printed = print(&bp);
         assert!(printed.contains("\"move\""), "printed:\n{printed}");
         roundtrip(r#"blueprint t view a property p default "move" endview endblueprint"#);

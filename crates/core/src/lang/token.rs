@@ -253,9 +253,6 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert_eq!(TokenKind::EqEq.to_string(), "`==`");
-        assert_eq!(
-            TokenKind::Var("arg".into()).to_string(),
-            "variable `$arg`"
-        );
+        assert_eq!(TokenKind::Var("arg".into()).to_string(), "variable `$arg`");
     }
 }

@@ -250,8 +250,9 @@ mod tests {
     fn duplicate_view_is_error() {
         let src = "blueprint t view a endview view a endview endblueprint";
         let issues = issues_of(src);
-        assert!(issues.iter().any(|i| i.severity == Severity::Error
-            && i.message.contains("defined twice")));
+        assert!(issues
+            .iter()
+            .any(|i| i.severity == Severity::Error && i.message.contains("defined twice")));
     }
 
     #[test]
@@ -265,8 +266,7 @@ mod tests {
 
     #[test]
     fn duplicate_let_is_error() {
-        let src =
-            "blueprint t view a let s = ($a == b) let s = ($c == d) endview endblueprint";
+        let src = "blueprint t view a let s = ($a == b) let s = ($c == d) endview endblueprint";
         assert!(issues_of(src)
             .iter()
             .any(|i| i.severity == Severity::Error && i.message.contains("declared twice")));
@@ -274,11 +274,10 @@ mod tests {
 
     #[test]
     fn let_shadowing_property_is_error() {
-        let src =
-            "blueprint t view a property s default x let s = ($a == b) endview endblueprint";
-        assert!(issues_of(src)
-            .iter()
-            .any(|i| i.message.contains("both a property and a continuous assignment")));
+        let src = "blueprint t view a property s default x let s = ($a == b) endview endblueprint";
+        assert!(issues_of(src).iter().any(|i| i
+            .message
+            .contains("both a property and a continuous assignment")));
     }
 
     #[test]
@@ -331,21 +330,17 @@ mod tests {
             use_link propagates sim_ok
             when ckin do post sim_ok down to Ghost done
         endview endblueprint"#;
-        assert!(issues_of(src)
-            .iter()
-            .any(|i| i.message.contains("`Ghost`")));
+        assert!(issues_of(src).iter().any(|i| i.message.contains("`Ghost`")));
     }
 
     #[test]
     fn check_splits_errors_from_warnings() {
         let clean = parse("blueprint t view a endview endblueprint").unwrap();
         assert!(check(&clean).is_ok());
-        let warn_only =
-            parse("blueprint t view a use_link move endview endblueprint").unwrap();
+        let warn_only = parse("blueprint t view a use_link move endview endblueprint").unwrap();
         let issues = check(&warn_only).unwrap();
         assert_eq!(issues.len(), 1);
-        let broken =
-            parse("blueprint t view a endview view a endview endblueprint").unwrap();
+        let broken = parse("blueprint t view a endview view a endview endblueprint").unwrap();
         assert!(check(&broken).is_err());
     }
 

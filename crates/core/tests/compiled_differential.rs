@@ -1,0 +1,294 @@
+//! Differential property test: the compiled dispatch path must be
+//! observationally identical to the seed's AST-walking path.
+//!
+//! For randomized blueprints, design graphs and event streams, both engine
+//! paths are run side by side on cloned databases and held to the same
+//! [`ProcessOutcome`] (delivered count and script invocations), the same
+//! retained audit-record sequence, and the same final database image
+//! (`damocles_meta::persist::save`).
+
+use blueprint_core::engine::audit::AuditLog;
+use blueprint_core::engine::compile::CompiledBlueprint;
+use blueprint_core::engine::event::QueuedEvent;
+use blueprint_core::engine::policy::Policy;
+use blueprint_core::engine::runtime::RuntimeEngine;
+use blueprint_core::lang::ast::{
+    Action, Blueprint, Expr, LetDef, LinkDef, LinkSource, PropertyDef, RuleDef, Template, Transfer,
+    ViewDef,
+};
+use blueprint_core::lang::diag::Span;
+use damocles_meta::{persist, Direction, LinkClass, LinkKind, MetaDb, Oid, OidId};
+use proptest::prelude::*;
+
+const VIEWS: &[&str] = &["alpha", "beta", "gamma", "delta"];
+const EVENTS: &[&str] = &["ckin", "ev0", "ev1", "ev2", "mystery"];
+const PROPS: &[&str] = &["p0", "p1", "state"];
+
+fn view_name() -> impl Strategy<Value = String> {
+    (0usize..VIEWS.len()).prop_map(|i| VIEWS[i].to_string())
+}
+
+fn event_name() -> impl Strategy<Value = String> {
+    (0usize..EVENTS.len()).prop_map(|i| EVENTS[i].to_string())
+}
+
+fn prop_name() -> impl Strategy<Value = String> {
+    (0usize..PROPS.len()).prop_map(|i| PROPS[i].to_string())
+}
+
+fn direction() -> impl Strategy<Value = Direction> {
+    prop_oneof![Just(Direction::Up), Just(Direction::Down)]
+}
+
+fn template() -> impl Strategy<Value = Template> {
+    prop_oneof![
+        "[a-z]{1,6}".prop_map(Template::lit),
+        prop_name().prop_map(Template::var),
+        Just(Template::var("arg")),
+        Just(Template::var("oid")),
+        Just(Template::parse_interpolated("$event by $user")),
+    ]
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (prop_name(), template()).prop_map(|(prop, value)| Action::Assign { prop, value }),
+        (template(), proptest::collection::vec(template(), 0..2))
+            .prop_map(|(script, args)| Action::Exec { script, args }),
+        template().prop_map(|message| Action::Notify { message }),
+        (
+            event_name(),
+            direction(),
+            proptest::option::of(view_name()),
+            proptest::collection::vec(template(), 0..2),
+        )
+            .prop_map(|(event, direction, to_view, args)| Action::Post {
+                event,
+                direction,
+                to_view,
+                args,
+            }),
+    ]
+}
+
+fn rule() -> impl Strategy<Value = RuleDef> {
+    (event_name(), proptest::collection::vec(action(), 1..4)).prop_map(|(event, actions)| RuleDef {
+        event,
+        actions,
+        span: Span::default(),
+    })
+}
+
+fn view_def(name: String) -> impl Strategy<Value = ViewDef> {
+    (
+        proptest::collection::vec(rule(), 0..3),
+        proptest::collection::vec((prop_name(), "[a-z]{1,4}"), 0..2),
+        proptest::option::of(prop_name()),
+    )
+        .prop_map(move |(rules, props, let_prop)| {
+            let mut v = ViewDef::empty(name.clone());
+            for (pname, default) in props {
+                if v.properties.iter().all(|p| p.name != pname) {
+                    v.properties.push(PropertyDef {
+                        name: pname,
+                        default,
+                        transfer: Transfer::Create,
+                        span: Span::default(),
+                    });
+                }
+            }
+            if let Some(p) = let_prop {
+                v.lets.push(LetDef {
+                    name: "derived".to_string(),
+                    expr: Expr::Eq(
+                        Box::new(Expr::Var(p)),
+                        Box::new(Expr::Atom("true".to_string())),
+                    ),
+                    span: Span::default(),
+                });
+            }
+            v.rules = rules;
+            v
+        })
+}
+
+/// A blueprint over a random subset of the view pool, optionally with a
+/// `default` view, plus link templates (unused by the engines directly but
+/// realistic for compilation).
+fn blueprint() -> impl Strategy<Value = Blueprint> {
+    (any::<bool>(), 2usize..5)
+        .prop_flat_map(|(with_default, n_views)| {
+            let mut names: Vec<String> = VIEWS[..n_views.min(VIEWS.len())]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            if with_default {
+                names.insert(0, "default".to_string());
+            }
+            names.into_iter().map(view_def).collect::<Vec<_>>()
+        })
+        .prop_map(|mut views| {
+            // Give one view a link template so compilation sees PROPAGATE sets.
+            if views.len() > 1 {
+                let link = LinkDef {
+                    source: LinkSource::View(views[0].name.clone()),
+                    transfer: Transfer::Move,
+                    propagates: vec!["ev0".to_string(), "ckin".to_string()],
+                    kind: Some("derived".to_string()),
+                    span: Span::default(),
+                };
+                let last = views.len() - 1;
+                views[last].links.push(link);
+            }
+            Blueprint {
+                name: "difftest".to_string(),
+                views,
+                span: Span::default(),
+            }
+        })
+}
+
+/// A design graph: OIDs spread over the view pool (plus an undeclared
+/// "ghost" view), and links with random PROPAGATE subsets.
+#[derive(Debug, Clone)]
+struct GraphSpec {
+    oids: Vec<usize>,                  // index into VIEWS + ghost slot
+    links: Vec<(usize, usize, usize)>, // from, to, propagate mask
+}
+
+fn graph() -> impl Strategy<Value = GraphSpec> {
+    (
+        proptest::collection::vec(0usize..VIEWS.len() + 1, 2..8),
+        proptest::collection::vec((0usize..8, 0usize..8, 0usize..32), 0..12),
+    )
+        .prop_map(|(oids, links)| GraphSpec { oids, links })
+}
+
+fn build_db(spec: &GraphSpec) -> (MetaDb, Vec<OidId>) {
+    let mut db = MetaDb::new();
+    let mut ids = Vec::new();
+    for (i, &view_idx) in spec.oids.iter().enumerate() {
+        let view = if view_idx < VIEWS.len() {
+            VIEWS[view_idx]
+        } else {
+            "ghost"
+        };
+        let id = db
+            .create_oid(Oid::new(format!("blk{i}"), view, 1))
+            .expect("fresh oid");
+        ids.push(id);
+    }
+    for &(from, to, mask) in &spec.links {
+        let (from, to) = (from % ids.len(), to % ids.len());
+        if from == to {
+            continue;
+        }
+        let propagates: Vec<String> = EVENTS
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, e)| e.to_string())
+            .collect();
+        db.add_link_with(
+            ids[from],
+            ids[to],
+            LinkClass::Derive,
+            LinkKind::DeriveFrom,
+            propagates,
+        )
+        .expect("link endpoints live");
+    }
+    (db, ids)
+}
+
+/// One queued event: (event index, direction, target oid index, arg).
+type EventSpec = (usize, bool, usize, String);
+
+fn events() -> impl Strategy<Value = Vec<EventSpec>> {
+    proptest::collection::vec(
+        (0usize..EVENTS.len(), any::<bool>(), 0usize..8, "[a-z]{0,4}"),
+        1..6,
+    )
+}
+
+/// Per-event observation: delivered count and debug-rendered invocations.
+type Observation = (u64, Vec<String>);
+/// Full-stream observation: per-event outcomes, final db image, audit trail.
+type StreamObservation = (Vec<Observation>, String, Vec<String>);
+
+fn run_stream(
+    process: impl Fn(&mut RuntimeEngine, &mut MetaDb, &mut AuditLog, QueuedEvent) -> Observation,
+    db: &mut MetaDb,
+    ids: &[OidId],
+    stream: &[EventSpec],
+    policy: &Policy,
+) -> StreamObservation {
+    let mut engine = RuntimeEngine::new(policy.clone());
+    let mut audit = AuditLog::retaining();
+    let mut outcomes = Vec::new();
+    for (event_idx, up, target, arg) in stream {
+        let dir = if *up { Direction::Up } else { Direction::Down };
+        let id = ids[target % ids.len()];
+        let ev = QueuedEvent::target(EVENTS[*event_idx], dir, id, "difftest").with_arg(arg.clone());
+        outcomes.push(process(&mut engine, db, &mut audit, ev));
+    }
+    let records: Vec<String> = audit.records().iter().map(|r| format!("{r:?}")).collect();
+    (outcomes, persist::save(db), records)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both dispatch paths produce identical outcomes, audit sequences and
+    /// database state on randomized blueprints, graphs and event streams.
+    #[test]
+    fn compiled_path_matches_ast_path(
+        bp in blueprint(),
+        spec in graph(),
+        stream in events(),
+        shallow in any::<bool>(),
+    ) {
+        let policy = Policy {
+            // Exercise depth truncation on some cases.
+            max_post_depth: if shallow { 1 } else { 64 },
+            ..Policy::default()
+        };
+
+        let (mut db_ast, ids) = build_db(&spec);
+        let mut db_compiled = db_ast.clone();
+        let compiled = CompiledBlueprint::compile(&bp);
+
+        let (ast_outcomes, ast_image, ast_records) = run_stream(
+            |engine, db, audit, ev| {
+                let out = engine.process(&bp, db, audit, ev).expect("lenient policy");
+                (
+                    out.delivered,
+                    out.invocations.iter().map(|i| format!("{i:?}")).collect(),
+                )
+            },
+            &mut db_ast,
+            &ids,
+            &stream,
+            &policy,
+        );
+        let (compiled_outcomes, compiled_image, compiled_records) = run_stream(
+            |engine, db, audit, ev| {
+                let out = engine
+                    .process_compiled(&compiled, db, audit, ev)
+                    .expect("lenient policy");
+                (
+                    out.delivered,
+                    out.invocations.iter().map(|i| format!("{i:?}")).collect(),
+                )
+            },
+            &mut db_compiled,
+            &ids,
+            &stream,
+            &policy,
+        );
+
+        prop_assert_eq!(ast_outcomes, compiled_outcomes);
+        prop_assert_eq!(ast_records, compiled_records);
+        prop_assert_eq!(ast_image, compiled_image);
+    }
+}

@@ -58,7 +58,8 @@ fn posts_render_arguments_after_assigns() {
     let b = s.checkin("x", "b", "yves", b"1".to_vec()).unwrap();
     s.connect_oids(&a, &b).unwrap();
     s.process_all().unwrap();
-    s.post_line(&format!("postEvent go up {a}"), "marc").unwrap();
+    s.post_line(&format!("postEvent go up {a}"), "marc")
+        .unwrap();
     s.process_all().unwrap();
     assert_eq!(
         s.prop(&b, "got").unwrap().as_atom(),
@@ -88,7 +89,8 @@ fn default_view_rules_run_before_view_rules() {
     let other = s.checkin("b", "plain_view", "d", b"x".to_vec()).unwrap();
     s.process_all().unwrap();
     for oid in [&sp, &other] {
-        s.post_line(&format!("postEvent mark up {oid}"), "d").unwrap();
+        s.post_line(&format!("postEvent mark up {oid}"), "d")
+            .unwrap();
     }
     s.process_all().unwrap();
     assert_eq!(s.prop(&sp, "who").unwrap().as_atom(), "specific");
@@ -193,7 +195,8 @@ fn observe_strictness_records_unmatched_events() {
         .with_audit_retention();
     let oid = s.checkin("b", "v", "d", b"x".to_vec()).unwrap();
     s.process_all().unwrap();
-    s.post_line(&format!("postEvent mystery up {oid}"), "d").unwrap();
+    s.post_line(&format!("postEvent mystery up {oid}"), "d")
+        .unwrap();
     s.process_all().unwrap();
     let unmatched = s
         .audit()
@@ -228,7 +231,8 @@ fn reject_strictness_fails_unmatched_events() {
     };
     let oid2 = s2.checkin("b", "v", "d", b"x".to_vec()).unwrap();
     s2.process_all().unwrap();
-    s2.post_line(&format!("postEvent known up {oid2} \"y\""), "d").unwrap();
+    s2.post_line(&format!("postEvent known up {oid2} \"y\""), "d")
+        .unwrap();
     s2.process_all().unwrap();
     assert_eq!(s2.prop(&oid2, "p").unwrap().as_atom(), "y");
     let _ = oid;
@@ -247,7 +251,8 @@ fn version_variable_and_date_are_available() {
     let mut s = ProjectServer::new(bp).unwrap();
     let oid = s.checkin("b", "v", "d", b"x".to_vec()).unwrap();
     s.process_all().unwrap();
-    s.post_line(&format!("postEvent go up {oid}"), "marc").unwrap();
+    s.post_line(&format!("postEvent go up {oid}"), "marc")
+        .unwrap();
     s.process_all().unwrap();
     let stamp = s.prop(&oid, "stamp").unwrap().as_atom();
     assert!(stamp.starts_with("v1 at "), "{stamp}");
@@ -289,7 +294,8 @@ fn values_assigned_by_rules_are_typed() {
     let mut s = ProjectServer::new(bp).unwrap();
     let oid = s.checkin("b", "v", "d", b"x".to_vec()).unwrap();
     s.process_all().unwrap();
-    s.post_line(&format!("postEvent set up {oid}"), "d").unwrap();
+    s.post_line(&format!("postEvent set up {oid}"), "d")
+        .unwrap();
     s.process_all().unwrap();
     assert_eq!(s.prop(&oid, "flag").unwrap(), Value::Bool(false));
     assert_eq!(s.prop(&oid, "count").unwrap(), Value::Int(42));
@@ -322,7 +328,8 @@ fn lazy_lets_defer_to_refresh() {
     let mut s = ProjectServer::new(bp).unwrap().with_policy(policy);
     let oid = s.checkin("b", "v", "d", b"x".to_vec()).unwrap();
     s.process_all().unwrap();
-    s.post_line(&format!("postEvent set up {oid} \"good\""), "d").unwrap();
+    s.post_line(&format!("postEvent set up {oid} \"good\""), "d")
+        .unwrap();
     s.process_all().unwrap();
     // The raw property changed but the let has not been evaluated at all.
     assert_eq!(s.prop(&oid, "raw").unwrap().as_atom(), "good");
@@ -348,12 +355,16 @@ fn eager_and_lazy_lets_agree_after_refresh() {
         eager_lets: false,
         ..Policy::default()
     };
-    let mut lazy = ProjectServer::from_source(src).unwrap().with_policy(lazy_policy);
+    let mut lazy = ProjectServer::from_source(src)
+        .unwrap()
+        .with_policy(lazy_policy);
     for s in [&mut eager, &mut lazy] {
         let oid = s.checkin("b", "v", "d", b"x".to_vec()).unwrap();
         s.process_all().unwrap();
-        s.post_line(&format!("postEvent ev up {oid} \"1\""), "d").unwrap();
-        s.post_line(&format!("postEvent ev2 up {oid} \"1\""), "d").unwrap();
+        s.post_line(&format!("postEvent ev up {oid} \"1\""), "d")
+            .unwrap();
+        s.post_line(&format!("postEvent ev2 up {oid} \"1\""), "d")
+            .unwrap();
         s.process_all().unwrap();
     }
     lazy.refresh_lets().unwrap();

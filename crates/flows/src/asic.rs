@@ -153,7 +153,10 @@ mod tests {
         server.process_all().unwrap();
         for (event, arg) in [("sta", "met"), ("power_rpt", "ok"), ("drc", "clean")] {
             server
-                .post_line(&format!("postEvent {event} up {routed} \"{arg}\""), "signoff")
+                .post_line(
+                    &format!("postEvent {event} up {routed} \"{arg}\""),
+                    "signoff",
+                )
                 .unwrap();
         }
         server.process_all().unwrap();
@@ -161,7 +164,10 @@ mod tests {
 
         // Any regression flips it back.
         server
-            .post_line(&format!("postEvent sta up {routed} \"violated\""), "signoff")
+            .post_line(
+                &format!("postEvent sta up {routed} \"violated\""),
+                "signoff",
+            )
             .unwrap();
         server.process_all().unwrap();
         assert_eq!(server.prop(&routed, "signoff").unwrap(), Value::Bool(false));

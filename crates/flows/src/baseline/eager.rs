@@ -44,9 +44,7 @@ impl EagerTracker {
             let mut newest = 0;
             for &dep in self.graph.upstream(node) {
                 self.work.checkin_units += 1;
-                newest = newest
-                    .max(self.timestamps[dep])
-                    .max(max_upstream[dep]);
+                newest = newest.max(self.timestamps[dep]).max(max_upstream[dep]);
             }
             max_upstream[node] = newest;
             if newest > self.timestamps[node] {

@@ -25,10 +25,8 @@ impl DepGraph {
         };
         for stage in 0..spec.stages {
             for b in 0..spec.blocks {
-                g.labels.push((
-                    DesignSpec::block_name(b),
-                    DesignSpec::view_name(stage),
-                ));
+                g.labels
+                    .push((DesignSpec::block_name(b), DesignSpec::view_name(stage)));
             }
         }
         let idx = |stage: usize, b: usize| stage * spec.blocks + b;

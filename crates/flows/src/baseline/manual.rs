@@ -59,7 +59,9 @@ impl ChangeTracker for ManualTracker {
     }
 
     fn out_of_date(&mut self) -> BTreeSet<usize> {
-        (0..self.graph.len()).filter(|&n| self.is_stale(n)).collect()
+        (0..self.graph.len())
+            .filter(|&n| self.is_stale(n))
+            .collect()
     }
 
     fn work(&self) -> TrackerWork {

@@ -225,7 +225,11 @@ pub fn apply_activity<E: ScriptExecutor>(
 ) -> Result<(), EngineError> {
     match activity {
         Activity::Checkin { block, view } => {
-            let version = server.db().versions(block, view).last().map_or(1, |v| v + 1);
+            let version = server
+                .db()
+                .versions(block, view)
+                .last()
+                .map_or(1, |v| v + 1);
             let payload = format!("{block}:{view}:v{version}").into_bytes();
             server.checkin(block, view, "designer", payload)?;
             server.process_all()?;
@@ -270,8 +274,7 @@ mod tests {
     #[test]
     fn populate_creates_expected_counts() {
         let spec = DesignSpec::tiny();
-        let mut server =
-            ProjectServer::from_source(&spec.blueprint_source(true)).unwrap();
+        let mut server = ProjectServer::from_source(&spec.blueprint_source(true)).unwrap();
         populate(&mut server, &spec).unwrap();
         assert_eq!(server.db().oid_count(), spec.oid_count());
         // chain links: (stages-1)*blocks; hierarchy: stages*(blocks-1)
@@ -282,8 +285,7 @@ mod tests {
     #[test]
     fn populated_design_starts_up_to_date() {
         let spec = DesignSpec::tiny();
-        let mut server =
-            ProjectServer::from_source(&spec.blueprint_source(true)).unwrap();
+        let mut server = ProjectServer::from_source(&spec.blueprint_source(true)).unwrap();
         populate(&mut server, &spec).unwrap();
         let stale = server.query().out_of_date("uptodate");
         assert!(stale.is_empty(), "stale after populate: {stale:?}");
@@ -296,8 +298,7 @@ mod tests {
             blocks: 2,
             fanout: 2,
         };
-        let mut server =
-            ProjectServer::from_source(&spec.blueprint_source(true)).unwrap();
+        let mut server = ProjectServer::from_source(&spec.blueprint_source(true)).unwrap();
         populate(&mut server, &spec).unwrap();
         apply_activity(
             &mut server,
@@ -309,9 +310,7 @@ mod tests {
         .unwrap();
         // v0/blk0 fresh; derived v1..v2 of blk0 (and hierarchy children)
         // stale.
-        let fresh = server
-            .prop(&Oid::new("blk0", "v0", 2), "uptodate")
-            .unwrap();
+        let fresh = server.prop(&Oid::new("blk0", "v0", 2), "uptodate").unwrap();
         assert_eq!(fresh, Value::Bool(true));
         let stale = server.query().out_of_date("uptodate");
         assert!(!stale.is_empty());

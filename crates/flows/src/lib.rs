@@ -25,6 +25,9 @@ pub mod metrics;
 pub mod scenario;
 pub mod viz;
 
-pub use baseline::{ChangeTracker, DamoclesTracker, DepGraph, EagerTracker, ManualTracker, PollingTracker, TrackerWork};
+pub use baseline::{
+    ChangeTracker, DamoclesTracker, DepGraph, EagerTracker, ManualTracker, PollingTracker,
+    TrackerWork,
+};
 pub use edtc::{edtc_blueprint, edtc_loosened_blueprint, EDTC_LOOSENED_SOURCE, EDTC_SOURCE};
 pub use generator::{populate, Activity, ActivityStream, DesignSpec};

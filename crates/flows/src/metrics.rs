@@ -85,7 +85,10 @@ mod tests {
     fn table_pads_columns() {
         let out = table(
             &["a", "longer"],
-            &[vec!["xxxx".into(), "1".into()], vec!["y".into(), "2".into()]],
+            &[
+                vec!["xxxx".into(), "1".into()],
+                vec!["y".into(), "2".into()],
+            ],
         );
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -112,7 +112,10 @@ mod tests {
         assert_eq!(report.events, 2);
         assert_eq!(
             server
-                .prop(&damocles_meta::Oid::new("CPU", "HDL_model", 1), "sim_result")
+                .prop(
+                    &damocles_meta::Oid::new("CPU", "HDL_model", 1),
+                    "sim_result"
+                )
                 .unwrap(),
             Value::Str("good".into())
         );

@@ -49,7 +49,12 @@ pub fn blueprint_to_dot(bp: &Blueprint) -> String {
         } else {
             format!("{}\\n[{}]", view.name, props.join(", "))
         };
-        let _ = writeln!(out, "  \"{}\" [label=\"{}\"];", escape(&view.name), escape(&label).replace("\\\\n", "\\n"));
+        let _ = writeln!(
+            out,
+            "  \"{}\" [label=\"{}\"];",
+            escape(&view.name),
+            escape(&label).replace("\\\\n", "\\n")
+        );
     }
     for view in &bp.views {
         for link in &view.links {
@@ -166,11 +171,17 @@ mod tests {
     #[test]
     fn db_dot_colors_by_state() {
         let mut server = ProjectServer::new(edtc_blueprint()).unwrap();
-        let hdl = server.checkin("CPU", "HDL_model", "d", b"m".to_vec()).unwrap();
-        let sch = server.checkin("CPU", "schematic", "d", b"s".to_vec()).unwrap();
+        let hdl = server
+            .checkin("CPU", "HDL_model", "d", b"m".to_vec())
+            .unwrap();
+        let sch = server
+            .checkin("CPU", "schematic", "d", b"s".to_vec())
+            .unwrap();
         server.connect_oids(&hdl, &sch).unwrap();
         server.process_all().unwrap();
-        server.checkin("CPU", "HDL_model", "d", b"m2".to_vec()).unwrap();
+        server
+            .checkin("CPU", "HDL_model", "d", b"m2".to_vec())
+            .unwrap();
         server.process_all().unwrap();
 
         let dot = db_to_dot(server.db(), "uptodate");

@@ -102,7 +102,11 @@ impl Configuration {
     /// Counts addresses that no longer resolve in `db`.
     pub fn dangling(&self, db: &MetaDb) -> usize {
         let dead_oids = self.oids.iter().filter(|&&id| !db.is_live(id)).count();
-        let dead_links = self.links.iter().filter(|&&id| db.link(id).is_err()).count();
+        let dead_links = self
+            .links
+            .iter()
+            .filter(|&&id| db.link(id).is_err())
+            .count();
         dead_oids + dead_links
     }
 

@@ -5,6 +5,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use crate::arena::{Arena, ArenaIndex};
 use crate::error::MetaError;
+use crate::intern::{Sym, SymbolTable};
 use crate::link::{Direction, Link, LinkClass, LinkId, LinkKind};
 use crate::oid::{BlockName, Oid, ViewType};
 use crate::property::{PropertyMap, Value};
@@ -73,6 +74,9 @@ pub struct MetaDb {
     by_oid: HashMap<Oid, OidId>,
     chains: BTreeMap<(BlockName, ViewType), Vec<u32>>,
     by_view: BTreeMap<ViewType, BTreeSet<OidId>>,
+    /// Interner for the event names appearing in link PROPAGATE sets; the
+    /// bitset form of every link's PROPAGATE property indexes this table.
+    event_syms: SymbolTable,
     stats: DbStats,
 }
 
@@ -174,9 +178,8 @@ impl MetaDb {
 
     /// Resolves a triplet, failing with [`MetaError::UnknownOid`].
     pub fn require(&self, oid: &Oid) -> Result<OidId, MetaError> {
-        self.resolve(oid).ok_or_else(|| MetaError::UnknownOid {
-            oid: oid.clone(),
-        })
+        self.resolve(oid)
+            .ok_or_else(|| MetaError::UnknownOid { oid: oid.clone() })
     }
 
     /// Returns the stored entry for a live address.
@@ -291,7 +294,11 @@ impl MetaDb {
             });
         }
         let mut link = Link::new(from, to, class, kind);
-        link.propagates = propagates.into_iter().map(Into::into).collect();
+        for event in propagates {
+            let event: String = event.into();
+            link.propagates_syms.insert(self.event_syms.intern(&event));
+            link.propagates.insert(event);
+        }
         let id = self.links.insert(link);
         self.oids
             .get_mut(from)
@@ -326,21 +333,49 @@ impl MetaDb {
         self.links.get(id).ok_or(MetaError::StaleLink { link: id })
     }
 
-    /// Mutable access to a stored link (e.g. to edit its PROPAGATE set).
+    /// Mutable access to a stored link (to edit its annotation or TYPE; the
+    /// PROPAGATE set is edited through [`MetaDb::allow_event`] so its bitset
+    /// form stays synchronized).
     pub fn link_mut(&mut self, id: LinkId) -> Result<&mut Link, MetaError> {
         self.links
             .get_mut(id)
             .ok_or(MetaError::StaleLink { link: id })
     }
 
+    /// Adds `event` to a link's PROPAGATE set (both the string form and the
+    /// interned bitset form). Returns whether the event was newly added.
+    pub fn allow_event(&mut self, id: LinkId, event: &str) -> Result<bool, MetaError> {
+        let sym = self.event_syms.intern(event);
+        let link = self
+            .links
+            .get_mut(id)
+            .ok_or(MetaError::StaleLink { link: id })?;
+        link.propagates_syms.insert(sym);
+        Ok(link.propagates.insert(event.to_string()))
+    }
+
+    /// The interned handle of an event name, if any link's PROPAGATE set has
+    /// ever mentioned it. `None` means no live link can propagate the event.
+    pub fn event_sym(&self, event: &str) -> Option<Sym> {
+        self.event_syms.lookup(event)
+    }
+
     /// Iterates over the links incident to `id` (either end).
     pub fn links_of(&self, id: OidId) -> Result<Vec<(LinkId, &Link)>, MetaError> {
+        Ok(self.links_of_iter(id)?.collect())
+    }
+
+    /// Iterator form of [`MetaDb::links_of`]: the links incident to `id`
+    /// without collecting into a `Vec`.
+    pub fn links_of_iter(
+        &self,
+        id: OidId,
+    ) -> Result<impl Iterator<Item = (LinkId, &Link)> + '_, MetaError> {
         let entry = self.entry(id)?;
         Ok(entry
             .links
             .iter()
-            .filter_map(|&l| self.links.get(l).map(|link| (l, link)))
-            .collect())
+            .filter_map(|&l| self.links.get(l).map(|link| (l, link))))
     }
 
     /// OIDs reachable from `id` through one link in direction `dir`,
@@ -356,22 +391,51 @@ impl MetaDb {
         dir: Direction,
         event: Option<&str>,
     ) -> Result<Vec<OidId>, MetaError> {
-        let entry = self.entry(id)?;
         let mut out = Vec::new();
-        for &link_id in &entry.links {
-            let Some(link) = self.links.get(link_id) else {
-                continue;
-            };
-            if let Some(ev) = event {
-                if !link.allows(ev) {
-                    continue;
-                }
-            }
-            if let Some(next) = link.traverse_from(id, dir) {
-                out.push(next);
-            }
-        }
+        self.neighbors_into(id, dir, event, &mut out)?;
         Ok(out)
+    }
+
+    /// Allocation-free form of [`MetaDb::neighbors`]: appends the reachable
+    /// OIDs to a caller-owned buffer (which the run-time engine reuses across
+    /// propagation hops). The buffer is **not** cleared first.
+    pub fn neighbors_into(
+        &self,
+        id: OidId,
+        dir: Direction,
+        event: Option<&str>,
+        out: &mut Vec<OidId>,
+    ) -> Result<(), MetaError> {
+        for next in self.neighbors_iter(id, dir, event)? {
+            out.push(next);
+        }
+        Ok(())
+    }
+
+    /// Iterator form of [`MetaDb::neighbors`]: the per-hop propagation rule
+    /// of Section 3.2 as a lazy traversal, allocating nothing. The event
+    /// filter resolves the name against the interned event universe once,
+    /// then tests each link's PROPAGATE bitset — no per-link string
+    /// comparison.
+    pub fn neighbors_iter<'a>(
+        &'a self,
+        id: OidId,
+        dir: Direction,
+        event: Option<&str>,
+    ) -> Result<impl Iterator<Item = OidId> + 'a, MetaError> {
+        let entry = self.entry(id)?;
+        // None: no filter. Some(None): the event name was never interned, so
+        // no link anywhere can propagate it. Some(Some(sym)): bitset test.
+        let filter: Option<Option<Sym>> = event.map(|e| self.event_syms.lookup(e));
+        Ok(entry.links.iter().filter_map(move |&link_id| {
+            let link = self.links.get(link_id)?;
+            match filter {
+                Some(None) => return None,
+                Some(Some(sym)) if !link.allows_sym(sym) => return None,
+                _ => {}
+            }
+            link.traverse_from(id, dir)
+        }))
     }
 
     /// Re-points whichever end of `link_id` currently equals `old` to `new`.
@@ -454,19 +518,18 @@ impl MetaDb {
         let key = chain_key(block, view)?;
         let chain = self.chains.get(&key)?;
         let &version = chain.last()?;
-        self.by_oid.get(&Oid {
-            block: key.0,
-            view: key.1,
-            version,
-        })
-        .copied()
+        self.by_oid
+            .get(&Oid {
+                block: key.0,
+                view: key.1,
+                version,
+            })
+            .copied()
     }
 
     /// The address of the version preceding `oid.version` in its chain.
     pub fn predecessor(&self, oid: &Oid) -> Option<OidId> {
-        let chain = self
-            .chains
-            .get(&(oid.block.clone(), oid.view.clone()))?;
+        let chain = self.chains.get(&(oid.block.clone(), oid.view.clone()))?;
         let pos = chain.partition_point(|&v| v < oid.version);
         if pos == 0 {
             return None;
@@ -599,7 +662,8 @@ mod tests {
             .unwrap();
 
         assert_eq!(
-            db.neighbors(hdl, Direction::Down, Some("outofdate")).unwrap(),
+            db.neighbors(hdl, Direction::Down, Some("outofdate"))
+                .unwrap(),
             vec![sch]
         );
         // Wrong event name: filtered out.
@@ -622,6 +686,61 @@ mod tests {
     }
 
     #[test]
+    fn propagate_bitset_tracks_string_set() {
+        let mut db = MetaDb::new();
+        let a = db.create_oid(Oid::new("a", "v", 1)).unwrap();
+        let b = db.create_oid(Oid::new("b", "v", 1)).unwrap();
+        let l = db
+            .add_link_with(a, b, LinkClass::Derive, LinkKind::DeriveFrom, ["outofdate"])
+            .unwrap();
+
+        // add_link_with interned the event; string and bitset forms agree.
+        let sym = db
+            .event_sym("outofdate")
+            .expect("interned at link creation");
+        assert!(db.link(l).unwrap().allows("outofdate"));
+        assert!(db.link(l).unwrap().allows_sym(sym));
+        assert!(db.link(l).unwrap().propagates().contains("outofdate"));
+
+        // An event no link mentions resolves to no symbol at all — the
+        // neighbor filter's short-circuit for never-propagated events.
+        assert_eq!(db.event_sym("lvs"), None);
+        assert!(db
+            .neighbors(a, Direction::Down, Some("lvs"))
+            .unwrap()
+            .is_empty());
+
+        // allow_event keeps both forms in lock-step.
+        assert!(db.allow_event(l, "lvs").unwrap());
+        assert!(!db.allow_event(l, "lvs").unwrap(), "second add is a no-op");
+        let lvs = db.event_sym("lvs").unwrap();
+        assert!(db.link(l).unwrap().allows("lvs"));
+        assert!(db.link(l).unwrap().allows_sym(lvs));
+        assert_eq!(
+            db.neighbors(a, Direction::Down, Some("lvs")).unwrap(),
+            vec![b]
+        );
+    }
+
+    #[test]
+    fn neighbors_into_appends_without_clearing() {
+        let mut db = MetaDb::new();
+        let a = db.create_oid(Oid::new("a", "v", 1)).unwrap();
+        let b = db.create_oid(Oid::new("b", "v", 1)).unwrap();
+        db.add_link_with(a, b, LinkClass::Use, LinkKind::Composition, ["e"])
+            .unwrap();
+        let mut buf = vec![a];
+        db.neighbors_into(a, Direction::Down, Some("e"), &mut buf)
+            .unwrap();
+        assert_eq!(buf, vec![a, b], "appends; caller owns clearing");
+        let hops: Vec<OidId> = db
+            .neighbors_iter(a, Direction::Down, Some("e"))
+            .unwrap()
+            .collect();
+        assert_eq!(hops, vec![b]);
+    }
+
+    #[test]
     fn move_link_end_shifts_to_new_version() {
         // Fig. 3: NetList.8 -> GDSII.5 moves to NetList.8 -> GDSII.6.
         let mut db = MetaDb::new();
@@ -629,7 +748,13 @@ mod tests {
         let g5 = db.create_oid(Oid::new("alu", "GDSII", 5)).unwrap();
         let g6 = db.create_oid(Oid::new("alu", "GDSII", 6)).unwrap();
         let l = db
-            .add_link_with(nl, g5, LinkClass::Derive, LinkKind::DeriveFrom, ["OutOfDate"])
+            .add_link_with(
+                nl,
+                g5,
+                LinkClass::Derive,
+                LinkKind::DeriveFrom,
+                ["OutOfDate"],
+            )
             .unwrap();
         db.move_link_end(l, g5, g6).unwrap();
         let link = db.link(l).unwrap();

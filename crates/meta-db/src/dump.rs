@@ -90,7 +90,8 @@ mod tests {
         let mut db = MetaDb::new();
         let a = db.create_oid(Oid::new("cpu", "HDL_model", 1)).unwrap();
         let b = db.create_oid(Oid::new("cpu", "schematic", 1)).unwrap();
-        db.set_prop(a, "sim_result", Value::from_atom("good")).unwrap();
+        db.set_prop(a, "sim_result", Value::from_atom("good"))
+            .unwrap();
         db.add_link_with(a, b, LinkClass::Derive, LinkKind::DeriveFrom, ["outofdate"])
             .unwrap();
         db
@@ -126,7 +127,8 @@ mod tests {
         let db_a = sample();
         let mut db_b = sample();
         let id = db_b.resolve(&Oid::new("cpu", "HDL_model", 1)).unwrap();
-        db_b.set_prop(id, "sim_result", Value::from_atom("bad")).unwrap();
+        db_b.set_prop(id, "sim_result", Value::from_atom("bad"))
+            .unwrap();
         let (only_a, only_b) = diff(&db_a, &db_b);
         assert_eq!(only_a, vec!["  sim_result = good"]);
         assert_eq!(only_b, vec!["  sim_result = bad"]);

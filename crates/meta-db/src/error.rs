@@ -111,7 +111,10 @@ impl fmt::Display for MetaError {
                 write!(f, "invalid OID `{input}`: {reason}")
             }
             MetaError::StaleConfiguration { name, dangling } => {
-                write!(f, "configuration `{name}` has {dangling} dangling addresses")
+                write!(
+                    f,
+                    "configuration `{name}` has {dangling} dangling addresses"
+                )
             }
         }
     }

@@ -34,7 +34,7 @@
 //! let hdl = db.create_oid(Oid::new("cpu", "HDL_model", 1))?;
 //! let sch = db.create_oid(Oid::new("cpu", "schematic", 1))?;
 //! let link = db.add_link(hdl, sch, LinkClass::Derive, LinkKind::DeriveFrom)?;
-//! db.link_mut(link)?.propagates.insert("outofdate".to_string());
+//! db.allow_event(link, "outofdate")?;
 //! db.set_prop(sch, "uptodate", Value::from_atom("true"))?;
 //!
 //! // Which OIDs would an `outofdate` event travelling *down* reach from hdl?
@@ -52,6 +52,7 @@ pub mod config;
 pub mod db;
 pub mod dump;
 pub mod error;
+pub mod intern;
 pub mod link;
 pub mod oid;
 pub mod persist;
@@ -66,6 +67,7 @@ pub use arena::{Arena, ArenaIndex};
 pub use config::{Configuration, ConfigurationBuilder, SnapshotRule};
 pub use db::{DbStats, MetaDb, OidEntry, OidId};
 pub use error::MetaError;
+pub use intern::{Sym, SymSet, SymbolTable};
 pub use link::{Direction, Link, LinkClass, LinkId, LinkKind};
 pub use oid::{BlockName, Oid, ViewType};
 pub use property::{PropertyMap, Value};

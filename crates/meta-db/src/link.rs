@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::arena::ArenaIndex;
 use crate::db::OidId;
+use crate::intern::{Sym, SymSet};
 use crate::property::PropertyMap;
 
 /// Stable database address of a [`Link`].
@@ -148,9 +149,15 @@ impl fmt::Display for Direction {
 
 /// A relationship object between two OIDs.
 ///
-/// The structured fields `propagates` (the PROPAGATE property) and `kind`
-/// (the TYPE property) are first-class because the run-time engine consults
-/// them on every traversal; arbitrary additional annotation lives in `props`.
+/// The PROPAGATE property (`propagates`) and the TYPE property (`kind`) are
+/// first-class because the run-time engine consults them on every traversal;
+/// arbitrary additional annotation lives in `props`. The PROPAGATE set is
+/// held in two synchronized forms — event-name strings for persistence and
+/// display, and a [`SymSet`] bitset over [`MetaDb`](crate::MetaDb)'s interned
+/// event universe for the hot propagation filter — which is why the fields
+/// are private and all mutation goes through
+/// [`MetaDb::allow_event`](crate::MetaDb::allow_event) /
+/// [`MetaDb::add_link_with`](crate::MetaDb::add_link_with).
 #[derive(Debug, Clone)]
 pub struct Link {
     /// Source / hierarchical parent end.
@@ -162,7 +169,10 @@ pub struct Link {
     /// The TYPE property ("like comments", not interpreted by the engine).
     pub kind: LinkKind,
     /// The PROPAGATE property: names of events allowed through this link.
-    pub propagates: BTreeSet<String>,
+    pub(crate) propagates: BTreeSet<String>,
+    /// The PROPAGATE property as a bitset over the owning database's
+    /// interned event universe. Kept in lock-step with `propagates`.
+    pub(crate) propagates_syms: SymSet,
     /// Free-form property/value annotation.
     pub props: PropertyMap,
 }
@@ -176,13 +186,27 @@ impl Link {
             class,
             kind,
             propagates: BTreeSet::new(),
+            propagates_syms: SymSet::new(),
             props: PropertyMap::new(),
         }
+    }
+
+    /// The PROPAGATE set: names of events allowed through this link.
+    pub fn propagates(&self) -> &BTreeSet<String> {
+        &self.propagates
     }
 
     /// Whether `event` may travel through this link at all.
     pub fn allows(&self, event: &str) -> bool {
         self.propagates.contains(event)
+    }
+
+    /// Bitset form of [`Link::allows`] over the owning database's interned
+    /// event universe: one word test, no string comparison. `sym` must come
+    /// from the same database's interner (see
+    /// [`MetaDb::event_sym`](crate::MetaDb::event_sym)).
+    pub fn allows_sym(&self, sym: Sym) -> bool {
+        self.propagates_syms.contains(sym)
     }
 
     /// The OID reached when traversing this link in `dir`, starting from

@@ -175,8 +175,7 @@ pub fn load(image: &str) -> Result<MetaDb, MetaError> {
                 current_link = None;
             }
             "prop" => {
-                let id = current_oid
-                    .ok_or_else(|| err(line, "prop before any oid".to_string()))?;
+                let id = current_oid.ok_or_else(|| err(line, "prop before any oid".to_string()))?;
                 let (name, value) = rest
                     .split_once(' ')
                     .ok_or_else(|| err(line, "prop needs name and value".to_string()))?;
@@ -213,8 +212,8 @@ pub fn load(image: &str) -> Result<MetaDb, MetaError> {
                 current_oid = None;
             }
             "lprop" => {
-                let link_id = current_link
-                    .ok_or_else(|| err(line, "lprop before any link".to_string()))?;
+                let link_id =
+                    current_link.ok_or_else(|| err(line, "lprop before any link".to_string()))?;
                 let (name, value) = rest
                     .split_once(' ')
                     .ok_or_else(|| err(line, "lprop needs name and value".to_string()))?;
@@ -342,7 +341,10 @@ mod tests {
         db.set_prop(a, "t", Value::Str("true".into())).unwrap();
         let loaded = load(&save(&db)).unwrap();
         let id = loaded.resolve(&Oid::new("b", "v", 1)).unwrap();
-        assert_eq!(loaded.get_prop(id, "s").unwrap(), Some(&Value::Str("42".into())));
+        assert_eq!(
+            loaded.get_prop(id, "s").unwrap(),
+            Some(&Value::Str("42".into()))
+        );
         assert_eq!(loaded.get_prop(id, "n").unwrap(), Some(&Value::Int(42)));
         assert_eq!(
             loaded.get_prop(id, "t").unwrap(),
@@ -385,7 +387,13 @@ mod tests {
         let mut db = MetaDb::new();
         let mut ws = crate::workspace::Workspace::new("w");
         let (id, oid) = ws
-            .checkin(&mut db, "cpu", "HDL_model", "yves", b"module cpu; \xffraw".to_vec())
+            .checkin(
+                &mut db,
+                "cpu",
+                "HDL_model",
+                "yves",
+                b"module cpu; \xffraw".to_vec(),
+            )
             .unwrap();
         db.set_prop(id, "uptodate", Value::Bool(true)).unwrap();
         let image = save_project(&db, &ws);
@@ -395,7 +403,10 @@ mod tests {
             ws2.datum(id2).unwrap().content,
             b"module cpu; \xffraw".to_vec()
         );
-        assert_eq!(db2.get_prop(id2, "uptodate").unwrap(), Some(&Value::Bool(true)));
+        assert_eq!(
+            db2.get_prop(id2, "uptodate").unwrap(),
+            Some(&Value::Bool(true))
+        );
     }
 
     #[test]

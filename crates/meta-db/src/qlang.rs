@@ -108,8 +108,7 @@ impl Query {
                 }
             }
             Term::Latest => {
-                db.latest_version(entry.oid.block.as_str(), entry.oid.view.as_str())
-                    == Some(id)
+                db.latest_version(entry.oid.block.as_str(), entry.oid.view.as_str()) == Some(id)
             }
             Term::Prop {
                 name,
@@ -263,7 +262,10 @@ mod tests {
         let db = sample_db();
         assert_eq!(run(&db, "version>=2"), vec!["cpu,schematic,2"]);
         assert_eq!(run(&db, "view=schematic version=1").len(), 2);
-        assert_eq!(run(&db, "view=schematic version!=1"), vec!["cpu,schematic,2"]);
+        assert_eq!(
+            run(&db, "view=schematic version!=1"),
+            vec!["cpu,schematic,2"]
+        );
         assert_eq!(run(&db, "version<=1").len(), 3);
     }
 

@@ -190,8 +190,10 @@ mod tests {
     #[test]
     fn out_of_date_finds_stale_objects() {
         let (mut db, ids) = flow_db();
-        db.set_prop(ids["sch"], "uptodate", Value::Bool(false)).unwrap();
-        db.set_prop(ids["net"], "uptodate", Value::Bool(true)).unwrap();
+        db.set_prop(ids["sch"], "uptodate", Value::Bool(false))
+            .unwrap();
+        db.set_prop(ids["net"], "uptodate", Value::Bool(true))
+            .unwrap();
         let q = ProjectQuery::new(&db);
         assert_eq!(q.out_of_date("uptodate"), vec![ids["sch"]]);
     }
@@ -200,7 +202,11 @@ mod tests {
     fn dependency_closure_goes_upstream() {
         let (db, ids) = flow_db();
         let q = ProjectQuery::new(&db);
-        let deps: BTreeSet<OidId> = q.dependency_closure(ids["net"]).unwrap().into_iter().collect();
+        let deps: BTreeSet<OidId> = q
+            .dependency_closure(ids["net"])
+            .unwrap()
+            .into_iter()
+            .collect();
         // netlist depends on schematic which derives from hdl.
         assert!(deps.contains(&ids["net"]));
         assert!(deps.contains(&ids["sch"]));
@@ -212,8 +218,7 @@ mod tests {
     fn derived_closure_goes_downstream() {
         let (db, ids) = flow_db();
         let q = ProjectQuery::new(&db);
-        let derived: BTreeSet<OidId> =
-            q.derived_closure(ids["hdl"]).unwrap().into_iter().collect();
+        let derived: BTreeSet<OidId> = q.derived_closure(ids["hdl"]).unwrap().into_iter().collect();
         assert_eq!(derived.len(), 5, "hdl reaches the whole flow downwards");
     }
 
@@ -221,7 +226,8 @@ mod tests {
     fn work_remaining_lists_blockers() {
         let (mut db, ids) = flow_db();
         db.set_prop(ids["hdl"], "state", Value::Bool(true)).unwrap();
-        db.set_prop(ids["sch"], "state", Value::Bool(false)).unwrap();
+        db.set_prop(ids["sch"], "state", Value::Bool(false))
+            .unwrap();
         // net has no state property at all -> also blocking.
         let q = ProjectQuery::new(&db);
         let work = q.work_remaining(ids["net"], "state").unwrap();
@@ -237,7 +243,8 @@ mod tests {
     fn summary_aggregates_per_view() {
         let (mut db, ids) = flow_db();
         db.set_prop(ids["sch"], "state", Value::Bool(true)).unwrap();
-        db.set_prop(ids["reg"], "state", Value::Bool(false)).unwrap();
+        db.set_prop(ids["reg"], "state", Value::Bool(false))
+            .unwrap();
         let q = ProjectQuery::new(&db);
         let summary = q.summary("state");
         let sch_row = summary.iter().find(|s| s.view == "schematic").unwrap();

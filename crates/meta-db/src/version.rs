@@ -121,8 +121,12 @@ mod tests {
         let mut db = MetaDb::new();
         for v in 1..=3 {
             let id = db.create_oid(Oid::new("cpu", "HDL_model", v)).unwrap();
-            db.set_prop(id, "sim_result", Value::from_atom(if v == 3 { "good" } else { "bad" }))
-                .unwrap();
+            db.set_prop(
+                id,
+                "sim_result",
+                Value::from_atom(if v == 3 { "good" } else { "bad" }),
+            )
+            .unwrap();
         }
         db
     }
@@ -130,9 +134,15 @@ mod tests {
     #[test]
     fn next_version_counts_from_one() {
         let db = MetaDb::new();
-        assert_eq!(VersionHistory::of(&db, "cpu", "HDL_model").next_version(), 1);
+        assert_eq!(
+            VersionHistory::of(&db, "cpu", "HDL_model").next_version(),
+            1
+        );
         let db = db_with_chain();
-        assert_eq!(VersionHistory::of(&db, "cpu", "HDL_model").next_version(), 4);
+        assert_eq!(
+            VersionHistory::of(&db, "cpu", "HDL_model").next_version(),
+            4
+        );
     }
 
     #[test]

@@ -80,11 +80,7 @@ impl fmt::Display for EventMessage {
             self.event, self.direction, self.target
         )?;
         for arg in &self.args {
-            write!(
-                f,
-                " \"{}\"",
-                arg.replace('\\', "\\\\").replace('"', "\\\"")
-            )?;
+            write!(f, " \"{}\"", arg.replace('\\', "\\\\").replace('"', "\\\""))?;
         }
         Ok(())
     }
@@ -105,16 +101,15 @@ impl FromStr for EventMessage {
             return Err(parse_err("missing `postEvent` keyword"));
         }
         let mut words = rest.splitn(3, char::is_whitespace);
-        let event = words.next().filter(|w| !w.is_empty()).ok_or_else(|| {
-            parse_err("missing event name")
-        })?;
-        let dir_word = words
+        let event = words
             .next()
-            .ok_or_else(|| parse_err("missing direction"))?;
-        let direction: Direction = dir_word
-            .parse()
-            .map_err(|e: String| parse_err(&e))?;
-        let tail = words.next().ok_or_else(|| parse_err("missing target OID"))?;
+            .filter(|w| !w.is_empty())
+            .ok_or_else(|| parse_err("missing event name"))?;
+        let dir_word = words.next().ok_or_else(|| parse_err("missing direction"))?;
+        let direction: Direction = dir_word.parse().map_err(|e: String| parse_err(&e))?;
+        let tail = words
+            .next()
+            .ok_or_else(|| parse_err("missing target OID"))?;
         let tail = tail.trim_start();
         // Target is the first whitespace-delimited word; arguments follow as
         // a sequence of double-quoted strings.
@@ -182,10 +177,9 @@ mod tests {
 
     #[test]
     fn parses_multiple_args() {
-        let msg: EventMessage =
-            r#"postEvent lvs up alu,layout,2 "not_equiv" "rerun extraction""#
-                .parse()
-                .unwrap();
+        let msg: EventMessage = r#"postEvent lvs up alu,layout,2 "not_equiv" "rerun extraction""#
+            .parse()
+            .unwrap();
         assert_eq!(msg.args, vec!["not_equiv", "rerun extraction"]);
     }
 

@@ -135,9 +135,7 @@ impl Workspace {
                     let latest = db
                         .latest_version(block, view)
                         .and_then(|id| db.oid(id).ok().cloned())
-                        .unwrap_or_else(|| {
-                            Oid::new(block, view, 0)
-                        });
+                        .unwrap_or_else(|| Oid::new(block, view, 0));
                     return Err(MetaError::CheckoutConflict {
                         oid: latest,
                         holder: Some(h.clone()),

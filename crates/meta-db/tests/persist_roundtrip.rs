@@ -15,8 +15,8 @@ fn value() -> impl Strategy<Value = Value> {
 
 #[derive(Debug, Clone)]
 struct DbSpec {
-    oids: Vec<(u8, u8, u8)>,                   // (block, view, version) indices
-    props: Vec<(usize, String, Value)>,        // (oid slot, name, value)
+    oids: Vec<(u8, u8, u8)>,            // (block, view, version) indices
+    props: Vec<(usize, String, Value)>, // (oid slot, name, value)
     links: Vec<(usize, usize, bool, Vec<String>)>, // (from, to, is_use, events)
 }
 

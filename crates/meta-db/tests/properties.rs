@@ -3,9 +3,7 @@
 
 use std::collections::BTreeSet;
 
-use damocles_meta::{
-    Arena, Direction, EventMessage, LinkClass, LinkKind, MetaDb, Oid, Value,
-};
+use damocles_meta::{Arena, Direction, EventMessage, LinkClass, LinkKind, MetaDb, Oid, Value};
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------------

@@ -48,9 +48,7 @@ pub fn submodules_of(payload: &[u8]) -> Vec<String> {
 
 /// Whether the payload carries the simulated bug marker.
 pub fn has_bug(payload: &[u8]) -> bool {
-    payload
-        .windows(3)
-        .any(|w| w == b"BUG")
+    payload.windows(3).any(|w| w == b"BUG")
 }
 
 /// Derives an artifact of `kind` from `input`, embedding the lineage hash.

@@ -145,7 +145,10 @@ impl ToolExecutor {
 
     /// Adds a permission requirement for `script`.
     pub fn require(&mut self, script: impl Into<String>, req: Requirement) -> &mut Self {
-        self.requirements.entry(script.into()).or_default().push(req);
+        self.requirements
+            .entry(script.into())
+            .or_default()
+            .push(req);
         self
     }
 

@@ -115,7 +115,9 @@ mod tests {
             blueprint: &bp,
             audit: &mut audit,
         };
-        LayoutGen::new().run(&mut ctx, &[sch_oid.to_string()]).unwrap();
+        LayoutGen::new()
+            .run(&mut ctx, &[sch_oid.to_string()])
+            .unwrap();
         let msgs = Lvs::new(FaultPlan::never())
             .run(&mut ctx, &["alu,layout,1".into()])
             .unwrap();
@@ -134,7 +136,9 @@ mod tests {
             blueprint: &bp,
             audit: &mut audit,
         };
-        LayoutGen::new().run(&mut ctx, &[sch_oid.to_string()]).unwrap();
+        LayoutGen::new()
+            .run(&mut ctx, &[sch_oid.to_string()])
+            .unwrap();
         // The schematic changes in place (same OID, new payload): the layout
         // now lags it.
         ctx.workspace.store(sch_id, b"sch-v1-edited".to_vec());
@@ -172,7 +176,9 @@ mod tests {
             blueprint: &bp,
             audit: &mut audit,
         };
-        LayoutGen::new().run(&mut ctx, &[sch_oid.to_string()]).unwrap();
+        LayoutGen::new()
+            .run(&mut ctx, &[sch_oid.to_string()])
+            .unwrap();
         let msgs = Lvs::new(FaultPlan::new(0, 1.0))
             .run(&mut ctx, &["alu,layout,1".into()])
             .unwrap();

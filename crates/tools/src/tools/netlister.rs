@@ -41,12 +41,8 @@ impl Tool for Netlister {
         let (sch_id, sch_oid) = input_oid(ctx, args)?;
         let schematic = payload_of(ctx, sch_id, &sch_oid);
         let netlist = design_data::derive("netlist", &schematic);
-        let (net_id, net_oid) = ctx.create_versioned(
-            sch_oid.block.as_str(),
-            "netlist",
-            "netlister",
-            netlist,
-        )?;
+        let (net_id, net_oid) =
+            ctx.create_versioned(sch_oid.block.as_str(), "netlist", "netlister", netlist)?;
         ensure_connected(ctx, sch_id, net_id)?;
         Ok(vec![EventMessage::new("ckin", Direction::Up, net_oid)])
     }
@@ -97,7 +93,11 @@ mod tests {
         // Payload is derived from the schematic content.
         let sch_payload = ctx.workspace.datum(sch_id).unwrap().content.clone();
         let net_payload = ctx.workspace.datum(net_id).unwrap().content.clone();
-        assert!(design_data::derived_from("netlist", &net_payload, &sch_payload));
+        assert!(design_data::derived_from(
+            "netlist",
+            &net_payload,
+            &sch_payload
+        ));
     }
 
     #[test]

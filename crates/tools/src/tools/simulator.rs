@@ -74,8 +74,8 @@ mod tests {
     use damocles_meta::{MetaDb, Workspace};
 
     fn harness() -> (MetaDb, Workspace, blueprint_core::Blueprint, AuditLog) {
-        let bp = parse("blueprint t view HDL_model endview view netlist endview endblueprint")
-            .unwrap();
+        let bp =
+            parse("blueprint t view HDL_model endview view netlist endview endblueprint").unwrap();
         (
             MetaDb::new(),
             Workspace::new("w"),

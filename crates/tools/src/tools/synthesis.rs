@@ -41,8 +41,12 @@ impl Tool for Synthesizer {
         let (hdl_id, hdl_oid) = input_oid(ctx, args)?;
         let hdl = payload_of(ctx, hdl_id, &hdl_oid);
         let top_payload = design_data::derive("schematic", &hdl);
-        let (top_id, top_oid) =
-            ctx.create_versioned(hdl_oid.block.as_str(), "schematic", "synthesizer", top_payload)?;
+        let (top_id, top_oid) = ctx.create_versioned(
+            hdl_oid.block.as_str(),
+            "schematic",
+            "synthesizer",
+            top_payload,
+        )?;
         ensure_connected(ctx, hdl_id, top_id)?;
 
         let mut messages = vec![EventMessage::new("ckin", Direction::Up, top_oid)];

@@ -45,7 +45,10 @@ fn main() -> Result<(), EngineError> {
         DesignTask::new("route-signoff", "timing, power and DRC all green")
             .requires(Condition::truthy("soc", "netlist", "state"))
             .post("postEvent sta up soc,routed,1 \"met\"", "sta-wrapper")
-            .post("postEvent power_rpt up soc,routed,1 \"ok\"", "power-wrapper")
+            .post(
+                "postEvent power_rpt up soc,routed,1 \"ok\"",
+                "power-wrapper",
+            )
             .post("postEvent drc up soc,routed,1 \"clean\"", "drc-wrapper")
             .promises(Condition::truthy("soc", "routed", "signoff")),
         DesignTask::new("tapeout", "stream GDS once routing is signed off")

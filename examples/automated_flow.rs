@@ -76,11 +76,20 @@ fn main() -> Result<(), EngineError> {
 
     println!("tool runs (in dispatch order):");
     for run in server.executor().runs() {
-        println!("  {:12} {:28} -> {}", run.script, run.args.join(" "), run.status);
+        println!(
+            "  {:12} {:28} -> {}",
+            run.script,
+            run.args.join(" "),
+            run.status
+        );
     }
 
     println!("\nresulting design database:");
-    let mut oids: Vec<_> = server.db().iter_oids().map(|(_, e)| e.oid.clone()).collect();
+    let mut oids: Vec<_> = server
+        .db()
+        .iter_oids()
+        .map(|(_, e)| e.oid.clone())
+        .collect();
     oids.sort();
     for oid in &oids {
         let props: Vec<String> = {

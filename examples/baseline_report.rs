@@ -15,9 +15,30 @@ use rand::{Rng, SeedableRng};
 
 fn main() {
     let shapes = [
-        ("small", DesignSpec { stages: 3, blocks: 8, fanout: 2 }),
-        ("medium", DesignSpec { stages: 5, blocks: 40, fanout: 3 }),
-        ("large", DesignSpec { stages: 6, blocks: 170, fanout: 3 }),
+        (
+            "small",
+            DesignSpec {
+                stages: 3,
+                blocks: 8,
+                fanout: 2,
+            },
+        ),
+        (
+            "medium",
+            DesignSpec {
+                stages: 5,
+                blocks: 40,
+                fanout: 3,
+            },
+        ),
+        (
+            "large",
+            DesignSpec {
+                stages: 6,
+                blocks: 170,
+                fanout: 3,
+            },
+        ),
     ];
     let checkins = 60;
 
@@ -36,7 +57,9 @@ fn main() {
         ];
 
         let mut rng = StdRng::seed_from_u64(42);
-        let stream: Vec<usize> = (0..checkins).map(|_| rng.gen_range(0..graph.len())).collect();
+        let stream: Vec<usize> = (0..checkins)
+            .map(|_| rng.gen_range(0..graph.len()))
+            .collect();
 
         let mut rows = Vec::new();
         let mut agreement: Option<std::collections::BTreeSet<usize>> = None;
@@ -76,7 +99,12 @@ fn main() {
         print!(
             "{}",
             metrics::table(
-                &["tracker", "checkin units/op", "query units/op", "wall (total)"],
+                &[
+                    "tracker",
+                    "checkin units/op",
+                    "query units/op",
+                    "wall (total)"
+                ],
                 &rows,
             )
         );

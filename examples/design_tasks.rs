@@ -14,19 +14,28 @@ fn main() -> Result<(), EngineError> {
     let plan = vec![
         DesignTask::new("model", "write the CPU HDL model and simulate it clean")
             .checkin("CPU", "HDL_model", "yves", b"module cpu; endmodule")
-            .post("postEvent hdl_sim up CPU,HDL_model,1 \"good\"", "sim-wrapper")
+            .post(
+                "postEvent hdl_sim up CPU,HDL_model,1 \"good\"",
+                "sim-wrapper",
+            )
             .promises(Condition::equals("CPU", "HDL_model", "sim_result", "good")),
-        DesignTask::new("synthesis", "synthesize schematics from the validated model")
-            .requires(Condition::equals("CPU", "HDL_model", "sim_result", "good"))
-            .checkin("CPU", "schematic", "synth", b"cpu schematic")
-            .checkin("REG", "schematic", "synth", b"reg schematic")
-            .connect(("CPU", "HDL_model"), ("CPU", "schematic"))
-            .connect(("CPU", "schematic"), ("REG", "schematic"))
-            .promises(Condition::truthy("CPU", "schematic", "uptodate"))
-            .promises(Condition::truthy("REG", "schematic", "uptodate")),
+        DesignTask::new(
+            "synthesis",
+            "synthesize schematics from the validated model",
+        )
+        .requires(Condition::equals("CPU", "HDL_model", "sim_result", "good"))
+        .checkin("CPU", "schematic", "synth", b"cpu schematic")
+        .checkin("REG", "schematic", "synth", b"reg schematic")
+        .connect(("CPU", "HDL_model"), ("CPU", "schematic"))
+        .connect(("CPU", "schematic"), ("REG", "schematic"))
+        .promises(Condition::truthy("CPU", "schematic", "uptodate"))
+        .promises(Condition::truthy("REG", "schematic", "uptodate")),
         DesignTask::new("netlist-sim", "netlist simulation signs off the schematic")
             .requires(Condition::exists("CPU", "schematic"))
-            .post("postEvent nl_sim up CPU,schematic,1 \"good\"", "sim-wrapper")
+            .post(
+                "postEvent nl_sim up CPU,schematic,1 \"good\"",
+                "sim-wrapper",
+            )
             .promises(Condition::equals("CPU", "schematic", "nl_sim_res", "good")),
         DesignTask::new("layout-signoff", "DRC and LVS must both pass")
             .requires(Condition::equals("CPU", "schematic", "nl_sim_res", "good"))

@@ -12,7 +12,11 @@ use damocles::prelude::*;
 fn print_state(server: &ProjectServer<RecordingExecutor>, step: &str) {
     println!("\n=== {step} ===");
     let mut rows = Vec::new();
-    let mut ids: Vec<_> = server.db().iter_oids().map(|(id, e)| (e.oid.clone(), id)).collect();
+    let mut ids: Vec<_> = server
+        .db()
+        .iter_oids()
+        .map(|(id, e)| (e.oid.clone(), id))
+        .collect();
     ids.sort();
     for (oid, id) in ids {
         let props = server.db().props(id).expect("live");
@@ -42,7 +46,12 @@ fn main() -> Result<(), EngineError> {
     // 3. "The designers then modify their model and save it as a new version
     //    <CPU.HDL_model.2>. They run the simulation again and this time get
     //    a good result."
-    let hdl2 = server.checkin("CPU", "HDL_model", "designers", b"module cpu; fixed".to_vec())?;
+    let hdl2 = server.checkin(
+        "CPU",
+        "HDL_model",
+        "designers",
+        b"module cpu; fixed".to_vec(),
+    )?;
     server.process_all()?;
     server.post_line(&format!("postEvent hdl_sim up {hdl2} \"good\""), "sim")?;
     server.process_all()?;
@@ -75,7 +84,10 @@ fn main() -> Result<(), EngineError> {
     //    derived views."
     server.checkin("CPU", "HDL_model", "designers", b"module cpu; v3".to_vec())?;
     server.process_all()?;
-    print_state(&server, "after <CPU.HDL_model.3> check-in (outofdate cascade)");
+    print_state(
+        &server,
+        "after <CPU.HDL_model.3> check-in (outofdate cascade)",
+    );
 
     println!(
         "\nCPU schematic uptodate: {}   REG schematic uptodate: {}",

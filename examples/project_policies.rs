@@ -50,7 +50,10 @@ fn main() -> Result<(), EngineError> {
     strict.reset_audit();
     let strict_report = churn(&mut strict, &spec, 20);
 
-    println!("20 root check-ins on a {}-stage, {}-block design:\n", spec.stages, spec.blocks);
+    println!(
+        "20 root check-ins on a {}-stage, {}-block design:\n",
+        spec.stages, spec.blocks
+    );
     print!(
         "{}",
         metrics::table(
@@ -80,8 +83,16 @@ fn main() -> Result<(), EngineError> {
     // --- Phase 3: sign-off — re-initialize the BluePrint and freeze views.
     // The same server can swap rule sets mid-project ("re-initializing the
     // BluePrint mechanism"): move the strict server into sign-off.
-    strict.policy_mut().frozen_views.insert(DesignSpec::view_name(0).clone());
-    match strict.checkin("blk0", &DesignSpec::view_name(0), "latecomer", b"oops".to_vec()) {
+    strict
+        .policy_mut()
+        .frozen_views
+        .insert(DesignSpec::view_name(0).clone());
+    match strict.checkin(
+        "blk0",
+        &DesignSpec::view_name(0),
+        "latecomer",
+        b"oops".to_vec(),
+    ) {
         Err(e) => println!("sign-off policy enforced: {e}"),
         Ok(_) => println!("BUG: frozen view accepted a check-in"),
     }

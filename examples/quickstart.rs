@@ -32,7 +32,12 @@ fn main() -> Result<(), EngineError> {
 
     // Designers check design data in; each check-in creates the next OID
     // version, applies template rules and queues a `ckin` event.
-    let hdl = server.checkin("cpu", "HDL_model", "yves", b"module cpu; endmodule".to_vec())?;
+    let hdl = server.checkin(
+        "cpu",
+        "HDL_model",
+        "yves",
+        b"module cpu; endmodule".to_vec(),
+    )?;
     let sch = server.checkin("cpu", "schematic", "yves", b"cell cpu".to_vec())?;
     // The synthesis activity relates the two views; the link template fills
     // in the PROPAGATE set.
@@ -41,7 +46,10 @@ fn main() -> Result<(), EngineError> {
     println!("created {hdl} and {sch}, both tracked and up to date");
 
     // A simulation wrapper posts its verdict over the wire format of §3.1.
-    server.post_line(&format!("postEvent hdl_sim up {hdl} \"good\""), "sim-wrapper")?;
+    server.post_line(
+        &format!("postEvent hdl_sim up {hdl} \"good\""),
+        "sim-wrapper",
+    )?;
     server.process_all()?;
     println!(
         "hdl_sim result recorded: sim_result = {}",
@@ -50,7 +58,12 @@ fn main() -> Result<(), EngineError> {
 
     // The designers modify the model: checking in version 2 invalidates the
     // derived schematic through the outofdate propagation.
-    server.checkin("cpu", "HDL_model", "yves", b"module cpu; /*v2*/ endmodule".to_vec())?;
+    server.checkin(
+        "cpu",
+        "HDL_model",
+        "yves",
+        b"module cpu; /*v2*/ endmodule".to_vec(),
+    )?;
     server.process_all()?;
     println!(
         "after HDL change: schematic uptodate = {}",

@@ -149,7 +149,9 @@ impl Shell {
                 let server = self.need_server()?;
                 let (block, view, user) = three(&mut words, "checkout <block> <view> <user>")?;
                 server.checkout(&block, &view, &user)?;
-                Ok(ShellOutput::Text(format!("{block}.{view} checked out by {user}")))
+                Ok(ShellOutput::Text(format!(
+                    "{block}.{view} checked out by {user}"
+                )))
             }
             "connect" => {
                 let server = self.need_server()?;
@@ -305,8 +307,7 @@ impl Shell {
                     .next()
                     .ok_or_else(|| invalid("save needs a file path"))?;
                 let server = self.need_server_ref()?;
-                let image =
-                    damocles_meta::persist::save_project(server.db(), server.workspace());
+                let image = damocles_meta::persist::save_project(server.db(), server.workspace());
                 std::fs::write(path, image)
                     .map_err(|e| invalid(&format!("cannot write {path}: {e}")))?;
                 Ok(ShellOutput::Text(format!("project saved to {path}")))
@@ -314,7 +315,9 @@ impl Shell {
             "dump" => {
                 let server = self.need_server_ref()?;
                 Ok(ShellOutput::Text(
-                    damocles_meta::dump::dump(server.db()).trim_end().to_string(),
+                    damocles_meta::dump::dump(server.db())
+                        .trim_end()
+                        .to_string(),
                 ))
             }
             "dot" => {
@@ -336,9 +339,7 @@ impl Shell {
                     s.templates
                 )))
             }
-            other => Err(invalid(&format!(
-                "unknown command `{other}` (try `help`)"
-            ))),
+            other => Err(invalid(&format!("unknown command `{other}` (try `help`)"))),
         }
     }
 
@@ -404,8 +405,7 @@ mod tests {
     use super::*;
 
     fn edtc_shell() -> Shell {
-        let server =
-            ProjectServer::from_source(damocles_flows::EDTC_SOURCE).expect("EDTC parses");
+        let server = ProjectServer::from_source(damocles_flows::EDTC_SOURCE).expect("EDTC parses");
         Shell::with_server(server)
     }
 
@@ -548,8 +548,7 @@ mod persistence_tests {
         let path = dir.join("proj.ddb");
         let path_s = path.display().to_string();
 
-        let server =
-            ProjectServer::from_source(damocles_flows::EDTC_SOURCE).expect("EDTC parses");
+        let server = ProjectServer::from_source(damocles_flows::EDTC_SOURCE).expect("EDTC parses");
         let mut sh = Shell::with_server(server);
         sh.run_script(
             "checkin CPU HDL_model yves module cpu\ncheckin CPU schematic synth cell\nconnect CPU,HDL_model,1 CPU,schematic,1\nprocess",
@@ -558,8 +557,7 @@ mod persistence_tests {
         assert!(!out.is_error(), "{out:?}");
 
         // A fresh shell restores the project and continues tracking.
-        let server2 =
-            ProjectServer::from_source(damocles_flows::EDTC_SOURCE).expect("EDTC parses");
+        let server2 = ProjectServer::from_source(damocles_flows::EDTC_SOURCE).expect("EDTC parses");
         let mut sh2 = Shell::with_server(server2);
         let out = sh2.execute(&format!("load {path_s}"));
         assert!(out.text().contains("2 OIDs"), "{out:?}");

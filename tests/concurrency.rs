@@ -86,7 +86,10 @@ fn posts_interleave_with_checkins_without_loss() {
     poster.join().unwrap();
     let report = server.process_all().unwrap();
     total_events += report.events;
-    assert_eq!(total_events, 100, "every posted message processed exactly once");
+    assert_eq!(
+        total_events, 100,
+        "every posted message processed exactly once"
+    );
 }
 
 #[test]

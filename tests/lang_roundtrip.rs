@@ -3,8 +3,8 @@
 //! robustness, and idempotence of the canonical form.
 
 use damocles::core::lang::ast::{
-    Action, Blueprint, Expr, LetDef, LinkDef, LinkSource, PropertyDef, RuleDef, Segment,
-    Template, Transfer, ViewDef,
+    Action, Blueprint, Expr, LetDef, LinkDef, LinkSource, PropertyDef, RuleDef, Segment, Template,
+    Transfer, ViewDef,
 };
 use damocles::core::lang::diag::Span;
 use damocles::core::lang::parser::parse;
@@ -67,14 +67,10 @@ fn expr(depth: u32) -> BoxedStrategy<Expr> {
     ];
     leaf.prop_recursive(depth, 24, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Eq(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Ne(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Eq(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Ne(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
             inner.prop_map(|a| Expr::Not(Box::new(a))),
         ]
     })
@@ -118,10 +114,7 @@ fn view(name: String) -> impl Strategy<Value = ViewDef> {
             0..3,
         ),
         proptest::collection::vec((ident(), expr(3)), 0..2),
-        proptest::collection::vec(
-            (ident(), proptest::collection::vec(action(), 1..4)),
-            0..3,
-        ),
+        proptest::collection::vec((ident(), proptest::collection::vec(action(), 1..4)), 0..3),
     )
         .prop_map(move |(props, links, lets, rules)| {
             let mut v = ViewDef::empty(name.clone());
@@ -166,10 +159,7 @@ fn view(name: String) -> impl Strategy<Value = ViewDef> {
 }
 
 fn blueprint() -> impl Strategy<Value = Blueprint> {
-    (
-        ident(),
-        proptest::collection::btree_set(ident(), 1..5),
-    )
+    (ident(), proptest::collection::btree_set(ident(), 1..5))
         .prop_flat_map(|(name, view_names)| {
             let views: Vec<_> = view_names.into_iter().map(view).collect();
             (Just(name), views)

@@ -68,7 +68,10 @@ fn restored_project_keeps_tracking_and_tooling() {
     session2.adopt_project(db, workspace);
 
     let lay = Oid::new("CPU", "layout", 1);
-    assert_eq!(session2.prop(&lay, "lvs_result").unwrap().as_atom(), "is_equiv");
+    assert_eq!(
+        session2.prop(&lay, "lvs_result").unwrap().as_atom(),
+        "is_equiv"
+    );
     assert_eq!(session2.prop(&lay, "uptodate").unwrap(), Value::Bool(true));
 
     // Change propagation works on the restored link graph.
@@ -84,23 +87,37 @@ fn restored_project_keeps_tracking_and_tooling() {
     // The v1 schematic went stale; the automated cascade rebuilt v2 of
     // everything (including running LVS over restored + new payloads).
     let sch1 = Oid::new("CPU", "schematic", 1);
-    assert_eq!(session2.prop(&sch1, "uptodate").unwrap(), Value::Bool(false));
+    assert_eq!(
+        session2.prop(&sch1, "uptodate").unwrap(),
+        Value::Bool(false)
+    );
     let lay2 = Oid::new("CPU", "layout", 2);
-    assert_eq!(session2.prop(&lay2, "lvs_result").unwrap().as_atom(), "is_equiv");
+    assert_eq!(
+        session2.prop(&lay2, "lvs_result").unwrap().as_atom(),
+        "is_equiv"
+    );
 
     // Tool lineage checks ran against the *restored* workspace payloads.
     let net2 = session2.resolve(&Oid::new("CPU", "netlist", 2)).unwrap();
     let sch2 = session2.resolve(&Oid::new("CPU", "schematic", 2)).unwrap();
     let net_payload = session2.workspace().datum(net2).unwrap().content.clone();
     let sch_payload = session2.workspace().datum(sch2).unwrap().content.clone();
-    assert!(design_data::derived_from("netlist", &net_payload, &sch_payload));
+    assert!(design_data::derived_from(
+        "netlist",
+        &net_payload,
+        &sch_payload
+    ));
 }
 
 #[test]
 fn save_load_is_stable_across_the_edtc_walkthrough() {
     let mut server = ProjectServer::from_source(damocles::flows::EDTC_SOURCE).unwrap();
-    let hdl = server.checkin("CPU", "HDL_model", "d", b"m1".to_vec()).unwrap();
-    let sch = server.checkin("CPU", "schematic", "d", b"s1".to_vec()).unwrap();
+    let hdl = server
+        .checkin("CPU", "HDL_model", "d", b"m1".to_vec())
+        .unwrap();
+    let sch = server
+        .checkin("CPU", "schematic", "d", b"s1".to_vec())
+        .unwrap();
     server.connect_oids(&hdl, &sch).unwrap();
     server.process_all().unwrap();
     server
@@ -117,7 +134,9 @@ fn save_load_is_stable_across_the_edtc_walkthrough() {
 #[test]
 fn queued_events_are_dropped_on_adopt() {
     let mut server = ProjectServer::from_source(damocles::flows::EDTC_SOURCE).unwrap();
-    let hdl = server.checkin("CPU", "HDL_model", "d", b"m1".to_vec()).unwrap();
+    let hdl = server
+        .checkin("CPU", "HDL_model", "d", b"m1".to_vec())
+        .unwrap();
     server.process_all().unwrap();
     let image = persist::save_project(server.db(), server.workspace());
 

@@ -89,9 +89,7 @@ fn loosened_blueprint_propagates_nothing() {
     generator::populate(&mut server, &spec).unwrap();
     server.reset_audit();
 
-    server
-        .checkin("blk0", "v0", "d", b"new".to_vec())
-        .unwrap();
+    server.checkin("blk0", "v0", "d", b"new".to_vec()).unwrap();
     server.process_all().unwrap();
     assert_eq!(server.audit().summary().propagations, 0);
     assert!(server.query().out_of_date("uptodate").is_empty());
@@ -155,7 +153,10 @@ fn direction_selects_one_side_of_the_links() {
         Value::Bool(false),
         "up travels to the source"
     );
-    assert_eq!(server.prop(&middle, "uptodate").unwrap(), Value::Bool(false));
+    assert_eq!(
+        server.prop(&middle, "uptodate").unwrap(),
+        Value::Bool(false)
+    );
     assert_eq!(
         server.prop(&Oid::new("blk0", "v2", 1), "uptodate").unwrap(),
         Value::Bool(true),
@@ -185,9 +186,7 @@ fn adversarial_cycle_terminates() {
     let x = server.create_object(Oid::new("x", "a", 1)).unwrap();
     let y = server.create_object(Oid::new("y", "b", 1)).unwrap();
     server.connect(y, x).unwrap(); // template orientation b -> a
-    server
-        .post_line("postEvent ping down y,b,1", "t")
-        .unwrap();
+    server.post_line("postEvent ping down y,b,1", "t").unwrap();
     let report = server.process_all().unwrap();
     assert!(report.deliveries <= 4);
     assert_eq!(

@@ -67,14 +67,18 @@ fn latest_per_view_queries() {
 fn failing_simulations_are_queryable() {
     let s = built_flow();
     // Generation 2 was buggy: its netlists carry "N errors" sim results.
-    let q: Query = "view=netlist version=2 prop.sim_result!=good".parse().unwrap();
+    let q: Query = "view=netlist version=2 prop.sim_result!=good"
+        .parse()
+        .unwrap();
     let hits = q.run(s.db());
     // Only the CPU branch inherits the bug: REG's schematic derives from the
     // submodule name, not from the buggy HDL content.
     assert_eq!(hits.len(), 1, "CPU's gen-2 netlist failed sim");
     assert_eq!(s.db().oid(hits[0]).unwrap().block.as_str(), "CPU");
     // And CPU's good generations are disjoint from the failure.
-    let q_good: Query = "block=CPU view=netlist prop.sim_result=good".parse().unwrap();
+    let q_good: Query = "block=CPU view=netlist prop.sim_result=good"
+        .parse()
+        .unwrap();
     for id in q_good.run(s.db()) {
         let oid = s.db().oid(id).unwrap();
         assert_ne!(oid.version, 2);

@@ -41,8 +41,11 @@ fn full_walkthrough_matches_the_paper() {
     assert_eq!(hdl2, Oid::new("CPU", "HDL_model", 2));
     // Fresh version, fresh default.
     assert_eq!(s.prop(&hdl2, "sim_result").unwrap().as_atom(), "bad");
-    s.post_line(&format!("postEvent hdl_sim up {hdl2} \"good\""), "sim-wrapper")
-        .unwrap();
+    s.post_line(
+        &format!("postEvent hdl_sim up {hdl2} \"good\""),
+        "sim-wrapper",
+    )
+    .unwrap();
     s.process_all().unwrap();
     assert_eq!(s.prop(&hdl2, "sim_result").unwrap().as_atom(), "good");
     // The old version keeps its own history.
@@ -108,9 +111,7 @@ fn link_moved_from_old_model_version_to_new() {
     // created, the derive link must anchor at version 3 so future posts
     // travel (see edtc.rs normalization note 3).
     let mut s = server();
-    let hdl2 = s
-        .checkin("CPU", "HDL_model", "d", b"v2".to_vec())
-        .unwrap();
+    let hdl2 = s.checkin("CPU", "HDL_model", "d", b"v2".to_vec()).unwrap();
     let sch = s.checkin("CPU", "schematic", "d", b"s1".to_vec()).unwrap();
     s.connect_oids(&hdl2, &sch).unwrap();
     s.process_all().unwrap();
@@ -141,11 +142,15 @@ fn use_link_shifts_to_new_child_version() {
     // <CPU.schematic.1> to <REG.schematic.2>."
     let mut s = server();
     let cpu = s.checkin("CPU", "schematic", "d", b"cpu".to_vec()).unwrap();
-    let reg1 = s.checkin("REG", "schematic", "d", b"reg1".to_vec()).unwrap();
+    let reg1 = s
+        .checkin("REG", "schematic", "d", b"reg1".to_vec())
+        .unwrap();
     s.connect_oids(&cpu, &reg1).unwrap();
     s.process_all().unwrap();
 
-    let reg2 = s.checkin("REG", "schematic", "d", b"reg2".to_vec()).unwrap();
+    let reg2 = s
+        .checkin("REG", "schematic", "d", b"reg2".to_vec())
+        .unwrap();
     s.process_all().unwrap();
 
     let cpu_id = s.resolve(&cpu).unwrap();
@@ -185,13 +190,17 @@ fn schematic_ckin_posts_lvs_to_layout() {
     //                 post lvs down "$lvs_res" done
     // layout rule:    when lvs do lvs_result = $arg done
     let mut s = server();
-    let sch = s.checkin("CPU", "schematic", "yves", b"s1".to_vec()).unwrap();
+    let sch = s
+        .checkin("CPU", "schematic", "yves", b"s1".to_vec())
+        .unwrap();
     let lay = s.checkin("CPU", "layout", "mask", b"l1".to_vec()).unwrap();
     s.connect_oids(&sch, &lay).unwrap();
     s.process_all().unwrap();
 
     // A new schematic version: its ckin posts lvs down the equivalence link.
-    let sch2 = s.checkin("CPU", "schematic", "marc", b"s2".to_vec()).unwrap();
+    let sch2 = s
+        .checkin("CPU", "schematic", "marc", b"s2".to_vec())
+        .unwrap();
     s.process_all().unwrap();
     assert_eq!(
         s.prop(&lay, "lvs_result").unwrap().as_atom(),
@@ -210,7 +219,9 @@ fn layout_checkin_posts_lvs_up_to_schematic_side() {
     // has no `when lvs` rule, so only the argument delivery is observable on
     // the layout itself plus the audit propagation count.
     let mut s = server();
-    let sch = s.checkin("CPU", "schematic", "yves", b"s1".to_vec()).unwrap();
+    let sch = s
+        .checkin("CPU", "schematic", "yves", b"s1".to_vec())
+        .unwrap();
     let lay1 = s.checkin("CPU", "layout", "mask", b"l1".to_vec()).unwrap();
     s.connect_oids(&sch, &lay1).unwrap();
     s.process_all().unwrap();
@@ -280,8 +291,11 @@ fn five_views_and_events_of_fig5_are_live() {
         ("drc", &lay, "drc_result", "good"),
         ("lvs", &lay, "lvs_result", "is_equiv"),
     ] {
-        s.post_line(&format!("postEvent {event} up {target} \"{value}\""), "wrap")
-            .unwrap();
+        s.post_line(
+            &format!("postEvent {event} up {target} \"{value}\""),
+            "wrap",
+        )
+        .unwrap();
         s.process_all().unwrap();
         assert_eq!(s.prop(target, prop).unwrap().as_atom(), value);
     }

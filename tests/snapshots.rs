@@ -95,9 +95,7 @@ fn query_configuration_stores_volume_query_results() {
         }
     }
     let good = ConfigurationBuilder::new(s.db())
-        .query(|entry| {
-            entry.props.get("nl_sim_res").map(Value::as_atom) == Some("good".into())
-        })
+        .query(|entry| entry.props.get("nl_sim_res").map(Value::as_atom) == Some("good".into()))
         .build("passing-sims");
     assert_eq!(good.oid_count(), 1);
     let oids = good.resolve(s.db(), true).unwrap();

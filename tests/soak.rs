@@ -115,7 +115,11 @@ fn alternating_loose_and_strict_phases_keep_state_sane() {
     for phase in 0..6 {
         // Re-initialize the BluePrint between phases (§3.2).
         server
-            .reinit_from_source(if phase % 2 == 0 { &strict_src } else { &loose_src })
+            .reinit_from_source(if phase % 2 == 0 {
+                &strict_src
+            } else {
+                &loose_src
+            })
             .unwrap();
         for _ in 0..10 {
             let block = damocles::flows::DesignSpec::block_name(rng.gen_range(0..spec.blocks));

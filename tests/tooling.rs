@@ -77,7 +77,10 @@ fn one_checkin_drives_the_whole_flow() {
         let sch = Oid::new(block, "schematic", 1);
         assert_eq!(s.prop(&sch, "nl_sim_res").unwrap().as_atom(), "good");
     }
-    assert!(report.scripts >= 11, "expected the full cascade, got {report:?}");
+    assert!(
+        report.scripts >= 11,
+        "expected the full cascade, got {report:?}"
+    );
     // No tool run failed or was denied.
     assert!(s
         .executor()
@@ -112,7 +115,9 @@ fn simulator_is_denied_on_stale_input() {
     // requirement (uptodate on input) must deny the run.
     let bp = damocles::core::parse(AUTOMATED).unwrap();
     let mut executor = ToolExecutor::new();
-    executor.register(Box::new(damocles::tools::Simulator::new(FaultPlan::never())));
+    executor.register(Box::new(
+        damocles::tools::Simulator::new(FaultPlan::never()),
+    ));
     executor.require("simulator", damocles::tools::Requirement::prop("uptodate"));
     let mut s = ProjectServer::with_executor(bp, executor).unwrap();
 
@@ -152,7 +157,9 @@ fn simulator_is_denied_on_stale_input() {
     )
     .unwrap();
     let mut executor2 = ToolExecutor::new();
-    executor2.register(Box::new(damocles::tools::Simulator::new(FaultPlan::never())));
+    executor2.register(Box::new(
+        damocles::tools::Simulator::new(FaultPlan::never()),
+    ));
     executor2.require("simulator", damocles::tools::Requirement::prop("uptodate"));
     let mut s2 = ProjectServer::with_executor(bp2, executor2).unwrap();
     let net2 = s2.checkin("CPU", "netlist", "d", b"n1".to_vec()).unwrap();

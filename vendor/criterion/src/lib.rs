@@ -1,0 +1,367 @@
+//! Vendored micro-benchmark harness exposing the slice of the `criterion`
+//! 0.5 API this workspace uses (the container image has no registry access).
+//!
+//! Unlike the other vendor stubs this one really measures: each benchmark is
+//! warmed up, an iteration count is calibrated so one sample lasts roughly
+//! `measurement_time / sample_size`, and the per-iteration times of all
+//! samples are reported (median and mean, in nanoseconds). Results are
+//! printed to stdout and, when the `BENCH_JSON` environment variable names a
+//! file, appended to it as JSON lines — that file is how the repository's
+//! recorded bench summaries (e.g. `BENCH_pr1.json`) are produced.
+//!
+//! No statistical outlier analysis, plotting, or baseline comparison is
+//! attempted; this is a stopwatch with criterion's entry points.
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; accepted and ignored (every batch
+/// re-runs the setup closure outside the timed section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One invocation per batch.
+    PerIteration,
+}
+
+/// Declared throughput of one benchmark, echoed in the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything `bench_function` accepts as a name.
+pub trait IntoBenchmarkId {
+    /// The rendered `group/label` suffix.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, recording per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: count how many iterations fit.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up.as_nanos() as f64 / warm_iters.max(1) as f64;
+        let budget = self.measurement.as_nanos() as f64 / self.sample_count as f64;
+        let iters_per_sample = ((budget / per_iter).ceil() as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let nanos = start.elapsed().as_nanos() as f64;
+            self.samples.push(nanos / iters_per_sample as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs produced (outside the timed section)
+    /// by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut warm_spent = Duration::ZERO;
+        while warm_spent < self.warm_up {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            warm_spent += t.elapsed();
+            warm_iters += 1;
+            if warm_start.elapsed() > self.warm_up * 20 {
+                break; // setup dominates; stop warming
+            }
+        }
+        let per_iter = (warm_spent.as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+        let budget = self.measurement.as_nanos() as f64 / self.sample_count as f64;
+        let iters_per_sample = ((budget / per_iter).ceil() as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let mut nanos = 0f64;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                nanos += t.elapsed().as_nanos() as f64;
+            }
+            self.samples.push(nanos / iters_per_sample as f64);
+        }
+    }
+}
+
+/// The harness configuration and entry point.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_count: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up/calibration budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets how many samples are taken.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Accepted for API compatibility; command-line configuration is not
+    /// implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_label();
+        run_one(self, &label, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed per iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_count = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(self.criterion, &label, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(self.criterion, &label, self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    criterion: &Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        warm_up: criterion.warm_up,
+        measurement: criterion.measurement,
+        sample_count: criterion.sample_count,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<56} (no measurement)");
+        return;
+    }
+    let mut sorted = bencher.samples.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:>12.0} elem/s", n as f64 * 1e9 / median),
+        Some(Throughput::Bytes(n)) => format!("  {:>12.0} B/s", n as f64 * 1e9 / median),
+        None => String::new(),
+    };
+    println!("{label:<56} median {median:>12.1} ns/iter  mean {mean:>12.1} ns/iter{rate}");
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(
+                file,
+                "{{\"id\":\"{label}\",\"median_ns\":{median:.1},\"mean_ns\":{mean:.1},\"samples\":{}}}",
+                sorted.len()
+            );
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(5);
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| std::hint::black_box(3u64.pow(7)));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_labels_compose() {
+        let id = BenchmarkId::new("strict", 10);
+        assert_eq!(id.label, "strict/10");
+        let id = BenchmarkId::from_parameter(99);
+        assert_eq!(id.label, "99");
+    }
+}

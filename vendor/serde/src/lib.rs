@@ -1,0 +1,14 @@
+//! Vendored facade for the parts of `serde` this workspace names (the
+//! container image has no registry access). The repository derives
+//! `Serialize`/`Deserialize` on meta-database types for API compatibility but
+//! performs all persistence through its own text image, so the traits here
+//! are empty markers and the derives (re-exported from the vendored
+//! `serde_derive`) expand to nothing.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

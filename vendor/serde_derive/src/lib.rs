@@ -1,0 +1,19 @@
+//! Vendored stand-in for `serde_derive` (the container image has no registry
+//! access). The real derives generate `Serialize`/`Deserialize` impls; this
+//! repository never serializes through serde (persistence is the hand-rolled
+//! text image in `damocles-meta`), so the derives expand to nothing. The
+//! `serde` helper attribute (`#[serde(skip)]` etc.) is accepted and ignored.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
