@@ -190,6 +190,10 @@ pub struct CompiledBlueprint {
     /// Union of every link template's PROPAGATE set: an event outside this
     /// set can never cross a template-instantiated link.
     propagate_union: SymSet,
+    /// Process-unique id of this compilation, used by the engine's per-view
+    /// dispatch cache to detect blueprint swaps (`reinit`) without holding a
+    /// reference.
+    generation: u64,
 }
 
 impl CompiledBlueprint {
@@ -295,6 +299,7 @@ impl CompiledBlueprint {
         }
 
         let arc_names = symbols.iter().map(|(_, name)| Arc::from(name)).collect();
+        static GENERATION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
         CompiledBlueprint {
             symbols,
             arc_names,
@@ -304,6 +309,30 @@ impl CompiledBlueprint {
             default_index,
             link_templates,
             propagate_union,
+            generation: GENERATION.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        }
+    }
+
+    /// Process-unique id of this compilation — changes on every
+    /// [`CompiledBlueprint::compile`] call, letting caches keyed on it
+    /// detect a blueprint swap.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The `tables` index of a declared view's dispatch table, or `None`
+    /// for undeclared views (which dispatch through the fallback table).
+    /// The cacheable form of [`CompiledBlueprint::table_for_view`].
+    pub fn table_index_for_view(&self, view: &str) -> Option<usize> {
+        self.view_index.get(view).copied()
+    }
+
+    /// The dispatch table at a [`CompiledBlueprint::table_index_for_view`]
+    /// index; `None` selects the fallback table.
+    pub fn table_at(&self, index: Option<usize>) -> &DispatchTable {
+        match index {
+            Some(i) => &self.tables[i],
+            None => &self.fallback,
         }
     }
 
@@ -331,10 +360,7 @@ impl CompiledBlueprint {
     /// The dispatch table for OIDs of `view`: the view's merged table if
     /// declared, the `default`-only fallback otherwise.
     pub fn table_for_view(&self, view: &str) -> &DispatchTable {
-        match self.view_index.get(view) {
-            Some(&index) => &self.tables[index],
-            None => &self.fallback,
-        }
+        self.table_at(self.table_index_for_view(view))
     }
 
     /// Whether a `default` view is declared.

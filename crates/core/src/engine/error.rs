@@ -28,6 +28,14 @@ pub enum EngineError {
         /// Events processed before giving up.
         processed: u64,
     },
+    /// A durability operation (journal append, checkpoint, recovery)
+    /// failed. Carries the rendered [`damocles_meta::JournalError`] — that
+    /// type holds `std::io::Error` and so cannot itself live in this
+    /// `Clone + PartialEq` enum.
+    Journal {
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -42,6 +50,7 @@ impl fmt::Display for EngineError {
             EngineError::Runaway { processed } => {
                 write!(f, "event budget exhausted after {processed} events")
             }
+            EngineError::Journal { reason } => write!(f, "durability error: {reason}"),
         }
     }
 }
@@ -52,7 +61,17 @@ impl std::error::Error for EngineError {
             EngineError::Meta(e) => Some(e),
             EngineError::Policy(v) => Some(v),
             EngineError::Parse(e) => Some(e),
-            EngineError::Invalid { .. } | EngineError::Runaway { .. } => None,
+            EngineError::Invalid { .. }
+            | EngineError::Runaway { .. }
+            | EngineError::Journal { .. } => None,
+        }
+    }
+}
+
+impl From<damocles_meta::JournalError> for EngineError {
+    fn from(e: damocles_meta::JournalError) -> Self {
+        EngineError::Journal {
+            reason: e.to_string(),
         }
     }
 }

@@ -63,9 +63,38 @@ struct WaveScratch {
     /// engine memory by one entry per distinct unknown name for the
     /// server's lifetime.
     extra_map: HashMap<String, (Sym, Arc<str>)>,
+    /// Per-view dispatch resolution cache, indexed by the database's
+    /// interned view symbol ([`OidEntry::view_sym`]): `None` = not yet
+    /// resolved; `Some(None)` = undeclared view (fallback table);
+    /// `Some(Some(i))` = `tables[i]`. Lets the hot loop skip the view-name
+    /// string hash in `table_for_view` after the first delivery per view.
+    /// Valid only for the compiled blueprint generation in
+    /// `view_cache_gen` — cleared when the server reinits the blueprint.
+    view_cache: Vec<Option<Option<usize>>>,
+    /// The [`CompiledBlueprint::generation`] the cache was filled against.
+    view_cache_gen: u64,
 }
 
 impl WaveScratch {
+    /// Resolves an OID's dispatch-table index, hashing the view-name string
+    /// only on the first delivery to each view per blueprint generation.
+    fn table_index(
+        &mut self,
+        compiled: &CompiledBlueprint,
+        view_sym: Sym,
+        view_name: &str,
+    ) -> Option<usize> {
+        if self.view_cache_gen != compiled.generation() {
+            self.view_cache.clear();
+            self.view_cache_gen = compiled.generation();
+        }
+        let slot = view_sym.index();
+        if slot >= self.view_cache.len() {
+            self.view_cache.resize(slot + 1, None);
+        }
+        *self.view_cache[slot].get_or_insert_with(|| compiled.table_index_for_view(view_name))
+    }
+
     /// Interns an event name against `compiled`'s universe, extending it
     /// with wave-local symbols for unknown names.
     fn intern(&mut self, compiled: &CompiledBlueprint, event: &str) -> (Sym, Arc<str>) {
@@ -109,6 +138,14 @@ struct WaveItem {
     delivery: Delivery,
     args: Vec<String>,
     depth: u32,
+}
+
+/// The shared empty post-argument list: most `post` rules carry no
+/// arguments, so wave items for them all clone one static `Arc` instead of
+/// allocating a fresh empty slice per post.
+fn empty_args() -> Arc<[String]> {
+    static EMPTY: std::sync::OnceLock<Arc<[String]>> = std::sync::OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::from(Vec::new())))
 }
 
 /// Counts `kind` on the allocation-free path, or materializes the full
@@ -155,6 +192,19 @@ impl RuntimeEngine {
     /// to rules as `$date`.
     pub fn clock(&self) -> u64 {
         self.clock
+    }
+
+    /// Drops the cached per-view dispatch resolutions. Must be called when
+    /// the engine is pointed at a *different database* (`adopt_project`):
+    /// the cache is indexed by the database's interned view symbols, and a
+    /// replacement database may intern the same view names in a different
+    /// order (e.g. `persist::load` interns in image order, not original
+    /// creation order). Blueprint swaps are detected automatically via
+    /// [`CompiledBlueprint::generation`]; database swaps are not.
+    pub fn invalidate_dispatch_cache(&mut self) {
+        self.scratch.view_cache.clear();
+        // Generations start at 1, so 0 forces a refill on the next wave.
+        self.scratch.view_cache_gen = 0;
     }
 
     /// Processes one design event to completion (the full propagation wave).
@@ -539,7 +589,11 @@ impl RuntimeEngine {
             name,
             direction,
             delivery,
-            args: args.into(),
+            args: if args.is_empty() {
+                empty_args()
+            } else {
+                args.into()
+            },
             depth: 0,
         });
         let result = self.run_compiled_wave(compiled, db, audit, &user, &mut scratch, &mut outcome);
@@ -599,13 +653,17 @@ impl RuntimeEngine {
         }
 
         let (table, dispatch) = {
-            let oid = &db.entry(id)?.oid;
-            let view_name = oid.view.as_str();
-            if !compiled.declares_view(view_name) && view_name != "default" {
+            let entry = db.entry(id)?;
+            let oid = &entry.oid;
+            // Resolve the dispatch table through the per-view cache: the
+            // database interned the view name at OID creation, so the
+            // steady state is one Vec index instead of a string hash.
+            let table_index = scratch.table_index(compiled, entry.view_sym(), oid.view.as_str());
+            if table_index.is_none() && oid.view.as_str() != "default" {
                 match self.policy.unknown_views {
                     Strictness::Reject => {
                         return Err(PolicyViolation::UnknownView {
-                            view: view_name.to_string(),
+                            view: oid.view.to_string(),
                             event: ev_name.to_string(),
                         }
                         .into());
@@ -621,7 +679,7 @@ impl RuntimeEngine {
                     Strictness::Lenient => {}
                 }
             }
-            let table = compiled.table_for_view(view_name);
+            let table = compiled.table_at(table_index);
             (table, table.dispatch(item.event))
         };
 
@@ -759,7 +817,9 @@ impl RuntimeEngine {
                 let post_name = compiled
                     .name_arc(post.event)
                     .expect("compiled posts resolve");
-                let rendered_args: Arc<[String]> = {
+                let rendered_args: Arc<[String]> = if post.args.is_empty() {
+                    empty_args()
+                } else {
                     let entry = db.entry(id)?;
                     let ctx = EvalCtx {
                         props: &entry.props,

@@ -8,6 +8,9 @@
 //! events those wrappers post back into the queue — the automatic tool
 //! invocation loop of Section 3.3.
 
+use std::path::{Path, PathBuf};
+
+use damocles_meta::journal::{self, JournalOp, JournalWriter, RecoveryReport};
 use damocles_meta::{
     Direction, EventMessage, MetaDb, MetaError, Oid, OidId, ProjectQuery, Value, Workspace,
 };
@@ -43,6 +46,34 @@ impl ProcessReport {
         self.deliveries += other.deliveries;
         self.scripts += other.scripts;
         self.emitted += other.emitted;
+    }
+}
+
+/// Snapshot file name inside a durability directory.
+const SNAPSHOT_FILE: &str = "snapshot.ddb";
+/// Journal file name inside a durability directory.
+const JOURNAL_FILE: &str = "journal.djl";
+
+/// Durability state of a journaling server: where the checkpoint snapshot
+/// and op journal live, the open journal writer, and the fold policy.
+#[derive(Debug)]
+struct Durability {
+    dir: PathBuf,
+    writer: JournalWriter,
+    /// Epoch of the snapshot the journal extends.
+    epoch: u64,
+    /// Fold the journal into a fresh snapshot after this many appended ops.
+    checkpoint_every: u64,
+    ops_since_checkpoint: u64,
+    /// Set when the database was swapped wholesale (`adopt_project`): the
+    /// journal on disk no longer describes the in-memory state, so the next
+    /// sync point must checkpoint before appending anything.
+    force_checkpoint: bool,
+}
+
+fn journal_io(e: std::io::Error) -> EngineError {
+    EngineError::Journal {
+        reason: e.to_string(),
     }
 }
 
@@ -102,6 +133,8 @@ pub struct ProjectServer<E = NullExecutor> {
     /// instead of the compiled dispatch tables — kept for differential
     /// testing and as the benches' baseline.
     ast_dispatch: bool,
+    /// Journal + checkpoint state (see [`ProjectServer::enable_journal`]).
+    durability: Option<Durability>,
     /// Safety valve for `process_all`.
     pub max_events_per_drain: u64,
 }
@@ -150,6 +183,7 @@ impl<E: ScriptExecutor> ProjectServer<E> {
             executor,
             inbox_buf: Vec::new(),
             ast_dispatch: false,
+            durability: None,
             max_events_per_drain: 1_000_000,
         })
     }
@@ -214,6 +248,7 @@ impl<E: ScriptExecutor> ProjectServer<E> {
                 written += 1;
             }
         }
+        self.journal_sync(None)?;
         Ok(written)
     }
 
@@ -221,11 +256,238 @@ impl<E: ScriptExecutor> ProjectServer<E> {
     /// [`damocles_meta::persist::load_project`]), discarding the current
     /// ones. Any queued events are dropped — their addresses belong to the
     /// old database.
+    ///
+    /// With journaling enabled, the on-disk journal no longer describes the
+    /// adopted state; a checkpoint is forced at the next sync point (call
+    /// [`ProjectServer::checkpoint`] immediately if you need the window
+    /// closed now).
     pub fn adopt_project(&mut self, db: MetaDb, workspace: Workspace) {
         while self.queue.dequeue().is_some() {}
         for _ in self.queue.drain_inbox() {}
         self.db = db;
         self.workspace = workspace;
+        // The engine's per-view dispatch cache is keyed by the old
+        // database's view symbols; the adopted database may intern the
+        // same view names in a different order.
+        self.engine.invalidate_dispatch_cache();
+        if let Some(d) = self.durability.as_mut() {
+            self.db.attach_journal();
+            d.force_checkpoint = true;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Durability: op journal + incremental checkpoints
+    // ------------------------------------------------------------------
+
+    /// Turns on durability: writes an initial checkpoint (snapshot +
+    /// fresh journal) under `dir`, attaches a journal recorder to the
+    /// database, and from then on appends every mutation's op record at
+    /// each server operation boundary, folding the journal into a fresh
+    /// snapshot every `checkpoint_every` ops (and on
+    /// [`ProjectServer::checkpoint`]). Returns the checkpoint epoch.
+    ///
+    /// The durability cost between checkpoints scales with the mutation
+    /// rate, not the database size — the point of the journal over plain
+    /// [`damocles_meta::persist::save`] snapshots.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Journal`] on file-system failures.
+    pub fn enable_journal(
+        &mut self,
+        dir: impl AsRef<Path>,
+        checkpoint_every: u64,
+    ) -> Result<u64, EngineError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(journal_io)?;
+        // Continue the epoch sequence of any previous incarnation so a
+        // stale journal from before this enable can never pass the epoch
+        // match against a new snapshot. Only a MISSING snapshot means a
+        // fresh start; an unreadable one is an error (enable would
+        // otherwise overwrite state the operator may still want).
+        let epoch = match std::fs::read_to_string(dir.join(SNAPSHOT_FILE)) {
+            Ok(s) => journal::snapshot_epoch(&s),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+            Err(e) => return Err(journal_io(e)),
+        } + 1;
+        let writer = Self::write_checkpoint_files(&dir, epoch, &self.db, &self.workspace)?;
+        self.db.attach_journal();
+        self.durability = Some(Durability {
+            dir,
+            writer,
+            epoch,
+            checkpoint_every: checkpoint_every.max(1),
+            ops_since_checkpoint: 0,
+            force_checkpoint: false,
+        });
+        Ok(epoch)
+    }
+
+    /// Whether durability is enabled.
+    pub fn journal_enabled(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The current checkpoint epoch, when journaling.
+    pub fn journal_epoch(&self) -> Option<u64> {
+        self.durability.as_ref().map(|d| d.epoch)
+    }
+
+    /// Ops appended to the current journal since the last checkpoint.
+    pub fn journal_records(&self) -> Option<u64> {
+        self.durability.as_ref().map(|d| d.writer.record_count())
+    }
+
+    /// The durability directory, when journaling.
+    pub fn journal_dir(&self) -> Option<&Path> {
+        self.durability.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Folds the journal into a fresh snapshot: writes the full image at
+    /// the next epoch (atomically), starts an empty journal, and re-bases
+    /// the database's link tags. Returns the new epoch.
+    ///
+    /// Crash-safe ordering: the snapshot lands (tmp + rename) *before* the
+    /// journal resets, and recovery ignores a journal whose header epoch
+    /// does not match the snapshot — so dying between the two steps loses
+    /// nothing and corrupts nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Journal`] when journaling is not enabled or on
+    /// file-system failures.
+    pub fn checkpoint(&mut self) -> Result<u64, EngineError> {
+        if self.durability.is_none() {
+            return Err(EngineError::Journal {
+                reason: "journaling is not enabled (call enable_journal first)".to_string(),
+            });
+        }
+        // Buffered ops are already reflected in the live database; the
+        // fresh snapshot subsumes them.
+        let _ = self.db.drain_journal_ops();
+        let (dir, epoch) = {
+            let d = self.durability.as_ref().expect("checked above");
+            (d.dir.clone(), d.epoch + 1)
+        };
+        let writer = match Self::write_checkpoint_files(&dir, epoch, &self.db, &self.workspace) {
+            Ok(w) => w,
+            Err(e) => {
+                // The snapshot may have landed at the new epoch while the
+                // journal did not reset; continuing to append would write
+                // ops recovery must ignore. Disable durability loudly —
+                // recorder included, or the db would buffer ops forever.
+                self.durability = None;
+                self.db.detach_journal();
+                return Err(e);
+            }
+        };
+        let d = self.durability.as_mut().expect("checked above");
+        d.writer = writer;
+        d.epoch = epoch;
+        d.ops_since_checkpoint = 0;
+        d.force_checkpoint = false;
+        // Re-tag links in image order so tail ops and the snapshot agree.
+        self.db.attach_journal();
+        Ok(epoch)
+    }
+
+    /// Restores the project from a durability directory: loads
+    /// `snapshot + journal tail`, replays the tail through the normal
+    /// database API (rebuilding indices and interned bitsets rather than
+    /// trusting them), adopts the result, and folds it into a fresh
+    /// checkpoint so journaling continues cleanly from the recovered
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Journal`] when the snapshot is unreadable, the
+    /// journal is corrupt beyond a torn tail, or a record fails to replay.
+    pub fn recover_journal(
+        &mut self,
+        dir: impl AsRef<Path>,
+        checkpoint_every: u64,
+    ) -> Result<RecoveryReport, EngineError> {
+        let dir = dir.as_ref().to_path_buf();
+        let snapshot = std::fs::read_to_string(dir.join(SNAPSHOT_FILE)).map_err(journal_io)?;
+        // A MISSING journal file is a valid (empty) tail — the crash may
+        // have hit before the first journal write. Any other read failure
+        // must surface: proceeding would recover the snapshot alone and
+        // then truncate the unread journal, destroying fsynced ops.
+        let journal_bytes = match std::fs::read(dir.join(JOURNAL_FILE)) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(journal_io(e)),
+        };
+        let recovered = journal::recover(&snapshot, &journal_bytes)?;
+        self.durability = None;
+        self.adopt_project(recovered.db, recovered.workspace);
+        self.enable_journal(dir, checkpoint_every)?;
+        Ok(recovered.report)
+    }
+
+    fn write_checkpoint_files(
+        dir: &Path,
+        epoch: u64,
+        db: &MetaDb,
+        workspace: &Workspace,
+    ) -> Result<JournalWriter, EngineError> {
+        let image = journal::write_snapshot(db, workspace, epoch);
+        journal::write_file_atomic(dir.join(SNAPSHOT_FILE), &image).map_err(journal_io)?;
+        JournalWriter::create(dir.join(JOURNAL_FILE), epoch).map_err(journal_io)
+    }
+
+    /// Appends the database's buffered ops (plus an optional server-level
+    /// op, e.g. a payload record) to the journal and syncs; folds into a
+    /// checkpoint when the policy says so. No-op without durability.
+    ///
+    /// Failure semantics: an append/sync error **disables durability**
+    /// (poison) and surfaces the error. The drained ops cannot be retried —
+    /// the failed write may have left a partial record on disk, and
+    /// appending after it would turn a recoverable torn tail into mid-file
+    /// corruption. Poisoning keeps the on-disk journal a valid prefix of
+    /// history and makes the gap loud instead of silent.
+    fn journal_sync(&mut self, extra: Option<JournalOp>) -> Result<(), EngineError> {
+        if self.durability.is_none() {
+            return Ok(());
+        }
+        if self.durability.as_ref().is_some_and(|d| d.force_checkpoint) {
+            // The on-disk journal predates an adopt_project; fold first.
+            self.checkpoint()?;
+        }
+        let ops = self.db.drain_journal_ops();
+        let d = self.durability.as_mut().expect("checked above");
+        let appended = {
+            let write_all = |d: &mut Durability| -> Result<u64, std::io::Error> {
+                let mut appended = 0u64;
+                for op in ops.iter().chain(extra.iter()) {
+                    d.writer.append(op)?;
+                    appended += 1;
+                }
+                if appended > 0 {
+                    d.writer.sync()?;
+                }
+                Ok(appended)
+            };
+            match write_all(d) {
+                Ok(n) => n,
+                Err(e) => {
+                    self.durability = None;
+                    self.db.detach_journal();
+                    return Err(EngineError::Journal {
+                        reason: format!("journal append failed, durability disabled: {e}"),
+                    });
+                }
+            }
+        };
+        if appended > 0 {
+            let d = self.durability.as_mut().expect("checked above");
+            d.ops_since_checkpoint += appended;
+            if d.ops_since_checkpoint >= d.checkpoint_every {
+                self.checkpoint()?;
+            }
+        }
+        Ok(())
     }
 
     /// Replaces the blueprint from source text.
@@ -367,6 +629,17 @@ impl<E: ScriptExecutor> ProjectServer<E> {
             .set_prop(id, "owner", Value::Str(user.to_string()))?;
         self.queue
             .enqueue(QueuedEvent::target("ckin", Direction::Up, id, user));
+        // Journal the payload alongside the meta-data ops so recovery can
+        // rebuild the workspace too, not just the database.
+        let data_op = self.durability.is_some().then(|| JournalOp::Data {
+            oid: oid.clone(),
+            payload: self
+                .workspace
+                .datum(id)
+                .map(|d| d.content.clone())
+                .unwrap_or_default(),
+        });
+        self.journal_sync(data_op)?;
         Ok(oid)
     }
 
@@ -389,6 +662,7 @@ impl<E: ScriptExecutor> ProjectServer<E> {
     pub fn create_object(&mut self, oid: Oid) -> Result<OidId, EngineError> {
         let id = self.db.create_oid(oid)?;
         template::apply_on_create(&self.blueprint, &mut self.db, id, &mut self.audit)?;
+        self.journal_sync(None)?;
         Ok(id)
     }
 
@@ -400,6 +674,7 @@ impl<E: ScriptExecutor> ProjectServer<E> {
     /// Fails on stale handles or self-links.
     pub fn connect(&mut self, from: OidId, to: OidId) -> Result<(), EngineError> {
         template::instantiate_link(&self.blueprint, &mut self.db, from, to)?;
+        self.journal_sync(None)?;
         Ok(())
     }
 
@@ -511,6 +786,9 @@ impl<E: ScriptExecutor> ProjectServer<E> {
                 }
             }
         }
+        // One durability sync per drain: every op the wave performed is on
+        // disk before process_all returns.
+        self.journal_sync(None)?;
         Ok(report)
     }
 
@@ -754,6 +1032,158 @@ mod tests {
             .unwrap();
         let err = server.process_all().unwrap_err();
         assert!(matches!(err, EngineError::Runaway { processed: 50 }));
+    }
+
+    #[test]
+    fn adopt_project_invalidates_view_dispatch_cache() {
+        // Two views with opposite rules for the same event; the adopted
+        // database interns the view names in the OPPOSITE order, so a
+        // stale per-view dispatch cache would run alpha's rule on beta.
+        let mut server = ProjectServer::from_source(
+            r#"blueprint cache
+            view alpha
+                when ping do mark = from_alpha done
+            endview
+            view beta
+                when ping do mark = from_beta done
+            endview
+            endblueprint"#,
+        )
+        .unwrap();
+        let a = Oid::new("blk", "alpha", 1);
+        let b = Oid::new("blk", "beta", 1);
+        server.create_object(a.clone()).unwrap();
+        server.create_object(b.clone()).unwrap();
+        // Warm the cache for both view symbols (alpha=0, beta=1 here).
+        server
+            .post_line("postEvent ping up blk,alpha,1", "t")
+            .unwrap();
+        server
+            .post_line("postEvent ping up blk,beta,1", "t")
+            .unwrap();
+        server.process_all().unwrap();
+        assert_eq!(server.prop(&a, "mark").unwrap().as_atom(), "from_alpha");
+
+        // Adopted database interns beta FIRST (beta=0, alpha=1).
+        let mut db = MetaDb::new();
+        db.create_oid(b.clone()).unwrap();
+        db.create_oid(a.clone()).unwrap();
+        server.adopt_project(db, Workspace::new("adopted"));
+        server
+            .post_line("postEvent ping up blk,beta,1", "t")
+            .unwrap();
+        server
+            .post_line("postEvent ping up blk,alpha,1", "t")
+            .unwrap();
+        server.process_all().unwrap();
+        assert_eq!(
+            server.prop(&b, "mark").unwrap().as_atom(),
+            "from_beta",
+            "stale view cache served alpha's dispatch table for beta"
+        );
+        assert_eq!(server.prop(&a, "mark").unwrap().as_atom(), "from_alpha");
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("damocles-srv-journal-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn journal_checkpoint_recover_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let mut server = ProjectServer::from_source(SIMPLE).unwrap();
+        server.enable_journal(&dir, 10_000).unwrap();
+        assert!(server.journal_enabled());
+        let hdl = server
+            .checkin("cpu", "HDL_model", "yves", b"v1".to_vec())
+            .unwrap();
+        let sch = server
+            .checkin("cpu", "schematic", "synth", b"s1".to_vec())
+            .unwrap();
+        server.connect_oids(&hdl, &sch).unwrap();
+        server.process_all().unwrap();
+        assert!(server.journal_records().unwrap() > 0, "ops were journaled");
+        let image_before = damocles_meta::persist::save(server.db());
+
+        // A fresh server recovers the whole project from snapshot + tail.
+        let mut crashed = ProjectServer::from_source(SIMPLE).unwrap();
+        let report = crashed.recover_journal(&dir, 10_000).unwrap();
+        assert!(report.replayed_ops > 0, "{report:?}");
+        assert_eq!(
+            damocles_meta::persist::save(crashed.db()),
+            image_before,
+            "recovered image matches the pre-crash database byte-for-byte"
+        );
+        // Payloads came back through the journal's data records.
+        let id = crashed.resolve(&hdl).unwrap();
+        assert_eq!(
+            crashed.workspace().datum(id).unwrap().content,
+            b"v1".to_vec()
+        );
+        // And tracking continues: a new HDL version invalidates the
+        // recovered schematic.
+        crashed
+            .checkin("cpu", "HDL_model", "yves", b"v2".to_vec())
+            .unwrap();
+        crashed.process_all().unwrap();
+        assert_eq!(crashed.prop(&sch, "uptodate").unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn checkpoint_policy_folds_every_n_ops() {
+        let dir = temp_dir("fold");
+        let mut server = ProjectServer::from_source(SIMPLE).unwrap();
+        let epoch0 = server.enable_journal(&dir, 8).unwrap();
+        for i in 0..6 {
+            server
+                .checkin("cpu", "HDL_model", "yves", format!("v{i}").into_bytes())
+                .unwrap();
+            server.process_all().unwrap();
+        }
+        let epoch = server.journal_epoch().unwrap();
+        assert!(epoch > epoch0, "auto-checkpoint advanced the epoch");
+        // After a fold the journal restarts small.
+        assert!(server.journal_records().unwrap() < 8 * 6);
+        // Explicit checkpoint empties it entirely and still recovers.
+        server.checkpoint().unwrap();
+        assert_eq!(server.journal_records().unwrap(), 0);
+        let image = damocles_meta::persist::save(server.db());
+        let mut fresh = ProjectServer::from_source(SIMPLE).unwrap();
+        fresh.recover_journal(&dir, 8).unwrap();
+        assert_eq!(damocles_meta::persist::save(fresh.db()), image);
+    }
+
+    #[test]
+    fn checkpoint_without_journal_errors() {
+        let mut server = ProjectServer::from_source(SIMPLE).unwrap();
+        assert!(matches!(
+            server.checkpoint(),
+            Err(EngineError::Journal { .. })
+        ));
+        assert!(!server.journal_enabled());
+    }
+
+    #[test]
+    fn torn_journal_tail_recovers_prefix() {
+        let dir = temp_dir("torn");
+        let mut server = ProjectServer::from_source(SIMPLE).unwrap();
+        server.enable_journal(&dir, 10_000).unwrap();
+        server
+            .checkin("cpu", "HDL_model", "yves", b"v1".to_vec())
+            .unwrap();
+        server.process_all().unwrap();
+        // Simulate a crash mid-append: chop bytes off the journal tail.
+        let jpath = dir.join("journal.djl");
+        let bytes = std::fs::read(&jpath).unwrap();
+        std::fs::write(&jpath, &bytes[..bytes.len() - 11]).unwrap();
+        let mut crashed = ProjectServer::from_source(SIMPLE).unwrap();
+        let report = crashed.recover_journal(&dir, 10_000).unwrap();
+        assert!(report.torn_tail.is_some(), "{report:?}");
+        // The HDL object from the valid prefix survived.
+        assert_eq!(crashed.db().oid_count(), 1);
     }
 
     #[test]

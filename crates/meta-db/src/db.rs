@@ -6,6 +6,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use crate::arena::{Arena, ArenaIndex};
 use crate::error::MetaError;
 use crate::intern::{Sym, SymbolTable};
+use crate::journal::{JournalOp, JournalRecorder, MovedEnd};
 use crate::link::{Direction, Link, LinkClass, LinkId, LinkKind};
 use crate::oid::{BlockName, Oid, ViewType};
 use crate::property::{PropertyMap, Value};
@@ -22,12 +23,22 @@ pub struct OidEntry {
     pub props: PropertyMap,
     /// Incident links (either end). Maintained by [`MetaDb`].
     links: Vec<LinkId>,
+    /// The view type interned against the owning database's view universe
+    /// (see [`MetaDb::view_sym_count`]); lets dispatch layers cache per-view
+    /// decisions without hashing the view name per delivery.
+    view_sym: Sym,
 }
 
 impl OidEntry {
     /// Incident link addresses, in insertion order.
     pub fn link_ids(&self) -> &[LinkId] {
         &self.links
+    }
+
+    /// The interned handle of this object's view type, assigned by the
+    /// owning database at creation time. Stable for the database's lifetime.
+    pub fn view_sym(&self) -> Sym {
+        self.view_sym
     }
 }
 
@@ -77,6 +88,17 @@ pub struct MetaDb {
     /// Interner for the event names appearing in link PROPAGATE sets; the
     /// bitset form of every link's PROPAGATE property indexes this table.
     event_syms: SymbolTable,
+    /// Interner for view type names, assigned at [`MetaDb::create_oid`] time
+    /// (see [`OidEntry::view_sym`]).
+    view_syms: SymbolTable,
+    /// Secondary index `property name → value → live OIDs holding exactly
+    /// that value`, maintained by [`MetaDb::set_prop`] /
+    /// [`MetaDb::remove_prop`] / [`MetaDb::delete_oid`] and rebuilt for free
+    /// on recovery because recovery replays those same methods. Powers
+    /// [`MetaDb::where_prop_eq`].
+    prop_index: HashMap<String, HashMap<Value, BTreeSet<OidId>>>,
+    /// Attached journal recorder, if any (see [`MetaDb::attach_journal`]).
+    journal: Option<JournalRecorder>,
     stats: DbStats,
 }
 
@@ -118,10 +140,12 @@ impl MetaDb {
         if self.by_oid.contains_key(&oid) {
             return Err(MetaError::DuplicateOid { oid });
         }
+        let view_sym = self.view_syms.intern(oid.view.as_str());
         let id = self.oids.insert(OidEntry {
             oid: oid.clone(),
             props: PropertyMap::new(),
             links: Vec::new(),
+            view_sym,
         });
         self.by_oid.insert(oid.clone(), id);
         let chain = self
@@ -132,6 +156,9 @@ impl MetaDb {
         chain.insert(pos, oid.version);
         self.by_view.entry(oid.view.clone()).or_default().insert(id);
         self.stats.created_oids += 1;
+        if let Some(j) = self.journal.as_mut() {
+            j.record(JournalOp::CreateOid { oid });
+        }
         Ok(id)
     }
 
@@ -151,6 +178,9 @@ impl MetaDb {
             let _ = self.remove_link(link_id);
         }
         let entry = self.oids.remove(id).ok_or_else(|| stale(id))?;
+        for (name, value) in entry.props.iter() {
+            self.unindex_prop(id, name, value);
+        }
         self.by_oid.remove(&entry.oid);
         if let Some(chain) = self
             .chains
@@ -167,6 +197,11 @@ impl MetaDb {
             if set.is_empty() {
                 self.by_view.remove(&entry.oid.view);
             }
+        }
+        if let Some(j) = self.journal.as_mut() {
+            j.record(JournalOp::DeleteOid {
+                oid: entry.oid.clone(),
+            });
         }
         Ok(entry)
     }
@@ -222,6 +257,10 @@ impl MetaDb {
     // ------------------------------------------------------------------
 
     /// Sets a property on an object, returning the previous value.
+    ///
+    /// Maintains the `(property, value)` secondary index (see
+    /// [`MetaDb::where_prop_eq`]) and, when a journal is attached, emits a
+    /// [`JournalOp::SetProp`] record.
     pub fn set_prop(
         &mut self,
         id: OidId,
@@ -230,7 +269,56 @@ impl MetaDb {
     ) -> Result<Option<Value>, MetaError> {
         let entry = self.oids.get_mut(id).ok_or_else(|| stale(id))?;
         self.stats.prop_writes += 1;
-        Ok(entry.props.set(name, value))
+        let old = entry.props.set(name, value.clone());
+        let oid = self.journal.is_some().then(|| entry.oid.clone());
+        if let Some(old_v) = &old {
+            if *old_v != value {
+                self.unindex_prop(id, name, old_v);
+            }
+        }
+        // `get_mut` first so the steady state (an already-indexed property
+        // name) performs no String allocation.
+        let by_value = match self.prop_index.get_mut(name) {
+            Some(m) => m,
+            None => self.prop_index.entry(name.to_string()).or_default(),
+        };
+        if let Some(j) = self.journal.as_mut() {
+            j.record(JournalOp::SetProp {
+                oid: oid.expect("cloned when journaling"),
+                name: name.to_string(),
+                value: value.clone(),
+            });
+        }
+        by_value.entry(value).or_default().insert(id);
+        Ok(old)
+    }
+
+    /// Drops `(id, value)` from the secondary index for `name`, pruning
+    /// empty buckets so the index never outgrows the live property set.
+    fn unindex_prop(&mut self, id: OidId, name: &str, value: &Value) {
+        if let Some(by_value) = self.prop_index.get_mut(name) {
+            if let Some(set) = by_value.get_mut(value) {
+                set.remove(&id);
+                if set.is_empty() {
+                    by_value.remove(value);
+                }
+            }
+            if by_value.is_empty() {
+                self.prop_index.remove(name);
+            }
+        }
+    }
+
+    /// Live objects whose `name` property equals `value` **exactly** (same
+    /// typed variant — for the paper's loose cross-type comparison, probe
+    /// each candidate variant; see `ProjectQuery::where_prop_eq`). Served
+    /// from the secondary index in O(hits), in address order.
+    pub fn where_prop_eq(&self, name: &str, value: &Value) -> Vec<OidId> {
+        self.prop_index
+            .get(name)
+            .and_then(|by_value| by_value.get(value))
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Reads a property from an object.
@@ -241,7 +329,18 @@ impl MetaDb {
     /// Removes a property from an object.
     pub fn remove_prop(&mut self, id: OidId, name: &str) -> Result<Option<Value>, MetaError> {
         let entry = self.oids.get_mut(id).ok_or_else(|| stale(id))?;
-        Ok(entry.props.remove(name))
+        let old = entry.props.remove(name);
+        let oid = self.journal.is_some().then(|| entry.oid.clone());
+        if let Some(old_v) = &old {
+            self.unindex_prop(id, name, old_v);
+            if let Some(j) = self.journal.as_mut() {
+                j.record(JournalOp::RemoveProp {
+                    oid: oid.expect("cloned when journaling"),
+                    name: name.to_string(),
+                });
+            }
+        }
+        Ok(old)
     }
 
     /// The full property map of an object.
@@ -311,6 +410,29 @@ impl MetaDb {
             .links
             .push(id);
         self.stats.created_links += 1;
+        if self.journaling() {
+            let from_oid = self.oids[from].oid.clone();
+            let to_oid = self.oids[to].oid.clone();
+            let (class, kind, propagates) = {
+                let link = &self.links[id];
+                (
+                    link.class,
+                    link.kind.clone(),
+                    link.propagates.iter().cloned().collect(),
+                )
+            };
+            if let Some(j) = self.journal.as_mut() {
+                let tag = j.assign_tag(id);
+                j.record(JournalOp::AddLink {
+                    tag,
+                    from: from_oid,
+                    to: to_oid,
+                    class,
+                    kind,
+                    propagates,
+                });
+            }
+        }
         Ok(id)
     }
 
@@ -324,6 +446,10 @@ impl MetaDb {
             if let Some(entry) = self.oids.get_mut(end) {
                 entry.links.retain(|&l| l != id);
             }
+        }
+        if let Some(j) = self.journal.as_mut() {
+            let tag = j.release_tag(id);
+            j.record(JournalOp::RemoveLink { tag });
         }
         Ok(link)
     }
@@ -351,7 +477,62 @@ impl MetaDb {
             .get_mut(id)
             .ok_or(MetaError::StaleLink { link: id })?;
         link.propagates_syms.insert(sym);
-        Ok(link.propagates.insert(event.to_string()))
+        let fresh = link.propagates.insert(event.to_string());
+        if fresh {
+            if let Some(j) = self.journal.as_mut() {
+                let tag = j.tag_of(id);
+                j.record(JournalOp::AllowEvent {
+                    tag,
+                    event: event.to_string(),
+                });
+            }
+        }
+        Ok(fresh)
+    }
+
+    /// Sets a property on a link's free-form annotation, returning the
+    /// previous value. The journaled counterpart of
+    /// `db.link_mut(id)?.props.set(..)` — prefer this form so an attached
+    /// journal observes the write.
+    pub fn set_link_prop(
+        &mut self,
+        id: LinkId,
+        name: &str,
+        value: Value,
+    ) -> Result<Option<Value>, MetaError> {
+        let link = self
+            .links
+            .get_mut(id)
+            .ok_or(MetaError::StaleLink { link: id })?;
+        let old = link.props.set(name, value.clone());
+        if let Some(j) = self.journal.as_mut() {
+            let tag = j.tag_of(id);
+            j.record(JournalOp::SetLinkProp {
+                tag,
+                name: name.to_string(),
+                value,
+            });
+        }
+        Ok(old)
+    }
+
+    /// Removes a property from a link's annotation, returning its value.
+    pub fn remove_link_prop(&mut self, id: LinkId, name: &str) -> Result<Option<Value>, MetaError> {
+        let link = self
+            .links
+            .get_mut(id)
+            .ok_or(MetaError::StaleLink { link: id })?;
+        let old = link.props.remove(name);
+        if old.is_some() {
+            if let Some(j) = self.journal.as_mut() {
+                let tag = j.tag_of(id);
+                j.record(JournalOp::RemoveLinkProp {
+                    tag,
+                    name: name.to_string(),
+                });
+            }
+        }
+        Ok(old)
     }
 
     /// The interned handle of an event name, if any link's PROPAGATE set has
@@ -456,17 +637,15 @@ impl MetaDb {
             .links
             .get_mut(link_id)
             .ok_or(MetaError::StaleLink { link: link_id })?;
-        let mut moved = false;
-        if link.from == old {
+        let moved_end = if link.from == old {
             link.from = new;
-            moved = true;
+            MovedEnd::From
         } else if link.to == old {
             link.to = new;
-            moved = true;
-        }
-        if !moved {
+            MovedEnd::To
+        } else {
             return Err(MetaError::StaleLink { link: link_id });
-        }
+        };
         if let Some(entry) = self.oids.get_mut(old) {
             entry.links.retain(|&l| l != link_id);
         }
@@ -475,6 +654,17 @@ impl MetaDb {
             .expect("checked above")
             .links
             .push(link_id);
+        if self.journaling() {
+            let new_oid = self.oids[new].oid.clone();
+            if let Some(j) = self.journal.as_mut() {
+                let tag = j.tag_of(link_id);
+                j.record(JournalOp::MoveLinkEnd {
+                    tag,
+                    end: moved_end,
+                    new: new_oid,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -495,9 +685,90 @@ impl MetaDb {
             return Err(MetaError::StaleLink { link: link_id });
         };
         let id = self.add_link_with(from, to, link.class, link.kind, link.propagates)?;
-        let props = link.props;
-        self.link_mut(id)?.props = props;
+        // Copy the annotation through the journaled setter so an attached
+        // journal observes the copied properties.
+        for (name, value) in link.props.iter() {
+            self.set_link_prop(id, name, value.clone())?;
+        }
         Ok(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Journal attachment
+    // ------------------------------------------------------------------
+
+    /// Attaches a journal recorder: from this point on, every mutating
+    /// method appends a [`JournalOp`] describing itself to an internal
+    /// buffer which the owner drains with [`MetaDb::drain_journal_ops`]
+    /// (typically into a [`crate::journal::JournalWriter`]).
+    ///
+    /// Existing links are assigned journal tags in image order (the
+    /// deterministic order [`MetaDb::links_in_image_order`] — the same order
+    /// [`crate::persist::save`] emits and [`crate::journal::recover`]
+    /// reassigns), so ops recorded after attachment can reference
+    /// pre-existing links across a snapshot boundary.
+    ///
+    /// Calling this on a database with a journal already attached re-bases
+    /// it: the op buffer is cleared and link tags are re-assigned — done by
+    /// checkpointing code right after writing a fresh snapshot.
+    ///
+    /// Caveat: writes that bypass the mutator API (direct edits through
+    /// [`MetaDb::link_mut`]) are invisible to the journal; use
+    /// [`MetaDb::set_link_prop`] / [`MetaDb::allow_event`] instead.
+    pub fn attach_journal(&mut self) {
+        let mut recorder = JournalRecorder::default();
+        for id in self.links_in_image_order() {
+            recorder.assign_tag(id);
+        }
+        self.journal = Some(recorder);
+    }
+
+    /// Detaches the journal recorder, discarding any undrained ops.
+    pub fn detach_journal(&mut self) {
+        self.journal = None;
+    }
+
+    /// Whether a journal recorder is attached.
+    pub fn journaling(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Takes the buffered journal ops, leaving the recorder attached.
+    /// Returns an empty vec when no journal is attached.
+    pub fn drain_journal_ops(&mut self) -> Vec<JournalOp> {
+        self.journal
+            .as_mut()
+            .map(JournalRecorder::drain)
+            .unwrap_or_default()
+    }
+
+    /// Number of buffered (undrained) journal ops.
+    pub fn journal_backlog(&self) -> usize {
+        self.journal.as_ref().map_or(0, JournalRecorder::backlog)
+    }
+
+    /// Live links in *image order*: sorted by `(from, to)` triplets with
+    /// ties kept in arena order. This is the exact order [`crate::persist::save`]
+    /// writes link records, which makes it the canonical order for
+    /// assigning journal link tags across a snapshot boundary.
+    pub fn links_in_image_order(&self) -> Vec<LinkId> {
+        let mut links: Vec<(LinkId, &Oid, &Oid)> = self
+            .iter_links()
+            .filter_map(|(id, link)| {
+                let from = self.oid(link.from).ok()?;
+                let to = self.oid(link.to).ok()?;
+                Some((id, from, to))
+            })
+            .collect();
+        links.sort_by(|a, b| (a.1, a.2).cmp(&(b.1, b.2)));
+        links.into_iter().map(|(id, _, _)| id).collect()
+    }
+
+    /// Number of distinct view type names ever interned by
+    /// [`MetaDb::create_oid`] — an upper bound for caches indexed by
+    /// [`OidEntry::view_sym`].
+    pub fn view_sym_count(&self) -> usize {
+        self.view_syms.len()
     }
 
     // ------------------------------------------------------------------
@@ -798,6 +1069,83 @@ mod tests {
         assert_eq!(s.created_oids, 2);
         assert_eq!(s.created_links, 1);
         assert_eq!(s.prop_writes, 1);
+    }
+
+    #[test]
+    fn prop_index_tracks_writes_removals_and_deletes() {
+        let mut db = MetaDb::new();
+        let a = db.create_oid(Oid::new("a", "v", 1)).unwrap();
+        let b = db.create_oid(Oid::new("b", "v", 1)).unwrap();
+        db.set_prop(a, "drc", Value::from_atom("ok")).unwrap();
+        db.set_prop(b, "drc", Value::from_atom("ok")).unwrap();
+        assert_eq!(db.where_prop_eq("drc", &Value::from_atom("ok")), vec![a, b]);
+
+        // Overwrite moves the id between value buckets.
+        db.set_prop(a, "drc", Value::from_atom("bad")).unwrap();
+        assert_eq!(db.where_prop_eq("drc", &Value::from_atom("ok")), vec![b]);
+        assert_eq!(db.where_prop_eq("drc", &Value::from_atom("bad")), vec![a]);
+
+        // Removal and deletion both unindex.
+        db.remove_prop(a, "drc").unwrap();
+        assert!(db.where_prop_eq("drc", &Value::from_atom("bad")).is_empty());
+        db.delete_oid(b).unwrap();
+        assert!(db.where_prop_eq("drc", &Value::from_atom("ok")).is_empty());
+
+        // The index is exact-typed: Int(4) and Str("4") live in separate
+        // buckets (loose union happens in the query layer).
+        let c = db.create_oid(Oid::new("c", "v", 1)).unwrap();
+        db.set_prop(c, "n", Value::Int(4)).unwrap();
+        assert_eq!(db.where_prop_eq("n", &Value::Int(4)), vec![c]);
+        assert!(db.where_prop_eq("n", &Value::Str("4".into())).is_empty());
+    }
+
+    #[test]
+    fn journal_records_replay_to_identical_image() {
+        use crate::journal::{self, JournalOp};
+        let mut db = MetaDb::new();
+        db.attach_journal();
+        assert!(db.journaling());
+        let a = db.create_oid(Oid::new("cpu", "HDL_model", 1)).unwrap();
+        let b = db.create_oid(Oid::new("cpu", "schematic", 1)).unwrap();
+        let b2 = db.create_oid(Oid::new("cpu", "schematic", 2)).unwrap();
+        db.set_prop(a, "uptodate", Value::Bool(true)).unwrap();
+        let l = db
+            .add_link_with(a, b, LinkClass::Derive, LinkKind::DeriveFrom, ["outofdate"])
+            .unwrap();
+        db.allow_event(l, "lvs").unwrap();
+        db.set_link_prop(l, "weight", Value::Int(3)).unwrap();
+        db.move_link_end(l, b, b2).unwrap();
+        let l2 = db.copy_link_to(l, b2, b).unwrap();
+        db.remove_link(l2).unwrap();
+        db.remove_prop(a, "uptodate").unwrap();
+        db.set_prop(b2, "uptodate", Value::Bool(false)).unwrap();
+        db.delete_oid(b).unwrap();
+
+        let ops: Vec<JournalOp> = db.drain_journal_ops();
+        assert!(db.journal_backlog() == 0);
+        let (replayed, _ws) = journal::replay_ops(&ops).expect("ops replay");
+        assert_eq!(
+            crate::persist::save(&replayed),
+            crate::persist::save(&db),
+            "replaying the op log reproduces the database image"
+        );
+    }
+
+    #[test]
+    fn view_syms_are_stable_per_view() {
+        let mut db = MetaDb::new();
+        let a = db.create_oid(Oid::new("a", "schematic", 1)).unwrap();
+        let b = db.create_oid(Oid::new("b", "schematic", 1)).unwrap();
+        let c = db.create_oid(Oid::new("c", "layout", 1)).unwrap();
+        assert_eq!(
+            db.entry(a).unwrap().view_sym(),
+            db.entry(b).unwrap().view_sym()
+        );
+        assert_ne!(
+            db.entry(a).unwrap().view_sym(),
+            db.entry(c).unwrap().view_sym()
+        );
+        assert_eq!(db.view_sym_count(), 2);
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod db;
 pub mod dump;
 pub mod error;
 pub mod intern;
+pub mod journal;
 pub mod link;
 pub mod oid;
 pub mod persist;
@@ -68,6 +69,7 @@ pub use config::{Configuration, ConfigurationBuilder, SnapshotRule};
 pub use db::{DbStats, MetaDb, OidEntry, OidId};
 pub use error::MetaError;
 pub use intern::{Sym, SymSet, SymbolTable};
+pub use journal::{JournalError, JournalOp, JournalWriter, Recovered, RecoveryReport};
 pub use link::{Direction, Link, LinkClass, LinkId, LinkKind};
 pub use oid::{BlockName, Oid, ViewType};
 pub use property::{PropertyMap, Value};

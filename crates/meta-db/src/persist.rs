@@ -36,7 +36,7 @@ use crate::property::Value;
 
 const HEADER: &str = "damocles-db v1";
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -51,7 +51,7 @@ fn escape(s: &str) -> String {
     out
 }
 
-fn unescape(s: &str) -> Result<String, String> {
+pub(crate) fn unescape(s: &str) -> Result<String, String> {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {
@@ -68,7 +68,28 @@ fn unescape(s: &str) -> Result<String, String> {
     Ok(out)
 }
 
-fn encode_value(v: &Value) -> String {
+/// Lower-hex encoding of an opaque payload, one pre-sized allocation.
+pub(crate) fn encode_hex(bytes: &[u8]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = write!(out, "{b:02x}");
+    }
+    out
+}
+
+/// Inverse of [`encode_hex`].
+pub(crate) fn decode_hex(hex: &str) -> Result<Vec<u8>, String> {
+    if !hex.len().is_multiple_of(2) {
+        return Err("odd hex length".to_string());
+    }
+    (0..hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).map_err(|_| "bad hex payload".to_string()))
+        .collect()
+}
+
+pub(crate) fn encode_value(v: &Value) -> String {
     match v {
         Value::Bool(b) => format!("b:{b}"),
         Value::Int(n) => format!("i:{n}"),
@@ -76,7 +97,7 @@ fn encode_value(v: &Value) -> String {
     }
 }
 
-fn decode_value(s: &str) -> Result<Value, String> {
+pub(crate) fn decode_value(s: &str) -> Result<Value, String> {
     let (tag, body) = s.split_once(':').ok_or("value missing type tag")?;
     match tag {
         "b" => body
@@ -106,15 +127,20 @@ pub fn save(db: &MetaDb) -> String {
         }
     }
 
-    let mut links: Vec<_> = db
-        .iter_links()
-        .filter_map(|(_, link)| {
+    // Image order (sorted by endpoint triplets, ties in arena order) is
+    // shared with the journal's link-tag assignment: `MetaDb::attach_journal`
+    // and `journal::recover` both enumerate links through
+    // `links_in_image_order`, so record order here IS the tag order there.
+    let links: Vec<_> = db
+        .links_in_image_order()
+        .into_iter()
+        .filter_map(|id| {
+            let link = db.link(id).ok()?;
             let from = db.oid(link.from).ok()?;
             let to = db.oid(link.to).ok()?;
             Some((from.clone(), to.clone(), link.clone()))
         })
         .collect();
-    links.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
     for (from, to, link) in links {
         let class = match link.class {
             LinkClass::Use => "use",
@@ -219,7 +245,7 @@ pub fn load(image: &str) -> Result<MetaDb, MetaError> {
                     .ok_or_else(|| err(line, "lprop needs name and value".to_string()))?;
                 let name = unescape(name).map_err(|e| err(line, e))?;
                 let value = decode_value(value).map_err(|e| err(line, e))?;
-                db.link_mut(link_id)?.props.set(name, value);
+                db.set_link_prop(link_id, &name, value)?;
             }
             other => return Err(err(line, format!("unknown record `{other}`"))),
         }
@@ -241,8 +267,7 @@ pub fn save_project(db: &MetaDb, workspace: &crate::workspace::Workspace) -> Str
         .collect();
     data.sort_by(|a, b| a.0.cmp(&b.0));
     for (oid, payload) in data {
-        let hex: String = payload.iter().map(|b| format!("{b:02x}")).collect();
-        out.push_str(&format!("data {oid} {hex}\n"));
+        out.push_str(&format!("data {oid} {}\n", encode_hex(&payload)));
     }
     out
 }
@@ -269,15 +294,7 @@ pub fn load_project(image: &str) -> Result<(MetaDb, crate::workspace::Workspace)
         let mut words = line.split_whitespace();
         let _ = words.next();
         let oid: Oid = words.next().ok_or_else(|| err("missing OID"))?.parse()?;
-        let hex = words.next().unwrap_or("");
-        if hex.len() % 2 != 0 {
-            return Err(err("odd hex length"));
-        }
-        let payload: Vec<u8> = (0..hex.len())
-            .step_by(2)
-            .map(|i| u8::from_str_radix(&hex[i..i + 2], 16))
-            .collect::<Result<_, _>>()
-            .map_err(|_| err("bad hex payload"))?;
+        let payload = decode_hex(words.next().unwrap_or("")).map_err(|e| err(&e))?;
         let id = db.require(&oid)?;
         workspace.store(id, payload);
     }

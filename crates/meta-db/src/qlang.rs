@@ -127,12 +127,38 @@ impl Query {
     }
 
     /// Runs the query, returning matching addresses in address order.
+    ///
+    /// When the query contains a positive literal compare
+    /// (`prop.<name>=<atom>`), the candidate set is seeded from the
+    /// database's `(property, value)` secondary index instead of scanning
+    /// every live OID — O(hits on that term) instead of O(db). The
+    /// remaining terms filter the candidates as usual.
     pub fn run(&self, db: &MetaDb) -> Vec<OidId> {
-        let mut out: Vec<OidId> = db
-            .iter_oids()
-            .filter(|(id, entry)| self.matches(db, *id, entry))
-            .map(|(id, _)| id)
-            .collect();
+        let seed = self.terms.iter().find_map(|t| match t {
+            Term::Prop {
+                name,
+                expected,
+                negated: false,
+            } => Some(
+                crate::query::ProjectQuery::new(db)
+                    .where_prop_eq(name, &Value::from_atom(expected)),
+            ),
+            _ => None,
+        });
+        let mut out: Vec<OidId> = match seed {
+            Some(candidates) => candidates
+                .into_iter()
+                .filter(|id| {
+                    db.entry(*id)
+                        .is_ok_and(|entry| self.matches(db, *id, entry))
+                })
+                .collect(),
+            None => db
+                .iter_oids()
+                .filter(|(id, entry)| self.matches(db, *id, entry))
+                .map(|(id, _)| id)
+                .collect(),
+        };
         out.sort();
         out
     }
@@ -290,6 +316,23 @@ mod tests {
             run(&db, "stale.uptodate"),
             vec!["cpu,schematic,2", "cpu,layout,1"]
         );
+    }
+
+    #[test]
+    fn indexed_literal_compare_agrees_with_scan() {
+        let db = sample_db();
+        // `prop.uptodate=false` takes the index-seeded path; combined terms
+        // still filter the seeded candidates.
+        assert_eq!(
+            run(&db, "prop.uptodate=false view=schematic"),
+            vec!["cpu,schematic,2"]
+        );
+        assert_eq!(run(&db, "prop.drc_result=bad latest"), vec!["cpu,layout,1"]);
+        // Stringly-stored numbers still hit through loose comparison.
+        let mut db2 = MetaDb::new();
+        let a = db2.create_oid(Oid::new("x", "v", 1)).unwrap();
+        db2.set_prop(a, "n", Value::Str("4".into())).unwrap();
+        assert_eq!(run(&db2, "prop.n=4"), vec!["x,v,1"]);
     }
 
     #[test]

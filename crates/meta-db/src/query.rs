@@ -81,6 +81,35 @@ impl<'db> ProjectQuery<'db> {
         out
     }
 
+    /// Objects whose `prop` equals `value` under the rule language's loose
+    /// cross-type comparison ([`Value::loose_eq`]), in address order.
+    ///
+    /// Unlike [`ProjectQuery::where_prop`], this never scans: it is served
+    /// from the database's `(property, value)` secondary index in O(hits).
+    /// Loose equality admits at most three stored variants — `value`
+    /// itself, the string spelling of its canonical atom, and the typed
+    /// classification of that atom (a stored `Int(7)` matches a queried
+    /// `Str("7")`) — so the lookup is a union of (at most) three probes.
+    pub fn where_prop_eq(&self, prop: &str, value: &Value) -> Vec<OidId> {
+        let atom = value.as_atom();
+        let mut candidates = vec![value.clone(), Value::Str(atom.clone())];
+        let typed = Value::from_atom(&atom);
+        // Only canonical spellings coerce: `Str("007")` does not match
+        // `Int(7)` because their atoms differ.
+        if typed.as_atom() == atom {
+            candidates.push(typed);
+        }
+        candidates.sort();
+        candidates.dedup();
+        let mut out: Vec<OidId> = candidates
+            .iter()
+            .flat_map(|c| self.db.where_prop_eq(prop, c))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
     /// Everything `target` transitively depends on (following links upwards
     /// from derived object to source), including `target` itself.
     pub fn dependency_closure(&self, target: OidId) -> Result<Vec<OidId>, MetaError> {
@@ -253,6 +282,41 @@ mod tests {
         assert_eq!(sch_row.untracked, 0);
         let hdl_row = summary.iter().find(|s| s.view == "HDL_model").unwrap();
         assert_eq!(hdl_row.untracked, 1);
+    }
+
+    #[test]
+    fn where_prop_eq_matches_scan_semantics() {
+        let mut db = MetaDb::new();
+        let ids: Vec<OidId> = (1..=6)
+            .map(|v| db.create_oid(Oid::new("blk", "v", v)).unwrap())
+            .collect();
+        db.set_prop(ids[0], "p", Value::Int(4)).unwrap();
+        db.set_prop(ids[1], "p", Value::Str("4".into())).unwrap();
+        db.set_prop(ids[2], "p", Value::Str("007".into())).unwrap();
+        db.set_prop(ids[3], "p", Value::Bool(true)).unwrap();
+        db.set_prop(ids[4], "p", Value::Str("true".into())).unwrap();
+        db.set_prop(ids[5], "q", Value::Int(4)).unwrap();
+        let q = ProjectQuery::new(&db);
+        for probe in [
+            Value::Int(4),
+            Value::Str("4".into()),
+            Value::Str("007".into()),
+            Value::Int(7),
+            Value::Bool(true),
+            Value::Str("true".into()),
+            Value::Str("ok".into()),
+        ] {
+            let fast = q.where_prop_eq("p", &probe);
+            let scan = q.where_prop("p", |v| v.loose_eq(&probe));
+            assert_eq!(fast, scan, "index vs scan disagree for {probe:?}");
+        }
+        // Int(4) matches both the typed and the stringly stored values.
+        assert_eq!(q.where_prop_eq("p", &Value::Int(4)), vec![ids[0], ids[1]]);
+        // But "007" is not canonical, so it only matches itself.
+        assert_eq!(
+            q.where_prop_eq("p", &Value::Str("007".into())),
+            vec![ids[2]]
+        );
     }
 
     #[test]

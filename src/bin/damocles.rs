@@ -5,6 +5,11 @@
 //! $ damocles my_project.bp script   # run a command script, then exit
 //! $ echo "help" | damocles          # commands on stdin work too
 //! ```
+//!
+//! Durability: `journal <dir>` turns on the append-only op journal with
+//! incremental checkpoints, `checkpoint` folds the journal into a fresh
+//! snapshot on demand, and `recover <dir>` restores a project after a
+//! crash from `snapshot + journal tail` (see `damocles_meta::journal`).
 
 use std::io::{BufRead, Write};
 

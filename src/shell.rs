@@ -17,6 +17,9 @@
 //! | `summary <prop>` | per-view state summary |
 //! | `snapshot <name> <block,view,ver>` | store a closure Configuration |
 //! | `snapshots` | list stored configurations |
+//! | `journal <dir> [every]` | enable op-journal durability under `dir` |
+//! | `checkpoint` | fold the journal into a fresh snapshot |
+//! | `recover <dir> [every]` | restore from snapshot + journal tail |
 //! | `freeze <view>` / `thaw <view>` | project policy: frozen views |
 //! | `dot` | DOT dump of the live design state |
 //! | `audit` | engine counters |
@@ -27,6 +30,9 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// Default checkpoint fold interval for the `journal`/`recover` commands.
+const DEFAULT_CHECKPOINT_EVERY: u64 = 1024;
 
 use blueprint_core::engine::server::ProjectServer;
 use blueprint_core::EngineError;
@@ -270,6 +276,55 @@ impl Shell {
                 }
                 Ok(ShellOutput::Text(out.trim_end().to_string()))
             }
+            "journal" => {
+                let dir = words
+                    .next()
+                    .ok_or_else(|| invalid("journal needs a directory"))?
+                    .to_string();
+                let every: u64 = match words.next() {
+                    Some(n) => n
+                        .parse()
+                        .map_err(|_| invalid(&format!("bad checkpoint interval `{n}`")))?,
+                    None => DEFAULT_CHECKPOINT_EVERY,
+                };
+                let server = self.need_server()?;
+                let epoch = server.enable_journal(&dir, every)?;
+                Ok(ShellOutput::Text(format!(
+                    "journaling to {dir} (epoch {epoch}, checkpoint every {every} ops)"
+                )))
+            }
+            "checkpoint" => {
+                let server = self.need_server()?;
+                let epoch = server.checkpoint()?;
+                Ok(ShellOutput::Text(format!(
+                    "checkpoint written (epoch {epoch})"
+                )))
+            }
+            "recover" => {
+                let dir = words
+                    .next()
+                    .ok_or_else(|| invalid("recover needs a directory"))?
+                    .to_string();
+                let every: u64 = match words.next() {
+                    Some(n) => n
+                        .parse()
+                        .map_err(|_| invalid(&format!("bad checkpoint interval `{n}`")))?,
+                    None => DEFAULT_CHECKPOINT_EVERY,
+                };
+                let server = self.need_server()?;
+                let report = server.recover_journal(&dir, every)?;
+                let mut out = format!(
+                    "recovered epoch {}: {} OIDs from snapshot, {} journal ops replayed",
+                    report.epoch, report.snapshot_oids, report.replayed_ops
+                );
+                if let Some(reason) = &report.torn_tail {
+                    let _ = write!(out, " (torn tail ignored: {reason})");
+                }
+                if report.stale_journal {
+                    out.push_str(" (stale journal ignored)");
+                }
+                Ok(ShellOutput::Text(out))
+            }
             "freeze" | "thaw" => {
                 let view = words
                     .next()
@@ -298,6 +353,11 @@ impl Shell {
                 let oids = db.oid_count();
                 let server = self.need_server()?;
                 server.adopt_project(db, workspace);
+                if server.journal_enabled() {
+                    // The on-disk journal described the replaced project;
+                    // fold immediately so the crash window closes here.
+                    server.checkpoint()?;
+                }
                 Ok(ShellOutput::Text(format!(
                     "project restored from {path} ({oids} OIDs)"
                 )))
@@ -392,6 +452,9 @@ commands:
   summary <prop>                      per-view state counts
   snapshot <name> <oid>               pin the closure as a Configuration
   snapshots                           list stored configurations
+  journal <dir> [every]               enable op-journal durability under dir
+  checkpoint                          fold the journal into a fresh snapshot
+  recover <dir> [every]               restore from snapshot + journal tail
   freeze <view> / thaw <view>         project policy: forbid/allow check-ins
   save <file>                         persist database + payloads
   load <file>                         restore database + payloads
@@ -540,6 +603,48 @@ mod tests {
 #[cfg(test)]
 mod persistence_tests {
     use super::*;
+
+    fn edtc_shell() -> Shell {
+        let server = ProjectServer::from_source(damocles_flows::EDTC_SOURCE).expect("EDTC parses");
+        Shell::with_server(server)
+    }
+
+    #[test]
+    fn journal_checkpoint_recover_commands() {
+        let dir = std::env::temp_dir().join("damocles-shell-journal");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.display().to_string();
+
+        let mut sh = edtc_shell();
+        let out = sh.execute(&format!("journal {dir_s} 4096"));
+        assert!(out.text().contains("journaling"), "{out:?}");
+        sh.run_script(
+            "checkin CPU HDL_model yves module cpu\ncheckin CPU schematic synth cell\nconnect CPU,HDL_model,1 CPU,schematic,1\nprocess",
+        );
+        let out = sh.execute("checkpoint");
+        assert!(out.text().contains("epoch"), "{out:?}");
+        // More work after the checkpoint lands in the journal tail.
+        sh.run_script("checkin CPU HDL_model yves module v2\nprocess");
+        let image = damocles_meta::persist::save(sh.server().unwrap().db());
+
+        // A fresh shell recovers snapshot + tail and keeps tracking.
+        let mut sh2 = edtc_shell();
+        let out = sh2.execute(&format!("recover {dir_s}"));
+        assert!(out.text().contains("recovered"), "{out:?}");
+        assert!(out.text().contains("journal ops replayed"), "{out:?}");
+        assert_eq!(
+            damocles_meta::persist::save(sh2.server().unwrap().db()),
+            image
+        );
+        let out = sh2.execute("show CPU,schematic,1");
+        assert!(out.text().contains("uptodate = false"), "{out:?}");
+
+        // Bad invocations are user errors, not crashes.
+        assert!(sh2.execute("journal").is_error());
+        assert!(sh2.execute("recover /nonexistent/dir").is_error());
+        let mut fresh = edtc_shell();
+        assert!(fresh.execute("checkpoint").is_error());
+    }
 
     #[test]
     fn save_and_load_roundtrip_through_files() {
