@@ -1,0 +1,150 @@
+//! Experiment THROUGHPUT — durable requests/sec through the command loop:
+//! fsync-per-op vs group commit (ISSUE 3).
+//!
+//! The claim under measurement: the journal fsync (~0.2 ms, flat in db
+//! size — BENCH_pr2) dominates per-request durability cost, so letting
+//! the session command loop execute a *batch* of queued requests and
+//! journal them with **one** append+fsync multiplies durable request
+//! throughput by roughly the batch size, while keeping the same crash
+//! contract (a reply in hand means the effect is on disk).
+//!
+//! Series (burst = 128 pipelined `checkin` requests per iteration, each
+//! creating an OID, applying templates and journaling its payload):
+//!
+//! * `throughput/checkin_fsync_per_op/128` — command loop with
+//!   `max_batch = 1`: every request pays its own fsync (the PR 2
+//!   behaviour).
+//! * `throughput/checkin_group_commit_16/128` — `max_batch = 16`.
+//! * `throughput/checkin_group_commit_64/128` — `max_batch = 64`.
+//! * `throughput/checkin_no_journal/128` — durability off: the engine +
+//!   protocol ceiling the group commit converges towards.
+//!
+//! Acceptance (ISSUE 3): group commit at batch ≥ 16 sustains ≥ 5× the
+//! durable event throughput of fsync-per-op.
+//!
+//! Smoke mode for CI: set `BENCH_SMOKE=1` to shrink measurement windows;
+//! set `BENCH_JSON=<file>` to append results as JSON lines — that is how
+//! `BENCH_pr3.json` is produced.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use blueprint_core::engine::api::{Request, Response};
+use blueprint_core::engine::server::ProjectServer;
+use blueprint_core::engine::service::{spawn_project_loop, ClientSession, ProjectService};
+use damocles_meta::{persist, MetaDb, Workspace};
+
+/// Pipelined requests per measured iteration.
+const BURST: usize = 128;
+
+fn edtc_service() -> ProjectService {
+    let server = ProjectServer::from_source(damocles_flows::EDTC_SOURCE).expect("EDTC parses");
+    ProjectService::with_server(server)
+}
+
+fn bench_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("damocles-bench-throughput-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// An empty project image; `LoadProject`ing it resets database, journal
+/// and workspace, so every measured iteration sees the same steady
+/// state instead of an ever-growing database.
+fn empty_image_path() -> std::path::PathBuf {
+    let path = bench_dir("reset").join("empty.ddb");
+    let image = persist::save_project(&MetaDb::new(), &Workspace::new("bench"));
+    std::fs::write(&path, image).unwrap();
+    path
+}
+
+/// Spawns a command loop over an EDTC service, optionally journaled.
+fn spawn(tag: &str, journaled: bool, max_batch: usize) -> ClientSession {
+    let mut service = edtc_service();
+    if journaled {
+        let dir = bench_dir(tag);
+        let resp = service.call(Request::EnableJournal {
+            dir: dir.display().to_string(),
+            // Never fold during a burst: measure append+fsync, not
+            // checkpoint writes (the per-iteration reset folds anyway).
+            every: u64::MAX,
+        });
+        assert!(matches!(resp, Response::Epoch { .. }), "{resp:?}");
+    }
+    let (handle, _join) = spawn_project_loop(service, max_batch);
+    handle.session()
+}
+
+/// One measured iteration: reset to the empty project (identical cost in
+/// every series), then pipeline BURST check-ins and drain every reply —
+/// each reply implies the request is journaled+fsynced when durability
+/// is on.
+fn burst(session: &ClientSession, reset: &str) -> usize {
+    match session.call(Request::LoadProject {
+        path: reset.to_string(),
+    }) {
+        Response::Loaded { .. } => {}
+        other => panic!("reset failed: {other:?}"),
+    }
+    let pending: Vec<_> = (0..BURST)
+        .map(|n| {
+            session.submit(Request::Checkin {
+                block: format!("b{n}"),
+                view: "HDL_model".to_string(),
+                user: "bench".to_string(),
+                payload: b"module m;".to_vec(),
+            })
+        })
+        .collect();
+    let mut created = 0usize;
+    for rx in pending {
+        match rx.recv() {
+            Some(Response::Created { .. }) => created += 1,
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    created
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput");
+    group.throughput(Throughput::Elements(BURST as u64));
+    let reset = empty_image_path();
+    let reset = reset.display().to_string();
+
+    let configs: &[(&str, bool, usize)] = &[
+        ("checkin_fsync_per_op", true, 1),
+        ("checkin_group_commit_16", true, 16),
+        ("checkin_group_commit_64", true, 64),
+        ("checkin_no_journal", false, 1024),
+    ];
+    for &(name, journaled, max_batch) in configs {
+        let session = spawn(name, journaled, max_batch);
+        group.bench_with_input(BenchmarkId::new(name, BURST), &(), |b, ()| {
+            b.iter(|| black_box(burst(&session, &reset)));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let (measure_ms, warm_ms, samples) = if smoke {
+        (250, 80, 5)
+    } else {
+        (2_000, 400, 20)
+    };
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(measure_ms))
+        .warm_up_time(std::time::Duration::from_millis(warm_ms))
+        .sample_size(samples)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,1526 @@
+//! The typed command protocol: every way of talking to a project server.
+//!
+//! The paper's wrapper programs drive DAMOCLES by emitting `postEvent`
+//! lines "over the network" (§3.1). This module generalizes that single
+//! wire line into a full command protocol: a serializable [`Request`] enum
+//! covering every server operation, a typed [`Response`] enum carrying
+//! structured results, and a structured [`ApiError`] mirroring the
+//! [`EngineError`] taxonomy — no pre-formatted strings on the wire.
+//!
+//! Every client surface speaks this protocol:
+//!
+//! * the `Shell` parses a command line into a [`Request`] and renders the
+//!   [`Response`] as text;
+//! * the `damocles` binary drives the shell, so scripts and the REPL ride
+//!   the same types;
+//! * the `damocles_server` binary frames the text codec over TCP, one
+//!   request line per response line, so external wrapper processes post
+//!   events exactly as the paper describes;
+//! * tests and future replicas replay request streams directly.
+//!
+//! # Text codec
+//!
+//! [`Request::encode`]/[`Request::decode`] (and the same pair on
+//! [`Response`]) define a line-oriented canonical form reusing the
+//! `persist` encodings (percent-escaped words, `b:`/`i:`/`s:` value tags,
+//! hex payloads) — so a request round-trips over a socket or a file
+//! byte-identically:
+//!
+//! ```text
+//! checkin CPU HDL_model yves 6d6f64756c65
+//! post simwrap hdl_sim up reg,verilog,4 logic%20sim%20passed
+//! process
+//! ```
+//!
+//! ```text
+//! created CPU,HDL_model,1
+//! ok
+//! processed 2 3 1 0
+//! ```
+//!
+//! Decoding failures are themselves structured: [`ApiError::Parse`] names
+//! the byte offset, the offending token and the expected grammar element.
+
+use std::fmt;
+
+use damocles_meta::persist::{decode_hex, decode_value, encode_hex, encode_value};
+use damocles_meta::{EventMessage, MetaError, Oid, Value};
+use serde::{Deserialize, Serialize};
+
+use crate::engine::error::EngineError;
+use crate::engine::policy::PolicyViolation;
+use crate::engine::server::ProcessReport;
+
+// ---------------------------------------------------------------------
+// Sessions
+// ---------------------------------------------------------------------
+
+/// Identifies one client session at the command loop. Tagged onto every
+/// queued request so the loop can serialize many concurrent clients onto
+/// the single engine while keeping replies routable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session#{}", self.0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+/// Default checkpoint fold interval (ops) for `EnableJournal`/`Recover`
+/// when a front-end lets the user omit it — shared by the shell and the
+/// `damocles_server` binary so the two front doors fold identically.
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 1024;
+
+/// One typed command to a project server — the union of every operation a
+/// client (shell, wrapper program, replica, test harness) can ask for.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Request {
+    /// Load a blueprint from source text, creating the project server.
+    Init {
+        /// Blueprint source (the client reads the file; the server never
+        /// touches client-side paths).
+        source: String,
+    },
+    /// Replace the blueprint, keeping database/workspace/queue (§3.2).
+    Reinit {
+        /// New blueprint source.
+        source: String,
+    },
+    /// Check design data in: next version OID, templates, `ckin` event.
+    Checkin {
+        /// Block name.
+        block: String,
+        /// View type.
+        view: String,
+        /// The designer checking in.
+        user: String,
+        /// Opaque design data.
+        payload: Vec<u8>,
+    },
+    /// Reserve a `(block, view)` chain for a user.
+    Checkout {
+        /// Block name.
+        block: String,
+        /// View type.
+        view: String,
+        /// The designer checking out.
+        user: String,
+    },
+    /// Create a bare OID (no payload, no `ckin` event).
+    CreateObject {
+        /// The triplet to create.
+        oid: Oid,
+    },
+    /// Relate two OIDs, template-filling the link annotation.
+    Connect {
+        /// Source end.
+        from: Oid,
+        /// Destination end.
+        to: Oid,
+    },
+    /// Queue a design-event message (§3.1). The ack means *accepted and
+    /// queued* — the queue is session-transient, like the persist image;
+    /// the event's effects become durable once a [`Request::ProcessAll`]
+    /// executes them under journaling.
+    Post {
+        /// The event message.
+        message: EventMessage,
+        /// The posting user or wrapper.
+        user: String,
+    },
+    /// Drain the event queue to quiescence.
+    ProcessAll,
+    /// Re-evaluate every continuous assignment (deferred `let`s).
+    RefreshLets,
+    /// Run a `qlang` query.
+    Query {
+        /// Query terms, e.g. `view=schematic stale.uptodate latest`.
+        terms: String,
+    },
+    /// Properties of one OID.
+    Show {
+        /// The triplet to show.
+        oid: Oid,
+    },
+    /// What still blocks `oid` from reaching a planned state.
+    WorkLeft {
+        /// The target OID.
+        oid: Oid,
+        /// The state property.
+        prop: String,
+    },
+    /// Per-view aggregate of a state property.
+    Summary {
+        /// The state property.
+        prop: String,
+    },
+    /// Pin the dependency closure of `root` as a named Configuration.
+    Snapshot {
+        /// Configuration name.
+        name: String,
+        /// Root OID of the closure.
+        root: Oid,
+    },
+    /// List stored configurations.
+    ListSnapshots,
+    /// Forbid check-ins to a view.
+    Freeze {
+        /// The view to freeze.
+        view: String,
+    },
+    /// Re-allow check-ins to a view.
+    Thaw {
+        /// The view to thaw.
+        view: String,
+    },
+    /// Enable op-journal durability under a directory.
+    EnableJournal {
+        /// Durability directory (server-side path).
+        dir: String,
+        /// Checkpoint fold interval in ops.
+        every: u64,
+    },
+    /// Fold the journal into a fresh snapshot now.
+    Checkpoint,
+    /// Restore the project from `snapshot + journal tail`.
+    Recover {
+        /// Durability directory (server-side path).
+        dir: String,
+        /// Checkpoint fold interval after recovery.
+        every: u64,
+    },
+    /// Persist database + payloads to a file (server-side path).
+    SaveProject {
+        /// Destination file.
+        path: String,
+    },
+    /// Restore database + payloads from a file (server-side path).
+    LoadProject {
+        /// Source file.
+        path: String,
+    },
+    /// Full textual database dump.
+    Dump,
+    /// Graphviz dump of the live design state.
+    Dot,
+    /// Engine audit counters.
+    Audit,
+    /// Server statistics (database size, queue depth, journal state).
+    Stat,
+}
+
+impl Request {
+    /// Whether this request must run against a flushed journal, outside
+    /// any group-commit window (it swaps or re-bases durable state).
+    pub fn is_barrier(&self) -> bool {
+        matches!(
+            self,
+            Request::Init { .. }
+                | Request::Reinit { .. }
+                | Request::EnableJournal { .. }
+                | Request::Checkpoint
+                | Request::Recover { .. }
+                | Request::SaveProject { .. }
+                | Request::LoadProject { .. }
+        )
+    }
+
+    /// Whether this request can mutate durable state (used by the command
+    /// loop to decide what a group-commit flush failure poisons).
+    pub fn is_mutation(&self) -> bool {
+        !matches!(
+            self,
+            Request::Query { .. }
+                | Request::Show { .. }
+                | Request::WorkLeft { .. }
+                | Request::Summary { .. }
+                | Request::ListSnapshots
+                | Request::Dump
+                | Request::Dot
+                | Request::Audit
+                | Request::Stat
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------
+
+/// One blocking item of a [`Response::Work`] result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkLeftItem {
+    /// The blocking object.
+    pub oid: Oid,
+    /// The unsatisfied state property.
+    pub prop: String,
+    /// Its current value (`None` when unset).
+    pub current: Option<Value>,
+}
+
+/// One per-view row of a [`Response::ViewSummary`] result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SummaryRow {
+    /// The view type.
+    pub view: String,
+    /// Live objects of this view.
+    pub total: u64,
+    /// Objects whose state property is truthy.
+    pub satisfied: u64,
+    /// Objects lacking the property entirely.
+    pub untracked: u64,
+}
+
+/// One stored configuration of a [`Response::SnapshotList`] result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotInfo {
+    /// Configuration name.
+    pub name: String,
+    /// Pinned OIDs.
+    pub oids: u64,
+    /// Pinned links.
+    pub links: u64,
+    /// Addresses that no longer resolve.
+    pub dangling: u64,
+}
+
+/// Engine audit counters, as carried by [`Response::Audit`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditCounters {
+    /// Rule-executing deliveries.
+    pub deliveries: u64,
+    /// Property writes.
+    pub assignments: u64,
+    /// Continuous-assignment evaluations.
+    pub reevaluations: u64,
+    /// Script invocations.
+    pub scripts: u64,
+    /// Events posted by rules.
+    pub posts: u64,
+    /// Link crossings.
+    pub propagations: u64,
+    /// Cycle-guard skips.
+    pub cycle_skips: u64,
+    /// Depth truncations.
+    pub depth_truncations: u64,
+    /// Template applications.
+    pub templates: u64,
+}
+
+/// Server statistics, as carried by [`Response::Stat`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerStat {
+    /// Live objects in the meta-database.
+    pub oids: u64,
+    /// Live links.
+    pub links: u64,
+    /// Events queued and not yet processed.
+    pub pending_events: u64,
+    /// Current checkpoint epoch, when journaling.
+    pub journal_epoch: Option<u64>,
+    /// Ops appended since the last checkpoint, when journaling.
+    pub journal_records: Option<u64>,
+}
+
+/// The typed result of one [`Request`]. Structured data, not rendered
+/// text — clients (the shell, wrapper libraries) decide presentation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Response {
+    /// The request succeeded and has no further payload.
+    Ok,
+    /// A blueprint was (re-)initialized.
+    Blueprint {
+        /// The blueprint's declared name.
+        name: String,
+    },
+    /// An object was created (check-in or bare create).
+    Created {
+        /// The new triplet.
+        oid: Oid,
+    },
+    /// An event-queue drain completed.
+    Processed {
+        /// Events processed.
+        events: u64,
+        /// Rule-executing deliveries.
+        deliveries: u64,
+        /// Wrapper invocations dispatched.
+        scripts: u64,
+        /// Messages wrappers posted back.
+        emitted: u64,
+    },
+    /// Continuous assignments were re-evaluated.
+    Refreshed {
+        /// `let` properties written.
+        written: u64,
+    },
+    /// Properties of one OID.
+    Props {
+        /// The shown triplet.
+        oid: Oid,
+        /// `(name, value)` pairs in name order.
+        props: Vec<(String, Value)>,
+    },
+    /// Query hits.
+    Hits {
+        /// Matching triplets in address order.
+        oids: Vec<Oid>,
+    },
+    /// Work-remaining analysis.
+    Work {
+        /// The queried target.
+        target: Oid,
+        /// The blocking items.
+        items: Vec<WorkLeftItem>,
+    },
+    /// Per-view state summary.
+    ViewSummary {
+        /// One row per view, in view order.
+        rows: Vec<SummaryRow>,
+    },
+    /// A configuration was pinned.
+    Snapped {
+        /// Its name.
+        name: String,
+        /// OIDs pinned.
+        oids: u64,
+    },
+    /// The stored configurations.
+    SnapshotList {
+        /// One entry per configuration, in name order.
+        entries: Vec<SnapshotInfo>,
+    },
+    /// A checkpoint epoch (journal enable / checkpoint).
+    Epoch {
+        /// The epoch.
+        epoch: u64,
+    },
+    /// A recovery completed.
+    Recovered {
+        /// The snapshot's epoch.
+        epoch: u64,
+        /// Objects restored from the snapshot alone.
+        snapshot_oids: u64,
+        /// Journal ops replayed on top.
+        replayed_ops: u64,
+        /// Why the tail was cut short, if it was.
+        torn_tail: Option<String>,
+        /// Whether a stale journal was ignored.
+        stale_journal: bool,
+    },
+    /// A project image was adopted.
+    Loaded {
+        /// Objects in the restored database.
+        oids: u64,
+    },
+    /// A text artifact (DOT graph, database dump).
+    Text {
+        /// The artifact.
+        text: String,
+    },
+    /// Audit counters.
+    Audit {
+        /// The counters.
+        counters: AuditCounters,
+    },
+    /// Server statistics.
+    Stat {
+        /// The statistics.
+        stat: ServerStat,
+    },
+    /// The request failed.
+    Error(ApiError),
+}
+
+impl Response {
+    /// Whether this is an error response.
+    pub fn is_error(&self) -> bool {
+        matches!(self, Response::Error(_))
+    }
+}
+
+impl From<ProcessReport> for Response {
+    fn from(r: ProcessReport) -> Self {
+        Response::Processed {
+            events: r.events,
+            deliveries: r.deliveries,
+            scripts: r.scripts,
+            emitted: r.emitted,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// A structured, serializable API error carrying the [`EngineError`]
+/// taxonomy — precise variants for the failures a client can act on, a
+/// tagged catch-all for the rest. Never a bare pre-formatted string for
+/// the actionable cases.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ApiError {
+    /// A command or wire line failed to parse.
+    Parse {
+        /// Byte offset of the offending token.
+        at: u64,
+        /// The token found there (`"end of line"` when input ran out).
+        found: String,
+        /// What the grammar expected.
+        expected: String,
+    },
+    /// The first word of a command line names no known command.
+    UnknownCommand {
+        /// Byte offset of the word.
+        at: u64,
+        /// The word.
+        found: String,
+    },
+    /// No blueprint is loaded yet; `Init` must come first.
+    NoProject,
+    /// The targeted triplet does not exist.
+    UnknownOid {
+        /// The unresolved triplet.
+        oid: Oid,
+    },
+    /// The triplet already exists.
+    DuplicateOid {
+        /// The duplicated triplet.
+        oid: Oid,
+    },
+    /// A workspace operation conflicted with check-out state.
+    CheckoutConflict {
+        /// The object in conflict.
+        oid: Oid,
+        /// Who holds it, if anyone.
+        holder: Option<String>,
+    },
+    /// A check-in targeted a frozen view.
+    FrozenView {
+        /// The frozen view.
+        view: String,
+    },
+    /// Another project-policy rejection.
+    Policy {
+        /// The rendered violation.
+        detail: String,
+    },
+    /// Blueprint source failed static validation.
+    InvalidBlueprint {
+        /// The rendered validation errors.
+        issues: Vec<String>,
+    },
+    /// Blueprint source failed to parse.
+    BlueprintSyntax {
+        /// The rendered parse error (carries its own position).
+        message: String,
+    },
+    /// `ProcessAll` exceeded the server's event budget.
+    Runaway {
+        /// Events processed before giving up.
+        processed: u64,
+    },
+    /// A durability operation failed.
+    Journal {
+        /// What went wrong.
+        reason: String,
+    },
+    /// Another meta-database failure.
+    Meta {
+        /// The rendered error.
+        reason: String,
+    },
+    /// A server-side file operation failed.
+    Io {
+        /// The rendered error.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::Parse {
+                at,
+                found,
+                expected,
+            } => write!(
+                f,
+                "parse error at byte {at}: expected {expected}, found `{found}`"
+            ),
+            ApiError::UnknownCommand { at, found } => {
+                write!(f, "unknown command `{found}` at byte {at} (try `help`)")
+            }
+            ApiError::NoProject => write!(f, "no blueprint loaded; use `init <file>` first"),
+            ApiError::UnknownOid { oid } => write!(f, "meta-database error: unknown OID {oid}"),
+            ApiError::DuplicateOid { oid } => {
+                write!(f, "meta-database error: OID {oid} already exists")
+            }
+            ApiError::CheckoutConflict { oid, holder } => match holder {
+                Some(h) => write!(f, "meta-database error: {oid} is checked out by {h}"),
+                None => write!(f, "meta-database error: {oid} is not checked out"),
+            },
+            ApiError::FrozenView { view } => {
+                write!(
+                    f,
+                    "policy violation: view `{view}` is frozen by project policy"
+                )
+            }
+            ApiError::Policy { detail } => write!(f, "policy violation: {detail}"),
+            ApiError::InvalidBlueprint { issues } => {
+                write!(f, "blueprint validation failed: {}", issues.join("; "))
+            }
+            ApiError::BlueprintSyntax { message } => {
+                write!(f, "blueprint parse error: {message}")
+            }
+            ApiError::Runaway { processed } => {
+                write!(f, "event budget exhausted after {processed} events")
+            }
+            ApiError::Journal { reason } => write!(f, "durability error: {reason}"),
+            ApiError::Meta { reason } => write!(f, "meta-database error: {reason}"),
+            ApiError::Io { reason } => write!(f, "I/O error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl From<EngineError> for ApiError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::Meta(MetaError::UnknownOid { oid }) => ApiError::UnknownOid { oid },
+            EngineError::Meta(MetaError::DuplicateOid { oid }) => ApiError::DuplicateOid { oid },
+            EngineError::Meta(MetaError::CheckoutConflict { oid, holder }) => {
+                ApiError::CheckoutConflict { oid, holder }
+            }
+            EngineError::Meta(other) => ApiError::Meta {
+                reason: other.to_string(),
+            },
+            EngineError::Policy(PolicyViolation::FrozenView { view }) => {
+                ApiError::FrozenView { view }
+            }
+            EngineError::Policy(other) => ApiError::Policy {
+                detail: other.to_string(),
+            },
+            EngineError::Parse(e) => ApiError::BlueprintSyntax {
+                message: e.to_string(),
+            },
+            EngineError::Invalid { issues } => ApiError::InvalidBlueprint { issues },
+            EngineError::Runaway { processed } => ApiError::Runaway { processed },
+            EngineError::Journal { reason } => ApiError::Journal { reason },
+        }
+    }
+}
+
+impl From<MetaError> for ApiError {
+    fn from(e: MetaError) -> Self {
+        EngineError::Meta(e).into()
+    }
+}
+
+impl From<damocles_meta::WireDiag> for ApiError {
+    fn from(d: damocles_meta::WireDiag) -> Self {
+        ApiError::Parse {
+            at: d.at as u64,
+            found: d.found,
+            expected: d.expected,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Text codec
+// ---------------------------------------------------------------------
+
+/// Encodes a string as one word: `%` for the empty string, otherwise the
+/// shared percent-escaping. Unambiguous because `escape` renders a lone
+/// `%` as `%25`.
+fn enc_str(s: &str) -> String {
+    if s.is_empty() {
+        "%".to_string()
+    } else {
+        damocles_meta::persist::escape(s)
+    }
+}
+
+fn dec_str(word: &str) -> Result<String, String> {
+    if word == "%" {
+        Ok(String::new())
+    } else {
+        damocles_meta::persist::unescape(word)
+    }
+}
+
+/// Encodes an optional string: `-` for `None`, `+<word>` for `Some`.
+fn enc_opt(s: Option<&str>) -> String {
+    match s {
+        None => "-".to_string(),
+        Some(s) => format!("+{}", enc_str(s)),
+    }
+}
+
+fn dec_opt(word: &str) -> Result<Option<String>, String> {
+    match word.strip_prefix('+') {
+        Some(body) => dec_str(body).map(Some),
+        None if word == "-" => Ok(None),
+        None => Err(format!("expected `-` or `+…`, found `{word}`")),
+    }
+}
+
+fn enc_opt_value(v: Option<&Value>) -> String {
+    match v {
+        None => "-".to_string(),
+        Some(v) => format!("+{}", encode_value(v)),
+    }
+}
+
+fn dec_opt_value(word: &str) -> Result<Option<Value>, String> {
+    match word.strip_prefix('+') {
+        Some(body) => decode_value(body).map(Some),
+        None if word == "-" => Ok(None),
+        None => Err(format!("expected `-` or `+…`, found `{word}`")),
+    }
+}
+
+fn enc_oid(oid: &Oid) -> String {
+    enc_str(&oid.to_string())
+}
+
+fn enc_payload(payload: &[u8]) -> String {
+    if payload.is_empty() {
+        "-".to_string()
+    } else {
+        encode_hex(payload)
+    }
+}
+
+/// A positioned word cursor over one protocol line — the shared
+/// [`WordCursor`] tokenizer plus [`ApiError::Parse`] reporting (byte
+/// offset, found token, expectation). The shell's command grammar builds
+/// on the same type, so every surface positions diagnostics identically.
+pub struct Cursor<'a> {
+    words: damocles_meta::WordCursor<'a>,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor at the start of `line`.
+    pub fn new(line: &'a str) -> Self {
+        Cursor {
+            words: damocles_meta::WordCursor::new(line),
+        }
+    }
+
+    /// The next word and its byte offset.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::Parse`] naming `expected` when the line ran out.
+    pub fn next_word(&mut self, expected: &str) -> Result<(usize, &'a str), ApiError> {
+        let at_end = self.words.skip_ws();
+        match self.words.next_word() {
+            Some(hit) => Ok(hit),
+            None => Err(ApiError::Parse {
+                at: at_end as u64,
+                found: "end of line".to_string(),
+                expected: expected.to_string(),
+            }),
+        }
+    }
+
+    /// The unconsumed remainder of the line (whitespace-trimmed).
+    pub fn rest(&mut self) -> &'a str {
+        self.words.rest()
+    }
+
+    /// Parses the next word with `parse`, folding its failure reason into
+    /// a positioned [`ApiError::Parse`].
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::Parse`] at the word (or at end of line).
+    pub fn parse_with<T>(
+        &mut self,
+        expected: &str,
+        parse: impl FnOnce(&str) -> Result<T, String>,
+    ) -> Result<T, ApiError> {
+        let (at, word) = self.next_word(expected)?;
+        parse(word).map_err(|reason| ApiError::Parse {
+            at: at as u64,
+            found: word.to_string(),
+            expected: format!("{expected} ({reason})"),
+        })
+    }
+
+    fn string(&mut self, expected: &str) -> Result<String, ApiError> {
+        self.parse_with(expected, dec_str)
+    }
+
+    fn u64(&mut self, expected: &str) -> Result<u64, ApiError> {
+        self.parse_with(expected, |w| {
+            w.parse::<u64>().map_err(|_| "not a number".to_string())
+        })
+    }
+
+    fn oid(&mut self, expected: &str) -> Result<Oid, ApiError> {
+        self.parse_with(expected, |w| {
+            let raw = dec_str(w)?;
+            raw.parse::<Oid>().map_err(|e| e.short_reason())
+        })
+    }
+
+    fn value(&mut self, expected: &str) -> Result<Value, ApiError> {
+        self.parse_with(expected, decode_value)
+    }
+
+    /// Whether no word remains on the line.
+    pub fn at_end(&mut self) -> bool {
+        self.words.peek_word().is_none()
+    }
+
+    fn finish(mut self) -> Result<(), ApiError> {
+        if let Some((at, word)) = self.words.peek_word() {
+            return Err(ApiError::Parse {
+                at: at as u64,
+                found: word.to_string(),
+                expected: "end of line".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Request {
+    /// Renders the canonical single-line form (no trailing newline).
+    pub fn encode(&self) -> String {
+        use std::fmt::Write as _;
+        match self {
+            Request::Init { source } => format!("init {}", enc_str(source)),
+            Request::Reinit { source } => format!("reinit {}", enc_str(source)),
+            Request::Checkin {
+                block,
+                view,
+                user,
+                payload,
+            } => format!(
+                "checkin {} {} {} {}",
+                enc_str(block),
+                enc_str(view),
+                enc_str(user),
+                enc_payload(payload)
+            ),
+            Request::Checkout { block, view, user } => format!(
+                "checkout {} {} {}",
+                enc_str(block),
+                enc_str(view),
+                enc_str(user)
+            ),
+            Request::CreateObject { oid } => format!("create {}", enc_oid(oid)),
+            Request::Connect { from, to } => {
+                format!("connect {} {}", enc_oid(from), enc_oid(to))
+            }
+            Request::Post { message, user } => {
+                // Field-wise (not the rendered §3.1 wire line): the wire
+                // grammar cannot carry whitespace inside event names or
+                // OID components, but escaped fields can — so every
+                // creatable object stays addressable through the typed
+                // protocol.
+                let mut out = format!(
+                    "post {} {} {} {}",
+                    enc_str(user),
+                    enc_str(&message.event),
+                    message.direction,
+                    enc_oid(&message.target)
+                );
+                for arg in &message.args {
+                    let _ = write!(out, " {}", enc_str(arg));
+                }
+                out
+            }
+            Request::ProcessAll => "process".to_string(),
+            Request::RefreshLets => "refresh".to_string(),
+            Request::Query { terms } => format!("query {}", enc_str(terms)),
+            Request::Show { oid } => format!("show {}", enc_oid(oid)),
+            Request::WorkLeft { oid, prop } => {
+                format!("workleft {} {}", enc_oid(oid), enc_str(prop))
+            }
+            Request::Summary { prop } => format!("summary {}", enc_str(prop)),
+            Request::Snapshot { name, root } => {
+                format!("snapshot {} {}", enc_str(name), enc_oid(root))
+            }
+            Request::ListSnapshots => "snapshots".to_string(),
+            Request::Freeze { view } => format!("freeze {}", enc_str(view)),
+            Request::Thaw { view } => format!("thaw {}", enc_str(view)),
+            Request::EnableJournal { dir, every } => {
+                format!("journal {} {every}", enc_str(dir))
+            }
+            Request::Checkpoint => "checkpoint".to_string(),
+            Request::Recover { dir, every } => format!("recover {} {every}", enc_str(dir)),
+            Request::SaveProject { path } => format!("save {}", enc_str(path)),
+            Request::LoadProject { path } => format!("load {}", enc_str(path)),
+            Request::Dump => "dump".to_string(),
+            Request::Dot => "dot".to_string(),
+            Request::Audit => "audit".to_string(),
+            Request::Stat => "stat".to_string(),
+        }
+    }
+
+    /// Parses the canonical single-line form.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::Parse`] (with byte offset, found token and expectation)
+    /// or [`ApiError::UnknownCommand`].
+    pub fn decode(line: &str) -> Result<Request, ApiError> {
+        let mut c = Cursor::new(line);
+        let (at, keyword) = c.next_word("a request keyword")?;
+        let req = match keyword {
+            "init" => Request::Init {
+                source: c.string("the blueprint source (escaped)")?,
+            },
+            "reinit" => Request::Reinit {
+                source: c.string("the blueprint source (escaped)")?,
+            },
+            "checkin" => Request::Checkin {
+                block: c.string("a block name")?,
+                view: c.string("a view type")?,
+                user: c.string("a user name")?,
+                payload: c.parse_with("a hex payload or `-`", |w| {
+                    if w == "-" {
+                        Ok(Vec::new())
+                    } else {
+                        decode_hex(w)
+                    }
+                })?,
+            },
+            "checkout" => Request::Checkout {
+                block: c.string("a block name")?,
+                view: c.string("a view type")?,
+                user: c.string("a user name")?,
+            },
+            "create" => Request::CreateObject {
+                oid: c.oid("an OID `block,view,version`")?,
+            },
+            "connect" => Request::Connect {
+                from: c.oid("a source OID")?,
+                to: c.oid("a destination OID")?,
+            },
+            "post" => {
+                let user = c.string("a user name")?;
+                let event = c.string("an event name")?;
+                let direction: damocles_meta::Direction =
+                    c.parse_with("a direction (`up` or `down`)", |w| w.parse())?;
+                let target = c.oid("a target OID")?;
+                let mut message = EventMessage::new(event, direction, target);
+                while !c.at_end() {
+                    message = message.with_arg(c.string("an argument")?);
+                }
+                Request::Post { message, user }
+            }
+            "process" => Request::ProcessAll,
+            "refresh" => Request::RefreshLets,
+            "query" => Request::Query {
+                terms: c.string("query terms (escaped)")?,
+            },
+            "show" => Request::Show {
+                oid: c.oid("an OID `block,view,version`")?,
+            },
+            "workleft" => Request::WorkLeft {
+                oid: c.oid("an OID `block,view,version`")?,
+                prop: c.string("a state property name")?,
+            },
+            "summary" => Request::Summary {
+                prop: c.string("a state property name")?,
+            },
+            "snapshot" => Request::Snapshot {
+                name: c.string("a configuration name")?,
+                root: c.oid("a root OID")?,
+            },
+            "snapshots" => Request::ListSnapshots,
+            "freeze" => Request::Freeze {
+                view: c.string("a view name")?,
+            },
+            "thaw" => Request::Thaw {
+                view: c.string("a view name")?,
+            },
+            "journal" => Request::EnableJournal {
+                dir: c.string("a directory path")?,
+                every: c.u64("a checkpoint interval")?,
+            },
+            "checkpoint" => Request::Checkpoint,
+            "recover" => Request::Recover {
+                dir: c.string("a directory path")?,
+                every: c.u64("a checkpoint interval")?,
+            },
+            "save" => Request::SaveProject {
+                path: c.string("a file path")?,
+            },
+            "load" => Request::LoadProject {
+                path: c.string("a file path")?,
+            },
+            "dump" => Request::Dump,
+            "dot" => Request::Dot,
+            "audit" => Request::Audit,
+            "stat" => Request::Stat,
+            other => {
+                return Err(ApiError::UnknownCommand {
+                    at: at as u64,
+                    found: other.to_string(),
+                })
+            }
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Renders the canonical single-line form (no trailing newline).
+    pub fn encode(&self) -> String {
+        use std::fmt::Write as _;
+        match self {
+            Response::Ok => "ok".to_string(),
+            Response::Blueprint { name } => format!("blueprint {}", enc_str(name)),
+            Response::Created { oid } => format!("created {}", enc_oid(oid)),
+            Response::Processed {
+                events,
+                deliveries,
+                scripts,
+                emitted,
+            } => format!("processed {events} {deliveries} {scripts} {emitted}"),
+            Response::Refreshed { written } => format!("refreshed {written}"),
+            Response::Props { oid, props } => {
+                let mut out = format!("props {} {}", enc_oid(oid), props.len());
+                for (name, value) in props {
+                    let _ = write!(out, " {} {}", enc_str(name), encode_value(value));
+                }
+                out
+            }
+            Response::Hits { oids } => {
+                let mut out = format!("hits {}", oids.len());
+                for oid in oids {
+                    let _ = write!(out, " {}", enc_oid(oid));
+                }
+                out
+            }
+            Response::Work { target, items } => {
+                let mut out = format!("work {} {}", enc_oid(target), items.len());
+                for item in items {
+                    let _ = write!(
+                        out,
+                        " {} {} {}",
+                        enc_oid(&item.oid),
+                        enc_str(&item.prop),
+                        enc_opt_value(item.current.as_ref())
+                    );
+                }
+                out
+            }
+            Response::ViewSummary { rows } => {
+                let mut out = format!("viewsummary {}", rows.len());
+                for r in rows {
+                    let _ = write!(
+                        out,
+                        " {} {} {} {}",
+                        enc_str(&r.view),
+                        r.total,
+                        r.satisfied,
+                        r.untracked
+                    );
+                }
+                out
+            }
+            Response::Snapped { name, oids } => {
+                format!("snapped {} {oids}", enc_str(name))
+            }
+            Response::SnapshotList { entries } => {
+                let mut out = format!("snaplist {}", entries.len());
+                for e in entries {
+                    let _ = write!(
+                        out,
+                        " {} {} {} {}",
+                        enc_str(&e.name),
+                        e.oids,
+                        e.links,
+                        e.dangling
+                    );
+                }
+                out
+            }
+            Response::Epoch { epoch } => format!("epoch {epoch}"),
+            Response::Recovered {
+                epoch,
+                snapshot_oids,
+                replayed_ops,
+                torn_tail,
+                stale_journal,
+            } => format!(
+                "recovered {epoch} {snapshot_oids} {replayed_ops} {} {}",
+                enc_opt(torn_tail.as_deref()),
+                u8::from(*stale_journal)
+            ),
+            Response::Loaded { oids } => format!("loaded {oids}"),
+            Response::Text { text } => format!("text {}", enc_str(text)),
+            Response::Audit { counters } => format!(
+                "audit {} {} {} {} {} {} {} {} {}",
+                counters.deliveries,
+                counters.assignments,
+                counters.reevaluations,
+                counters.scripts,
+                counters.posts,
+                counters.propagations,
+                counters.cycle_skips,
+                counters.depth_truncations,
+                counters.templates
+            ),
+            Response::Stat { stat } => format!(
+                "stat {} {} {} {} {}",
+                stat.oids,
+                stat.links,
+                stat.pending_events,
+                stat.journal_epoch
+                    .map_or_else(|| "-".to_string(), |e| format!("+{e}")),
+                stat.journal_records
+                    .map_or_else(|| "-".to_string(), |r| format!("+{r}")),
+            ),
+            Response::Error(e) => format!("err {}", e.encode()),
+        }
+    }
+
+    /// Parses the canonical single-line form.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::Parse`] with byte offset, found token and expectation.
+    pub fn decode(line: &str) -> Result<Response, ApiError> {
+        let mut c = Cursor::new(line);
+        let (at, keyword) = c.next_word("a response keyword")?;
+        let opt_u64 = |w: &str| -> Result<Option<u64>, String> {
+            match w.strip_prefix('+') {
+                Some(n) => n
+                    .parse::<u64>()
+                    .map(Some)
+                    .map_err(|_| "not a number".to_string()),
+                None if w == "-" => Ok(None),
+                None => Err(format!("expected `-` or `+<n>`, found `{w}`")),
+            }
+        };
+        let resp = match keyword {
+            "ok" => Response::Ok,
+            "blueprint" => Response::Blueprint {
+                name: c.string("a blueprint name")?,
+            },
+            "created" => Response::Created {
+                oid: c.oid("an OID")?,
+            },
+            "processed" => Response::Processed {
+                events: c.u64("an event count")?,
+                deliveries: c.u64("a delivery count")?,
+                scripts: c.u64("a script count")?,
+                emitted: c.u64("an emitted count")?,
+            },
+            "refreshed" => Response::Refreshed {
+                written: c.u64("a write count")?,
+            },
+            "props" => {
+                let oid = c.oid("an OID")?;
+                let n = c.u64("a property count")?;
+                // Counts come off the wire: never pre-size from them (a
+                // hostile line could demand a huge allocation before any
+                // element parses). Same for every repeated group below.
+                let mut props = Vec::new();
+                for _ in 0..n {
+                    let name = c.string("a property name")?;
+                    let value = c.value("a tagged value")?;
+                    props.push((name, value));
+                }
+                Response::Props { oid, props }
+            }
+            "hits" => {
+                let n = c.u64("a hit count")?;
+                let mut oids = Vec::new();
+                for _ in 0..n {
+                    oids.push(c.oid("an OID")?);
+                }
+                Response::Hits { oids }
+            }
+            "work" => {
+                let target = c.oid("the target OID")?;
+                let n = c.u64("an item count")?;
+                let mut items = Vec::new();
+                for _ in 0..n {
+                    items.push(WorkLeftItem {
+                        oid: c.oid("an OID")?,
+                        prop: c.string("a property name")?,
+                        current: c.parse_with("an optional value", dec_opt_value)?,
+                    });
+                }
+                Response::Work { target, items }
+            }
+            "viewsummary" => {
+                let n = c.u64("a row count")?;
+                let mut rows = Vec::new();
+                for _ in 0..n {
+                    rows.push(SummaryRow {
+                        view: c.string("a view name")?,
+                        total: c.u64("a total")?,
+                        satisfied: c.u64("a satisfied count")?,
+                        untracked: c.u64("an untracked count")?,
+                    });
+                }
+                Response::ViewSummary { rows }
+            }
+            "snapped" => Response::Snapped {
+                name: c.string("a configuration name")?,
+                oids: c.u64("an OID count")?,
+            },
+            "snaplist" => {
+                let n = c.u64("an entry count")?;
+                let mut entries = Vec::new();
+                for _ in 0..n {
+                    entries.push(SnapshotInfo {
+                        name: c.string("a configuration name")?,
+                        oids: c.u64("an OID count")?,
+                        links: c.u64("a link count")?,
+                        dangling: c.u64("a dangling count")?,
+                    });
+                }
+                Response::SnapshotList { entries }
+            }
+            "epoch" => Response::Epoch {
+                epoch: c.u64("an epoch")?,
+            },
+            "recovered" => Response::Recovered {
+                epoch: c.u64("an epoch")?,
+                snapshot_oids: c.u64("a snapshot OID count")?,
+                replayed_ops: c.u64("a replayed-op count")?,
+                torn_tail: c.parse_with("an optional torn-tail reason", dec_opt)?,
+                stale_journal: c.parse_with("a stale flag (0/1)", |w| match w {
+                    "0" => Ok(false),
+                    "1" => Ok(true),
+                    _ => Err("not 0/1".to_string()),
+                })?,
+            },
+            "loaded" => Response::Loaded {
+                oids: c.u64("an OID count")?,
+            },
+            "text" => Response::Text {
+                text: c.string("a text artifact (escaped)")?,
+            },
+            "audit" => Response::Audit {
+                counters: AuditCounters {
+                    deliveries: c.u64("deliveries")?,
+                    assignments: c.u64("assignments")?,
+                    reevaluations: c.u64("reevaluations")?,
+                    scripts: c.u64("scripts")?,
+                    posts: c.u64("posts")?,
+                    propagations: c.u64("propagations")?,
+                    cycle_skips: c.u64("cycle skips")?,
+                    depth_truncations: c.u64("depth truncations")?,
+                    templates: c.u64("templates")?,
+                },
+            },
+            "stat" => Response::Stat {
+                stat: ServerStat {
+                    oids: c.u64("an OID count")?,
+                    links: c.u64("a link count")?,
+                    pending_events: c.u64("a pending-event count")?,
+                    journal_epoch: c.parse_with("an optional epoch", opt_u64)?,
+                    journal_records: c.parse_with("an optional record count", opt_u64)?,
+                },
+            },
+            "err" => Response::Error(ApiError::decode_cursor(&mut c)?),
+            other => {
+                return Err(ApiError::Parse {
+                    at: at as u64,
+                    found: other.to_string(),
+                    expected: "a response keyword".to_string(),
+                })
+            }
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+impl ApiError {
+    /// Renders the error's wire words (the part after `err `).
+    fn encode(&self) -> String {
+        use std::fmt::Write as _;
+        match self {
+            ApiError::Parse {
+                at,
+                found,
+                expected,
+            } => format!("parse {at} {} {}", enc_str(found), enc_str(expected)),
+            ApiError::UnknownCommand { at, found } => {
+                format!("unknown-command {at} {}", enc_str(found))
+            }
+            ApiError::NoProject => "no-project".to_string(),
+            ApiError::UnknownOid { oid } => format!("unknown-oid {}", enc_oid(oid)),
+            ApiError::DuplicateOid { oid } => format!("duplicate-oid {}", enc_oid(oid)),
+            ApiError::CheckoutConflict { oid, holder } => format!(
+                "checkout-conflict {} {}",
+                enc_oid(oid),
+                enc_opt(holder.as_deref())
+            ),
+            ApiError::FrozenView { view } => format!("frozen-view {}", enc_str(view)),
+            ApiError::Policy { detail } => format!("policy {}", enc_str(detail)),
+            ApiError::InvalidBlueprint { issues } => {
+                let mut out = format!("invalid-blueprint {}", issues.len());
+                for issue in issues {
+                    let _ = write!(out, " {}", enc_str(issue));
+                }
+                out
+            }
+            ApiError::BlueprintSyntax { message } => {
+                format!("blueprint-syntax {}", enc_str(message))
+            }
+            ApiError::Runaway { processed } => format!("runaway {processed}"),
+            ApiError::Journal { reason } => format!("journal {}", enc_str(reason)),
+            ApiError::Meta { reason } => format!("meta {}", enc_str(reason)),
+            ApiError::Io { reason } => format!("io {}", enc_str(reason)),
+        }
+    }
+
+    fn decode_cursor(c: &mut Cursor<'_>) -> Result<ApiError, ApiError> {
+        let (at, kind) = c.next_word("an error kind")?;
+        Ok(match kind {
+            "parse" => ApiError::Parse {
+                at: c.u64("a byte offset")?,
+                found: c.string("the found token")?,
+                expected: c.string("the expectation")?,
+            },
+            "unknown-command" => ApiError::UnknownCommand {
+                at: c.u64("a byte offset")?,
+                found: c.string("the found token")?,
+            },
+            "no-project" => ApiError::NoProject,
+            "unknown-oid" => ApiError::UnknownOid {
+                oid: c.oid("an OID")?,
+            },
+            "duplicate-oid" => ApiError::DuplicateOid {
+                oid: c.oid("an OID")?,
+            },
+            "checkout-conflict" => ApiError::CheckoutConflict {
+                oid: c.oid("an OID")?,
+                holder: c.parse_with("an optional holder", dec_opt)?,
+            },
+            "frozen-view" => ApiError::FrozenView {
+                view: c.string("a view name")?,
+            },
+            "policy" => ApiError::Policy {
+                detail: c.string("a violation rendering")?,
+            },
+            "invalid-blueprint" => {
+                let n = c.u64("an issue count")?;
+                let mut issues = Vec::new();
+                for _ in 0..n {
+                    issues.push(c.string("an issue rendering")?);
+                }
+                ApiError::InvalidBlueprint { issues }
+            }
+            "blueprint-syntax" => ApiError::BlueprintSyntax {
+                message: c.string("a parse-error rendering")?,
+            },
+            "runaway" => ApiError::Runaway {
+                processed: c.u64("an event count")?,
+            },
+            "journal" => ApiError::Journal {
+                reason: c.string("a reason")?,
+            },
+            "meta" => ApiError::Meta {
+                reason: c.string("a reason")?,
+            },
+            "io" => ApiError::Io {
+                reason: c.string("a reason")?,
+            },
+            other => {
+                return Err(ApiError::Parse {
+                    at: at as u64,
+                    found: other.to_string(),
+                    expected: "an error kind".to_string(),
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use damocles_meta::Direction;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Init {
+                source: "blueprint x\nview v endview\nendblueprint".into(),
+            },
+            // A spacey block survives the CODEC (escaped fields); the
+            // server itself rejects it at execution time, since OID
+            // components forbid separator characters.
+            Request::Checkin {
+                block: "CPU core".into(),
+                view: "HDL_model".into(),
+                user: "yves".into(),
+                payload: b"\xff\x00module cpu;".to_vec(),
+            },
+            Request::Checkin {
+                block: "b".into(),
+                view: "v".into(),
+                user: String::new(),
+                payload: Vec::new(),
+            },
+            Request::Post {
+                message: EventMessage::new("hdl_sim", Direction::Up, Oid::new("reg", "verilog", 4))
+                    .with_arg("logic sim passed")
+                    .with_arg("4 errors"),
+                user: "sim wrapper".into(),
+            },
+            Request::ProcessAll,
+            Request::Query {
+                terms: "view=schematic stale.uptodate latest".into(),
+            },
+            // Characters that are Unicode whitespace but NOT codec
+            // separators (vertical tab, NBSP, line separator) must ride
+            // inside one word unescaped.
+            Request::Query {
+                terms: "a\u{0B}b\u{A0}c\u{2028}d".into(),
+            },
+            Request::EnableJournal {
+                dir: "/tmp/dura dir".into(),
+                every: 1024,
+            },
+            Request::Stat,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Ok,
+            Response::Created {
+                oid: Oid::new("cpu", "schematic", 2),
+            },
+            Response::Props {
+                oid: Oid::new("cpu", "schematic", 2),
+                props: vec![
+                    ("uptodate".into(), Value::Bool(false)),
+                    ("note".into(), Value::Str("4 errors\nbad ✗".into())),
+                    ("count".into(), Value::Int(-3)),
+                ],
+            },
+            Response::Work {
+                target: Oid::new("cpu", "netlist", 1),
+                items: vec![WorkLeftItem {
+                    oid: Oid::new("cpu", "schematic", 2),
+                    prop: "uptodate".into(),
+                    current: None,
+                }],
+            },
+            Response::Recovered {
+                epoch: 3,
+                snapshot_oids: 10,
+                replayed_ops: 4,
+                torn_tail: Some("checksum mismatch".into()),
+                stale_journal: false,
+            },
+            Response::Stat {
+                stat: ServerStat {
+                    oids: 5,
+                    links: 2,
+                    pending_events: 1,
+                    journal_epoch: Some(2),
+                    journal_records: Some(17),
+                },
+            },
+            Response::Error(ApiError::Parse {
+                at: 14,
+                found: "sideways".into(),
+                expected: "a direction (`up` or `down`)".into(),
+            }),
+            Response::Error(ApiError::CheckoutConflict {
+                oid: Oid::new("a", "v", 1),
+                holder: Some("yves".into()),
+            }),
+        ]
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in sample_requests() {
+            let line = req.encode();
+            let back = Request::decode(&line).unwrap_or_else(|e| panic!("`{line}`: {e}"));
+            assert_eq!(back, req, "`{line}`");
+            assert_eq!(back.encode(), line, "canonical re-encode of `{line}`");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in sample_responses() {
+            let line = resp.encode();
+            let back = Response::decode(&line).unwrap_or_else(|e| panic!("`{line}`: {e}"));
+            assert_eq!(back, resp, "`{line}`");
+            assert_eq!(back.encode(), line, "canonical re-encode of `{line}`");
+        }
+    }
+
+    #[test]
+    fn decode_errors_carry_positions() {
+        let e = Request::decode("frobnicate all the things").unwrap_err();
+        assert!(matches!(e, ApiError::UnknownCommand { at: 0, .. }), "{e:?}");
+
+        let e = Request::decode("connect cpu,v,1").unwrap_err();
+        match e {
+            ApiError::Parse { at, found, .. } => {
+                assert_eq!(at, 15);
+                assert_eq!(found, "end of line");
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let e = Request::decode("checkin b v u zz-not-hex").unwrap_err();
+        assert!(matches!(e, ApiError::Parse { at: 14, .. }), "{e:?}");
+
+        // Trailing garbage is rejected, positioned at the extra token.
+        let e = Request::decode("process now").unwrap_err();
+        assert!(matches!(e, ApiError::Parse { at: 8, .. }), "{e:?}");
+    }
+
+    #[test]
+    fn engine_errors_map_onto_the_taxonomy() {
+        let e: ApiError = EngineError::Meta(MetaError::UnknownOid {
+            oid: Oid::new("cpu", "v", 9),
+        })
+        .into();
+        assert!(matches!(e, ApiError::UnknownOid { .. }));
+        assert_eq!(e.to_string(), "meta-database error: unknown OID cpu,v,9");
+
+        let e: ApiError = EngineError::Policy(PolicyViolation::FrozenView {
+            view: "layout".into(),
+        })
+        .into();
+        assert!(matches!(e, ApiError::FrozenView { .. }));
+        assert!(e.to_string().contains("frozen"));
+
+        let e: ApiError = EngineError::Runaway { processed: 50 }.into();
+        assert!(matches!(e, ApiError::Runaway { processed: 50 }));
+    }
+
+    #[test]
+    fn barrier_and_mutation_classification() {
+        assert!(Request::Checkpoint.is_barrier());
+        assert!(Request::LoadProject { path: "x".into() }.is_barrier());
+        assert!(!Request::ProcessAll.is_barrier());
+        assert!(Request::ProcessAll.is_mutation());
+        assert!(!Request::Stat.is_mutation());
+        assert!(!Request::Dump.is_mutation());
+    }
+}

@@ -2,6 +2,7 @@
 //! template application, policies, audit trail and the project server
 //! façade.
 
+pub mod api;
 pub mod audit;
 pub mod compile;
 pub mod error;
@@ -12,5 +13,6 @@ pub mod policy;
 pub mod queue;
 pub mod runtime;
 pub mod server;
+pub mod service;
 pub mod tasks;
 pub mod template;

@@ -135,6 +135,15 @@ pub struct ProjectServer<E = NullExecutor> {
     ast_dispatch: bool,
     /// Journal + checkpoint state (see [`ProjectServer::enable_journal`]).
     durability: Option<Durability>,
+    /// Group-commit mode: operation boundaries buffer their journal ops
+    /// in memory instead of appending+fsyncing; the owner (the command
+    /// loop) calls [`ProjectServer::flush_journal`] once per batch.
+    group_commit: bool,
+    /// Set when a journal failure *disabled* durability (poisoning), as
+    /// opposed to durability being off by configuration. The command
+    /// loop consumes it ([`ProjectServer::take_journal_poisoned`]) to
+    /// error un-acked mutations of the poisoned window.
+    journal_poisoned: bool,
     /// Safety valve for `process_all`.
     pub max_events_per_drain: u64,
 }
@@ -184,6 +193,8 @@ impl<E: ScriptExecutor> ProjectServer<E> {
             inbox_buf: Vec::new(),
             ast_dispatch: false,
             durability: None,
+            group_commit: false,
+            journal_poisoned: false,
             max_events_per_drain: 1_000_000,
         })
     }
@@ -313,6 +324,7 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         } + 1;
         let writer = Self::write_checkpoint_files(&dir, epoch, &self.db, &self.workspace)?;
         self.db.attach_journal();
+        self.journal_poisoned = false;
         self.durability = Some(Durability {
             dir,
             writer,
@@ -379,6 +391,7 @@ impl<E: ScriptExecutor> ProjectServer<E> {
                 // recorder included, or the db would buffer ops forever.
                 self.durability = None;
                 self.db.detach_journal();
+                self.journal_poisoned = true;
                 return Err(e);
             }
         };
@@ -437,8 +450,65 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         JournalWriter::create(dir.join(JOURNAL_FILE), epoch).map_err(journal_io)
     }
 
-    /// Appends the database's buffered ops (plus an optional server-level
-    /// op, e.g. a payload record) to the journal and syncs; folds into a
+    /// Records an optional server-level op (e.g. a payload record) in
+    /// order with the database's buffered ops, then — outside group-commit
+    /// mode — flushes everything to the journal. Under group commit the
+    /// ops stay buffered until the owner's [`ProjectServer::flush_journal`]
+    /// at the batch boundary. No-op without durability.
+    fn journal_sync(&mut self, extra: Option<JournalOp>) -> Result<(), EngineError> {
+        if self.durability.is_none() {
+            return Ok(());
+        }
+        if let Some(op) = extra {
+            // Through the recorder, not a side buffer, so the op keeps its
+            // position relative to surrounding database mutations even
+            // when several operations' ops drain in one batch.
+            self.db.record_extra(op);
+        }
+        if self.group_commit {
+            return Ok(());
+        }
+        self.flush_journal()
+    }
+
+    /// Enters or leaves group-commit mode. While on, operation boundaries
+    /// (`checkin`, `process_all`, …) buffer their journal ops in memory;
+    /// one [`ProjectServer::flush_journal`] appends and fsyncs the whole
+    /// batch — the group-commit discipline that amortizes the
+    /// ~per-sync-dominated durability cost across many requests. Leaving
+    /// the mode flushes whatever is pending.
+    ///
+    /// Crash semantics: dying before the flush loses the in-memory batch,
+    /// but the on-disk journal still ends at the previous batch boundary —
+    /// recovery replays a valid prefix, never a torn batch.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Journal`] from the flush when leaving the mode.
+    pub fn set_group_commit(&mut self, on: bool) -> Result<(), EngineError> {
+        let was = self.group_commit;
+        self.group_commit = on;
+        if was && !on {
+            self.flush_journal()?;
+        }
+        Ok(())
+    }
+
+    /// Whether group-commit mode is on.
+    pub fn group_commit(&self) -> bool {
+        self.group_commit
+    }
+
+    /// Takes (and clears) the poison marker: `true` when a journal
+    /// failure disabled durability since the last call. Distinct from
+    /// "journaling is off" — a fresh or deliberately un-journaled server
+    /// never reports poisoning, while a failure does even after the
+    /// server was replaced or re-enabled.
+    pub fn take_journal_poisoned(&mut self) -> bool {
+        std::mem::take(&mut self.journal_poisoned)
+    }
+
+    /// Appends all buffered journal ops and syncs once; folds into a
     /// checkpoint when the policy says so. No-op without durability.
     ///
     /// Failure semantics: an append/sync error **disables durability**
@@ -447,7 +517,11 @@ impl<E: ScriptExecutor> ProjectServer<E> {
     /// appending after it would turn a recoverable torn tail into mid-file
     /// corruption. Poisoning keeps the on-disk journal a valid prefix of
     /// history and makes the gap loud instead of silent.
-    fn journal_sync(&mut self, extra: Option<JournalOp>) -> Result<(), EngineError> {
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Journal`] on append/sync/checkpoint failures.
+    pub fn flush_journal(&mut self) -> Result<(), EngineError> {
         if self.durability.is_none() {
             return Ok(());
         }
@@ -460,7 +534,7 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         let appended = {
             let write_all = |d: &mut Durability| -> Result<u64, std::io::Error> {
                 let mut appended = 0u64;
-                for op in ops.iter().chain(extra.iter()) {
+                for op in ops.iter() {
                     d.writer.append(op)?;
                     appended += 1;
                 }
@@ -474,6 +548,7 @@ impl<E: ScriptExecutor> ProjectServer<E> {
                 Err(e) => {
                     self.durability = None;
                     self.db.detach_journal();
+                    self.journal_poisoned = true;
                     return Err(EngineError::Journal {
                         reason: format!("journal append failed, durability disabled: {e}"),
                     });

@@ -1,0 +1,1024 @@
+//! The project service: a [`ProjectServer`] behind the typed command
+//! protocol, plus the session-based command loop that serializes many
+//! concurrent clients onto the single engine and group-commits their
+//! journal ops at batch boundaries.
+//!
+//! Three layers, innermost first:
+//!
+//! * [`ProjectService`] — a single-threaded interpreter: one
+//!   [`Request`] in, one [`Response`] out. Owns the (optional, until
+//!   `Init`) server and the named snapshot [`Configuration`]s, so every
+//!   client surface shares the same semantics.
+//! * [`spawn_project_loop`] — moves a service onto a dedicated thread
+//!   behind an mpsc command queue. [`ProjectHandle::session`] hands out
+//!   [`SessionId`]-tagged [`ClientSession`]s; their requests are drained
+//!   in arrival order, **executed as a batch, journaled with one
+//!   append+fsync, and only then replied to** — the group-commit point
+//!   the ROADMAP asked for. A reply in hand means the effect is durable
+//!   (when journaling is enabled), yet the fsync cost is amortized over
+//!   up to `max_batch` requests.
+//! * [`serve_listener`] — a minimal line-framed TCP front door: one
+//!   request line in, one response line out, in the [`Request`] /
+//!   [`Response`] text codec (raw §3.1 `postEvent` lines are accepted
+//!   too), so external wrapper processes post events over the network
+//!   exactly as the paper describes.
+//!
+//! # Crash semantics of the group-commit window
+//!
+//! While a batch executes, its journal ops buffer in memory; the on-disk
+//! journal still ends at the previous batch boundary. A crash inside the
+//! window therefore loses the whole un-acked batch and nothing else:
+//! recovery replays a valid prefix that ends exactly at a batch boundary.
+//! Clients that have not received a reply must treat their request as
+//! not-happened — which is precisely what the reply-after-fsync ordering
+//! guarantees.
+//!
+//! Scope: the guarantee covers **state mutations** (objects, properties,
+//! links, payloads). The event queue itself is session-transient by
+//! design — exactly like the persist image, which excludes queued
+//! events — so a [`Request::Post`] ack means *accepted and queued*; the
+//! event's effects become durable when a `ProcessAll` executes them and
+//! its batch syncs. A wrapper that must not lose a result across a
+//! server crash re-posts it on reconnect (posts are idempotent
+//! last-writer-wins property updates in the paper's flows).
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use damocles_meta::qlang::Query;
+use damocles_meta::{
+    dump, persist, Configuration, ConfigurationBuilder, EventMessage, SnapshotRule, Value,
+};
+
+use crate::engine::api::{
+    ApiError, AuditCounters, Request, Response, ServerStat, SessionId, SnapshotInfo, SummaryRow,
+    WorkLeftItem,
+};
+use crate::engine::error::EngineError;
+use crate::engine::exec::{NullExecutor, ScriptExecutor};
+use crate::engine::server::ProjectServer;
+use crate::lang::parser;
+
+/// A [`ProjectServer`] (plus client-visible snapshot configurations)
+/// driven entirely through [`Request`] / [`Response`] — the one
+/// interpreter every front-end shares.
+#[derive(Debug)]
+pub struct ProjectService<E: ScriptExecutor = NullExecutor> {
+    server: Option<ProjectServer<E>>,
+    snapshots: BTreeMap<String, Configuration>,
+    /// Group-commit mode, inherited by servers created via `Init`.
+    group_commit: bool,
+}
+
+impl Default for ProjectService<NullExecutor> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: ScriptExecutor + Default> ProjectService<E> {
+    /// A service with no blueprint loaded yet (`Init` must come first).
+    pub fn new() -> Self {
+        ProjectService {
+            server: None,
+            snapshots: BTreeMap::new(),
+            group_commit: false,
+        }
+    }
+
+    /// A service wrapping an existing server.
+    pub fn with_server(server: ProjectServer<E>) -> Self {
+        ProjectService {
+            server: Some(server),
+            snapshots: BTreeMap::new(),
+            group_commit: false,
+        }
+    }
+
+    /// The server, if a blueprint has been loaded.
+    pub fn server(&self) -> Option<&ProjectServer<E>> {
+        self.server.as_ref()
+    }
+
+    /// Mutable server access (tests; prefer requests).
+    pub fn server_mut(&mut self) -> Option<&mut ProjectServer<E>> {
+        self.server.as_mut()
+    }
+
+    /// Enters or leaves group-commit mode (see
+    /// [`ProjectServer::set_group_commit`]); the command loop turns this
+    /// on and calls [`ProjectService::flush`] once per batch. Leaving the
+    /// mode flushes.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Journal`] from the flush when leaving the mode.
+    pub fn set_group_commit(&mut self, on: bool) -> Result<(), EngineError> {
+        self.group_commit = on;
+        match self.server.as_mut() {
+            Some(s) => s.set_group_commit(on),
+            None => Ok(()),
+        }
+    }
+
+    /// Whether a server exists and has durability enabled.
+    pub fn journaling(&self) -> bool {
+        self.server.as_ref().is_some_and(|s| s.journal_enabled())
+    }
+
+    /// Takes (and clears) the server's journal-poison marker: `true` when
+    /// a journal failure disabled durability since the last call (see
+    /// [`ProjectServer::take_journal_poisoned`]). The command loop
+    /// consumes this per group-commit window.
+    pub fn take_journal_poisoned(&mut self) -> bool {
+        self.server
+            .as_mut()
+            .is_some_and(ProjectServer::take_journal_poisoned)
+    }
+
+    /// Appends and fsyncs every journal op buffered since the last flush —
+    /// the group-commit point. No-op without journaling.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Journal`] on append/sync failures (durability is
+    /// poisoned, exactly as for per-op syncs).
+    pub fn flush(&mut self) -> Result<(), EngineError> {
+        match self.server.as_mut() {
+            Some(s) => s.flush_journal(),
+            None => Ok(()),
+        }
+    }
+
+    /// Executes one request. Never panics and never returns `Err` — every
+    /// failure is a structured [`Response::Error`].
+    ///
+    /// Barrier requests ([`Request::is_barrier`]) flush the group-commit
+    /// window first: they swap or re-base durable state and must see a
+    /// journal that matches the database.
+    pub fn call(&mut self, request: Request) -> Response {
+        if request.is_barrier() {
+            if let Err(e) = self.flush() {
+                return Response::Error(e.into());
+            }
+        }
+        match self.dispatch(request) {
+            Ok(resp) => resp,
+            Err(e) => Response::Error(e),
+        }
+    }
+
+    fn need(&mut self) -> Result<&mut ProjectServer<E>, ApiError> {
+        self.server.as_mut().ok_or(ApiError::NoProject)
+    }
+
+    // By value so a large `Checkin` payload moves straight into the
+    // workspace instead of being copied per request on the command
+    // loop's hot path.
+    fn dispatch(&mut self, request: Request) -> Result<Response, ApiError> {
+        match request {
+            Request::Init { source } => {
+                let bp = parser::parse(&source).map_err(EngineError::Parse)?;
+                let mut server = ProjectServer::with_executor(bp, E::default())?;
+                let _ = server.set_group_commit(self.group_commit);
+                let name = server.blueprint().name.clone();
+                self.server = Some(server);
+                Ok(Response::Blueprint { name })
+            }
+            Request::Reinit { source } => {
+                let server = self.need()?;
+                server.reinit_from_source(&source)?;
+                Ok(Response::Blueprint {
+                    name: server.blueprint().name.clone(),
+                })
+            }
+            Request::Checkin {
+                block,
+                view,
+                user,
+                payload,
+            } => {
+                let oid = self.need()?.checkin(&block, &view, &user, payload)?;
+                Ok(Response::Created { oid })
+            }
+            Request::Checkout { block, view, user } => {
+                self.need()?.checkout(&block, &view, &user)?;
+                Ok(Response::Ok)
+            }
+            Request::CreateObject { oid } => {
+                self.need()?.create_object(oid.clone())?;
+                Ok(Response::Created { oid })
+            }
+            Request::Connect { from, to } => {
+                self.need()?.connect_oids(&from, &to)?;
+                Ok(Response::Ok)
+            }
+            Request::Post { message, user } => {
+                self.need()?.post(&message, &user)?;
+                Ok(Response::Ok)
+            }
+            Request::ProcessAll => {
+                let report = self.need()?.process_all()?;
+                Ok(report.into())
+            }
+            Request::RefreshLets => {
+                let written = self.need()?.refresh_lets()?;
+                Ok(Response::Refreshed { written })
+            }
+            Request::Query { terms } => {
+                let query: Query = terms.parse().map_err(EngineError::Meta)?;
+                let server = self.need()?;
+                let mut oids = Vec::new();
+                for id in query.run(server.db()) {
+                    oids.push(server.db().oid(id).map_err(EngineError::Meta)?.clone());
+                }
+                Ok(Response::Hits { oids })
+            }
+            Request::Show { oid } => {
+                let server = self.need()?;
+                let id = server.resolve(&oid)?;
+                let props: Vec<(String, Value)> = server
+                    .db()
+                    .props(id)
+                    .map_err(EngineError::Meta)?
+                    .iter()
+                    .map(|(name, value)| (name.to_string(), value.clone()))
+                    .collect();
+                Ok(Response::Props { oid, props })
+            }
+            Request::WorkLeft { oid, prop } => {
+                let server = self.need()?;
+                let id = server.resolve(&oid)?;
+                let items = server
+                    .query()
+                    .work_remaining(id, &prop)
+                    .map_err(EngineError::Meta)?
+                    .into_iter()
+                    .map(|item| WorkLeftItem {
+                        oid: item.oid,
+                        prop: item.blocking.0,
+                        current: item.blocking.1,
+                    })
+                    .collect();
+                Ok(Response::Work { target: oid, items })
+            }
+            Request::Summary { prop } => {
+                let rows = self
+                    .need()?
+                    .query()
+                    .summary(&prop)
+                    .into_iter()
+                    .map(|s| SummaryRow {
+                        view: s.view,
+                        total: s.total as u64,
+                        satisfied: s.satisfied as u64,
+                        untracked: s.untracked as u64,
+                    })
+                    .collect();
+                Ok(Response::ViewSummary { rows })
+            }
+            Request::Snapshot { name, root } => {
+                let server = self.need()?;
+                let id = server.resolve(&root)?;
+                let snap = ConfigurationBuilder::new(server.db())
+                    .traverse(id, SnapshotRule::Closure)
+                    .build(name.clone());
+                let oids = snap.oid_count() as u64;
+                self.snapshots.insert(name.clone(), snap);
+                Ok(Response::Snapped { name, oids })
+            }
+            Request::ListSnapshots => {
+                let server = self.server.as_ref().ok_or(ApiError::NoProject)?;
+                let entries = self
+                    .snapshots
+                    .iter()
+                    .map(|(name, snap)| SnapshotInfo {
+                        name: name.clone(),
+                        oids: snap.oid_count() as u64,
+                        links: snap.link_count() as u64,
+                        dangling: snap.dangling(server.db()) as u64,
+                    })
+                    .collect();
+                Ok(Response::SnapshotList { entries })
+            }
+            Request::Freeze { view } => {
+                self.need()?.policy_mut().frozen_views.insert(view);
+                Ok(Response::Ok)
+            }
+            Request::Thaw { view } => {
+                self.need()?.policy_mut().frozen_views.remove(&view);
+                Ok(Response::Ok)
+            }
+            Request::EnableJournal { dir, every } => {
+                let epoch = self.need()?.enable_journal(&dir, every)?;
+                Ok(Response::Epoch { epoch })
+            }
+            Request::Checkpoint => {
+                let epoch = self.need()?.checkpoint()?;
+                Ok(Response::Epoch { epoch })
+            }
+            Request::Recover { dir, every } => {
+                let report = self.need()?.recover_journal(&dir, every)?;
+                Ok(Response::Recovered {
+                    epoch: report.epoch,
+                    snapshot_oids: report.snapshot_oids as u64,
+                    replayed_ops: report.replayed_ops as u64,
+                    torn_tail: report.torn_tail,
+                    stale_journal: report.stale_journal,
+                })
+            }
+            Request::SaveProject { path } => {
+                let server = self.server.as_ref().ok_or(ApiError::NoProject)?;
+                let image = persist::save_project(server.db(), server.workspace());
+                std::fs::write(&path, image).map_err(|e| ApiError::Io {
+                    reason: format!("cannot write {path}: {e}"),
+                })?;
+                Ok(Response::Ok)
+            }
+            Request::LoadProject { path } => {
+                let image = std::fs::read_to_string(&path).map_err(|e| ApiError::Io {
+                    reason: format!("cannot read {path}: {e}"),
+                })?;
+                let (db, workspace) = persist::load_project(&image).map_err(EngineError::Meta)?;
+                let oids = db.oid_count() as u64;
+                let server = self.need()?;
+                server.adopt_project(db, workspace);
+                if server.journal_enabled() {
+                    // The on-disk journal described the replaced project;
+                    // fold immediately so the crash window closes here.
+                    server.checkpoint()?;
+                }
+                Ok(Response::Loaded { oids })
+            }
+            Request::Dump => {
+                let server = self.server.as_ref().ok_or(ApiError::NoProject)?;
+                Ok(Response::Text {
+                    text: dump::dump(server.db()),
+                })
+            }
+            Request::Dot => {
+                let server = self.server.as_ref().ok_or(ApiError::NoProject)?;
+                Ok(Response::Text {
+                    text: dump::to_dot(server.db(), "uptodate"),
+                })
+            }
+            Request::Audit => {
+                let server = self.server.as_ref().ok_or(ApiError::NoProject)?;
+                let s = server.audit().summary();
+                Ok(Response::Audit {
+                    counters: AuditCounters {
+                        deliveries: s.deliveries,
+                        assignments: s.assignments,
+                        reevaluations: s.reevaluations,
+                        scripts: s.scripts,
+                        posts: s.posts,
+                        propagations: s.propagations,
+                        cycle_skips: s.cycle_skips,
+                        depth_truncations: s.depth_truncations,
+                        templates: s.templates,
+                    },
+                })
+            }
+            Request::Stat => {
+                let server = self.server.as_ref().ok_or(ApiError::NoProject)?;
+                Ok(Response::Stat {
+                    stat: ServerStat {
+                        oids: server.db().oid_count() as u64,
+                        links: server.db().link_count() as u64,
+                        pending_events: server.pending_events() as u64,
+                        journal_epoch: server.journal_epoch(),
+                        journal_records: server.journal_records(),
+                    },
+                })
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The command loop
+// ---------------------------------------------------------------------
+
+/// One queued command: the session it came from, the request, and where
+/// the reply goes.
+#[derive(Debug)]
+pub struct Envelope {
+    /// The submitting session.
+    pub session: SessionId,
+    /// The command.
+    pub request: Request,
+    reply: Sender<Response>,
+}
+
+impl Envelope {
+    /// Builds an envelope for a hand-rolled command queue (tests,
+    /// custom harnesses); [`ClientSession::submit`] is the normal path.
+    pub fn new(session: SessionId, request: Request, reply: Sender<Response>) -> Self {
+        Envelope {
+            session,
+            request,
+            reply,
+        }
+    }
+}
+
+/// A cloneable handle to a running command loop; every client surface
+/// (shell adapter, TCP connection, test) opens sessions through it.
+#[derive(Debug, Clone)]
+pub struct ProjectHandle {
+    tx: Sender<Envelope>,
+    next_session: Arc<AtomicU64>,
+}
+
+impl ProjectHandle {
+    /// Opens a new tagged session.
+    pub fn session(&self) -> ClientSession {
+        ClientSession {
+            id: SessionId(self.next_session.fetch_add(1, Ordering::Relaxed)),
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+/// One client session at the command loop. Requests from all sessions are
+/// serialized in arrival order; each session's own requests stay ordered.
+#[derive(Debug, Clone)]
+pub struct ClientSession {
+    id: SessionId,
+    tx: Sender<Envelope>,
+}
+
+impl ClientSession {
+    /// This session's id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// Submits a request without waiting; the returned receiver yields
+    /// the response once the loop has executed **and journaled** it.
+    /// Pipelining submissions is how one client fills a group-commit
+    /// batch.
+    pub fn submit(&self, request: Request) -> Receiver<Response> {
+        let (reply, rx) = unbounded();
+        let gone = self
+            .tx
+            .send(Envelope {
+                session: self.id,
+                request,
+                reply: reply.clone(),
+            })
+            .is_err();
+        if gone {
+            let _ = reply.send(Response::Error(loop_gone()));
+        }
+        rx
+    }
+
+    /// Submits a request and waits for its response.
+    pub fn call(&self, request: Request) -> Response {
+        self.submit(request)
+            .recv()
+            .unwrap_or_else(|| Response::Error(loop_gone()))
+    }
+}
+
+fn loop_gone() -> ApiError {
+    ApiError::Io {
+        reason: "project command loop has shut down".to_string(),
+    }
+}
+
+/// Spawns a service onto its own command-loop thread and returns the
+/// handle clients connect through. The loop exits (flushing any pending
+/// batch) when every handle and session is dropped.
+///
+/// `max_batch` bounds the group-commit window: up to that many queued
+/// requests execute back-to-back before one journal append+fsync covers
+/// them all. `1` restores per-request durability cost.
+pub fn spawn_project_loop<E>(
+    service: ProjectService<E>,
+    max_batch: usize,
+) -> (ProjectHandle, std::thread::JoinHandle<()>)
+where
+    E: ScriptExecutor + Default + Send + 'static,
+{
+    let (tx, rx) = unbounded();
+    let join = std::thread::spawn(move || run_command_loop(service, &rx, max_batch));
+    (
+        ProjectHandle {
+            tx,
+            next_session: Arc::new(AtomicU64::new(1)),
+        },
+        join,
+    )
+}
+
+/// The command loop body: drain up to `max_batch` queued envelopes,
+/// execute them against the engine, group-commit their journal ops with
+/// one append+fsync, then send the replies. Exposed for callers that
+/// want to run the loop on a thread they own (the TCP binary, benches).
+///
+/// Set `DAMOCLES_LOOP_STATS=1` to print batch-formation statistics on
+/// exit (used by the throughput bench to verify batches actually fill).
+pub fn run_command_loop<E>(
+    mut service: ProjectService<E>,
+    rx: &Receiver<Envelope>,
+    max_batch: usize,
+) where
+    E: ScriptExecutor + Default,
+{
+    let max_batch = max_batch.max(1);
+    let _ = service.set_group_commit(true);
+    let mut n_batches = 0u64;
+    let mut n_reqs = 0u64;
+    // Executed-but-unacked requests of the current group-commit window.
+    let mut pending: Vec<(Sender<Response>, bool, Response)> = Vec::new();
+    // A stale poison marker from the service's pre-loop life was already
+    // reported to whoever called it directly; don't charge it to the
+    // first window.
+    let _ = service.take_journal_poisoned();
+    // Flushes the window and sends the pending replies. A flush failure
+    // — or a poisoning the executed requests themselves triggered
+    // (explicit marker, NOT inferred from journaling-state deltas, which
+    // a legitimate `Init` swap would trip) — turns every mutating reply
+    // into the journal error: none of those mutations reached stable
+    // storage, and acking them would lie. Read-only requests still
+    // answer.
+    let settle = |service: &mut ProjectService<E>,
+                  pending: &mut Vec<(Sender<Response>, bool, Response)>| {
+        let flushed = service.flush();
+        let poisoned = service.take_journal_poisoned();
+        let error = match flushed {
+            Err(e) => Some(ApiError::from(e)),
+            Ok(()) if poisoned => Some(ApiError::Journal {
+                reason: "durability was disabled mid-batch; the batch is not on stable storage"
+                    .to_string(),
+            }),
+            Ok(()) => None,
+        };
+        for (reply, mutating, resp) in pending.drain(..) {
+            let resp = match &error {
+                // Only successful mutations are downgraded: a request
+                // that already failed (frozen view, unknown OID) wrote
+                // nothing the flush could lose, and its own diagnostic
+                // is the useful one.
+                Some(err) if mutating && !resp.is_error() => Response::Error(err.clone()),
+                _ => resp,
+            };
+            let _ = reply.send(resp);
+        }
+    };
+    while let Some(first) = rx.recv() {
+        let mut batch = Vec::with_capacity(max_batch);
+        batch.push(first);
+        while batch.len() < max_batch {
+            match rx.try_recv() {
+                Ok(env) => batch.push(env),
+                Err(_) => break,
+            }
+        }
+        n_batches += 1;
+        n_reqs += batch.len() as u64;
+        for env in batch {
+            let Envelope { request, reply, .. } = env;
+            // A barrier re-bases durable state (checkpoint, recover,
+            // load, …): settle the window before it runs so every reply
+            // reflects exactly what its own fsync covered — a mid-batch
+            // poisoning can then never be masked by a later trivial
+            // flush.
+            let barrier = request.is_barrier();
+            if barrier && !pending.is_empty() {
+                settle(&mut service, &mut pending);
+            }
+            let mutating = request.is_mutation();
+            let resp = service.call(request);
+            pending.push((reply, mutating, resp));
+            // And settle straight after it: a barrier's effect is durable
+            // by its own doing (snapshot written, file saved, server
+            // swapped), so its reply must never share a flush window
+            // with — and be downgraded by — later requests' failures.
+            if barrier {
+                settle(&mut service, &mut pending);
+            }
+        }
+        settle(&mut service, &mut pending);
+    }
+    // Senders are gone; flush whatever the last batch left behind.
+    let _ = service.set_group_commit(false);
+    if std::env::var_os("DAMOCLES_LOOP_STATS").is_some() {
+        eprintln!(
+            "loop stats: {n_reqs} requests in {n_batches} batches (avg {:.1})",
+            n_reqs as f64 / n_batches.max(1) as f64
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// The line-framed TCP front door
+// ---------------------------------------------------------------------
+
+/// Serves the command protocol over a TCP listener, blocking forever:
+/// each connection is one session; each text line is one [`Request`]
+/// (raw §3.1 `postEvent …` lines are accepted as [`Request::Post`] from
+/// user `net-<session>`), answered by exactly one [`Response`] line.
+///
+/// Spawn it on its own thread; connections get a thread each (the engine
+/// itself stays single-threaded behind the command queue, which is the
+/// serialization point). `accept` failures — aborted handshakes, fd
+/// exhaustion under connection bursts — are transient for a server that
+/// must outlive its clients: they are reported to stderr and retried
+/// after a short back-off instead of killing every live session.
+pub fn serve_listener(listener: TcpListener, handle: &ProjectHandle) -> std::io::Result<()> {
+    loop {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let session = handle.session();
+                std::thread::spawn(move || serve_connection(stream, &session));
+            }
+            Err(e) => {
+                eprintln!("damocles_server: accept failed (retrying): {e}");
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// One connection's read-decode-execute-reply loop.
+fn serve_connection(stream: TcpStream, session: &ClientSession) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    // Reader and writer run concurrently so a connection that pipelines
+    // request lines fills group-commit batches instead of paying one
+    // fsync per line; responses still come back strictly in line order
+    // (the in-order queue of reply receivers is the sequencing).
+    let (order_tx, order_rx) = unbounded::<Receiver<Response>>();
+    let mut writer = stream;
+    let write_thread = std::thread::spawn(move || {
+        while let Some(reply) = order_rx.recv() {
+            let response = reply.recv().unwrap_or_else(|| Response::Error(loop_gone()));
+            if writer
+                .write_all(format!("{}\n", response.encode()).as_bytes())
+                .is_err()
+            {
+                break;
+            }
+        }
+    });
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            break;
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let reply = match decode_net_line(trimmed, session.id()) {
+            Ok(request) => session.submit(request),
+            Err(e) => {
+                let (tx, rx) = unbounded();
+                let _ = tx.send(Response::Error(e));
+                rx
+            }
+        };
+        if order_tx.send(reply).is_err() {
+            break;
+        }
+    }
+    drop(order_tx);
+    let _ = write_thread.join();
+}
+
+/// Decodes one network line: the request codec, with the paper's bare
+/// `postEvent` wire line accepted as sugar for [`Request::Post`].
+fn decode_net_line(line: &str, session: SessionId) -> Result<Request, ApiError> {
+    if line.starts_with("postEvent") {
+        let message = EventMessage::parse_wire(line)?;
+        return Ok(Request::Post {
+            message,
+            user: format!("net-{}", session.0),
+        });
+    }
+    Request::decode(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use damocles_meta::Oid;
+
+    const SIMPLE: &str = r#"
+        blueprint demo
+        view default
+            property uptodate default true
+            when ckin do uptodate = true; post outofdate down done
+            when outofdate do uptodate = false done
+        endview
+        view HDL_model endview
+        view schematic
+            link_from HDL_model move propagates outofdate type derived
+        endview
+        endblueprint
+    "#;
+
+    fn init_req() -> Request {
+        Request::Init {
+            source: SIMPLE.to_string(),
+        }
+    }
+
+    fn checkin(block: &str, view: &str) -> Request {
+        Request::Checkin {
+            block: block.into(),
+            view: view.into(),
+            user: "yves".into(),
+            payload: b"data".to_vec(),
+        }
+    }
+
+    #[test]
+    fn service_runs_the_quickstart_through_requests() {
+        let mut svc: ProjectService = ProjectService::new();
+        assert_eq!(
+            svc.call(Request::ProcessAll),
+            Response::Error(ApiError::NoProject)
+        );
+        assert!(matches!(
+            svc.call(init_req()),
+            Response::Blueprint { name } if name == "demo"
+        ));
+        let hdl = match svc.call(checkin("cpu", "HDL_model")) {
+            Response::Created { oid } => oid,
+            other => panic!("{other:?}"),
+        };
+        let sch = match svc.call(checkin("cpu", "schematic")) {
+            Response::Created { oid } => oid,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(
+            svc.call(Request::Connect {
+                from: hdl.clone(),
+                to: sch.clone()
+            }),
+            Response::Ok
+        );
+        assert!(matches!(
+            svc.call(Request::ProcessAll),
+            Response::Processed { events: 2, .. }
+        ));
+        // A second HDL version invalidates the derived schematic.
+        svc.call(checkin("cpu", "HDL_model"));
+        svc.call(Request::ProcessAll);
+        match svc.call(Request::Show { oid: sch }) {
+            Response::Props { props, .. } => {
+                let up = props.iter().find(|(n, _)| n == "uptodate").unwrap();
+                assert_eq!(up.1, Value::Bool(false));
+            }
+            other => panic!("{other:?}"),
+        }
+        match svc.call(Request::Stat) {
+            Response::Stat { stat } => {
+                assert_eq!(stat.oids, 3);
+                assert_eq!(stat.pending_events, 0);
+                assert_eq!(stat.journal_epoch, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_structured_not_strings() {
+        let mut svc: ProjectService = ProjectService::new();
+        svc.call(init_req());
+        let resp = svc.call(Request::Show {
+            oid: Oid::new("ghost", "v", 1),
+        });
+        assert_eq!(
+            resp,
+            Response::Error(ApiError::UnknownOid {
+                oid: Oid::new("ghost", "v", 1)
+            })
+        );
+        let resp = svc.call(Request::Init {
+            source: "blueprint b view a endview view a endview endblueprint".into(),
+        });
+        assert!(
+            matches!(resp, Response::Error(ApiError::InvalidBlueprint { .. })),
+            "{resp:?}"
+        );
+    }
+
+    #[test]
+    fn command_loop_serializes_sessions_and_replies() {
+        let mut svc: ProjectService = ProjectService::new();
+        assert!(!svc.call(init_req()).is_error());
+        let (handle, join) = spawn_project_loop(svc, 16);
+        let s1 = handle.session();
+        let s2 = handle.session();
+        assert_ne!(s1.id(), s2.id());
+        // Two sessions race check-ins of different blocks; both succeed
+        // and the engine sees them serialized.
+        let t1 = {
+            let s = s1.clone();
+            std::thread::spawn(move || s.call(checkin("alpha", "HDL_model")))
+        };
+        let t2 = {
+            let s = s2.clone();
+            std::thread::spawn(move || s.call(checkin("beta", "HDL_model")))
+        };
+        assert!(matches!(t1.join().unwrap(), Response::Created { .. }));
+        assert!(matches!(t2.join().unwrap(), Response::Created { .. }));
+        assert!(matches!(
+            s1.call(Request::ProcessAll),
+            Response::Processed { events: 2, .. }
+        ));
+        drop((s1, s2, handle));
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn group_commit_batches_journal_syncs() {
+        let dir = std::env::temp_dir().join("damocles-svc-group-commit");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut svc: ProjectService = ProjectService::new();
+        svc.call(init_req());
+        assert!(matches!(
+            svc.call(Request::EnableJournal {
+                dir: dir.display().to_string(),
+                every: 1_000_000,
+            }),
+            Response::Epoch { .. }
+        ));
+        let (handle, join) = spawn_project_loop(svc, 64);
+        let session = handle.session();
+        // Pipeline a burst so the loop can batch it.
+        let pending: Vec<_> = (0..32)
+            .map(|i| session.submit(checkin(&format!("blk{i}"), "HDL_model")))
+            .collect();
+        for rx in pending {
+            assert!(matches!(rx.recv().unwrap(), Response::Created { .. }));
+        }
+        // Every op of the burst is on disk once the replies are in hand.
+        let stat = session.call(Request::Stat);
+        let records = match stat {
+            Response::Stat { stat } => stat.journal_records.unwrap(),
+            other => panic!("{other:?}"),
+        };
+        assert!(records >= 32, "journaled {records} ops");
+        drop((session, handle));
+        join.join().unwrap();
+        // The journal on disk replays cleanly into the same project.
+        let mut svc2: ProjectService = ProjectService::new();
+        svc2.call(init_req());
+        let resp = svc2.call(Request::Recover {
+            dir: dir.display().to_string(),
+            every: 1_000_000,
+        });
+        assert!(matches!(resp, Response::Recovered { .. }), "{resp:?}");
+        match svc2.call(Request::Stat) {
+            Response::Stat { stat } => assert_eq!(stat.oids, 32),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// A successful `Init` through a journaled loop legitimately swaps
+    /// in a fresh (un-journaled) server; that state change must NOT be
+    /// misread as durability poisoning (the marker is explicit, not a
+    /// journaling-state delta).
+    #[test]
+    fn init_on_a_journaled_loop_is_not_poisoning() {
+        let dir = std::env::temp_dir().join("damocles-svc-init-not-poison");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut svc: ProjectService = ProjectService::new();
+        svc.call(init_req());
+        assert!(matches!(
+            svc.call(Request::EnableJournal {
+                dir: dir.display().to_string(),
+                every: 1_000_000,
+            }),
+            Response::Epoch { .. }
+        ));
+        let (handle, join) = spawn_project_loop(svc, 16);
+        let session = handle.session();
+        assert!(matches!(
+            session.call(checkin("pre", "HDL_model")),
+            Response::Created { .. }
+        ));
+        // The re-init succeeds and is acked as such.
+        match session.call(init_req()) {
+            Response::Blueprint { name } => assert_eq!(name, "demo"),
+            other => panic!("init misreported: {other:?}"),
+        }
+        // The fresh server runs un-journaled but healthy.
+        assert!(matches!(
+            session.call(checkin("post", "HDL_model")),
+            Response::Created { .. }
+        ));
+        drop((session, handle));
+        join.join().unwrap();
+    }
+
+    /// Durability poisoned mid-batch must not be masked by a trivially-Ok
+    /// flush: the poisoning is reported on its own window, and mutations
+    /// whose flush actually failed are errored, not acked. A request that
+    /// executes in a LATER window (after the poisoning was already
+    /// reported) acks normally — the server then runs un-journaled, loud
+    /// once, exactly like the per-op path.
+    #[test]
+    fn poisoned_batch_does_not_ack_unflushed_mutations() {
+        let dir = std::env::temp_dir().join("damocles-svc-poisoned-batch");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut svc: ProjectService = ProjectService::new();
+        svc.call(init_req());
+        assert!(matches!(
+            svc.call(Request::EnableJournal {
+                dir: dir.display().to_string(),
+                every: 1_000_000,
+            }),
+            Response::Epoch { .. }
+        ));
+        // Doom the next checkpoint: the snapshot tmp file cannot be
+        // created once the durability directory is gone (appends to the
+        // already-open journal fd still succeed, which is exactly the
+        // asymmetry that used to mask the poisoning).
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        // Hand-rolled queue so all three land in ONE loop batch:
+        // checkin A | checkpoint (doomed barrier) | checkin B.
+        let (tx, rx) = unbounded();
+        let replies: Vec<Receiver<Response>> = [
+            checkin("alpha", "HDL_model"),
+            Request::Checkpoint,
+            checkin("beta", "HDL_model"),
+        ]
+        .into_iter()
+        .map(|request| {
+            let (reply, reply_rx) = unbounded();
+            tx.send(Envelope::new(SessionId(1), request, reply))
+                .unwrap();
+            reply_rx
+        })
+        .collect();
+        drop(tx);
+        run_command_loop(svc, &rx, 64);
+
+        // A settled (flushed to the open journal fd) before the barrier.
+        assert!(matches!(
+            replies[0].recv().unwrap(),
+            Response::Created { .. }
+        ));
+        // The checkpoint itself failed loudly — that reply IS the
+        // poisoning report, settled on its own window.
+        assert!(replies[1].recv().unwrap().is_error());
+        // B ran in the next window, knowingly un-journaled: normal ack.
+        assert!(matches!(
+            replies[2].recv().unwrap(),
+            Response::Created { .. }
+        ));
+    }
+
+    /// When the window's own flush fails (here: the auto-checkpoint the
+    /// flush triggers cannot write its snapshot), every mutation of that
+    /// window is errored — none of them may be acked as durable.
+    #[test]
+    fn failed_window_flush_errors_every_mutation_of_the_window() {
+        let dir = std::env::temp_dir().join("damocles-svc-failed-flush");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut svc: ProjectService = ProjectService::new();
+        svc.call(init_req());
+        assert!(matches!(
+            svc.call(Request::EnableJournal {
+                dir: dir.display().to_string(),
+                every: 1, // every flush folds into a checkpoint
+            }),
+            Response::Epoch { .. }
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        let (tx, rx) = unbounded();
+        let replies: Vec<Receiver<Response>> =
+            [checkin("alpha", "HDL_model"), checkin("beta", "HDL_model")]
+                .into_iter()
+                .map(|request| {
+                    let (reply, reply_rx) = unbounded();
+                    tx.send(Envelope::new(SessionId(1), request, reply))
+                        .unwrap();
+                    reply_rx
+                })
+                .collect();
+        drop(tx);
+        run_command_loop(svc, &rx, 64);
+
+        for reply in replies {
+            match reply.recv().unwrap() {
+                Response::Error(ApiError::Journal { .. }) => {}
+                other => panic!("unflushed mutation was acked: {other:?}"),
+            }
+        }
+    }
+}

@@ -51,7 +51,12 @@
 pub mod engine;
 pub mod lang;
 
+pub use engine::api::{ApiError, Request, Response, SessionId};
 pub use engine::error::EngineError;
 pub use engine::server::{ProcessReport, ProjectServer};
+pub use engine::service::{
+    run_command_loop, serve_listener, spawn_project_loop, ClientSession, ProjectHandle,
+    ProjectService,
+};
 pub use lang::ast::Blueprint;
 pub use lang::parser::parse;

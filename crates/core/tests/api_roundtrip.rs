@@ -1,0 +1,339 @@
+//! Property tests for the command-protocol text codec (ISSUE 3): every
+//! [`Request`] / [`Response`] variant — including every [`ApiError`]
+//! variant carried inside [`Response::Error`] — round-trips through the
+//! line codec byte-identically: `decode(encode(x)) == x` and the encoding
+//! is a fixed point (`encode(decode(encode(x))) == encode(x)`).
+
+use proptest::prelude::*;
+
+use blueprint_core::engine::api::{
+    ApiError, AuditCounters, Request, Response, ServerStat, SnapshotInfo, SummaryRow, WorkLeftItem,
+};
+use damocles_meta::{Direction, EventMessage, Oid, Value};
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+/// Identifier-shaped names for OID components and views (the wire format
+/// reserves `,`/`.` as OID separators, and components are trimmed).
+fn ident() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_-]{1,8}"
+}
+
+/// Free-form text: printable (incl. spaces, quotes, `%`, latin-1) plus
+/// explicit whitespace escapes, so the percent-escaping earns its keep.
+fn text() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "\\PC{0,16}".boxed(),
+        "[\\n\\t\"\\\\% ]{0,8}".boxed(),
+        "[a-z ]{0,12}".boxed(),
+        // Unicode whitespace that is NOT a codec separator: must pass
+        // through unescaped without splitting words.
+        "[\u{0B}\u{0C}\u{85}\u{A0}\u{2028}x]{0,6}".boxed(),
+    ]
+}
+
+fn oid() -> impl Strategy<Value = Oid> {
+    (ident(), ident(), any::<u32>()).prop_map(|(b, v, n)| Oid::new(b, v, n))
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<bool>().prop_map(Value::Bool).boxed(),
+        any::<i64>().prop_map(Value::Int).boxed(),
+        text().prop_map(Value::Str).boxed(),
+    ]
+}
+
+fn message() -> impl Strategy<Value = EventMessage> {
+    (
+        ident(),
+        any::<bool>(),
+        oid(),
+        proptest::collection::vec(text(), 0..3),
+    )
+        .prop_map(|(event, up, target, args)| {
+            let dir = if up { Direction::Up } else { Direction::Down };
+            let mut m = EventMessage::new(event, dir, target);
+            for a in args {
+                m = m.with_arg(a);
+            }
+            m
+        })
+}
+
+fn payload() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..24)
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        text().prop_map(|source| Request::Init { source }).boxed(),
+        text().prop_map(|source| Request::Reinit { source }).boxed(),
+        (ident(), ident(), text(), payload())
+            .prop_map(|(block, view, user, payload)| Request::Checkin {
+                block,
+                view,
+                user,
+                payload
+            })
+            .boxed(),
+        (ident(), ident(), text())
+            .prop_map(|(block, view, user)| Request::Checkout { block, view, user })
+            .boxed(),
+        oid().prop_map(|oid| Request::CreateObject { oid }).boxed(),
+        (oid(), oid())
+            .prop_map(|(from, to)| Request::Connect { from, to })
+            .boxed(),
+        (message(), text())
+            .prop_map(|(message, user)| Request::Post { message, user })
+            .boxed(),
+        Just(Request::ProcessAll).boxed(),
+        Just(Request::RefreshLets).boxed(),
+        text().prop_map(|terms| Request::Query { terms }).boxed(),
+        oid().prop_map(|oid| Request::Show { oid }).boxed(),
+        (oid(), text())
+            .prop_map(|(oid, prop)| Request::WorkLeft { oid, prop })
+            .boxed(),
+        text().prop_map(|prop| Request::Summary { prop }).boxed(),
+        (text(), oid())
+            .prop_map(|(name, root)| Request::Snapshot { name, root })
+            .boxed(),
+        Just(Request::ListSnapshots).boxed(),
+        text().prop_map(|view| Request::Freeze { view }).boxed(),
+        text().prop_map(|view| Request::Thaw { view }).boxed(),
+        (text(), any::<u64>())
+            .prop_map(|(dir, every)| Request::EnableJournal { dir, every })
+            .boxed(),
+        Just(Request::Checkpoint).boxed(),
+        (text(), any::<u64>())
+            .prop_map(|(dir, every)| Request::Recover { dir, every })
+            .boxed(),
+        text()
+            .prop_map(|path| Request::SaveProject { path })
+            .boxed(),
+        text()
+            .prop_map(|path| Request::LoadProject { path })
+            .boxed(),
+        Just(Request::Dump).boxed(),
+        Just(Request::Dot).boxed(),
+        Just(Request::Audit).boxed(),
+        Just(Request::Stat).boxed(),
+    ]
+}
+
+fn opt_text() -> impl Strategy<Value = Option<String>> {
+    proptest::option::of(text())
+}
+
+fn api_error() -> impl Strategy<Value = ApiError> {
+    prop_oneof![
+        (any::<u16>(), text(), text())
+            .prop_map(|(at, found, expected)| ApiError::Parse {
+                at: u64::from(at),
+                found,
+                expected
+            })
+            .boxed(),
+        (any::<u16>(), text())
+            .prop_map(|(at, found)| ApiError::UnknownCommand {
+                at: u64::from(at),
+                found
+            })
+            .boxed(),
+        Just(ApiError::NoProject).boxed(),
+        oid().prop_map(|oid| ApiError::UnknownOid { oid }).boxed(),
+        oid().prop_map(|oid| ApiError::DuplicateOid { oid }).boxed(),
+        (oid(), opt_text())
+            .prop_map(|(oid, holder)| ApiError::CheckoutConflict { oid, holder })
+            .boxed(),
+        text()
+            .prop_map(|view| ApiError::FrozenView { view })
+            .boxed(),
+        text()
+            .prop_map(|detail| ApiError::Policy { detail })
+            .boxed(),
+        proptest::collection::vec(text(), 0..3)
+            .prop_map(|issues| ApiError::InvalidBlueprint { issues })
+            .boxed(),
+        text()
+            .prop_map(|message| ApiError::BlueprintSyntax { message })
+            .boxed(),
+        any::<u64>()
+            .prop_map(|processed| ApiError::Runaway { processed })
+            .boxed(),
+        text()
+            .prop_map(|reason| ApiError::Journal { reason })
+            .boxed(),
+        text().prop_map(|reason| ApiError::Meta { reason }).boxed(),
+        text().prop_map(|reason| ApiError::Io { reason }).boxed(),
+    ]
+}
+
+fn response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Ok).boxed(),
+        text().prop_map(|name| Response::Blueprint { name }).boxed(),
+        oid().prop_map(|oid| Response::Created { oid }).boxed(),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
+            .prop_map(
+                |(events, deliveries, scripts, emitted)| Response::Processed {
+                    events,
+                    deliveries,
+                    scripts,
+                    emitted
+                }
+            )
+            .boxed(),
+        any::<u64>()
+            .prop_map(|written| Response::Refreshed { written })
+            .boxed(),
+        (oid(), proptest::collection::vec((text(), value()), 0..4))
+            .prop_map(|(oid, props)| Response::Props { oid, props })
+            .boxed(),
+        proptest::collection::vec(oid(), 0..4)
+            .prop_map(|oids| Response::Hits { oids })
+            .boxed(),
+        (
+            oid(),
+            proptest::collection::vec(
+                (oid(), text(), proptest::option::of(value()))
+                    .prop_map(|(oid, prop, current)| WorkLeftItem { oid, prop, current }),
+                0..4
+            )
+        )
+            .prop_map(|(target, items)| Response::Work { target, items })
+            .boxed(),
+        proptest::collection::vec(
+            (text(), any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
+                |(view, total, satisfied, untracked)| SummaryRow {
+                    view,
+                    total: u64::from(total),
+                    satisfied: u64::from(satisfied),
+                    untracked: u64::from(untracked),
+                }
+            ),
+            0..4
+        )
+        .prop_map(|rows| Response::ViewSummary { rows })
+        .boxed(),
+        (text(), any::<u64>())
+            .prop_map(|(name, oids)| Response::Snapped { name, oids })
+            .boxed(),
+        proptest::collection::vec(
+            (text(), any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
+                |(name, oids, links, dangling)| SnapshotInfo {
+                    name,
+                    oids: u64::from(oids),
+                    links: u64::from(links),
+                    dangling: u64::from(dangling),
+                }
+            ),
+            0..3
+        )
+        .prop_map(|entries| Response::SnapshotList { entries })
+        .boxed(),
+        any::<u64>()
+            .prop_map(|epoch| Response::Epoch { epoch })
+            .boxed(),
+        (
+            any::<u64>(),
+            any::<u32>(),
+            any::<u32>(),
+            opt_text(),
+            any::<bool>()
+        )
+            .prop_map(
+                |(epoch, snapshot_oids, replayed_ops, torn_tail, stale_journal)| {
+                    Response::Recovered {
+                        epoch,
+                        snapshot_oids: u64::from(snapshot_oids),
+                        replayed_ops: u64::from(replayed_ops),
+                        torn_tail,
+                        stale_journal,
+                    }
+                }
+            )
+            .boxed(),
+        any::<u64>()
+            .prop_map(|oids| Response::Loaded { oids })
+            .boxed(),
+        text().prop_map(|text| Response::Text { text }).boxed(),
+        proptest::collection::vec(any::<u64>(), 9..10)
+            .prop_map(|ns| Response::Audit {
+                counters: AuditCounters {
+                    deliveries: ns[0],
+                    assignments: ns[1],
+                    reevaluations: ns[2],
+                    scripts: ns[3],
+                    posts: ns[4],
+                    propagations: ns[5],
+                    cycle_skips: ns[6],
+                    depth_truncations: ns[7],
+                    templates: ns[8],
+                },
+            })
+            .boxed(),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            proptest::option::of(any::<u32>()),
+            proptest::option::of(any::<u32>())
+        )
+            .prop_map(|(oids, links, pending, epoch, records)| Response::Stat {
+                stat: ServerStat {
+                    oids: u64::from(oids),
+                    links: u64::from(links),
+                    pending_events: u64::from(pending),
+                    journal_epoch: epoch.map(u64::from),
+                    journal_records: records.map(u64::from),
+                },
+            })
+            .boxed(),
+        api_error().prop_map(Response::Error).boxed(),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn request_roundtrips_byte_identically(req in request()) {
+        let line = req.encode();
+        prop_assert!(
+            !line.contains('\n'),
+            "encoding must be line-framed: {line:?}"
+        );
+        let back = match Request::decode(&line) {
+            Ok(back) => back,
+            Err(e) => return Err(proptest::test_runner::TestCaseError::fail(
+                format!("decode of `{line}` failed: {e} (from {req:?})"),
+            )),
+        };
+        prop_assert_eq!(&back, &req, "value roundtrip of `{}`", line);
+        prop_assert_eq!(back.encode(), line, "encoding is a fixed point");
+    }
+
+    #[test]
+    fn response_roundtrips_byte_identically(resp in response()) {
+        let line = resp.encode();
+        prop_assert!(
+            !line.contains('\n'),
+            "encoding must be line-framed: {line:?}"
+        );
+        let back = match Response::decode(&line) {
+            Ok(back) => back,
+            Err(e) => return Err(proptest::test_runner::TestCaseError::fail(
+                format!("decode of `{line}` failed: {e} (from {resp:?})"),
+            )),
+        };
+        prop_assert_eq!(&back, &resp, "value roundtrip of `{}`", line);
+        prop_assert_eq!(back.encode(), line, "encoding is a fixed point");
+    }
+}

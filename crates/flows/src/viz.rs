@@ -15,11 +15,9 @@
 use std::fmt::Write;
 
 use blueprint_core::lang::ast::{Blueprint, LinkSource};
-use damocles_meta::{LinkClass, MetaDb, Value};
+use damocles_meta::MetaDb;
 
-fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
+use damocles_meta::dump::dot_escape as escape;
 
 /// Renders the BluePrint's view/link structure (the Fig. 5 representation)
 /// as a DOT digraph.
@@ -87,54 +85,12 @@ pub fn blueprint_to_dot(bp: &Blueprint) -> String {
 /// Renders the live design state as a DOT digraph: one node per OID,
 /// coloured green/red/grey by the truthiness (or absence) of `state_prop`,
 /// one edge per link (use links dashed).
+///
+/// The renderer lives in [`damocles_meta::dump::to_dot`] so the command
+/// protocol's `Dot` request can serve it without depending on this crate;
+/// this re-export keeps the historical call site.
 pub fn db_to_dot(db: &MetaDb, state_prop: &str) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "digraph design_state {{");
-    let _ = writeln!(out, "  rankdir=TB;");
-    let _ = writeln!(
-        out,
-        "  node [shape=box, style=filled, fontname=\"monospace\"];"
-    );
-    for (_, entry) in db.iter_oids() {
-        let color = match entry.props.get(state_prop) {
-            Some(v) if v.is_truthy() => "palegreen",
-            Some(_) => "lightcoral",
-            None => "lightgrey",
-        };
-        let state = entry
-            .props
-            .get(state_prop)
-            .map(Value::as_atom)
-            .unwrap_or_else(|| "untracked".to_string());
-        let _ = writeln!(
-            out,
-            "  \"{}\" [label=\"{}\\n{}={}\", fillcolor={}];",
-            escape(&entry.oid.to_string()),
-            escape(&entry.oid.to_string()),
-            escape(state_prop),
-            escape(&state),
-            color
-        );
-    }
-    for (_, link) in db.iter_links() {
-        let (Ok(from), Ok(to)) = (db.oid(link.from), db.oid(link.to)) else {
-            continue;
-        };
-        let style = match link.class {
-            LinkClass::Use => "dashed",
-            LinkClass::Derive => "solid",
-        };
-        let _ = writeln!(
-            out,
-            "  \"{}\" -> \"{}\" [label=\"{}\", style={}];",
-            escape(&from.to_string()),
-            escape(&to.to_string()),
-            escape(link.kind.as_keyword()),
-            style
-        );
-    }
-    out.push_str("}\n");
-    out
+    damocles_meta::dump::to_dot(db, state_prop)
 }
 
 #[cfg(test)]
@@ -142,6 +98,7 @@ mod tests {
     use super::*;
     use crate::edtc::edtc_blueprint;
     use blueprint_core::engine::server::ProjectServer;
+    use damocles_meta::Value;
 
     #[test]
     fn blueprint_dot_contains_views_and_events() {

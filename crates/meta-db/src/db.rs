@@ -459,15 +459,6 @@ impl MetaDb {
         self.links.get(id).ok_or(MetaError::StaleLink { link: id })
     }
 
-    /// Mutable access to a stored link (to edit its annotation or TYPE; the
-    /// PROPAGATE set is edited through [`MetaDb::allow_event`] so its bitset
-    /// form stays synchronized).
-    pub fn link_mut(&mut self, id: LinkId) -> Result<&mut Link, MetaError> {
-        self.links
-            .get_mut(id)
-            .ok_or(MetaError::StaleLink { link: id })
-    }
-
     /// Adds `event` to a link's PROPAGATE set (both the string form and the
     /// interned bitset form). Returns whether the event was newly added.
     pub fn allow_event(&mut self, id: LinkId, event: &str) -> Result<bool, MetaError> {
@@ -491,9 +482,9 @@ impl MetaDb {
     }
 
     /// Sets a property on a link's free-form annotation, returning the
-    /// previous value. The journaled counterpart of
-    /// `db.link_mut(id)?.props.set(..)` — prefer this form so an attached
-    /// journal observes the write.
+    /// previous value. The only write path to link annotations — there is
+    /// deliberately no `&mut Link` accessor, so an attached journal
+    /// observes every annotation write.
     pub fn set_link_prop(
         &mut self,
         id: LinkId,
@@ -712,9 +703,10 @@ impl MetaDb {
     /// it: the op buffer is cleared and link tags are re-assigned — done by
     /// checkpointing code right after writing a fresh snapshot.
     ///
-    /// Caveat: writes that bypass the mutator API (direct edits through
-    /// [`MetaDb::link_mut`]) are invisible to the journal; use
-    /// [`MetaDb::set_link_prop`] / [`MetaDb::allow_event`] instead.
+    /// Every link write routes through the mutator API
+    /// ([`MetaDb::set_link_prop`] / [`MetaDb::allow_event`] / …; there is
+    /// no raw `&mut Link` accessor), so no annotation write can bypass the
+    /// op log.
     pub fn attach_journal(&mut self) {
         let mut recorder = JournalRecorder::default();
         for id in self.links_in_image_order() {
@@ -745,6 +737,17 @@ impl MetaDb {
     /// Number of buffered (undrained) journal ops.
     pub fn journal_backlog(&self) -> usize {
         self.journal.as_ref().map_or(0, JournalRecorder::backlog)
+    }
+
+    /// Appends a caller-supplied op (e.g. a server-level
+    /// [`JournalOp::Data`] payload record) to the journal buffer, keeping
+    /// it ordered relative to the database mutations around it — essential
+    /// under group commit, where many operations' ops drain in one batch.
+    /// No-op when no journal is attached.
+    pub fn record_extra(&mut self, op: JournalOp) {
+        if let Some(j) = self.journal.as_mut() {
+            j.record(op);
+        }
     }
 
     /// Live links in *image order*: sorted by `(from, to)` triplets with

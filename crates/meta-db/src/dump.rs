@@ -8,6 +8,7 @@ use std::fmt::Write;
 
 use crate::db::MetaDb;
 use crate::link::LinkClass;
+use crate::property::Value;
 
 /// Renders every live OID (sorted by triplet) with its properties, followed
 /// by every live link (sorted by endpoint triplets).
@@ -77,6 +78,68 @@ pub fn diff(a: &MetaDb, b: &MetaDb) -> (Vec<String>, Vec<String>) {
         set_a.difference(&set_b).map(|s| s.to_string()).collect(),
         set_b.difference(&set_a).map(|s| s.to_string()).collect(),
     )
+}
+
+/// Escapes a string for a double-quoted Graphviz DOT identifier — the
+/// one DOT quoting rule shared by every renderer (this module's
+/// [`to_dot`] and `damocles_flows::viz::blueprint_to_dot`).
+pub fn dot_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the live design state as a Graphviz DOT digraph: one node per
+/// OID, coloured green/red/grey by the truthiness (or absence) of
+/// `state_prop`, one edge per link (use links dashed). Served by the
+/// command protocol's `Dot` request; `damocles_flows::viz::db_to_dot`
+/// re-exports it.
+pub fn to_dot(db: &MetaDb, state_prop: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph design_state {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(
+        out,
+        "  node [shape=box, style=filled, fontname=\"monospace\"];"
+    );
+    for (_, entry) in db.iter_oids() {
+        let color = match entry.props.get(state_prop) {
+            Some(v) if v.is_truthy() => "palegreen",
+            Some(_) => "lightcoral",
+            None => "lightgrey",
+        };
+        let state = entry
+            .props
+            .get(state_prop)
+            .map(Value::as_atom)
+            .unwrap_or_else(|| "untracked".to_string());
+        let _ = writeln!(
+            out,
+            "  \"{}\" [label=\"{}\\n{}={}\", fillcolor={}];",
+            dot_escape(&entry.oid.to_string()),
+            dot_escape(&entry.oid.to_string()),
+            dot_escape(state_prop),
+            dot_escape(&state),
+            color
+        );
+    }
+    for (_, link) in db.iter_links() {
+        let (Ok(from), Ok(to)) = (db.oid(link.from), db.oid(link.to)) else {
+            continue;
+        };
+        let style = match link.class {
+            LinkClass::Use => "dashed",
+            LinkClass::Derive => "solid",
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [label=\"{}\", style={}];",
+            dot_escape(&from.to_string()),
+            dot_escape(&to.to_string()),
+            dot_escape(link.kind.as_keyword()),
+            style
+        );
+    }
+    out.push_str("}\n");
+    out
 }
 
 #[cfg(test)]

@@ -84,6 +84,21 @@ pub enum MetaError {
     },
 }
 
+impl MetaError {
+    /// A compact reason suitable for embedding in another diagnostic
+    /// (positioned parse errors quote it after the expectation): parse
+    /// variants yield just their reason, everything else the full
+    /// rendering.
+    pub fn short_reason(&self) -> String {
+        match self {
+            MetaError::OidParse { reason, .. } | MetaError::WireParse { reason, .. } => {
+                reason.clone()
+            }
+            other => other.to_string(),
+        }
+    }
+}
+
 impl fmt::Display for MetaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -75,5 +75,5 @@ pub use oid::{BlockName, Oid, ViewType};
 pub use property::{PropertyMap, Value};
 pub use query::{ProjectQuery, StateSummary, WorkItem};
 pub use version::VersionHistory;
-pub use wire::EventMessage;
+pub use wire::{EventMessage, WireDiag, WordCursor};
 pub use workspace::{CheckoutState, DesignDatum, Workspace};

@@ -36,7 +36,10 @@ use crate::property::Value;
 
 const HEADER: &str = "damocles-db v1";
 
-pub(crate) fn escape(s: &str) -> String {
+/// Percent-escapes whitespace, `%` and newlines so `s` survives as one
+/// whitespace-delimited word of a line-oriented encoding. Shared by the
+/// snapshot image, the journal and the command-protocol codec.
+pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -51,7 +54,12 @@ pub(crate) fn escape(s: &str) -> String {
     out
 }
 
-pub(crate) fn unescape(s: &str) -> Result<String, String> {
+/// Inverse of [`escape`].
+///
+/// # Errors
+///
+/// A human-readable reason on a truncated or malformed escape.
+pub fn unescape(s: &str) -> Result<String, String> {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {
@@ -69,7 +77,7 @@ pub(crate) fn unescape(s: &str) -> Result<String, String> {
 }
 
 /// Lower-hex encoding of an opaque payload, one pre-sized allocation.
-pub(crate) fn encode_hex(bytes: &[u8]) -> String {
+pub fn encode_hex(bytes: &[u8]) -> String {
     use std::fmt::Write as _;
     let mut out = String::with_capacity(bytes.len() * 2);
     for b in bytes {
@@ -79,7 +87,11 @@ pub(crate) fn encode_hex(bytes: &[u8]) -> String {
 }
 
 /// Inverse of [`encode_hex`].
-pub(crate) fn decode_hex(hex: &str) -> Result<Vec<u8>, String> {
+///
+/// # Errors
+///
+/// A human-readable reason on odd length or non-hex digits.
+pub fn decode_hex(hex: &str) -> Result<Vec<u8>, String> {
     if !hex.len().is_multiple_of(2) {
         return Err("odd hex length".to_string());
     }
@@ -89,7 +101,9 @@ pub(crate) fn decode_hex(hex: &str) -> Result<Vec<u8>, String> {
         .collect()
 }
 
-pub(crate) fn encode_value(v: &Value) -> String {
+/// Renders a typed [`Value`] as one word (`b:`/`i:`/`s:` tag + escaped
+/// body) — the value encoding every line format of this crate shares.
+pub fn encode_value(v: &Value) -> String {
     match v {
         Value::Bool(b) => format!("b:{b}"),
         Value::Int(n) => format!("i:{n}"),
@@ -97,7 +111,12 @@ pub(crate) fn encode_value(v: &Value) -> String {
     }
 }
 
-pub(crate) fn decode_value(s: &str) -> Result<Value, String> {
+/// Inverse of [`encode_value`].
+///
+/// # Errors
+///
+/// A human-readable reason on a missing tag or malformed body.
+pub fn decode_value(s: &str) -> Result<Value, String> {
     let (tag, body) = s.split_once(':').ok_or("value missing type tag")?;
     match tag {
         "b" => body
@@ -322,7 +341,7 @@ mod tests {
                 ["outofdate", "nl sim"],
             )
             .unwrap();
-        db.link_mut(l).unwrap().props.set("weight", Value::Int(3));
+        db.set_link_prop(l, "weight", Value::Int(3)).unwrap();
         db
     }
 

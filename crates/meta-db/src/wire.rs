@@ -72,6 +72,134 @@ impl EventMessage {
     }
 }
 
+/// A structured wire-parse diagnostic: the byte offset of the offending
+/// token in the input line, the token found there, and what the grammar
+/// expected instead.
+///
+/// Produced by [`EventMessage::parse_wire`]; the API layer surfaces it as
+/// `ApiError::Parse` so wrapper programs get a machine-readable position
+/// rather than a bare reason string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireDiag {
+    /// Byte offset of the offending token in the input line.
+    pub at: usize,
+    /// The token found at `at` (`"end of line"` when input ran out).
+    pub found: String,
+    /// What the grammar expected at `at`.
+    pub expected: String,
+}
+
+impl WireDiag {
+    fn new(at: usize, found: &str, expected: impl Into<String>) -> Self {
+        WireDiag {
+            at,
+            found: if found.is_empty() {
+                "end of line".to_string()
+            } else {
+                found.to_string()
+            },
+            expected: expected.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireDiag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "at byte {}: expected {}, found `{}`",
+            self.at, self.expected, self.found
+        )
+    }
+}
+
+/// A whitespace word scanner that remembers byte offsets — the one
+/// positional tokenizer behind the wire parser, the command-protocol
+/// codec and the shell grammar, so diagnostics from every surface agree
+/// on where a token starts.
+///
+/// Words are delimited by **exactly** the separator set
+/// [`crate::persist::escape`] escapes (space, tab, CR, LF) — not full
+/// Unicode whitespace. The invariant matters: an escaped string must
+/// survive as one word, so any character the escaper passes through
+/// (U+000B, U+00A0, U+2028, …) must not split words here.
+#[derive(Debug, Clone)]
+pub struct WordCursor<'a> {
+    line: &'a str,
+    pos: usize,
+}
+
+/// The codec's word separators — kept equal to the set
+/// [`crate::persist::escape`] percent-escapes.
+fn is_separator(c: char) -> bool {
+    matches!(c, ' ' | '\t' | '\r' | '\n')
+}
+
+impl<'a> WordCursor<'a> {
+    /// A cursor at the start of `line`.
+    pub fn new(line: &'a str) -> Self {
+        WordCursor { line, pos: 0 }
+    }
+
+    /// The scanned line.
+    pub fn line(&self) -> &'a str {
+        self.line
+    }
+
+    /// The current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Moves the cursor to `pos` (must be a char boundary) — for callers
+    /// that consume non-word syntax (quoted arguments) themselves.
+    pub fn seek(&mut self, pos: usize) {
+        self.pos = pos.min(self.line.len());
+    }
+
+    /// Advances past separators and returns the new offset.
+    pub fn skip_ws(&mut self) -> usize {
+        let rest = &self.line[self.pos..];
+        let off = rest
+            .char_indices()
+            .find(|&(_, c)| !is_separator(c))
+            .map_or(rest.len(), |(i, _)| i);
+        self.pos += off;
+        self.pos
+    }
+
+    /// The next word and its offset, without consuming it; `None` at end
+    /// of line. Leaves the cursor at the word's start.
+    pub fn peek_word(&mut self) -> Option<(usize, &'a str)> {
+        self.skip_ws();
+        if self.pos >= self.line.len() {
+            return None;
+        }
+        let rest = &self.line[self.pos..];
+        let end = rest
+            .char_indices()
+            .find(|&(_, c)| is_separator(c))
+            .map_or(rest.len(), |(i, _)| i);
+        Some((self.pos, &rest[..end]))
+    }
+
+    /// The next word and its offset, consumed; `None` at end of line.
+    pub fn next_word(&mut self) -> Option<(usize, &'a str)> {
+        let (at, word) = self.peek_word()?;
+        self.pos = at + word.len();
+        Some((at, word))
+    }
+
+    /// The unconsumed remainder (leading and trailing separators
+    /// trimmed), consuming the line.
+    pub fn rest(&mut self) -> &'a str {
+        self.skip_ws();
+        let rest = self.line[self.pos..].trim_end_matches(is_separator);
+        self.pos = self.line.len();
+        rest
+    }
+}
+
 impl fmt::Display for EventMessage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -86,46 +214,54 @@ impl fmt::Display for EventMessage {
     }
 }
 
-impl FromStr for EventMessage {
-    type Err = MetaError;
-
-    fn from_str(line: &str) -> Result<Self, Self::Err> {
-        let parse_err = |reason: &str| MetaError::WireParse {
-            reason: reason.to_string(),
-            input: line.to_string(),
-        };
-        let mut rest = line.trim();
-        if let Some(stripped) = rest.strip_prefix("postEvent") {
-            rest = stripped.trim_start();
-        } else {
-            return Err(parse_err("missing `postEvent` keyword"));
+impl EventMessage {
+    /// Parses a `postEvent` wire line, reporting failures as a structured
+    /// [`WireDiag`] carrying the byte offset of the offending token.
+    ///
+    /// [`EventMessage::from_str`] wraps this, folding the diagnostic into
+    /// [`MetaError::WireParse`] for callers that only need the rendering.
+    ///
+    /// # Errors
+    ///
+    /// A [`WireDiag`] naming the position, the found token and the
+    /// expected grammar element.
+    pub fn parse_wire(line: &str) -> Result<Self, WireDiag> {
+        let mut cursor = WordCursor::new(line);
+        fn word_or_eol<'l>(c: &mut WordCursor<'l>) -> (usize, &'l str) {
+            c.next_word().unwrap_or((c.pos(), ""))
         }
-        let mut words = rest.splitn(3, char::is_whitespace);
-        let event = words
-            .next()
-            .filter(|w| !w.is_empty())
-            .ok_or_else(|| parse_err("missing event name"))?;
-        let dir_word = words.next().ok_or_else(|| parse_err("missing direction"))?;
-        let direction: Direction = dir_word.parse().map_err(|e: String| parse_err(&e))?;
-        let tail = words
-            .next()
-            .ok_or_else(|| parse_err("missing target OID"))?;
-        let tail = tail.trim_start();
-        // Target is the first whitespace-delimited word; arguments follow as
-        // a sequence of double-quoted strings.
-        let (target_word, mut arg_tail) = match tail.find(char::is_whitespace) {
-            Some(pos) => (&tail[..pos], tail[pos..].trim_start()),
-            None => (tail, ""),
-        };
-        let target: Oid = target_word.parse()?;
+        let (at, keyword) = word_or_eol(&mut cursor);
+        if keyword != "postEvent" {
+            return Err(WireDiag::new(at, keyword, "the `postEvent` keyword"));
+        }
+        let (at, event) = word_or_eol(&mut cursor);
+        if event.is_empty() {
+            return Err(WireDiag::new(at, event, "an event name"));
+        }
+        let (at, dir_word) = word_or_eol(&mut cursor);
+        let direction: Direction = dir_word
+            .parse()
+            .map_err(|_: String| WireDiag::new(at, dir_word, "a direction (`up` or `down`)"))?;
+        let (at, target_word) = word_or_eol(&mut cursor);
+        let target: Oid = target_word.parse().map_err(|e: MetaError| {
+            WireDiag::new(
+                at,
+                target_word,
+                format!("a target OID `block,view,version` ({})", e.short_reason()),
+            )
+        })?;
+        // Arguments follow as a sequence of double-quoted strings.
         let mut args = Vec::new();
-        while !arg_tail.is_empty() {
-            let stripped = arg_tail
-                .strip_prefix('"')
-                .ok_or_else(|| parse_err("arguments must be double-quoted"))?;
+        let mut pos = cursor.skip_ws();
+        while pos < line.len() {
+            if !line[pos..].starts_with('"') {
+                let (_, word) = cursor.peek_word().unwrap_or((pos, ""));
+                return Err(WireDiag::new(pos, word, "a double-quoted argument"));
+            }
+            let body = &line[pos + 1..];
             let mut value = String::new();
-            let mut chars = stripped.char_indices();
-            let mut end = None;
+            let mut chars = body.char_indices();
+            let mut close = None;
             while let Some((i, c)) = chars.next() {
                 match c {
                     '\\' => {
@@ -134,21 +270,39 @@ impl FromStr for EventMessage {
                         }
                     }
                     '"' => {
-                        end = Some(i);
+                        close = Some(i);
                         break;
                     }
                     other => value.push(other),
                 }
             }
-            let end = end.ok_or_else(|| parse_err("unterminated quoted argument"))?;
+            let Some(close) = close else {
+                return Err(WireDiag::new(
+                    pos,
+                    &line[pos..],
+                    "a closing `\"` for this argument",
+                ));
+            };
             args.push(value);
-            arg_tail = stripped[end + 1..].trim_start();
+            cursor.seek(pos + 1 + close + 1);
+            pos = cursor.skip_ws();
         }
         Ok(EventMessage {
             event: event.to_string(),
             direction,
             target,
             args,
+        })
+    }
+}
+
+impl FromStr for EventMessage {
+    type Err = MetaError;
+
+    fn from_str(line: &str) -> Result<Self, Self::Err> {
+        EventMessage::parse_wire(line).map_err(|d| MetaError::WireParse {
+            reason: d.to_string(),
+            input: line.to_string(),
         })
     }
 }
@@ -198,6 +352,33 @@ mod tests {
             .with_arg("logic sim passed");
         let parsed: EventMessage = original.to_string().parse().unwrap();
         assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn diagnostics_carry_position_and_expectation() {
+        let d = EventMessage::parse_wire("postEvent ckin sideways reg,v,1").unwrap_err();
+        assert_eq!(d.at, 15);
+        assert_eq!(d.found, "sideways");
+        assert!(d.expected.contains("direction"));
+
+        let d = EventMessage::parse_wire("postEvent ckin up").unwrap_err();
+        assert_eq!(d.found, "end of line");
+        assert!(d.expected.contains("target OID"));
+
+        let d = EventMessage::parse_wire("postEvent ckin up reg,v,1 bare").unwrap_err();
+        assert_eq!(d.at, 26);
+        assert_eq!(d.found, "bare");
+        assert!(d.expected.contains("double-quoted"));
+
+        let d = EventMessage::parse_wire(r#"postEvent ckin up reg,v,1 "open"#).unwrap_err();
+        assert_eq!(d.at, 26);
+        assert!(d.expected.contains("closing"));
+
+        // The MetaError rendering keeps both the position and the input.
+        let e = r#"notpost ckin up reg,v,1"#.parse::<EventMessage>().unwrap_err();
+        let s = e.to_string();
+        assert!(s.contains("at byte 0"), "{s}");
+        assert!(s.contains("postEvent"), "{s}");
     }
 
     #[test]

@@ -278,4 +278,55 @@ proptest! {
         prop_assert_eq!(recovered.report.replayed_ops, 0);
         prop_assert_eq!(persist::save(&recovered.db), persist::save(&db));
     }
+
+    /// Group commit (ISSUE 3): ops land in multi-record batches with one
+    /// sync per batch. A crash before a batch's first byte reaches the
+    /// file must recover the exact image of the previous batch boundary
+    /// (no torn tail); a crash inside the batch's write still recovers a
+    /// valid record prefix extending that boundary.
+    #[test]
+    fn group_committed_batches_recover_at_batch_boundaries(
+        batches in proptest::collection::vec(cmds(), 1..4)
+    ) {
+        let mut db = MetaDb::new();
+        db.attach_journal();
+        let epoch = 2;
+        let snapshot = journal::write_snapshot(&MetaDb::new(), &Workspace::new("w"), epoch);
+        let mut bytes = encode_header(epoch).into_bytes();
+        let mut seq = 0u64;
+        // Byte length of the journal and the database image at each
+        // flushed batch boundary.
+        let mut boundary_images = vec![(bytes.len(), persist::save(&MetaDb::new()))];
+        for (i, batch) in batches.iter().enumerate() {
+            apply_cmds(&mut db, batch, i as u32 * 7);
+            for op in db.drain_journal_ops() {
+                bytes.extend_from_slice(encode_record(seq, &op).as_bytes());
+                seq += 1;
+            }
+            boundary_images.push((bytes.len(), persist::save(&db)));
+        }
+
+        for (cut, image) in &boundary_images {
+            // Crash between batch execution and the batched fsync: the
+            // file simply ends at the previous boundary.
+            let recovered = journal::recover(&snapshot, &bytes[..*cut])
+                .expect("batch boundary recovers");
+            prop_assert!(recovered.report.torn_tail.is_none());
+            prop_assert_eq!(&persist::save(&recovered.db), image);
+        }
+        // Crash mid-way through writing the final batch: a valid record
+        // prefix that extends the second-to-last boundary.
+        let (last_boundary, _) = boundary_images[boundary_images.len() - 1];
+        let (prev_boundary, _) = boundary_images[boundary_images.len() - 2];
+        if last_boundary > prev_boundary {
+            let cut = prev_boundary + (last_boundary - prev_boundary) / 2;
+            let recovered = journal::recover(&snapshot, &bytes[..cut])
+                .expect("mid-batch truncation recovers");
+            let tail = journal::parse_journal(&bytes).expect("full journal parses");
+            let (prefix_db, _ws) =
+                journal::replay_ops(&tail.ops[..recovered.report.replayed_ops])
+                    .expect("prefix replays");
+            prop_assert_eq!(persist::save(&recovered.db), persist::save(&prefix_db));
+        }
+    }
 }

@@ -28,9 +28,11 @@
 
 pub mod design_data;
 pub mod fault;
+pub mod remote;
 pub mod tool;
 pub mod tools;
 
 pub use fault::FaultPlan;
+pub use remote::RemoteWrapper;
 pub use tool::{Requirement, Tool, ToolExecutor, ToolRun};
 pub use tools::{Drc, LayoutGen, Lvs, Netlister, Simulator, Synthesizer};

@@ -1,0 +1,122 @@
+//! The networked wrapper side of the command protocol.
+//!
+//! "The wrapper programs emit event messages over the network" (§3.1) —
+//! this module is that emitter. A [`RemoteWrapper`] holds one line-framed
+//! TCP connection to a `damocles_server` front door and speaks the typed
+//! [`Request`]/[`Response`] codec: encode a request, write one line, read
+//! one line, decode the response. Everything a tool chain needs — post a
+//! result event, trigger a drain, query state — without linking the
+//! engine into the tool process, exactly the paper's process split.
+
+use std::io::{self, BufRead, BufReader, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use blueprint_core::engine::api::{ApiError, Request, Response};
+use damocles_meta::EventMessage;
+
+/// Renders the protocol line a wrapper sends to post `message` as `user` —
+/// pure, so tools can also queue lines into files or tests without a
+/// socket.
+pub fn encode_post(message: &EventMessage, user: &str) -> String {
+    Request::Post {
+        message: message.clone(),
+        user: user.to_string(),
+    }
+    .encode()
+}
+
+/// One wrapper program's session with a networked project server.
+#[derive(Debug)]
+pub struct RemoteWrapper {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    user: String,
+}
+
+impl RemoteWrapper {
+    /// Connects to a `damocles_server` listener; `user` tags every posted
+    /// event (the wrapper's identity, e.g. `"sim-wrapper"`).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: impl ToSocketAddrs, user: impl Into<String>) -> io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(RemoteWrapper {
+            writer,
+            reader,
+            user: user.into(),
+        })
+    }
+
+    /// The identity events are posted under.
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// Sends one request and reads its response line.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a closed connection (`UnexpectedEof`). Protocol
+    /// decode failures are folded into a [`Response::Error`], not an
+    /// `Err` — the transport worked, the payload did not.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        self.writer
+            .write_all(format!("{}\n", request.encode()).as_bytes())?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(Response::decode(line.trim_end()).unwrap_or_else(|e: ApiError| Response::Error(e)))
+    }
+
+    /// Posts one event message under this wrapper's user.
+    ///
+    /// # Errors
+    ///
+    /// As [`RemoteWrapper::request`].
+    pub fn post(&mut self, message: &EventMessage) -> io::Result<Response> {
+        let request = Request::Post {
+            message: message.clone(),
+            user: self.user.clone(),
+        };
+        self.request(&request)
+    }
+
+    /// Asks the server to drain its event queue.
+    ///
+    /// # Errors
+    ///
+    /// As [`RemoteWrapper::request`].
+    pub fn process_all(&mut self) -> io::Result<Response> {
+        self.request(&Request::ProcessAll)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use damocles_meta::{Direction, Oid};
+
+    #[test]
+    fn encode_post_roundtrips_through_the_codec() {
+        let message = EventMessage::new("hdl_sim", Direction::Up, Oid::new("reg", "verilog", 4))
+            .with_arg("logic sim passed");
+        let line = encode_post(&message, "sim-wrapper");
+        match Request::decode(&line).unwrap() {
+            Request::Post {
+                message: back,
+                user,
+            } => {
+                assert_eq!(back, message);
+                assert_eq!(user, "sim-wrapper");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -10,6 +10,11 @@
 //! incremental checkpoints, `checkpoint` folds the journal into a fresh
 //! snapshot on demand, and `recover <dir>` restores a project after a
 //! crash from `snapshot + journal tail` (see `damocles_meta::journal`).
+//!
+//! Every line routes through the typed command protocol
+//! (`blueprint_core::engine::api`): the shell parses it into a `Request`
+//! and renders the structured `Response`. The `damocles_server` binary
+//! serves the very same protocol over TCP for networked wrappers.
 
 use std::io::{BufRead, Write};
 

@@ -1,0 +1,134 @@
+//! `damocles_server` — the networked project-server front door.
+//!
+//! The paper's wrapper programs emit `postEvent` lines "over the network"
+//! (§3.1); this binary gives them an actual network to talk to. It loads
+//! a blueprint, spawns the single-engine command loop, and serves the
+//! typed command protocol over a minimal line-framed TCP socket: each
+//! connection is one session, each line one request, answered by exactly
+//! one response line in the `Request`/`Response` text codec. Bare
+//! `postEvent …` wire lines are accepted as sugar for `post`.
+//!
+//! ```console
+//! $ damocles_server edtc.bp --listen 127.0.0.1:7425 --journal ./dura --batch 32
+//! listening on 127.0.0.1:7425
+//! $ printf 'checkin CPU HDL_model yves 6d6f64756c65\nprocess\n' | nc 127.0.0.1 7425
+//! created CPU,HDL_model,1
+//! processed 1 2 0 0
+//! ```
+//!
+//! Requests from all connections are serialized onto the engine in
+//! arrival order and **group-committed**: up to `--batch` queued requests
+//! execute back-to-back, their journal ops land with one append+fsync,
+//! and only then are the replies written — so a reply in hand means the
+//! effect is durable, at a fraction of the per-request fsync cost.
+
+use std::net::TcpListener;
+
+use blueprint_core::engine::api::{Request, Response, DEFAULT_CHECKPOINT_EVERY};
+use blueprint_core::engine::service::{serve_listener, spawn_project_loop, ProjectService};
+
+const USAGE: &str = "usage: damocles_server <blueprint.bp> [--listen <addr>] \
+                     [--journal <dir>] [--every <ops>] [--batch <n>]";
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut blueprint_path: Option<String> = None;
+    let mut listen = "127.0.0.1:7425".to_string();
+    let mut journal_dir: Option<String> = None;
+    let mut every: u64 = DEFAULT_CHECKPOINT_EVERY;
+    let mut batch: usize = 32;
+
+    let value_of = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("error: {flag} needs a value\n{USAGE}");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = value_of(&mut args, "--listen"),
+            "--journal" => journal_dir = Some(value_of(&mut args, "--journal")),
+            "--every" => {
+                every = value_of(&mut args, "--every").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --every needs a number\n{USAGE}");
+                    std::process::exit(2);
+                })
+            }
+            "--batch" => {
+                batch = value_of(&mut args, "--batch").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --batch needs a number\n{USAGE}");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other if blueprint_path.is_none() => blueprint_path = Some(other.to_string()),
+            other => {
+                eprintln!("error: unexpected argument `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(blueprint_path) = blueprint_path else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let source = match std::fs::read_to_string(&blueprint_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {blueprint_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Drive setup through the same protocol the network speaks.
+    let mut service: ProjectService = ProjectService::new();
+    match service.call(Request::Init { source }) {
+        Response::Blueprint { name } => eprintln!("blueprint `{name}` initialized"),
+        Response::Error(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        other => {
+            eprintln!("error: unexpected init response {other:?}");
+            std::process::exit(2);
+        }
+    }
+    if let Some(dir) = journal_dir {
+        match service.call(Request::EnableJournal {
+            dir: dir.clone(),
+            every,
+        }) {
+            Response::Epoch { epoch } => {
+                eprintln!("journaling to {dir} (epoch {epoch}, checkpoint every {every} ops)");
+            }
+            Response::Error(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+            other => {
+                eprintln!("error: unexpected journal response {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let listener = match TcpListener::bind(&listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot bind {listen}: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "listening on {} (group-commit batch {batch})",
+        listener.local_addr().map_or(listen, |a| a.to_string())
+    );
+    let (handle, _join) = spawn_project_loop(service, batch);
+    if let Err(e) = serve_listener(listener, &handle) {
+        eprintln!("error: listener failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -5,7 +5,7 @@
 //!
 //! | command | effect |
 //! |---|---|
-//! | `init <file>` / `initsrc … endblueprint` | load a BluePrint (§3.2) |
+//! | `init <file>` | load a BluePrint (§3.2) |
 //! | `checkin <block> <view> <user> [payload…]` | promote design data |
 //! | `checkout <block> <view> <user>` | reserve a chain |
 //! | `connect <block,view,ver> <block,view,ver>` | relate two OIDs |
@@ -21,29 +21,29 @@
 //! | `checkpoint` | fold the journal into a fresh snapshot |
 //! | `recover <dir> [every]` | restore from snapshot + journal tail |
 //! | `freeze <view>` / `thaw <view>` | project policy: frozen views |
+//! | `stat` | server statistics |
 //! | `dot` | DOT dump of the live design state |
 //! | `audit` | engine counters |
 //! | `help` | this table |
 //!
-//! The shell is a thin, line-oriented wrapper over the public API, so
-//! everything it does is equally scriptable from Rust.
+//! The shell is a **thin adapter over the typed command protocol**
+//! ([`blueprint_core::engine::api`]): every line parses into a
+//! [`Request`], executes through a [`ProjectService`], and the structured
+//! [`Response`] is rendered back to text. The same requests travel the
+//! TCP front door (`damocles_server`) byte-identically, so anything the
+//! shell can do a networked wrapper can do.
 
-use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Default checkpoint fold interval for the `journal`/`recover` commands.
-const DEFAULT_CHECKPOINT_EVERY: u64 = 1024;
-
+use blueprint_core::engine::api::{ApiError, Cursor, Request, Response, DEFAULT_CHECKPOINT_EVERY};
 use blueprint_core::engine::server::ProjectServer;
-use blueprint_core::EngineError;
-use damocles_flows::{metrics, viz};
-use damocles_meta::qlang::Query;
-use damocles_meta::{Configuration, ConfigurationBuilder, Oid, SnapshotRule};
+use blueprint_core::engine::service::ProjectService;
+use damocles_flows::metrics;
+use damocles_meta::{EventMessage, Oid};
 
-/// A stateful command shell around a project server.
+/// A stateful command shell around a project service.
 pub struct Shell {
-    server: Option<ProjectServer>,
-    snapshots: BTreeMap<String, Configuration>,
+    service: ProjectService,
 }
 
 impl Default for Shell {
@@ -79,26 +79,49 @@ impl ShellOutput {
     }
 }
 
+/// Raw-word helpers over the protocol's positioned [`Cursor`]: the shell
+/// grammar shares the codec's tokenizer and diagnostics but takes words
+/// as raw user text — there is no escaping on a typed command line.
+fn word(c: &mut Cursor<'_>, what: &str) -> Result<String, ApiError> {
+    Ok(c.next_word(what)?.1.to_string())
+}
+
+fn oid_word(c: &mut Cursor<'_>, what: &str) -> Result<Oid, ApiError> {
+    c.parse_with(what, |w| w.parse::<Oid>().map_err(|e| e.short_reason()))
+}
+
+fn u64_or(c: &mut Cursor<'_>, what: &str, default: u64) -> Result<u64, ApiError> {
+    if c.at_end() {
+        return Ok(default);
+    }
+    c.parse_with(what, |w| {
+        w.parse::<u64>().map_err(|_| "not a number".to_string())
+    })
+}
+
 impl Shell {
     /// A shell with no BluePrint loaded yet.
     pub fn new() -> Self {
         Shell {
-            server: None,
-            snapshots: BTreeMap::new(),
+            service: ProjectService::new(),
         }
     }
 
     /// A shell pre-initialized with a server.
     pub fn with_server(server: ProjectServer) -> Self {
         Shell {
-            server: Some(server),
-            snapshots: BTreeMap::new(),
+            service: ProjectService::with_server(server),
         }
     }
 
     /// The server, if initialized.
     pub fn server(&self) -> Option<&ProjectServer> {
-        self.server.as_ref()
+        self.service.server()
+    }
+
+    /// The protocol service behind the shell.
+    pub fn service(&self) -> &ProjectService {
+        &self.service
     }
 
     /// Executes one command line.
@@ -107,8 +130,17 @@ impl Shell {
         if line.is_empty() || line.starts_with('#') {
             return ShellOutput::Silent;
         }
-        match self.dispatch(line) {
-            Ok(out) => out,
+        if line == "help" {
+            return ShellOutput::Text(HELP.trim().to_string());
+        }
+        // Parse line → Request (client side), execute → Response (the
+        // protocol boundary), render Response → text (client side again).
+        match parse_command(line) {
+            Ok(request) => {
+                let shown = presented(&request);
+                let response = self.service.call(request);
+                render(&shown, response)
+            }
             Err(e) => ShellOutput::Error(format!("error: {e}")),
         }
     }
@@ -121,321 +153,319 @@ impl Shell {
             .filter(|o| !matches!(o, ShellOutput::Silent))
             .collect()
     }
+}
 
-    fn dispatch(&mut self, line: &str) -> Result<ShellOutput, EngineError> {
-        let mut words = line.split_whitespace();
-        let command = words.next().expect("non-empty line");
-        match command {
-            "help" => Ok(ShellOutput::Text(HELP.trim().to_string())),
-            "init" => {
-                let path = words
-                    .next()
-                    .ok_or_else(|| invalid("init needs a file path"))?;
-                let source = std::fs::read_to_string(path)
-                    .map_err(|e| invalid(&format!("cannot read {path}: {e}")))?;
-                self.server = Some(ProjectServer::from_source(&source)?);
-                Ok(ShellOutput::Text(format!(
-                    "blueprint `{}` initialized",
-                    self.server.as_ref().expect("just set").blueprint().name
-                )))
-            }
-            "postEvent" => {
-                let server = self.need_server()?;
-                server.post_line(line, "shell")?;
-                Ok(ShellOutput::Text("queued".to_string()))
-            }
-            "checkin" => {
-                let server = self.need_server()?;
-                let (block, view, user) = three(&mut words, "checkin <block> <view> <user>")?;
-                let payload: String = words.collect::<Vec<_>>().join(" ");
-                let oid = server.checkin(&block, &view, &user, payload.into_bytes())?;
-                Ok(ShellOutput::Text(format!("created {oid} (ckin queued)")))
-            }
-            "checkout" => {
-                let server = self.need_server()?;
-                let (block, view, user) = three(&mut words, "checkout <block> <view> <user>")?;
-                server.checkout(&block, &view, &user)?;
-                Ok(ShellOutput::Text(format!(
-                    "{block}.{view} checked out by {user}"
-                )))
-            }
-            "connect" => {
-                let server = self.need_server()?;
-                let from = parse_oid(words.next(), "connect needs two OIDs")?;
-                let to = parse_oid(words.next(), "connect needs two OIDs")?;
-                server.connect_oids(&from, &to)?;
-                Ok(ShellOutput::Text(format!("linked {from} -> {to}")))
-            }
-            "process" => {
-                let server = self.need_server()?;
-                let report = server.process_all()?;
-                Ok(ShellOutput::Text(format!(
-                    "processed {} events ({} deliveries, {} scripts)",
-                    report.events, report.deliveries, report.scripts
-                )))
-            }
-            "show" => {
-                let server = self.need_server_ref()?;
-                let oid = parse_oid(words.next(), "show needs an OID")?;
-                let id = server.resolve(&oid)?;
-                let props = server.db().props(id).map_err(EngineError::Meta)?;
-                let mut out = format!("{oid}\n");
-                for (name, value) in props.iter() {
-                    let _ = writeln!(out, "  {name} = {value}");
-                }
-                Ok(ShellOutput::Text(out.trim_end().to_string()))
-            }
-            "query" => {
-                let server = self.need_server_ref()?;
-                let terms: String = words.collect::<Vec<_>>().join(" ");
-                let query: Query = terms.parse().map_err(EngineError::Meta)?;
-                let hits = query.run(server.db());
-                let mut out = format!("{} match(es)\n", hits.len());
-                for id in hits {
-                    let _ = writeln!(out, "  {}", server.db().oid(id).map_err(EngineError::Meta)?);
-                }
-                Ok(ShellOutput::Text(out.trim_end().to_string()))
-            }
-            "workleft" => {
-                let server = self.need_server_ref()?;
-                let oid = parse_oid(words.next(), "workleft needs an OID")?;
-                let prop = words
-                    .next()
-                    .ok_or_else(|| invalid("workleft needs a state property"))?;
-                let id = server.resolve(&oid)?;
-                let work = server
-                    .query()
-                    .work_remaining(id, prop)
-                    .map_err(EngineError::Meta)?;
-                let mut out = format!("{} item(s) blocking {oid}\n", work.len());
-                for item in work {
-                    let current = item
-                        .blocking
-                        .1
-                        .map(|v| v.as_atom())
-                        .unwrap_or_else(|| "<unset>".into());
-                    let _ = writeln!(out, "  {} ({} = {current})", item.oid, item.blocking.0);
-                }
-                Ok(ShellOutput::Text(out.trim_end().to_string()))
-            }
-            "summary" => {
-                let server = self.need_server_ref()?;
-                let prop = words
-                    .next()
-                    .ok_or_else(|| invalid("summary needs a property name"))?;
-                let rows: Vec<Vec<String>> = server
-                    .query()
-                    .summary(prop)
-                    .into_iter()
-                    .map(|s| {
-                        vec![
-                            s.view,
-                            s.total.to_string(),
-                            s.satisfied.to_string(),
-                            s.untracked.to_string(),
-                        ]
-                    })
-                    .collect();
-                Ok(ShellOutput::Text(
-                    metrics::table(&["view", "total", "satisfied", "untracked"], &rows)
-                        .trim_end()
-                        .to_string(),
-                ))
-            }
-            "snapshot" => {
-                let name = words
-                    .next()
-                    .ok_or_else(|| invalid("snapshot needs a name and an OID"))?
-                    .to_string();
-                let oid = parse_oid(words.next(), "snapshot needs a root OID")?;
-                let server = self.need_server_ref()?;
-                let id = server.resolve(&oid)?;
-                let snap = ConfigurationBuilder::new(server.db())
-                    .traverse(id, SnapshotRule::Closure)
-                    .build(name.clone());
-                let count = snap.oid_count();
-                self.snapshots.insert(name.clone(), snap);
-                Ok(ShellOutput::Text(format!(
-                    "snapshot `{name}` pinned {count} OIDs"
-                )))
-            }
-            "snapshots" => {
-                let server = self.need_server_ref()?;
-                let mut out = String::new();
-                for (name, snap) in &self.snapshots {
-                    let _ = writeln!(
-                        out,
-                        "  {name}: {} OIDs, {} links, {} dangling",
-                        snap.oid_count(),
-                        snap.link_count(),
-                        snap.dangling(server.db())
-                    );
-                }
-                if out.is_empty() {
-                    out = "  (none)".to_string();
-                }
-                Ok(ShellOutput::Text(out.trim_end().to_string()))
-            }
-            "journal" => {
-                let dir = words
-                    .next()
-                    .ok_or_else(|| invalid("journal needs a directory"))?
-                    .to_string();
-                let every: u64 = match words.next() {
-                    Some(n) => n
-                        .parse()
-                        .map_err(|_| invalid(&format!("bad checkpoint interval `{n}`")))?,
-                    None => DEFAULT_CHECKPOINT_EVERY,
-                };
-                let server = self.need_server()?;
-                let epoch = server.enable_journal(&dir, every)?;
-                Ok(ShellOutput::Text(format!(
-                    "journaling to {dir} (epoch {epoch}, checkpoint every {every} ops)"
-                )))
-            }
-            "checkpoint" => {
-                let server = self.need_server()?;
-                let epoch = server.checkpoint()?;
-                Ok(ShellOutput::Text(format!(
-                    "checkpoint written (epoch {epoch})"
-                )))
-            }
-            "recover" => {
-                let dir = words
-                    .next()
-                    .ok_or_else(|| invalid("recover needs a directory"))?
-                    .to_string();
-                let every: u64 = match words.next() {
-                    Some(n) => n
-                        .parse()
-                        .map_err(|_| invalid(&format!("bad checkpoint interval `{n}`")))?,
-                    None => DEFAULT_CHECKPOINT_EVERY,
-                };
-                let server = self.need_server()?;
-                let report = server.recover_journal(&dir, every)?;
-                let mut out = format!(
-                    "recovered epoch {}: {} OIDs from snapshot, {} journal ops replayed",
-                    report.epoch, report.snapshot_oids, report.replayed_ops
-                );
-                if let Some(reason) = &report.torn_tail {
-                    let _ = write!(out, " (torn tail ignored: {reason})");
-                }
-                if report.stale_journal {
-                    out.push_str(" (stale journal ignored)");
-                }
-                Ok(ShellOutput::Text(out))
-            }
-            "freeze" | "thaw" => {
-                let view = words
-                    .next()
-                    .ok_or_else(|| invalid("freeze/thaw needs a view name"))?
-                    .to_string();
-                let freezing = command == "freeze";
-                let server = self.need_server()?;
-                if freezing {
-                    server.policy_mut().frozen_views.insert(view.clone());
-                } else {
-                    server.policy_mut().frozen_views.remove(&view);
-                }
-                Ok(ShellOutput::Text(format!(
-                    "view `{view}` {}",
-                    if freezing { "frozen" } else { "thawed" }
-                )))
-            }
-            "load" => {
-                let path = words
-                    .next()
-                    .ok_or_else(|| invalid("load needs a file path"))?;
-                let image = std::fs::read_to_string(path)
-                    .map_err(|e| invalid(&format!("cannot read {path}: {e}")))?;
-                let (db, workspace) =
-                    damocles_meta::persist::load_project(&image).map_err(EngineError::Meta)?;
-                let oids = db.oid_count();
-                let server = self.need_server()?;
-                server.adopt_project(db, workspace);
-                if server.journal_enabled() {
-                    // The on-disk journal described the replaced project;
-                    // fold immediately so the crash window closes here.
-                    server.checkpoint()?;
-                }
-                Ok(ShellOutput::Text(format!(
-                    "project restored from {path} ({oids} OIDs)"
-                )))
-            }
-            "save" => {
-                let path = words
-                    .next()
-                    .ok_or_else(|| invalid("save needs a file path"))?;
-                let server = self.need_server_ref()?;
-                let image = damocles_meta::persist::save_project(server.db(), server.workspace());
-                std::fs::write(path, image)
-                    .map_err(|e| invalid(&format!("cannot write {path}: {e}")))?;
-                Ok(ShellOutput::Text(format!("project saved to {path}")))
-            }
-            "dump" => {
-                let server = self.need_server_ref()?;
-                Ok(ShellOutput::Text(
-                    damocles_meta::dump::dump(server.db())
-                        .trim_end()
-                        .to_string(),
-                ))
-            }
-            "dot" => {
-                let server = self.need_server_ref()?;
-                Ok(ShellOutput::Text(viz::db_to_dot(server.db(), "uptodate")))
-            }
-            "audit" => {
-                let server = self.need_server_ref()?;
-                let s = server.audit().summary();
-                Ok(ShellOutput::Text(format!(
-                    "deliveries={} assignments={} lets={} scripts={} posts={} propagations={} cycles={} templates={}",
-                    s.deliveries,
-                    s.assignments,
-                    s.reevaluations,
-                    s.scripts,
-                    s.posts,
-                    s.propagations,
-                    s.cycle_skips,
-                    s.templates
-                )))
-            }
-            other => Err(invalid(&format!("unknown command `{other}` (try `help`)"))),
+/// Parses one shell line into a protocol [`Request`].
+///
+/// The shell grammar is the human-friendly form (unquoted payloads,
+/// client-side file reads for `init`); the canonical codec form is
+/// [`Request::encode`]. Both construct the same values.
+///
+/// # Errors
+///
+/// Positioned [`ApiError::Parse`] / [`ApiError::UnknownCommand`].
+pub fn parse_command(line: &str) -> Result<Request, ApiError> {
+    let mut words = Cursor::new(line);
+    let (at, command) = words.next_word("a command")?;
+    match command {
+        "init" => {
+            let path = word(&mut words, "a blueprint file path")?;
+            let source = std::fs::read_to_string(&path).map_err(|e| ApiError::Io {
+                reason: format!("cannot read {path}: {e}"),
+            })?;
+            Ok(Request::Init { source })
         }
-    }
-
-    fn need_server(&mut self) -> Result<&mut ProjectServer, EngineError> {
-        self.server
-            .as_mut()
-            .ok_or_else(|| invalid("no blueprint loaded; use `init <file>` first"))
-    }
-
-    fn need_server_ref(&self) -> Result<&ProjectServer, EngineError> {
-        self.server
-            .as_ref()
-            .ok_or_else(|| invalid("no blueprint loaded; use `init <file>` first"))
+        "postEvent" => {
+            // The whole line IS the §3.1 wire format.
+            let message = EventMessage::parse_wire(line)?;
+            Ok(Request::Post {
+                message,
+                user: "shell".to_string(),
+            })
+        }
+        "checkin" => {
+            let block = word(&mut words, "a block name")?;
+            let view = word(&mut words, "a view type")?;
+            let user = word(&mut words, "a user name")?;
+            let payload = words.rest().to_string();
+            Ok(Request::Checkin {
+                block,
+                view,
+                user,
+                payload: payload.into_bytes(),
+            })
+        }
+        "checkout" => Ok(Request::Checkout {
+            block: word(&mut words, "a block name")?,
+            view: word(&mut words, "a view type")?,
+            user: word(&mut words, "a user name")?,
+        }),
+        "connect" => Ok(Request::Connect {
+            from: oid_word(&mut words, "a source OID `block,view,version`")?,
+            to: oid_word(&mut words, "a destination OID `block,view,version`")?,
+        }),
+        "process" => Ok(Request::ProcessAll),
+        "show" => Ok(Request::Show {
+            oid: oid_word(&mut words, "an OID `block,view,version`")?,
+        }),
+        "query" => Ok(Request::Query {
+            terms: words.rest().to_string(),
+        }),
+        "workleft" => Ok(Request::WorkLeft {
+            oid: oid_word(&mut words, "an OID `block,view,version`")?,
+            prop: word(&mut words, "a state property name")?,
+        }),
+        "summary" => Ok(Request::Summary {
+            prop: word(&mut words, "a state property name")?,
+        }),
+        "snapshot" => Ok(Request::Snapshot {
+            name: word(&mut words, "a snapshot name")?,
+            root: oid_word(&mut words, "a root OID `block,view,version`")?,
+        }),
+        "snapshots" => Ok(Request::ListSnapshots),
+        "journal" => Ok(Request::EnableJournal {
+            dir: word(&mut words, "a durability directory")?,
+            every: u64_or(
+                &mut words,
+                "a checkpoint interval (ops)",
+                DEFAULT_CHECKPOINT_EVERY,
+            )?,
+        }),
+        "checkpoint" => Ok(Request::Checkpoint),
+        "recover" => Ok(Request::Recover {
+            dir: word(&mut words, "a durability directory")?,
+            every: u64_or(
+                &mut words,
+                "a checkpoint interval (ops)",
+                DEFAULT_CHECKPOINT_EVERY,
+            )?,
+        }),
+        "freeze" => Ok(Request::Freeze {
+            view: word(&mut words, "a view name")?,
+        }),
+        "thaw" => Ok(Request::Thaw {
+            view: word(&mut words, "a view name")?,
+        }),
+        "save" => Ok(Request::SaveProject {
+            path: word(&mut words, "a file path")?,
+        }),
+        "load" => Ok(Request::LoadProject {
+            path: word(&mut words, "a file path")?,
+        }),
+        "dump" => Ok(Request::Dump),
+        "dot" => Ok(Request::Dot),
+        "audit" => Ok(Request::Audit),
+        "stat" => Ok(Request::Stat),
+        other => Err(ApiError::UnknownCommand {
+            at: at as u64,
+            found: other.to_string(),
+        }),
     }
 }
 
-fn invalid(reason: &str) -> EngineError {
-    EngineError::Meta(damocles_meta::MetaError::WireParse {
-        reason: reason.to_string(),
-        input: String::new(),
-    })
+/// The slice of a request the renderer needs after the request itself
+/// has moved into the service: presentation context only (paths, views,
+/// endpoints) — never payloads or blueprint sources, so extracting it is
+/// O(1) in the design data.
+enum Presented {
+    Post,
+    Checkout {
+        block: String,
+        view: String,
+        user: String,
+    },
+    Connect {
+        from: Oid,
+        to: Oid,
+    },
+    Freeze {
+        view: String,
+    },
+    Thaw {
+        view: String,
+    },
+    Save {
+        path: String,
+    },
+    Journal {
+        dir: String,
+        every: u64,
+    },
+    Load {
+        path: String,
+    },
+    Dump,
+    Other,
 }
 
-fn three(
-    words: &mut std::str::SplitWhitespace<'_>,
-    usage: &str,
-) -> Result<(String, String, String), EngineError> {
-    match (words.next(), words.next(), words.next()) {
-        (Some(a), Some(b), Some(c)) => Ok((a.to_string(), b.to_string(), c.to_string())),
-        _ => Err(invalid(usage)),
+fn presented(request: &Request) -> Presented {
+    match request {
+        Request::Post { .. } => Presented::Post,
+        Request::Checkout { block, view, user } => Presented::Checkout {
+            block: block.clone(),
+            view: view.clone(),
+            user: user.clone(),
+        },
+        Request::Connect { from, to } => Presented::Connect {
+            from: from.clone(),
+            to: to.clone(),
+        },
+        Request::Freeze { view } => Presented::Freeze { view: view.clone() },
+        Request::Thaw { view } => Presented::Thaw { view: view.clone() },
+        Request::SaveProject { path } => Presented::Save { path: path.clone() },
+        Request::EnableJournal { dir, every } => Presented::Journal {
+            dir: dir.clone(),
+            every: *every,
+        },
+        Request::LoadProject { path } => Presented::Load { path: path.clone() },
+        Request::Dump => Presented::Dump,
+        _ => Presented::Other,
     }
 }
 
-fn parse_oid(word: Option<&str>, usage: &str) -> Result<Oid, EngineError> {
-    let word = word.ok_or_else(|| invalid(usage))?;
-    word.parse::<Oid>().map_err(EngineError::Meta)
+/// Renders a structured [`Response`] as the shell's legacy text, using
+/// the presentation context (paths, views, …) taken from the request.
+fn render(shown: &Presented, response: Response) -> ShellOutput {
+    let out = match (shown, response) {
+        (_, Response::Error(e)) => return ShellOutput::Error(format!("error: {e}")),
+        (_, Response::Blueprint { name }) => format!("blueprint `{name}` initialized"),
+        (Presented::Post, Response::Ok) => "queued".to_string(),
+        (Presented::Checkout { block, view, user }, Response::Ok) => {
+            format!("{block}.{view} checked out by {user}")
+        }
+        (Presented::Connect { from, to }, Response::Ok) => format!("linked {from} -> {to}"),
+        (Presented::Freeze { view }, Response::Ok) => format!("view `{view}` frozen"),
+        (Presented::Thaw { view }, Response::Ok) => format!("view `{view}` thawed"),
+        (Presented::Save { path }, Response::Ok) => format!("project saved to {path}"),
+        (_, Response::Created { oid }) => format!("created {oid} (ckin queued)"),
+        (
+            _,
+            Response::Processed {
+                events,
+                deliveries,
+                scripts,
+                ..
+            },
+        ) => format!("processed {events} events ({deliveries} deliveries, {scripts} scripts)"),
+        (_, Response::Refreshed { written }) => format!("refreshed {written} let propert(ies)"),
+        (_, Response::Props { oid, props }) => {
+            let mut out = format!("{oid}\n");
+            for (name, value) in props {
+                let _ = writeln!(out, "  {name} = {value}");
+            }
+            out.trim_end().to_string()
+        }
+        (_, Response::Hits { oids }) => {
+            let mut out = format!("{} match(es)\n", oids.len());
+            for oid in oids {
+                let _ = writeln!(out, "  {oid}");
+            }
+            out.trim_end().to_string()
+        }
+        (_, Response::Work { target, items }) => {
+            let mut out = format!("{} item(s) blocking {target}\n", items.len());
+            for item in items {
+                let current = item
+                    .current
+                    .map(|v| v.as_atom())
+                    .unwrap_or_else(|| "<unset>".into());
+                let _ = writeln!(out, "  {} ({} = {current})", item.oid, item.prop);
+            }
+            out.trim_end().to_string()
+        }
+        (_, Response::ViewSummary { rows }) => {
+            let rows: Vec<Vec<String>> = rows
+                .into_iter()
+                .map(|r| {
+                    vec![
+                        r.view,
+                        r.total.to_string(),
+                        r.satisfied.to_string(),
+                        r.untracked.to_string(),
+                    ]
+                })
+                .collect();
+            metrics::table(&["view", "total", "satisfied", "untracked"], &rows)
+                .trim_end()
+                .to_string()
+        }
+        (_, Response::Snapped { name, oids }) => {
+            format!("snapshot `{name}` pinned {oids} OIDs")
+        }
+        (_, Response::SnapshotList { entries }) => {
+            let mut out = String::new();
+            for e in entries {
+                let _ = writeln!(
+                    out,
+                    "  {}: {} OIDs, {} links, {} dangling",
+                    e.name, e.oids, e.links, e.dangling
+                );
+            }
+            if out.is_empty() {
+                out = "  (none)".to_string();
+            }
+            out.trim_end().to_string()
+        }
+        (Presented::Journal { dir, every }, Response::Epoch { epoch }) => {
+            format!("journaling to {dir} (epoch {epoch}, checkpoint every {every} ops)")
+        }
+        (_, Response::Epoch { epoch }) => format!("checkpoint written (epoch {epoch})"),
+        (
+            _,
+            Response::Recovered {
+                epoch,
+                snapshot_oids,
+                replayed_ops,
+                torn_tail,
+                stale_journal,
+            },
+        ) => {
+            let mut out = format!(
+                "recovered epoch {epoch}: {snapshot_oids} OIDs from snapshot, {replayed_ops} journal ops replayed"
+            );
+            if let Some(reason) = torn_tail {
+                let _ = write!(out, " (torn tail ignored: {reason})");
+            }
+            if stale_journal {
+                out.push_str(" (stale journal ignored)");
+            }
+            out
+        }
+        (Presented::Load { path }, Response::Loaded { oids }) => {
+            format!("project restored from {path} ({oids} OIDs)")
+        }
+        (_, Response::Loaded { oids }) => format!("project restored ({oids} OIDs)"),
+        (Presented::Dump, Response::Text { text }) => text.trim_end().to_string(),
+        (_, Response::Text { text }) => text,
+        (_, Response::Audit { counters: s }) => format!(
+            "deliveries={} assignments={} lets={} scripts={} posts={} propagations={} cycles={} templates={}",
+            s.deliveries,
+            s.assignments,
+            s.reevaluations,
+            s.scripts,
+            s.posts,
+            s.propagations,
+            s.cycle_skips,
+            s.templates
+        ),
+        (_, Response::Stat { stat }) => {
+            let journal = match (stat.journal_epoch, stat.journal_records) {
+                (Some(epoch), Some(records)) => {
+                    format!("epoch {epoch}, {records} ops since checkpoint")
+                }
+                _ => "off".to_string(),
+            };
+            format!(
+                "oids={} links={} pending={} journal={journal}",
+                stat.oids, stat.links, stat.pending_events
+            )
+        }
+        (_, Response::Ok) => "ok".to_string(),
+        // Response is non_exhaustive-proof: render the codec form rather
+        // than lose information.
+        (_, other) => other.encode(),
+    };
+    ShellOutput::Text(out)
 }
 
 const HELP: &str = r#"
@@ -458,6 +488,7 @@ commands:
   freeze <view> / thaw <view>         project policy: forbid/allow check-ins
   save <file>                         persist database + payloads
   load <file>                         restore database + payloads
+  stat                                server statistics
   dump                                full textual database dump
   dot                                 Graphviz dump of the design state
   audit                               engine counters
@@ -576,6 +607,36 @@ mod tests {
         let out = sh.execute("frobnicate");
         assert!(out.is_error());
         assert!(out.text().contains("unknown command"));
+    }
+
+    #[test]
+    fn usage_errors_carry_positions() {
+        let mut sh = edtc_shell();
+        // Missing argument: position is end-of-line, expectation is named.
+        let out = sh.execute("workleft CPU,HDL_model,1");
+        assert!(out.is_error());
+        assert!(out.text().contains("at byte 24"), "{out:?}");
+        assert!(out.text().contains("state property"), "{out:?}");
+        assert!(out.text().contains("end of line"), "{out:?}");
+        // Malformed token: position points at the token itself.
+        let out = sh.execute("connect not-an-oid CPU,HDL_model,1");
+        assert!(out.is_error());
+        assert!(out.text().contains("at byte 8"), "{out:?}");
+        assert!(out.text().contains("not-an-oid"), "{out:?}");
+        // Bad wire direction: position from the wire grammar.
+        let out = sh.execute("postEvent ckin sideways CPU,HDL_model,1");
+        assert!(out.is_error());
+        assert!(out.text().contains("at byte 15"), "{out:?}");
+        assert!(out.text().contains("sideways"), "{out:?}");
+    }
+
+    #[test]
+    fn stat_reports_server_state() {
+        let mut sh = edtc_shell();
+        sh.run_script("checkin CPU HDL_model d x\nprocess");
+        let out = sh.execute("stat");
+        assert!(out.text().contains("oids=1"), "{out:?}");
+        assert!(out.text().contains("journal=off"), "{out:?}");
     }
 
     #[test]

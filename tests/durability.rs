@@ -129,3 +129,88 @@ fn truncated_journal_recovers_a_prefix_not_garbage() {
     }
     assert!(seen_counts.len() > 2, "several distinct prefixes exercised");
 }
+
+// ---------------------------------------------------------------------
+// Group commit (ISSUE 3): crash semantics of the batched-fsync window
+// ---------------------------------------------------------------------
+
+/// A crash between batch execution and the batched fsync must lose the
+/// whole un-acked batch and nothing else: recovery replays a valid prefix
+/// ending exactly at the previous batch boundary.
+#[test]
+fn group_commit_crash_between_execution_and_fsync_recovers_batch_boundary() {
+    let dir = temp_dir("group-commit-crash");
+    let mut server = ProjectServer::from_source(damocles::flows::EDTC_SOURCE).unwrap();
+    server.enable_journal(&dir, 1_000_000).unwrap();
+    server.set_group_commit(true).unwrap();
+
+    // Batch A: executed AND flushed — the durable boundary.
+    for v in 0..4 {
+        server
+            .checkin("CPU", "HDL_model", "yves", format!("a{v}").into_bytes())
+            .unwrap();
+    }
+    server.process_all().unwrap();
+    server.flush_journal().unwrap();
+    let records_after_a = server.journal_records().unwrap();
+    let image_at_boundary = persist::save(server.db());
+
+    // Batch B: executed, fsync never reached (the crash window). The
+    // in-memory database has batch B; the on-disk journal must not.
+    for v in 0..3 {
+        server
+            .checkin("CPU", "schematic", "synth", format!("b{v}").into_bytes())
+            .unwrap();
+    }
+    server.process_all().unwrap();
+    assert_eq!(server.db().oid_count(), 7, "batch B executed in memory");
+    assert_eq!(
+        server.journal_records().unwrap(),
+        records_after_a,
+        "batch B's ops are buffered, not on disk"
+    );
+    drop(server); // crash: the buffered batch evaporates
+
+    let mut crashed = ProjectServer::from_source(damocles::flows::EDTC_SOURCE).unwrap();
+    let report = crashed.recover_journal(&dir, 1_000_000).unwrap();
+    assert!(report.torn_tail.is_none(), "{report:?}");
+    assert_eq!(
+        persist::save(crashed.db()),
+        image_at_boundary,
+        "recovery lands exactly on the last flushed batch boundary"
+    );
+    assert_eq!(crashed.db().oid_count(), 4, "batch A only");
+}
+
+/// A crash DURING the batched fsync leaves a torn final record; recovery
+/// still replays a valid record prefix of the batch, never garbage.
+#[test]
+fn group_commit_crash_mid_flush_recovers_record_prefix() {
+    let dir = temp_dir("group-commit-torn");
+    let mut server = ProjectServer::from_source(damocles::flows::EDTC_SOURCE).unwrap();
+    server.enable_journal(&dir, 1_000_000).unwrap();
+    server.set_group_commit(true).unwrap();
+    for v in 0..4 {
+        server
+            .checkin("blk", "HDL_model", "yves", format!("v{v}").into_bytes())
+            .unwrap();
+    }
+    server.process_all().unwrap();
+    server.flush_journal().unwrap();
+    drop(server);
+
+    // Tear the flushed batch mid-record, as an interrupted write would.
+    let jpath = dir.join("journal.djl");
+    let bytes = std::fs::read(&jpath).unwrap();
+    std::fs::write(&jpath, &bytes[..bytes.len() - 9]).unwrap();
+
+    let mut crashed = ProjectServer::from_source(damocles::flows::EDTC_SOURCE).unwrap();
+    let report = crashed.recover_journal(&dir, 1_000_000).unwrap();
+    assert!(report.torn_tail.is_some(), "{report:?}");
+    // Whatever replayed is a valid prefix: the recovered image must match
+    // a replay of the first `replayed_ops` records of the untorn journal.
+    let tail = damocles_meta::journal::parse_journal(&bytes).unwrap();
+    let (prefix_db, _ws) =
+        damocles_meta::journal::replay_ops(&tail.ops[..report.replayed_ops]).unwrap();
+    assert_eq!(persist::save(crashed.db()), persist::save(&prefix_db));
+}
