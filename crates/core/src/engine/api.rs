@@ -213,6 +213,20 @@ pub enum Request {
     Audit,
     /// Server statistics (database size, queue depth, journal state).
     Stat,
+    /// Replication handshake: stream committed journal records from
+    /// `(epoch, seq)` on. Requires journaling on the receiving server.
+    ///
+    /// Over a streaming transport (the TCP front door) the
+    /// [`Response::Tailing`] reply is followed by tail frames
+    /// ([`TailFrame`](crate::engine::tail::TailFrame) lines) until the
+    /// client disconnects; a brand-new follower sends `(0, 0)` and is
+    /// bootstrapped with a snapshot. See `PROTOCOL.md` §5.
+    TailFrom {
+        /// The checkpoint epoch the follower is at.
+        epoch: u64,
+        /// The next record sequence number the follower expects.
+        seq: u64,
+    },
 }
 
 impl Request {
@@ -245,6 +259,7 @@ impl Request {
                 | Request::Dot
                 | Request::Audit
                 | Request::Stat
+                | Request::TailFrom { .. }
         )
     }
 }
@@ -435,6 +450,15 @@ pub enum Response {
         /// The statistics.
         stat: ServerStat,
     },
+    /// A [`Request::TailFrom`] was accepted: the leader's committed
+    /// stream position is `(epoch, seq)`. On a streaming transport, tail
+    /// frames follow this line on the same connection.
+    Tailing {
+        /// The leader's current checkpoint epoch.
+        epoch: u64,
+        /// Committed records in that epoch (== the next sequence number).
+        seq: u64,
+    },
     /// The request failed.
     Error(ApiError),
 }
@@ -543,6 +567,21 @@ pub enum ApiError {
         /// The rendered error.
         reason: String,
     },
+    /// The receiving node is a read-only replication follower; mutations
+    /// must go to the leader.
+    ReadOnly {
+        /// The leader's address, as the follower was configured with.
+        leader: String,
+    },
+    /// The follower has not finished catching up with the leader's
+    /// stream; `(epoch, seq)` is how far it has applied. Retry shortly,
+    /// or read from the leader.
+    Lagging {
+        /// The follower's applied checkpoint epoch.
+        epoch: u64,
+        /// Records applied within that epoch.
+        seq: u64,
+    },
 }
 
 impl fmt::Display for ApiError {
@@ -587,6 +626,16 @@ impl fmt::Display for ApiError {
             ApiError::Journal { reason } => write!(f, "durability error: {reason}"),
             ApiError::Meta { reason } => write!(f, "meta-database error: {reason}"),
             ApiError::Io { reason } => write!(f, "I/O error: {reason}"),
+            ApiError::ReadOnly { leader } => {
+                write!(
+                    f,
+                    "read-only follower: send mutations to the leader at {leader}"
+                )
+            }
+            ApiError::Lagging { epoch, seq } => write!(
+                f,
+                "follower still catching up (applied epoch {epoch}, seq {seq}); retry shortly"
+            ),
         }
     }
 }
@@ -642,8 +691,9 @@ impl From<damocles_meta::WireDiag> for ApiError {
 
 /// Encodes a string as one word: `%` for the empty string, otherwise the
 /// shared percent-escaping. Unambiguous because `escape` renders a lone
-/// `%` as `%25`.
-fn enc_str(s: &str) -> String {
+/// `%` as `%25`. Crate-shared so the tail-frame codec cannot drift from
+/// the request codec.
+pub(crate) fn enc_str(s: &str) -> String {
     if s.is_empty() {
         "%".to_string()
     } else {
@@ -651,7 +701,7 @@ fn enc_str(s: &str) -> String {
     }
 }
 
-fn dec_str(word: &str) -> Result<String, String> {
+pub(crate) fn dec_str(word: &str) -> Result<String, String> {
     if word == "%" {
         Ok(String::new())
     } else {
@@ -703,7 +753,7 @@ fn enc_payload(payload: &[u8]) -> String {
 }
 
 /// A positioned word cursor over one protocol line — the shared
-/// [`WordCursor`] tokenizer plus [`ApiError::Parse`] reporting (byte
+/// [`WordCursor`](damocles_meta::WordCursor) tokenizer plus [`ApiError::Parse`] reporting (byte
 /// offset, found token, expectation). The shell's command grammar builds
 /// on the same type, so every surface positions diagnostics identically.
 pub struct Cursor<'a> {
@@ -799,6 +849,18 @@ impl<'a> Cursor<'a> {
 
 impl Request {
     /// Renders the canonical single-line form (no trailing newline).
+    ///
+    /// ```
+    /// use blueprint_core::engine::api::Request;
+    ///
+    /// let req = Request::Checkin {
+    ///     block: "CPU".into(),
+    ///     view: "HDL_model".into(),
+    ///     user: "yves".into(),
+    ///     payload: b"module".to_vec(),
+    /// };
+    /// assert_eq!(req.encode(), "checkin CPU HDL_model yves 6d6f64756c65");
+    /// ```
     pub fn encode(&self) -> String {
         use std::fmt::Write as _;
         match self {
@@ -869,10 +931,23 @@ impl Request {
             Request::Dot => "dot".to_string(),
             Request::Audit => "audit".to_string(),
             Request::Stat => "stat".to_string(),
+            Request::TailFrom { epoch, seq } => format!("tailfrom {epoch} {seq}"),
         }
     }
 
-    /// Parses the canonical single-line form.
+    /// Parses the canonical single-line form. The codec round-trips
+    /// byte-identically: `decode(encode(r)) == r` and re-encoding a
+    /// decoded line reproduces it (property-tested in
+    /// `tests/api_roundtrip.rs`).
+    ///
+    /// ```
+    /// use blueprint_core::engine::api::Request;
+    ///
+    /// let line = "post simwrap hdl_sim up reg,verilog,4 logic%20sim%20passed";
+    /// let req = Request::decode(line).unwrap();
+    /// assert_eq!(req.encode(), line);
+    /// assert!(matches!(req, Request::Post { user, .. } if user == "simwrap"));
+    /// ```
     ///
     /// # Errors
     ///
@@ -969,6 +1044,10 @@ impl Request {
             "dot" => Request::Dot,
             "audit" => Request::Audit,
             "stat" => Request::Stat,
+            "tailfrom" => Request::TailFrom {
+                epoch: c.u64("a checkpoint epoch")?,
+                seq: c.u64("a record sequence number")?,
+            },
             other => {
                 return Err(ApiError::UnknownCommand {
                     at: at as u64,
@@ -983,6 +1062,15 @@ impl Request {
 
 impl Response {
     /// Renders the canonical single-line form (no trailing newline).
+    ///
+    /// ```
+    /// use blueprint_core::engine::api::{ApiError, Response};
+    ///
+    /// let resp = Response::Error(ApiError::ReadOnly {
+    ///     leader: "10.0.0.7:7425".into(),
+    /// });
+    /// assert_eq!(resp.encode(), "err read-only 10.0.0.7:7425");
+    /// ```
     pub fn encode(&self) -> String {
         use std::fmt::Write as _;
         match self {
@@ -1090,11 +1178,21 @@ impl Response {
                 stat.journal_records
                     .map_or_else(|| "-".to_string(), |r| format!("+{r}")),
             ),
+            Response::Tailing { epoch, seq } => format!("tailing {epoch} {seq}"),
             Response::Error(e) => format!("err {}", e.encode()),
         }
     }
 
     /// Parses the canonical single-line form.
+    ///
+    /// ```
+    /// use blueprint_core::engine::api::Response;
+    ///
+    /// match Response::decode("processed 2 3 1 0").unwrap() {
+    ///     Response::Processed { events, .. } => assert_eq!(events, 2),
+    ///     other => panic!("{other:?}"),
+    /// }
+    /// ```
     ///
     /// # Errors
     ///
@@ -1236,6 +1334,10 @@ impl Response {
                     journal_records: c.parse_with("an optional record count", opt_u64)?,
                 },
             },
+            "tailing" => Response::Tailing {
+                epoch: c.u64("a checkpoint epoch")?,
+                seq: c.u64("a record sequence number")?,
+            },
             "err" => Response::Error(ApiError::decode_cursor(&mut c)?),
             other => {
                 return Err(ApiError::Parse {
@@ -1287,6 +1389,8 @@ impl ApiError {
             ApiError::Journal { reason } => format!("journal {}", enc_str(reason)),
             ApiError::Meta { reason } => format!("meta {}", enc_str(reason)),
             ApiError::Io { reason } => format!("io {}", enc_str(reason)),
+            ApiError::ReadOnly { leader } => format!("read-only {}", enc_str(leader)),
+            ApiError::Lagging { epoch, seq } => format!("lagging {epoch} {seq}"),
         }
     }
 
@@ -1341,6 +1445,13 @@ impl ApiError {
             },
             "io" => ApiError::Io {
                 reason: c.string("a reason")?,
+            },
+            "read-only" => ApiError::ReadOnly {
+                leader: c.string("a leader address")?,
+            },
+            "lagging" => ApiError::Lagging {
+                epoch: c.u64("a checkpoint epoch")?,
+                seq: c.u64("a record sequence number")?,
             },
             other => {
                 return Err(ApiError::Parse {
@@ -1399,6 +1510,7 @@ mod tests {
                 every: 1024,
             },
             Request::Stat,
+            Request::TailFrom { epoch: 3, seq: 117 },
         ]
     }
 
@@ -1449,6 +1561,11 @@ mod tests {
                 oid: Oid::new("a", "v", 1),
                 holder: Some("yves".into()),
             }),
+            Response::Tailing { epoch: 5, seq: 42 },
+            Response::Error(ApiError::ReadOnly {
+                leader: "127.0.0.1:7425".into(),
+            }),
+            Response::Error(ApiError::Lagging { epoch: 2, seq: 9 }),
         ]
     }
 

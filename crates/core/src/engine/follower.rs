@@ -1,0 +1,635 @@
+//! The read-only replication follower: applies a leader's journal-tail
+//! stream and serves read requests from the replicated image.
+//!
+//! A follower is a [`ProjectService`] whose single mutator is the
+//! leader's committed op stream. One loop thread owns the service and
+//! drains a single queue carrying **both** kinds of input — decoded
+//! [`TailFrame`]s from the leader connection and client [`Envelope`]s
+//! from the follower's own front door — so tail application and read
+//! serving are serialized without locks, exactly like the leader's
+//! command loop:
+//!
+//! * [`TailFrame::Reset`] → adopt the snapshot wholesale
+//!   ([`ProjectServer::adopt_replica_image`]), rebuild the link-tag map
+//!   in image order, cursor to `(epoch, 0)`;
+//! * [`TailFrame::Record`] → verify checksum+sequence
+//!   ([`journal::decode_record`]) and apply through the normal database
+//!   API ([`ProjectServer::apply_replica_op`]);
+//! * [`TailFrame::Epoch`] → the leader checkpointed; the follower's image
+//!   already equals the new snapshot, so only re-tag links and move the
+//!   cursor — no data transfer;
+//! * read-only client requests (`Query`, `Show`, `Snapshot`, `Summary`,
+//!   `Dump`, `Stat`, …) → answered from the replica; **mutations are
+//!   rejected** with [`ApiError::ReadOnly`] naming the leader, and reads
+//!   before the first bootstrap with [`ApiError::Lagging`].
+//!
+//! The loop is transport-agnostic: frames arrive through the same
+//! channel whether a test hand-feeds them or the `damocles_server
+//! --follow` runtime pumps them from a `RemoteWrapper` tail stream. A
+//! lost leader connection degrades the follower to stale reads (loudly,
+//! via [`FollowerStatus`]); the pump reconnects and resumes from the
+//! cursor, and a divergent or garbled stream simply re-bootstraps.
+//!
+//! [`ProjectServer`]: crate::engine::server::ProjectServer
+//! [`ProjectServer::adopt_replica_image`]: crate::engine::server::ProjectServer::adopt_replica_image
+//! [`ProjectServer::apply_replica_op`]: crate::engine::server::ProjectServer::apply_replica_op
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use damocles_meta::journal;
+use damocles_meta::LinkId;
+
+use crate::engine::api::{ApiError, Request, Response, SessionId};
+use crate::engine::exec::ScriptExecutor;
+use crate::engine::service::{loop_gone, Envelope, ProjectService, RequestSink};
+use crate::engine::tail::TailFrame;
+
+/// One input to the follower loop: a stream element from the leader or a
+/// request from a local client.
+#[derive(Debug)]
+pub enum FollowerMsg {
+    /// A decoded tail frame from the leader connection.
+    Frame(TailFrame),
+    /// A local client request (read-only surface).
+    Client(Envelope),
+    /// The leader connection broke; the pump will retry. The follower
+    /// keeps serving (possibly stale) reads.
+    LeaderGone {
+        /// Why the connection ended.
+        reason: String,
+    },
+    /// Test/ops introspection: reply with the replica's full project
+    /// image ([`crate::engine::server::ProjectServer::project_image`]).
+    Inspect(Sender<String>),
+}
+
+/// Shared, observable replication state: the applied cursor, whether the
+/// follower has bootstrapped, and whether the leader link is up. Tests
+/// and operators wait on it; the loop publishes every change.
+#[derive(Debug, Default)]
+pub struct FollowerStatus {
+    state: Mutex<StatusState>,
+    wake: Condvar,
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct StatusState {
+    epoch: u64,
+    seq: u64,
+    bootstrapped: bool,
+    leader_up: bool,
+    /// The replica diverged (an apply or bootstrap failed): incremental
+    /// frames can no longer repair it, only a fresh `tail-reset` can.
+    needs_reset: bool,
+}
+
+impl FollowerStatus {
+    /// `(epoch, seq)` of the next record the follower expects.
+    pub fn cursor(&self) -> (u64, u64) {
+        let st = self.state.lock().expect("follower status lock");
+        (st.epoch, st.seq)
+    }
+
+    /// Whether a snapshot bootstrap has completed (reads are served).
+    pub fn bootstrapped(&self) -> bool {
+        self.state
+            .lock()
+            .expect("follower status lock")
+            .bootstrapped
+    }
+
+    /// Whether the leader connection is currently up.
+    pub fn leader_up(&self) -> bool {
+        self.state.lock().expect("follower status lock").leader_up
+    }
+
+    /// Whether the replica needs a full snapshot re-bootstrap (an apply
+    /// or bootstrap failure made incremental frames useless). A pump
+    /// seeing this should drop its connection and re-handshake.
+    pub fn needs_reset(&self) -> bool {
+        self.state.lock().expect("follower status lock").needs_reset
+    }
+
+    /// The cursor a (re)connecting pump should hand to `tailfrom`: the
+    /// applied position normally, or an unservable sentinel when the
+    /// replica needs a re-bootstrap — the leader answers an unservable
+    /// cursor with a full `tail-reset`, never with incremental records.
+    pub fn handshake_cursor(&self) -> (u64, u64) {
+        let st = self.state.lock().expect("follower status lock");
+        if st.needs_reset {
+            (u64::MAX, 0)
+        } else {
+            (st.epoch, st.seq)
+        }
+    }
+
+    /// Blocks until the follower has applied everything up to
+    /// `(epoch, seq)` (or moved past that epoch), or `timeout` elapses.
+    /// Returns whether the position was reached.
+    pub fn wait_applied(&self, epoch: u64, seq: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().expect("follower status lock");
+        loop {
+            let reached =
+                st.bootstrapped && (st.epoch > epoch || (st.epoch == epoch && st.seq >= seq));
+            if reached {
+                return true;
+            }
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (guard, _) = self
+                .wake
+                .wait_timeout(st, left.min(Duration::from_millis(50)))
+                .expect("follower status lock");
+            st = guard;
+        }
+    }
+
+    fn set(&self, update: impl FnOnce(&mut StatusState)) {
+        let mut st = self.state.lock().expect("follower status lock");
+        update(&mut st);
+        drop(st);
+        self.wake.notify_all();
+    }
+}
+
+/// A cloneable handle to a running follower loop: opens client sessions,
+/// feeds the tail pump, and exposes replication status.
+#[derive(Debug, Clone)]
+pub struct FollowerHandle {
+    tx: Sender<FollowerMsg>,
+    next_session: Arc<AtomicU64>,
+    status: Arc<FollowerStatus>,
+}
+
+impl FollowerHandle {
+    /// Opens a new tagged client session (read-only surface).
+    pub fn session(&self) -> FollowerSession {
+        FollowerSession {
+            id: SessionId(self.next_session.fetch_add(1, Ordering::Relaxed)),
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// The input side for a tail pump: send [`FollowerMsg::Frame`] /
+    /// [`FollowerMsg::LeaderGone`] as the leader connection produces
+    /// them.
+    pub fn feed(&self) -> Sender<FollowerMsg> {
+        self.tx.clone()
+    }
+
+    /// The shared replication status.
+    pub fn status(&self) -> Arc<FollowerStatus> {
+        Arc::clone(&self.status)
+    }
+
+    /// The replica's full project image, serialized by the loop between
+    /// applied records — the byte-identity witness tests compare against
+    /// the leader. `None` when the loop is gone.
+    pub fn image(&self) -> Option<String> {
+        let (tx, rx) = unbounded();
+        self.tx.send(FollowerMsg::Inspect(tx)).ok()?;
+        rx.recv()
+    }
+}
+
+/// One client session at the follower loop — the follower-side
+/// counterpart of [`ClientSession`](crate::engine::service::ClientSession).
+#[derive(Debug, Clone)]
+pub struct FollowerSession {
+    id: SessionId,
+    tx: Sender<FollowerMsg>,
+}
+
+impl FollowerSession {
+    /// Submits a request and waits for its response.
+    pub fn call(&self, request: Request) -> Response {
+        self.submit(request)
+            .recv()
+            .unwrap_or_else(|| Response::Error(loop_gone()))
+    }
+}
+
+impl RequestSink for FollowerSession {
+    fn id(&self) -> SessionId {
+        self.id
+    }
+
+    fn submit(&self, request: Request) -> Receiver<Response> {
+        let (reply, rx) = unbounded();
+        let envelope = Envelope::new(self.id, request, reply.clone());
+        if self.tx.send(FollowerMsg::Client(envelope)).is_err() {
+            let _ = reply.send(Response::Error(loop_gone()));
+        }
+        rx
+    }
+}
+
+/// Spawns a follower loop around `service` (already `Init`ed with the
+/// project blueprint) on its own thread. `leader` is the address named
+/// in [`ApiError::ReadOnly`] rejections. The loop exits when every
+/// handle, session and feed sender is dropped.
+pub fn spawn_follower_loop<E>(
+    service: ProjectService<E>,
+    leader: impl Into<String>,
+) -> (FollowerHandle, std::thread::JoinHandle<()>)
+where
+    E: ScriptExecutor + Default + Send + 'static,
+{
+    let (tx, rx) = unbounded();
+    let leader = leader.into();
+    let status = Arc::new(FollowerStatus::default());
+    let loop_status = Arc::clone(&status);
+    let join = std::thread::spawn(move || run_follower_loop(service, &rx, &leader, &loop_status));
+    (
+        FollowerHandle {
+            tx,
+            next_session: Arc::new(AtomicU64::new(1)),
+            status,
+        },
+        join,
+    )
+}
+
+/// The follower loop body: apply frames, answer reads, reject writes.
+/// Exposed for callers that want the loop on a thread they own.
+pub fn run_follower_loop<E>(
+    mut service: ProjectService<E>,
+    rx: &Receiver<FollowerMsg>,
+    leader: &str,
+    status: &FollowerStatus,
+) where
+    E: ScriptExecutor + Default,
+{
+    // The follower's link-tag map: the same tag → address assignment the
+    // leader's journal uses, rebuilt at every bootstrap and rollover.
+    let mut tags: HashMap<u64, LinkId> = HashMap::new();
+    let mut bootstrapped = false;
+    let mut cursor = (0u64, 0u64);
+    while let Some(msg) = rx.recv() {
+        match msg {
+            FollowerMsg::Frame(TailFrame::Reset { epoch, image }) => {
+                let adopted = service
+                    .server_mut()
+                    .ok_or_else(|| "no blueprint loaded".to_string())
+                    .and_then(|srv| srv.adopt_replica_image(&image).map_err(|e| e.to_string()));
+                match adopted {
+                    Ok(_) => {
+                        let srv = service.server_mut().expect("adopted above");
+                        tags = srv.replica_link_tags();
+                        bootstrapped = true;
+                        cursor = (epoch, 0);
+                        status.set(|st| {
+                            st.epoch = epoch;
+                            st.seq = 0;
+                            st.bootstrapped = true;
+                            st.leader_up = true;
+                            st.needs_reset = false;
+                        });
+                    }
+                    Err(reason) => {
+                        eprintln!("follower: snapshot bootstrap failed: {reason}");
+                        bootstrapped = false;
+                        status.set(|st| {
+                            st.bootstrapped = false;
+                            st.needs_reset = true;
+                        });
+                    }
+                }
+            }
+            FollowerMsg::Frame(TailFrame::Epoch { epoch }) => {
+                if bootstrapped {
+                    // The stream guarantees every record of the folded
+                    // epoch preceded this marker, so our image equals the
+                    // new snapshot; mirror the leader's re-tagging.
+                    let srv = service.server_mut().expect("bootstrapped");
+                    tags = srv.replica_link_tags();
+                    cursor = (epoch, 0);
+                    status.set(|st| {
+                        st.epoch = epoch;
+                        st.seq = 0;
+                        st.leader_up = true;
+                    });
+                }
+            }
+            FollowerMsg::Frame(TailFrame::Record { epoch, line }) => {
+                if !bootstrapped || epoch != cursor.0 {
+                    // A stale frame from before a reset raced in; the
+                    // stream will re-bootstrap us.
+                    continue;
+                }
+                let applied = journal::decode_record(&line, cursor.1).and_then(|op| {
+                    service
+                        .server_mut()
+                        .ok_or_else(|| "no blueprint loaded".to_string())
+                        .and_then(|srv| {
+                            srv.apply_replica_op(&op, &mut tags)
+                                .map_err(|e| e.to_string())
+                        })
+                });
+                match applied {
+                    Ok(()) => {
+                        cursor.1 += 1;
+                        status.set(|st| {
+                            st.seq = cursor.1;
+                            st.leader_up = true;
+                        });
+                    }
+                    Err(reason) => {
+                        // Divergence (or a garbled stream): this image
+                        // cannot be repaired incrementally. Flag the
+                        // status so the pump drops its connection and
+                        // re-handshakes with the unservable sentinel
+                        // cursor, which the leader answers with a full
+                        // snapshot reset.
+                        eprintln!("follower: record {}/{} failed: {reason}", epoch, cursor.1);
+                        bootstrapped = false;
+                        status.set(|st| {
+                            st.bootstrapped = false;
+                            st.needs_reset = true;
+                        });
+                    }
+                }
+            }
+            FollowerMsg::Frame(TailFrame::Ping) => {
+                status.set(|st| st.leader_up = true);
+            }
+            FollowerMsg::LeaderGone { reason } => {
+                eprintln!("follower: leader connection lost ({reason}); serving stale reads");
+                status.set(|st| st.leader_up = false);
+            }
+            FollowerMsg::Inspect(reply) => {
+                let image = service
+                    .server()
+                    .map(|srv| srv.project_image())
+                    .unwrap_or_default();
+                let _ = reply.send(image);
+            }
+            FollowerMsg::Client(envelope) => {
+                // respond_with moves the request out of the envelope —
+                // no clone of (possibly payload-heavy) requests just to
+                // bounce them.
+                envelope.respond_with(|request| {
+                    follower_call(&mut service, request, leader, bootstrapped, cursor)
+                });
+            }
+        }
+    }
+}
+
+/// Executes one client request under follower rules: mutations are
+/// rejected toward the leader, reads wait for the first bootstrap, and
+/// everything else runs against the replica. [`Request::Snapshot`] is
+/// allowed — configurations are service-local pins, not database
+/// mutations — so analysts can pin closures on a replica.
+fn follower_call<E>(
+    service: &mut ProjectService<E>,
+    request: Request,
+    leader: &str,
+    bootstrapped: bool,
+    cursor: (u64, u64),
+) -> Response
+where
+    E: ScriptExecutor + Default,
+{
+    let read_only = !request.is_mutation() || matches!(request, Request::Snapshot { .. });
+    if !read_only || matches!(request, Request::TailFrom { .. }) {
+        return Response::Error(ApiError::ReadOnly {
+            leader: leader.to_string(),
+        });
+    }
+    if !bootstrapped {
+        return Response::Error(ApiError::Lagging {
+            epoch: cursor.0,
+            seq: cursor.1,
+        });
+    }
+    service.call(request)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::api::Request;
+    use crate::engine::server::ProjectServer;
+    use damocles_meta::Oid;
+
+    const SIMPLE: &str = r#"
+        blueprint demo
+        view default
+            property uptodate default true
+            when ckin do uptodate = true; post outofdate down done
+            when outofdate do uptodate = false done
+        endview
+        view HDL_model endview
+        view schematic
+            link_from HDL_model move propagates outofdate type derived
+        endview
+        endblueprint
+    "#;
+
+    /// Drives a journaled leader and hand-pumps its hub frames into a
+    /// follower loop — the whole replication path minus the socket.
+    #[test]
+    fn follower_replays_hub_frames_to_byte_identity() {
+        let dir = std::env::temp_dir().join("damocles-follower-unit");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut leader: ProjectService = ProjectService::new();
+        assert!(!leader
+            .call(Request::Init {
+                source: SIMPLE.into()
+            })
+            .is_error());
+        assert!(!leader
+            .call(Request::EnableJournal {
+                dir: dir.display().to_string(),
+                every: 1_000_000,
+            })
+            .is_error());
+        let hub = leader.tail_hub();
+
+        let follower_service: ProjectService =
+            ProjectService::with_server(ProjectServer::from_source(SIMPLE).unwrap());
+        let (handle, join) = spawn_follower_loop(follower_service, "leader:0");
+        let feed = handle.feed();
+
+        // Mutate the leader; pump whatever the hub committed. The cursor
+        // persists across pumps, like a live subscriber's would.
+        let mut tail_cursor = crate::engine::tail::TailCursor { epoch: 0, seq: 0 };
+        let mut pump = |feed: &Sender<FollowerMsg>| loop {
+            match hub.next_frames(&mut tail_cursor, Duration::from_millis(1)) {
+                Ok(frames) => {
+                    let mut progressed = false;
+                    for frame in frames {
+                        if !matches!(frame, TailFrame::Ping) {
+                            progressed = true;
+                            feed.send(FollowerMsg::Frame(frame)).unwrap();
+                        }
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+                Err(e) => panic!("{e:?}"),
+            }
+        };
+        for i in 0..4 {
+            let resp = leader.call(Request::Checkin {
+                block: format!("blk{i}"),
+                view: "HDL_model".into(),
+                user: "yves".into(),
+                payload: vec![i],
+            });
+            assert!(!resp.is_error(), "{resp:?}");
+        }
+        assert!(!leader.call(Request::ProcessAll).is_error());
+        pump(&feed);
+
+        let status = handle.status();
+        let target = leader
+            .server()
+            .map(|s| (s.journal_epoch().unwrap(), s.journal_records().unwrap()))
+            .unwrap();
+        assert!(status.wait_applied(target.0, target.1, Duration::from_secs(5)));
+        assert_eq!(
+            handle.image().unwrap(),
+            leader.server().unwrap().project_image(),
+            "follower image is byte-identical to the leader's"
+        );
+
+        // Reads are served from the replica; mutations bounce.
+        let session = handle.session();
+        match session.call(Request::Show {
+            oid: Oid::new("blk0", "HDL_model", 1),
+        }) {
+            Response::Props { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        match session.call(Request::Checkin {
+            block: "x".into(),
+            view: "HDL_model".into(),
+            user: "eve".into(),
+            payload: vec![],
+        }) {
+            Response::Error(ApiError::ReadOnly { leader }) => assert_eq!(leader, "leader:0"),
+            other => panic!("{other:?}"),
+        }
+
+        // A checkpoint rolls the epoch; the caught-up follower takes the
+        // cheap marker and stays byte-identical.
+        assert!(matches!(
+            leader.call(Request::Checkpoint),
+            Response::Epoch { .. }
+        ));
+        leader.call(Request::Checkin {
+            block: "post-fold".into(),
+            view: "HDL_model".into(),
+            user: "yves".into(),
+            payload: vec![9],
+        });
+        leader.call(Request::ProcessAll);
+        pump(&feed);
+        let target = leader
+            .server()
+            .map(|s| (s.journal_epoch().unwrap(), s.journal_records().unwrap()))
+            .unwrap();
+        assert!(status.wait_applied(target.0, target.1, Duration::from_secs(5)));
+        assert_eq!(
+            handle.image().unwrap(),
+            leader.server().unwrap().project_image()
+        );
+
+        drop((session, feed, handle));
+        join.join().unwrap();
+    }
+
+    /// A record that fails verification poisons the replica: the status
+    /// demands a reset (with an unservable handshake cursor so the
+    /// leader must answer with a snapshot), reads degrade to `Lagging`,
+    /// and a fresh `Reset` frame fully recovers the follower.
+    #[test]
+    fn divergent_record_flags_reset_and_recovers() {
+        let dir = std::env::temp_dir().join("damocles-follower-diverge");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut leader: ProjectService = ProjectService::new();
+        leader.call(Request::Init {
+            source: SIMPLE.into(),
+        });
+        leader.call(Request::EnableJournal {
+            dir: dir.display().to_string(),
+            every: 1_000_000,
+        });
+        let hub = leader.tail_hub();
+        let (epoch, snapshot_image) = {
+            let srv = leader.server().unwrap();
+            (srv.journal_epoch().unwrap(), srv.project_image())
+        };
+
+        let follower_service: ProjectService =
+            ProjectService::with_server(ProjectServer::from_source(SIMPLE).unwrap());
+        let (handle, join) = spawn_follower_loop(follower_service, "leader:2");
+        let feed = handle.feed();
+        let status = handle.status();
+        feed.send(FollowerMsg::Frame(TailFrame::Reset {
+            epoch,
+            image: snapshot_image.clone(),
+        }))
+        .unwrap();
+        assert!(status.wait_applied(epoch, 0, Duration::from_secs(5)));
+        assert!(!status.needs_reset());
+
+        // A garbled record (bad checksum) cannot apply.
+        feed.send(FollowerMsg::Frame(TailFrame::Record {
+            epoch,
+            line: "0000000000000000 0 create bad,v,1".into(),
+        }))
+        .unwrap();
+        let session = handle.session();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !status.needs_reset() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(status.needs_reset(), "divergence demands a reset");
+        assert_eq!(status.handshake_cursor(), (u64::MAX, 0));
+        assert!(hub.position().is_some_and(|(e, _)| e < u64::MAX));
+        match session.call(Request::Stat) {
+            Response::Error(ApiError::Lagging { .. }) => {}
+            other => panic!("{other:?}"),
+        }
+
+        // The reset repairs the replica and clears the flag.
+        feed.send(FollowerMsg::Frame(TailFrame::Reset {
+            epoch,
+            image: snapshot_image,
+        }))
+        .unwrap();
+        assert!(status.wait_applied(epoch, 0, Duration::from_secs(5)));
+        assert!(!status.needs_reset());
+        assert!(matches!(session.call(Request::Stat), Response::Stat { .. }));
+        drop((session, feed, handle));
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn reads_before_bootstrap_are_lagging() {
+        let service: ProjectService =
+            ProjectService::with_server(ProjectServer::from_source(SIMPLE).unwrap());
+        let (handle, join) = spawn_follower_loop(service, "leader:1");
+        let session = handle.session();
+        match session.call(Request::Stat) {
+            Response::Error(ApiError::Lagging { epoch: 0, seq: 0 }) => {}
+            other => panic!("{other:?}"),
+        }
+        match session.call(Request::TailFrom { epoch: 0, seq: 0 }) {
+            Response::Error(ApiError::ReadOnly { .. }) => {}
+            other => panic!("{other:?}"),
+        }
+        drop((session, handle));
+        join.join().unwrap();
+    }
+}

@@ -1,6 +1,7 @@
 //! The run-time half of the project BluePrint: event queue, rule engine,
 //! template application, policies, audit trail and the project server
-//! façade.
+//! façade — plus the typed command protocol ([`api`], [`service`]) and
+//! journal-tail replication ([`tail`], [`follower`]) built on top of it.
 
 pub mod api;
 pub mod audit;
@@ -9,10 +10,12 @@ pub mod error;
 pub mod eval;
 pub mod event;
 pub mod exec;
+pub mod follower;
 pub mod policy;
 pub mod queue;
 pub mod runtime;
 pub mod server;
 pub mod service;
+pub mod tail;
 pub mod tasks;
 pub mod template;

@@ -8,11 +8,14 @@
 //! events those wrappers post back into the queue — the automatic tool
 //! invocation loop of Section 3.3.
 
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use damocles_meta::journal::{self, JournalOp, JournalWriter, RecoveryReport};
 use damocles_meta::{
-    Direction, EventMessage, MetaDb, MetaError, Oid, OidId, ProjectQuery, Value, Workspace,
+    persist, Direction, EventMessage, LinkId, MetaDb, MetaError, Oid, OidId, ProjectQuery, Value,
+    Workspace,
 };
 
 use crate::engine::audit::AuditLog;
@@ -23,6 +26,7 @@ use crate::engine::exec::{NullExecutor, ScriptExecutor, ToolCtx};
 use crate::engine::policy::{Policy, PolicyViolation, Strictness};
 use crate::engine::queue::{EventQueue, Posted};
 use crate::engine::runtime::RuntimeEngine;
+use crate::engine::tail::TailHub;
 use crate::engine::template;
 use crate::lang::ast::Blueprint;
 use crate::lang::{parser, validate};
@@ -144,6 +148,11 @@ pub struct ProjectServer<E = NullExecutor> {
     /// loop consumes it ([`ProjectServer::take_journal_poisoned`]) to
     /// error un-acked mutations of the poisoned window.
     journal_poisoned: bool,
+    /// Replication publication point: committed journal records and
+    /// checkpoint rollovers are published here for tail subscribers
+    /// (see [`crate::engine::tail`]). Shared with the service layer so
+    /// the hub survives `Init` server swaps.
+    tail: Arc<TailHub>,
     /// Safety valve for `process_all`.
     pub max_events_per_drain: u64,
 }
@@ -195,6 +204,7 @@ impl<E: ScriptExecutor> ProjectServer<E> {
             durability: None,
             group_commit: false,
             journal_poisoned: false,
+            tail: Arc::new(TailHub::new()),
             max_events_per_drain: 1_000_000,
         })
     }
@@ -322,9 +332,10 @@ impl<E: ScriptExecutor> ProjectServer<E> {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
             Err(e) => return Err(journal_io(e)),
         } + 1;
-        let writer = Self::write_checkpoint_files(&dir, epoch, &self.db, &self.workspace)?;
+        let (writer, image) = Self::write_checkpoint_files(&dir, epoch, &self.db, &self.workspace)?;
         self.db.attach_journal();
         self.journal_poisoned = false;
+        self.tail.publish_enable(epoch, image);
         self.durability = Some(Durability {
             dir,
             writer,
@@ -356,6 +367,101 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         self.durability.as_ref().map(|d| d.dir.as_path())
     }
 
+    /// The replication publication point: tail subscribers read committed
+    /// journal records and checkpoint rollovers from here (see
+    /// [`crate::engine::tail`]).
+    pub fn tail_hub(&self) -> Arc<TailHub> {
+        Arc::clone(&self.tail)
+    }
+
+    /// Replaces the tail hub — the service layer shares one hub across
+    /// `Init` server swaps so live subscriptions survive by address.
+    ///
+    /// If journaling is already enabled, the committed on-disk state
+    /// (snapshot + the journal's complete records) is published to the
+    /// new hub so subscribers can bootstrap; the in-memory op buffer, not
+    /// yet fsynced, is intentionally excluded and publishes at its flush.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Journal`] when the on-disk state cannot be read
+    /// back (the hub is left disabled; durability itself is unaffected).
+    pub fn set_tail_hub(&mut self, hub: Arc<TailHub>) -> Result<(), EngineError> {
+        self.tail = hub;
+        let Some(d) = self.durability.as_ref() else {
+            return Ok(());
+        };
+        let snapshot = std::fs::read_to_string(d.dir.join(SNAPSHOT_FILE)).map_err(journal_io)?;
+        let bytes = std::fs::read(d.dir.join(JOURNAL_FILE)).map_err(journal_io)?;
+        let text = String::from_utf8_lossy(&bytes);
+        let mut lines = text.split_inclusive('\n');
+        let _header = lines.next();
+        self.tail.publish_enable(d.epoch, snapshot);
+        self.tail.publish_records(
+            // Only newline-terminated lines are committed records; a
+            // torn fragment (impossible outside a crash) is not.
+            lines
+                .filter(|l| l.ends_with('\n'))
+                .map(|l| l.trim_end().to_string()),
+        );
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Replication follower surface
+    // ------------------------------------------------------------------
+
+    /// Adopts a leader checkpoint snapshot (a `persist` project image, as
+    /// carried by a `tail-reset` frame) as this server's whole state —
+    /// the follower bootstrap step. Returns the live object count.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Meta`] when the image fails to parse.
+    pub fn adopt_replica_image(&mut self, image: &str) -> Result<usize, EngineError> {
+        let (db, workspace) = persist::load_project(image).map_err(EngineError::Meta)?;
+        let oids = db.oid_count();
+        self.adopt_project(db, workspace);
+        Ok(oids)
+    }
+
+    /// The journal-tag map (tag → link address) for the current database
+    /// image, tags assigned in image order — exactly the assignment the
+    /// leader makes at each checkpoint, so a follower rebuilds it after
+    /// every bootstrap and epoch rollover.
+    pub fn replica_link_tags(&self) -> HashMap<u64, LinkId> {
+        self.db
+            .links_in_image_order()
+            .into_iter()
+            .enumerate()
+            .map(|(i, id)| (i as u64, id))
+            .collect()
+    }
+
+    /// Applies one streamed journal record through the normal database
+    /// API — the follower's unit of replication (see
+    /// [`damocles_meta::journal::apply_op`]). `tags` is the follower's
+    /// link-tag map, maintained across calls.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Journal`] when the op does not apply — the stream
+    /// does not match this follower's image (it must re-bootstrap).
+    pub fn apply_replica_op(
+        &mut self,
+        op: &JournalOp,
+        tags: &mut HashMap<u64, LinkId>,
+    ) -> Result<(), EngineError> {
+        journal::apply_op(&mut self.db, &mut self.workspace, tags, op)
+            .map_err(|reason| EngineError::Journal { reason })
+    }
+
+    /// The full project image (database + workspace payloads) — what a
+    /// byte-identical follower must reproduce.
+    pub fn project_image(&self) -> String {
+        persist::save_project(&self.db, &self.workspace)
+    }
+
     /// Folds the journal into a fresh snapshot: writes the full image at
     /// the next epoch (atomically), starts an empty journal, and re-bases
     /// the database's link tags. Returns the new epoch.
@@ -376,25 +482,31 @@ impl<E: ScriptExecutor> ProjectServer<E> {
             });
         }
         // Buffered ops are already reflected in the live database; the
-        // fresh snapshot subsumes them.
-        let _ = self.db.drain_journal_ops();
-        let (dir, epoch) = {
+        // fresh snapshot subsumes them. Dropping any here (or folding a
+        // wholesale-adopted database) makes the rollover non-seamless for
+        // tail subscribers: the stream never carried those changes, so a
+        // caught-up follower must re-bootstrap rather than take the cheap
+        // epoch marker.
+        let dropped_ops = self.db.drain_journal_ops().len();
+        let (dir, epoch, adopted) = {
             let d = self.durability.as_ref().expect("checked above");
-            (d.dir.clone(), d.epoch + 1)
+            (d.dir.clone(), d.epoch + 1, d.force_checkpoint)
         };
-        let writer = match Self::write_checkpoint_files(&dir, epoch, &self.db, &self.workspace) {
-            Ok(w) => w,
-            Err(e) => {
-                // The snapshot may have landed at the new epoch while the
-                // journal did not reset; continuing to append would write
-                // ops recovery must ignore. Disable durability loudly —
-                // recorder included, or the db would buffer ops forever.
-                self.durability = None;
-                self.db.detach_journal();
-                self.journal_poisoned = true;
-                return Err(e);
-            }
-        };
+        let (writer, image) =
+            match Self::write_checkpoint_files(&dir, epoch, &self.db, &self.workspace) {
+                Ok(w) => w,
+                Err(e) => {
+                    // The snapshot may have landed at the new epoch while the
+                    // journal did not reset; continuing to append would write
+                    // ops recovery must ignore. Disable durability loudly —
+                    // recorder included, or the db would buffer ops forever.
+                    self.durability = None;
+                    self.db.detach_journal();
+                    self.journal_poisoned = true;
+                    self.tail.publish_disable();
+                    return Err(e);
+                }
+            };
         let d = self.durability.as_mut().expect("checked above");
         d.writer = writer;
         d.epoch = epoch;
@@ -402,6 +514,8 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         d.force_checkpoint = false;
         // Re-tag links in image order so tail ops and the snapshot agree.
         self.db.attach_journal();
+        self.tail
+            .publish_checkpoint(epoch, image, dropped_ops == 0 && !adopted);
         Ok(epoch)
     }
 
@@ -444,10 +558,11 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         epoch: u64,
         db: &MetaDb,
         workspace: &Workspace,
-    ) -> Result<JournalWriter, EngineError> {
+    ) -> Result<(JournalWriter, String), EngineError> {
         let image = journal::write_snapshot(db, workspace, epoch);
         journal::write_file_atomic(dir.join(SNAPSHOT_FILE), &image).map_err(journal_io)?;
-        JournalWriter::create(dir.join(JOURNAL_FILE), epoch).map_err(journal_io)
+        let writer = JournalWriter::create(dir.join(JOURNAL_FILE), epoch).map_err(journal_io)?;
+        Ok((writer, image))
     }
 
     /// Records an optional server-level op (e.g. a payload record) in
@@ -531,6 +646,7 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         }
         let ops = self.db.drain_journal_ops();
         let d = self.durability.as_mut().expect("checked above");
+        let base_seq = d.writer.record_count();
         let appended = {
             let write_all = |d: &mut Durability| -> Result<u64, std::io::Error> {
                 let mut appended = 0u64;
@@ -549,12 +665,24 @@ impl<E: ScriptExecutor> ProjectServer<E> {
                     self.durability = None;
                     self.db.detach_journal();
                     self.journal_poisoned = true;
+                    self.tail.publish_disable();
                     return Err(EngineError::Journal {
                         reason: format!("journal append failed, durability disabled: {e}"),
                     });
                 }
             }
         };
+        if appended > 0 {
+            // Publish to tail subscribers strictly AFTER the fsync: a
+            // record a follower ever sees is on the leader's stable
+            // storage, so replication can never run ahead of durability.
+            self.tail
+                .publish_records(ops.iter().enumerate().map(|(i, op)| {
+                    journal::encode_record(base_seq + i as u64, op)
+                        .trim_end()
+                        .to_string()
+                }));
+        }
         if appended > 0 {
             let d = self.durability.as_mut().expect("checked above");
             d.ops_since_checkpoint += appended;

@@ -61,6 +61,7 @@ use crate::engine::api::{
 use crate::engine::error::EngineError;
 use crate::engine::exec::{NullExecutor, ScriptExecutor};
 use crate::engine::server::ProjectServer;
+use crate::engine::tail::{TailCursor, TailEnded, TailHub};
 use crate::lang::parser;
 
 /// A [`ProjectServer`] (plus client-visible snapshot configurations)
@@ -72,6 +73,10 @@ pub struct ProjectService<E: ScriptExecutor = NullExecutor> {
     snapshots: BTreeMap<String, Configuration>,
     /// Group-commit mode, inherited by servers created via `Init`.
     group_commit: bool,
+    /// The replication tail hub, shared across `Init` server swaps so a
+    /// tailer's subscription survives by address (it observes a
+    /// disable/enable cycle instead of dangling).
+    tail: Arc<TailHub>,
 }
 
 impl Default for ProjectService<NullExecutor> {
@@ -87,16 +92,27 @@ impl<E: ScriptExecutor + Default> ProjectService<E> {
             server: None,
             snapshots: BTreeMap::new(),
             group_commit: false,
+            tail: Arc::new(TailHub::new()),
         }
     }
 
-    /// A service wrapping an existing server.
+    /// A service wrapping an existing server. The server's tail hub is
+    /// adopted by the service, so subscriptions opened before wrapping
+    /// stay live.
     pub fn with_server(server: ProjectServer<E>) -> Self {
+        let tail = server.tail_hub();
         ProjectService {
             server: Some(server),
             snapshots: BTreeMap::new(),
             group_commit: false,
+            tail,
         }
+    }
+
+    /// The replication tail hub clients subscribe to (see
+    /// [`crate::engine::tail`]). Stable across `Init` server swaps.
+    pub fn tail_hub(&self) -> Arc<TailHub> {
+        Arc::clone(&self.tail)
     }
 
     /// The server, if a blueprint has been loaded.
@@ -185,6 +201,11 @@ impl<E: ScriptExecutor + Default> ProjectService<E> {
                 let bp = parser::parse(&source).map_err(EngineError::Parse)?;
                 let mut server = ProjectServer::with_executor(bp, E::default())?;
                 let _ = server.set_group_commit(self.group_commit);
+                // The fresh server starts un-journaled: live tail
+                // subscriptions observe the disable (and a later
+                // re-enable bootstraps them against the new project).
+                self.tail.publish_disable();
+                let _ = server.set_tail_hub(Arc::clone(&self.tail));
                 let name = server.blueprint().name.clone();
                 self.server = Some(server);
                 Ok(Response::Blueprint { name })
@@ -395,6 +416,20 @@ impl<E: ScriptExecutor + Default> ProjectService<E> {
                     },
                 })
             }
+            Request::TailFrom { .. } => {
+                // The handshake half: report the committed stream
+                // position. The record stream itself is transport-level —
+                // the TCP front door switches the connection into tail
+                // mode on a successful handshake (`serve_listener`).
+                let server = self.server.as_ref().ok_or(ApiError::NoProject)?;
+                match (server.journal_epoch(), server.journal_records()) {
+                    (Some(epoch), Some(seq)) => Ok(Response::Tailing { epoch, seq }),
+                    _ => Err(ApiError::Journal {
+                        reason: "tail streaming requires journaling (enable a journal first)"
+                            .to_string(),
+                    }),
+                }
+            }
         }
     }
 }
@@ -424,6 +459,21 @@ impl Envelope {
             reply,
         }
     }
+
+    /// Consumes the envelope, sending its reply — for loop
+    /// implementations outside this module (the follower's read-only
+    /// loop). A gone client is not an error.
+    pub fn respond(self, response: Response) {
+        let _ = self.reply.send(response);
+    }
+
+    /// Consumes the envelope, computing the reply from the **moved**
+    /// request — so outside loops never clone a payload-heavy request
+    /// just to answer it.
+    pub fn respond_with(self, f: impl FnOnce(Request) -> Response) {
+        let Envelope { request, reply, .. } = self;
+        let _ = reply.send(f(request));
+    }
 }
 
 /// A cloneable handle to a running command loop; every client surface
@@ -432,6 +482,7 @@ impl Envelope {
 pub struct ProjectHandle {
     tx: Sender<Envelope>,
     next_session: Arc<AtomicU64>,
+    tail: Arc<TailHub>,
 }
 
 impl ProjectHandle {
@@ -441,6 +492,12 @@ impl ProjectHandle {
             id: SessionId(self.next_session.fetch_add(1, Ordering::Relaxed)),
             tx: self.tx.clone(),
         }
+    }
+
+    /// The loop's replication tail hub — what a `tailfrom` connection
+    /// streams from.
+    pub fn tail_hub(&self) -> Arc<TailHub> {
+        Arc::clone(&self.tail)
     }
 }
 
@@ -486,7 +543,7 @@ impl ClientSession {
     }
 }
 
-fn loop_gone() -> ApiError {
+pub(crate) fn loop_gone() -> ApiError {
     ApiError::Io {
         reason: "project command loop has shut down".to_string(),
     }
@@ -507,11 +564,13 @@ where
     E: ScriptExecutor + Default + Send + 'static,
 {
     let (tx, rx) = unbounded();
+    let tail = service.tail_hub();
     let join = std::thread::spawn(move || run_command_loop(service, &rx, max_batch));
     (
         ProjectHandle {
             tx,
             next_session: Arc::new(AtomicU64::new(1)),
+            tail,
         },
         join,
     )
@@ -607,8 +666,10 @@ pub fn run_command_loop<E>(
         }
         settle(&mut service, &mut pending);
     }
-    // Senders are gone; flush whatever the last batch left behind.
+    // Senders are gone; flush whatever the last batch left behind, and
+    // end every tail subscription.
     let _ = service.set_group_commit(false);
+    service.tail_hub().close();
     if std::env::var_os("DAMOCLES_LOOP_STATS").is_some() {
         eprintln!(
             "loop stats: {n_reqs} requests in {n_batches} batches (avg {:.1})",
@@ -621,23 +682,62 @@ pub fn run_command_loop<E>(
 // The line-framed TCP front door
 // ---------------------------------------------------------------------
 
+/// Anything a network connection can submit decoded requests to: the
+/// leader's [`ClientSession`] and the follower's
+/// [`FollowerSession`](crate::engine::follower::FollowerSession) both
+/// implement it, so [`serve_with`] front-doors either node kind.
+pub trait RequestSink: Send + 'static {
+    /// The session tag requests are submitted under.
+    fn id(&self) -> SessionId;
+    /// Submits a request; the receiver yields its response.
+    fn submit(&self, request: Request) -> Receiver<Response>;
+}
+
+impl RequestSink for ClientSession {
+    fn id(&self) -> SessionId {
+        ClientSession::id(self)
+    }
+
+    fn submit(&self, request: Request) -> Receiver<Response> {
+        ClientSession::submit(self, request)
+    }
+}
+
 /// Serves the command protocol over a TCP listener, blocking forever:
 /// each connection is one session; each text line is one [`Request`]
 /// (raw §3.1 `postEvent …` lines are accepted as [`Request::Post`] from
-/// user `net-<session>`), answered by exactly one [`Response`] line.
+/// user `net-<session>`), answered by exactly one [`Response`] line. A
+/// successful `tailfrom` handshake switches the connection into tail
+/// mode: frames from the loop's [`TailHub`] stream until the client
+/// disconnects (see `PROTOCOL.md` §5).
 ///
 /// Spawn it on its own thread; connections get a thread each (the engine
 /// itself stays single-threaded behind the command queue, which is the
-/// serialization point). `accept` failures — aborted handshakes, fd
-/// exhaustion under connection bursts — are transient for a server that
-/// must outlive its clients: they are reported to stderr and retried
-/// after a short back-off instead of killing every live session.
+/// serialization point).
 pub fn serve_listener(listener: TcpListener, handle: &ProjectHandle) -> std::io::Result<()> {
+    let tail = handle.tail_hub();
+    let handle = handle.clone();
+    serve_with(listener, move || handle.session(), Some(tail))
+}
+
+/// The transport-generic accept loop behind [`serve_listener`]: `open`
+/// mints one [`RequestSink`] per connection, and `tail` (when given)
+/// enables tail-mode streaming for `tailfrom` handshakes. `accept`
+/// failures — aborted handshakes, fd exhaustion under connection
+/// bursts — are transient for a server that must outlive its clients:
+/// they are reported to stderr and retried after a short back-off
+/// instead of killing every live session.
+pub fn serve_with<S: RequestSink>(
+    listener: TcpListener,
+    open: impl Fn() -> S,
+    tail: Option<Arc<TailHub>>,
+) -> std::io::Result<()> {
     loop {
         match listener.accept() {
             Ok((stream, _addr)) => {
-                let session = handle.session();
-                std::thread::spawn(move || serve_connection(stream, &session));
+                let session = open();
+                let tail = tail.clone();
+                std::thread::spawn(move || serve_connection(stream, &session, tail));
             }
             Err(e) => {
                 eprintln!("damocles_server: accept failed (retrying): {e}");
@@ -647,11 +747,15 @@ pub fn serve_listener(listener: TcpListener, handle: &ProjectHandle) -> std::io:
     }
 }
 
-/// One connection's read-decode-execute-reply loop.
-fn serve_connection(stream: TcpStream, session: &ClientSession) {
+/// One connection's read-decode-execute-reply loop, switching into tail
+/// streaming after a successful `tailfrom` handshake.
+fn serve_connection<S: RequestSink>(stream: TcpStream, session: &S, tail: Option<Arc<TailHub>>) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    // A second write handle for the tail-streaming phase, taken up front
+    // while cloning is cheap and certain.
+    let tail_half = stream.try_clone().ok();
     // Reader and writer run concurrently so a connection that pipelines
     // request lines fills group-commit batches instead of paying one
     // fsync per line; responses still come back strictly in line order
@@ -669,6 +773,7 @@ fn serve_connection(stream: TcpStream, session: &ClientSession) {
             }
         }
     });
+    let mut tail_cursor: Option<TailCursor> = None;
     let reader = BufReader::new(read_half);
     for line in reader.lines() {
         let Ok(line) = line else {
@@ -678,7 +783,29 @@ fn serve_connection(stream: TcpStream, session: &ClientSession) {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let reply = match decode_net_line(trimmed, session.id()) {
+        let request = decode_net_line(trimmed, session.id());
+        // The tail handshake runs through the loop like any request (so
+        // its reply is ordered after earlier pipelined lines), but on
+        // success this connection stops being a request/response channel.
+        if let (Ok(Request::TailFrom { epoch, seq }), Some(_)) = (&request, &tail) {
+            let (epoch, seq) = (*epoch, *seq);
+            let response = session
+                .submit(request.expect("matched Ok above"))
+                .recv()
+                .unwrap_or_else(|| Response::Error(loop_gone()));
+            let accepted = matches!(response, Response::Tailing { .. });
+            let (tx, rx) = unbounded();
+            let _ = tx.send(response);
+            if order_tx.send(rx).is_err() {
+                break;
+            }
+            if accepted {
+                tail_cursor = Some(TailCursor { epoch, seq });
+                break;
+            }
+            continue;
+        }
+        let reply = match request {
             Ok(request) => session.submit(request),
             Err(e) => {
                 let (tx, rx) = unbounded();
@@ -692,6 +819,41 @@ fn serve_connection(stream: TcpStream, session: &ClientSession) {
     }
     drop(order_tx);
     let _ = write_thread.join();
+    if let (Some(mut cursor), Some(hub), Some(mut out)) = (tail_cursor, tail, tail_half) {
+        stream_tail(&hub, &mut cursor, &mut out);
+    }
+}
+
+/// Streams tail frames to one subscriber until its connection breaks or
+/// the hub ends the stream. Runs on the connection's own thread — the
+/// command loop is never blocked by a slow follower.
+fn stream_tail(hub: &TailHub, cursor: &mut TailCursor, out: &mut TcpStream) {
+    loop {
+        match hub.next_frames(cursor, std::time::Duration::from_millis(500)) {
+            Ok(frames) => {
+                let mut buf = String::new();
+                for frame in frames {
+                    buf.push_str(&frame.encode());
+                    buf.push('\n');
+                }
+                if out.write_all(buf.as_bytes()).is_err() {
+                    return; // subscriber gone
+                }
+            }
+            Err(ended) => {
+                let reason = match ended {
+                    TailEnded::Disabled => "journaling disabled on the leader; tail stream ends",
+                    TailEnded::Closed => "leader shutting down; tail stream ends",
+                };
+                let line = Response::Error(ApiError::Journal {
+                    reason: reason.to_string(),
+                })
+                .encode();
+                let _ = out.write_all(format!("{line}\n").as_bytes());
+                return;
+            }
+        }
+    }
 }
 
 /// Decodes one network line: the request codec, with the paper's bare

@@ -1,0 +1,497 @@
+//! Live journal tailing: the publication side of journal-aware
+//! replication.
+//!
+//! A journaling leader already writes every mutation as a checksummed
+//! journal record (`damocles_meta::journal`); replication is "merely"
+//! making that record stream consumable by other nodes *as it is
+//! committed*. This module provides the in-process half:
+//!
+//! * [`TailHub`] — a shared buffer of the current epoch's **committed**
+//!   journal records plus the checkpoint snapshot they extend. The
+//!   [`ProjectServer`](crate::engine::server::ProjectServer) publishes
+//!   into it at exactly three points: journal enable, each group-commit
+//!   flush (*after* the fsync — a record a tailer sees is always on the
+//!   leader's stable storage), and each checkpoint (epoch rollover).
+//! * [`TailFrame`] — the line-framed stream elements a subscriber
+//!   receives: a full snapshot bootstrap, a committed record, an epoch
+//!   rollover marker, or a keep-alive ping.
+//! * [`TailCursor`] — a subscriber's `(epoch, seq)` position;
+//!   [`TailHub::next_frames`] blocks until the hub has something past it.
+//!
+//! # Catch-up semantics
+//!
+//! A subscriber at `(epoch, seq)` is served incrementally when possible
+//! and re-bootstrapped when not:
+//!
+//! * same epoch, `seq` ≤ committed count → the records from `seq` on;
+//! * exactly at the end of the *previous* epoch when a checkpoint rolled
+//!   it over → a cheap [`TailFrame::Epoch`] marker (the follower's own
+//!   image already equals the new snapshot, so only the cursor moves);
+//! * anything else (stale epoch, future position, brand-new follower) →
+//!   [`TailFrame::Reset`] carrying the current checkpoint snapshot, then
+//!   records from sequence 0.
+//!
+//! The hub retains only the current epoch's records (bounded by the
+//! checkpoint fold policy) plus one `(epoch, final-count)` pair for the
+//! marker optimization — memory stays O(checkpoint interval), never
+//! O(history).
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+// The request codec's word helpers (`%` = empty string, shared
+// percent-escaping) — one implementation per crate, so the frame codec
+// cannot drift from the request codec.
+use crate::engine::api::{dec_str, enc_str};
+
+/// One element of a tail stream, in its line-framed wire form (see
+/// `PROTOCOL.md` §5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailFrame {
+    /// Adopt this checkpoint snapshot (a `persist` project image) as the
+    /// follower's whole state; records of `epoch` follow from sequence 0.
+    Reset {
+        /// The snapshot's checkpoint epoch.
+        epoch: u64,
+        /// The full project image (`damocles_meta::persist::save_project`
+        /// text plus the epoch marker line).
+        image: String,
+    },
+    /// One committed journal record of `epoch`, exactly as it sits in the
+    /// leader's journal file: `<fnv1a> <seq> <op…>` (verify and decode
+    /// with [`damocles_meta::journal::decode_record`]).
+    Record {
+        /// The epoch this record extends.
+        epoch: u64,
+        /// The record line (no trailing newline).
+        line: String,
+    },
+    /// The leader checkpointed: every record streamed so far is folded
+    /// into the snapshot at `epoch`. A caught-up follower's image already
+    /// equals that snapshot — reset the cursor to `(epoch, 0)` and re-tag
+    /// links in image order, exactly like the leader did.
+    Epoch {
+        /// The new checkpoint epoch.
+        epoch: u64,
+    },
+    /// Keep-alive: nothing new within the wait window. Lets the leader
+    /// detect dead tailer connections and followers detect stalls.
+    Ping,
+}
+
+impl TailFrame {
+    /// Renders the single-line wire form (no trailing newline).
+    ///
+    /// ```
+    /// use blueprint_core::engine::tail::TailFrame;
+    ///
+    /// let frame = TailFrame::Epoch { epoch: 4 };
+    /// assert_eq!(frame.encode(), "tail-epoch 4");
+    /// assert_eq!(TailFrame::decode("tail-epoch 4"), Ok(frame));
+    /// ```
+    pub fn encode(&self) -> String {
+        match self {
+            TailFrame::Reset { epoch, image } => {
+                format!("tail-reset {epoch} {}", enc_str(image))
+            }
+            TailFrame::Record { epoch, line } => format!("tail-rec {epoch} {line}"),
+            TailFrame::Epoch { epoch } => format!("tail-epoch {epoch}"),
+            TailFrame::Ping => "tail-ping".to_string(),
+        }
+    }
+
+    /// Parses the single-line wire form.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when the line is not a tail frame (a
+    /// follower treats that as a broken stream and reconnects).
+    pub fn decode(line: &str) -> Result<TailFrame, String> {
+        let (keyword, rest) = match line.split_once(' ') {
+            Some((k, r)) => (k, r),
+            None => (line, ""),
+        };
+        let epoch_of = |w: &str| {
+            w.parse::<u64>()
+                .map_err(|_| format!("bad tail epoch `{w}`"))
+        };
+        match keyword {
+            "tail-reset" => {
+                let (epoch, image) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| "tail-reset missing image".to_string())?;
+                Ok(TailFrame::Reset {
+                    epoch: epoch_of(epoch)?,
+                    image: dec_str(image)?,
+                })
+            }
+            "tail-rec" => {
+                let (epoch, record) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| "tail-rec missing record".to_string())?;
+                Ok(TailFrame::Record {
+                    epoch: epoch_of(epoch)?,
+                    line: record.to_string(),
+                })
+            }
+            "tail-epoch" => Ok(TailFrame::Epoch {
+                epoch: epoch_of(rest)?,
+            }),
+            "tail-ping" => Ok(TailFrame::Ping),
+            other => Err(format!("unknown tail frame `{other}`")),
+        }
+    }
+}
+
+/// A subscriber's position in the stream: the next record it expects is
+/// `seq` of `epoch`. A brand-new follower starts at `(0, 0)` and lets the
+/// first [`TailFrame::Reset`] place it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailCursor {
+    /// The checkpoint epoch the follower is applying records of.
+    pub epoch: u64,
+    /// The next record sequence number expected.
+    pub seq: u64,
+}
+
+/// Why a tail subscription ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailEnded {
+    /// Journaling was disabled on the leader (poisoned or the project was
+    /// swapped); there is no committed stream to follow any more.
+    Disabled,
+    /// The leader's command loop shut down.
+    Closed,
+}
+
+#[derive(Debug, Default)]
+struct TailState {
+    enabled: bool,
+    closed: bool,
+    epoch: u64,
+    snapshot: String,
+    /// Committed record lines of `epoch` (`<fnv1a> <seq> <op…>`), index ==
+    /// sequence number. Only fsynced records are ever pushed here.
+    records: Vec<String>,
+    /// `(epoch, final record count)` of the epoch the last checkpoint
+    /// folded — the seamless-marker fast path for caught-up subscribers.
+    prev: Option<(u64, u64)>,
+}
+
+/// The shared publication point between one journaling leader and any
+/// number of tail subscribers. See the module docs for the protocol.
+#[derive(Debug, Default)]
+pub struct TailHub {
+    state: Mutex<TailState>,
+    wake: Condvar,
+}
+
+impl TailHub {
+    /// A hub with no journal behind it (subscriptions end with
+    /// [`TailEnded::Disabled`] until a journal is enabled).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn notify(&self) {
+        self.wake.notify_all();
+    }
+
+    /// Journaling was (re-)enabled: `snapshot` is the initial checkpoint
+    /// image at `epoch`, and the journal is empty.
+    pub fn publish_enable(&self, epoch: u64, snapshot: String) {
+        let mut st = self.state.lock().expect("tail hub lock");
+        st.enabled = true;
+        st.epoch = epoch;
+        st.snapshot = snapshot;
+        st.records.clear();
+        st.prev = None;
+        drop(st);
+        self.notify();
+    }
+
+    /// A batch of records reached stable storage (the group-commit fsync
+    /// returned). `lines` are the record lines in sequence order,
+    /// continuing the current epoch's count.
+    pub fn publish_records(&self, lines: impl IntoIterator<Item = String>) {
+        let mut st = self.state.lock().expect("tail hub lock");
+        if !st.enabled {
+            return;
+        }
+        st.records.extend(lines);
+        drop(st);
+        self.notify();
+    }
+
+    /// A checkpoint folded the journal into `snapshot` at `epoch`.
+    /// `seamless` means every previously committed record is represented
+    /// in the stream (nothing was dropped outside it), so a caught-up
+    /// subscriber may take the cheap [`TailFrame::Epoch`] marker instead
+    /// of re-bootstrapping.
+    pub fn publish_checkpoint(&self, epoch: u64, snapshot: String, seamless: bool) {
+        let mut st = self.state.lock().expect("tail hub lock");
+        st.prev = seamless.then_some((st.epoch, st.records.len() as u64));
+        st.enabled = true;
+        st.epoch = epoch;
+        st.snapshot = snapshot;
+        st.records.clear();
+        drop(st);
+        self.notify();
+    }
+
+    /// Journaling was disabled (poisoned, or the project server was
+    /// swapped out). Live subscriptions end with [`TailEnded::Disabled`].
+    pub fn publish_disable(&self) {
+        let mut st = self.state.lock().expect("tail hub lock");
+        st.enabled = false;
+        st.snapshot.clear();
+        st.records.clear();
+        st.prev = None;
+        drop(st);
+        self.notify();
+    }
+
+    /// The leader is shutting down; all subscriptions end.
+    pub fn close(&self) {
+        self.state.lock().expect("tail hub lock").closed = true;
+        self.notify();
+    }
+
+    /// The committed stream position `(epoch, record count)`, or `None`
+    /// when no journal is enabled — the [`Tailing`] handshake payload.
+    ///
+    /// [`Tailing`]: crate::engine::api::Response::Tailing
+    pub fn position(&self) -> Option<(u64, u64)> {
+        let st = self.state.lock().expect("tail hub lock");
+        st.enabled.then_some((st.epoch, st.records.len() as u64))
+    }
+
+    /// Blocks until the stream has something past `cursor` (or `timeout`
+    /// elapses — then a single [`TailFrame::Ping`] is returned so the
+    /// caller can probe its transport). Advances `cursor` past whatever
+    /// it returns.
+    ///
+    /// # Errors
+    ///
+    /// [`TailEnded`] when the stream is over; the subscriber should
+    /// surface that to its follower and disconnect.
+    pub fn next_frames(
+        &self,
+        cursor: &mut TailCursor,
+        timeout: Duration,
+    ) -> Result<Vec<TailFrame>, TailEnded> {
+        let mut st = self.state.lock().expect("tail hub lock");
+        loop {
+            if st.closed {
+                return Err(TailEnded::Closed);
+            }
+            if !st.enabled {
+                return Err(TailEnded::Disabled);
+            }
+            if cursor.epoch != st.epoch {
+                if st.prev == Some((cursor.epoch, cursor.seq)) {
+                    // Caught up to the fold point: the follower's image
+                    // already equals the new snapshot.
+                    cursor.epoch = st.epoch;
+                    cursor.seq = 0;
+                    return Ok(vec![TailFrame::Epoch { epoch: st.epoch }]);
+                }
+                cursor.epoch = st.epoch;
+                cursor.seq = 0;
+                return Ok(vec![TailFrame::Reset {
+                    epoch: st.epoch,
+                    image: st.snapshot.clone(),
+                }]);
+            }
+            let committed = st.records.len() as u64;
+            if cursor.seq > committed {
+                // A position we never committed (foreign or future
+                // cursor): re-bootstrap rather than guess.
+                cursor.seq = 0;
+                return Ok(vec![TailFrame::Reset {
+                    epoch: st.epoch,
+                    image: st.snapshot.clone(),
+                }]);
+            }
+            if cursor.seq < committed {
+                let frames = st.records[cursor.seq as usize..]
+                    .iter()
+                    .map(|line| TailFrame::Record {
+                        epoch: st.epoch,
+                        line: line.clone(),
+                    })
+                    .collect();
+                cursor.seq = committed;
+                return Ok(frames);
+            }
+            let (guard, wait) = self.wake.wait_timeout(st, timeout).expect("tail hub lock");
+            st = guard;
+            if wait.timed_out() {
+                return Ok(vec![TailFrame::Ping]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use damocles_meta::journal::{encode_record, JournalOp};
+    use damocles_meta::Oid;
+
+    fn record_line(seq: u64) -> String {
+        let op = JournalOp::CreateOid {
+            oid: Oid::new("blk", "v", seq as u32 + 1),
+        };
+        encode_record(seq, &op).trim_end().to_string()
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let frames = vec![
+            TailFrame::Reset {
+                epoch: 3,
+                image: "damocles-db v1\noid a,v,1\n# epoch=3\n".into(),
+            },
+            TailFrame::Record {
+                epoch: 3,
+                line: record_line(0),
+            },
+            TailFrame::Epoch { epoch: 4 },
+            TailFrame::Ping,
+        ];
+        for frame in frames {
+            let line = frame.encode();
+            assert!(!line.contains('\n'), "{line:?}");
+            assert_eq!(TailFrame::decode(&line), Ok(frame), "{line}");
+        }
+        assert!(TailFrame::decode("blah 1").is_err());
+    }
+
+    #[test]
+    fn fresh_subscriber_bootstraps_then_streams() {
+        let hub = TailHub::new();
+        let mut cursor = TailCursor { epoch: 0, seq: 0 };
+        // No journal yet: the subscription ends.
+        assert_eq!(
+            hub.next_frames(&mut cursor, Duration::from_millis(1)),
+            Err(TailEnded::Disabled)
+        );
+        hub.publish_enable(1, "image-e1".into());
+        // Epoch 0 != 1: full bootstrap, then the committed records.
+        let frames = hub
+            .next_frames(&mut cursor, Duration::from_millis(1))
+            .unwrap();
+        assert_eq!(
+            frames,
+            vec![TailFrame::Reset {
+                epoch: 1,
+                image: "image-e1".into()
+            }]
+        );
+        hub.publish_records([record_line(0), record_line(1)]);
+        let frames = hub
+            .next_frames(&mut cursor, Duration::from_millis(1))
+            .unwrap();
+        assert_eq!(frames.len(), 2);
+        assert!(
+            matches!(&frames[0], TailFrame::Record { epoch: 1, line } if *line == record_line(0))
+        );
+        assert_eq!(cursor, TailCursor { epoch: 1, seq: 2 });
+        // Caught up: the wait times out into a ping.
+        assert_eq!(
+            hub.next_frames(&mut cursor, Duration::from_millis(1)),
+            Ok(vec![TailFrame::Ping])
+        );
+    }
+
+    #[test]
+    fn caught_up_subscriber_gets_the_cheap_rollover_marker() {
+        let hub = TailHub::new();
+        hub.publish_enable(1, "image-e1".into());
+        hub.publish_records([record_line(0)]);
+        let mut caught_up = TailCursor { epoch: 1, seq: 1 };
+        let mut behind = TailCursor { epoch: 1, seq: 0 };
+        hub.publish_checkpoint(2, "image-e2".into(), true);
+        assert_eq!(
+            hub.next_frames(&mut caught_up, Duration::from_millis(1)),
+            Ok(vec![TailFrame::Epoch { epoch: 2 }])
+        );
+        assert_eq!(caught_up, TailCursor { epoch: 2, seq: 0 });
+        // The straggler missed record 0 of the folded epoch: full reset.
+        assert_eq!(
+            hub.next_frames(&mut behind, Duration::from_millis(1)),
+            Ok(vec![TailFrame::Reset {
+                epoch: 2,
+                image: "image-e2".into()
+            }])
+        );
+    }
+
+    #[test]
+    fn non_seamless_checkpoint_forces_reset_even_when_caught_up() {
+        let hub = TailHub::new();
+        hub.publish_enable(1, "image-e1".into());
+        hub.publish_records([record_line(0)]);
+        let mut caught_up = TailCursor { epoch: 1, seq: 1 };
+        // Ops were folded without ever being streamed: the marker would
+        // silently skip them.
+        hub.publish_checkpoint(2, "image-e2".into(), false);
+        assert!(matches!(
+            hub.next_frames(&mut caught_up, Duration::from_millis(1))
+                .unwrap()
+                .as_slice(),
+            [TailFrame::Reset { epoch: 2, .. }]
+        ));
+    }
+
+    #[test]
+    fn future_cursor_is_reset_not_trusted() {
+        let hub = TailHub::new();
+        hub.publish_enable(1, "image-e1".into());
+        let mut cursor = TailCursor { epoch: 1, seq: 99 };
+        assert!(matches!(
+            hub.next_frames(&mut cursor, Duration::from_millis(1))
+                .unwrap()
+                .as_slice(),
+            [TailFrame::Reset { epoch: 1, .. }]
+        ));
+        assert_eq!(cursor, TailCursor { epoch: 1, seq: 0 });
+    }
+
+    #[test]
+    fn disable_and_close_end_subscriptions() {
+        let hub = TailHub::new();
+        hub.publish_enable(1, "image".into());
+        let mut cursor = TailCursor { epoch: 1, seq: 0 };
+        hub.publish_disable();
+        assert_eq!(
+            hub.next_frames(&mut cursor, Duration::from_millis(1)),
+            Err(TailEnded::Disabled)
+        );
+        assert_eq!(hub.position(), None);
+        hub.close();
+        assert_eq!(
+            hub.next_frames(&mut cursor, Duration::from_millis(1)),
+            Err(TailEnded::Closed)
+        );
+    }
+
+    #[test]
+    fn blocked_subscriber_wakes_on_publish() {
+        use std::sync::Arc;
+        let hub = Arc::new(TailHub::new());
+        hub.publish_enable(1, "image".into());
+        let waiter = {
+            let hub = Arc::clone(&hub);
+            std::thread::spawn(move || {
+                let mut cursor = TailCursor { epoch: 1, seq: 0 };
+                hub.next_frames(&mut cursor, Duration::from_secs(10))
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        hub.publish_records([record_line(0)]);
+        let frames = waiter.join().unwrap().unwrap();
+        assert!(matches!(frames.as_slice(), [TailFrame::Record { .. }]));
+    }
+}

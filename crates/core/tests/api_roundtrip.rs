@@ -120,6 +120,9 @@ fn request() -> impl Strategy<Value = Request> {
         Just(Request::Dot).boxed(),
         Just(Request::Audit).boxed(),
         Just(Request::Stat).boxed(),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(epoch, seq)| Request::TailFrom { epoch, seq })
+            .boxed(),
     ]
 }
 
@@ -168,6 +171,12 @@ fn api_error() -> impl Strategy<Value = ApiError> {
             .boxed(),
         text().prop_map(|reason| ApiError::Meta { reason }).boxed(),
         text().prop_map(|reason| ApiError::Io { reason }).boxed(),
+        text()
+            .prop_map(|leader| ApiError::ReadOnly { leader })
+            .boxed(),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(epoch, seq)| ApiError::Lagging { epoch, seq })
+            .boxed(),
     ]
 }
 
@@ -291,6 +300,9 @@ fn response() -> impl Strategy<Value = Response> {
                     journal_records: records.map(u64::from),
                 },
             })
+            .boxed(),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(epoch, seq)| Response::Tailing { epoch, seq })
             .boxed(),
         api_error().prop_map(Response::Error).boxed(),
     ]

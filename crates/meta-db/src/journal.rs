@@ -22,6 +22,10 @@
 //!   rebuilt rather than trusted from the file.
 //! * [`compact`] — folds `snapshot + tail` into a fresh snapshot at the
 //!   next epoch.
+//! * [`decode_record`] / [`apply_op`] — the per-record halves of recovery,
+//!   exposed so a replication follower can verify and apply a *streamed*
+//!   journal tail record-by-record through the same code paths (see
+//!   `PROTOCOL.md` §5 for the tail-stream framing).
 //!
 //! # File format
 //!
@@ -461,6 +465,19 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// Renders one journal record line (with trailing newline).
+///
+/// The record grammar is `<fnv1a-64 hex> <seq> <op…>`; the checksum covers
+/// `"<seq> <op…>"`. [`decode_record`] is the inverse.
+///
+/// ```
+/// use damocles_meta::journal::{decode_record, encode_record, JournalOp};
+/// use damocles_meta::Oid;
+///
+/// let op = JournalOp::CreateOid { oid: Oid::new("cpu", "schematic", 2) };
+/// let line = encode_record(7, &op);
+/// assert!(line.ends_with('\n'));
+/// assert_eq!(decode_record(line.trim_end(), 7), Ok(op));
+/// ```
 pub fn encode_record(seq: u64, op: &JournalOp) -> String {
     let body = op.encode();
     let payload = format!("{seq} {body}");
@@ -479,6 +496,36 @@ fn is_torn_header(h: &str) -> bool {
         Some(rest) => rest.bytes().all(|b| b.is_ascii_digit()),
         None => HEADER_PREFIX.starts_with(h),
     }
+}
+
+/// Parses one journal record line (no trailing newline): verifies the
+/// FNV-1a checksum, checks the sequence number against `expected_seq`,
+/// and decodes the op body. The exact inverse of [`encode_record`] —
+/// replication tailers use it to verify streamed records before applying
+/// them.
+///
+/// # Errors
+///
+/// A human-readable reason on checksum mismatch, sequence gap, or a
+/// malformed op body.
+///
+/// ```
+/// use damocles_meta::journal::{decode_record, encode_record, JournalOp};
+/// use damocles_meta::{Oid, Value};
+///
+/// let op = JournalOp::SetProp {
+///     oid: Oid::new("cpu", "schematic", 2),
+///     name: "uptodate".into(),
+///     value: Value::Bool(false),
+/// };
+/// let line = encode_record(0, &op);
+/// // A flipped byte fails the checksum; a wrong sequence is a gap.
+/// assert!(decode_record(&line.replace("cpu", "gpu"), 0).is_err());
+/// assert!(decode_record(line.trim_end(), 1).unwrap_err().contains("sequence"));
+/// assert_eq!(decode_record(line.trim_end(), 0), Ok(op));
+/// ```
+pub fn decode_record(line: &str, expected_seq: u64) -> Result<JournalOp, String> {
+    parse_record(line.trim_end_matches(['\r', '\n']), expected_seq)
 }
 
 fn parse_record(line: &str, expected_seq: u64) -> Result<JournalOp, String> {
@@ -816,9 +863,23 @@ pub fn recover(snapshot: &str, journal: &[u8]) -> Result<Recovered, JournalError
     })
 }
 
-/// Applies one op through the public API. Errors are strings folded into
-/// [`JournalError::Replay`] by the caller.
-fn apply_op(
+/// Applies one op to a live database + workspace through the normal
+/// [`MetaDb`] API, so every derived structure (version chains, indices,
+/// interned event bitsets) is rebuilt by the same code paths that built it
+/// on the leader. `tags` is the replay-side journal-tag map (tag →
+/// [`LinkId`]); seed it from [`MetaDb::links_in_image_order`] after
+/// adopting a snapshot, exactly as [`recover`] does, and let this function
+/// maintain it across `AddLink`/`RemoveLink` ops.
+///
+/// This is the unit step of both [`recover`] and a replication follower
+/// applying a streamed journal tail.
+///
+/// # Errors
+///
+/// A human-readable reason when the op does not apply (unknown OID or
+/// tag, duplicate creation, …) — the op stream does not belong to this
+/// database image.
+pub fn apply_op(
     db: &mut MetaDb,
     workspace: &mut Workspace,
     tags: &mut HashMap<u64, LinkId>,

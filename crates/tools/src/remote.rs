@@ -6,12 +6,15 @@
 //! [`Request`]/[`Response`] codec: encode a request, write one line, read
 //! one line, decode the response. Everything a tool chain needs — post a
 //! result event, trigger a drain, query state — without linking the
-//! engine into the tool process, exactly the paper's process split.
+//! engine into the tool process, exactly the paper's process split. It
+//! is also the follower runtime's transport: [`RemoteWrapper::tail_from`]
+//! turns one connection into a live journal-tail stream.
 
 use std::io::{self, BufRead, BufReader, Write as _};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use blueprint_core::engine::api::{ApiError, Request, Response};
+use blueprint_core::engine::tail::TailFrame;
 use damocles_meta::EventMessage;
 
 /// Renders the protocol line a wrapper sends to post `message` as `user` —
@@ -95,6 +98,83 @@ impl RemoteWrapper {
     /// As [`RemoteWrapper::request`].
     pub fn process_all(&mut self) -> io::Result<Response> {
         self.request(&Request::ProcessAll)
+    }
+
+    /// Performs the replication tail handshake
+    /// ([`Request::TailFrom`]) and, when the leader accepts, converts
+    /// this connection into a frame stream — the follower runtime's
+    /// catch-up + live-tail transport. The connection cannot be used for
+    /// request/response traffic afterwards, which is why this consumes
+    /// the wrapper.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures. A *protocol* refusal (journaling off, or the
+    /// peer is itself a follower) is [`TailHandshake::Refused`], not an
+    /// `Err`.
+    pub fn tail_from(mut self, epoch: u64, seq: u64) -> io::Result<TailHandshake> {
+        let response = self.request(&Request::TailFrom { epoch, seq })?;
+        match response {
+            Response::Tailing { .. } => Ok(TailHandshake::Accepted {
+                position: response,
+                stream: TailStream {
+                    reader: self.reader,
+                },
+            }),
+            other => Ok(TailHandshake::Refused(other)),
+        }
+    }
+}
+
+/// The outcome of [`RemoteWrapper::tail_from`].
+#[derive(Debug)]
+pub enum TailHandshake {
+    /// The leader accepted; read frames from `stream` until it ends.
+    Accepted {
+        /// The [`Response::Tailing`] line carrying the leader's
+        /// committed position.
+        position: Response,
+        /// The live frame stream.
+        stream: TailStream,
+    },
+    /// The leader refused (its structured response says why).
+    Refused(Response),
+}
+
+/// The read side of an accepted tail stream: one [`TailFrame`] per line.
+#[derive(Debug)]
+pub struct TailStream {
+    reader: BufReader<TcpStream>,
+}
+
+impl TailStream {
+    /// Reads the next frame, blocking until the leader sends one (the
+    /// leader pings at least every ~500ms, so this also detects stalls).
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` when the leader closed the stream; other I/O
+    /// errors from the transport; `InvalidData` carrying the leader's
+    /// structured error when the stream ended protocol-side (journaling
+    /// disabled, leader shutdown) or a line was not a frame.
+    pub fn next_frame(&mut self) -> io::Result<TailFrame> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "leader closed the tail stream",
+            ));
+        }
+        let trimmed = line.trim_end();
+        TailFrame::decode(trimmed).map_err(|frame_err| {
+            // The stream's last line is a structured `err …` response
+            // when the leader ends it deliberately.
+            let reason = match Response::decode(trimmed) {
+                Ok(Response::Error(e)) => format!("leader ended the tail stream: {e}"),
+                _ => format!("broken tail stream: {frame_err}"),
+            };
+            io::Error::new(io::ErrorKind::InvalidData, reason)
+        })
     }
 }
 

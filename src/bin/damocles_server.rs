@@ -1,12 +1,14 @@
-//! `damocles_server` — the networked project-server front door.
+//! `damocles_server` — the networked project-server front door, in one
+//! of two roles.
 //!
-//! The paper's wrapper programs emit `postEvent` lines "over the network"
-//! (§3.1); this binary gives them an actual network to talk to. It loads
-//! a blueprint, spawns the single-engine command loop, and serves the
-//! typed command protocol over a minimal line-framed TCP socket: each
-//! connection is one session, each line one request, answered by exactly
-//! one response line in the `Request`/`Response` text codec. Bare
-//! `postEvent …` wire lines are accepted as sugar for `post`.
+//! **Leader** (default): the paper's wrapper programs emit `postEvent`
+//! lines "over the network" (§3.1); this binary gives them an actual
+//! network to talk to. It loads a blueprint, spawns the single-engine
+//! command loop, and serves the typed command protocol over a minimal
+//! line-framed TCP socket: each connection is one session, each line one
+//! request, answered by exactly one response line in the
+//! `Request`/`Response` text codec. Bare `postEvent …` wire lines are
+//! accepted as sugar for `post`.
 //!
 //! ```console
 //! $ damocles_server edtc.bp --listen 127.0.0.1:7425 --journal ./dura --batch 32
@@ -21,14 +23,33 @@
 //! execute back-to-back, their journal ops land with one append+fsync,
 //! and only then are the replies written — so a reply in hand means the
 //! effect is durable, at a fraction of the per-request fsync cost.
+//!
+//! **Follower** (`--follow <leader-addr>`): a read-only replica. It
+//! connects to a journaling leader, bootstraps from the leader's
+//! checkpoint snapshot, applies the committed journal-record stream live
+//! (records only become visible after the leader's group-commit fsync),
+//! and serves `query`/`show`/`summary`/`dump`/`stat`/… from the replica
+//! while rejecting mutations with a structured `read-only` error naming
+//! the leader. A lost leader connection degrades to stale reads and
+//! reconnects with the follower's cursor.
+//!
+//! ```console
+//! $ damocles_server edtc.bp --follow 10.0.0.7:7425 --listen 127.0.0.1:7426
+//! following 10.0.0.7:7425; read-only front door on 127.0.0.1:7426
+//! ```
 
 use std::net::TcpListener;
 
 use blueprint_core::engine::api::{Request, Response, DEFAULT_CHECKPOINT_EVERY};
-use blueprint_core::engine::service::{serve_listener, spawn_project_loop, ProjectService};
+use blueprint_core::engine::follower::{spawn_follower_loop, FollowerMsg};
+use blueprint_core::engine::service::{
+    serve_listener, serve_with, spawn_project_loop, ProjectService,
+};
+use damocles_tools::remote::{RemoteWrapper, TailHandshake};
 
 const USAGE: &str = "usage: damocles_server <blueprint.bp> [--listen <addr>] \
-                     [--journal <dir>] [--every <ops>] [--batch <n>]";
+                     [--journal <dir>] [--every <ops>] [--batch <n>] \
+                     [--follow <leader-addr>]";
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -37,6 +58,7 @@ fn main() {
     let mut journal_dir: Option<String> = None;
     let mut every: u64 = DEFAULT_CHECKPOINT_EVERY;
     let mut batch: usize = 32;
+    let mut follow: Option<String> = None;
 
     let value_of = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| {
@@ -60,6 +82,7 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--follow" => follow = Some(value_of(&mut args, "--follow")),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -75,6 +98,10 @@ fn main() {
         eprintln!("{USAGE}");
         std::process::exit(2);
     };
+    if follow.is_some() && journal_dir.is_some() {
+        eprintln!("error: --follow and --journal are exclusive (a follower replicates the leader's journal)\n{USAGE}");
+        std::process::exit(2);
+    }
     let source = match std::fs::read_to_string(&blueprint_path) {
         Ok(s) => s,
         Err(e) => {
@@ -96,6 +123,21 @@ fn main() {
             std::process::exit(2);
         }
     }
+
+    let listener = match TcpListener::bind(&listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot bind {listen}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let bound = listener.local_addr().map_or(listen, |a| a.to_string());
+
+    if let Some(leader) = follow {
+        run_follower(service, listener, &bound, leader);
+        return;
+    }
+
     if let Some(dir) = journal_dir {
         match service.call(Request::EnableJournal {
             dir: dir.clone(),
@@ -115,19 +157,72 @@ fn main() {
         }
     }
 
-    let listener = match TcpListener::bind(&listen) {
-        Ok(l) => l,
-        Err(e) => {
-            eprintln!("error: cannot bind {listen}: {e}");
-            std::process::exit(2);
-        }
-    };
-    eprintln!(
-        "listening on {} (group-commit batch {batch})",
-        listener.local_addr().map_or(listen, |a| a.to_string())
-    );
+    eprintln!("listening on {bound} (group-commit batch {batch})");
     let (handle, _join) = spawn_project_loop(service, batch);
     if let Err(e) = serve_listener(listener, &handle) {
+        eprintln!("error: listener failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Follower role: spawn the read-only loop, keep a tail connection to
+/// the leader alive (reconnecting from the applied cursor), and serve
+/// the read-only front door.
+fn run_follower(service: ProjectService, listener: TcpListener, bound: &str, leader: String) {
+    let (handle, _join) = spawn_follower_loop(service, leader.clone());
+    let feed = handle.feed();
+    let status = handle.status();
+    eprintln!("following {leader}; read-only front door on {bound}");
+
+    std::thread::spawn(move || loop {
+        // The unservable sentinel cursor (after a divergence) forces the
+        // leader to answer with a full snapshot reset.
+        let (epoch, seq) = status.handshake_cursor();
+        let gone = |reason: String| {
+            let _ = feed.send(FollowerMsg::LeaderGone { reason });
+        };
+        match RemoteWrapper::connect(&leader, "follower") {
+            Ok(wrapper) => match wrapper.tail_from(epoch, seq) {
+                Ok(TailHandshake::Accepted {
+                    position,
+                    mut stream,
+                }) => {
+                    eprintln!(
+                        "tailing {leader} from ({epoch}, {seq}); leader at `{}`",
+                        position.encode()
+                    );
+                    loop {
+                        match stream.next_frame() {
+                            Ok(frame) => {
+                                if feed.send(FollowerMsg::Frame(frame)).is_err() {
+                                    return; // follower loop gone: shut down
+                                }
+                                if status.needs_reset() {
+                                    // The replica diverged: incremental
+                                    // frames from this connection cannot
+                                    // repair it. Reconnect for a reset.
+                                    gone("replica diverged; re-bootstrapping".to_string());
+                                    break;
+                                }
+                            }
+                            Err(e) => {
+                                gone(e.to_string());
+                                break;
+                            }
+                        }
+                    }
+                }
+                Ok(TailHandshake::Refused(resp)) => {
+                    gone(format!("leader refused tail: {}", resp.encode()));
+                }
+                Err(e) => gone(format!("tail handshake failed: {e}")),
+            },
+            Err(e) => gone(format!("cannot connect: {e}")),
+        }
+        std::thread::sleep(std::time::Duration::from_secs(1));
+    });
+
+    if let Err(e) = serve_with(listener, || handle.session(), None) {
         eprintln!("error: listener failed: {e}");
         std::process::exit(1);
     }
