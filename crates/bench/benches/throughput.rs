@@ -32,7 +32,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 
 use blueprint_core::engine::api::{Request, Response};
 use blueprint_core::engine::server::ProjectServer;
-use blueprint_core::engine::service::{spawn_project_loop, ClientSession, ProjectService};
+use blueprint_core::engine::service::{
+    spawn_project_loop, spawn_project_loop_with_window, ClientSession, ProjectService,
+};
 use damocles_meta::{persist, MetaDb, Workspace};
 
 /// Pipelined requests per measured iteration.
@@ -61,7 +63,8 @@ fn empty_image_path() -> std::path::PathBuf {
 }
 
 /// Spawns a command loop over an EDTC service, optionally journaled.
-fn spawn(tag: &str, journaled: bool, max_batch: usize) -> ClientSession {
+/// `max_batch = None` uses the adaptive (production) window.
+fn spawn(tag: &str, journaled: bool, max_batch: Option<usize>) -> ClientSession {
     let mut service = edtc_service();
     if journaled {
         let dir = bench_dir(tag);
@@ -73,7 +76,10 @@ fn spawn(tag: &str, journaled: bool, max_batch: usize) -> ClientSession {
         });
         assert!(matches!(resp, Response::Epoch { .. }), "{resp:?}");
     }
-    let (handle, _join) = spawn_project_loop(service, max_batch);
+    let (handle, _join) = match max_batch {
+        Some(n) => spawn_project_loop_with_window(service, Some(n)),
+        None => spawn_project_loop(service),
+    };
     handle.session()
 }
 
@@ -114,11 +120,14 @@ fn bench_throughput(c: &mut Criterion) {
     let reset = empty_image_path();
     let reset = reset.display().to_string();
 
-    let configs: &[(&str, bool, usize)] = &[
-        ("checkin_fsync_per_op", true, 1),
-        ("checkin_group_commit_16", true, 16),
-        ("checkin_group_commit_64", true, 64),
-        ("checkin_no_journal", false, 1024),
+    let configs: &[(&str, bool, Option<usize>)] = &[
+        ("checkin_fsync_per_op", true, Some(1)),
+        ("checkin_group_commit_16", true, Some(16)),
+        ("checkin_group_commit_64", true, Some(64)),
+        // The production default: no knob, window derived from the
+        // pipelined backlog at batch formation.
+        ("checkin_group_commit_adaptive", true, None),
+        ("checkin_no_journal", false, None),
     ];
     for &(name, journaled, max_batch) in configs {
         let session = spawn(name, journaled, max_batch);

@@ -1,0 +1,177 @@
+//! Experiment WAVES-PARALLEL — sharded propagation waves across worker
+//! threads (ISSUE 5).
+//!
+//! The design under measurement: `F` link-disjoint view families, each a
+//! `D`-stage derivation chain instantiated for `B` blocks. The compiler
+//! puts every family in its own shard component, so a batch of events
+//! that touches all families splits into `F` independent execution
+//! groups — the parallelism the worker pool exploits.
+//!
+//! One measured iteration posts a `ckin` event at every family's root
+//! OIDs (pure property waves: no objects or links are created, so the
+//! database is identical across iterations and series) and drains the
+//! queue with `process_all`. Series differ only in
+//! `ProjectServer::set_wave_workers`:
+//!
+//! * `waves/parallel/workers_1` — the sequential compiled path;
+//! * `waves/parallel/workers_{2,4,8}` — the sharded batch path.
+//!
+//! Interpretation: the sharded path is differentially proven
+//! byte-identical to sequential at any worker count (see
+//! `crates/core/tests/compiled_differential.rs`), so these series
+//! measure pure wall-clock. Two caveats the JSON spells out:
+//!
+//! * speedup requires hardware parallelism — on a single-core container
+//!   the sharded series instead price the overlay + epilogue overhead
+//!   (the JSON records the core count next to the numbers);
+//! * the write-heavy `waves/parallel` storm is the adverse case: ~85% of
+//!   its wall-clock is property-write application (index + journal-op +
+//!   stats maintenance), which the deterministic epilogue replays
+//!   serially — Amdahl caps that workload regardless of cores. The
+//!   `waves/exec_storm` series adds per-delivery tool-invocation
+//!   rendering (no epilogue cost), the workload shape sharding helps.
+//!
+//! Smoke mode for CI: set `BENCH_SMOKE=1` to shrink measurement windows;
+//! set `BENCH_JSON=<file>` to append results as JSON lines — that is how
+//! `BENCH_pr5.json` is produced.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use blueprint_core::engine::server::ProjectServer;
+
+/// Link-disjoint view families.
+const FAMILIES: usize = 8;
+/// Derivation stages per family (depth of each wave).
+const STAGES: usize = 6;
+/// Blocks (independent chains) per family.
+const BLOCKS: usize = 16;
+
+/// A blueprint of `FAMILIES` disjoint derivation chains. Every stage
+/// carries a `let` so each delivery re-evaluates an expression — the
+/// compute the workers parallelize. With `exec_heavy`, every stale
+/// delivery also renders a tool invocation (the §3.3 automatic tool
+/// loop): pure worker-side compute with no epilogue write, the workload
+/// shape sharding helps most.
+fn family_blueprint(exec_heavy: bool) -> String {
+    use std::fmt::Write as _;
+    let outofdate_rule = if exec_heavy {
+        "when outofdate do uptodate = false; exec checker \"$oid\" \"$event by $user at $date\" done\n"
+    } else {
+        "when outofdate do uptodate = false done\n"
+    };
+    let mut src = format!(
+        "blueprint waves\n\
+         view default\n\
+             property uptodate default true\n\
+             let tracked = ($uptodate == true)\n\
+             when ckin do uptodate = true; post outofdate down done\n\
+             {outofdate_rule}\
+         endview\n",
+    );
+    for f in 0..FAMILIES {
+        let _ = writeln!(src, "view f{f}_s0 endview");
+        for s in 1..STAGES {
+            let _ = writeln!(
+                src,
+                "view f{f}_s{s}\n    link_from f{f}_s{prev} move propagates outofdate, ckin type derived\nendview",
+                prev = s - 1
+            );
+        }
+    }
+    src.push_str("endblueprint\n");
+    src
+}
+
+/// Builds the populated server: `BLOCKS` chains per family, each
+/// `STAGES` deep, and returns the root OID names events target.
+fn populated(workers: usize, exec_heavy: bool) -> (ProjectServer, Vec<String>) {
+    let mut server =
+        ProjectServer::from_source(&family_blueprint(exec_heavy)).expect("blueprint parses");
+    server.set_wave_workers(workers);
+    let mut roots = Vec::new();
+    for f in 0..FAMILIES {
+        for b in 0..BLOCKS {
+            let block = format!("f{f}b{b}");
+            let mut prev = server
+                .checkin(&block, &format!("f{f}_s0"), "bench", b"r".to_vec())
+                .unwrap();
+            roots.push(prev.to_string());
+            for s in 1..STAGES {
+                let next = server
+                    .checkin(&block, &format!("f{f}_s{s}"), "bench", b"d".to_vec())
+                    .unwrap();
+                server.connect_oids(&prev, &next).unwrap();
+                prev = next;
+            }
+        }
+    }
+    server.process_all().unwrap();
+    (server, roots)
+}
+
+/// One measured iteration: a batch of root `ckin` events (one per chain,
+/// spanning every family) drained to quiescence.
+fn storm(server: &mut ProjectServer, roots: &[String]) -> u64 {
+    for root in roots {
+        server
+            .post_line(&format!("postEvent ckin up {root}"), "bench")
+            .unwrap();
+    }
+    server.process_all().unwrap().deliveries
+}
+
+fn bench_series(c: &mut Criterion, name: &str, exec_heavy: bool) {
+    let mut group = c.benchmark_group(name);
+    // Elements = wave deliveries per iteration: every chain delivers at
+    // each of its stages.
+    group.throughput(Throughput::Elements((FAMILIES * BLOCKS * STAGES) as u64));
+    for &workers in &[1usize, 2, 4, 8] {
+        let (mut server, roots) = populated(workers, exec_heavy);
+        // Sanity: the partition really has one group per family.
+        if workers > 1 {
+            let map = server.shard_map();
+            assert!(
+                map.group_count() as usize >= FAMILIES,
+                "expected >= {FAMILIES} shard groups, got {}",
+                map.group_count()
+            );
+            assert_eq!(map.merges(), 0);
+        }
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, _| {
+            b.iter(|| black_box(storm(&mut server, &roots)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_waves(c: &mut Criterion) {
+    // Write-heavy tracking storm: every delivery's product is a property
+    // write, so the deterministic epilogue (serial write replay) bounds
+    // the speedup — the adverse case for sharding.
+    bench_series(c, "waves/parallel", false);
+    // Tool-invocation storm: deliveries also render exec invocations —
+    // worker-side compute with no epilogue cost, the favourable case.
+    bench_series(c, "waves/exec_storm", true);
+}
+
+fn config() -> Criterion {
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let (measure_ms, warm_ms, samples) = if smoke {
+        (250, 80, 5)
+    } else {
+        (2_000, 400, 20)
+    };
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(measure_ms))
+        .warm_up_time(std::time::Duration::from_millis(warm_ms))
+        .sample_size(samples)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_parallel_waves
+}
+criterion_main!(benches);

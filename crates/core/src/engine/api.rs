@@ -213,6 +213,15 @@ pub enum Request {
     Audit,
     /// Server statistics (database size, queue depth, journal state).
     Stat,
+    /// Set the wave worker count: `ProcessAll` executes each drained
+    /// batch as link-connected shards across this many worker threads
+    /// (`1` = sequential). Results are identical at any count; the knob
+    /// trades threads for wall-clock. Survives `Init` server swaps, like
+    /// group-commit mode.
+    SetWaveWorkers {
+        /// Worker threads (clamped to at least 1).
+        workers: u64,
+    },
     /// Replication handshake: stream committed journal records from
     /// `(epoch, seq)` on. Requires journaling on the receiving server.
     ///
@@ -341,6 +350,9 @@ pub struct ServerStat {
     pub journal_epoch: Option<u64>,
     /// Ops appended since the last checkpoint, when journaling.
     pub journal_records: Option<u64>,
+    /// Wave worker threads `ProcessAll` shards batches across (1 =
+    /// sequential).
+    pub wave_workers: u64,
 }
 
 /// The typed result of one [`Request`]. Structured data, not rendered
@@ -931,6 +943,7 @@ impl Request {
             Request::Dot => "dot".to_string(),
             Request::Audit => "audit".to_string(),
             Request::Stat => "stat".to_string(),
+            Request::SetWaveWorkers { workers } => format!("waveworkers {workers}"),
             Request::TailFrom { epoch, seq } => format!("tailfrom {epoch} {seq}"),
         }
     }
@@ -1044,6 +1057,9 @@ impl Request {
             "dot" => Request::Dot,
             "audit" => Request::Audit,
             "stat" => Request::Stat,
+            "waveworkers" => Request::SetWaveWorkers {
+                workers: c.u64("a worker count")?,
+            },
             "tailfrom" => Request::TailFrom {
                 epoch: c.u64("a checkpoint epoch")?,
                 seq: c.u64("a record sequence number")?,
@@ -1169,7 +1185,7 @@ impl Response {
                 counters.templates
             ),
             Response::Stat { stat } => format!(
-                "stat {} {} {} {} {}",
+                "stat {} {} {} {} {} {}",
                 stat.oids,
                 stat.links,
                 stat.pending_events,
@@ -1177,6 +1193,7 @@ impl Response {
                     .map_or_else(|| "-".to_string(), |e| format!("+{e}")),
                 stat.journal_records
                     .map_or_else(|| "-".to_string(), |r| format!("+{r}")),
+                stat.wave_workers,
             ),
             Response::Tailing { epoch, seq } => format!("tailing {epoch} {seq}"),
             Response::Error(e) => format!("err {}", e.encode()),
@@ -1332,6 +1349,7 @@ impl Response {
                     pending_events: c.u64("a pending-event count")?,
                     journal_epoch: c.parse_with("an optional epoch", opt_u64)?,
                     journal_records: c.parse_with("an optional record count", opt_u64)?,
+                    wave_workers: c.u64("a wave worker count")?,
                 },
             },
             "tailing" => Response::Tailing {
@@ -1510,6 +1528,7 @@ mod tests {
                 every: 1024,
             },
             Request::Stat,
+            Request::SetWaveWorkers { workers: 4 },
             Request::TailFrom { epoch: 3, seq: 117 },
         ]
     }
@@ -1550,6 +1569,7 @@ mod tests {
                     pending_events: 1,
                     journal_epoch: Some(2),
                     journal_records: Some(17),
+                    wave_workers: 4,
                 },
             },
             Response::Error(ApiError::Parse {

@@ -147,6 +147,9 @@ impl AuditRecord {
 }
 
 /// Aggregate counters over an [`AuditLog`].
+///
+/// Summaries are additive: merging per-worker wave buffers sums them (see
+/// [`AuditLog::absorb`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AuditSummary {
     /// Rule-executing deliveries.
@@ -167,6 +170,21 @@ pub struct AuditSummary {
     pub depth_truncations: u64,
     /// Template applications.
     pub templates: u64,
+}
+
+impl AuditSummary {
+    /// Adds another summary's counters into this one.
+    pub fn add(&mut self, other: &AuditSummary) {
+        self.deliveries += other.deliveries;
+        self.assignments += other.assignments;
+        self.reevaluations += other.reevaluations;
+        self.scripts += other.scripts;
+        self.posts += other.posts;
+        self.propagations += other.propagations;
+        self.cycle_skips += other.cycle_skips;
+        self.depth_truncations += other.depth_truncations;
+        self.templates += other.templates;
+    }
 }
 
 /// An append-only audit log with optional record retention.
@@ -247,6 +265,28 @@ impl AuditLog {
     pub fn reset(&mut self) {
         self.records.clear();
         self.summary = AuditSummary::default();
+    }
+
+    /// A fresh, empty buffer with this log's retention setting — what each
+    /// wave worker records into during a sharded batch. Buffers come back
+    /// through [`AuditLog::absorb`] in the deterministic post-wave merge
+    /// order (ascending batch event index; within one event, wave order),
+    /// so the merged log is byte-identical to sequential execution's.
+    pub fn buffer(&self) -> AuditLog {
+        AuditLog {
+            records: Vec::new(),
+            retain: self.retain,
+            summary: AuditSummary::default(),
+        }
+    }
+
+    /// Merges a worker buffer into this log: counters are summed and
+    /// retained records appended in the buffer's order.
+    pub fn absorb(&mut self, mut buffer: AuditLog) {
+        self.summary.add(&buffer.summary);
+        if self.retain {
+            self.records.append(&mut buffer.records);
+        }
     }
 
     /// Retained records matching a predicate.

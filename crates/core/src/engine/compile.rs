@@ -25,7 +25,17 @@
 //!   forward this event" for tooling and validation; the engine itself
 //!   keeps the exact per-link check, since links created through the raw
 //!   database API may forward events no template mentions;
-//! * continuous assignments are pre-merged per view in evaluation order.
+//! * continuous assignments are pre-merged per view in evaluation order;
+//! * the views are partitioned into **link-connected components**: two views
+//!   land in the same component exactly when a chain of `link_from` /
+//!   `use_link` templates connects them. Each component is a [`ShardId`]
+//!   stamped onto the view's [`DispatchTable`], so the parallel wave
+//!   scheduler resolves an OID's shard at dispatch-table-lookup cost — at
+//!   compile time, not per event. Links created outside the templates (raw
+//!   database links, adopted images) can bridge compile-time components;
+//!   the [`ShardMap`] overlays those runtime merges on the compiled
+//!   partition and is invalidated by the database's
+//!   [`topology stamp`](damocles_meta::MetaDb::topology_stamp).
 //!
 //! The compiled form owns its data (templates and expressions are cloned out
 //! of the AST), so the engine can hold it alongside the blueprint without
@@ -34,9 +44,83 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use damocles_meta::{Direction, Sym, SymSet, SymbolTable};
+use damocles_meta::{Direction, MetaDb, OidId, Sym, SymSet, SymbolTable};
 
-use crate::lang::ast::{Action, Blueprint, Expr, Template};
+use crate::lang::ast::{Action, Blueprint, Expr, LinkSource, Template};
+
+/// A per-event action list inlining up to four entries.
+///
+/// Almost every `(view, event)` pair merges only a handful of actions (the
+/// `default` view's plus the view's own), so the common case lives inside
+/// the [`Dispatch`] itself and the wave loop follows no `Vec` indirection
+/// to reach it; longer lists spill to the heap transparently.
+#[derive(Debug, Clone)]
+pub struct ActionVec<T> {
+    inline: [Option<T>; 4],
+    spill: Vec<T>,
+}
+
+impl<T> Default for ActionVec<T> {
+    fn default() -> Self {
+        ActionVec {
+            inline: [None, None, None, None],
+            spill: Vec::new(),
+        }
+    }
+}
+
+impl<T> ActionVec<T> {
+    /// Appends an action, spilling past the fourth.
+    pub fn push(&mut self, item: T) {
+        for slot in &mut self.inline {
+            if slot.is_none() {
+                *slot = Some(item);
+                return;
+            }
+        }
+        self.spill.push(item);
+    }
+
+    /// Number of actions.
+    pub fn len(&self) -> usize {
+        self.inline.iter().filter(|s| s.is_some()).count() + self.spill.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inline[0].is_none() && self.spill.is_empty()
+    }
+
+    /// The action at `index`, in push order.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        self.iter().nth(index)
+    }
+
+    /// Iterates in push order: inline entries first, then the spill.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.inline.iter().flatten().chain(self.spill.iter())
+    }
+}
+
+impl<T> std::ops::Index<usize> for ActionVec<T> {
+    type Output = T;
+
+    fn index(&self, index: usize) -> &T {
+        self.get(index).expect("ActionVec index out of bounds")
+    }
+}
+
+impl<'a, T> IntoIterator for &'a ActionVec<T> {
+    type Item = &'a T;
+    type IntoIter = std::iter::Chain<
+        std::iter::Flatten<std::slice::Iter<'a, Option<T>>>,
+        std::slice::Iter<'a, T>,
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inline.iter().flatten().chain(self.spill.iter())
+    }
+}
 
 /// A compiled `prop = value` action.
 #[derive(Debug, Clone)]
@@ -86,11 +170,11 @@ pub struct CompiledLet {
 #[derive(Debug, Clone, Default)]
 pub struct Dispatch {
     /// Phase 1: property assignments.
-    pub assigns: Vec<CompiledAssign>,
+    pub assigns: ActionVec<CompiledAssign>,
     /// Phase 3: script invocations (collected, dispatched post-wave).
-    pub execs: Vec<CompiledExec>,
+    pub execs: ActionVec<CompiledExec>,
     /// Phase 4: event posts.
-    pub posts: Vec<CompiledPost>,
+    pub posts: ActionVec<CompiledPost>,
 }
 
 impl Dispatch {
@@ -130,6 +214,15 @@ impl Dispatch {
     }
 }
 
+/// A link-connected component of the compiled blueprint's view graph — the
+/// compile-time unit of wave parallelism. Two OIDs whose views carry
+/// different (and runtime-unmerged, see [`ShardMap`]) shard ids can never
+/// reach each other inside one propagation wave through
+/// template-instantiated links, so their waves may execute on different
+/// worker threads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShardId(pub u32);
+
 /// One view's compiled run-time information.
 #[derive(Debug, Clone, Default)]
 pub struct DispatchTable {
@@ -139,9 +232,17 @@ pub struct DispatchTable {
     /// Continuous assignments in evaluation order (`default`'s, then the
     /// view's own).
     lets: Vec<CompiledLet>,
+    /// The link-connected component this view belongs to (see
+    /// [`CompiledBlueprint::shard_of_table`]).
+    shard: ShardId,
 }
 
 impl DispatchTable {
+    /// The link-connected component this view's OIDs dispatch in.
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
     /// The actions for an event, if any rule anywhere matches it.
     pub fn dispatch(&self, event: Sym) -> Option<&Dispatch> {
         self.dispatch.get(&event)
@@ -190,6 +291,14 @@ pub struct CompiledBlueprint {
     /// Union of every link template's PROPAGATE set: an event outside this
     /// set can never cross a template-instantiated link.
     propagate_union: SymSet,
+    /// The shard of OIDs whose view the blueprint does not declare. All
+    /// undeclared views share one component: the compiler cannot bound
+    /// which links their OIDs acquire, so they must not be split.
+    fallback_shard: ShardId,
+    /// Size of the shard id space (`views + 1`, the `+1` being the
+    /// undeclared-view component). Shard ids are union-find roots inside
+    /// this space, so they are stable but not dense.
+    shard_space: u32,
     /// Process-unique id of this compilation, used by the engine's per-view
     /// dispatch cache to detect blueprint swaps (`reinit`) without holding a
     /// reference.
@@ -298,6 +407,31 @@ impl CompiledBlueprint {
             tables.push(table);
         }
 
+        // Link-connected components over the view graph: every `link_from`
+        // template is an edge between the declaring view and its source
+        // view (`use_link` relates a view to itself — no edge). A source
+        // view the blueprint does not declare joins the undeclared-view
+        // component, since its OIDs are indistinguishable from any other
+        // undeclared view's. This runs after the table pass so forward
+        // references (`link_from` naming a later view) resolve.
+        let fallback_slot = tables.len() as u32;
+        let mut parent: Vec<u32> = (0..=fallback_slot).collect();
+        for (index, view) in bp.views.iter().enumerate() {
+            for link in &view.links {
+                if let LinkSource::View(source) = &link.source {
+                    let source_slot = view_index
+                        .get(source.as_str())
+                        .map_or(fallback_slot, |&i| i as u32);
+                    uf_union(&mut parent, index as u32, source_slot);
+                }
+            }
+        }
+        for (index, table) in tables.iter_mut().enumerate() {
+            table.shard = ShardId(uf_find(&mut parent, index as u32));
+        }
+        let fallback_shard = ShardId(uf_find(&mut parent, fallback_slot));
+        fallback.shard = fallback_shard;
+
         let arc_names = symbols.iter().map(|(_, name)| Arc::from(name)).collect();
         static GENERATION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
         CompiledBlueprint {
@@ -309,6 +443,8 @@ impl CompiledBlueprint {
             default_index,
             link_templates,
             propagate_union,
+            fallback_shard,
+            shard_space: fallback_slot + 1,
             generation: GENERATION.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
     }
@@ -371,7 +507,7 @@ impl CompiledBlueprint {
     /// Whether any link template's PROPAGATE set forwards `event` — the
     /// cheap pre-check before walking a node's links. Events outside the
     /// union can still cross links added through the raw
-    /// [`MetaDb`](damocles_meta::MetaDb) API, so this is advisory for
+    /// [`MetaDb`] API, so this is advisory for
     /// template-instantiated graphs; the engine keeps the exact per-link
     /// check.
     pub fn may_propagate(&self, event: Sym) -> bool {
@@ -381,6 +517,195 @@ impl CompiledBlueprint {
     /// Compiled link templates, in declaration order.
     pub fn link_templates(&self) -> &[CompiledLinkTemplate] {
         &self.link_templates
+    }
+
+    /// The link-connected component of the table at a
+    /// [`CompiledBlueprint::table_index_for_view`] index; `None` selects
+    /// the undeclared-view component.
+    pub fn shard_of_table(&self, index: Option<usize>) -> ShardId {
+        match index {
+            Some(i) => self.tables[i].shard,
+            None => self.fallback_shard,
+        }
+    }
+
+    /// The link-connected component of `view`'s OIDs.
+    pub fn shard_of_view(&self, view: &str) -> ShardId {
+        self.shard_of_table(self.table_index_for_view(view))
+    }
+
+    /// The shard of OIDs whose view the blueprint does not declare.
+    pub fn fallback_shard(&self) -> ShardId {
+        self.fallback_shard
+    }
+
+    /// Size of the shard id space (every [`ShardId`] is `< shard_space`).
+    pub fn shard_space(&self) -> u32 {
+        self.shard_space
+    }
+}
+
+/// Union-find `find` with path compression over a flat parent vector.
+fn uf_find(parent: &mut [u32], mut a: u32) -> u32 {
+    while parent[a as usize] != a {
+        let grand = parent[parent[a as usize] as usize];
+        parent[a as usize] = grand;
+        a = grand;
+    }
+    a
+}
+
+/// Union-find `union`; returns whether two distinct roots were merged.
+fn uf_union(parent: &mut [u32], a: u32, b: u32) -> bool {
+    let (ra, rb) = (uf_find(parent, a), uf_find(parent, b));
+    if ra == rb {
+        return false;
+    }
+    // Lower root wins so ids stay stable under re-runs.
+    let (keep, fold) = if ra < rb { (ra, rb) } else { (rb, ra) };
+    parent[fold as usize] = keep;
+    true
+}
+
+// ---------------------------------------------------------------------
+// The runtime shard map
+// ---------------------------------------------------------------------
+
+/// The runtime refinement of the compiled shard partition.
+///
+/// The compiler proves that template-instantiated links never cross
+/// [`ShardId`] boundaries, but a live database can hold links the templates
+/// never described — adopted images, raw [`MetaDb::add_link_with`] calls,
+/// tool-created relations. A `ShardMap` is built against one `(compiled
+/// blueprint, database topology)` pair: it scans every live link that can
+/// carry at least one event (an empty PROPAGATE set carries nothing) and
+/// merges the compile-time components its endpoints belong to. The result
+/// is a partition with the invariant the parallel wave scheduler needs:
+///
+/// > a propagation wave anchored at an OID of group *g* can only ever
+/// > read or write OIDs of group *g*.
+///
+/// A `Connect` that bridges two previously-disjoint components bumps the
+/// database's [`topology stamp`](MetaDb::topology_stamp), which makes the
+/// map [stale](ShardMap::is_current); the owner rebuilds it before the
+/// next parallel batch (the shard-map generation is the stamp pair).
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    /// Union-find parents over the compiled shard space, seeded identity
+    /// and folded by runtime bridge links.
+    parent: Vec<u32>,
+    /// Database view symbol index → compile-time shard (raw, unresolved).
+    /// `u32::MAX` marks a view symbol with no live OID at build time;
+    /// [`ShardMap::group_of`] falls back to the compiled lookup for those.
+    by_view_sym: Vec<u32>,
+    /// The [`MetaDb::topology_stamp`] this map was built against.
+    topo_stamp: u64,
+    /// The [`CompiledBlueprint::generation`] this map was built against.
+    compiled_generation: u64,
+    /// Compile-time components merged by runtime bridge links.
+    merges: u64,
+    /// Distinct groups among view symbols with live OIDs at build time.
+    groups: u32,
+}
+
+impl ShardMap {
+    /// Builds the map for the current database topology: seeds the
+    /// compiled partition, then folds in every live link whose PROPAGATE
+    /// set is non-empty.
+    pub fn build(compiled: &CompiledBlueprint, db: &MetaDb) -> ShardMap {
+        let mut parent: Vec<u32> = (0..compiled.shard_space()).collect();
+        let mut by_view_sym = vec![u32::MAX; db.view_sym_count()];
+        for (_, entry) in db.iter_oids() {
+            let slot = entry.view_sym().index();
+            if by_view_sym[slot] == u32::MAX {
+                by_view_sym[slot] = compiled.shard_of_view(entry.oid.view.as_str()).0;
+            }
+        }
+        let shard_of = |by_view_sym: &[u32], id: OidId| -> Option<u32> {
+            db.entry(id).ok().map(|e| by_view_sym[e.view_sym().index()])
+        };
+        let mut merges = 0u64;
+        for (_, link) in db.iter_links() {
+            if link.propagates().is_empty() {
+                continue;
+            }
+            if let (Some(a), Some(b)) = (
+                shard_of(&by_view_sym, link.from),
+                shard_of(&by_view_sym, link.to),
+            ) {
+                if uf_union(&mut parent, a, b) {
+                    merges += 1;
+                }
+            }
+        }
+        let mut roots: Vec<u32> = by_view_sym
+            .iter()
+            .filter(|&&raw| raw != u32::MAX)
+            .map(|&raw| uf_find(&mut parent, raw))
+            .collect();
+        roots.sort_unstable();
+        roots.dedup();
+        ShardMap {
+            parent,
+            by_view_sym,
+            topo_stamp: db.topology_stamp(),
+            compiled_generation: compiled.generation(),
+            merges,
+            groups: roots.len() as u32,
+        }
+    }
+
+    /// Whether the map still describes `(compiled, db)` — `false` after a
+    /// blueprint swap or any link-topology change (including a `Connect`
+    /// that bridges two previously-disjoint components).
+    pub fn is_current(&self, compiled: &CompiledBlueprint, db: &MetaDb) -> bool {
+        self.compiled_generation == compiled.generation() && self.topo_stamp == db.topology_stamp()
+    }
+
+    /// The shard-map generation: the `(blueprint generation, topology
+    /// stamp)` pair the partition was computed from. Any bridge-creating
+    /// `Connect` moves it.
+    pub fn generation(&self) -> (u64, u64) {
+        (self.compiled_generation, self.topo_stamp)
+    }
+
+    /// Resolves a compile-time shard through the runtime merges.
+    pub fn resolve(&self, shard: ShardId) -> ShardId {
+        let mut a = shard.0;
+        while self.parent[a as usize] != a {
+            a = self.parent[a as usize];
+        }
+        ShardId(a)
+    }
+
+    /// The execution group of an OID: its view's compile-time shard,
+    /// resolved through the runtime merges. A stale handle lands in group
+    /// 0 — the wave executing there reports the same stale-OID error the
+    /// sequential path would.
+    pub fn group_of(&self, compiled: &CompiledBlueprint, db: &MetaDb, id: OidId) -> ShardId {
+        match db.entry(id) {
+            Err(_) => ShardId(0),
+            Ok(entry) => {
+                let raw = self
+                    .by_view_sym
+                    .get(entry.view_sym().index())
+                    .copied()
+                    .filter(|&raw| raw != u32::MAX)
+                    .unwrap_or_else(|| compiled.shard_of_view(entry.oid.view.as_str()).0);
+                self.resolve(ShardId(raw))
+            }
+        }
+    }
+
+    /// Compile-time components merged by runtime bridge links.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Distinct execution groups among views with live OIDs at build time
+    /// — the parallelism ceiling of one batch.
+    pub fn group_count(&self) -> u32 {
+        self.groups
     }
 }
 
@@ -476,6 +801,94 @@ mod tests {
         assert!(!compiled.may_propagate(ckin));
         assert_eq!(compiled.link_templates().len(), 2);
         assert!(compiled.link_templates()[0].propagates.contains(outofdate));
+    }
+
+    #[test]
+    fn action_vec_inlines_four_and_spills_beyond() {
+        let mut v: ActionVec<u32> = ActionVec::default();
+        assert!(v.is_empty());
+        for i in 0..6 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 6);
+        assert!(!v.is_empty());
+        let collected: Vec<u32> = v.iter().copied().collect();
+        assert_eq!(collected, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(v[4], 4);
+        assert_eq!(v.get(6), None);
+    }
+
+    #[test]
+    fn link_templates_define_shard_components() {
+        // a <- b (template edge), c alone, plus an undeclared source.
+        let bp = parse(
+            r#"blueprint shards
+            view a endview
+            view b
+                link_from a propagates ev type derived
+            endview
+            view c endview
+            view d
+                link_from mystery propagates ev type derived
+            endview
+            endblueprint"#,
+        )
+        .unwrap();
+        let compiled = CompiledBlueprint::compile(&bp);
+        assert_eq!(compiled.shard_of_view("a"), compiled.shard_of_view("b"));
+        assert_ne!(compiled.shard_of_view("a"), compiled.shard_of_view("c"));
+        // `link_from mystery` joins d with the undeclared-view component,
+        // and unknown views resolve to that same component.
+        assert_eq!(compiled.shard_of_view("d"), compiled.fallback_shard());
+        assert_eq!(compiled.shard_of_view("ghost"), compiled.fallback_shard());
+        assert_eq!(compiled.shard_space(), 5);
+        // The tables carry their shard.
+        assert_eq!(
+            compiled.table_for_view("b").shard(),
+            compiled.shard_of_view("a")
+        );
+    }
+
+    #[test]
+    fn shard_map_merges_on_raw_bridge_links_only() {
+        use damocles_meta::{LinkClass, LinkKind, MetaDb, Oid};
+        let bp = parse(
+            r#"blueprint shards
+            view a endview
+            view b endview
+            endblueprint"#,
+        )
+        .unwrap();
+        let compiled = CompiledBlueprint::compile(&bp);
+        let mut db = MetaDb::new();
+        let a = db.create_oid(Oid::new("x", "a", 1)).unwrap();
+        let b = db.create_oid(Oid::new("x", "b", 1)).unwrap();
+
+        // A link with an EMPTY PROPAGATE set carries nothing: no merge.
+        let bare = db
+            .add_link(a, b, LinkClass::Derive, LinkKind::DeriveFrom)
+            .unwrap();
+        let map = ShardMap::build(&compiled, &db);
+        assert_eq!(map.merges(), 0);
+        assert_ne!(
+            map.group_of(&compiled, &db, a),
+            map.group_of(&compiled, &db, b)
+        );
+        assert_eq!(map.group_count(), 2);
+        assert!(map.is_current(&compiled, &db));
+
+        // Growing its PROPAGATE set moves the topology stamp (the map
+        // goes stale) and the rebuilt map merges the two components.
+        db.allow_event(bare, "zap").unwrap();
+        assert!(!map.is_current(&compiled, &db));
+        let merged = ShardMap::build(&compiled, &db);
+        assert_ne!(merged.generation(), map.generation());
+        assert_eq!(merged.merges(), 1);
+        assert_eq!(
+            merged.group_of(&compiled, &db, a),
+            merged.group_of(&compiled, &db, b)
+        );
+        assert_eq!(merged.group_count(), 1);
     }
 
     #[test]

@@ -21,13 +21,13 @@
 //! `(OID, event)` pair so cyclic link graphs terminate; the paper is silent
 //! on cycles, so this is a documented deviation (see DESIGN.md §7).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
-use damocles_meta::{Direction, MetaDb, OidId, Sym};
+use damocles_meta::{Direction, MetaDb, MetaError, Oid, OidId, PropertyMap, Sym, Value};
 
 use crate::engine::audit::{AuditKind, AuditLog, AuditRecord};
-use crate::engine::compile::CompiledBlueprint;
+use crate::engine::compile::{CompiledBlueprint, ShardId, ShardMap};
 use crate::engine::error::EngineError;
 use crate::engine::eval::EvalCtx;
 use crate::engine::event::{Delivery, QueuedEvent};
@@ -122,6 +122,12 @@ pub struct RuntimeEngine {
     pub policy: Policy,
     clock: u64,
     scratch: WaveScratch,
+    /// Per-worker scratches for the sharded batch path
+    /// ([`RuntimeEngine::process_batch_sharded`]): each worker thread owns
+    /// one for the batch, keeping the allocation-free steady state per
+    /// worker. Grown lazily to the requested worker count and reused
+    /// across batches.
+    worker_scratches: Vec<WaveScratch>,
 }
 
 impl Default for RuntimeEngine {
@@ -178,6 +184,220 @@ struct CompiledWaveItem {
     depth: u32,
 }
 
+// ---------------------------------------------------------------------
+// Wave stores: the database surface one propagation wave runs against
+// ---------------------------------------------------------------------
+
+/// The exact database surface the compiled wave loop needs, factored out
+/// so one generic loop serves both execution modes:
+///
+/// * [`DirectStore`] — `&mut MetaDb`; writes land (and journal)
+///   immediately. The sequential path.
+/// * [`OverlayStore`] — `&MetaDb` plus a private copy-on-write property
+///   overlay and an ordered write log. Worker threads of a sharded batch
+///   run on this: the shared database is only ever read, each worker's
+///   writes are visible to its own later reads (waves read what they just
+///   assigned), and the logs replay through the real database in the
+///   deterministic post-wave epilogue — so journal ops, indices and
+///   counters are byte-identical to sequential execution.
+///
+/// Only property writes mutate the database inside a wave (links and OIDs
+/// change between waves), which is what makes the overlay complete.
+trait WaveStore {
+    /// Errors if the handle is stale (the liveness probe at delivery).
+    fn probe(&self, id: OidId) -> Result<(), MetaError>;
+    /// The OID triplet behind a handle.
+    fn oid(&self, id: OidId) -> Result<&Oid, MetaError>;
+    /// The database-interned view symbol of an OID.
+    fn view_sym(&self, id: OidId) -> Result<Sym, MetaError>;
+    /// The property view of an OID: the base map plus an optional sparse
+    /// write overlay that shadows it (see [`EvalCtx::overlay`]). The
+    /// direct path has no overlay; the worker path returns its private
+    /// written-props map so no base map is ever cloned.
+    fn props(&self, id: OidId) -> Result<(&PropertyMap, Option<&PropertyMap>), MetaError>;
+    /// Writes a property, returning the previous value — overlay-aware.
+    fn set_prop(&mut self, id: OidId, name: &str, value: Value)
+        -> Result<Option<Value>, MetaError>;
+    /// [`WaveStore::set_prop`] for callers that discard the previous
+    /// value (the counters-only audit path) — lets the overlay skip the
+    /// base-map lookup that exists only to report `old`.
+    fn set_prop_quiet(&mut self, id: OidId, name: &str, value: Value) -> Result<(), MetaError> {
+        self.set_prop(id, name, value).map(|_| ())
+    }
+    /// Appends the OIDs reachable from `id` over allowing links.
+    fn neighbors_into(
+        &self,
+        id: OidId,
+        dir: Direction,
+        event: Option<&str>,
+        out: &mut Vec<OidId>,
+    ) -> Result<(), MetaError>;
+}
+
+/// The sequential store: writes go straight to the database.
+struct DirectStore<'a> {
+    db: &'a mut MetaDb,
+}
+
+impl WaveStore for DirectStore<'_> {
+    fn probe(&self, id: OidId) -> Result<(), MetaError> {
+        self.db.entry(id).map(|_| ())
+    }
+
+    fn oid(&self, id: OidId) -> Result<&Oid, MetaError> {
+        self.db.oid(id)
+    }
+
+    fn view_sym(&self, id: OidId) -> Result<Sym, MetaError> {
+        Ok(self.db.entry(id)?.view_sym())
+    }
+
+    fn props(&self, id: OidId) -> Result<(&PropertyMap, Option<&PropertyMap>), MetaError> {
+        Ok((&self.db.entry(id)?.props, None))
+    }
+
+    fn set_prop(
+        &mut self,
+        id: OidId,
+        name: &str,
+        value: Value,
+    ) -> Result<Option<Value>, MetaError> {
+        self.db.set_prop(id, name, value)
+    }
+
+    fn neighbors_into(
+        &self,
+        id: OidId,
+        dir: Direction,
+        event: Option<&str>,
+        out: &mut Vec<OidId>,
+    ) -> Result<(), MetaError> {
+        self.db.neighbors_into(id, dir, event, out)
+    }
+}
+
+/// One logged property write of a worker wave, replayed in the epilogue.
+#[derive(Debug)]
+struct WriteOp {
+    id: OidId,
+    prop: String,
+    value: Value,
+}
+
+/// A minimal multiply-xor hasher for the overlay's `OidId` keys: arena
+/// indices are small and already well-distributed, so SipHash's collision
+/// resistance buys nothing on this internal, attacker-free map — but its
+/// cost lands on every property read of every worker wave.
+#[derive(Debug, Default)]
+struct OidHasher(u64);
+
+impl std::hash::Hasher for OidHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.0 = (self.0 ^ u64::from(n)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 29;
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 29;
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+type OidMap<V> = HashMap<OidId, V, std::hash::BuildHasherDefault<OidHasher>>;
+
+/// The per-worker store of a sharded batch: shared read-only database,
+/// copy-on-write property overlay, ordered write log.
+struct OverlayStore<'a> {
+    db: &'a MetaDb,
+    /// Sparse per-OID overlays holding only the props this worker has
+    /// written (never a clone of the base map). Lives for the worker's
+    /// whole batch lane so later events see earlier events' writes
+    /// (events of one link-connected component are ordered on one lane).
+    dirty: OidMap<PropertyMap>,
+    /// Writes of the event currently executing, in wave order. Drained
+    /// per event into its [`EventRun`].
+    writes: Vec<WriteOp>,
+}
+
+impl WaveStore for OverlayStore<'_> {
+    fn probe(&self, id: OidId) -> Result<(), MetaError> {
+        self.db.entry(id).map(|_| ())
+    }
+
+    fn oid(&self, id: OidId) -> Result<&Oid, MetaError> {
+        self.db.oid(id)
+    }
+
+    fn view_sym(&self, id: OidId) -> Result<Sym, MetaError> {
+        Ok(self.db.entry(id)?.view_sym())
+    }
+
+    fn props(&self, id: OidId) -> Result<(&PropertyMap, Option<&PropertyMap>), MetaError> {
+        Ok((&self.db.entry(id)?.props, self.dirty.get(&id)))
+    }
+
+    fn set_prop(
+        &mut self,
+        id: OidId,
+        name: &str,
+        value: Value,
+    ) -> Result<Option<Value>, MetaError> {
+        // The previous value the direct path would have reported: this
+        // worker's last write if any, else the base map's.
+        let base_old = match self.dirty.get(&id) {
+            Some(overlay) if overlay.get(name).is_some() => None,
+            _ => self.db.entry(id)?.props.get(name).cloned(),
+        };
+        let overlay = self.dirty.entry(id).or_default();
+        let old = overlay.set(name, value.clone()).or(base_old);
+        self.writes.push(WriteOp {
+            id,
+            prop: name.to_string(),
+            value,
+        });
+        Ok(old)
+    }
+
+    fn set_prop_quiet(&mut self, id: OidId, name: &str, value: Value) -> Result<(), MetaError> {
+        // Liveness check only on the first write to this OID; `old` is
+        // not needed, so neither is the base map.
+        if !self.dirty.contains_key(&id) {
+            self.db.entry(id)?;
+        }
+        self.dirty.entry(id).or_default().set(name, value.clone());
+        self.writes.push(WriteOp {
+            id,
+            prop: name.to_string(),
+            value,
+        });
+        Ok(())
+    }
+
+    fn neighbors_into(
+        &self,
+        id: OidId,
+        dir: Direction,
+        event: Option<&str>,
+        out: &mut Vec<OidId>,
+    ) -> Result<(), MetaError> {
+        self.db.neighbors_into(id, dir, event, out)
+    }
+}
+
 impl RuntimeEngine {
     /// Creates an engine with the given policy.
     pub fn new(policy: Policy) -> Self {
@@ -185,6 +405,7 @@ impl RuntimeEngine {
             policy,
             clock: 0,
             scratch: WaveScratch::default(),
+            worker_scratches: Vec::new(),
         }
     }
 
@@ -202,9 +423,13 @@ impl RuntimeEngine {
     /// creation order). Blueprint swaps are detected automatically via
     /// [`CompiledBlueprint::generation`]; database swaps are not.
     pub fn invalidate_dispatch_cache(&mut self) {
-        self.scratch.view_cache.clear();
         // Generations start at 1, so 0 forces a refill on the next wave.
+        self.scratch.view_cache.clear();
         self.scratch.view_cache_gen = 0;
+        for scratch in &mut self.worker_scratches {
+            scratch.view_cache.clear();
+            scratch.view_cache_gen = 0;
+        }
     }
 
     /// Processes one design event to completion (the full propagation wave).
@@ -363,6 +588,7 @@ impl RuntimeEngine {
                 let entry = db.entry(id)?;
                 let ctx = EvalCtx {
                     props: &entry.props,
+                    overlay: None,
                     oid: &oid,
                     event: &item.event,
                     args: &item.args,
@@ -397,6 +623,7 @@ impl RuntimeEngine {
                 let entry = db.entry(id)?;
                 let ctx = EvalCtx {
                     props: &entry.props,
+                    overlay: None,
                     oid: &oid,
                     event: &item.event,
                     args: &item.args,
@@ -418,6 +645,7 @@ impl RuntimeEngine {
             let entry = db.entry(id)?;
             let ctx = EvalCtx {
                 props: &entry.props,
+                overlay: None,
                 oid: &oid,
                 event: &item.event,
                 args: &item.args,
@@ -455,6 +683,7 @@ impl RuntimeEngine {
                 let entry = db.entry(id)?;
                 let ctx = EvalCtx {
                     props: &entry.props,
+                    overlay: None,
                     oid: &oid,
                     event: &item.event,
                     args: &item.args,
@@ -568,27 +797,48 @@ impl RuntimeEngine {
         compiled: &CompiledBlueprint,
         db: &mut MetaDb,
         audit: &mut AuditLog,
-        ev: QueuedEvent,
+        mut ev: QueuedEvent,
     ) -> Result<ProcessOutcome, EngineError> {
         self.clock += 1;
+        let clock = self.clock;
         let mut outcome = ProcessOutcome::default();
         let mut scratch = std::mem::take(&mut self.scratch);
+        let args = std::mem::take(&mut ev.args);
+        Self::seed_wave(compiled, &mut scratch, &ev, args);
+        let QueuedEvent { user, .. } = ev;
+        let mut store = DirectStore { db };
+        let result = self.run_wave(
+            compiled,
+            &mut store,
+            audit,
+            &user,
+            &mut scratch,
+            &mut outcome,
+            clock,
+        );
+        self.scratch = scratch;
+        result.map(|()| outcome)
+    }
+
+    /// Resets the scratch and enqueues the wave's root item for `ev`.
+    /// `args` is passed separately so the sequential path can move the
+    /// event's arguments (no per-event allocation) while the lane path —
+    /// which must keep the event intact for error requeueing — clones.
+    fn seed_wave(
+        compiled: &CompiledBlueprint,
+        scratch: &mut WaveScratch,
+        ev: &QueuedEvent,
+        args: Vec<String>,
+    ) {
         scratch.visited.clear();
         scratch.work.clear();
         scratch.extra_map.clear();
-        let QueuedEvent {
-            event,
-            direction,
-            delivery,
-            args,
-            user,
-        } = ev;
-        let (sym, name) = scratch.intern(compiled, &event);
+        let (sym, name) = scratch.intern(compiled, &ev.event);
         scratch.work.push_back(CompiledWaveItem {
             event: sym,
             name,
-            direction,
-            delivery,
+            direction: ev.direction,
+            delivery: ev.delivery,
             args: if args.is_empty() {
                 empty_args()
             } else {
@@ -596,27 +846,28 @@ impl RuntimeEngine {
             },
             depth: 0,
         });
-        let result = self.run_compiled_wave(compiled, db, audit, &user, &mut scratch, &mut outcome);
-        self.scratch = scratch;
-        result.map(|()| outcome)
     }
 
-    fn run_compiled_wave(
+    #[allow(clippy::too_many_arguments)]
+    fn run_wave<S: WaveStore>(
         &self,
         compiled: &CompiledBlueprint,
-        db: &mut MetaDb,
+        store: &mut S,
         audit: &mut AuditLog,
         user: &str,
         scratch: &mut WaveScratch,
         outcome: &mut ProcessOutcome,
+        clock: u64,
     ) -> Result<(), EngineError> {
         while let Some(item) = scratch.work.pop_front() {
             match item.delivery {
                 Delivery::Target(id) => {
-                    self.deliver_compiled(compiled, db, audit, user, &item, id, scratch, outcome)?;
+                    self.deliver_compiled(
+                        compiled, store, audit, user, &item, id, scratch, outcome, clock,
+                    )?;
                 }
                 Delivery::PropagateFrom(id) => {
-                    self.propagate_compiled(db, audit, &item, id, scratch)?;
+                    self.propagate_compiled(store, audit, &item, id, scratch)?;
                 }
             }
         }
@@ -628,24 +879,25 @@ impl RuntimeEngine {
     /// (including audit-record order) so the two paths stay differentially
     /// testable.
     #[allow(clippy::too_many_arguments)]
-    fn deliver_compiled(
+    fn deliver_compiled<S: WaveStore>(
         &self,
         compiled: &CompiledBlueprint,
-        db: &mut MetaDb,
+        store: &mut S,
         audit: &mut AuditLog,
         user: &str,
         item: &CompiledWaveItem,
         id: OidId,
         scratch: &mut WaveScratch,
         outcome: &mut ProcessOutcome,
+        clock: u64,
     ) -> Result<(), EngineError> {
         let ev_name: &str = &item.name;
         // Probe liveness first, as the interpreted path does.
-        let _ = db.entry(id)?;
+        store.probe(id)?;
         if self.policy.cycle_guard && !scratch.visited.insert((id, item.event)) {
             audit_record(audit, AuditKind::CycleSkipped, || {
                 Ok(AuditRecord::CycleSkipped {
-                    oid: db.oid(id)?.clone(),
+                    oid: store.oid(id)?.clone(),
                     event: ev_name.to_string(),
                 })
             })?;
@@ -653,17 +905,19 @@ impl RuntimeEngine {
         }
 
         let (table, dispatch) = {
-            let entry = db.entry(id)?;
-            let oid = &entry.oid;
             // Resolve the dispatch table through the per-view cache: the
             // database interned the view name at OID creation, so the
             // steady state is one Vec index instead of a string hash.
-            let table_index = scratch.table_index(compiled, entry.view_sym(), oid.view.as_str());
-            if table_index.is_none() && oid.view.as_str() != "default" {
+            let view_sym = store.view_sym(id)?;
+            let table_index = {
+                let oid = store.oid(id)?;
+                scratch.table_index(compiled, view_sym, oid.view.as_str())
+            };
+            if table_index.is_none() && store.oid(id)?.view.as_str() != "default" {
                 match self.policy.unknown_views {
                     Strictness::Reject => {
                         return Err(PolicyViolation::UnknownView {
-                            view: oid.view.to_string(),
+                            view: store.oid(id)?.view.to_string(),
                             event: ev_name.to_string(),
                         }
                         .into());
@@ -671,7 +925,7 @@ impl RuntimeEngine {
                     Strictness::Observe => {
                         audit_record(audit, AuditKind::UnmatchedEvent, || {
                             Ok(AuditRecord::UnmatchedEvent {
-                                oid: oid.clone(),
+                                oid: store.oid(id)?.clone(),
                                 event: ev_name.to_string(),
                             })
                         })?;
@@ -687,7 +941,7 @@ impl RuntimeEngine {
             match self.policy.unmatched_events {
                 Strictness::Reject => {
                     return Err(PolicyViolation::UnmatchedEvent {
-                        view: db.oid(id)?.view.to_string(),
+                        view: store.oid(id)?.view.to_string(),
                         event: ev_name.to_string(),
                     }
                     .into());
@@ -695,7 +949,7 @@ impl RuntimeEngine {
                 Strictness::Observe => {
                     audit_record(audit, AuditKind::UnmatchedEvent, || {
                         Ok(AuditRecord::UnmatchedEvent {
-                            oid: db.oid(id)?.clone(),
+                            oid: store.oid(id)?.clone(),
                             event: ev_name.to_string(),
                         })
                     })?;
@@ -706,7 +960,7 @@ impl RuntimeEngine {
 
         audit_record(audit, AuditKind::Delivered, || {
             Ok(AuditRecord::Delivered {
-                oid: db.oid(id)?.clone(),
+                oid: store.oid(id)?.clone(),
                 event: ev_name.to_string(),
             })
         })?;
@@ -714,29 +968,31 @@ impl RuntimeEngine {
 
         // 1. assign rules (pre-merged, pre-phase-split).
         if let Some(d) = dispatch {
-            for assign in &d.assigns {
+            for assign in d.assigns.iter() {
                 let value = {
-                    let entry = db.entry(id)?;
+                    let (props, overlay) = store.props(id)?;
+                    let oid = store.oid(id)?;
                     let ctx = EvalCtx {
-                        props: &entry.props,
-                        oid: &entry.oid,
+                        props,
+                        overlay,
+                        oid,
                         event: ev_name,
                         args: &item.args,
                         user,
-                        date: self.clock,
+                        date: clock,
                     };
                     ctx.render_value(&assign.value)
                 };
                 if audit.enabled() {
-                    let old = db.set_prop(id, &assign.prop, value.clone())?;
+                    let old = store.set_prop(id, &assign.prop, value.clone())?;
                     audit.push(AuditRecord::Assigned {
-                        oid: db.oid(id)?.clone(),
+                        oid: store.oid(id)?.clone(),
                         prop: assign.prop.clone(),
                         old,
                         new: value,
                     });
                 } else {
-                    db.set_prop(id, &assign.prop, value)?;
+                    store.set_prop_quiet(id, &assign.prop, value)?;
                     audit.note(AuditKind::Assigned);
                 }
             }
@@ -746,26 +1002,28 @@ impl RuntimeEngine {
         if self.policy.eager_lets {
             for let_def in table.lets() {
                 let value = {
-                    let entry = db.entry(id)?;
+                    let (props, overlay) = store.props(id)?;
+                    let oid = store.oid(id)?;
                     let ctx = EvalCtx {
-                        props: &entry.props,
-                        oid: &entry.oid,
+                        props,
+                        overlay,
+                        oid,
                         event: ev_name,
                         args: &item.args,
                         user,
-                        date: self.clock,
+                        date: clock,
                     };
                     ctx.eval(&let_def.expr)
                 };
                 if audit.enabled() {
-                    db.set_prop(id, &let_def.name, value.clone())?;
+                    store.set_prop(id, &let_def.name, value.clone())?;
                     audit.push(AuditRecord::Reevaluated {
-                        oid: db.oid(id)?.clone(),
+                        oid: store.oid(id)?.clone(),
                         name: let_def.name.clone(),
                         value,
                     });
                 } else {
-                    db.set_prop(id, &let_def.name, value)?;
+                    store.set_prop_quiet(id, &let_def.name, value)?;
                     audit.note(AuditKind::Reevaluated);
                 }
             }
@@ -773,23 +1031,25 @@ impl RuntimeEngine {
 
         if let Some(d) = dispatch {
             // 3. exec rules (collected; the server dispatches them post-wave).
-            for exec in &d.execs {
+            for exec in d.execs.iter() {
                 let invocation = {
-                    let entry = db.entry(id)?;
+                    let (props, overlay) = store.props(id)?;
+                    let oid = store.oid(id)?;
                     let ctx = EvalCtx {
-                        props: &entry.props,
-                        oid: &entry.oid,
+                        props,
+                        overlay,
+                        oid,
                         event: ev_name,
                         args: &item.args,
                         user,
-                        date: self.clock,
+                        date: clock,
                     };
                     if exec.notify {
                         ScriptInvocation {
                             script: "notify".to_string(),
                             args: vec![ctx.render(&exec.script)],
                             notify: true,
-                            origin: entry.oid.to_string(),
+                            origin: oid.to_string(),
                             event: ev_name.to_string(),
                         }
                     } else {
@@ -797,7 +1057,7 @@ impl RuntimeEngine {
                             script: ctx.render(&exec.script),
                             args: exec.args.iter().map(|a| ctx.render(a)).collect(),
                             notify: false,
-                            origin: entry.oid.to_string(),
+                            origin: oid.to_string(),
                             event: ev_name.to_string(),
                         }
                     }
@@ -813,21 +1073,23 @@ impl RuntimeEngine {
             }
 
             // 4. post rules.
-            for post in &d.posts {
+            for post in d.posts.iter() {
                 let post_name = compiled
                     .name_arc(post.event)
                     .expect("compiled posts resolve");
                 let rendered_args: Arc<[String]> = if post.args.is_empty() {
                     empty_args()
                 } else {
-                    let entry = db.entry(id)?;
+                    let (props, overlay) = store.props(id)?;
+                    let oid = store.oid(id)?;
                     let ctx = EvalCtx {
-                        props: &entry.props,
-                        oid: &entry.oid,
+                        props,
+                        overlay,
+                        oid,
                         event: ev_name,
                         args: &item.args,
                         user,
-                        date: self.clock,
+                        date: clock,
                     };
                     post.args
                         .iter()
@@ -837,7 +1099,7 @@ impl RuntimeEngine {
                 };
                 audit_record(audit, AuditKind::EventPosted, || {
                     Ok(AuditRecord::EventPosted {
-                        from: db.oid(id)?.clone(),
+                        from: store.oid(id)?.clone(),
                         event: post_name.to_string(),
                         direction: post.direction,
                         to_view: post.to_view.clone(),
@@ -856,7 +1118,7 @@ impl RuntimeEngine {
                         // Targeted post: one hop through an allowing link to
                         // OIDs of the named view; rules run there.
                         scratch.neighbors.clear();
-                        db.neighbors_into(
+                        store.neighbors_into(
                             id,
                             post.direction,
                             Some(post_name),
@@ -864,11 +1126,11 @@ impl RuntimeEngine {
                         )?;
                         for i in 0..scratch.neighbors.len() {
                             let next = scratch.neighbors[i];
-                            if db.oid(next)?.view.as_str() == target_view.as_str() {
+                            if store.oid(next)?.view.as_str() == target_view.as_str() {
                                 audit_record(audit, AuditKind::Propagated, || {
                                     Ok(AuditRecord::Propagated {
-                                        from: db.oid(id)?.clone(),
-                                        to: db.oid(next)?.clone(),
+                                        from: store.oid(id)?.clone(),
+                                        to: store.oid(next)?.clone(),
                                         event: post_name.to_string(),
                                     })
                                 })?;
@@ -898,28 +1160,28 @@ impl RuntimeEngine {
         }
 
         // 5. propagate the delivered event itself.
-        self.propagate_compiled(db, audit, item, id, scratch)?;
+        self.propagate_compiled(store, audit, item, id, scratch)?;
         Ok(())
     }
 
     /// Compiled-path counterpart of [`RuntimeEngine::propagate`]: crosses
     /// every allowing link out of `id` using the reusable neighbor buffer.
-    fn propagate_compiled(
+    fn propagate_compiled<S: WaveStore>(
         &self,
-        db: &mut MetaDb,
+        store: &mut S,
         audit: &mut AuditLog,
         item: &CompiledWaveItem,
         id: OidId,
         scratch: &mut WaveScratch,
     ) -> Result<(), EngineError> {
         scratch.neighbors.clear();
-        db.neighbors_into(id, item.direction, Some(&item.name), &mut scratch.neighbors)?;
+        store.neighbors_into(id, item.direction, Some(&item.name), &mut scratch.neighbors)?;
         for i in 0..scratch.neighbors.len() {
             let next = scratch.neighbors[i];
             audit_record(audit, AuditKind::Propagated, || {
                 Ok(AuditRecord::Propagated {
-                    from: db.oid(id)?.clone(),
-                    to: db.oid(next)?.clone(),
+                    from: store.oid(id)?.clone(),
+                    to: store.oid(next)?.clone(),
                     event: item.name.to_string(),
                 })
             })?;
@@ -934,6 +1196,234 @@ impl RuntimeEngine {
         }
         Ok(())
     }
+
+    // ------------------------------------------------------------------
+    // Sharded batch path
+    // ------------------------------------------------------------------
+
+    /// Processes a batch of design events as N parallel shards —
+    /// observationally identical to running [`RuntimeEngine::process_compiled`]
+    /// over the batch in order, for *any* worker count (the sharded
+    /// differential property test holds outcomes, merged audit and the
+    /// persisted database image byte-identical across `n ∈ {1, 2, 4, 8}`
+    /// and the sequential path).
+    ///
+    /// How the equivalence is engineered:
+    ///
+    /// * events are **grouped by execution shard** ([`ShardMap::group_of`]
+    ///   of their anchor OID). The shard invariant — no allowing link ever
+    ///   crosses group boundaries — means an event's wave reads and writes
+    ///   only its own group's OIDs, so groups are independent;
+    /// * each group runs on one worker lane in batch order; workers execute
+    ///   waves against an overlay store (shared read-only database +
+    ///   private copy-on-write overlay), recording per-event write logs and
+    ///   per-event audit buffers. Each event carries its sequential logical
+    ///   clock (`base + index + 1`), so `$date` is position-dependent, not
+    ///   schedule-dependent;
+    /// * a **deterministic sequential epilogue** replays the write logs
+    ///   through the real database in ascending batch order — journal ops,
+    ///   secondary indices and counters land exactly as sequential
+    ///   execution would have produced them — and merges the audit buffers
+    ///   in the same order;
+    /// * on a wave error, the epilogue applies the error event's partial
+    ///   writes (the engine is an observer, not a transaction manager —
+    ///   same contract as the sequential path), reports the error, and
+    ///   returns every later event in [`ShardedBatch::unprocessed`] so the
+    ///   caller can requeue them untouched.
+    ///
+    /// Worker parallelism never changes results — only wall-clock time.
+    pub fn process_batch_sharded(
+        &mut self,
+        compiled: &CompiledBlueprint,
+        shards: &ShardMap,
+        db: &mut MetaDb,
+        audit: &mut AuditLog,
+        events: Vec<QueuedEvent>,
+        workers: usize,
+    ) -> ShardedBatch {
+        let base_clock = self.clock;
+        if events.is_empty() {
+            return ShardedBatch::default();
+        }
+
+        // Group by execution shard, preserving batch order inside a group.
+        let mut groups: BTreeMap<ShardId, Vec<(usize, QueuedEvent)>> = BTreeMap::new();
+        for (index, ev) in events.into_iter().enumerate() {
+            let group = shards.group_of(compiled, db, ev.delivery.anchor());
+            groups.entry(group).or_default().push((index, ev));
+        }
+
+        // Deterministic greedy lane assignment: groups in shard-id order,
+        // each to the least-loaded lane.
+        let lane_count = workers.clamp(1, groups.len().max(1));
+        let mut lanes: Vec<Vec<(usize, QueuedEvent)>> =
+            (0..lane_count).map(|_| Vec::new()).collect();
+        let mut load = vec![0usize; lane_count];
+        for (_, group) in groups {
+            let lane = (0..lane_count)
+                .min_by_key(|&l| (load[l], l))
+                .expect("lane_count >= 1");
+            load[lane] += group.len();
+            lanes[lane].extend(group);
+        }
+        for lane in &mut lanes {
+            lane.sort_by_key(|(index, _)| *index);
+        }
+
+        // Per-worker scratches, taken out of the engine for the scope.
+        if self.worker_scratches.len() < lane_count {
+            self.worker_scratches
+                .resize_with(lane_count, WaveScratch::default);
+        }
+        let mut pool = std::mem::take(&mut self.worker_scratches);
+        let audit_proto: &AuditLog = audit;
+        let engine: &RuntimeEngine = self;
+        let shared_db: &MetaDb = db;
+        let mut outputs: Vec<LaneOutput> = Vec::with_capacity(lane_count);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = lanes
+                .into_iter()
+                .zip(pool.iter_mut())
+                .map(|(lane, scratch)| {
+                    scope.spawn(move || {
+                        engine.run_lane(compiled, shared_db, audit_proto, lane, scratch, base_clock)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                outputs.push(handle.join().expect("wave worker panicked"));
+            }
+        });
+        self.worker_scratches = pool;
+
+        // Deterministic sequential epilogue: replay in batch order.
+        let mut runs: Vec<EventRun> = Vec::new();
+        let mut deferred: Vec<(usize, QueuedEvent)> = Vec::new();
+        for output in outputs {
+            runs.extend(output.runs);
+            deferred.extend(output.leftover);
+        }
+        runs.sort_by_key(|run| run.index);
+        let err_index = runs
+            .iter()
+            .filter(|run| run.error.is_some())
+            .map(|run| run.index)
+            .min();
+        let mut batch = ShardedBatch::default();
+        let mut processed = 0u64;
+        for run in runs {
+            if batch.error.is_some() || err_index.is_some_and(|k| run.index > k) {
+                deferred.push((run.index, run.event));
+                continue;
+            }
+            processed += 1;
+            let mut apply_error = None;
+            for write in run.writes {
+                // Through the journaled database API, so ops, indices and
+                // stats land exactly as on the sequential path.
+                if let Err(e) = db.set_prop(write.id, &write.prop, write.value) {
+                    apply_error = Some(EngineError::from(e));
+                    break;
+                }
+            }
+            audit.absorb(run.audit);
+            match run.error.or(apply_error) {
+                Some(e) => batch.error = Some(e),
+                None => batch.outcomes.push(run.outcome),
+            }
+        }
+        self.clock = base_clock + processed;
+        deferred.sort_by_key(|(index, _)| *index);
+        batch.unprocessed = deferred.into_iter().map(|(_, ev)| ev).collect();
+        batch
+    }
+
+    /// One worker's share of a sharded batch: executes its events in batch
+    /// order against an overlay store, stopping at the first error (the
+    /// epilogue decides what the authoritative batch error is).
+    fn run_lane(
+        &self,
+        compiled: &CompiledBlueprint,
+        db: &MetaDb,
+        audit_proto: &AuditLog,
+        lane: Vec<(usize, QueuedEvent)>,
+        scratch: &mut WaveScratch,
+        base_clock: u64,
+    ) -> LaneOutput {
+        let mut store = OverlayStore {
+            db,
+            dirty: OidMap::default(),
+            writes: Vec::new(),
+        };
+        let mut runs = Vec::with_capacity(lane.len());
+        let mut iter = lane.into_iter();
+        for (index, ev) in iter.by_ref() {
+            let clock = base_clock + index as u64 + 1;
+            let mut audit = audit_proto.buffer();
+            let mut outcome = ProcessOutcome::default();
+            // The event stays intact for error requeueing, so the lane
+            // clones its arguments into the wave.
+            Self::seed_wave(compiled, scratch, &ev, ev.args.clone());
+            let result = self.run_wave(
+                compiled,
+                &mut store,
+                &mut audit,
+                &ev.user,
+                scratch,
+                &mut outcome,
+                clock,
+            );
+            let writes = std::mem::take(&mut store.writes);
+            let error = result.err();
+            let stop = error.is_some();
+            runs.push(EventRun {
+                index,
+                event: ev,
+                writes,
+                audit,
+                outcome,
+                error,
+            });
+            if stop {
+                break;
+            }
+        }
+        LaneOutput {
+            runs,
+            leftover: iter.collect(),
+        }
+    }
+}
+
+/// The result of one sharded batch (see
+/// [`RuntimeEngine::process_batch_sharded`]).
+#[derive(Debug, Default)]
+pub struct ShardedBatch {
+    /// Per-event outcomes, in batch order, for every event that executed
+    /// (all of them when `error` is `None`).
+    pub outcomes: Vec<ProcessOutcome>,
+    /// The first error in batch order, if any. Writes the erroring wave
+    /// performed before failing are applied, as on the sequential path.
+    pub error: Option<EngineError>,
+    /// Events after the erroring one, untouched and in order — the caller
+    /// requeues them at the front of its queue.
+    pub unprocessed: Vec<QueuedEvent>,
+}
+
+/// What one worker lane produced.
+struct LaneOutput {
+    runs: Vec<EventRun>,
+    leftover: Vec<(usize, QueuedEvent)>,
+}
+
+/// One executed event of a sharded batch, ready for the epilogue.
+struct EventRun {
+    index: usize,
+    event: QueuedEvent,
+    writes: Vec<WriteOp>,
+    audit: AuditLog,
+    outcome: ProcessOutcome,
+    error: Option<EngineError>,
 }
 
 #[cfg(test)]

@@ -19,10 +19,10 @@ use damocles_meta::{
 };
 
 use crate::engine::audit::AuditLog;
-use crate::engine::compile::CompiledBlueprint;
+use crate::engine::compile::{CompiledBlueprint, ShardMap};
 use crate::engine::error::EngineError;
 use crate::engine::event::QueuedEvent;
-use crate::engine::exec::{NullExecutor, ScriptExecutor, ToolCtx};
+use crate::engine::exec::{NullExecutor, ScriptExecutor, ScriptInvocation, ToolCtx};
 use crate::engine::policy::{Policy, PolicyViolation, Strictness};
 use crate::engine::queue::{EventQueue, Posted};
 use crate::engine::runtime::RuntimeEngine;
@@ -153,6 +153,14 @@ pub struct ProjectServer<E = NullExecutor> {
     /// (see [`crate::engine::tail`]). Shared with the service layer so
     /// the hub survives `Init` server swaps.
     tail: Arc<TailHub>,
+    /// Worker threads for the sharded wave path (see
+    /// [`ProjectServer::set_wave_workers`]); `1` = sequential.
+    wave_workers: usize,
+    /// Cached shard partition for the parallel wave path, rebuilt when the
+    /// blueprint generation or the database's link topology moves (a
+    /// `Connect` that bridges two previously-disjoint components bumps the
+    /// topology stamp and thereby the shard-map generation).
+    shard_map: Option<ShardMap>,
     /// Safety valve for `process_all`.
     pub max_events_per_drain: u64,
 }
@@ -205,6 +213,8 @@ impl<E: ScriptExecutor> ProjectServer<E> {
             group_commit: false,
             journal_poisoned: false,
             tail: Arc::new(TailHub::new()),
+            wave_workers: 1,
+            shard_map: None,
             max_events_per_drain: 1_000_000,
         })
     }
@@ -252,6 +262,7 @@ impl<E: ScriptExecutor> ProjectServer<E> {
                 let entry = self.db.entry(id)?;
                 let ctx = EvalCtx {
                     props: &entry.props,
+                    overlay: None,
                     oid: &entry.oid,
                     event: "refresh",
                     args: &[],
@@ -289,8 +300,10 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         self.workspace = workspace;
         // The engine's per-view dispatch cache is keyed by the old
         // database's view symbols; the adopted database may intern the
-        // same view names in a different order.
+        // same view names in a different order. The shard map is likewise
+        // per-database (its topology stamp could coincide by value).
         self.engine.invalidate_dispatch_cache();
+        self.shard_map = None;
         if let Some(d) = self.durability.as_mut() {
             self.db.attach_journal();
             d.force_checkpoint = true;
@@ -729,6 +742,42 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         self.ast_dispatch
     }
 
+    /// Sets the wave worker count for [`ProjectServer::process_all`]
+    /// (clamped to at least 1). With `n > 1` each drained batch of queued
+    /// events executes as link-connected shards across `n` worker
+    /// threads; `1` keeps the sequential path. Results are identical
+    /// either way — the sharded path is differentially tested against the
+    /// sequential one — so this knob trades threads for wall-clock only.
+    ///
+    /// One semantic caveat, relevant only to custom
+    /// [`ScriptExecutor`]s: within one parallel batch, wrapper
+    /// invocations are dispatched after the whole batch's waves (in event
+    /// order), not interleaved between waves. Wrapper-posted events are
+    /// queued and processed afterwards exactly as before.
+    pub fn set_wave_workers(&mut self, workers: usize) {
+        self.wave_workers = workers.max(1);
+    }
+
+    /// The wave worker count in force.
+    pub fn wave_workers(&self) -> usize {
+        self.wave_workers
+    }
+
+    /// The shard partition the parallel wave path would use right now:
+    /// rebuilds the cached [`ShardMap`] if the blueprint or the link
+    /// topology changed, then returns it. Also the observability hook for
+    /// tests and tooling (group count, runtime merges, generation).
+    pub fn shard_map(&mut self) -> &ShardMap {
+        let current = self
+            .shard_map
+            .as_ref()
+            .is_some_and(|m| m.is_current(&self.compiled, &self.db));
+        if !current {
+            self.shard_map = Some(ShardMap::build(&self.compiled, &self.db));
+        }
+        self.shard_map.as_ref().expect("built above")
+    }
+
     // ------------------------------------------------------------------
     // Accessors
     // ------------------------------------------------------------------
@@ -954,6 +1003,12 @@ impl<E: ScriptExecutor> ProjectServer<E> {
                 .try_for_each(|posted| self.enqueue_lenient(&posted.message, &posted.user));
             self.inbox_buf = inbox;
             drained?;
+            // The sharded path takes the whole queued batch at once;
+            // feedback events (wrapper posts) arrive for the next round.
+            if self.wave_workers > 1 && !self.ast_dispatch && !self.queue.is_empty() {
+                self.process_batch(&mut report)?;
+                continue;
+            }
             let Some(ev) = self.queue.dequeue() else {
                 break;
             };
@@ -974,25 +1029,94 @@ impl<E: ScriptExecutor> ProjectServer<E> {
                 deliveries: outcome.delivered,
                 ..Default::default()
             });
-            for invocation in outcome.invocations {
-                let mut ctx = ToolCtx {
-                    db: &mut self.db,
-                    workspace: &mut self.workspace,
-                    blueprint: &self.blueprint,
-                    audit: &mut self.audit,
-                };
-                let messages = self.executor.execute(&invocation, &mut ctx);
-                report.scripts += 1;
-                for message in messages {
-                    report.emitted += 1;
-                    self.enqueue_lenient(&message, &invocation.script)?;
-                }
-            }
+            self.dispatch_invocations(outcome.invocations, &mut report)?;
         }
         // One durability sync per drain: every op the wave performed is on
         // disk before process_all returns.
         self.journal_sync(None)?;
         Ok(report)
+    }
+
+    /// One sharded round of `process_all`: takes every queued event as a
+    /// batch, runs it across the wave worker pool, then dispatches the
+    /// wrapper invocations in event order. On a wave error the untouched
+    /// tail of the batch returns to the queue front, exactly as if the
+    /// sequential loop had stopped there.
+    fn process_batch(&mut self, report: &mut ProcessReport) -> Result<(), EngineError> {
+        let allowance = self.max_events_per_drain.saturating_sub(report.events);
+        if allowance == 0 {
+            return Err(EngineError::Runaway {
+                processed: report.events,
+            });
+        }
+        let mut events = Vec::with_capacity(self.queue.len().min(allowance as usize));
+        while (events.len() as u64) < allowance {
+            match self.queue.dequeue() {
+                Some(ev) => events.push(ev),
+                None => break,
+            }
+        }
+        // Refresh the shard partition if the blueprint or the link
+        // topology changed since the last batch; it is then taken out and
+        // put back so the engine can borrow the database mutably.
+        self.shard_map();
+        let shards = self.shard_map.take().expect("refreshed above");
+        let batch = self.engine.process_batch_sharded(
+            &self.compiled,
+            &shards,
+            &mut self.db,
+            &mut self.audit,
+            events,
+            self.wave_workers,
+        );
+        self.shard_map = Some(shards);
+        let mut invocations = Vec::new();
+        for outcome in batch.outcomes {
+            report.absorb(ProcessReport {
+                events: 1,
+                deliveries: outcome.delivered,
+                ..Default::default()
+            });
+            invocations.extend(outcome.invocations);
+        }
+        if let Some(error) = batch.error {
+            // The sequential loop dispatches each pre-error event's
+            // invocations before reaching the erroring event; do the same
+            // for the batch's applied prefix, THEN surface the error.
+            // Order matters for the queue too: executor-posted messages
+            // append to the (drained) queue first, and the untouched tail
+            // then returns to the front — exactly the sequential order
+            // `[unreached events…, wrapper messages…]`.
+            let dispatched = self.dispatch_invocations(invocations, report);
+            self.queue.requeue_front(batch.unprocessed.into_iter());
+            dispatched?;
+            return Err(error);
+        }
+        self.dispatch_invocations(invocations, report)
+    }
+
+    /// Runs collected `exec`/`notify` invocations through the script
+    /// executor, feeding wrapper-posted messages back into the queue.
+    fn dispatch_invocations(
+        &mut self,
+        invocations: Vec<ScriptInvocation>,
+        report: &mut ProcessReport,
+    ) -> Result<(), EngineError> {
+        for invocation in invocations {
+            let mut ctx = ToolCtx {
+                db: &mut self.db,
+                workspace: &mut self.workspace,
+                blueprint: &self.blueprint,
+                audit: &mut self.audit,
+            };
+            let messages = self.executor.execute(&invocation, &mut ctx);
+            report.scripts += 1;
+            for message in messages {
+                report.emitted += 1;
+                self.enqueue_lenient(&message, &invocation.script)?;
+            }
+        }
+        Ok(())
     }
 
     /// Enqueues a message; unknown targets are dropped under lenient

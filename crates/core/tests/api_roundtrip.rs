@@ -120,6 +120,11 @@ fn request() -> impl Strategy<Value = Request> {
         Just(Request::Dot).boxed(),
         Just(Request::Audit).boxed(),
         Just(Request::Stat).boxed(),
+        any::<u32>()
+            .prop_map(|workers| Request::SetWaveWorkers {
+                workers: u64::from(workers),
+            })
+            .boxed(),
         (any::<u64>(), any::<u64>())
             .prop_map(|(epoch, seq)| Request::TailFrom { epoch, seq })
             .boxed(),
@@ -289,17 +294,21 @@ fn response() -> impl Strategy<Value = Response> {
             any::<u32>(),
             any::<u32>(),
             proptest::option::of(any::<u32>()),
-            proptest::option::of(any::<u32>())
+            proptest::option::of(any::<u32>()),
+            any::<u32>()
         )
-            .prop_map(|(oids, links, pending, epoch, records)| Response::Stat {
-                stat: ServerStat {
-                    oids: u64::from(oids),
-                    links: u64::from(links),
-                    pending_events: u64::from(pending),
-                    journal_epoch: epoch.map(u64::from),
-                    journal_records: records.map(u64::from),
-                },
-            })
+            .prop_map(
+                |(oids, links, pending, epoch, records, workers)| Response::Stat {
+                    stat: ServerStat {
+                        oids: u64::from(oids),
+                        links: u64::from(links),
+                        pending_events: u64::from(pending),
+                        journal_epoch: epoch.map(u64::from),
+                        journal_records: records.map(u64::from),
+                        wave_workers: u64::from(workers),
+                    },
+                }
+            )
             .boxed(),
         (any::<u64>(), any::<u64>())
             .prop_map(|(epoch, seq)| Response::Tailing { epoch, seq })

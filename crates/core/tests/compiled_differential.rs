@@ -1,14 +1,21 @@
-//! Differential property test: the compiled dispatch path must be
-//! observationally identical to the seed's AST-walking path.
+//! Differential property tests of the engine's execution modes.
 //!
-//! For randomized blueprints, design graphs and event streams, both engine
-//! paths are run side by side on cloned databases and held to the same
+//! 1. The compiled dispatch path must be observationally identical to the
+//!    seed's AST-walking path.
+//! 2. The sharded batch path ([`RuntimeEngine::process_batch_sharded`])
+//!    must be observationally identical to sequential compiled execution
+//!    at **every** worker count (`n ∈ {1, 2, 4, 8}`).
+//!
+//! For randomized blueprints, design graphs and event streams, the paths
+//! are run side by side on cloned databases and held to the same
 //! [`ProcessOutcome`] (delivered count and script invocations), the same
 //! retained audit-record sequence, and the same final database image
-//! (`damocles_meta::persist::save`).
+//! (`damocles_meta::persist::save`). The random graphs deliberately
+//! include raw links that bridge compile-time shard components, so the
+//! runtime [`ShardMap`] merges are exercised throughout.
 
 use blueprint_core::engine::audit::AuditLog;
-use blueprint_core::engine::compile::CompiledBlueprint;
+use blueprint_core::engine::compile::{CompiledBlueprint, ShardMap};
 use blueprint_core::engine::event::QueuedEvent;
 use blueprint_core::engine::policy::Policy;
 use blueprint_core::engine::runtime::RuntimeEngine;
@@ -290,5 +297,82 @@ proptest! {
         prop_assert_eq!(ast_outcomes, compiled_outcomes);
         prop_assert_eq!(ast_records, compiled_records);
         prop_assert_eq!(ast_image, compiled_image);
+    }
+
+    /// The sharded batch path matches sequential compiled execution —
+    /// outcomes, merged audit-record sequence and persisted database image
+    /// byte-for-byte — at every worker count.
+    #[test]
+    fn sharded_batches_match_sequential_at_any_worker_count(
+        bp in blueprint(),
+        spec in graph(),
+        stream in events(),
+        shallow in any::<bool>(),
+    ) {
+        let policy = Policy {
+            max_post_depth: if shallow { 1 } else { 64 },
+            ..Policy::default()
+        };
+        let compiled = CompiledBlueprint::compile(&bp);
+        let (mut db_seq, ids) = build_db(&spec);
+
+        // Sequential reference: one process_compiled call per event.
+        let (seq_outcomes, seq_image, seq_records) = run_stream(
+            |engine, db, audit, ev| {
+                let out = engine
+                    .process_compiled(&compiled, db, audit, ev)
+                    .expect("lenient policy");
+                (
+                    out.delivered,
+                    out.invocations.iter().map(|i| format!("{i:?}")).collect(),
+                )
+            },
+            &mut db_seq,
+            &ids,
+            &stream,
+            &policy,
+        );
+
+        for workers in [1usize, 2, 4, 8] {
+            let (mut db, ids) = build_db(&spec);
+            let shards = ShardMap::build(&compiled, &db);
+            let mut engine = RuntimeEngine::new(policy.clone());
+            let mut audit = AuditLog::retaining();
+            let events: Vec<QueuedEvent> = stream
+                .iter()
+                .map(|(event_idx, up, target, arg)| {
+                    let dir = if *up { Direction::Up } else { Direction::Down };
+                    let id = ids[target % ids.len()];
+                    QueuedEvent::target(EVENTS[*event_idx], dir, id, "difftest")
+                        .with_arg(arg.clone())
+                })
+                .collect();
+            let batch = engine.process_batch_sharded(
+                &compiled,
+                &shards,
+                &mut db,
+                &mut audit,
+                events,
+                workers,
+            );
+            prop_assert!(batch.error.is_none(), "lenient policy: {:?}", batch.error);
+            prop_assert!(batch.unprocessed.is_empty());
+
+            let outcomes: Vec<Observation> = batch
+                .outcomes
+                .iter()
+                .map(|out| {
+                    (
+                        out.delivered,
+                        out.invocations.iter().map(|i| format!("{i:?}")).collect(),
+                    )
+                })
+                .collect();
+            let records: Vec<String> =
+                audit.records().iter().map(|r| format!("{r:?}")).collect();
+            prop_assert_eq!(&outcomes, &seq_outcomes, "workers={}", workers);
+            prop_assert_eq!(&records, &seq_records, "workers={}", workers);
+            prop_assert_eq!(&persist::save(&db), &seq_image, "workers={}", workers);
+        }
     }
 }

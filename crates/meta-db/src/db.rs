@@ -99,6 +99,13 @@ pub struct MetaDb {
     prop_index: HashMap<String, HashMap<Value, BTreeSet<OidId>>>,
     /// Attached journal recorder, if any (see [`MetaDb::attach_journal`]).
     journal: Option<JournalRecorder>,
+    /// Monotonic counter bumped by every mutation that can change which
+    /// OIDs an event wave can reach: link creation/removal, link end
+    /// re-pointing (`move`/`copy` template transfers) and PROPAGATE-set
+    /// growth. Consumers that precompute a partition of the link graph
+    /// (the engine's wave-shard map) cache this stamp and rebuild when it
+    /// moves; see [`MetaDb::topology_stamp`].
+    topo_stamp: u64,
     stats: DbStats,
 }
 
@@ -235,6 +242,14 @@ impl MetaDb {
     /// Number of live objects.
     pub fn oid_count(&self) -> usize {
         self.oids.len()
+    }
+
+    /// The link-topology stamp: moves on every mutation that can change
+    /// event reachability (link add/remove, end re-pointing, PROPAGATE
+    /// growth). Equal stamps guarantee an unchanged link graph, so a
+    /// precomputed reachability partition keyed on it is still valid.
+    pub fn topology_stamp(&self) -> u64 {
+        self.topo_stamp
     }
 
     /// Number of live links.
@@ -399,6 +414,7 @@ impl MetaDb {
             link.propagates.insert(event);
         }
         let id = self.links.insert(link);
+        self.topo_stamp += 1;
         self.oids
             .get_mut(from)
             .expect("endpoint checked above")
@@ -442,6 +458,7 @@ impl MetaDb {
             .links
             .remove(id)
             .ok_or(MetaError::StaleLink { link: id })?;
+        self.topo_stamp += 1;
         for end in [link.from, link.to] {
             if let Some(entry) = self.oids.get_mut(end) {
                 entry.links.retain(|&l| l != id);
@@ -470,6 +487,7 @@ impl MetaDb {
         link.propagates_syms.insert(sym);
         let fresh = link.propagates.insert(event.to_string());
         if fresh {
+            self.topo_stamp += 1;
             if let Some(j) = self.journal.as_mut() {
                 let tag = j.tag_of(id);
                 j.record(JournalOp::AllowEvent {
@@ -637,6 +655,7 @@ impl MetaDb {
         } else {
             return Err(MetaError::StaleLink { link: link_id });
         };
+        self.topo_stamp += 1;
         if let Some(entry) = self.oids.get_mut(old) {
             entry.links.retain(|&l| l != link_id);
         }

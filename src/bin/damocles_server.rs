@@ -11,7 +11,7 @@
 //! accepted as sugar for `post`.
 //!
 //! ```console
-//! $ damocles_server edtc.bp --listen 127.0.0.1:7425 --journal ./dura --batch 32
+//! $ damocles_server edtc.bp --listen 127.0.0.1:7425 --journal ./dura --wave-workers 4
 //! listening on 127.0.0.1:7425
 //! $ printf 'checkin CPU HDL_model yves 6d6f64756c65\nprocess\n' | nc 127.0.0.1 7425
 //! created CPU,HDL_model,1
@@ -19,10 +19,13 @@
 //! ```
 //!
 //! Requests from all connections are serialized onto the engine in
-//! arrival order and **group-committed**: up to `--batch` queued requests
-//! execute back-to-back, their journal ops land with one append+fsync,
-//! and only then are the replies written — so a reply in hand means the
-//! effect is durable, at a fraction of the per-request fsync cost.
+//! arrival order and **group-committed** with an adaptive window: each
+//! batch takes exactly what is queued when it forms, so an idle client
+//! pays one fsync of latency while a burst amortizes one append+fsync
+//! across the whole backlog — a reply in hand always means the effect is
+//! durable. There is no batch-size knob to tune. `--wave-workers N`
+//! shards each `process` drain across N wave worker threads (see
+//! `DESIGN.md` §9).
 //!
 //! **Follower** (`--follow <leader-addr>`): a read-only replica. It
 //! connects to a journaling leader, bootstraps from the leader's
@@ -48,7 +51,7 @@ use blueprint_core::engine::service::{
 use damocles_tools::remote::{RemoteWrapper, TailHandshake};
 
 const USAGE: &str = "usage: damocles_server <blueprint.bp> [--listen <addr>] \
-                     [--journal <dir>] [--every <ops>] [--batch <n>] \
+                     [--journal <dir>] [--every <ops>] [--wave-workers <n>] \
                      [--follow <leader-addr>]";
 
 fn main() {
@@ -57,7 +60,7 @@ fn main() {
     let mut listen = "127.0.0.1:7425".to_string();
     let mut journal_dir: Option<String> = None;
     let mut every: u64 = DEFAULT_CHECKPOINT_EVERY;
-    let mut batch: usize = 32;
+    let mut wave_workers: usize = 1;
     let mut follow: Option<String> = None;
 
     let value_of = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -76,11 +79,13 @@ fn main() {
                     std::process::exit(2);
                 })
             }
-            "--batch" => {
-                batch = value_of(&mut args, "--batch").parse().unwrap_or_else(|_| {
-                    eprintln!("error: --batch needs a number\n{USAGE}");
-                    std::process::exit(2);
-                })
+            "--wave-workers" => {
+                wave_workers = value_of(&mut args, "--wave-workers")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        eprintln!("error: --wave-workers needs a number\n{USAGE}");
+                        std::process::exit(2);
+                    })
             }
             "--follow" => follow = Some(value_of(&mut args, "--follow")),
             "--help" | "-h" => {
@@ -157,8 +162,19 @@ fn main() {
         }
     }
 
-    eprintln!("listening on {bound} (group-commit batch {batch})");
-    let (handle, _join) = spawn_project_loop(service, batch);
+    if wave_workers > 1 {
+        match service.call(Request::SetWaveWorkers {
+            workers: wave_workers as u64,
+        }) {
+            Response::Ok => eprintln!("wave sharding across {wave_workers} workers"),
+            other => {
+                eprintln!("error: unexpected waveworkers response {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!("listening on {bound} (adaptive group commit)");
+    let (handle, _join) = spawn_project_loop(service);
     if let Err(e) = serve_listener(listener, &handle) {
         eprintln!("error: listener failed: {e}");
         std::process::exit(1);

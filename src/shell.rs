@@ -256,6 +256,11 @@ pub fn parse_command(line: &str) -> Result<Request, ApiError> {
         "dot" => Ok(Request::Dot),
         "audit" => Ok(Request::Audit),
         "stat" => Ok(Request::Stat),
+        "workers" => Ok(Request::SetWaveWorkers {
+            workers: words.parse_with("a wave worker count", |w| {
+                w.parse::<u64>().map_err(|_| "not a number".to_string())
+            })?,
+        }),
         other => Err(ApiError::UnknownCommand {
             at: at as u64,
             found: other.to_string(),
@@ -456,8 +461,8 @@ fn render(shown: &Presented, response: Response) -> ShellOutput {
                 _ => "off".to_string(),
             };
             format!(
-                "oids={} links={} pending={} journal={journal}",
-                stat.oids, stat.links, stat.pending_events
+                "oids={} links={} pending={} journal={journal} workers={}",
+                stat.oids, stat.links, stat.pending_events, stat.wave_workers
             )
         }
         (_, Response::Ok) => "ok".to_string(),
@@ -489,6 +494,7 @@ commands:
   save <file>                         persist database + payloads
   load <file>                         restore database + payloads
   stat                                server statistics
+  workers <n>                         shard waves across n worker threads
   dump                                full textual database dump
   dot                                 Graphviz dump of the design state
   audit                               engine counters

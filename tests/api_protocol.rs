@@ -17,10 +17,10 @@ fn edtc_service() -> ProjectService {
 
 /// Binds a loopback listener, spawns the command loop and the accept
 /// loop, and returns the address clients connect to.
-fn spawn_server(service: ProjectService, batch: usize) -> std::net::SocketAddr {
+fn spawn_server(service: ProjectService) -> std::net::SocketAddr {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().unwrap();
-    let (handle, _join) = spawn_project_loop(service, batch);
+    let (handle, _join) = spawn_project_loop(service);
     std::thread::spawn(move || {
         let _ = serve_listener(listener, &handle);
     });
@@ -53,7 +53,7 @@ fn two_concurrent_clients_post_through_the_listener() {
         }),
         Response::Epoch { .. }
     ));
-    let addr = spawn_server(service, 16);
+    let addr = spawn_server(service);
 
     // Two wrapper processes race 25 simulation results each.
     let workers: Vec<_> = (0..2)
@@ -140,7 +140,7 @@ fn raw_postevent_lines_work_over_the_wire() {
         other => panic!("{other:?}"),
     };
     service.call(Request::ProcessAll);
-    let addr = spawn_server(service, 8);
+    let addr = spawn_server(service);
 
     // A paper-style wrapper that only knows the §3.1 wire line.
     let mut stream = std::net::TcpStream::connect(addr).unwrap();
@@ -192,7 +192,7 @@ fn sessions_see_their_requests_in_order_and_batches_commit_atomically() {
         }),
         Response::Epoch { .. }
     ));
-    let (handle, join) = spawn_project_loop(service, 16);
+    let (handle, join) = spawn_project_loop(service);
     let session = handle.session();
     // Pipelined: version 1..=20 of the same chain must check in strictly
     // in submission order or version numbers would collide.

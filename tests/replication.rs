@@ -47,7 +47,7 @@ fn spawn_leader(dir: &std::path::Path) -> std::net::SocketAddr {
     ));
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().unwrap();
-    let (handle, _join) = spawn_project_loop(service, 16);
+    let (handle, _join) = spawn_project_loop(service);
     std::thread::spawn(move || {
         let _ = serve_listener(listener, &handle);
     });

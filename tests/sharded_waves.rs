@@ -1,0 +1,305 @@
+//! Parallel wave sharding (ISSUE 5): the component-partitioned batch
+//! path through the public server/service surface.
+//!
+//! * worker count never changes results — a 4-worker server and a
+//!   sequential server fed the same activity stream end with
+//!   byte-identical persist images and identical audit counters;
+//! * a mid-session link that bridges two previously-disjoint components
+//!   invalidates the shard map (the generation moves with the database's
+//!   topology stamp), merges the groups, and propagation crosses the
+//!   bridge correctly on the very next drain;
+//! * the `waveworkers` knob threads through the typed protocol and shows
+//!   up in `stat`.
+
+use blueprint_core::engine::api::{Request, Response};
+use blueprint_core::engine::exec::ToolCtx;
+use blueprint_core::engine::service::ProjectService;
+use damocles::prelude::*;
+
+/// Two link-disjoint view families (`a_*`, `b_*`) under the usual
+/// ckin/outofdate tracking rules: the compiler must put them in different
+/// shards, so their waves can run on different workers.
+const TWO_FAMILIES: &str = r#"
+    blueprint families
+    view default
+        property uptodate default true
+        when ckin do uptodate = true; post outofdate down done
+        when outofdate do uptodate = false done
+    endview
+    view a_src endview
+    view a_der
+        link_from a_src move propagates outofdate type derived
+    endview
+    view b_src endview
+    view b_der
+        link_from b_src move propagates outofdate type derived
+    endview
+    endblueprint
+"#;
+
+/// Builds the two-family design: `n` independent chains per family.
+fn populate(server: &mut ProjectServer<impl ScriptExecutor>, n: usize) -> Vec<(Oid, Oid)> {
+    let mut pairs = Vec::new();
+    for fam in ["a", "b"] {
+        for i in 0..n {
+            let src = server
+                .checkin(
+                    &format!("{fam}{i}"),
+                    &format!("{fam}_src"),
+                    "t",
+                    b"s".to_vec(),
+                )
+                .unwrap();
+            let der = server
+                .checkin(
+                    &format!("{fam}{i}"),
+                    &format!("{fam}_der"),
+                    "t",
+                    b"d".to_vec(),
+                )
+                .unwrap();
+            server.connect_oids(&src, &der).unwrap();
+            pairs.push((src, der));
+        }
+    }
+    pairs
+}
+
+#[test]
+fn worker_count_never_changes_results() {
+    let mut images = Vec::new();
+    let mut summaries = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let mut server = ProjectServer::from_source(TWO_FAMILIES).unwrap();
+        server.set_wave_workers(workers);
+        let pairs = populate(&mut server, 6);
+        server.process_all().unwrap();
+        // Re-checkin every source: all derived views must go stale, in
+        // one batch that spans both families.
+        for (src, _) in &pairs {
+            if src.view.as_str().ends_with("_src") {
+                server
+                    .checkin(src.block.as_str(), src.view.as_str(), "t", b"v2".to_vec())
+                    .unwrap();
+            }
+        }
+        let report = server.process_all().unwrap();
+        assert!(report.events > 0);
+        for (_, der) in &pairs {
+            assert_eq!(
+                server.prop(der, "uptodate").unwrap(),
+                Value::Bool(false),
+                "derived {der} stale at workers={workers}"
+            );
+        }
+        images.push(damocles_meta::persist::save(server.db()));
+        summaries.push(server.audit().summary());
+    }
+    for i in 1..images.len() {
+        assert_eq!(images[0], images[i], "image differs at worker config {i}");
+        assert_eq!(summaries[0], summaries[i], "audit differs at config {i}");
+    }
+}
+
+#[test]
+fn two_families_occupy_distinct_shard_groups() {
+    let mut server = ProjectServer::from_source(TWO_FAMILIES).unwrap();
+    server.set_wave_workers(4);
+    populate(&mut server, 2);
+    server.process_all().unwrap();
+    let compiled = server.compiled();
+    let a = compiled.shard_of_view("a_src");
+    let b = compiled.shard_of_view("b_src");
+    assert_ne!(a, b, "compile-time components must separate the families");
+    assert_eq!(compiled.shard_of_view("a_der"), a, "template edge unions");
+    let map = server.shard_map();
+    assert_eq!(map.merges(), 0, "template links never bridge components");
+    assert!(map.group_count() >= 2, "groups: {}", map.group_count());
+    assert_ne!(map.resolve(a), map.resolve(b));
+}
+
+/// A wrapper tool that, when invoked, relates its origin OID to the
+/// latest `b_src` version with a PROPAGATE-carrying link — the
+/// mid-session raw bridge between the two compile-time components.
+#[derive(Debug, Default)]
+struct BridgeBuilder;
+
+impl ScriptExecutor for BridgeBuilder {
+    fn execute(
+        &mut self,
+        inv: &blueprint_core::engine::exec::ScriptInvocation,
+        ctx: &mut ToolCtx<'_>,
+    ) -> Vec<EventMessage> {
+        let from: Oid = inv.args[0].parse().unwrap();
+        let from = ctx.db.resolve(&from).unwrap();
+        let to = ctx.latest("b0", "b_src").unwrap();
+        ctx.db
+            .add_link_with(
+                from,
+                to,
+                damocles_meta::LinkClass::Derive,
+                damocles_meta::LinkKind::DeriveFrom,
+                ["outofdate"],
+            )
+            .unwrap();
+        Vec::new()
+    }
+}
+
+#[test]
+fn mid_session_bridge_invalidates_shard_map_and_propagates() {
+    // The blueprint grows one rule: a `bridge` event makes the tool
+    // wire its target into the B family.
+    let source = TWO_FAMILIES.replace(
+        "view a_der\n        link_from a_src move propagates outofdate type derived\n    endview",
+        "view a_der\n        link_from a_src move propagates outofdate type derived\n        when bridge do exec bridger \"$oid\" done\n    endview",
+    );
+    let bp = parse(&source).unwrap();
+    let mut server = ProjectServer::with_executor(bp, BridgeBuilder).unwrap();
+    server.set_wave_workers(4);
+    populate(&mut server, 2);
+    server.process_all().unwrap();
+    let gen_before = server.shard_map().generation();
+    assert_eq!(server.shard_map().merges(), 0);
+
+    // Mid-session: the tool bridges a0's derived view into b0's source.
+    server
+        .post_line("postEvent bridge down a0,a_der,1", "t")
+        .unwrap();
+    server.process_all().unwrap();
+
+    // The raw propagating link must have bumped the shard-map generation
+    // and merged the two families into one execution group.
+    let compiled_a = server.compiled().shard_of_view("a_src");
+    let compiled_b = server.compiled().shard_of_view("b_src");
+    let map = server.shard_map();
+    assert_ne!(
+        map.generation(),
+        gen_before,
+        "bridge must move the generation"
+    );
+    assert!(map.merges() >= 1, "bridge must merge components");
+    assert_eq!(map.resolve(compiled_a), map.resolve(compiled_b));
+
+    // And propagation across the bridge is correct on the next drain: a
+    // fresh a0 source version invalidates b0's source+derived chain too.
+    server.checkin("a0", "a_src", "t", b"v2".to_vec()).unwrap();
+    server.process_all().unwrap();
+    for oid in [
+        Oid::new("a0", "a_der", 1),
+        Oid::new("b0", "b_src", 1),
+        Oid::new("b0", "b_der", 1),
+    ] {
+        assert_eq!(
+            server.prop(&oid, "uptodate").unwrap(),
+            Value::Bool(false),
+            "{oid} must be invalidated through the mid-session bridge"
+        );
+    }
+}
+
+#[test]
+fn wave_workers_thread_through_the_protocol() {
+    let mut svc: ProjectService = ProjectService::new();
+    // The knob is accepted before Init and inherited by the new server.
+    assert_eq!(
+        svc.call(Request::SetWaveWorkers { workers: 4 }),
+        Response::Ok
+    );
+    assert!(matches!(
+        svc.call(Request::Init {
+            source: TWO_FAMILIES.to_string()
+        }),
+        Response::Blueprint { .. }
+    ));
+    match svc.call(Request::Stat) {
+        Response::Stat { stat } => assert_eq!(stat.wave_workers, 4),
+        other => panic!("{other:?}"),
+    }
+    // Requests run through the sharded drain and stay correct.
+    for i in 0..4 {
+        for view in ["a_src", "a_der", "b_src", "b_der"] {
+            assert!(matches!(
+                svc.call(Request::Checkin {
+                    block: format!("blk{i}"),
+                    view: view.into(),
+                    user: "t".into(),
+                    payload: b"x".to_vec(),
+                }),
+                Response::Created { .. }
+            ));
+        }
+        assert_eq!(
+            svc.call(Request::Connect {
+                from: Oid::new(format!("blk{i}"), "a_src", 1),
+                to: Oid::new(format!("blk{i}"), "a_der", 1),
+            }),
+            Response::Ok
+        );
+    }
+    assert!(matches!(
+        svc.call(Request::ProcessAll),
+        Response::Processed { events: 16, .. }
+    ));
+    // Dropping back to sequential is also just a request.
+    assert_eq!(
+        svc.call(Request::SetWaveWorkers { workers: 1 }),
+        Response::Ok
+    );
+    match svc.call(Request::Stat) {
+        Response::Stat { stat } => assert_eq!(stat.wave_workers, 1),
+        other => panic!("{other:?}"),
+    }
+}
+
+/// Error-path parity with the sequential loop: when a later event in the
+/// batch errors, the applied prefix's wrapper invocations still dispatch
+/// (the sequential loop would have run them before reaching the error),
+/// and the untouched tail returns to the queue.
+#[test]
+fn batch_error_still_dispatches_prefix_invocations() {
+    let source = TWO_FAMILIES.replace(
+        "view a_src endview",
+        "view a_src\n        when probe do exec checker \"$oid\" done\n    endview",
+    );
+    let run = |workers: usize| {
+        let bp = parse(&source).unwrap();
+        let mut server = ProjectServer::with_executor(bp, RecordingExecutor::new()).unwrap();
+        server.set_wave_workers(workers);
+        populate(&mut server, 2);
+        server.process_all().unwrap();
+        // Strict policy: an event at an unknown view is a hard error.
+        server.policy_mut().unknown_views = blueprint_core::engine::policy::Strictness::Reject;
+        server
+            .create_object(Oid::new("ghost", "mystery", 1))
+            .unwrap();
+        // Batch: [exec-producing probe, erroring event, never-reached probe].
+        server
+            .post_line("postEvent probe up a0,a_src,1", "t")
+            .unwrap();
+        server
+            .post_line("postEvent boom up ghost,mystery,1", "t")
+            .unwrap();
+        server
+            .post_line("postEvent probe up a1,a_src,1", "t")
+            .unwrap();
+        let err = server.process_all().unwrap_err();
+        assert!(
+            matches!(err, EngineError::Policy(_)),
+            "expected the policy violation, got {err:?}"
+        );
+        let invoked: Vec<String> = server
+            .executor()
+            .invocations_of("checker")
+            .iter()
+            .map(|i| i.args[0].clone())
+            .collect();
+        // The event the error preceded stays queued, untouched.
+        (invoked, server.pending_events())
+    };
+    let sequential = run(1);
+    let sharded = run(4);
+    assert_eq!(sequential.0, vec!["a0,a_src,1".to_string()]);
+    assert_eq!(sequential, sharded, "error-path divergence between modes");
+    assert_eq!(sharded.1, 1, "the unreached event must be requeued");
+}

@@ -7,7 +7,9 @@
 /// MPMC-flavoured channel API over `std::sync::mpsc`.
 pub mod channel {
     use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::mpsc;
+    use std::sync::Arc;
 
     /// Error returned by [`Sender::send`] when the receiver is gone.
     #[derive(Debug, PartialEq, Eq)]
@@ -25,12 +27,14 @@ pub mod channel {
     /// The sending half; cheap to clone across producer threads.
     pub struct Sender<T> {
         inner: mpsc::Sender<T>,
+        depth: Arc<AtomicUsize>,
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             Sender {
                 inner: self.inner.clone(),
+                depth: Arc::clone(&self.depth),
             }
         }
     }
@@ -44,15 +48,20 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Sends a message, failing only if the receiver was dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner
-                .send(value)
-                .map_err(|mpsc::SendError(v)| SendError(v))
+            // Count before the send so a consumer that receives the
+            // message can never observe a depth that excludes it.
+            self.depth.fetch_add(1, Ordering::SeqCst);
+            self.inner.send(value).map_err(|mpsc::SendError(v)| {
+                self.depth.fetch_sub(1, Ordering::SeqCst);
+                SendError(v)
+            })
         }
     }
 
     /// The receiving half (single consumer).
     pub struct Receiver<T> {
         inner: mpsc::Receiver<T>,
+        depth: Arc<AtomicUsize>,
     }
 
     impl<T> fmt::Debug for Receiver<T> {
@@ -64,22 +73,45 @@ pub mod channel {
     impl<T> Receiver<T> {
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.inner.try_recv().map_err(|e| match e {
+            let got = self.inner.try_recv().map_err(|e| match e {
                 mpsc::TryRecvError::Empty => TryRecvError::Empty,
                 mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-            })
+            })?;
+            self.depth.fetch_sub(1, Ordering::SeqCst);
+            Ok(got)
         }
 
         /// Blocking receive; `None` once all senders are gone.
         pub fn recv(&self) -> Option<T> {
-            self.inner.recv().ok()
+            let got = self.inner.recv().ok()?;
+            self.depth.fetch_sub(1, Ordering::SeqCst);
+            Some(got)
+        }
+
+        /// Messages sent but not yet received — the queue depth. Like
+        /// crossbeam's, the value is a racy snapshot: producers may be
+        /// mid-send, so use it as a hint (batch sizing), not an invariant.
+        pub fn len(&self) -> usize {
+            self.depth.load(Ordering::SeqCst)
+        }
+
+        /// Whether [`Receiver::len`] is zero right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender { inner: tx }, Receiver { inner: rx })
+        let depth = Arc::new(AtomicUsize::new(0));
+        (
+            Sender {
+                inner: tx,
+                depth: Arc::clone(&depth),
+            },
+            Receiver { inner: rx, depth },
+        )
     }
 }
 
