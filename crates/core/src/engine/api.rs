@@ -124,17 +124,22 @@ pub enum Request {
         /// Destination end.
         to: Oid,
     },
-    /// Queue a design-event message (§3.1). The ack means *accepted and
-    /// queued* — the queue is session-transient, like the persist image;
-    /// the event's effects become durable once a [`Request::ProcessAll`]
-    /// executes them under journaling.
+    /// Queue a design-event message (§3.1). Under journaling the ack
+    /// means *durably accepted*: the event is journaled as accepted work
+    /// before the reply, and recovery re-enqueues accepted events whose
+    /// processing never committed (at-least-once replay).
     Post {
         /// The event message.
         message: EventMessage,
         /// The posting user or wrapper.
         user: String,
     },
-    /// Drain the event queue to quiescence.
+    /// Drain the event queue: every queued event executes and every
+    /// already-finished detached tool invocation is absorbed. Detached
+    /// invocations still running when the drain returns post their
+    /// results back through later pumps ([`Request::PumpInvocations`],
+    /// issued automatically by the command loop while idle) — the loop
+    /// is never parked behind a slow tool.
     ProcessAll,
     /// Re-evaluate every continuous assignment (deferred `let`s).
     RefreshLets,
@@ -222,6 +227,33 @@ pub enum Request {
         /// Worker threads (clamped to at least 1).
         workers: u64,
     },
+    /// Set the retry policy for detached tool invocations: how many times
+    /// a failed attempt is retried, the exponential backoff between
+    /// attempts, and the per-attempt wall-clock budget. With `script:
+    /// None` this sets the default policy; with `Some(name)` it overrides
+    /// the policy for that script only. Survives `Init` server swaps,
+    /// like wave workers.
+    SetRetryPolicy {
+        /// The script (tool) the policy applies to; `None` = the default
+        /// policy for scripts without an override.
+        script: Option<String>,
+        /// Retries after the first failed attempt (`0` = one attempt
+        /// only).
+        max_retries: u64,
+        /// Delay before the first retry, in milliseconds.
+        base_delay_ms: u64,
+        /// Backoff multiplier: retry *n* waits `base_delay ·
+        /// multiplier^(n-1)`.
+        multiplier: u64,
+        /// Per-attempt wall-clock budget in milliseconds; an attempt
+        /// finishing later counts as failed.
+        timeout_ms: u64,
+    },
+    /// Absorb finished detached invocations and run one non-blocking
+    /// queue drain. The command loop issues this to itself when the
+    /// worker pool signals finished work, so results flow back between
+    /// client commands; clients may also send it to poll.
+    PumpInvocations,
     /// Replication handshake: stream committed journal records from
     /// `(epoch, seq)` on. Requires journaling on the receiving server.
     ///
@@ -256,6 +288,9 @@ impl Request {
 
     /// Whether this request can mutate durable state (used by the command
     /// loop to decide what a group-commit flush failure poisons).
+    /// `SetRetryPolicy` and `PumpInvocations` count as mutations (a pump
+    /// journals invocation completions) but not barriers — they ride
+    /// inside group-commit windows.
     pub fn is_mutation(&self) -> bool {
         !matches!(
             self,
@@ -353,6 +388,16 @@ pub struct ServerStat {
     /// Wave worker threads `ProcessAll` shards batches across (1 =
     /// sequential).
     pub wave_workers: u64,
+    /// Detached invocations waiting for a worker.
+    pub pending_invocations: u64,
+    /// Detached invocations executing on a worker right now.
+    pub running_invocations: u64,
+    /// Detached invocations sitting out a backoff delay before their
+    /// next attempt.
+    pub retrying_invocations: u64,
+    /// Detached invocations that exhausted their retry budget (lifetime
+    /// count for this pool).
+    pub failed_invocations: u64,
 }
 
 /// The typed result of one [`Request`]. Structured data, not rendered
@@ -569,6 +614,18 @@ pub enum ApiError {
         /// What went wrong.
         reason: String,
     },
+    /// A detached tool invocation exhausted its retry budget. The same
+    /// failure also lands in-band as a `tool_failed` event at the
+    /// invocation's origin; this is the out-of-band form for clients
+    /// that watch invocations directly.
+    InvocationFailed {
+        /// The script (tool) that failed.
+        script: String,
+        /// Attempts consumed (≥ 1).
+        attempts: u64,
+        /// The last failure reason.
+        reason: String,
+    },
     /// Another meta-database failure.
     Meta {
         /// The rendered error.
@@ -636,6 +693,14 @@ impl fmt::Display for ApiError {
                 write!(f, "event budget exhausted after {processed} events")
             }
             ApiError::Journal { reason } => write!(f, "durability error: {reason}"),
+            ApiError::InvocationFailed {
+                script,
+                attempts,
+                reason,
+            } => write!(
+                f,
+                "invocation of `{script}` failed after {attempts} attempt(s): {reason}"
+            ),
             ApiError::Meta { reason } => write!(f, "meta-database error: {reason}"),
             ApiError::Io { reason } => write!(f, "I/O error: {reason}"),
             ApiError::ReadOnly { leader } => {
@@ -677,6 +742,15 @@ impl From<EngineError> for ApiError {
             EngineError::Invalid { issues } => ApiError::InvalidBlueprint { issues },
             EngineError::Runaway { processed } => ApiError::Runaway { processed },
             EngineError::Journal { reason } => ApiError::Journal { reason },
+            EngineError::InvocationFailed {
+                script,
+                attempts,
+                reason,
+            } => ApiError::InvocationFailed {
+                script,
+                attempts,
+                reason,
+            },
         }
     }
 }
@@ -944,6 +1018,17 @@ impl Request {
             Request::Audit => "audit".to_string(),
             Request::Stat => "stat".to_string(),
             Request::SetWaveWorkers { workers } => format!("waveworkers {workers}"),
+            Request::SetRetryPolicy {
+                script,
+                max_retries,
+                base_delay_ms,
+                multiplier,
+                timeout_ms,
+            } => format!(
+                "retry {} {max_retries} {base_delay_ms} {multiplier} {timeout_ms}",
+                enc_opt(script.as_deref())
+            ),
+            Request::PumpInvocations => "pump".to_string(),
             Request::TailFrom { epoch, seq } => format!("tailfrom {epoch} {seq}"),
         }
     }
@@ -1060,6 +1145,14 @@ impl Request {
             "waveworkers" => Request::SetWaveWorkers {
                 workers: c.u64("a worker count")?,
             },
+            "retry" => Request::SetRetryPolicy {
+                script: c.parse_with("a script (`-` = default policy)", dec_opt)?,
+                max_retries: c.u64("a retry count")?,
+                base_delay_ms: c.u64("a base delay (ms)")?,
+                multiplier: c.u64("a backoff multiplier")?,
+                timeout_ms: c.u64("a per-attempt timeout (ms)")?,
+            },
+            "pump" => Request::PumpInvocations,
             "tailfrom" => Request::TailFrom {
                 epoch: c.u64("a checkpoint epoch")?,
                 seq: c.u64("a record sequence number")?,
@@ -1185,7 +1278,7 @@ impl Response {
                 counters.templates
             ),
             Response::Stat { stat } => format!(
-                "stat {} {} {} {} {} {}",
+                "stat {} {} {} {} {} {} {} {} {} {}",
                 stat.oids,
                 stat.links,
                 stat.pending_events,
@@ -1194,6 +1287,10 @@ impl Response {
                 stat.journal_records
                     .map_or_else(|| "-".to_string(), |r| format!("+{r}")),
                 stat.wave_workers,
+                stat.pending_invocations,
+                stat.running_invocations,
+                stat.retrying_invocations,
+                stat.failed_invocations,
             ),
             Response::Tailing { epoch, seq } => format!("tailing {epoch} {seq}"),
             Response::Error(e) => format!("err {}", e.encode()),
@@ -1350,6 +1447,10 @@ impl Response {
                     journal_epoch: c.parse_with("an optional epoch", opt_u64)?,
                     journal_records: c.parse_with("an optional record count", opt_u64)?,
                     wave_workers: c.u64("a wave worker count")?,
+                    pending_invocations: c.u64("a pending-invocation count")?,
+                    running_invocations: c.u64("a running-invocation count")?,
+                    retrying_invocations: c.u64("a retrying-invocation count")?,
+                    failed_invocations: c.u64("a failed-invocation count")?,
                 },
             },
             "tailing" => Response::Tailing {
@@ -1405,6 +1506,15 @@ impl ApiError {
             }
             ApiError::Runaway { processed } => format!("runaway {processed}"),
             ApiError::Journal { reason } => format!("journal {}", enc_str(reason)),
+            ApiError::InvocationFailed {
+                script,
+                attempts,
+                reason,
+            } => format!(
+                "invocation-failed {} {attempts} {}",
+                enc_str(script),
+                enc_str(reason)
+            ),
             ApiError::Meta { reason } => format!("meta {}", enc_str(reason)),
             ApiError::Io { reason } => format!("io {}", enc_str(reason)),
             ApiError::ReadOnly { leader } => format!("read-only {}", enc_str(leader)),
@@ -1456,6 +1566,11 @@ impl ApiError {
                 processed: c.u64("an event count")?,
             },
             "journal" => ApiError::Journal {
+                reason: c.string("a reason")?,
+            },
+            "invocation-failed" => ApiError::InvocationFailed {
+                script: c.string("a script name")?,
+                attempts: c.u64("an attempt count")?,
                 reason: c.string("a reason")?,
             },
             "meta" => ApiError::Meta {
@@ -1529,6 +1644,21 @@ mod tests {
             },
             Request::Stat,
             Request::SetWaveWorkers { workers: 4 },
+            Request::SetRetryPolicy {
+                script: None,
+                max_retries: 5,
+                base_delay_ms: 10,
+                multiplier: 2,
+                timeout_ms: 30_000,
+            },
+            Request::SetRetryPolicy {
+                script: Some("hdl sim".into()),
+                max_retries: 0,
+                base_delay_ms: 0,
+                multiplier: 1,
+                timeout_ms: 1,
+            },
+            Request::PumpInvocations,
             Request::TailFrom { epoch: 3, seq: 117 },
         ]
     }
@@ -1570,6 +1700,10 @@ mod tests {
                     journal_epoch: Some(2),
                     journal_records: Some(17),
                     wave_workers: 4,
+                    pending_invocations: 3,
+                    running_invocations: 2,
+                    retrying_invocations: 1,
+                    failed_invocations: 7,
                 },
             },
             Response::Error(ApiError::Parse {
@@ -1586,6 +1720,11 @@ mod tests {
                 leader: "127.0.0.1:7425".into(),
             }),
             Response::Error(ApiError::Lagging { epoch: 2, seq: 9 }),
+            Response::Error(ApiError::InvocationFailed {
+                script: "hdl_sim".into(),
+                attempts: 6,
+                reason: "simulation crashed".into(),
+            }),
         ]
     }
 
@@ -1659,5 +1798,15 @@ mod tests {
         assert!(Request::ProcessAll.is_mutation());
         assert!(!Request::Stat.is_mutation());
         assert!(!Request::Dump.is_mutation());
+        let retry = Request::SetRetryPolicy {
+            script: None,
+            max_retries: 3,
+            base_delay_ms: 10,
+            multiplier: 2,
+            timeout_ms: 30_000,
+        };
+        assert!(retry.is_mutation() && !retry.is_barrier());
+        assert!(Request::PumpInvocations.is_mutation());
+        assert!(!Request::PumpInvocations.is_barrier());
     }
 }

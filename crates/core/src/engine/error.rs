@@ -36,6 +36,18 @@ pub enum EngineError {
         /// What went wrong.
         reason: String,
     },
+    /// A detached tool invocation exhausted its retry budget. The failure
+    /// also surfaces in-band as a `tool_failed` event at the invocation's
+    /// origin; this variant is the out-of-band form for callers that
+    /// watch invocations directly.
+    InvocationFailed {
+        /// The script (tool) that failed.
+        script: String,
+        /// Attempts consumed (≥ 1).
+        attempts: u64,
+        /// The last failure reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -51,6 +63,14 @@ impl fmt::Display for EngineError {
                 write!(f, "event budget exhausted after {processed} events")
             }
             EngineError::Journal { reason } => write!(f, "durability error: {reason}"),
+            EngineError::InvocationFailed {
+                script,
+                attempts,
+                reason,
+            } => write!(
+                f,
+                "invocation of `{script}` failed after {attempts} attempt(s): {reason}"
+            ),
         }
     }
 }
@@ -63,7 +83,8 @@ impl std::error::Error for EngineError {
             EngineError::Parse(e) => Some(e),
             EngineError::Invalid { .. }
             | EngineError::Runaway { .. }
-            | EngineError::Journal { .. } => None,
+            | EngineError::Journal { .. }
+            | EngineError::InvocationFailed { .. } => None,
         }
     }
 }

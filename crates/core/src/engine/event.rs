@@ -42,6 +42,9 @@ pub struct QueuedEvent {
     /// The designer (or tool) on whose behalf the event was produced; the
     /// `$user` of run-time rules.
     pub user: String,
+    /// Durable-queue sequence number, stamped by the server when the event
+    /// was journaled as accepted work (`None` on a non-journaled server).
+    pub seq: Option<u64>,
 }
 
 impl QueuedEvent {
@@ -58,6 +61,7 @@ impl QueuedEvent {
             delivery: Delivery::Target(id),
             args: Vec::new(),
             user: user.into(),
+            seq: None,
         }
     }
 
@@ -90,6 +94,7 @@ impl QueuedEvent {
             delivery: Delivery::Target(id),
             args: msg.args.clone(),
             user: user.into(),
+            seq: None,
         })
     }
 }

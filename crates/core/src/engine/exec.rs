@@ -70,6 +70,19 @@ impl ToolCtx<'_> {
             .workspace
             .checkin(self.db, block, view, user, payload)?;
         template::apply_on_create(self.blueprint, self.db, id, self.audit)?;
+        // Tool-created design data must survive recovery exactly like a
+        // designer's check-in: journal the payload alongside the creation
+        // ops (a no-op when the database has no journal attached).
+        // Without this, a recovered project has the OID but an empty
+        // workspace datum, and re-dispatched invocations that re-read the
+        // payload (LVS, simulation) would compute on missing data.
+        if let Some(datum) = self.workspace.datum(id) {
+            self.db
+                .record_extra(damocles_meta::journal::JournalOp::Data {
+                    oid: oid.clone(),
+                    payload: datum.content.clone(),
+                });
+        }
         Ok((id, oid))
     }
 
@@ -98,6 +111,34 @@ impl ToolCtx<'_> {
     }
 }
 
+/// A self-contained tool run detached from the command loop: everything it
+/// needs from the database was captured when it was prepared, so a worker
+/// thread can run (and re-run) it without any engine access. The argument
+/// is the zero-based attempt number; an `Err` is a *retryable* failure the
+/// invocation pool feeds back through its [`RetryPolicy`].
+///
+/// [`RetryPolicy`]: crate::engine::invoke::RetryPolicy
+pub type DetachedJob = Box<dyn Fn(u32) -> Result<Vec<EventMessage>, String> + Send>;
+
+/// What [`ScriptExecutor::prepare`] decided to do with an invocation.
+pub enum PreparedRun {
+    /// The invocation ran to completion on the command loop; these are its
+    /// result messages (the classic synchronous path).
+    Inline(Vec<EventMessage>),
+    /// The invocation was captured as a detached job for the worker pool;
+    /// its result messages arrive later through the event queue.
+    Detached(DetachedJob),
+}
+
+impl std::fmt::Debug for PreparedRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PreparedRun::Inline(msgs) => f.debug_tuple("Inline").field(msgs).finish(),
+            PreparedRun::Detached(_) => f.write_str("Detached(..)"),
+        }
+    }
+}
+
 /// Executes wrapper scripts on behalf of the project server.
 pub trait ScriptExecutor {
     /// Runs one invocation, returning any event messages the wrapper posts.
@@ -106,6 +147,15 @@ pub trait ScriptExecutor {
         invocation: &ScriptInvocation,
         ctx: &mut ToolCtx<'_>,
     ) -> Vec<EventMessage>;
+
+    /// Prepares one invocation: either run it inline (the default, which
+    /// simply delegates to [`ScriptExecutor::execute`]) or capture it as a
+    /// [`DetachedJob`] the server hands to its async invocation pool.
+    /// Database reads happen *here*, on the command loop; a detached job
+    /// must carry everything it needs by value.
+    fn prepare(&mut self, invocation: &ScriptInvocation, ctx: &mut ToolCtx<'_>) -> PreparedRun {
+        PreparedRun::Inline(self.execute(invocation, ctx))
+    }
 }
 
 /// Discards every invocation.

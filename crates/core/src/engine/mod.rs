@@ -11,6 +11,7 @@ pub mod eval;
 pub mod event;
 pub mod exec;
 pub mod follower;
+pub mod invoke;
 pub mod policy;
 pub mod queue;
 pub mod runtime;

@@ -100,6 +100,19 @@ impl EventQueue {
         self.stats.high_water = self.stats.high_water.max(self.queue.len());
     }
 
+    /// Read-only walk of the waiting events, front to back — the durable
+    /// queue uses this to re-journal still-pending work at a checkpoint.
+    pub fn iter(&self) -> impl Iterator<Item = &QueuedEvent> {
+        self.queue.iter()
+    }
+
+    /// Mutable walk of the waiting events, front to back — used to stamp
+    /// durable sequence numbers onto events queued before journaling was
+    /// enabled.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut QueuedEvent> {
+        self.queue.iter_mut()
+    }
+
     /// Pops the oldest event.
     pub fn dequeue(&mut self) -> Option<QueuedEvent> {
         let ev = self.queue.pop_front();

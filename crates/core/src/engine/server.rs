@@ -8,9 +8,10 @@
 //! events those wrappers post back into the queue — the automatic tool
 //! invocation loop of Section 3.3.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
 
 use damocles_meta::journal::{self, JournalOp, JournalWriter, RecoveryReport};
 use damocles_meta::{
@@ -21,8 +22,11 @@ use damocles_meta::{
 use crate::engine::audit::AuditLog;
 use crate::engine::compile::{CompiledBlueprint, ShardMap};
 use crate::engine::error::EngineError;
-use crate::engine::event::QueuedEvent;
-use crate::engine::exec::{NullExecutor, ScriptExecutor, ScriptInvocation, ToolCtx};
+use crate::engine::event::{Delivery, QueuedEvent};
+use crate::engine::exec::{NullExecutor, PreparedRun, ScriptExecutor, ScriptInvocation, ToolCtx};
+use crate::engine::invoke::{
+    FinishedInvocation, InvokeOutcome, InvokeStats, Invoker, RetryPolicy, WakeFn,
+};
 use crate::engine::policy::{Policy, PolicyViolation, Strictness};
 use crate::engine::queue::{EventQueue, Posted};
 use crate::engine::runtime::RuntimeEngine;
@@ -79,6 +83,33 @@ fn journal_io(e: std::io::Error) -> EngineError {
     EngineError::Journal {
         reason: e.to_string(),
     }
+}
+
+/// How long the blocking drain parks per poll while detached invocations
+/// are still in flight (results usually arrive earlier via the condvar).
+const INVOKE_POLL: Duration = Duration::from_millis(50);
+
+/// The work-queue journal record for a durably accepted event, or `None`
+/// when the event carries no sequence stamp (journaling off at accept) or
+/// its target address no longer resolves.
+///
+/// A free function (not a method) so callers can borrow the queue and the
+/// database from disjoint fields at the same time.
+fn event_queued_op(db: &MetaDb, ev: &QueuedEvent) -> Option<JournalOp> {
+    let seq = ev.seq?;
+    let target = db.oid(ev.delivery.anchor()).ok()?.clone();
+    Some(JournalOp::EventQueued {
+        seq,
+        event: ev.event.clone(),
+        direction: match ev.direction {
+            Direction::Up => "up".to_string(),
+            Direction::Down => "down".to_string(),
+        },
+        propagate: matches!(ev.delivery, Delivery::PropagateFrom(_)),
+        target,
+        args: ev.args.clone(),
+        user: ev.user.clone(),
+    })
 }
 
 /// The project server.
@@ -161,6 +192,17 @@ pub struct ProjectServer<E = NullExecutor> {
     /// `Connect` that bridges two previously-disjoint components bumps the
     /// topology stamp and thereby the shard-map generation).
     shard_map: Option<ShardMap>,
+    /// The async invocation pool running detached tool runs (see
+    /// [`crate::engine::invoke`]); inline executors never touch it.
+    invoker: Invoker,
+    /// `InvokeQueued` records of detached invocations not yet terminal,
+    /// kept so a checkpoint can re-seed the fresh journal with them
+    /// (work records have no snapshot representation).
+    in_flight_ops: BTreeMap<u64, JournalOp>,
+    /// Next durable event-queue sequence number.
+    next_event_seq: u64,
+    /// Next invocation id (monotonic across inline and detached runs).
+    next_invoke_id: u64,
     /// Safety valve for `process_all`.
     pub max_events_per_drain: u64,
 }
@@ -215,6 +257,10 @@ impl<E: ScriptExecutor> ProjectServer<E> {
             tail: Arc::new(TailHub::new()),
             wave_workers: 1,
             shard_map: None,
+            invoker: Invoker::default(),
+            in_flight_ops: BTreeMap::new(),
+            next_event_seq: 0,
+            next_invoke_id: 0,
             max_events_per_drain: 1_000_000,
         })
     }
@@ -296,6 +342,19 @@ impl<E: ScriptExecutor> ProjectServer<E> {
     pub fn adopt_project(&mut self, db: MetaDb, workspace: Workspace) {
         while self.queue.dequeue().is_some() {}
         for _ in self.queue.drain_inbox() {}
+        // Detached jobs were captured against the old database; a fresh
+        // pool (same policies and wake) replaces them. On a durable server
+        // the journal's in-flight records re-dispatch them instead.
+        let (default_policy, overrides) = self.invoker.policies();
+        let wake = self.invoker.take_wake();
+        let mut fresh = Invoker::default();
+        fresh.set_policy(None, default_policy);
+        for (script, policy) in &overrides {
+            fresh.set_policy(Some(script), *policy);
+        }
+        fresh.set_wake(wake);
+        self.invoker = fresh;
+        self.in_flight_ops.clear();
         self.db = db;
         self.workspace = workspace;
         // The engine's per-view dispatch cache is keyed by the old
@@ -357,6 +416,29 @@ impl<E: ScriptExecutor> ProjectServer<E> {
             ops_since_checkpoint: 0,
             force_checkpoint: false,
         });
+        // Events queued before this enable predate the journal: stamp them
+        // with sequence numbers and record their acceptance now, so the
+        // fresh journal's pending-work scan covers the whole queue.
+        let mut stamped = Vec::new();
+        {
+            let db = &self.db;
+            let mut next = self.next_event_seq;
+            for ev in self.queue.iter_mut() {
+                if ev.seq.is_some() {
+                    continue;
+                }
+                ev.seq = Some(next);
+                next += 1;
+                if let Some(op) = event_queued_op(db, ev) {
+                    stamped.push(op);
+                }
+            }
+            self.next_event_seq = next;
+        }
+        for op in stamped {
+            self.db.record_extra(op);
+        }
+        self.journal_sync(None)?;
         Ok(epoch)
     }
 
@@ -520,15 +602,53 @@ impl<E: ScriptExecutor> ProjectServer<E> {
                     return Err(e);
                 }
             };
+        // Work records — still-queued events, in-flight detached
+        // invocations — have no snapshot representation: re-seed the fresh
+        // journal with them so recovery from the new epoch still sees the
+        // accepted-but-unfinished set. This stays consistent with the
+        // buffered drop above: a terminal record dropped there had its
+        // queued record leave the pending sets too.
+        let mut carried: Vec<JournalOp> = self
+            .queue
+            .iter()
+            .filter_map(|ev| event_queued_op(&self.db, ev))
+            .collect();
+        carried.extend(self.in_flight_ops.values().cloned());
         let d = self.durability.as_mut().expect("checked above");
         d.writer = writer;
         d.epoch = epoch;
         d.ops_since_checkpoint = 0;
         d.force_checkpoint = false;
+        let reseed = |d: &mut Durability| -> Result<(), std::io::Error> {
+            for op in &carried {
+                d.writer.append(op)?;
+            }
+            if !carried.is_empty() {
+                d.writer.sync()?;
+            }
+            Ok(())
+        };
+        if let Err(e) = reseed(d) {
+            self.durability = None;
+            self.db.detach_journal();
+            self.journal_poisoned = true;
+            self.tail.publish_disable();
+            return Err(EngineError::Journal {
+                reason: format!("checkpoint re-seed failed, durability disabled: {e}"),
+            });
+        }
         // Re-tag links in image order so tail ops and the snapshot agree.
         self.db.attach_journal();
         self.tail
             .publish_checkpoint(epoch, image, dropped_ops == 0 && !adopted);
+        if !carried.is_empty() {
+            self.tail.publish_records(
+                carried
+                    .iter()
+                    .enumerate()
+                    .map(|(i, op)| journal::encode_record(i as u64, op).trim_end().to_string()),
+            );
+        }
         Ok(epoch)
     }
 
@@ -563,6 +683,10 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         self.durability = None;
         self.adopt_project(recovered.db, recovered.workspace);
         self.enable_journal(dir, checkpoint_every)?;
+        // Work records survive even a stale journal (they have no
+        // snapshot representation): re-enqueue unprocessed events and
+        // re-dispatch in-flight invocations under their original ids.
+        self.restore_pending_work(recovered.pending)?;
         Ok(recovered.report)
     }
 
@@ -749,11 +873,12 @@ impl<E: ScriptExecutor> ProjectServer<E> {
     /// either way — the sharded path is differentially tested against the
     /// sequential one — so this knob trades threads for wall-clock only.
     ///
-    /// One semantic caveat, relevant only to custom
-    /// [`ScriptExecutor`]s: within one parallel batch, wrapper
-    /// invocations are dispatched after the whole batch's waves (in event
-    /// order), not interleaved between waves. Wrapper-posted events are
-    /// queued and processed afterwards exactly as before.
+    /// Within one parallel batch, wrapper invocations are dispatched
+    /// after the whole batch's waves, in event order — and with a
+    /// detached executor their results re-enter the queue in that same
+    /// dispatch order (the pool's ordered harvest, see
+    /// [`crate::engine::invoke`]), so the final image matches the
+    /// sequential path even though tool runs overlap freely.
     pub fn set_wave_workers(&mut self, workers: usize) {
         self.wave_workers = workers.max(1);
     }
@@ -761,6 +886,46 @@ impl<E: ScriptExecutor> ProjectServer<E> {
     /// The wave worker count in force.
     pub fn wave_workers(&self) -> usize {
         self.wave_workers
+    }
+
+    // ------------------------------------------------------------------
+    // Async invocation pool
+    // ------------------------------------------------------------------
+
+    /// Live counters of the async invocation pool (pending, running,
+    /// retrying, and terminal totals) — surfaced through `Request::Stat`.
+    pub fn invoke_stats(&self) -> InvokeStats {
+        self.invoker.stats()
+    }
+
+    /// Sets the retry policy detached runs of `script` use, or the pool
+    /// default when `script` is `None`. Applies to subsequent dispatches.
+    pub fn set_retry_policy(&mut self, script: Option<&str>, policy: RetryPolicy) {
+        self.invoker.set_policy(script, policy);
+    }
+
+    /// Every configured retry policy (the default plus per-script
+    /// overrides) — the service re-installs them across `Init` swaps.
+    pub fn retry_policies(&self) -> (RetryPolicy, Vec<(String, RetryPolicy)>) {
+        self.invoker.policies()
+    }
+
+    /// Arms (or clears) the callback fired when a detached result becomes
+    /// harvestable — the command loop's "pump me" signal.
+    pub fn set_invoke_wake(&self, wake: Option<WakeFn>) {
+        self.invoker.set_wake(wake);
+    }
+
+    /// Detached invocations submitted and not yet fed back.
+    pub fn invocations_in_flight(&self) -> usize {
+        self.invoker.in_flight()
+    }
+
+    /// Blocks up to `timeout` for a harvestable detached result; `true`
+    /// when one is ready (polling loops around
+    /// [`ProjectServer::process_round`]).
+    pub fn wait_invocations(&self, timeout: Duration) -> bool {
+        self.invoker.wait_harvest(timeout)
     }
 
     /// The shard partition the parallel wave path would use right now:
@@ -879,8 +1044,7 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         template::apply_on_create(&self.blueprint, &mut self.db, id, &mut self.audit)?;
         self.db
             .set_prop(id, "owner", Value::Str(user.to_string()))?;
-        self.queue
-            .enqueue(QueuedEvent::target("ckin", Direction::Up, id, user));
+        self.accept_event(QueuedEvent::target("ckin", Direction::Up, id, user));
         // Journal the payload alongside the meta-data ops so recovery can
         // rebuild the workspace too, not just the database.
         let data_op = self.durability.is_some().then(|| JournalOp::Data {
@@ -961,7 +1125,11 @@ impl<E: ScriptExecutor> ProjectServer<E> {
     /// Fails when the target OID does not exist.
     pub fn post(&mut self, message: &EventMessage, user: &str) -> Result<(), EngineError> {
         let ev = QueuedEvent::from_message(&self.db, message, user)?;
-        self.queue.enqueue(ev);
+        self.accept_event(ev);
+        // A post's ack means "accepted and queued" — with journaling on,
+        // the acceptance record is durable (or buffered for the batch
+        // flush under group commit) before the ack.
+        self.journal_sync(None)?;
         Ok(())
     }
 
@@ -984,7 +1152,13 @@ impl<E: ScriptExecutor> ProjectServer<E> {
 
     /// Drains the event queue to quiescence: processes every queued event,
     /// dispatches wrapper invocations, and feeds posted messages back until
-    /// nothing is left.
+    /// nothing is left. With a detached executor the drain also waits for
+    /// every in-flight tool run to land and feeds its results through, so
+    /// "quiescent" still means *fully* quiescent — and because results
+    /// re-enter the queue in dispatch order (the pool's ordered harvest,
+    /// see [`crate::engine::invoke`]), the final image is independent of
+    /// worker scheduling and fault timing. Command loops that must not
+    /// block behind slow tools use [`ProjectServer::process_round`].
     ///
     /// # Errors
     ///
@@ -993,6 +1167,42 @@ impl<E: ScriptExecutor> ProjectServer<E> {
     pub fn process_all(&mut self) -> Result<ProcessReport, EngineError> {
         let mut report = ProcessReport::default();
         loop {
+            self.drain_round(&mut report)?;
+            if self.invoker.in_flight() == 0 {
+                break;
+            }
+            self.invoker.wait_harvest(INVOKE_POLL);
+        }
+        // One durability sync per drain: every op the wave performed is on
+        // disk before process_all returns.
+        self.journal_sync(None)?;
+        Ok(report)
+    }
+
+    /// One non-blocking processing round: absorbs any landed detached
+    /// results, drains the queue, and returns without waiting on
+    /// still-running invocations — the command loop's building block, so
+    /// a storm of retrying tools never stalls unrelated requests.
+    /// [`ProjectServer::invocations_in_flight`] says whether more results
+    /// are coming; the pool's wake callback
+    /// ([`ProjectServer::set_invoke_wake`]) signals when to call again.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProjectServer::process_all`].
+    pub fn process_round(&mut self) -> Result<ProcessReport, EngineError> {
+        let mut report = ProcessReport::default();
+        self.drain_round(&mut report)?;
+        self.journal_sync(None)?;
+        Ok(report)
+    }
+
+    /// The shared drain: folds landed results and the wrapper inbox into
+    /// the queue, then processes events (sequentially or sharded) until
+    /// the queue is empty. Never waits on in-flight detached work.
+    fn drain_round(&mut self, report: &mut ProcessReport) -> Result<(), EngineError> {
+        loop {
+            self.absorb_finished(report)?;
             // Reuse one inbox buffer across polls instead of allocating a
             // fresh Vec per drain.
             let mut inbox = std::mem::take(&mut self.inbox_buf);
@@ -1006,17 +1216,18 @@ impl<E: ScriptExecutor> ProjectServer<E> {
             // The sharded path takes the whole queued batch at once;
             // feedback events (wrapper posts) arrive for the next round.
             if self.wave_workers > 1 && !self.ast_dispatch && !self.queue.is_empty() {
-                self.process_batch(&mut report)?;
+                self.process_batch(report)?;
                 continue;
             }
             let Some(ev) = self.queue.dequeue() else {
-                break;
+                return Ok(());
             };
             if report.events >= self.max_events_per_drain {
                 return Err(EngineError::Runaway {
                     processed: report.events,
                 });
             }
+            let seq = ev.seq;
             let outcome = if self.ast_dispatch {
                 self.engine
                     .process(&self.blueprint, &mut self.db, &mut self.audit, ev)?
@@ -1029,12 +1240,22 @@ impl<E: ScriptExecutor> ProjectServer<E> {
                 deliveries: outcome.delivered,
                 ..Default::default()
             });
-            self.dispatch_invocations(outcome.invocations, &mut report)?;
+            self.mark_event_done(seq);
+            self.dispatch_invocations(outcome.invocations, report)?;
         }
-        // One durability sync per drain: every op the wave performed is on
-        // disk before process_all returns.
-        self.journal_sync(None)?;
-        Ok(report)
+    }
+
+    /// Records the terminal `EventDone` for a durably accepted event once
+    /// its waves have run; the record travels in the same flush batch as
+    /// the event's effects, so recovery either replays both or re-runs
+    /// the event (at-least-once).
+    fn mark_event_done(&mut self, seq: Option<u64>) {
+        if self.durability.is_none() {
+            return;
+        }
+        if let Some(seq) = seq {
+            self.db.record_extra(JournalOp::EventDone { seq });
+        }
     }
 
     /// One sharded round of `process_all`: takes every queued event as a
@@ -1056,6 +1277,10 @@ impl<E: ScriptExecutor> ProjectServer<E> {
                 None => break,
             }
         }
+        // Durable-queue bookkeeping: the batch consumes its events, so
+        // capture their sequence stamps first; only the applied prefix is
+        // marked done (a requeued tail keeps its stamps and stays pending).
+        let seqs: Vec<Option<u64>> = events.iter().map(|ev| ev.seq).collect();
         // Refresh the shard partition if the blueprint or the link
         // topology changed since the last batch; it is then taken out and
         // put back so the engine can borrow the database mutably.
@@ -1070,6 +1295,7 @@ impl<E: ScriptExecutor> ProjectServer<E> {
             self.wave_workers,
         );
         self.shard_map = Some(shards);
+        let applied = batch.outcomes.len();
         let mut invocations = Vec::new();
         for outcome in batch.outcomes {
             report.absorb(ProcessReport {
@@ -1078,6 +1304,9 @@ impl<E: ScriptExecutor> ProjectServer<E> {
                 ..Default::default()
             });
             invocations.extend(outcome.invocations);
+        }
+        for seq in seqs.into_iter().take(applied).flatten() {
+            self.mark_event_done(Some(seq));
         }
         if let Some(error) = batch.error {
             // The sequential loop dispatches each pre-error event's
@@ -1096,27 +1325,147 @@ impl<E: ScriptExecutor> ProjectServer<E> {
     }
 
     /// Runs collected `exec`/`notify` invocations through the script
-    /// executor, feeding wrapper-posted messages back into the queue.
+    /// executor, in order: inline runs feed their messages straight back
+    /// into the queue; detached runs are journaled as in-flight and handed
+    /// to the worker pool, their results coming back through the harvest
+    /// in this same dispatch order.
     fn dispatch_invocations(
         &mut self,
         invocations: Vec<ScriptInvocation>,
         report: &mut ProcessReport,
     ) -> Result<(), EngineError> {
         for invocation in invocations {
+            let id = self.next_invoke_id;
+            self.next_invoke_id += 1;
+            self.dispatch_one(id, invocation, report)?;
+        }
+        Ok(())
+    }
+
+    /// Dispatches one invocation under a fixed id (recovery re-dispatch
+    /// reuses the id the crashed run was journaled under).
+    fn dispatch_one(
+        &mut self,
+        id: u64,
+        invocation: ScriptInvocation,
+        report: &mut ProcessReport,
+    ) -> Result<(), EngineError> {
+        let queued_op = self.durability.is_some().then(|| JournalOp::InvokeQueued {
+            id,
+            script: invocation.script.clone(),
+            args: invocation.args.clone(),
+            notify: invocation.notify,
+            origin: invocation.origin.clone(),
+            event: invocation.event.clone(),
+        });
+        if let Some(op) = queued_op.clone() {
+            self.db.record_extra(op);
+        }
+        let prepared = {
             let mut ctx = ToolCtx {
                 db: &mut self.db,
                 workspace: &mut self.workspace,
                 blueprint: &self.blueprint,
                 audit: &mut self.audit,
             };
-            let messages = self.executor.execute(&invocation, &mut ctx);
-            report.scripts += 1;
-            for message in messages {
-                report.emitted += 1;
-                self.enqueue_lenient(&message, &invocation.script)?;
+            self.executor.prepare(&invocation, &mut ctx)
+        };
+        report.scripts += 1;
+        match prepared {
+            PreparedRun::Inline(messages) => {
+                // Queued and completed travel in one flush batch: an
+                // inline run never appears in-flight after recovery.
+                if self.durability.is_some() {
+                    self.db.record_extra(JournalOp::InvokeCompleted { id });
+                }
+                for message in messages {
+                    report.emitted += 1;
+                    self.enqueue_lenient(&message, &invocation.script)?;
+                }
+            }
+            PreparedRun::Detached(job) => {
+                if let Some(op) = queued_op {
+                    self.in_flight_ops.insert(id, op);
+                }
+                self.invoker.submit(
+                    id,
+                    &invocation.script,
+                    &invocation.origin,
+                    &invocation.event,
+                    job,
+                );
             }
         }
         Ok(())
+    }
+
+    /// Harvests terminal detached invocations (submission order, see
+    /// [`crate::engine::invoke`]) and feeds them back: a completion
+    /// journals `InvokeCompleted` and enqueues its result messages; an
+    /// exhausted retry budget journals `InvokeFailed` and surfaces as a
+    /// `tool_failed` event at the invocation's origin (args: script,
+    /// attempts, reason) so blueprints can react to it like any other
+    /// design event.
+    fn absorb_finished(&mut self, report: &mut ProcessReport) -> Result<(), EngineError> {
+        for fin in self.invoker.harvest() {
+            self.in_flight_ops.remove(&fin.id);
+            let FinishedInvocation {
+                id,
+                script,
+                origin,
+                outcome,
+                ..
+            } = fin;
+            match outcome {
+                InvokeOutcome::Completed { messages, .. } => {
+                    if self.durability.is_some() {
+                        self.db.record_extra(JournalOp::InvokeCompleted { id });
+                    }
+                    for message in messages {
+                        report.emitted += 1;
+                        self.enqueue_lenient(&message, &script)?;
+                    }
+                }
+                InvokeOutcome::Failed { attempts, reason } => {
+                    if self.durability.is_some() {
+                        self.db.record_extra(JournalOp::InvokeFailed {
+                            id,
+                            attempts: u64::from(attempts),
+                            reason: reason.clone(),
+                        });
+                    }
+                    // An unparseable origin (never produced by the rule
+                    // engine) has nowhere to land; the journal record
+                    // above still documents the failure.
+                    if let Ok(target) = origin.parse::<Oid>() {
+                        let message = EventMessage::new("tool_failed", Direction::Up, target)
+                            .with_arg(script.clone())
+                            .with_arg(attempts.to_string())
+                            .with_arg(reason);
+                        report.emitted += 1;
+                        self.enqueue_lenient(&message, &script)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Accepts one resolved event into the queue. With journaling on, the
+    /// event is stamped with the next durable sequence number and its
+    /// `EventQueued` work record enters the op buffer *before* the event
+    /// enters the in-memory queue — so an acknowledged post survives a
+    /// crash and is replayed on recovery.
+    fn accept_event(&mut self, mut ev: QueuedEvent) {
+        if self.durability.is_some() {
+            let seq = self.next_event_seq;
+            self.next_event_seq += 1;
+            ev.seq = Some(seq);
+            if let Some(op) = event_queued_op(&self.db, &ev) {
+                self.db.record_extra(op);
+            }
+        }
+        self.queue.enqueue(ev);
     }
 
     /// Enqueues a message; unknown targets are dropped under lenient
@@ -1125,7 +1474,7 @@ impl<E: ScriptExecutor> ProjectServer<E> {
     fn enqueue_lenient(&mut self, message: &EventMessage, user: &str) -> Result<(), EngineError> {
         match QueuedEvent::from_message(&self.db, message, user) {
             Ok(ev) => {
-                self.queue.enqueue(ev);
+                self.accept_event(ev);
                 Ok(())
             }
             Err(MetaError::UnknownOid { .. })
@@ -1135,6 +1484,78 @@ impl<E: ScriptExecutor> ProjectServer<E> {
             }
             Err(e) => Err(e.into()),
         }
+    }
+
+    /// Re-animates the accepted-but-unfinished work a recovered journal
+    /// carried: pending events return to the queue (and are re-journaled
+    /// into the fresh epoch), in-flight invocations re-dispatch through
+    /// the executor under their original ids — the at-least-once half of
+    /// the durable work queue. Targets that no longer resolve are dropped,
+    /// mirroring the lenient enqueue.
+    fn restore_pending_work(&mut self, pending: journal::PendingWork) -> Result<(), EngineError> {
+        self.next_event_seq = self.next_event_seq.max(pending.next_event_seq);
+        self.next_invoke_id = self.next_invoke_id.max(pending.next_invoke_id);
+        for op in pending.events {
+            let JournalOp::EventQueued {
+                seq,
+                event,
+                direction,
+                propagate,
+                target,
+                args,
+                user,
+            } = op
+            else {
+                continue;
+            };
+            let Some(id) = self.db.resolve(&target) else {
+                continue;
+            };
+            let ev = QueuedEvent {
+                event,
+                direction: if direction == "down" {
+                    Direction::Down
+                } else {
+                    Direction::Up
+                },
+                delivery: if propagate {
+                    Delivery::PropagateFrom(id)
+                } else {
+                    Delivery::Target(id)
+                },
+                args,
+                user,
+                seq: Some(seq),
+            };
+            if let Some(op) = event_queued_op(&self.db, &ev) {
+                self.db.record_extra(op);
+            }
+            self.queue.enqueue(ev);
+        }
+        let mut report = ProcessReport::default();
+        for op in pending.invocations {
+            let JournalOp::InvokeQueued {
+                id,
+                script,
+                args,
+                notify,
+                origin,
+                event,
+            } = op
+            else {
+                continue;
+            };
+            let invocation = ScriptInvocation {
+                script,
+                args,
+                notify,
+                origin,
+                event,
+            };
+            self.dispatch_one(id, invocation, &mut report)?;
+        }
+        self.journal_sync(None)?;
+        Ok(())
     }
 }
 

@@ -34,13 +34,15 @@
 //! guarantees.
 //!
 //! Scope: the guarantee covers **state mutations** (objects, properties,
-//! links, payloads). The event queue itself is session-transient by
-//! design — exactly like the persist image, which excludes queued
-//! events — so a [`Request::Post`] ack means *accepted and queued*; the
-//! event's effects become durable when a `ProcessAll` executes them and
-//! its batch syncs. A wrapper that must not lose a result across a
-//! server crash re-posts it on reconnect (posts are idempotent
-//! last-writer-wins property updates in the paper's flows).
+//! links, payloads) **and accepted work**. A [`Request::Post`] ack means
+//! the event was journaled as accepted (an `EventQueued` record hits the
+//! disk before the reply goes out); recovery re-enqueues every accepted
+//! event with no matching `EventDone`, and re-dispatches every journaled
+//! tool invocation with no terminal record. Replay is at-least-once: an
+//! event whose effects committed in the same batch as its `EventDone`
+//! marker is never re-run, while a crash between batch boundaries
+//! re-runs the event — safe, because posts are idempotent
+//! last-writer-wins property updates in the paper's flows.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write as _};
@@ -48,7 +50,7 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use damocles_meta::qlang::Query;
 use damocles_meta::{
     dump, persist, Configuration, ConfigurationBuilder, EventMessage, SnapshotRule, Value,
@@ -60,6 +62,7 @@ use crate::engine::api::{
 };
 use crate::engine::error::EngineError;
 use crate::engine::exec::{NullExecutor, ScriptExecutor};
+use crate::engine::invoke::RetryPolicy;
 use crate::engine::server::ProjectServer;
 use crate::engine::tail::{TailCursor, TailEnded, TailHub};
 use crate::lang::parser;
@@ -76,6 +79,10 @@ pub struct ProjectService<E: ScriptExecutor = NullExecutor> {
     /// Wave worker count, inherited by servers created via `Init` (see
     /// [`ProjectServer::set_wave_workers`]).
     wave_workers: usize,
+    /// Retry policies set so far, in application order (`None` = the
+    /// default policy), re-applied to servers created via `Init` — like
+    /// wave workers, a policy outlives the server it was set on.
+    retry_policies: Vec<(Option<String>, RetryPolicy)>,
     /// The replication tail hub, shared across `Init` server swaps so a
     /// tailer's subscription survives by address (it observes a
     /// disable/enable cycle instead of dangling).
@@ -96,6 +103,7 @@ impl<E: ScriptExecutor + Default> ProjectService<E> {
             snapshots: BTreeMap::new(),
             group_commit: false,
             wave_workers: 1,
+            retry_policies: Vec::new(),
             tail: Arc::new(TailHub::new()),
         }
     }
@@ -106,11 +114,15 @@ impl<E: ScriptExecutor + Default> ProjectService<E> {
     pub fn with_server(server: ProjectServer<E>) -> Self {
         let tail = server.tail_hub();
         let wave_workers = server.wave_workers();
+        let (default_policy, overrides) = server.retry_policies();
+        let mut retry_policies = vec![(None, default_policy)];
+        retry_policies.extend(overrides.into_iter().map(|(s, p)| (Some(s), p)));
         ProjectService {
             server: Some(server),
             snapshots: BTreeMap::new(),
             group_commit: false,
             wave_workers,
+            retry_policies,
             tail,
         }
     }
@@ -122,6 +134,25 @@ impl<E: ScriptExecutor + Default> ProjectService<E> {
         if let Some(server) = self.server.as_mut() {
             server.set_wave_workers(workers);
         }
+    }
+
+    /// Sets a retry policy on the current server and on any server a
+    /// later `Init` creates; `script: None` sets the default policy.
+    pub fn set_retry_policy(&mut self, script: Option<&str>, policy: RetryPolicy) {
+        self.retry_policies
+            .push((script.map(str::to_string), policy));
+        if let Some(server) = self.server.as_mut() {
+            server.set_retry_policy(script, policy);
+        }
+    }
+
+    /// How many detached tool invocations are in flight right now (zero
+    /// without a server). The command loop polls this to decide whether
+    /// to pump between client requests.
+    pub fn invocations_in_flight(&self) -> usize {
+        self.server
+            .as_ref()
+            .map_or(0, ProjectServer::invocations_in_flight)
     }
 
     /// The replication tail hub clients subscribe to (see
@@ -217,6 +248,9 @@ impl<E: ScriptExecutor + Default> ProjectService<E> {
                 let mut server = ProjectServer::with_executor(bp, E::default())?;
                 let _ = server.set_group_commit(self.group_commit);
                 server.set_wave_workers(self.wave_workers);
+                for (script, policy) in &self.retry_policies {
+                    server.set_retry_policy(script.as_deref(), *policy);
+                }
                 // The fresh server starts un-journaled: live tail
                 // subscriptions observe the disable (and a later
                 // re-enable bootstraps them against the new project).
@@ -259,7 +293,13 @@ impl<E: ScriptExecutor + Default> ProjectService<E> {
                 Ok(Response::Ok)
             }
             Request::ProcessAll => {
-                let report = self.need()?.process_all()?;
+                // The non-blocking drain: every queued event executes,
+                // already-finished detached invocations are absorbed, but
+                // the service never parks waiting on the worker pool —
+                // that would wedge the command loop behind a slow tool.
+                // Still-running invocations post back through later
+                // pumps (the command loop issues them while idle).
+                let report = self.need()?.process_round()?;
                 Ok(report.into())
             }
             Request::RefreshLets => {
@@ -422,6 +462,7 @@ impl<E: ScriptExecutor + Default> ProjectService<E> {
             }
             Request::Stat => {
                 let server = self.server.as_ref().ok_or(ApiError::NoProject)?;
+                let inv = server.invoke_stats();
                 Ok(Response::Stat {
                     stat: ServerStat {
                         oids: server.db().oid_count() as u64,
@@ -430,12 +471,36 @@ impl<E: ScriptExecutor + Default> ProjectService<E> {
                         journal_epoch: server.journal_epoch(),
                         journal_records: server.journal_records(),
                         wave_workers: server.wave_workers() as u64,
+                        pending_invocations: inv.pending,
+                        running_invocations: inv.running,
+                        retrying_invocations: inv.retrying,
+                        failed_invocations: inv.failed,
                     },
                 })
             }
             Request::SetWaveWorkers { workers } => {
                 self.set_wave_workers(workers.max(1) as usize);
                 Ok(Response::Ok)
+            }
+            Request::SetRetryPolicy {
+                script,
+                max_retries,
+                base_delay_ms,
+                multiplier,
+                timeout_ms,
+            } => {
+                let policy = RetryPolicy {
+                    max_retries: max_retries.try_into().unwrap_or(u32::MAX),
+                    base_delay: std::time::Duration::from_millis(base_delay_ms),
+                    multiplier: multiplier.clamp(1, u64::from(u32::MAX)) as u32,
+                    timeout: std::time::Duration::from_millis(timeout_ms),
+                };
+                self.set_retry_policy(script.as_deref(), policy);
+                Ok(Response::Ok)
+            }
+            Request::PumpInvocations => {
+                let report = self.need()?.process_round()?;
+                Ok(report.into())
             }
             Request::TailFrom { .. } => {
                 // The handshake half: report the committed stream
@@ -577,6 +642,11 @@ pub(crate) fn loop_gone() -> ApiError {
 /// seam is honored as given and not subject to this ceiling.
 pub const MAX_GROUP_COMMIT_WINDOW: usize = 1024;
 
+/// How often an otherwise-idle command loop wakes to absorb finished
+/// detached tool invocations. Small enough that results flow back well
+/// inside interactive latency; large enough not to busy-spin.
+const INVOKE_PUMP: std::time::Duration = std::time::Duration::from_millis(25);
+
 /// Spawns a service onto its own command-loop thread and returns the
 /// handle clients connect through. The loop exits (flushing any pending
 /// batch) when every handle and session is dropped.
@@ -683,7 +753,27 @@ pub fn run_command_loop_with_window<E>(
             let _ = reply.send(resp);
         }
     };
-    while let Some(first) = rx.recv() {
+    loop {
+        // Block for the next request — but while detached invocations
+        // are in flight, wake periodically to absorb finished results so
+        // they post back (and journal) between client commands instead
+        // of waiting for the next request to arrive.
+        let first = if service.invocations_in_flight() > 0 {
+            match rx.recv_timeout(INVOKE_PUMP) {
+                Ok(env) => env,
+                Err(RecvTimeoutError::Timeout) => {
+                    let _ = service.call(Request::PumpInvocations);
+                    settle(&mut service, &mut pending);
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        } else {
+            match rx.recv() {
+                Some(env) => env,
+                None => break,
+            }
+        };
         // Adaptive window: what is queued right now is the batch (plus
         // the request just taken), so latency under light load is one
         // request and throughput under burst is one fsync per backlog —

@@ -125,6 +125,26 @@ fn request() -> impl Strategy<Value = Request> {
                 workers: u64::from(workers),
             })
             .boxed(),
+        (
+            opt_text(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(
+                |(script, max_retries, base_delay_ms, multiplier, timeout_ms)| {
+                    Request::SetRetryPolicy {
+                        script,
+                        max_retries: u64::from(max_retries),
+                        base_delay_ms: u64::from(base_delay_ms),
+                        multiplier: u64::from(multiplier),
+                        timeout_ms: u64::from(timeout_ms),
+                    }
+                }
+            )
+            .boxed(),
+        Just(Request::PumpInvocations).boxed(),
         (any::<u64>(), any::<u64>())
             .prop_map(|(epoch, seq)| Request::TailFrom { epoch, seq })
             .boxed(),
@@ -173,6 +193,13 @@ fn api_error() -> impl Strategy<Value = ApiError> {
             .boxed(),
         text()
             .prop_map(|reason| ApiError::Journal { reason })
+            .boxed(),
+        (text(), any::<u32>(), text())
+            .prop_map(|(script, attempts, reason)| ApiError::InvocationFailed {
+                script,
+                attempts: u64::from(attempts),
+                reason,
+            })
             .boxed(),
         text().prop_map(|reason| ApiError::Meta { reason }).boxed(),
         text().prop_map(|reason| ApiError::Io { reason }).boxed(),
@@ -295,10 +322,10 @@ fn response() -> impl Strategy<Value = Response> {
             any::<u32>(),
             proptest::option::of(any::<u32>()),
             proptest::option::of(any::<u32>()),
-            any::<u32>()
+            (any::<u32>(), proptest::collection::vec(any::<u32>(), 4..5))
         )
             .prop_map(
-                |(oids, links, pending, epoch, records, workers)| Response::Stat {
+                |(oids, links, pending, epoch, records, (workers, inv))| Response::Stat {
                     stat: ServerStat {
                         oids: u64::from(oids),
                         links: u64::from(links),
@@ -306,6 +333,10 @@ fn response() -> impl Strategy<Value = Response> {
                         journal_epoch: epoch.map(u64::from),
                         journal_records: records.map(u64::from),
                         wave_workers: u64::from(workers),
+                        pending_invocations: u64::from(inv[0]),
+                        running_invocations: u64::from(inv[1]),
+                        retrying_invocations: u64::from(inv[2]),
+                        failed_invocations: u64::from(inv[3]),
                     },
                 }
             )

@@ -194,6 +194,62 @@ pub enum JournalOp {
         /// The opaque design data.
         payload: Vec<u8>,
     },
+    /// A design event accepted into the durable event queue (server-level).
+    /// Journals *accepted work*, not database state: recovery re-enqueues
+    /// the event instead of applying anything to the image.
+    EventQueued {
+        /// Queue sequence number, monotonic per project lifetime.
+        seq: u64,
+        /// Event name.
+        event: String,
+        /// Travel direction: `up` or `down`.
+        direction: String,
+        /// `true` when delivery fans out from the target's links instead
+        /// of starting at the target itself.
+        propagate: bool,
+        /// The addressed triplet.
+        target: Oid,
+        /// Event arguments.
+        args: Vec<String>,
+        /// Posting user.
+        user: String,
+    },
+    /// The queued event with this sequence number was fully processed.
+    EventDone {
+        /// Matching [`JournalOp::EventQueued`] sequence number.
+        seq: u64,
+    },
+    /// A tool invocation was dispatched (server-level). Like
+    /// [`JournalOp::EventQueued`], this records accepted work: recovery
+    /// re-dispatches invocations that never reached a terminal record.
+    InvokeQueued {
+        /// Invocation id, monotonic per project lifetime.
+        id: u64,
+        /// Script (tool) name.
+        script: String,
+        /// Script arguments.
+        args: Vec<String>,
+        /// Notification-only invocation (no tool run expected).
+        notify: bool,
+        /// The OID string of the rule site that requested the run.
+        origin: String,
+        /// The triggering event name.
+        event: String,
+    },
+    /// The invocation completed; its result events were enqueued.
+    InvokeCompleted {
+        /// Matching [`JournalOp::InvokeQueued`] id.
+        id: u64,
+    },
+    /// The invocation exhausted its retry policy.
+    InvokeFailed {
+        /// Matching [`JournalOp::InvokeQueued`] id.
+        id: u64,
+        /// Attempts made before giving up.
+        attempts: u64,
+        /// Last failure reason.
+        reason: String,
+    },
 }
 
 impl JournalOp {
@@ -247,6 +303,59 @@ impl JournalOp {
             JournalOp::Data { oid, payload } => {
                 format!("data {oid} {}", persist::encode_hex(payload))
             }
+            JournalOp::EventQueued {
+                seq,
+                event,
+                direction,
+                propagate,
+                target,
+                args,
+                user,
+            } => {
+                let mut s = format!(
+                    "evq {seq} {} {direction} {} {target} {}",
+                    escape(event),
+                    if *propagate { "fan" } else { "at" },
+                    args.len()
+                );
+                for arg in args {
+                    s.push(' ');
+                    s.push_str(&escape(arg));
+                }
+                s.push(' ');
+                s.push_str(&escape(user));
+                s
+            }
+            JournalOp::EventDone { seq } => format!("evdone {seq}"),
+            JournalOp::InvokeQueued {
+                id,
+                script,
+                args,
+                notify,
+                origin,
+                event,
+            } => {
+                let mut s = format!("invq {id} {} {}", escape(script), args.len());
+                for arg in args {
+                    s.push(' ');
+                    s.push_str(&escape(arg));
+                }
+                s.push_str(&format!(
+                    " {} {} {}",
+                    if *notify { 1 } else { 0 },
+                    escape(origin),
+                    escape(event)
+                ));
+                s
+            }
+            JournalOp::InvokeCompleted { id } => format!("invdone {id}"),
+            JournalOp::InvokeFailed {
+                id,
+                attempts,
+                reason,
+            } => {
+                format!("invfail {id} {attempts} {}", escape(reason))
+            }
         }
     }
 
@@ -262,6 +371,7 @@ impl JournalOp {
         let mut next = |what: &str| words.next().ok_or(format!("missing {what}"));
         let parse_oid = |w: &str| w.parse::<Oid>().map_err(|e| e.to_string());
         let parse_tag = |w: &str| w.parse::<u64>().map_err(|_| format!("bad tag `{w}`"));
+        let parse_num = |w: &str| w.parse::<u64>().map_err(|_| format!("bad number `{w}`"));
         let op = match opcode {
             "create" => JournalOp::CreateOid {
                 oid: parse_oid(next("oid")?)?,
@@ -334,6 +444,70 @@ impl JournalOp {
                 let payload = persist::decode_hex(words.next().unwrap_or(""))?;
                 JournalOp::Data { oid, payload }
             }
+            "evq" => {
+                let seq = parse_num(next("seq")?)?;
+                let event = unescape(next("event")?)?;
+                let direction = match next("direction")? {
+                    d @ ("up" | "down") => d.to_string(),
+                    other => return Err(format!("bad direction `{other}`")),
+                };
+                let propagate = match next("delivery mode")? {
+                    "fan" => true,
+                    "at" => false,
+                    other => return Err(format!("bad delivery mode `{other}`")),
+                };
+                let target = parse_oid(next("target")?)?;
+                let count = parse_num(next("arg count")?)?;
+                let mut args = Vec::new();
+                for _ in 0..count {
+                    args.push(unescape(next("arg")?)?);
+                }
+                let user = unescape(next("user")?)?;
+                JournalOp::EventQueued {
+                    seq,
+                    event,
+                    direction,
+                    propagate,
+                    target,
+                    args,
+                    user,
+                }
+            }
+            "evdone" => JournalOp::EventDone {
+                seq: parse_num(next("seq")?)?,
+            },
+            "invq" => {
+                let id = parse_num(next("id")?)?;
+                let script = unescape(next("script")?)?;
+                let count = parse_num(next("arg count")?)?;
+                let mut args = Vec::new();
+                for _ in 0..count {
+                    args.push(unescape(next("arg")?)?);
+                }
+                let notify = match next("notify flag")? {
+                    "1" => true,
+                    "0" => false,
+                    other => return Err(format!("bad notify flag `{other}`")),
+                };
+                let origin = unescape(next("origin")?)?;
+                let event = unescape(next("event")?)?;
+                JournalOp::InvokeQueued {
+                    id,
+                    script,
+                    args,
+                    notify,
+                    origin,
+                    event,
+                }
+            }
+            "invdone" => JournalOp::InvokeCompleted {
+                id: parse_num(next("id")?)?,
+            },
+            "invfail" => JournalOp::InvokeFailed {
+                id: parse_num(next("id")?)?,
+                attempts: parse_num(next("attempts")?)?,
+                reason: unescape(next("reason")?)?,
+            },
             other => return Err(format!("unknown op `{other}`")),
         };
         if let Some(extra) = words.next() {
@@ -781,6 +955,77 @@ pub struct Recovered {
     pub workspace: Workspace,
     /// What happened during recovery.
     pub report: RecoveryReport,
+    /// Accepted-but-unfinished work the journal recorded: unprocessed
+    /// events and in-flight invocations for the server layer to
+    /// re-dispatch.
+    pub pending: PendingWork,
+}
+
+/// Work-queue records of a journal that never reached their terminal
+/// record: [`JournalOp::EventQueued`] without a matching
+/// [`JournalOp::EventDone`], and [`JournalOp::InvokeQueued`] without a
+/// matching [`JournalOp::InvokeCompleted`] / [`JournalOp::InvokeFailed`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PendingWork {
+    /// Unprocessed [`JournalOp::EventQueued`] ops, in queue order.
+    pub events: Vec<JournalOp>,
+    /// In-flight [`JournalOp::InvokeQueued`] ops, in dispatch order.
+    pub invocations: Vec<JournalOp>,
+    /// The next free event-queue sequence number (max seen + 1).
+    pub next_event_seq: u64,
+    /// The next free invocation id (max seen + 1).
+    pub next_invoke_id: u64,
+}
+
+impl PendingWork {
+    /// Whether any accepted work is still outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.invocations.is_empty()
+    }
+}
+
+/// Scans a journal's op stream for accepted-but-unfinished work. Both
+/// sets come back in journal (= acceptance) order, which is the order the
+/// server must re-dispatch them in.
+///
+/// Unlike database mutations, work-queue records have **no snapshot
+/// representation** — the journal is their only durable home — so this
+/// scan is meaningful even on a stale journal (crash between checkpoint
+/// snapshot and journal reset): the mutations are folded into the
+/// snapshot, but the pending set is still exactly what this scan yields.
+pub fn pending_work(ops: &[JournalOp]) -> PendingWork {
+    let mut out = PendingWork::default();
+    let mut done_events = BTreeSet::new();
+    let mut done_invokes = BTreeSet::new();
+    for op in ops {
+        match op {
+            JournalOp::EventQueued { seq, .. } => {
+                out.next_event_seq = out.next_event_seq.max(seq + 1);
+            }
+            JournalOp::EventDone { seq } => {
+                done_events.insert(*seq);
+            }
+            JournalOp::InvokeQueued { id, .. } => {
+                out.next_invoke_id = out.next_invoke_id.max(id + 1);
+            }
+            JournalOp::InvokeCompleted { id } | JournalOp::InvokeFailed { id, .. } => {
+                done_invokes.insert(*id);
+            }
+            _ => {}
+        }
+    }
+    for op in ops {
+        match op {
+            JournalOp::EventQueued { seq, .. } if !done_events.contains(seq) => {
+                out.events.push(op.clone());
+            }
+            JournalOp::InvokeQueued { id, .. } if !done_invokes.contains(id) => {
+                out.invocations.push(op.clone());
+            }
+            _ => {}
+        }
+    }
+    out
 }
 
 /// Diagnostics from a [`recover`] run.
@@ -856,10 +1101,16 @@ pub fn recover(snapshot: &str, journal: &[u8]) -> Result<Recovered, JournalError
         }
     }
 
+    // Pending work is scanned regardless of `replay`: a stale journal's
+    // *mutations* are already folded into the snapshot, but its work-queue
+    // records are the only durable record of accepted-but-unfinished work.
+    let pending = pending_work(&tail.ops);
+
     Ok(Recovered {
         db,
         workspace,
         report,
+        pending,
     })
 }
 
@@ -959,6 +1210,15 @@ pub fn apply_op(
             let id = db.require(oid).map_err(meta)?;
             workspace.store(id, payload.clone());
         }
+        // Work-queue records journal *accepted work*, not database state.
+        // Recovery re-dispatches them via [`pending_work`]; applying them
+        // to an image is deliberately a no-op, so replication followers
+        // streaming the leader's journal skip them transparently.
+        JournalOp::EventQueued { .. }
+        | JournalOp::EventDone { .. }
+        | JournalOp::InvokeQueued { .. }
+        | JournalOp::InvokeCompleted { .. }
+        | JournalOp::InvokeFailed { .. } => {}
     }
     Ok(())
 }
@@ -1012,7 +1272,8 @@ pub fn touched_oids(ops: &[JournalOp]) -> BTreeSet<Oid> {
             | JournalOp::SetProp { oid, .. }
             | JournalOp::RemoveProp { oid, .. }
             | JournalOp::Data { oid, .. }
-            | JournalOp::MoveLinkEnd { new: oid, .. } => {
+            | JournalOp::MoveLinkEnd { new: oid, .. }
+            | JournalOp::EventQueued { target: oid, .. } => {
                 out.insert(oid.clone());
             }
             JournalOp::AddLink { from, to, .. } => {
@@ -1022,7 +1283,11 @@ pub fn touched_oids(ops: &[JournalOp]) -> BTreeSet<Oid> {
             JournalOp::RemoveLink { .. }
             | JournalOp::AllowEvent { .. }
             | JournalOp::SetLinkProp { .. }
-            | JournalOp::RemoveLinkProp { .. } => {}
+            | JournalOp::RemoveLinkProp { .. }
+            | JournalOp::EventDone { .. }
+            | JournalOp::InvokeQueued { .. }
+            | JournalOp::InvokeCompleted { .. }
+            | JournalOp::InvokeFailed { .. } => {}
         }
     }
     out
@@ -1083,6 +1348,30 @@ mod tests {
             },
             JournalOp::DeleteOid {
                 oid: Oid::new("cpu", "schematic", 1),
+            },
+            JournalOp::EventQueued {
+                seq: 7,
+                event: "hdl sim".into(),
+                direction: "up".into(),
+                propagate: true,
+                target: Oid::new("cpu", "HDL_model", 1),
+                args: vec!["logic sim passed".into(), String::new()],
+                user: "net 3".into(),
+            },
+            JournalOp::EventDone { seq: 7 },
+            JournalOp::InvokeQueued {
+                id: 12,
+                script: "simulator".into(),
+                args: vec!["cpu,netlist,1".into(), String::new()],
+                notify: false,
+                origin: "cpu,netlist,1".into(),
+                event: "ckin".into(),
+            },
+            JournalOp::InvokeCompleted { id: 12 },
+            JournalOp::InvokeFailed {
+                id: 13,
+                attempts: 5,
+                reason: "simulation crashed\n(timeout)".into(),
             },
         ]
     }
@@ -1217,6 +1506,59 @@ mod tests {
         assert_eq!(snapshot_epoch(&persist::save(&db)), 0);
         // The marker is a comment: persist::load still accepts the image.
         assert!(persist::load(&image).is_ok());
+    }
+
+    #[test]
+    fn pending_work_is_queued_minus_done() {
+        let evq = |seq: u64| JournalOp::EventQueued {
+            seq,
+            event: "ckin".into(),
+            direction: "down".into(),
+            propagate: false,
+            target: Oid::new("cpu", "HDL_model", 1),
+            args: vec![],
+            user: "yves".into(),
+        };
+        let invq = |id: u64| JournalOp::InvokeQueued {
+            id,
+            script: "drc".into(),
+            args: vec!["cpu,layout,1".into()],
+            notify: false,
+            origin: "cpu,layout,1".into(),
+            event: "ckin".into(),
+        };
+        let ops = vec![
+            evq(0),
+            JournalOp::EventDone { seq: 0 },
+            evq(1),
+            invq(0),
+            JournalOp::InvokeCompleted { id: 0 },
+            invq(1),
+            invq(2),
+            JournalOp::InvokeFailed {
+                id: 2,
+                attempts: 3,
+                reason: "gave up".into(),
+            },
+            evq(2),
+        ];
+        let pending = pending_work(&ops);
+        assert_eq!(pending.events, vec![evq(1), evq(2)]);
+        assert_eq!(pending.invocations, vec![invq(1)]);
+        assert_eq!(pending.next_event_seq, 3);
+        assert_eq!(pending.next_invoke_id, 3);
+        // Work-queue records are state no-ops: replay accepts them.
+        let (db, _ws) = replay_ops(&[
+            JournalOp::CreateOid {
+                oid: Oid::new("cpu", "HDL_model", 1),
+            },
+            evq(0),
+            invq(0),
+            JournalOp::EventDone { seq: 0 },
+            JournalOp::InvokeCompleted { id: 0 },
+        ])
+        .unwrap();
+        assert_eq!(db.oid_count(), 1);
     }
 
     #[test]

@@ -54,6 +54,15 @@ impl FaultPlan {
 
     /// Whether the run of `tool` on `subject` fails under this plan.
     pub fn fails(&self, tool: &str, subject: &str) -> bool {
+        self.fails_attempt(tool, subject, 0)
+    }
+
+    /// Whether retry `attempt` (0-based) of `tool` on `subject` fails.
+    ///
+    /// Attempt 0 is hash-identical to [`FaultPlan::fails`]; later attempts
+    /// re-roll independently, so a retried run can deterministically
+    /// recover — or keep failing — per `(tool, subject, attempt)`.
+    pub fn fails_attempt(&self, tool: &str, subject: &str, attempt: u32) -> bool {
         if self.rate <= 0.0 {
             return false;
         }
@@ -63,6 +72,12 @@ impl FaultPlan {
         let mut h: u64 = self.seed ^ 0x9e37_79b9_7f4a_7c15;
         for b in tool.bytes().chain([0u8]).chain(subject.bytes()) {
             h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if attempt > 0 {
+            // Folded in only for retries, keeping attempt 0 byte-compatible
+            // with the historical `fails` hash.
+            h ^= u64::from(attempt);
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
         let mut rng = StdRng::seed_from_u64(h);
@@ -126,5 +141,31 @@ mod tests {
     #[should_panic(expected = "rate must be")]
     fn bad_rate_panics() {
         let _ = FaultPlan::new(0, 1.5);
+    }
+
+    #[test]
+    fn attempt_zero_matches_fails() {
+        let plan = FaultPlan::new(11, 0.5);
+        for i in 0..50 {
+            let s = format!("b{i},layout,1");
+            assert_eq!(plan.fails("drc", &s), plan.fails_attempt("drc", &s, 0));
+        }
+    }
+
+    #[test]
+    fn retries_reroll_independently() {
+        let plan = FaultPlan::new(13, 0.5);
+        // Across many subjects, at least one verdict must flip between
+        // attempts (otherwise retries would be pointless).
+        let flipped = (0..100).any(|i| {
+            let s = format!("b{i},netlist,1");
+            plan.fails_attempt("simulator", &s, 0) != plan.fails_attempt("simulator", &s, 1)
+        });
+        assert!(flipped);
+        // And each (subject, attempt) verdict is stable.
+        assert_eq!(
+            plan.fails_attempt("simulator", "x", 2),
+            plan.fails_attempt("simulator", "x", 2)
+        );
     }
 }

@@ -9,7 +9,9 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use blueprint_core::engine::exec::{ScriptExecutor, ScriptInvocation, ToolCtx};
+use blueprint_core::engine::exec::{
+    DetachedJob, PreparedRun, ScriptExecutor, ScriptInvocation, ToolCtx,
+};
 use damocles_meta::{EventMessage, MetaError, Oid, OidId};
 
 /// A simulated EDA tool invoked through wrapper scripts.
@@ -31,6 +33,22 @@ pub trait Tool: Send {
         ctx: &mut ToolCtx<'_>,
         args: &[String],
     ) -> Result<Vec<EventMessage>, MetaError>;
+
+    /// Captures this run as a [`DetachedJob`] for the async invocation
+    /// pool: all database reads happen here, on the command loop, and the
+    /// returned closure carries its inputs by value. `None` (the default)
+    /// means the tool must run inline — the right answer for tools that
+    /// *mutate* the project (check in results, create links), since
+    /// detached jobs have no database access.
+    ///
+    /// In a detached job, injected faults surface as retryable `Err`s (a
+    /// tool crash) rather than verdict messages — the invocation pool's
+    /// retry policy decides whether the flow sees a verdict or a
+    /// structured failure.
+    fn prepare_detached(&self, ctx: &ToolCtx<'_>, args: &[String]) -> Option<DetachedJob> {
+        let _ = (ctx, args);
+        None
+    }
 }
 
 /// A permission requirement checked before a tool runs: the named property
@@ -70,6 +88,9 @@ pub enum RunStatus {
     UnknownScript,
     /// The invocation was a `notify`; the message was recorded.
     Notification,
+    /// The run was captured as a detached job for the async invocation
+    /// pool; its outcome is tracked by the pool, not this log.
+    Detached,
 }
 
 impl fmt::Display for RunStatus {
@@ -80,6 +101,7 @@ impl fmt::Display for RunStatus {
             RunStatus::Failed { error } => write!(f, "failed: {error}"),
             RunStatus::UnknownScript => f.write_str("unknown script"),
             RunStatus::Notification => f.write_str("notification"),
+            RunStatus::Detached => f.write_str("detached"),
         }
     }
 }
@@ -103,6 +125,7 @@ pub struct ToolExecutor {
     requirements: BTreeMap<String, Vec<Requirement>>,
     runs: Vec<ToolRun>,
     notifications: Vec<String>,
+    detached: bool,
 }
 
 impl fmt::Debug for ToolExecutor {
@@ -135,6 +158,23 @@ impl ToolExecutor {
         ex.register(Box::new(crate::Lvs::new(fault)));
         ex.require("simulator", Requirement::prop("uptodate"));
         ex
+    }
+
+    /// Switches this executor into detached mode (builder style): tools
+    /// offering a [`Tool::prepare_detached`] form run on the server's
+    /// async invocation pool under its retry policies, with injected
+    /// faults acting as retryable crashes instead of verdicts. Notify
+    /// invocations, permission denials, unknown scripts, and tools
+    /// without a detached form keep running inline.
+    #[must_use]
+    pub fn detached(mut self) -> Self {
+        self.detached = true;
+        self
+    }
+
+    /// Whether detached mode is on.
+    pub fn is_detached(&self) -> bool {
+        self.detached
     }
 
     /// Registers a tool under its own name.
@@ -263,6 +303,31 @@ impl ScriptExecutor for ToolExecutor {
                 Vec::new()
             }
         }
+    }
+
+    fn prepare(&mut self, invocation: &ScriptInvocation, ctx: &mut ToolCtx<'_>) -> PreparedRun {
+        if self.detached
+            && !invocation.notify
+            && self
+                .check_permission(ctx, &invocation.script, &invocation.args)
+                .is_ok()
+        {
+            if let Some(job) = self
+                .tools
+                .get(&invocation.script)
+                .and_then(|tool| tool.prepare_detached(ctx, &invocation.args))
+            {
+                self.runs.push(ToolRun {
+                    script: invocation.script.clone(),
+                    args: invocation.args.clone(),
+                    status: RunStatus::Detached,
+                });
+                return PreparedRun::Detached(job);
+            }
+        }
+        // Notifications, denials, unknown scripts, and tools without a
+        // detached form take the classic inline path (and its run log).
+        PreparedRun::Inline(self.execute(invocation, ctx))
     }
 }
 

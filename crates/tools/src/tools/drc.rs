@@ -1,6 +1,6 @@
 //! Design-rule check: layout → `drc` verdict event.
 
-use blueprint_core::engine::exec::ToolCtx;
+use blueprint_core::engine::exec::{DetachedJob, ToolCtx};
 use damocles_meta::{Direction, EventMessage, MetaError};
 
 use crate::tool::{input_oid, Tool};
@@ -43,6 +43,22 @@ impl Tool for Drc {
         Ok(vec![
             EventMessage::new("drc", Direction::Up, oid).with_arg(verdict)
         ])
+    }
+
+    /// Detached form: a fault is a retryable *crash* of the checker (the
+    /// pool's retry policy re-rolls it); a clean run reports `good`.
+    fn prepare_detached(&self, ctx: &ToolCtx<'_>, args: &[String]) -> Option<DetachedJob> {
+        let (_, oid) = input_oid(ctx, args).ok()?;
+        let fault = self.fault;
+        Some(Box::new(move |attempt| {
+            if fault.fails_attempt("drc", &oid.to_string(), attempt) {
+                Err("design-rule check crashed".to_string())
+            } else {
+                Ok(vec![
+                    EventMessage::new("drc", Direction::Up, oid.clone()).with_arg("good")
+                ])
+            }
+        }))
     }
 }
 

@@ -5,7 +5,7 @@
 //! ([`crate::design_data::derive`]), so LVS can detect a layout that lags its
 //! schematic — the exact staleness the Fig. 5 equivalence link models.
 
-use blueprint_core::engine::exec::ToolCtx;
+use blueprint_core::engine::exec::{DetachedJob, ToolCtx};
 use damocles_meta::{Direction, EventMessage, LinkClass, MetaError, OidId};
 
 use crate::design_data;
@@ -76,6 +76,43 @@ impl Tool for Lvs {
         Ok(vec![
             EventMessage::new("lvs", Direction::Up, lay_oid).with_arg(verdict)
         ])
+    }
+
+    /// Detached form: the schematic link is resolved and both payloads
+    /// captured at prepare time; the equivalence verdict is computed on
+    /// the worker. A fault is a retryable crash, not a verdict.
+    fn prepare_detached(&self, ctx: &ToolCtx<'_>, args: &[String]) -> Option<DetachedJob> {
+        let (lay_id, lay_oid) = input_oid(ctx, args).ok()?;
+        let payloads = match Self::linked_schematic(ctx, lay_id).ok()? {
+            Some(sch_id) => {
+                let sch_oid = ctx.db.oid(sch_id).ok()?.clone();
+                Some((
+                    payload_of(ctx, lay_id, &lay_oid),
+                    payload_of(ctx, sch_id, &sch_oid),
+                ))
+            }
+            None => None,
+        };
+        let fault = self.fault;
+        Some(Box::new(move |attempt| {
+            if fault.fails_attempt("lvs", &lay_oid.to_string(), attempt) {
+                return Err("lvs run crashed".to_string());
+            }
+            let verdict = match &payloads {
+                Some((layout, schematic))
+                    if design_data::derived_from("layout", layout, schematic) =>
+                {
+                    "is_equiv"
+                }
+                _ => "not_equiv",
+            };
+            Ok(vec![EventMessage::new(
+                "lvs",
+                Direction::Up,
+                lay_oid.clone(),
+            )
+            .with_arg(verdict)])
+        }))
     }
 }
 

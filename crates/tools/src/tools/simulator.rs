@@ -7,7 +7,7 @@
 //! *output* itself is deliberately not tracked ("the views for the output of
 //! simulations were deliberately left out and replaced by event messages").
 
-use blueprint_core::engine::exec::ToolCtx;
+use blueprint_core::engine::exec::{DetachedJob, ToolCtx};
 use damocles_meta::{Direction, EventMessage, MetaError};
 
 use crate::design_data;
@@ -63,6 +63,28 @@ impl Tool for Simulator {
         Ok(vec![
             EventMessage::new(event, Direction::Up, oid).with_arg(verdict)
         ])
+    }
+
+    /// Detached form: the input payload is captured at prepare time (on
+    /// the command loop) so the worker thread needs no database access; a
+    /// fault is a retryable crash rather than a verdict.
+    fn prepare_detached(&self, ctx: &ToolCtx<'_>, args: &[String]) -> Option<DetachedJob> {
+        let (id, oid) = input_oid(ctx, args).ok()?;
+        let payload = payload_of(ctx, id, &oid);
+        let event = Self::event_for_view(oid.view.as_str());
+        let fault = self.fault;
+        Some(Box::new(move |attempt| {
+            if fault.fails_attempt("simulator", &oid.to_string(), attempt) {
+                Err("simulation crashed".to_string())
+            } else {
+                Ok(vec![EventMessage::new(
+                    event.clone(),
+                    Direction::Up,
+                    oid.clone(),
+                )
+                .with_arg(design_data::sim_verdict(&payload))])
+            }
+        }))
     }
 }
 

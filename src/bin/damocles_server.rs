@@ -52,6 +52,7 @@ use damocles_tools::remote::{RemoteWrapper, TailHandshake};
 
 const USAGE: &str = "usage: damocles_server <blueprint.bp> [--listen <addr>] \
                      [--journal <dir>] [--every <ops>] [--wave-workers <n>] \
+                     [--retry <retries,base_ms,mult,timeout_ms>] \
                      [--follow <leader-addr>]";
 
 fn main() {
@@ -61,6 +62,7 @@ fn main() {
     let mut journal_dir: Option<String> = None;
     let mut every: u64 = DEFAULT_CHECKPOINT_EVERY;
     let mut wave_workers: usize = 1;
+    let mut retry: Option<[u64; 4]> = None;
     let mut follow: Option<String> = None;
 
     let value_of = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -86,6 +88,19 @@ fn main() {
                         eprintln!("error: --wave-workers needs a number\n{USAGE}");
                         std::process::exit(2);
                     })
+            }
+            "--retry" => {
+                let spec = value_of(&mut args, "--retry");
+                let parts: Vec<u64> = spec
+                    .split(',')
+                    .map(|p| p.trim().parse::<u64>())
+                    .collect::<Result<_, _>>()
+                    .unwrap_or_default();
+                let [a, b, c, d] = parts[..] else {
+                    eprintln!("error: --retry wants `retries,base_ms,mult,timeout_ms`\n{USAGE}");
+                    std::process::exit(2);
+                };
+                retry = Some([a, b, c, d]);
             }
             "--follow" => follow = Some(value_of(&mut args, "--follow")),
             "--help" | "-h" => {
@@ -157,6 +172,25 @@ fn main() {
             }
             other => {
                 eprintln!("error: unexpected journal response {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some([max_retries, base_delay_ms, multiplier, timeout_ms]) = retry {
+        match service.call(Request::SetRetryPolicy {
+            script: None,
+            max_retries,
+            base_delay_ms,
+            multiplier,
+            timeout_ms,
+        }) {
+            Response::Ok => eprintln!(
+                "default tool retry policy: {max_retries} retries, \
+                 {base_delay_ms}ms base delay x{multiplier}, {timeout_ms}ms timeout"
+            ),
+            other => {
+                eprintln!("error: unexpected retry response {other:?}");
                 std::process::exit(2);
             }
         }

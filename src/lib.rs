@@ -56,6 +56,7 @@ pub use damocles_tools as tools;
 /// The types most programs need.
 pub mod prelude {
     pub use blueprint_core::engine::exec::{RecordingExecutor, ScriptExecutor};
+    pub use blueprint_core::engine::invoke::{InvokeStats, RetryPolicy};
     pub use blueprint_core::engine::policy::Policy;
     pub use blueprint_core::engine::server::{ProcessReport, ProjectServer};
     pub use blueprint_core::lang::parser::parse;

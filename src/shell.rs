@@ -21,6 +21,8 @@
 //! | `checkpoint` | fold the journal into a fresh snapshot |
 //! | `recover <dir> [every]` | restore from snapshot + journal tail |
 //! | `freeze <view>` / `thaw <view>` | project policy: frozen views |
+//! | `retry <script\|-> <n> <ms> <mult> <ms>` | retry policy for detached tools |
+//! | `pump` | absorb finished tool invocations |
 //! | `stat` | server statistics |
 //! | `dot` | DOT dump of the live design state |
 //! | `audit` | engine counters |
@@ -261,6 +263,25 @@ pub fn parse_command(line: &str) -> Result<Request, ApiError> {
                 w.parse::<u64>().map_err(|_| "not a number".to_string())
             })?,
         }),
+        "retry" => {
+            let script = match word(&mut words, "a script name (`-` = default policy)")?.as_str() {
+                "-" => None,
+                name => Some(name.to_string()),
+            };
+            let num = |words: &mut Cursor<'_>, what| {
+                words.parse_with(what, |w| {
+                    w.parse::<u64>().map_err(|_| "not a number".to_string())
+                })
+            };
+            Ok(Request::SetRetryPolicy {
+                script,
+                max_retries: num(&mut words, "a retry count")?,
+                base_delay_ms: num(&mut words, "a base delay (ms)")?,
+                multiplier: num(&mut words, "a backoff multiplier")?,
+                timeout_ms: num(&mut words, "a per-attempt timeout (ms)")?,
+            })
+        }
+        "pump" => Ok(Request::PumpInvocations),
         other => Err(ApiError::UnknownCommand {
             at: at as u64,
             found: other.to_string(),
@@ -274,6 +295,9 @@ pub fn parse_command(line: &str) -> Result<Request, ApiError> {
 /// O(1) in the design data.
 enum Presented {
     Post,
+    Retry {
+        script: Option<String>,
+    },
     Checkout {
         block: String,
         view: String,
@@ -306,6 +330,9 @@ enum Presented {
 fn presented(request: &Request) -> Presented {
     match request {
         Request::Post { .. } => Presented::Post,
+        Request::SetRetryPolicy { script, .. } => Presented::Retry {
+            script: script.clone(),
+        },
         Request::Checkout { block, view, user } => Presented::Checkout {
             block: block.clone(),
             view: view.clone(),
@@ -335,6 +362,10 @@ fn render(shown: &Presented, response: Response) -> ShellOutput {
         (_, Response::Error(e)) => return ShellOutput::Error(format!("error: {e}")),
         (_, Response::Blueprint { name }) => format!("blueprint `{name}` initialized"),
         (Presented::Post, Response::Ok) => "queued".to_string(),
+        (Presented::Retry { script }, Response::Ok) => match script {
+            Some(s) => format!("retry policy set for `{s}`"),
+            None => "default retry policy set".to_string(),
+        },
         (Presented::Checkout { block, view, user }, Response::Ok) => {
             format!("{block}.{view} checked out by {user}")
         }
@@ -461,8 +492,16 @@ fn render(shown: &Presented, response: Response) -> ShellOutput {
                 _ => "off".to_string(),
             };
             format!(
-                "oids={} links={} pending={} journal={journal} workers={}",
-                stat.oids, stat.links, stat.pending_events, stat.wave_workers
+                "oids={} links={} pending={} journal={journal} workers={} \
+                 inv_pending={} inv_running={} inv_retrying={} inv_failed={}",
+                stat.oids,
+                stat.links,
+                stat.pending_events,
+                stat.wave_workers,
+                stat.pending_invocations,
+                stat.running_invocations,
+                stat.retrying_invocations,
+                stat.failed_invocations
             )
         }
         (_, Response::Ok) => "ok".to_string(),
@@ -495,6 +534,10 @@ commands:
   load <file>                         restore database + payloads
   stat                                server statistics
   workers <n>                         shard waves across n worker threads
+  retry <script|-> <n> <ms> <m> <ms>  tool retry policy: retries, base
+                                      delay, backoff multiplier, timeout
+                                      (`-` sets the default policy)
+  pump                                absorb finished tool invocations
   dump                                full textual database dump
   dot                                 Graphviz dump of the design state
   audit                               engine counters
@@ -643,6 +686,44 @@ mod tests {
         let out = sh.execute("stat");
         assert!(out.text().contains("oids=1"), "{out:?}");
         assert!(out.text().contains("journal=off"), "{out:?}");
+    }
+
+    #[test]
+    fn stat_reports_invocation_counters() {
+        let mut sh = edtc_shell();
+        let out = sh.execute("stat");
+        assert!(out.text().contains("inv_pending=0"), "{out:?}");
+        assert!(out.text().contains("inv_failed=0"), "{out:?}");
+    }
+
+    #[test]
+    fn retry_command_sets_policies_and_pump_drains() {
+        let mut sh = edtc_shell();
+        let out = sh.execute("retry - 5 10 2 30000");
+        assert_eq!(out.text(), "default retry policy set", "{out:?}");
+        let out = sh.execute("retry hdl_sim 0 1 1 1000");
+        assert_eq!(out.text(), "retry policy set for `hdl_sim`", "{out:?}");
+        let (default_policy, overrides) = sh.server().unwrap().retry_policies();
+        assert_eq!(default_policy.max_retries, 5);
+        assert_eq!(
+            overrides,
+            vec![(
+                "hdl_sim".to_string(),
+                blueprint_core::engine::invoke::RetryPolicy {
+                    max_retries: 0,
+                    base_delay: std::time::Duration::from_millis(1),
+                    multiplier: 1,
+                    timeout: std::time::Duration::from_millis(1000),
+                }
+            )]
+        );
+        // A pump on an idle server is a harmless empty drain.
+        let out = sh.execute("pump");
+        assert!(out.text().starts_with("processed 0 events"), "{out:?}");
+        // Usage errors are positioned like every other command.
+        let out = sh.execute("retry - 5 x 2 30000");
+        assert!(out.is_error());
+        assert!(out.text().contains("base delay"), "{out:?}");
     }
 
     #[test]

@@ -24,6 +24,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived within the timeout.
+        Timeout,
+        /// All senders are gone and the channel is drained.
+        Disconnected,
+    }
+
     /// The sending half; cheap to clone across producer threads.
     pub struct Sender<T> {
         inner: mpsc::Sender<T>,
@@ -88,6 +97,18 @@ pub mod channel {
             Some(got)
         }
 
+        /// Receive with a deadline — for consumers that interleave
+        /// channel work with background polling (the command loop pumps
+        /// finished tool invocations while idle).
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let got = self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })?;
+            self.depth.fetch_sub(1, Ordering::SeqCst);
+            Ok(got)
+        }
+
         /// Messages sent but not yet received — the queue depth. Like
         /// crossbeam's, the value is a racy snapshot: producers may be
         /// mid-send, so use it as a hint (batch sizing), not an invariant.
@@ -125,6 +146,25 @@ mod tests {
         tx.send(7).unwrap();
         assert_eq!(rx.try_recv(), Ok(7));
         assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = channel::unbounded();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(1)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(100)),
+            Ok(9)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(1)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
