@@ -43,9 +43,15 @@
 //! requests issued *during* the storm — the "a retrying tool never wedges
 //! the loop" acceptance number (`BENCH_pr6.json`).
 //!
+//! The `waves/trace_overhead` series (PR 7) prices execution tracing:
+//! the same write-heavy storm with the `TraceLog` disabled (the default
+//! — the "zero hot-path cost when off" acceptance number) and with
+//! retention on, draining the records each iteration as `trace get`
+//! would. `BENCH_pr7.json` pins both against the PR 6 baseline.
+//!
 //! Smoke mode for CI: set `BENCH_SMOKE=1` to shrink measurement windows;
 //! set `BENCH_JSON=<file>` to append results as JSON lines — that is how
-//! `BENCH_pr5.json` and `BENCH_pr6.json` are produced.
+//! `BENCH_pr5.json`, `BENCH_pr6.json` and `BENCH_pr7.json` are produced.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -315,6 +321,43 @@ fn bench_async_executor(c: &mut Criterion) {
     group.finish();
 }
 
+/// Execution-trace overhead (PR 7): the write-heavy storm with tracing
+/// disabled vs. retaining, at 1 worker (sequential drain) and 4 workers
+/// (per-lane trace buffers + deterministic absorb). `trace_off` must sit
+/// within noise of `waves/parallel` at the same worker count — a
+/// disabled `TraceLog` is one branch per would-be record.
+fn bench_trace_overhead(c: &mut Criterion) {
+    if !target_enabled("trace_overhead") {
+        return;
+    }
+    let mut group = c.benchmark_group("waves/trace_overhead");
+    group.throughput(Throughput::Elements((FAMILIES * BLOCKS * STAGES) as u64));
+    for &workers in &[1usize, 4] {
+        for retaining in [false, true] {
+            let label = format!(
+                "{}_w{workers}",
+                if retaining { "trace_on" } else { "trace_off" }
+            );
+            let (mut server, roots) = populated(workers, false);
+            server.set_trace_retention(retaining);
+            group.bench_with_input(BenchmarkId::new("mode", &label), &label, |b, _| {
+                b.iter(|| {
+                    let deliveries = black_box(storm(&mut server, &roots));
+                    // Drain like `trace get` would; otherwise retained
+                    // records accumulate across iterations and the series
+                    // measures allocator growth, not tracing.
+                    let records = server.take_trace();
+                    if retaining {
+                        assert!(!records.is_empty());
+                    }
+                    black_box(records.len() as u64) + deliveries
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 /// Appends one result line to the `BENCH_JSON` file, matching the format
 /// the criterion harness emits.
 fn append_bench_json(line: &str) {
@@ -431,6 +474,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_parallel_waves, bench_async_executor, bench_fault_latency
+    targets = bench_parallel_waves, bench_async_executor, bench_trace_overhead, bench_fault_latency
 }
 criterion_main!(benches);

@@ -268,11 +268,55 @@ pub enum Request {
         /// The next record sequence number the follower expects.
         seq: u64,
     },
+    /// Deterministic time-travel replay: rebuild the image the server had
+    /// at journal cursor `(epoch, seq)` — the snapshot of `epoch` plus the
+    /// first `seq` journal records — in a scratch database, leaving the
+    /// live server untouched. Requires journaling; only the current epoch
+    /// is addressable (earlier snapshots are folded away by checkpoints).
+    /// The reply carries the reconstructed image so "journal dir +
+    /// cursor" is a complete bug report. See `PROTOCOL.md` §6.
+    Replay {
+        /// The checkpoint epoch to replay within.
+        epoch: u64,
+        /// Journal records to replay on top of the snapshot (`0` = the
+        /// snapshot alone).
+        seq: u64,
+    },
+    /// Control execution tracing ([`TraceLog`](crate::engine::trace::TraceLog)):
+    /// turn per-wave step retention on or off, or drain the records
+    /// captured since the last get. Retention is off by default and costs
+    /// nothing when off.
+    Trace {
+        /// What to do with the trace log.
+        mode: TraceMode,
+    },
+}
+
+/// The operation of a [`Request::Trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceMode {
+    /// Start retaining per-wave step records.
+    On,
+    /// Stop retaining and drop anything captured.
+    Off,
+    /// Drain the records captured since the last `Get`.
+    Get,
+}
+
+impl fmt::Display for TraceMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TraceMode::On => "on",
+            TraceMode::Off => "off",
+            TraceMode::Get => "get",
+        })
+    }
 }
 
 impl Request {
     /// Whether this request must run against a flushed journal, outside
-    /// any group-commit window (it swaps or re-bases durable state).
+    /// any group-commit window (it swaps or re-bases durable state — or,
+    /// for `Replay`, reads the on-disk journal files directly).
     pub fn is_barrier(&self) -> bool {
         matches!(
             self,
@@ -283,6 +327,7 @@ impl Request {
                 | Request::Recover { .. }
                 | Request::SaveProject { .. }
                 | Request::LoadProject { .. }
+                | Request::Replay { .. }
         )
     }
 
@@ -304,6 +349,8 @@ impl Request {
                 | Request::Audit
                 | Request::Stat
                 | Request::TailFrom { .. }
+                | Request::Replay { .. }
+                | Request::Trace { .. }
         )
     }
 }
@@ -370,6 +417,13 @@ pub struct AuditCounters {
     pub depth_truncations: u64,
     /// Template applications.
     pub templates: u64,
+    /// Detached invocation attempts that were retried after a failure.
+    pub invoke_retries: u64,
+    /// Detached invocation attempts that exceeded their wall-clock
+    /// budget.
+    pub invoke_timeouts: u64,
+    /// Detached invocations that exhausted their whole retry budget.
+    pub invoke_exhaustions: u64,
 }
 
 /// Server statistics, as carried by [`Response::Stat`].
@@ -398,6 +452,14 @@ pub struct ServerStat {
     /// Detached invocations that exhausted their retry budget (lifetime
     /// count for this pool).
     pub failed_invocations: u64,
+    /// The replay cursor's epoch: the checkpoint epoch whose journal the
+    /// server is appending to (`0` when journaling is off — epochs count
+    /// from 1).
+    pub cursor_epoch: u64,
+    /// The replay cursor's sequence: committed journal records in that
+    /// epoch. `Replay { epoch: cursor_epoch, seq: cursor_seq }`
+    /// reconstructs exactly the image this `stat` describes.
+    pub cursor_seq: u64,
 }
 
 /// The typed result of one [`Request`]. Structured data, not rendered
@@ -515,6 +577,26 @@ pub enum Response {
         epoch: u64,
         /// Committed records in that epoch (== the next sequence number).
         seq: u64,
+    },
+    /// A [`Request::Replay`] reconstructed a historical image.
+    Replayed {
+        /// The cursor's epoch.
+        epoch: u64,
+        /// Journal records replayed on top of the snapshot.
+        seq: u64,
+        /// Objects in the reconstructed database.
+        oids: u64,
+        /// The full reconstructed project image (the `save` format) —
+        /// byte-identical to what `save` would have produced at that
+        /// cursor, so clients can diff, load, or inspect it offline.
+        image: String,
+    },
+    /// Execution-trace records drained by a [`Request::Trace`] get, each
+    /// in the [`TraceRecord`](crate::engine::trace::TraceRecord) line
+    /// form, in execution order.
+    Trace {
+        /// The encoded records.
+        records: Vec<String>,
     },
     /// The request failed.
     Error(ApiError),
@@ -1030,6 +1112,8 @@ impl Request {
             ),
             Request::PumpInvocations => "pump".to_string(),
             Request::TailFrom { epoch, seq } => format!("tailfrom {epoch} {seq}"),
+            Request::Replay { epoch, seq } => format!("replay {epoch} {seq}"),
+            Request::Trace { mode } => format!("trace {mode}"),
         }
     }
 
@@ -1157,6 +1241,18 @@ impl Request {
                 epoch: c.u64("a checkpoint epoch")?,
                 seq: c.u64("a record sequence number")?,
             },
+            "replay" => Request::Replay {
+                epoch: c.u64("a checkpoint epoch")?,
+                seq: c.u64("a journal cursor sequence")?,
+            },
+            "trace" => Request::Trace {
+                mode: c.parse_with("a trace mode (`on`, `off` or `get`)", |w| match w {
+                    "on" => Ok(TraceMode::On),
+                    "off" => Ok(TraceMode::Off),
+                    "get" => Ok(TraceMode::Get),
+                    _ => Err("not on/off/get".to_string()),
+                })?,
+            },
             other => {
                 return Err(ApiError::UnknownCommand {
                     at: at as u64,
@@ -1266,7 +1362,7 @@ impl Response {
             Response::Loaded { oids } => format!("loaded {oids}"),
             Response::Text { text } => format!("text {}", enc_str(text)),
             Response::Audit { counters } => format!(
-                "audit {} {} {} {} {} {} {} {} {}",
+                "audit {} {} {} {} {} {} {} {} {} {} {} {}",
                 counters.deliveries,
                 counters.assignments,
                 counters.reevaluations,
@@ -1275,10 +1371,13 @@ impl Response {
                 counters.propagations,
                 counters.cycle_skips,
                 counters.depth_truncations,
-                counters.templates
+                counters.templates,
+                counters.invoke_retries,
+                counters.invoke_timeouts,
+                counters.invoke_exhaustions
             ),
             Response::Stat { stat } => format!(
-                "stat {} {} {} {} {} {} {} {} {} {}",
+                "stat {} {} {} {} {} {} {} {} {} {} {} {}",
                 stat.oids,
                 stat.links,
                 stat.pending_events,
@@ -1291,8 +1390,23 @@ impl Response {
                 stat.running_invocations,
                 stat.retrying_invocations,
                 stat.failed_invocations,
+                stat.cursor_epoch,
+                stat.cursor_seq,
             ),
             Response::Tailing { epoch, seq } => format!("tailing {epoch} {seq}"),
+            Response::Replayed {
+                epoch,
+                seq,
+                oids,
+                image,
+            } => format!("replayed {epoch} {seq} {oids} {}", enc_str(image)),
+            Response::Trace { records } => {
+                let mut out = format!("trace {}", records.len());
+                for rec in records {
+                    let _ = write!(out, " {}", enc_str(rec));
+                }
+                out
+            }
             Response::Error(e) => format!("err {}", e.encode()),
         }
     }
@@ -1437,6 +1551,9 @@ impl Response {
                     cycle_skips: c.u64("cycle skips")?,
                     depth_truncations: c.u64("depth truncations")?,
                     templates: c.u64("templates")?,
+                    invoke_retries: c.u64("invoke retries")?,
+                    invoke_timeouts: c.u64("invoke timeouts")?,
+                    invoke_exhaustions: c.u64("invoke exhaustions")?,
                 },
             },
             "stat" => Response::Stat {
@@ -1451,12 +1568,28 @@ impl Response {
                     running_invocations: c.u64("a running-invocation count")?,
                     retrying_invocations: c.u64("a retrying-invocation count")?,
                     failed_invocations: c.u64("a failed-invocation count")?,
+                    cursor_epoch: c.u64("a cursor epoch")?,
+                    cursor_seq: c.u64("a cursor sequence")?,
                 },
             },
             "tailing" => Response::Tailing {
                 epoch: c.u64("a checkpoint epoch")?,
                 seq: c.u64("a record sequence number")?,
             },
+            "replayed" => Response::Replayed {
+                epoch: c.u64("a checkpoint epoch")?,
+                seq: c.u64("a journal cursor sequence")?,
+                oids: c.u64("an OID count")?,
+                image: c.string("a project image (escaped)")?,
+            },
+            "trace" => {
+                let n = c.u64("a record count")?;
+                let mut records = Vec::new();
+                for _ in 0..n {
+                    records.push(c.string("an encoded trace record")?);
+                }
+                Response::Trace { records }
+            }
             "err" => Response::Error(ApiError::decode_cursor(&mut c)?),
             other => {
                 return Err(ApiError::Parse {
@@ -1660,6 +1793,16 @@ mod tests {
             },
             Request::PumpInvocations,
             Request::TailFrom { epoch: 3, seq: 117 },
+            Request::Replay { epoch: 2, seq: 40 },
+            Request::Trace {
+                mode: TraceMode::On,
+            },
+            Request::Trace {
+                mode: TraceMode::Off,
+            },
+            Request::Trace {
+                mode: TraceMode::Get,
+            },
         ]
     }
 
@@ -1704,7 +1847,24 @@ mod tests {
                     running_invocations: 2,
                     retrying_invocations: 1,
                     failed_invocations: 7,
+                    cursor_epoch: 2,
+                    cursor_seq: 17,
                 },
+            },
+            Response::Replayed {
+                epoch: 2,
+                seq: 17,
+                oids: 5,
+                image: "damocles-project v1\noids 0\n".into(),
+            },
+            Response::Trace {
+                records: vec![
+                    "begin ckin cpu,HDL_model,2 yves 7 - -".into(),
+                    "end 2".into(),
+                ],
+            },
+            Response::Trace {
+                records: Vec::new(),
             },
             Response::Error(ApiError::Parse {
                 at: 14,
@@ -1808,5 +1968,13 @@ mod tests {
         assert!(retry.is_mutation() && !retry.is_barrier());
         assert!(Request::PumpInvocations.is_mutation());
         assert!(!Request::PumpInvocations.is_barrier());
+        // Replay reads the on-disk journal: barrier (needs a flushed
+        // window) but never a mutation (the live image is untouched).
+        let replay = Request::Replay { epoch: 1, seq: 0 };
+        assert!(replay.is_barrier() && !replay.is_mutation());
+        let trace = Request::Trace {
+            mode: TraceMode::On,
+        };
+        assert!(!trace.is_barrier() && !trace.is_mutation());
     }
 }

@@ -126,6 +126,18 @@ pub enum AuditKind {
     TemplateApplied,
     /// See [`AuditRecord::UnmatchedEvent`].
     UnmatchedEvent,
+    /// A detached tool invocation attempt failed and was pushed back for
+    /// a retry (note-only: retries happen on pool workers, where building
+    /// a record would mean cloning the script name per failure).
+    InvokeRetried,
+    /// A detached tool invocation attempt exceeded its wall-clock budget
+    /// (note-only; every timeout also counts as a retry or an
+    /// exhaustion).
+    InvokeTimedOut,
+    /// A detached tool invocation exhausted its whole retry budget and
+    /// failed for good (note-only; the failure itself also lands in-band
+    /// as a `tool_failed` event).
+    InvokeExhausted,
 }
 
 impl AuditRecord {
@@ -170,6 +182,13 @@ pub struct AuditSummary {
     pub depth_truncations: u64,
     /// Template applications.
     pub templates: u64,
+    /// Detached invocation attempts retried after a failure.
+    pub invoke_retries: u64,
+    /// Detached invocation attempts that exceeded their wall-clock
+    /// budget.
+    pub invoke_timeouts: u64,
+    /// Detached invocations that exhausted their whole retry budget.
+    pub invoke_exhaustions: u64,
 }
 
 impl AuditSummary {
@@ -184,6 +203,9 @@ impl AuditSummary {
         self.cycle_skips += other.cycle_skips;
         self.depth_truncations += other.depth_truncations;
         self.templates += other.templates;
+        self.invoke_retries += other.invoke_retries;
+        self.invoke_timeouts += other.invoke_timeouts;
+        self.invoke_exhaustions += other.invoke_exhaustions;
     }
 }
 
@@ -240,6 +262,9 @@ impl AuditLog {
             AuditKind::DepthTruncated => self.summary.depth_truncations += 1,
             AuditKind::TemplateApplied => self.summary.templates += 1,
             AuditKind::UnmatchedEvent => {}
+            AuditKind::InvokeRetried => self.summary.invoke_retries += 1,
+            AuditKind::InvokeTimedOut => self.summary.invoke_timeouts += 1,
+            AuditKind::InvokeExhausted => self.summary.invoke_exhaustions += 1,
         }
     }
 
@@ -350,6 +375,23 @@ mod tests {
         log.reset();
         assert_eq!(log.summary(), AuditSummary::default());
         assert!(log.records().is_empty());
+    }
+
+    #[test]
+    fn invocation_fault_notes_count_without_retention() {
+        let mut log = AuditLog::counters_only();
+        log.note(AuditKind::InvokeRetried);
+        log.note(AuditKind::InvokeRetried);
+        log.note(AuditKind::InvokeTimedOut);
+        log.note(AuditKind::InvokeExhausted);
+        assert_eq!(log.summary().invoke_retries, 2);
+        assert_eq!(log.summary().invoke_timeouts, 1);
+        assert_eq!(log.summary().invoke_exhaustions, 1);
+        assert!(log.records().is_empty());
+
+        let mut main = AuditLog::counters_only();
+        main.absorb(log);
+        assert_eq!(main.summary().invoke_retries, 2);
     }
 
     #[test]

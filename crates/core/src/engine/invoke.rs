@@ -126,6 +126,12 @@ pub struct InvokeStats {
     pub failed: u64,
     /// Terminal completions since the pool was created.
     pub completed: u64,
+    /// Failed attempts pushed back for a retry since the pool was
+    /// created (cumulative, unlike `retrying`).
+    pub retried: u64,
+    /// Attempts that exceeded their wall-clock budget since the pool was
+    /// created.
+    pub timed_out: u64,
 }
 
 /// Callback armed via [`Invoker::set_wake`], fired (coalesced) whenever a
@@ -157,6 +163,8 @@ struct PoolState {
     running: u64,
     failed_total: u64,
     completed_total: u64,
+    retried_total: u64,
+    timed_out_total: u64,
     /// A wake has been fired and not yet consumed by a harvest.
     wake_pending: bool,
     shutdown: bool,
@@ -397,6 +405,8 @@ impl Invoker {
             retrying,
             failed: state.failed_total,
             completed: state.completed_total,
+            retried: state.retried_total,
+            timed_out: state.timed_out_total,
         }
     }
 }
@@ -443,9 +453,11 @@ fn worker_loop(shared: &Shared) {
         let attempt = entry.attempt;
         let started = Instant::now();
         let mut result = (entry.job)(attempt);
+        let mut timed_out = false;
         if result.is_ok() && started.elapsed() > entry.policy.timeout {
             // Cooperative timeout: the run outlived its budget, so its
             // result is discarded and the attempt counts as failed.
+            timed_out = true;
             result = Err(format!(
                 "attempt {} timed out (budget {:?})",
                 attempt + 1,
@@ -455,6 +467,9 @@ fn worker_loop(shared: &Shared) {
 
         state = shared.state.lock().expect("invoker pool poisoned");
         state.running -= 1;
+        if timed_out {
+            state.timed_out_total += 1;
+        }
         match result {
             Ok(messages) => {
                 state.completed_total += 1;
@@ -494,6 +509,7 @@ fn worker_loop(shared: &Shared) {
             }
             Err(_) => {
                 entry.attempt += 1;
+                state.retried_total += 1;
                 let delay = entry.policy.delay_before_retry(entry.attempt);
                 state.delayed.push((Instant::now() + delay, id));
                 state.jobs.insert(id, entry);
@@ -574,6 +590,9 @@ mod tests {
             finished[0].outcome,
             InvokeOutcome::Completed { attempts: 4, .. }
         ));
+        // The cumulative fault counters survive the success.
+        assert_eq!(invoker.stats().retried, 3);
+        assert_eq!(invoker.stats().timed_out, 0);
     }
 
     #[test]

@@ -20,3 +20,4 @@ pub mod service;
 pub mod tail;
 pub mod tasks;
 pub mod template;
+pub mod trace;

@@ -33,6 +33,7 @@ use crate::engine::eval::EvalCtx;
 use crate::engine::event::{Delivery, QueuedEvent};
 use crate::engine::exec::ScriptInvocation;
 use crate::engine::policy::{Policy, PolicyViolation, Strictness};
+use crate::engine::trace::{TraceLog, TraceRecord};
 use crate::lang::ast::{Action, Blueprint, LetDef, RuleDef, Template};
 
 /// What one processed event produced.
@@ -797,6 +798,25 @@ impl RuntimeEngine {
         compiled: &CompiledBlueprint,
         db: &mut MetaDb,
         audit: &mut AuditLog,
+        ev: QueuedEvent,
+    ) -> Result<ProcessOutcome, EngineError> {
+        self.process_compiled_traced(compiled, db, audit, &mut TraceLog::disabled(), ev)
+    }
+
+    /// [`RuntimeEngine::process_compiled`] with execution tracing: when
+    /// `trace` retains records, the wave's steps land in it bracketed by
+    /// `Begin`/`End` (see [`TraceRecord`]). With a disabled trace this is
+    /// exactly `process_compiled` — every hook is one branch.
+    ///
+    /// # Errors
+    ///
+    /// As [`RuntimeEngine::process`].
+    pub fn process_compiled_traced(
+        &mut self,
+        compiled: &CompiledBlueprint,
+        db: &mut MetaDb,
+        audit: &mut AuditLog,
+        trace: &mut TraceLog,
         mut ev: QueuedEvent,
     ) -> Result<ProcessOutcome, EngineError> {
         self.clock += 1;
@@ -804,6 +824,18 @@ impl RuntimeEngine {
         let mut outcome = ProcessOutcome::default();
         let mut scratch = std::mem::take(&mut self.scratch);
         let args = std::mem::take(&mut ev.args);
+        if trace.enabled() {
+            if let Ok(target) = db.oid(ev.delivery.anchor()) {
+                trace.push(TraceRecord::Begin {
+                    event: ev.event.clone(),
+                    target: target.clone(),
+                    user: ev.user.clone(),
+                    clock,
+                    lane: None,
+                    shard: None,
+                });
+            }
+        }
         Self::seed_wave(compiled, &mut scratch, &ev, args);
         let QueuedEvent { user, .. } = ev;
         let mut store = DirectStore { db };
@@ -811,11 +843,17 @@ impl RuntimeEngine {
             compiled,
             &mut store,
             audit,
+            trace,
             &user,
             &mut scratch,
             &mut outcome,
             clock,
         );
+        if trace.enabled() {
+            trace.push(TraceRecord::End {
+                delivered: outcome.delivered,
+            });
+        }
         self.scratch = scratch;
         result.map(|()| outcome)
     }
@@ -854,6 +892,7 @@ impl RuntimeEngine {
         compiled: &CompiledBlueprint,
         store: &mut S,
         audit: &mut AuditLog,
+        trace: &mut TraceLog,
         user: &str,
         scratch: &mut WaveScratch,
         outcome: &mut ProcessOutcome,
@@ -863,11 +902,11 @@ impl RuntimeEngine {
             match item.delivery {
                 Delivery::Target(id) => {
                     self.deliver_compiled(
-                        compiled, store, audit, user, &item, id, scratch, outcome, clock,
+                        compiled, store, audit, trace, user, &item, id, scratch, outcome, clock,
                     )?;
                 }
                 Delivery::PropagateFrom(id) => {
-                    self.propagate_compiled(store, audit, &item, id, scratch)?;
+                    self.propagate_compiled(store, audit, trace, &item, id, scratch)?;
                 }
             }
         }
@@ -884,6 +923,7 @@ impl RuntimeEngine {
         compiled: &CompiledBlueprint,
         store: &mut S,
         audit: &mut AuditLog,
+        trace: &mut TraceLog,
         user: &str,
         item: &CompiledWaveItem,
         id: OidId,
@@ -964,6 +1004,14 @@ impl RuntimeEngine {
                 event: ev_name.to_string(),
             })
         })?;
+        if trace.enabled() {
+            let oid = store.oid(id)?.clone();
+            trace.push(TraceRecord::Deliver {
+                view: oid.view.to_string(),
+                oid,
+                event: ev_name.to_string(),
+            });
+        }
         outcome.delivered += 1;
 
         // 1. assign rules (pre-merged, pre-phase-split).
@@ -983,6 +1031,13 @@ impl RuntimeEngine {
                     };
                     ctx.render_value(&assign.value)
                 };
+                if trace.enabled() {
+                    trace.push(TraceRecord::Write {
+                        oid: store.oid(id)?.clone(),
+                        prop: assign.prop.clone(),
+                        value: value.clone(),
+                    });
+                }
                 if audit.enabled() {
                     let old = store.set_prop(id, &assign.prop, value.clone())?;
                     audit.push(AuditRecord::Assigned {
@@ -1015,6 +1070,13 @@ impl RuntimeEngine {
                     };
                     ctx.eval(&let_def.expr)
                 };
+                if trace.enabled() {
+                    trace.push(TraceRecord::Write {
+                        oid: store.oid(id)?.clone(),
+                        prop: let_def.name.clone(),
+                        value: value.clone(),
+                    });
+                }
                 if audit.enabled() {
                     store.set_prop(id, &let_def.name, value.clone())?;
                     audit.push(AuditRecord::Reevaluated {
@@ -1069,6 +1131,13 @@ impl RuntimeEngine {
                         notify: exec.notify,
                     })
                 })?;
+                if trace.enabled() {
+                    trace.push(TraceRecord::Invoke {
+                        script: invocation.script.clone(),
+                        origin: store.oid(id)?.clone(),
+                        event: ev_name.to_string(),
+                    });
+                }
                 outcome.invocations.push(invocation);
             }
 
@@ -1134,6 +1203,13 @@ impl RuntimeEngine {
                                         event: post_name.to_string(),
                                     })
                                 })?;
+                                if trace.enabled() {
+                                    trace.push(TraceRecord::Fire {
+                                        from: store.oid(id)?.clone(),
+                                        to: store.oid(next)?.clone(),
+                                        event: post_name.to_string(),
+                                    });
+                                }
                                 scratch.work.push_back(CompiledWaveItem {
                                     event: post.event,
                                     name: Arc::clone(post_name),
@@ -1160,7 +1236,7 @@ impl RuntimeEngine {
         }
 
         // 5. propagate the delivered event itself.
-        self.propagate_compiled(store, audit, item, id, scratch)?;
+        self.propagate_compiled(store, audit, trace, item, id, scratch)?;
         Ok(())
     }
 
@@ -1170,6 +1246,7 @@ impl RuntimeEngine {
         &self,
         store: &mut S,
         audit: &mut AuditLog,
+        trace: &mut TraceLog,
         item: &CompiledWaveItem,
         id: OidId,
         scratch: &mut WaveScratch,
@@ -1185,6 +1262,13 @@ impl RuntimeEngine {
                     event: item.name.to_string(),
                 })
             })?;
+            if trace.enabled() {
+                trace.push(TraceRecord::Fire {
+                    from: store.oid(id)?.clone(),
+                    to: store.oid(next)?.clone(),
+                    event: item.name.to_string(),
+                });
+            }
             scratch.work.push_back(CompiledWaveItem {
                 event: item.event,
                 name: Arc::clone(&item.name),
@@ -1241,6 +1325,29 @@ impl RuntimeEngine {
         events: Vec<QueuedEvent>,
         workers: usize,
     ) -> ShardedBatch {
+        let mut trace = TraceLog::disabled();
+        self.process_batch_sharded_traced(compiled, shards, db, audit, &mut trace, events, workers)
+    }
+
+    /// [`RuntimeEngine::process_batch_sharded`] with an execution trace.
+    ///
+    /// Workers buffer trace records per event (like their audit buffers)
+    /// and the sequential epilogue absorbs them in ascending batch order,
+    /// so the merged trace is deterministic for any worker count. Records
+    /// from this path carry the worker lane and execution shard of each
+    /// event; when `trace` is disabled the path is byte-for-byte the
+    /// untraced one (no shard lookups, no buffering).
+    #[allow(clippy::too_many_arguments)]
+    pub fn process_batch_sharded_traced(
+        &mut self,
+        compiled: &CompiledBlueprint,
+        shards: &ShardMap,
+        db: &mut MetaDb,
+        audit: &mut AuditLog,
+        trace: &mut TraceLog,
+        events: Vec<QueuedEvent>,
+        workers: usize,
+    ) -> ShardedBatch {
         let base_clock = self.clock;
         if events.is_empty() {
             return ShardedBatch::default();
@@ -1277,16 +1384,28 @@ impl RuntimeEngine {
         }
         let mut pool = std::mem::take(&mut self.worker_scratches);
         let audit_proto: &AuditLog = audit;
+        let trace_proto: &TraceLog = trace;
         let engine: &RuntimeEngine = self;
         let shared_db: &MetaDb = db;
         let mut outputs: Vec<LaneOutput> = Vec::with_capacity(lane_count);
         std::thread::scope(|scope| {
             let handles: Vec<_> = lanes
                 .into_iter()
+                .enumerate()
                 .zip(pool.iter_mut())
-                .map(|(lane, scratch)| {
+                .map(|((lane_id, lane), scratch)| {
                     scope.spawn(move || {
-                        engine.run_lane(compiled, shared_db, audit_proto, lane, scratch, base_clock)
+                        engine.run_lane(
+                            compiled,
+                            shared_db,
+                            audit_proto,
+                            trace_proto,
+                            shards,
+                            lane_id,
+                            lane,
+                            scratch,
+                            base_clock,
+                        )
                     })
                 })
                 .collect();
@@ -1327,6 +1446,7 @@ impl RuntimeEngine {
                 }
             }
             audit.absorb(run.audit);
+            trace.absorb(run.trace);
             match run.error.or(apply_error) {
                 Some(e) => batch.error = Some(e),
                 None => batch.outcomes.push(run.outcome),
@@ -1341,11 +1461,15 @@ impl RuntimeEngine {
     /// One worker's share of a sharded batch: executes its events in batch
     /// order against an overlay store, stopping at the first error (the
     /// epilogue decides what the authoritative batch error is).
+    #[allow(clippy::too_many_arguments)]
     fn run_lane(
         &self,
         compiled: &CompiledBlueprint,
         db: &MetaDb,
         audit_proto: &AuditLog,
+        trace_proto: &TraceLog,
+        shards: &ShardMap,
+        lane_id: usize,
         lane: Vec<(usize, QueuedEvent)>,
         scratch: &mut WaveScratch,
         base_clock: u64,
@@ -1360,6 +1484,20 @@ impl RuntimeEngine {
         for (index, ev) in iter.by_ref() {
             let clock = base_clock + index as u64 + 1;
             let mut audit = audit_proto.buffer();
+            let mut trace = trace_proto.buffer();
+            if trace.enabled() {
+                let shard = shards.group_of(compiled, db, ev.delivery.anchor());
+                if let Ok(target) = db.oid(ev.delivery.anchor()) {
+                    trace.push(TraceRecord::Begin {
+                        event: ev.event.clone(),
+                        target: target.clone(),
+                        user: ev.user.clone(),
+                        clock,
+                        lane: Some(lane_id as u64),
+                        shard: Some(u64::from(shard.0)),
+                    });
+                }
+            }
             let mut outcome = ProcessOutcome::default();
             // The event stays intact for error requeueing, so the lane
             // clones its arguments into the wave.
@@ -1368,11 +1506,17 @@ impl RuntimeEngine {
                 compiled,
                 &mut store,
                 &mut audit,
+                &mut trace,
                 &ev.user,
                 scratch,
                 &mut outcome,
                 clock,
             );
+            if trace.enabled() {
+                trace.push(TraceRecord::End {
+                    delivered: outcome.delivered,
+                });
+            }
             let writes = std::mem::take(&mut store.writes);
             let error = result.err();
             let stop = error.is_some();
@@ -1381,6 +1525,7 @@ impl RuntimeEngine {
                 event: ev,
                 writes,
                 audit,
+                trace,
                 outcome,
                 error,
             });
@@ -1422,6 +1567,7 @@ struct EventRun {
     event: QueuedEvent,
     writes: Vec<WriteOp>,
     audit: AuditLog,
+    trace: TraceLog,
     outcome: ProcessOutcome,
     error: Option<EngineError>,
 }

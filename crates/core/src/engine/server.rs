@@ -19,7 +19,7 @@ use damocles_meta::{
     Workspace,
 };
 
-use crate::engine::audit::AuditLog;
+use crate::engine::audit::{AuditKind, AuditLog};
 use crate::engine::compile::{CompiledBlueprint, ShardMap};
 use crate::engine::error::EngineError;
 use crate::engine::event::{Delivery, QueuedEvent};
@@ -32,6 +32,7 @@ use crate::engine::queue::{EventQueue, Posted};
 use crate::engine::runtime::RuntimeEngine;
 use crate::engine::tail::TailHub;
 use crate::engine::template;
+use crate::engine::trace::{TraceLog, TraceRecord};
 use crate::lang::ast::Blueprint;
 use crate::lang::{parser, validate};
 
@@ -83,6 +84,70 @@ fn journal_io(e: std::io::Error) -> EngineError {
     EngineError::Journal {
         reason: e.to_string(),
     }
+}
+
+/// Reads a durability directory **at rest** and reconstructs the project
+/// image at journal cursor `(epoch, seq)`: the snapshot plus its first
+/// `seq` journal records, replayed against a scratch database. Nothing in
+/// the directory is written or truncated — the offline half of
+/// [`ProjectServer::replay_at`], used by `damocles_server --replay-until`
+/// and `damocles_inspect` to examine a copied bug-report directory.
+/// Returns the recovered object count and the image in
+/// [`persist::save_project`] format.
+///
+/// # Errors
+///
+/// [`EngineError::Journal`] when the snapshot is unreadable, `epoch` does
+/// not match the on-disk snapshot, or `seq` lies beyond the journal.
+pub fn replay_dir(
+    dir: impl AsRef<Path>,
+    epoch: u64,
+    seq: u64,
+) -> Result<(u64, String), EngineError> {
+    let dir = dir.as_ref();
+    let snapshot = std::fs::read_to_string(dir.join(SNAPSHOT_FILE)).map_err(journal_io)?;
+    let on_disk = journal::snapshot_epoch(&snapshot);
+    if epoch != on_disk {
+        return Err(EngineError::Journal {
+            reason: format!(
+                "replay cursor epoch {epoch} is not addressable: the directory \
+                 holds epoch {on_disk} (checkpoints fold earlier epochs away)"
+            ),
+        });
+    }
+    let bytes = match std::fs::read(dir.join(JOURNAL_FILE)) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(journal_io(e)),
+    };
+    let recovered = journal::recover_until(&snapshot, &bytes, Some(seq))?;
+    let oids = recovered.db.oid_count() as u64;
+    let image = persist::save_project(&recovered.db, &recovered.workspace);
+    Ok((oids, image))
+}
+
+/// Reads the addressable cursor range of a durability directory **at
+/// rest**: the snapshot's epoch and the number of valid journal records
+/// extending it, plus the encoded body of every such record (for
+/// timeline rendering). A cursor `(epoch, s)` for any `s` up to the
+/// returned count is valid input to [`replay_dir`].
+///
+/// # Errors
+///
+/// [`EngineError::Journal`] when the snapshot is unreadable or the
+/// journal is corrupt mid-file (a torn tail is fine — it is past the
+/// valid prefix by definition).
+pub fn journal_dir_cursor(dir: impl AsRef<Path>) -> Result<(u64, Vec<String>), EngineError> {
+    let dir = dir.as_ref();
+    let snapshot = std::fs::read_to_string(dir.join(SNAPSHOT_FILE)).map_err(journal_io)?;
+    let epoch = journal::snapshot_epoch(&snapshot);
+    let bytes = match std::fs::read(dir.join(JOURNAL_FILE)) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(journal_io(e)),
+    };
+    let tail = journal::parse_journal(&bytes)?;
+    Ok((epoch, tail.ops.iter().map(JournalOp::encode).collect()))
 }
 
 /// How long the blocking drain parks per poll while detached invocations
@@ -161,6 +226,14 @@ pub struct ProjectServer<E = NullExecutor> {
     engine: RuntimeEngine,
     queue: EventQueue,
     audit: AuditLog,
+    /// Per-wave execution trace (see [`crate::engine::trace`]):
+    /// retention off by default, so the hot path pays nothing until a
+    /// `trace on` request flips it.
+    trace: TraceLog,
+    /// Invoker fault counters already folded into the audit log as
+    /// `InvokeRetried` / `InvokeTimedOut` notes (the pool's counters are
+    /// cumulative; the server notes deltas).
+    seen_invoke_faults: (u64, u64),
     executor: E,
     /// Reusable inbox-drain buffer (see `EventQueue::drain_inbox_into`).
     inbox_buf: Vec<Posted>,
@@ -248,6 +321,8 @@ impl<E: ScriptExecutor> ProjectServer<E> {
             engine: RuntimeEngine::default(),
             queue: EventQueue::new(),
             audit: AuditLog::counters_only(),
+            trace: TraceLog::disabled(),
+            seen_invoke_faults: (0, 0),
             executor,
             inbox_buf: Vec::new(),
             ast_dispatch: false,
@@ -690,6 +765,46 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         Ok(recovered.report)
     }
 
+    /// Reconstructs the historical project image at journal cursor
+    /// `(epoch, seq)`: the snapshot of that epoch plus its first `seq`
+    /// journal records, replayed through the recovery path against a
+    /// **scratch** database — the live server is untouched. Returns the
+    /// recovered object count and the image in
+    /// [`persist::save_project`] format.
+    ///
+    /// Only the current epoch is addressable (checkpoints fold earlier
+    /// journals away). `stat` reports the live cursor; replaying at it
+    /// reproduces the live image byte for byte, and replaying at a
+    /// smaller `seq` travels back in time — a bug report becomes a
+    /// journal directory plus a cursor.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Journal`] when journaling is off, `epoch` is not
+    /// the current epoch, `seq` lies beyond the journal, or the on-disk
+    /// files cannot be read or replayed.
+    pub fn replay_at(&mut self, epoch: u64, seq: u64) -> Result<(u64, String), EngineError> {
+        // The on-disk journal must cover every acked op before the read;
+        // under group commit the command loop has already flushed (replay
+        // is a barrier request), so this is usually a no-op.
+        self.flush_journal()?;
+        let Some(d) = self.durability.as_ref() else {
+            return Err(EngineError::Journal {
+                reason: "replay requires journaling (enable a journal first)".to_string(),
+            });
+        };
+        if epoch != d.epoch {
+            return Err(EngineError::Journal {
+                reason: format!(
+                    "replay cursor epoch {epoch} is not addressable: only the current \
+                     epoch {} is on disk (checkpoints fold earlier epochs away)",
+                    d.epoch
+                ),
+            });
+        }
+        replay_dir(&d.dir, epoch, seq)
+    }
+
     fn write_checkpoint_files(
         dir: &Path,
         epoch: u64,
@@ -977,6 +1092,24 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         self.audit.reset();
     }
 
+    /// The execution trace log (see [`crate::engine::trace`]).
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Turns per-wave trace retention on or off. Turning it off drops any
+    /// captured records; while off, wave execution pays no trace cost.
+    pub fn set_trace_retention(&mut self, on: bool) {
+        self.trace.set_retaining(on);
+    }
+
+    /// Drains the captured trace records, leaving retention as it is —
+    /// the `trace get` request, so repeated polls see each record once
+    /// and the server never accumulates an unbounded trace.
+    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+        self.trace.take_records()
+    }
+
     /// The engine policy in force.
     pub fn policy(&self) -> &Policy {
         &self.engine.policy
@@ -1232,8 +1365,13 @@ impl<E: ScriptExecutor> ProjectServer<E> {
                 self.engine
                     .process(&self.blueprint, &mut self.db, &mut self.audit, ev)?
             } else {
-                self.engine
-                    .process_compiled(&self.compiled, &mut self.db, &mut self.audit, ev)?
+                self.engine.process_compiled_traced(
+                    &self.compiled,
+                    &mut self.db,
+                    &mut self.audit,
+                    &mut self.trace,
+                    ev,
+                )?
             };
             report.absorb(ProcessReport {
                 events: 1,
@@ -1286,11 +1424,12 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         // put back so the engine can borrow the database mutably.
         self.shard_map();
         let shards = self.shard_map.take().expect("refreshed above");
-        let batch = self.engine.process_batch_sharded(
+        let batch = self.engine.process_batch_sharded_traced(
             &self.compiled,
             &shards,
             &mut self.db,
             &mut self.audit,
+            &mut self.trace,
             events,
             self.wave_workers,
         );
@@ -1407,6 +1546,18 @@ impl<E: ScriptExecutor> ProjectServer<E> {
     /// attempts, reason) so blueprints can react to it like any other
     /// design event.
     fn absorb_finished(&mut self, report: &mut ProcessReport) -> Result<(), EngineError> {
+        // Fold the pool's cumulative fault counters into the audit log as
+        // allocation-free notes, so a retry/timeout storm shows up in
+        // `audit` counters even with retention off.
+        let stats = self.invoker.stats();
+        let (seen_retries, seen_timeouts) = self.seen_invoke_faults;
+        for _ in seen_retries..stats.retried {
+            self.audit.note(AuditKind::InvokeRetried);
+        }
+        for _ in seen_timeouts..stats.timed_out {
+            self.audit.note(AuditKind::InvokeTimedOut);
+        }
+        self.seen_invoke_faults = (stats.retried, stats.timed_out);
         for fin in self.invoker.harvest() {
             self.in_flight_ops.remove(&fin.id);
             let FinishedInvocation {
@@ -1416,6 +1567,17 @@ impl<E: ScriptExecutor> ProjectServer<E> {
                 outcome,
                 ..
             } = fin;
+            if self.trace.enabled() {
+                let (attempts, ok) = match &outcome {
+                    InvokeOutcome::Completed { attempts, .. } => (*attempts, true),
+                    InvokeOutcome::Failed { attempts, .. } => (*attempts, false),
+                };
+                self.trace.push(TraceRecord::Settle {
+                    script: script.clone(),
+                    attempts: u64::from(attempts),
+                    ok,
+                });
+            }
             match outcome {
                 InvokeOutcome::Completed { messages, .. } => {
                     if self.durability.is_some() {
@@ -1427,6 +1589,7 @@ impl<E: ScriptExecutor> ProjectServer<E> {
                     }
                 }
                 InvokeOutcome::Failed { attempts, reason } => {
+                    self.audit.note(AuditKind::InvokeExhausted);
                     if self.durability.is_some() {
                         self.db.record_extra(JournalOp::InvokeFailed {
                             id,

@@ -58,13 +58,14 @@ use damocles_meta::{
 
 use crate::engine::api::{
     ApiError, AuditCounters, Request, Response, ServerStat, SessionId, SnapshotInfo, SummaryRow,
-    WorkLeftItem,
+    TraceMode, WorkLeftItem,
 };
 use crate::engine::error::EngineError;
 use crate::engine::exec::{NullExecutor, ScriptExecutor};
 use crate::engine::invoke::RetryPolicy;
 use crate::engine::server::ProjectServer;
 use crate::engine::tail::{TailCursor, TailEnded, TailHub};
+use crate::engine::trace::TraceRecord;
 use crate::lang::parser;
 
 /// A [`ProjectServer`] (plus client-visible snapshot configurations)
@@ -457,6 +458,9 @@ impl<E: ScriptExecutor + Default> ProjectService<E> {
                         cycle_skips: s.cycle_skips,
                         depth_truncations: s.depth_truncations,
                         templates: s.templates,
+                        invoke_retries: s.invoke_retries,
+                        invoke_timeouts: s.invoke_timeouts,
+                        invoke_exhaustions: s.invoke_exhaustions,
                     },
                 })
             }
@@ -475,6 +479,8 @@ impl<E: ScriptExecutor + Default> ProjectService<E> {
                         running_invocations: inv.running,
                         retrying_invocations: inv.retrying,
                         failed_invocations: inv.failed,
+                        cursor_epoch: server.journal_epoch().unwrap_or(0),
+                        cursor_seq: server.journal_records().unwrap_or(0),
                     },
                 })
             }
@@ -501,6 +507,39 @@ impl<E: ScriptExecutor + Default> ProjectService<E> {
             Request::PumpInvocations => {
                 let report = self.need()?.process_round()?;
                 Ok(report.into())
+            }
+            Request::Replay { epoch, seq } => {
+                // Served from a scratch database read off the on-disk
+                // journal files: the live image, queue and engine are
+                // untouched (replay is a barrier only because it must see
+                // a flushed journal).
+                let (oids, image) = self.need()?.replay_at(epoch, seq)?;
+                Ok(Response::Replayed {
+                    epoch,
+                    seq,
+                    oids,
+                    image,
+                })
+            }
+            Request::Trace { mode } => {
+                let server = self.need()?;
+                match mode {
+                    TraceMode::On => {
+                        server.set_trace_retention(true);
+                        Ok(Response::Ok)
+                    }
+                    TraceMode::Off => {
+                        server.set_trace_retention(false);
+                        Ok(Response::Ok)
+                    }
+                    TraceMode::Get => Ok(Response::Trace {
+                        records: server
+                            .take_trace()
+                            .iter()
+                            .map(TraceRecord::encode)
+                            .collect(),
+                    }),
+                }
             }
             Request::TailFrom { .. } => {
                 // The handshake half: report the committed stream

@@ -7,7 +7,8 @@
 use proptest::prelude::*;
 
 use blueprint_core::engine::api::{
-    ApiError, AuditCounters, Request, Response, ServerStat, SnapshotInfo, SummaryRow, WorkLeftItem,
+    ApiError, AuditCounters, Request, Response, ServerStat, SnapshotInfo, SummaryRow, TraceMode,
+    WorkLeftItem,
 };
 use damocles_meta::{Direction, EventMessage, Oid, Value};
 
@@ -148,6 +149,16 @@ fn request() -> impl Strategy<Value = Request> {
         (any::<u64>(), any::<u64>())
             .prop_map(|(epoch, seq)| Request::TailFrom { epoch, seq })
             .boxed(),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(epoch, seq)| Request::Replay { epoch, seq })
+            .boxed(),
+        prop_oneof![
+            Just(TraceMode::On),
+            Just(TraceMode::Off),
+            Just(TraceMode::Get)
+        ]
+        .prop_map(|mode| Request::Trace { mode })
+        .boxed(),
     ]
 }
 
@@ -301,7 +312,7 @@ fn response() -> impl Strategy<Value = Response> {
             .prop_map(|oids| Response::Loaded { oids })
             .boxed(),
         text().prop_map(|text| Response::Text { text }).boxed(),
-        proptest::collection::vec(any::<u64>(), 9..10)
+        proptest::collection::vec(any::<u64>(), 12..13)
             .prop_map(|ns| Response::Audit {
                 counters: AuditCounters {
                     deliveries: ns[0],
@@ -313,6 +324,9 @@ fn response() -> impl Strategy<Value = Response> {
                     cycle_skips: ns[6],
                     depth_truncations: ns[7],
                     templates: ns[8],
+                    invoke_retries: ns[9],
+                    invoke_timeouts: ns[10],
+                    invoke_exhaustions: ns[11],
                 },
             })
             .boxed(),
@@ -322,27 +336,47 @@ fn response() -> impl Strategy<Value = Response> {
             any::<u32>(),
             proptest::option::of(any::<u32>()),
             proptest::option::of(any::<u32>()),
-            (any::<u32>(), proptest::collection::vec(any::<u32>(), 4..5))
+            (
+                any::<u32>(),
+                proptest::collection::vec(any::<u32>(), 4..5),
+                any::<u32>(),
+                any::<u32>()
+            )
         )
             .prop_map(
-                |(oids, links, pending, epoch, records, (workers, inv))| Response::Stat {
-                    stat: ServerStat {
-                        oids: u64::from(oids),
-                        links: u64::from(links),
-                        pending_events: u64::from(pending),
-                        journal_epoch: epoch.map(u64::from),
-                        journal_records: records.map(u64::from),
-                        wave_workers: u64::from(workers),
-                        pending_invocations: u64::from(inv[0]),
-                        running_invocations: u64::from(inv[1]),
-                        retrying_invocations: u64::from(inv[2]),
-                        failed_invocations: u64::from(inv[3]),
-                    },
+                |(oids, links, pending, epoch, records, (workers, inv, cur_e, cur_s))| {
+                    Response::Stat {
+                        stat: ServerStat {
+                            oids: u64::from(oids),
+                            links: u64::from(links),
+                            pending_events: u64::from(pending),
+                            journal_epoch: epoch.map(u64::from),
+                            journal_records: records.map(u64::from),
+                            wave_workers: u64::from(workers),
+                            pending_invocations: u64::from(inv[0]),
+                            running_invocations: u64::from(inv[1]),
+                            retrying_invocations: u64::from(inv[2]),
+                            failed_invocations: u64::from(inv[3]),
+                            cursor_epoch: u64::from(cur_e),
+                            cursor_seq: u64::from(cur_s),
+                        },
+                    }
                 }
             )
             .boxed(),
         (any::<u64>(), any::<u64>())
             .prop_map(|(epoch, seq)| Response::Tailing { epoch, seq })
+            .boxed(),
+        (any::<u64>(), any::<u64>(), any::<u64>(), text())
+            .prop_map(|(epoch, seq, oids, image)| Response::Replayed {
+                epoch,
+                seq,
+                oids,
+                image
+            })
+            .boxed(),
+        proptest::collection::vec(text(), 0..4)
+            .prop_map(|records| Response::Trace { records })
             .boxed(),
         api_error().prop_map(Response::Error).boxed(),
     ]

@@ -142,6 +142,184 @@ pub fn to_dot(db: &MetaDb, state_prop: &str) -> String {
     out
 }
 
+/// A propagation edge that fired during a traced wave, tagged with the
+/// trace step that fired it.
+///
+/// The meta-database knows nothing about the engine's trace format; the
+/// inspector (`damocles_inspect`) maps engine `fire` trace records down to
+/// this plain struct so [`to_dot_diff`] can annotate the rendered edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiredLink {
+    /// Source OID triplet, as rendered by `Oid::to_string`.
+    pub from: String,
+    /// Destination OID triplet.
+    pub to: String,
+    /// Event name that travelled the link.
+    pub event: String,
+    /// 0-based step number within the trace slice being rendered.
+    pub step: u64,
+}
+
+/// Renders a before/after pair of database images as one DOT digraph —
+/// the flow-inspector view of "what did this slice of history do".
+///
+/// Nodes come from the union of both images. A node whose property set
+/// changed is outlined in orange with every changed property shown as
+/// `name: old -> new` (`∅` stands for absent); created nodes are bold,
+/// removed nodes dotted. Fill colour tracks `state_prop` truthiness in
+/// the *after* image, exactly as in [`to_dot`]. Edges come from the
+/// after image; edges matched by a [`FiredLink`] are drawn orange and
+/// labelled with their trace step numbers.
+pub fn to_dot_diff(
+    before: &MetaDb,
+    after: &MetaDb,
+    state_prop: &str,
+    fired: &[FiredLink],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph design_diff {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(
+        out,
+        "  node [shape=box, style=filled, fontname=\"monospace\"];"
+    );
+
+    // Union of OID triplets, sorted for a stable rendering.
+    let mut names: Vec<String> = after
+        .iter_oids()
+        .map(|(_, e)| e.oid.to_string())
+        .chain(before.iter_oids().map(|(_, e)| e.oid.to_string()))
+        .collect();
+    names.sort();
+    names.dedup();
+
+    for name in &names {
+        let oid: crate::oid::Oid = match name.parse() {
+            Ok(o) => o,
+            Err(_) => continue,
+        };
+        let after_id = after.resolve(&oid);
+        let before_id = before.resolve(&oid);
+        match (before_id, after_id) {
+            (Some(_), None) => {
+                // Removed between the two cursors.
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" [label=\"{}\\n(removed)\", style=\"filled,dotted\", fillcolor=white];",
+                    dot_escape(name),
+                    dot_escape(name),
+                );
+            }
+            (before_id, Some(aid)) => {
+                let entry = match after.entry(aid) {
+                    Ok(e) => e,
+                    Err(_) => continue,
+                };
+                let fill = match entry.props.get(state_prop) {
+                    Some(v) if v.is_truthy() => "palegreen",
+                    Some(_) => "lightcoral",
+                    None => "lightgrey",
+                };
+                // Collect property-level changes against the before image.
+                let mut changes: Vec<String> = Vec::new();
+                for (prop, value) in entry.props.iter() {
+                    let old = before_id
+                        .and_then(|bid| before.get_prop(bid, prop).ok().flatten())
+                        .map(Value::as_atom);
+                    match old {
+                        Some(old) if old == value.as_atom() => {}
+                        Some(old) => changes.push(format!("{prop}: {old} -> {value}")),
+                        None => changes.push(format!("{prop}: \u{2205} -> {value}")),
+                    }
+                }
+                if let Some(bid) = before_id {
+                    if let Ok(props) = before.props(bid) {
+                        for (prop, old) in props.iter() {
+                            if entry.props.get(prop).is_none() {
+                                changes.push(format!("{prop}: {old} -> \u{2205}"));
+                            }
+                        }
+                    }
+                }
+                changes.sort();
+                let created = before_id.is_none();
+                let mut label = dot_escape(name);
+                if created {
+                    label.push_str("\\n(created)");
+                }
+                for change in &changes {
+                    label.push_str("\\n");
+                    label.push_str(&dot_escape(change));
+                }
+                let extra = if created {
+                    ", penwidth=3, color=orange, fontname=\"monospace bold\""
+                } else if changes.is_empty() {
+                    ""
+                } else {
+                    ", penwidth=3, color=orange"
+                };
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" [label=\"{}\", fillcolor={}{}];",
+                    dot_escape(name),
+                    label,
+                    fill,
+                    extra
+                );
+            }
+            (None, None) => {}
+        }
+    }
+
+    let mut links: Vec<(String, String, String, &'static str)> = after
+        .iter_links()
+        .filter_map(|(_, link)| {
+            let from = after.oid(link.from).ok()?;
+            let to = after.oid(link.to).ok()?;
+            let style = match link.class {
+                LinkClass::Use => "dashed",
+                LinkClass::Derive => "solid",
+            };
+            Some((
+                from.to_string(),
+                to.to_string(),
+                link.kind.as_keyword().to_string(),
+                style,
+            ))
+        })
+        .collect();
+    links.sort();
+    for (from, to, kind, style) in links {
+        let steps: Vec<String> = fired
+            .iter()
+            .filter(|f| f.from == from && f.to == to)
+            .map(|f| dot_escape(&format!("step {}: {}", f.step, f.event)))
+            .collect();
+        if steps.is_empty() {
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [label=\"{}\", style={}];",
+                dot_escape(&from),
+                dot_escape(&to),
+                dot_escape(&kind),
+                style
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [label=\"{}\\n{}\", style={}, color=orange, penwidth=2];",
+                dot_escape(&from),
+                dot_escape(&to),
+                dot_escape(&kind),
+                steps.join("\\n"),
+                style
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +361,53 @@ mod tests {
         let a_pos = d.find("oid a,v,1").unwrap();
         let z_pos = d.find("oid z,v,1").unwrap();
         assert!(a_pos < z_pos);
+    }
+
+    #[test]
+    fn dot_diff_highlights_changes_and_fired_links() {
+        let before = sample();
+        let mut after = sample();
+        let id = after.resolve(&Oid::new("cpu", "HDL_model", 1)).unwrap();
+        after
+            .set_prop(id, "sim_result", Value::from_atom("bad"))
+            .unwrap();
+        after.create_oid(Oid::new("cpu", "netlist", 1)).unwrap();
+        let fired = vec![FiredLink {
+            from: "cpu,HDL_model,1".to_string(),
+            to: "cpu,schematic,1".to_string(),
+            event: "modified".to_string(),
+            step: 3,
+        }];
+        let dot = to_dot_diff(&before, &after, "sim_result", &fired);
+        // Changed prop shows old -> new and the node is outlined.
+        assert!(dot.contains("sim_result: good -> bad"));
+        assert!(dot.contains("penwidth=3, color=orange"));
+        // New node is marked created.
+        assert!(dot.contains("(created)"));
+        // The fired link carries its step annotation and stands out.
+        assert!(dot.contains("step 3: modified"));
+        assert!(dot.contains("color=orange, penwidth=2"));
+        // Unchanged nodes are not outlined: the schematic line has no penwidth.
+        let schematic = dot
+            .lines()
+            .find(|l| l.contains("\"cpu,schematic,1\" [label"))
+            .unwrap();
+        assert!(!schematic.contains("penwidth"));
+    }
+
+    #[test]
+    fn dot_diff_marks_removed_oids() {
+        let before = sample();
+        let mut after = sample();
+        let id = after.resolve(&Oid::new("cpu", "schematic", 1)).unwrap();
+        after.delete_oid(id).unwrap();
+        let dot = to_dot_diff(&before, &after, "sim_result", &[]);
+        assert!(dot.contains("(removed)"));
+        assert!(dot.contains("style=\"filled,dotted\""));
+        // Identical images produce no orange anywhere.
+        let quiet = to_dot_diff(&before, &before.clone(), "sim_result", &[]);
+        assert!(!quiet.contains("orange"));
+        assert!(!quiet.contains("removed"));
     }
 
     #[test]

@@ -1061,6 +1061,28 @@ pub struct RecoveryReport {
 /// damage truncation cannot explain; [`JournalError::Replay`] when a valid
 /// record does not apply (the journal belongs to a different snapshot).
 pub fn recover(snapshot: &str, journal: &[u8]) -> Result<Recovered, JournalError> {
+    recover_until(snapshot, journal, None)
+}
+
+/// [`recover`], stopped at a journal cursor: replays only the first
+/// `limit` ops of the journal's valid prefix, reconstructing exactly the
+/// image the database had when record `limit` was the next to be written
+/// — the unit step of time-travel replay (`limit = Some(0)` is the
+/// snapshot alone, `None` is a full recovery).
+///
+/// Pending-work scanning honors the same cut: work accepted after the
+/// cursor does not exist yet at that point in time.
+///
+/// # Errors
+///
+/// Everything [`recover`] reports, plus [`JournalError::Corrupt`] when
+/// `limit` exceeds the journal's valid op count — the cursor names a
+/// point this journal never reached.
+pub fn recover_until(
+    snapshot: &str,
+    journal: &[u8],
+    limit: Option<u64>,
+) -> Result<Recovered, JournalError> {
     let (mut db, mut workspace) =
         persist::load_project(snapshot).map_err(JournalError::Snapshot)?;
     let mut report = RecoveryReport {
@@ -1069,7 +1091,19 @@ pub fn recover(snapshot: &str, journal: &[u8]) -> Result<Recovered, JournalError
         ..Default::default()
     };
 
-    let tail = parse_journal(journal)?;
+    let mut tail = parse_journal(journal)?;
+    if let Some(limit) = limit {
+        let available = tail.ops.len() as u64;
+        if limit > available {
+            return Err(JournalError::Corrupt {
+                line: 0,
+                reason: format!(
+                    "replay cursor seq {limit} is beyond the journal's {available} valid op(s)"
+                ),
+            });
+        }
+        tail.ops.truncate(limit as usize);
+    }
     let replay = match tail.epoch {
         Some(e) if e == report.epoch => true,
         Some(_) => {
@@ -1506,6 +1540,49 @@ mod tests {
         assert_eq!(snapshot_epoch(&persist::save(&db)), 0);
         // The marker is a comment: persist::load still accepts the image.
         assert!(persist::load(&image).is_ok());
+    }
+
+    #[test]
+    fn recover_until_cuts_history_at_the_cursor() {
+        let db = MetaDb::new();
+        let ws = Workspace::new("w");
+        let snapshot = write_snapshot(&db, &ws, 3);
+        let ops = [
+            JournalOp::CreateOid {
+                oid: Oid::new("a", "v", 1),
+            },
+            JournalOp::CreateOid {
+                oid: Oid::new("b", "v", 1),
+            },
+            JournalOp::SetProp {
+                oid: Oid::new("a", "v", 1),
+                name: "x".into(),
+                value: Value::Int(1),
+            },
+        ];
+        let mut journal = encode_header(3);
+        for (seq, op) in ops.iter().enumerate() {
+            journal.push_str(&encode_record(seq as u64, op));
+        }
+        let bytes = journal.as_bytes();
+        // Cursor 0 is the snapshot alone; each step adds exactly one op.
+        for (limit, oids) in [(0u64, 0usize), (1, 1), (2, 2), (3, 2)] {
+            let r = recover_until(&snapshot, bytes, Some(limit)).unwrap();
+            assert_eq!(r.db.oid_count(), oids, "cursor {limit}");
+        }
+        let full = recover_until(&snapshot, bytes, Some(2)).unwrap();
+        assert!(full
+            .db
+            .resolve(&Oid::new("a", "v", 1))
+            .map(|id| full.db.get_prop(id, "x").unwrap().is_none())
+            .unwrap());
+        // None means the whole valid prefix, same as `recover`.
+        let all = recover_until(&snapshot, bytes, None).unwrap();
+        assert_eq!(all.db.oid_count(), 2);
+        // A cursor past the end is a structured error naming the bound.
+        let err = recover_until(&snapshot, bytes, Some(4)).unwrap_err();
+        assert!(matches!(err, JournalError::Corrupt { .. }), "{err:?}");
+        assert!(err.to_string().contains("beyond the journal's 3"), "{err}");
     }
 
     #[test]

@@ -53,7 +53,7 @@ use damocles_tools::remote::{RemoteWrapper, TailHandshake};
 const USAGE: &str = "usage: damocles_server <blueprint.bp> [--listen <addr>] \
                      [--journal <dir>] [--every <ops>] [--wave-workers <n>] \
                      [--retry <retries,base_ms,mult,timeout_ms>] \
-                     [--follow <leader-addr>]";
+                     [--follow <leader-addr>] [--replay-until <epoch,seq>]";
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -64,6 +64,7 @@ fn main() {
     let mut wave_workers: usize = 1;
     let mut retry: Option<[u64; 4]> = None;
     let mut follow: Option<String> = None;
+    let mut replay_until: Option<(u64, u64)> = None;
 
     let value_of = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| {
@@ -103,6 +104,19 @@ fn main() {
                 retry = Some([a, b, c, d]);
             }
             "--follow" => follow = Some(value_of(&mut args, "--follow")),
+            "--replay-until" => {
+                let spec = value_of(&mut args, "--replay-until");
+                let parsed = spec
+                    .split_once(',')
+                    .and_then(|(e, s)| Some((e.trim().parse().ok()?, s.trim().parse().ok()?)));
+                replay_until = match parsed {
+                    Some(cursor) => Some(cursor),
+                    None => {
+                        eprintln!("error: --replay-until wants `epoch,seq`\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -141,6 +155,41 @@ fn main() {
         other => {
             eprintln!("error: unexpected init response {other:?}");
             std::process::exit(2);
+        }
+    }
+
+    // Time-travel mode: reconstruct the image at the cursor from the
+    // journal directory *at rest* and serve it WITHOUT journaling — the
+    // evidence directory is never written, so a bug report (journal dir +
+    // cursor) can be inspected repeatedly and non-destructively.
+    if let Some((epoch, seq)) = replay_until {
+        let Some(dir) = journal_dir.take() else {
+            eprintln!("error: --replay-until needs --journal <dir> as the journal source\n{USAGE}");
+            std::process::exit(2);
+        };
+        if follow.is_some() {
+            eprintln!("error: --replay-until and --follow are exclusive\n{USAGE}");
+            std::process::exit(2);
+        }
+        match blueprint_core::engine::server::replay_dir(&dir, epoch, seq) {
+            Ok((oids, image)) => {
+                let adopted = service
+                    .server_mut()
+                    .expect("initialized above")
+                    .adopt_replica_image(&image);
+                if let Err(e) = adopted {
+                    eprintln!("error: cannot adopt replayed image: {e}");
+                    std::process::exit(2);
+                }
+                eprintln!(
+                    "replayed {dir} at cursor ({epoch}, {seq}): {oids} OIDs; \
+                     serving the historical image, journaling off"
+                );
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
         }
     }
 

@@ -20,6 +20,8 @@
 //! | `journal <dir> [every]` | enable op-journal durability under `dir` |
 //! | `checkpoint` | fold the journal into a fresh snapshot |
 //! | `recover <dir> [every]` | restore from snapshot + journal tail |
+//! | `replay <epoch> <seq>` | reconstruct the image at a journal cursor |
+//! | `trace on\|off\|get` | per-wave execution tracing |
 //! | `freeze <view>` / `thaw <view>` | project policy: frozen views |
 //! | `retry <script\|-> <n> <ms> <mult> <ms>` | retry policy for detached tools |
 //! | `pump` | absorb finished tool invocations |
@@ -37,7 +39,9 @@
 
 use std::fmt::Write as _;
 
-use blueprint_core::engine::api::{ApiError, Cursor, Request, Response, DEFAULT_CHECKPOINT_EVERY};
+use blueprint_core::engine::api::{
+    ApiError, Cursor, Request, Response, TraceMode, DEFAULT_CHECKPOINT_EVERY,
+};
 use blueprint_core::engine::server::ProjectServer;
 use blueprint_core::engine::service::ProjectService;
 use damocles_flows::metrics;
@@ -242,6 +246,25 @@ pub fn parse_command(line: &str) -> Result<Request, ApiError> {
                 DEFAULT_CHECKPOINT_EVERY,
             )?,
         }),
+        "replay" => {
+            let num = |words: &mut Cursor<'_>, what| {
+                words.parse_with(what, |w| {
+                    w.parse::<u64>().map_err(|_| "not a number".to_string())
+                })
+            };
+            Ok(Request::Replay {
+                epoch: num(&mut words, "a journal epoch")?,
+                seq: num(&mut words, "a journal sequence number")?,
+            })
+        }
+        "trace" => Ok(Request::Trace {
+            mode: words.parse_with("a trace mode (`on`, `off` or `get`)", |w| match w {
+                "on" => Ok(TraceMode::On),
+                "off" => Ok(TraceMode::Off),
+                "get" => Ok(TraceMode::Get),
+                other => Err(format!("unknown trace mode `{other}`")),
+            })?,
+        }),
         "freeze" => Ok(Request::Freeze {
             view: word(&mut words, "a view name")?,
         }),
@@ -323,6 +346,9 @@ enum Presented {
     Load {
         path: String,
     },
+    Trace {
+        mode: TraceMode,
+    },
     Dump,
     Other,
 }
@@ -350,6 +376,7 @@ fn presented(request: &Request) -> Presented {
             every: *every,
         },
         Request::LoadProject { path } => Presented::Load { path: path.clone() },
+        Request::Trace { mode } => Presented::Trace { mode: *mode },
         Request::Dump => Presented::Dump,
         _ => Presented::Other,
     }
@@ -373,6 +400,7 @@ fn render(shown: &Presented, response: Response) -> ShellOutput {
         (Presented::Freeze { view }, Response::Ok) => format!("view `{view}` frozen"),
         (Presented::Thaw { view }, Response::Ok) => format!("view `{view}` thawed"),
         (Presented::Save { path }, Response::Ok) => format!("project saved to {path}"),
+        (Presented::Trace { mode }, Response::Ok) => format!("tracing {mode}"),
         (_, Response::Created { oid }) => format!("created {oid} (ckin queued)"),
         (
             _,
@@ -473,21 +501,58 @@ fn render(shown: &Presented, response: Response) -> ShellOutput {
         (_, Response::Loaded { oids }) => format!("project restored ({oids} OIDs)"),
         (Presented::Dump, Response::Text { text }) => text.trim_end().to_string(),
         (_, Response::Text { text }) => text,
-        (_, Response::Audit { counters: s }) => format!(
-            "deliveries={} assignments={} lets={} scripts={} posts={} propagations={} cycles={} templates={}",
-            s.deliveries,
-            s.assignments,
-            s.reevaluations,
-            s.scripts,
-            s.posts,
-            s.propagations,
-            s.cycle_skips,
-            s.templates
-        ),
+        (
+            _,
+            Response::Replayed {
+                epoch,
+                seq,
+                oids,
+                image,
+            },
+        ) => {
+            let mut out =
+                format!("replayed cursor (epoch {epoch}, seq {seq}): {oids} OIDs\n{image}");
+            out.truncate(out.trim_end().len());
+            out
+        }
+        (_, Response::Trace { records }) => {
+            if records.is_empty() {
+                "(no trace records)".to_string()
+            } else {
+                records.join("\n")
+            }
+        }
+        (_, Response::Audit { counters: s }) => {
+            let mut out = format!(
+                "deliveries={} assignments={} lets={} scripts={} posts={} propagations={} cycles={} templates={}",
+                s.deliveries,
+                s.assignments,
+                s.reevaluations,
+                s.scripts,
+                s.posts,
+                s.propagations,
+                s.cycle_skips,
+                s.templates
+            );
+            // Invocation-fault counters appear only once nonzero: quiet
+            // projects keep the historical audit line byte-identical.
+            if s.invoke_retries + s.invoke_timeouts + s.invoke_exhaustions > 0 {
+                let _ = write!(
+                    out,
+                    " inv_retries={} inv_timeouts={} inv_exhaustions={}",
+                    s.invoke_retries, s.invoke_timeouts, s.invoke_exhaustions
+                );
+            }
+            out
+        }
         (_, Response::Stat { stat }) => {
             let journal = match (stat.journal_epoch, stat.journal_records) {
                 (Some(epoch), Some(records)) => {
-                    format!("epoch {epoch}, {records} ops since checkpoint")
+                    format!(
+                        "epoch {epoch}, {records} ops since checkpoint, \
+                         cursor=({},{})",
+                        stat.cursor_epoch, stat.cursor_seq
+                    )
                 }
                 _ => "off".to_string(),
             };
@@ -529,6 +594,10 @@ commands:
   journal <dir> [every]               enable op-journal durability under dir
   checkpoint                          fold the journal into a fresh snapshot
   recover <dir> [every]               restore from snapshot + journal tail
+  replay <epoch> <seq>                reconstruct the historical image at a
+                                      journal cursor (see `stat`'s cursor)
+  trace on|off|get                    per-wave execution tracing: retain,
+                                      drop, or drain captured records
   freeze <view> / thaw <view>         project policy: forbid/allow check-ins
   save <file>                         persist database + payloads
   load <file>                         restore database + payloads
@@ -732,6 +801,37 @@ mod tests {
         let out = sh.execute("help");
         assert!(out.text().contains("postEvent"));
         assert!(out.text().contains("snapshot"));
+        assert!(out.text().contains("replay"));
+        assert!(out.text().contains("trace"));
+    }
+
+    #[test]
+    fn trace_captures_and_drains_records() {
+        let mut sh = edtc_shell();
+        assert_eq!(sh.execute("trace on").text(), "tracing on");
+        sh.run_script("checkin CPU HDL_model yves module\nprocess");
+        let out = sh.execute("trace get");
+        assert!(out.text().contains("begin ckin"), "{out:?}");
+        assert!(out.text().contains("write"), "{out:?}");
+        assert!(out.text().contains("end"), "{out:?}");
+        // The get drained: a second poll is empty, retention stays on.
+        assert_eq!(sh.execute("trace get").text(), "(no trace records)");
+        assert_eq!(sh.execute("trace off").text(), "tracing off");
+        // With retention off, waves leave no records.
+        sh.run_script("checkin CPU HDL_model yves v2\nprocess");
+        assert_eq!(sh.execute("trace get").text(), "(no trace records)");
+        // Usage errors are positioned.
+        let out = sh.execute("trace sideways");
+        assert!(out.is_error());
+        assert!(out.text().contains("sideways"), "{out:?}");
+    }
+
+    #[test]
+    fn replay_requires_journaling() {
+        let mut sh = edtc_shell();
+        let out = sh.execute("replay 1 0");
+        assert!(out.is_error());
+        assert!(out.text().contains("journal"), "{out:?}");
     }
 
     #[test]
@@ -792,6 +892,45 @@ mod persistence_tests {
         assert!(sh2.execute("recover /nonexistent/dir").is_error());
         let mut fresh = edtc_shell();
         assert!(fresh.execute("checkpoint").is_error());
+    }
+
+    #[test]
+    fn replay_reconstructs_historical_images() {
+        let dir = std::env::temp_dir().join("damocles-shell-replay");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.display().to_string();
+
+        let mut sh = edtc_shell();
+        sh.execute(&format!("journal {dir_s} 4096"));
+        sh.run_script("checkin CPU HDL_model yves module cpu\nprocess");
+        // The live cursor from `stat` replays to the live image.
+        let stat = sh.execute("stat");
+        let cursor = stat
+            .text()
+            .split("cursor=(")
+            .nth(1)
+            .and_then(|s| s.split(')').next())
+            .expect("stat reports a cursor")
+            .to_string();
+        let (epoch, seq) = cursor.split_once(',').expect("epoch,seq");
+        let out = sh.execute(&format!("replay {epoch} {seq}"));
+        assert!(!out.is_error(), "{out:?}");
+        assert!(out.text().contains("replayed cursor"), "{out:?}");
+        let live = blueprint_core::engine::server::ProjectServer::project_image(
+            sh.server().expect("initialized"),
+        );
+        assert!(out.text().ends_with(live.trim_end()), "{out:?}");
+        // Seq 0 is the bare snapshot (empty project here): time travel.
+        let out = sh.execute(&format!("replay {epoch} 0"));
+        assert!(out.text().contains("0 OIDs"), "{out:?}");
+        // A cursor beyond the journal is a loud, structured error.
+        let out = sh.execute(&format!("replay {epoch} 999999"));
+        assert!(out.is_error());
+        assert!(out.text().contains("beyond"), "{out:?}");
+        // As is an epoch no longer on disk.
+        let out = sh.execute("replay 999 0");
+        assert!(out.is_error());
+        assert!(out.text().contains("epoch"), "{out:?}");
     }
 
     #[test]

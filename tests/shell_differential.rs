@@ -122,6 +122,10 @@ fn every_shell_command_parses_into_a_request_and_back() {
         "dot",
         "audit",
         "stat",
+        "replay 2 40",
+        "trace on",
+        "trace off",
+        "trace get",
     ];
     for line in lines {
         let req = parse_command(line).unwrap_or_else(|e| panic!("`{line}`: {e}"));
