@@ -290,6 +290,23 @@ pub enum Request {
         /// What to do with the trace log.
         mode: TraceMode,
     },
+    /// Attach this session to a fleet project: subsequent requests on the
+    /// session route to that tenant's engine (see
+    /// [`fleet`](crate::engine::fleet)). Wire form `project <name>`, with
+    /// a trailing `new` to register the project on first attach. A
+    /// single-project node answers [`ApiError::NoFleet`].
+    Attach {
+        /// The project (tenant) name — one path component under the fleet
+        /// root, no separators.
+        project: String,
+        /// Register the project if it does not exist yet; without it an
+        /// unknown name answers [`ApiError::NoSuchProject`].
+        create: bool,
+    },
+    /// List the fleet's registered projects and whether each is currently
+    /// activated in memory. Wire form `projects`; a single-project node
+    /// answers [`ApiError::NoFleet`].
+    ListProjects,
 }
 
 /// The operation of a [`Request::Trace`].
@@ -351,6 +368,8 @@ impl Request {
                 | Request::TailFrom { .. }
                 | Request::Replay { .. }
                 | Request::Trace { .. }
+                | Request::Attach { .. }
+                | Request::ListProjects
         )
     }
 }
@@ -381,6 +400,16 @@ pub struct SummaryRow {
     pub satisfied: u64,
     /// Objects lacking the property entirely.
     pub untracked: u64,
+}
+
+/// One registered project of a [`Response::Projects`] result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProjectEntry {
+    /// The project (tenant) name.
+    pub name: String,
+    /// Whether the project is currently activated in memory (a cold
+    /// project is just snapshot + journal tail on disk).
+    pub active: bool,
 }
 
 /// One stored configuration of a [`Response::SnapshotList`] result.
@@ -460,6 +489,19 @@ pub struct ServerStat {
     /// epoch. `Replay { epoch: cursor_epoch, seq: cursor_seq }`
     /// reconstructs exactly the image this `stat` describes.
     pub cursor_seq: u64,
+    /// Fleet only: projects currently activated in memory (bounded by
+    /// `--max-active`). `0` on a single-project node.
+    pub active_projects: u64,
+    /// Fleet only: projects registered under the fleet root — the tenant
+    /// roster, resident on disk whether activated or not. `0` on a
+    /// single-project node.
+    pub resident_projects: u64,
+    /// Fleet only: lifetime cold→active transitions (first activations
+    /// plus journal reactivations after eviction).
+    pub activations: u64,
+    /// Fleet only: lifetime active→cold transitions (LRU checkpoints plus
+    /// panic poisonings, which also leave residency).
+    pub evictions: u64,
 }
 
 /// The typed result of one [`Request`]. Structured data, not rendered
@@ -598,6 +640,20 @@ pub enum Response {
         /// The encoded records.
         records: Vec<String>,
     },
+    /// A [`Request::Attach`] succeeded: the session now routes to
+    /// `project`.
+    Attached {
+        /// The attached project.
+        project: String,
+        /// Whether the attach registered the project (`create` on a name
+        /// the fleet had not seen).
+        created: bool,
+    },
+    /// The fleet's project roster, from [`Request::ListProjects`].
+    Projects {
+        /// One entry per registered project, in name order.
+        entries: Vec<ProjectEntry>,
+    },
     /// The request failed.
     Error(ApiError),
 }
@@ -733,6 +789,33 @@ pub enum ApiError {
         /// Records applied within that epoch.
         seq: u64,
     },
+    /// A fleet session sent a routable request before attaching to a
+    /// project (`project <name>` must come first).
+    NotAttached,
+    /// An attach named a project the fleet has not registered (and did
+    /// not ask to create it).
+    NoSuchProject {
+        /// The unknown project name.
+        project: String,
+    },
+    /// The fleet could not take the request right now: the project's
+    /// activation backlog is full (every active slot is pinned and the
+    /// parked queue hit its limit). Backpressure — retry shortly.
+    ProjectBusy {
+        /// The congested project.
+        project: String,
+    },
+    /// An engine worker panicked while serving this project; the
+    /// project's unflushed group-commit window is lost and it left
+    /// residency. Re-attaching recovers it from its journal (crash
+    /// semantics), and other projects on the same worker are unaffected.
+    ProjectPoisoned {
+        /// The poisoned project.
+        project: String,
+    },
+    /// `project`/`projects` was sent to a single-project node; fleet
+    /// routing needs a fleet front door (`damocles_server --fleet`).
+    NoFleet,
 }
 
 impl fmt::Display for ApiError {
@@ -794,6 +877,26 @@ impl fmt::Display for ApiError {
             ApiError::Lagging { epoch, seq } => write!(
                 f,
                 "follower still catching up (applied epoch {epoch}, seq {seq}); retry shortly"
+            ),
+            ApiError::NotAttached => {
+                write!(f, "no project attached; use `project <name>` first")
+            }
+            ApiError::NoSuchProject { project } => write!(
+                f,
+                "no such project `{project}` in the fleet (use `project {project} new` to register it)"
+            ),
+            ApiError::ProjectBusy { project } => write!(
+                f,
+                "project `{project}` is busy (activation backlog full); retry shortly"
+            ),
+            ApiError::ProjectPoisoned { project } => write!(
+                f,
+                "project `{project}` was poisoned by an engine-worker panic; \
+                 its unflushed window is lost — retry to recover it from the journal"
+            ),
+            ApiError::NoFleet => write!(
+                f,
+                "not a fleet front door; `project`/`projects` need `damocles_server --fleet`"
             ),
         }
     }
@@ -1114,6 +1217,14 @@ impl Request {
             Request::TailFrom { epoch, seq } => format!("tailfrom {epoch} {seq}"),
             Request::Replay { epoch, seq } => format!("replay {epoch} {seq}"),
             Request::Trace { mode } => format!("trace {mode}"),
+            Request::Attach { project, create } => {
+                if *create {
+                    format!("project {} new", enc_str(project))
+                } else {
+                    format!("project {}", enc_str(project))
+                }
+            }
+            Request::ListProjects => "projects".to_string(),
         }
     }
 
@@ -1253,6 +1364,19 @@ impl Request {
                     _ => Err("not on/off/get".to_string()),
                 })?,
             },
+            "project" => {
+                let project = c.string("a project name")?;
+                let create = if c.at_end() {
+                    false
+                } else {
+                    c.parse_with("`new` or end of line", |w| match w {
+                        "new" => Ok(true),
+                        _ => Err("not `new`".to_string()),
+                    })?
+                };
+                Request::Attach { project, create }
+            }
+            "projects" => Request::ListProjects,
             other => {
                 return Err(ApiError::UnknownCommand {
                     at: at as u64,
@@ -1377,7 +1501,7 @@ impl Response {
                 counters.invoke_exhaustions
             ),
             Response::Stat { stat } => format!(
-                "stat {} {} {} {} {} {} {} {} {} {} {} {}",
+                "stat {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
                 stat.oids,
                 stat.links,
                 stat.pending_events,
@@ -1392,6 +1516,10 @@ impl Response {
                 stat.failed_invocations,
                 stat.cursor_epoch,
                 stat.cursor_seq,
+                stat.active_projects,
+                stat.resident_projects,
+                stat.activations,
+                stat.evictions,
             ),
             Response::Tailing { epoch, seq } => format!("tailing {epoch} {seq}"),
             Response::Replayed {
@@ -1404,6 +1532,16 @@ impl Response {
                 let mut out = format!("trace {}", records.len());
                 for rec in records {
                     let _ = write!(out, " {}", enc_str(rec));
+                }
+                out
+            }
+            Response::Attached { project, created } => {
+                format!("attached {} {}", enc_str(project), u8::from(*created))
+            }
+            Response::Projects { entries } => {
+                let mut out = format!("projects {}", entries.len());
+                for e in entries {
+                    let _ = write!(out, " {} {}", enc_str(&e.name), u8::from(e.active));
                 }
                 out
             }
@@ -1570,6 +1708,10 @@ impl Response {
                     failed_invocations: c.u64("a failed-invocation count")?,
                     cursor_epoch: c.u64("a cursor epoch")?,
                     cursor_seq: c.u64("a cursor sequence")?,
+                    active_projects: c.u64("an active-project count")?,
+                    resident_projects: c.u64("a resident-project count")?,
+                    activations: c.u64("an activation count")?,
+                    evictions: c.u64("an eviction count")?,
                 },
             },
             "tailing" => Response::Tailing {
@@ -1589,6 +1731,29 @@ impl Response {
                     records.push(c.string("an encoded trace record")?);
                 }
                 Response::Trace { records }
+            }
+            "attached" => Response::Attached {
+                project: c.string("a project name")?,
+                created: c.parse_with("a created flag (0/1)", |w| match w {
+                    "0" => Ok(false),
+                    "1" => Ok(true),
+                    _ => Err("not 0/1".to_string()),
+                })?,
+            },
+            "projects" => {
+                let n = c.u64("an entry count")?;
+                let mut entries = Vec::new();
+                for _ in 0..n {
+                    entries.push(ProjectEntry {
+                        name: c.string("a project name")?,
+                        active: c.parse_with("an active flag (0/1)", |w| match w {
+                            "0" => Ok(false),
+                            "1" => Ok(true),
+                            _ => Err("not 0/1".to_string()),
+                        })?,
+                    });
+                }
+                Response::Projects { entries }
             }
             "err" => Response::Error(ApiError::decode_cursor(&mut c)?),
             other => {
@@ -1652,6 +1817,17 @@ impl ApiError {
             ApiError::Io { reason } => format!("io {}", enc_str(reason)),
             ApiError::ReadOnly { leader } => format!("read-only {}", enc_str(leader)),
             ApiError::Lagging { epoch, seq } => format!("lagging {epoch} {seq}"),
+            ApiError::NotAttached => "not-attached".to_string(),
+            ApiError::NoSuchProject { project } => {
+                format!("no-such-project {}", enc_str(project))
+            }
+            ApiError::ProjectBusy { project } => {
+                format!("project-busy {}", enc_str(project))
+            }
+            ApiError::ProjectPoisoned { project } => {
+                format!("project-poisoned {}", enc_str(project))
+            }
+            ApiError::NoFleet => "no-fleet".to_string(),
         }
     }
 
@@ -1719,6 +1895,17 @@ impl ApiError {
                 epoch: c.u64("a checkpoint epoch")?,
                 seq: c.u64("a record sequence number")?,
             },
+            "not-attached" => ApiError::NotAttached,
+            "no-such-project" => ApiError::NoSuchProject {
+                project: c.string("a project name")?,
+            },
+            "project-busy" => ApiError::ProjectBusy {
+                project: c.string("a project name")?,
+            },
+            "project-poisoned" => ApiError::ProjectPoisoned {
+                project: c.string("a project name")?,
+            },
+            "no-fleet" => ApiError::NoFleet,
             other => {
                 return Err(ApiError::Parse {
                     at: at as u64,
@@ -1803,6 +1990,15 @@ mod tests {
             Request::Trace {
                 mode: TraceMode::Get,
             },
+            Request::Attach {
+                project: "asic 9".into(),
+                create: false,
+            },
+            Request::Attach {
+                project: "fpga".into(),
+                create: true,
+            },
+            Request::ListProjects,
         ]
     }
 
@@ -1849,6 +2045,10 @@ mod tests {
                     failed_invocations: 7,
                     cursor_epoch: 2,
                     cursor_seq: 17,
+                    active_projects: 2,
+                    resident_projects: 120,
+                    activations: 9,
+                    evictions: 7,
                 },
             },
             Response::Replayed {
@@ -1885,6 +2085,36 @@ mod tests {
                 attempts: 6,
                 reason: "simulation crashed".into(),
             }),
+            Response::Attached {
+                project: "asic 9".into(),
+                created: true,
+            },
+            Response::Projects {
+                entries: vec![
+                    ProjectEntry {
+                        name: "asic 9".into(),
+                        active: true,
+                    },
+                    ProjectEntry {
+                        name: "fpga".into(),
+                        active: false,
+                    },
+                ],
+            },
+            Response::Projects {
+                entries: Vec::new(),
+            },
+            Response::Error(ApiError::NotAttached),
+            Response::Error(ApiError::NoSuchProject {
+                project: "ghost".into(),
+            }),
+            Response::Error(ApiError::ProjectBusy {
+                project: "asic 9".into(),
+            }),
+            Response::Error(ApiError::ProjectPoisoned {
+                project: "fpga".into(),
+            }),
+            Response::Error(ApiError::NoFleet),
         ]
     }
 

@@ -10,6 +10,7 @@ pub mod error;
 pub mod eval;
 pub mod event;
 pub mod exec;
+pub mod fleet;
 pub mod follower;
 pub mod invoke;
 pub mod policy;

@@ -59,9 +59,9 @@ impl ProcessReport {
 }
 
 /// Snapshot file name inside a durability directory.
-const SNAPSHOT_FILE: &str = "snapshot.ddb";
+pub(crate) const SNAPSHOT_FILE: &str = "snapshot.ddb";
 /// Journal file name inside a durability directory.
-const JOURNAL_FILE: &str = "journal.djl";
+pub(crate) const JOURNAL_FILE: &str = "journal.djl";
 
 /// Durability state of a journaling server: where the checkpoint snapshot
 /// and op journal live, the open journal writer, and the fold policy.
@@ -217,10 +217,11 @@ fn event_queued_op(db: &MetaDb, ev: &QueuedEvent) -> Option<JournalOp> {
 /// ```
 #[derive(Debug)]
 pub struct ProjectServer<E = NullExecutor> {
-    blueprint: Blueprint,
+    blueprint: Arc<Blueprint>,
     /// The blueprint compiled for the engine; rebuilt whenever the
-    /// blueprint changes (`reinit`).
-    compiled: CompiledBlueprint,
+    /// blueprint changes (`reinit`). Behind an [`Arc`] so a fleet can
+    /// share one compilation across every tenant on the same source.
+    compiled: Arc<CompiledBlueprint>,
     db: MetaDb,
     workspace: Workspace,
     engine: RuntimeEngine,
@@ -312,8 +313,26 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         validate::check(&blueprint).map_err(|issues| EngineError::Invalid {
             issues: issues.iter().map(ToString::to_string).collect(),
         })?;
-        let compiled = CompiledBlueprint::compile(&blueprint);
-        Ok(ProjectServer {
+        let compiled = Arc::new(CompiledBlueprint::compile(&blueprint));
+        Ok(Self::with_shared(Arc::new(blueprint), compiled, executor))
+    }
+
+    /// Initializes a server around an **already validated and compiled**
+    /// blueprint — the fleet path, where hundreds of tenants loading the
+    /// same source share one [`CompiledBlueprint`] allocation through the
+    /// registry's content-hash cache instead of compiling per tenant.
+    ///
+    /// The caller vouches that `compiled` was compiled from `blueprint`
+    /// and that the source passed [`validate::check`]; [`with_executor`]
+    /// is the checked single-project path.
+    ///
+    /// [`with_executor`]: ProjectServer::with_executor
+    pub fn with_shared(
+        blueprint: Arc<Blueprint>,
+        compiled: Arc<CompiledBlueprint>,
+        executor: E,
+    ) -> Self {
+        ProjectServer {
             blueprint,
             compiled,
             db: MetaDb::new(),
@@ -337,7 +356,7 @@ impl<E: ScriptExecutor> ProjectServer<E> {
             next_event_seq: 0,
             next_invoke_id: 0,
             max_events_per_drain: 1_000_000,
-        })
+        }
     }
 
     /// Replaces the blueprint — "re-initializing the BluePrint mechanism"
@@ -352,8 +371,8 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         validate::check(&blueprint).map_err(|issues| EngineError::Invalid {
             issues: issues.iter().map(ToString::to_string).collect(),
         })?;
-        self.compiled = CompiledBlueprint::compile(&blueprint);
-        self.blueprint = blueprint;
+        self.compiled = Arc::new(CompiledBlueprint::compile(&blueprint));
+        self.blueprint = Arc::new(blueprint);
         Ok(())
     }
 
@@ -1070,6 +1089,13 @@ impl<E: ScriptExecutor> ProjectServer<E> {
     /// The active blueprint's compiled form.
     pub fn compiled(&self) -> &CompiledBlueprint {
         &self.compiled
+    }
+
+    /// A shared handle to the compiled blueprint — cheap to clone, and
+    /// pointer-comparable (`Arc::ptr_eq`) to prove two tenants share one
+    /// compilation through the fleet's blueprint cache.
+    pub fn compiled_shared(&self) -> Arc<CompiledBlueprint> {
+        Arc::clone(&self.compiled)
     }
 
     /// The meta-database (read-only; mutate through server operations).

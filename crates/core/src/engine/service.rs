@@ -481,6 +481,13 @@ impl<E: ScriptExecutor + Default> ProjectService<E> {
                         failed_invocations: inv.failed,
                         cursor_epoch: server.journal_epoch().unwrap_or(0),
                         cursor_seq: server.journal_records().unwrap_or(0),
+                        // Fleet gauges: a single-project service is not a
+                        // fleet member; the fleet worker patches these four
+                        // onto every `stat` reply it forwards.
+                        active_projects: 0,
+                        resident_projects: 0,
+                        activations: 0,
+                        evictions: 0,
                     },
                 })
             }
@@ -555,6 +562,11 @@ impl<E: ScriptExecutor + Default> ProjectService<E> {
                     }),
                 }
             }
+            // Fleet routing is the front door's job ([`fleet`]): by the
+            // time an envelope reaches a project service it is already
+            // pinned to one project, so these only arrive on
+            // single-project nodes — where there is no fleet to attach to.
+            Request::Attach { .. } | Request::ListProjects => Err(ApiError::NoFleet),
         }
     }
 }
@@ -598,6 +610,12 @@ impl Envelope {
     pub fn respond_with(self, f: impl FnOnce(Request) -> Response) {
         let Envelope { request, reply, .. } = self;
         let _ = reply.send(f(request));
+    }
+
+    /// Splits the envelope into its parts — for routers (the fleet) that
+    /// re-wrap the request before forwarding it to the serving loop.
+    pub fn into_parts(self) -> (SessionId, Request, Sender<Response>) {
+        (self.session, self.request, self.reply)
     }
 }
 

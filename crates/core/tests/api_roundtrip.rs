@@ -7,8 +7,8 @@
 use proptest::prelude::*;
 
 use blueprint_core::engine::api::{
-    ApiError, AuditCounters, Request, Response, ServerStat, SnapshotInfo, SummaryRow, TraceMode,
-    WorkLeftItem,
+    ApiError, AuditCounters, ProjectEntry, Request, Response, ServerStat, SnapshotInfo, SummaryRow,
+    TraceMode, WorkLeftItem,
 };
 use damocles_meta::{Direction, EventMessage, Oid, Value};
 
@@ -159,6 +159,10 @@ fn request() -> impl Strategy<Value = Request> {
         ]
         .prop_map(|mode| Request::Trace { mode })
         .boxed(),
+        (text(), any::<bool>())
+            .prop_map(|(project, create)| Request::Attach { project, create })
+            .boxed(),
+        Just(Request::ListProjects).boxed(),
     ]
 }
 
@@ -220,6 +224,17 @@ fn api_error() -> impl Strategy<Value = ApiError> {
         (any::<u64>(), any::<u64>())
             .prop_map(|(epoch, seq)| ApiError::Lagging { epoch, seq })
             .boxed(),
+        Just(ApiError::NotAttached).boxed(),
+        text()
+            .prop_map(|project| ApiError::NoSuchProject { project })
+            .boxed(),
+        text()
+            .prop_map(|project| ApiError::ProjectBusy { project })
+            .boxed(),
+        text()
+            .prop_map(|project| ApiError::ProjectPoisoned { project })
+            .boxed(),
+        Just(ApiError::NoFleet).boxed(),
     ]
 }
 
@@ -340,11 +355,12 @@ fn response() -> impl Strategy<Value = Response> {
                 any::<u32>(),
                 proptest::collection::vec(any::<u32>(), 4..5),
                 any::<u32>(),
-                any::<u32>()
+                any::<u32>(),
+                proptest::collection::vec(any::<u32>(), 4..5)
             )
         )
             .prop_map(
-                |(oids, links, pending, epoch, records, (workers, inv, cur_e, cur_s))| {
+                |(oids, links, pending, epoch, records, (workers, inv, cur_e, cur_s, fleet))| {
                     Response::Stat {
                         stat: ServerStat {
                             oids: u64::from(oids),
@@ -359,6 +375,10 @@ fn response() -> impl Strategy<Value = Response> {
                             failed_invocations: u64::from(inv[3]),
                             cursor_epoch: u64::from(cur_e),
                             cursor_seq: u64::from(cur_s),
+                            active_projects: u64::from(fleet[0]),
+                            resident_projects: u64::from(fleet[1]),
+                            activations: u64::from(fleet[2]),
+                            evictions: u64::from(fleet[3]),
                         },
                     }
                 }
@@ -378,6 +398,15 @@ fn response() -> impl Strategy<Value = Response> {
         proptest::collection::vec(text(), 0..4)
             .prop_map(|records| Response::Trace { records })
             .boxed(),
+        (text(), any::<bool>())
+            .prop_map(|(project, created)| Response::Attached { project, created })
+            .boxed(),
+        proptest::collection::vec(
+            (text(), any::<bool>()).prop_map(|(name, active)| ProjectEntry { name, active }),
+            0..4
+        )
+        .prop_map(|entries| Response::Projects { entries })
+        .boxed(),
         api_error().prop_map(Response::Error).boxed(),
     ]
 }

@@ -78,6 +78,21 @@ impl RemoteWrapper {
         Ok(Response::decode(line.trim_end()).unwrap_or_else(|e: ApiError| Response::Error(e)))
     }
 
+    /// Attaches this connection's session to a fleet project
+    /// (`project <name>`); `create` registers it on first attach. Must
+    /// precede routable commands when talking to a
+    /// `damocles_server --fleet` front door.
+    ///
+    /// # Errors
+    ///
+    /// As [`RemoteWrapper::request`].
+    pub fn attach(&mut self, project: impl Into<String>, create: bool) -> io::Result<Response> {
+        self.request(&Request::Attach {
+            project: project.into(),
+            create,
+        })
+    }
+
     /// Posts one event message under this wrapper's user.
     ///
     /// # Errors

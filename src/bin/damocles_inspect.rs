@@ -20,6 +20,15 @@
 //! The trace file is one [`TraceRecord`] wire line per row, exactly as
 //! drained by the shell's `trace get` — redirect that output to a file
 //! and hand it straight to `--trace`.
+//!
+//! A fleet tenant's durability directory is just `<fleet-root>/<name>` —
+//! the same `snapshot.ddb` + `journal.djl` layout as a single-project
+//! server — so point the inspector at the project subdirectory and it
+//! works unchanged:
+//!
+//! ```console
+//! $ damocles_inspect ./projects/asic9 --from 0 --to 4
+//! ```
 
 use blueprint_core::engine::server::{journal_dir_cursor, replay_dir};
 use blueprint_core::engine::trace::TraceRecord;

@@ -40,10 +40,26 @@
 //! $ damocles_server edtc.bp --follow 10.0.0.7:7425 --listen 127.0.0.1:7426
 //! following 10.0.0.7:7425; read-only front door on 127.0.0.1:7426
 //! ```
+//!
+//! **Fleet** (`--fleet <root>`): a multi-project front door. The root
+//! directory holds one journal dir per project; sessions attach with
+//! `project <name>` (add `new` to register) and are routed onto
+//! `--engine-workers N` engine threads, with at most `--max-active M`
+//! projects in memory — idle ones are LRU-evicted through their
+//! checkpoints and lazily recovered on the next request. All tenants
+//! share one compiled blueprint. See `DESIGN.md` §12.
+//!
+//! ```console
+//! $ damocles_server edtc.bp --fleet ./projects --engine-workers 4 --max-active 8
+//! fleet root ./projects: 0 projects registered; 4 engine workers, 8 max active
+//! listening on 127.0.0.1:7425 (fleet mode)
+//! ```
 
 use std::net::TcpListener;
 
 use blueprint_core::engine::api::{Request, Response, DEFAULT_CHECKPOINT_EVERY};
+use blueprint_core::engine::exec::NullExecutor;
+use blueprint_core::engine::fleet::{spawn_fleet, FleetConfig, ProjectRegistry};
 use blueprint_core::engine::follower::{spawn_follower_loop, FollowerMsg};
 use blueprint_core::engine::service::{
     serve_listener, serve_with, spawn_project_loop, ProjectService,
@@ -53,7 +69,8 @@ use damocles_tools::remote::{RemoteWrapper, TailHandshake};
 const USAGE: &str = "usage: damocles_server <blueprint.bp> [--listen <addr>] \
                      [--journal <dir>] [--every <ops>] [--wave-workers <n>] \
                      [--retry <retries,base_ms,mult,timeout_ms>] \
-                     [--follow <leader-addr>] [--replay-until <epoch,seq>]";
+                     [--follow <leader-addr>] [--replay-until <epoch,seq>] \
+                     [--fleet <root>] [--engine-workers <n>] [--max-active <m>]";
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -65,6 +82,9 @@ fn main() {
     let mut retry: Option<[u64; 4]> = None;
     let mut follow: Option<String> = None;
     let mut replay_until: Option<(u64, u64)> = None;
+    let mut fleet_root: Option<String> = None;
+    let mut engine_workers: usize = 4;
+    let mut max_active: usize = 64;
 
     let value_of = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| {
@@ -104,6 +124,23 @@ fn main() {
                 retry = Some([a, b, c, d]);
             }
             "--follow" => follow = Some(value_of(&mut args, "--follow")),
+            "--fleet" => fleet_root = Some(value_of(&mut args, "--fleet")),
+            "--engine-workers" => {
+                engine_workers = value_of(&mut args, "--engine-workers")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        eprintln!("error: --engine-workers needs a number\n{USAGE}");
+                        std::process::exit(2);
+                    })
+            }
+            "--max-active" => {
+                max_active = value_of(&mut args, "--max-active")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        eprintln!("error: --max-active needs a number\n{USAGE}");
+                        std::process::exit(2);
+                    })
+            }
             "--replay-until" => {
                 let spec = value_of(&mut args, "--replay-until");
                 let parsed = spec
@@ -143,6 +180,15 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if let Some(root) = fleet_root {
+        if follow.is_some() || journal_dir.is_some() || replay_until.is_some() {
+            eprintln!("error: --fleet is exclusive with --follow/--journal/--replay-until (each project journals under the fleet root)\n{USAGE}");
+            std::process::exit(2);
+        }
+        run_fleet(&root, &source, &listen, engine_workers, max_active, every);
+        return;
+    }
 
     // Drive setup through the same protocol the network speaks.
     let mut service: ProjectService = ProjectService::new();
@@ -259,6 +305,54 @@ fn main() {
     eprintln!("listening on {bound} (adaptive group commit)");
     let (handle, _join) = spawn_project_loop(service);
     if let Err(e) = serve_listener(listener, &handle) {
+        eprintln!("error: listener failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Fleet role: open the project registry, spawn the router + engine
+/// worker pool, and serve the same line-framed protocol — sessions
+/// attach with `project <name>` before routing commands.
+fn run_fleet(
+    root: &str,
+    source: &str,
+    listen: &str,
+    engine_workers: usize,
+    max_active: usize,
+    every: u64,
+) {
+    let config = FleetConfig {
+        engine_workers: engine_workers.max(1),
+        max_active: max_active.max(1),
+        checkpoint_every: every,
+        ..FleetConfig::default()
+    };
+    let registry = match ProjectRegistry::open(root, source, config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "fleet root {root}: {} projects registered; {} engine workers, {} max active",
+        registry.projects().count(),
+        engine_workers.max(1),
+        max_active.max(1)
+    );
+    let listener = match TcpListener::bind(listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot bind {listen}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let bound = listener
+        .local_addr()
+        .map_or_else(|_| listen.to_string(), |a| a.to_string());
+    let (fleet, _join) = spawn_fleet::<NullExecutor>(registry);
+    eprintln!("listening on {bound} (fleet mode)");
+    if let Err(e) = serve_with(listener, || fleet.session(), None) {
         eprintln!("error: listener failed: {e}");
         std::process::exit(1);
     }

@@ -305,6 +305,19 @@ pub fn parse_command(line: &str) -> Result<Request, ApiError> {
             })
         }
         "pump" => Ok(Request::PumpInvocations),
+        "project" => {
+            let project = word(&mut words, "a project name")?;
+            let create = if words.at_end() {
+                false
+            } else {
+                words.parse_with("`new` or end of line", |w| match w {
+                    "new" => Ok(true),
+                    _ => Err("not `new`".to_string()),
+                })?
+            };
+            Ok(Request::Attach { project, create })
+        }
+        "projects" => Ok(Request::ListProjects),
         other => Err(ApiError::UnknownCommand {
             at: at as u64,
             found: other.to_string(),
@@ -556,7 +569,7 @@ fn render(shown: &Presented, response: Response) -> ShellOutput {
                 }
                 _ => "off".to_string(),
             };
-            format!(
+            let mut out = format!(
                 "oids={} links={} pending={} journal={journal} workers={} \
                  inv_pending={} inv_running={} inv_retrying={} inv_failed={}",
                 stat.oids,
@@ -567,7 +580,42 @@ fn render(shown: &Presented, response: Response) -> ShellOutput {
                 stat.running_invocations,
                 stat.retrying_invocations,
                 stat.failed_invocations
-            )
+            );
+            // Fleet gauges appear only on a fleet node: single-project
+            // servers keep the historical stat line byte-identical.
+            if stat.active_projects + stat.resident_projects + stat.activations + stat.evictions > 0
+            {
+                let _ = write!(
+                    out,
+                    " active_projects={} resident_projects={} activations={} evictions={}",
+                    stat.active_projects, stat.resident_projects, stat.activations, stat.evictions
+                );
+            }
+            out
+        }
+        (_, Response::Attached { project, created }) => {
+            if created {
+                format!("attached to new project `{project}`")
+            } else {
+                format!("attached to project `{project}`")
+            }
+        }
+        (_, Response::Projects { entries }) => {
+            if entries.is_empty() {
+                "(no projects registered)".to_string()
+            } else {
+                entries
+                    .iter()
+                    .map(|e| {
+                        format!(
+                            "{} {}",
+                            e.name,
+                            if e.active { "[active]" } else { "[cold]" }
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            }
         }
         (_, Response::Ok) => "ok".to_string(),
         // Response is non_exhaustive-proof: render the codec form rather
@@ -607,6 +655,9 @@ commands:
                                       delay, backoff multiplier, timeout
                                       (`-` sets the default policy)
   pump                                absorb finished tool invocations
+  project <name> [new]                attach this session to a fleet
+                                      project (`new` registers it first)
+  projects                            list the fleet's projects
   dump                                full textual database dump
   dot                                 Graphviz dump of the design state
   audit                               engine counters
@@ -619,6 +670,76 @@ mod tests {
     fn edtc_shell() -> Shell {
         let server = ProjectServer::from_source(damocles_flows::EDTC_SOURCE).expect("EDTC parses");
         Shell::with_server(server)
+    }
+
+    #[test]
+    fn project_commands_parse_and_single_node_says_no_fleet() {
+        // Parsing: `project <name> [new]` / `projects` become the typed
+        // attach requests...
+        assert_eq!(
+            parse_command("project asic9").unwrap(),
+            Request::Attach {
+                project: "asic9".into(),
+                create: false,
+            }
+        );
+        assert_eq!(
+            parse_command("project asic9 new").unwrap(),
+            Request::Attach {
+                project: "asic9".into(),
+                create: true,
+            }
+        );
+        assert_eq!(parse_command("projects").unwrap(), Request::ListProjects);
+        // ...and a single-project node answers with the structured
+        // `no-fleet` taxonomy rather than a parse error.
+        let mut sh = edtc_shell();
+        let out = sh.execute("project asic9");
+        assert!(out.is_error());
+        assert!(out.text().contains("fleet"), "{out:?}");
+        let out = sh.execute("projects");
+        assert!(out.is_error());
+        assert!(out.text().contains("fleet"), "{out:?}");
+    }
+
+    #[test]
+    fn attached_and_projects_render() {
+        let shown = Presented::Other;
+        let out = render(
+            &shown,
+            Response::Attached {
+                project: "asic9".into(),
+                created: true,
+            },
+        );
+        assert_eq!(out.text(), "attached to new project `asic9`");
+        let out = render(
+            &shown,
+            Response::Projects {
+                entries: vec![
+                    blueprint_core::engine::api::ProjectEntry {
+                        name: "asic9".into(),
+                        active: true,
+                    },
+                    blueprint_core::engine::api::ProjectEntry {
+                        name: "fpga".into(),
+                        active: false,
+                    },
+                ],
+            },
+        );
+        assert_eq!(out.text(), "asic9 [active]\nfpga [cold]");
+        let out = render(&shown, Response::Projects { entries: vec![] });
+        assert_eq!(out.text(), "(no projects registered)");
+    }
+
+    #[test]
+    fn stat_line_hides_fleet_gauges_off_fleet() {
+        // A single-project server's stat line must stay byte-identical
+        // to the pre-fleet rendering (no fleet gauges).
+        let mut sh = edtc_shell();
+        let out = sh.execute("stat");
+        assert!(!out.text().contains("active_projects"), "{out:?}");
     }
 
     #[test]
