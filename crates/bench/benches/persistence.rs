@@ -95,7 +95,7 @@ fn bench_incremental_checkpoint(c: &mut Criterion) {
     for oids in sizes() {
         let (mut db, ids) = build_db(oids);
         db.attach_journal();
-        let mut writer = JournalWriter::create(dir.join(format!("incr-{oids}.djl")), 1).unwrap();
+        let mut writer = JournalWriter::create(dir.join(format!("incr-{oids}.djl")), 1, 1).unwrap();
         let mut cursor = 0usize;
         group.throughput(Throughput::Elements(DIRTY_SET as u64));
         group.bench_with_input(BenchmarkId::from_parameter(oids), &(), |b, ()| {
@@ -125,7 +125,7 @@ fn bench_journal_append(c: &mut Criterion) {
     for ops in [64usize, 512] {
         let (mut db, ids) = build_db(256);
         db.attach_journal();
-        let mut writer = JournalWriter::create(dir.join(format!("app-{ops}.djl")), 1).unwrap();
+        let mut writer = JournalWriter::create(dir.join(format!("app-{ops}.djl")), 1, 1).unwrap();
         group.throughput(Throughput::Elements(ops as u64));
         group.bench_with_input(BenchmarkId::from_parameter(ops), &(), |b, ()| {
             b.iter(|| {
@@ -150,7 +150,7 @@ fn bench_recover(c: &mut Criterion) {
     for oids in sizes() {
         let (mut db, ids) = build_db(oids);
         let ws = Workspace::new("bench");
-        let snapshot = journal::write_snapshot(&db, &ws, 1);
+        let snapshot = journal::write_snapshot(&db, &ws, 1, 1);
         db.attach_journal();
         for k in 0..64usize {
             let id = ids[(k * 131) % ids.len()];
@@ -158,7 +158,7 @@ fn bench_recover(c: &mut Criterion) {
                 .unwrap();
         }
         let ops = db.drain_journal_ops();
-        let mut tail = journal::encode_header(1).into_bytes();
+        let mut tail = journal::encode_header(1, 1).into_bytes();
         for (seq, op) in ops.iter().enumerate() {
             tail.extend_from_slice(journal::encode_record(seq as u64, op).as_bytes());
         }

@@ -268,6 +268,37 @@ pub enum Request {
         /// The next record sequence number the follower expects.
         seq: u64,
     },
+    /// Promote a caught-up follower into a leader under a new fencing
+    /// term: enable a local journal at the replica's cursor (its epoch
+    /// strictly exceeds the consumed one), open the node's own tail hub
+    /// under `term`, and start accepting mutations. Refused with
+    /// [`ApiError::StaleTerm`] when `term` does not exceed the highest
+    /// term the node has seen, and with [`ApiError::Lagging`] before the
+    /// first bootstrap. On a node that is already a leader the request is
+    /// [`ApiError::StaleTerm`] unless `term` beats its current term —
+    /// re-promoting a live leader to a higher term is a legal no-op-ish
+    /// re-journal. See `PROTOCOL.md` §7 and `DESIGN.md` §13.
+    Promote {
+        /// Durability directory for the promoted node's own journal
+        /// (server-side path).
+        dir: String,
+        /// Checkpoint fold interval in ops.
+        every: u64,
+        /// The new leadership term; must strictly exceed every term this
+        /// node has observed.
+        term: u64,
+    },
+    /// Fence this node out of leadership term `term`: a barrier that
+    /// flushes the group-commit window, then terminally disables the
+    /// node's durability and refuses every later mutation with
+    /// [`ApiError::StaleTerm`]. Sent to a deposed (revived) leader so it
+    /// can never dual-commit against the reign that replaced it. Refused
+    /// with [`ApiError::StaleTerm`] when `term` does not exceed the
+    /// node's current term (a stale fencer cannot depose a newer reign).
+    Fence {
+        /// The newer term doing the fencing.
+        term: u64,
+    },
     /// Deterministic time-travel replay: rebuild the image the server had
     /// at journal cursor `(epoch, seq)` — the snapshot of `epoch` plus the
     /// first `seq` journal records — in a scratch database, leaving the
@@ -345,6 +376,8 @@ impl Request {
                 | Request::SaveProject { .. }
                 | Request::LoadProject { .. }
                 | Request::Replay { .. }
+                | Request::Promote { .. }
+                | Request::Fence { .. }
         )
     }
 
@@ -455,6 +488,38 @@ pub struct AuditCounters {
     pub invoke_exhaustions: u64,
 }
 
+/// Which replication role a node answers `stat` as.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeRole {
+    /// Accepts mutations and journals them — the default for a
+    /// single-node server, and what a promoted follower becomes.
+    #[default]
+    Leader,
+    /// Applies a leader's tail stream and serves reads only.
+    Follower,
+}
+
+impl fmt::Display for NodeRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NodeRole::Leader => "leader",
+            NodeRole::Follower => "follower",
+        })
+    }
+}
+
+impl std::str::FromStr for NodeRole {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "leader" => Ok(NodeRole::Leader),
+            "follower" => Ok(NodeRole::Follower),
+            other => Err(format!("not a role (leader/follower): `{other}`")),
+        }
+    }
+}
+
 /// Server statistics, as carried by [`Response::Stat`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServerStat {
@@ -502,6 +567,14 @@ pub struct ServerStat {
     /// Fleet only: lifetime active→cold transitions (LRU checkpoints plus
     /// panic poisonings, which also leave residency).
     pub evictions: u64,
+    /// The leadership term this node operates under: the term its journal
+    /// commits carry on a leader, the highest term observed in the tail
+    /// stream on a follower. Terms count from 1; a node that has never
+    /// seen a term-bearing stream reports 1.
+    pub term: u64,
+    /// Whether this node is a mutation-accepting leader or a read-only
+    /// follower (a promoted follower flips to `Leader`).
+    pub role: NodeRole,
 }
 
 /// The typed result of one [`Request`]. Structured data, not rendered
@@ -610,6 +683,15 @@ pub enum Response {
     Stat {
         /// The statistics.
         stat: ServerStat,
+    },
+    /// A [`Request::Promote`] succeeded: this node is now a leader,
+    /// journaling `epoch` under fencing `term`.
+    Promoted {
+        /// The promoted node's first journal epoch (strictly above the
+        /// cursor epoch it consumed as a follower).
+        epoch: u64,
+        /// The leadership term it journals under.
+        term: u64,
     },
     /// A [`Request::TailFrom`] was accepted: the leader's committed
     /// stream position is `(epoch, seq)`. On a streaming transport, tail
@@ -789,6 +871,16 @@ pub enum ApiError {
         /// Records applied within that epoch.
         seq: u64,
     },
+    /// The operation ran under a stale leadership term: a newer reign
+    /// fenced this node (or the request itself carried an outdated term).
+    /// Committing it could dual-commit against the current leader, so it
+    /// is refused structurally — chase the current leader instead.
+    StaleTerm {
+        /// The stale term the operation ran (or was requested) under.
+        term: u64,
+        /// The newer term holding the reign.
+        current: u64,
+    },
     /// A fleet session sent a routable request before attaching to a
     /// project (`project <name>` must come first).
     NotAttached,
@@ -878,6 +970,10 @@ impl fmt::Display for ApiError {
                 f,
                 "follower still catching up (applied epoch {epoch}, seq {seq}); retry shortly"
             ),
+            ApiError::StaleTerm { term, current } => write!(
+                f,
+                "stale leadership term {term}: term {current} holds the reign"
+            ),
             ApiError::NotAttached => {
                 write!(f, "no project attached; use `project <name>` first")
             }
@@ -927,6 +1023,7 @@ impl From<EngineError> for ApiError {
             EngineError::Invalid { issues } => ApiError::InvalidBlueprint { issues },
             EngineError::Runaway { processed } => ApiError::Runaway { processed },
             EngineError::Journal { reason } => ApiError::Journal { reason },
+            EngineError::Fenced { term, current } => ApiError::StaleTerm { term, current },
             EngineError::InvocationFailed {
                 script,
                 attempts,
@@ -1215,6 +1312,10 @@ impl Request {
             ),
             Request::PumpInvocations => "pump".to_string(),
             Request::TailFrom { epoch, seq } => format!("tailfrom {epoch} {seq}"),
+            Request::Promote { dir, every, term } => {
+                format!("promote {} {every} {term}", enc_str(dir))
+            }
+            Request::Fence { term } => format!("fence {term}"),
             Request::Replay { epoch, seq } => format!("replay {epoch} {seq}"),
             Request::Trace { mode } => format!("trace {mode}"),
             Request::Attach { project, create } => {
@@ -1351,6 +1452,14 @@ impl Request {
             "tailfrom" => Request::TailFrom {
                 epoch: c.u64("a checkpoint epoch")?,
                 seq: c.u64("a record sequence number")?,
+            },
+            "promote" => Request::Promote {
+                dir: c.string("a directory path")?,
+                every: c.u64("a checkpoint interval")?,
+                term: c.u64("a leadership term")?,
+            },
+            "fence" => Request::Fence {
+                term: c.u64("a leadership term")?,
             },
             "replay" => Request::Replay {
                 epoch: c.u64("a checkpoint epoch")?,
@@ -1501,7 +1610,7 @@ impl Response {
                 counters.invoke_exhaustions
             ),
             Response::Stat { stat } => format!(
-                "stat {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+                "stat {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
                 stat.oids,
                 stat.links,
                 stat.pending_events,
@@ -1520,7 +1629,10 @@ impl Response {
                 stat.resident_projects,
                 stat.activations,
                 stat.evictions,
+                stat.term,
+                stat.role,
             ),
+            Response::Promoted { epoch, term } => format!("promoted {epoch} {term}"),
             Response::Tailing { epoch, seq } => format!("tailing {epoch} {seq}"),
             Response::Replayed {
                 epoch,
@@ -1712,7 +1824,13 @@ impl Response {
                     resident_projects: c.u64("a resident-project count")?,
                     activations: c.u64("an activation count")?,
                     evictions: c.u64("an eviction count")?,
+                    term: c.u64("a leadership term")?,
+                    role: c.parse_with("a role (leader/follower)", |w| w.parse())?,
                 },
+            },
+            "promoted" => Response::Promoted {
+                epoch: c.u64("an epoch")?,
+                term: c.u64("a leadership term")?,
             },
             "tailing" => Response::Tailing {
                 epoch: c.u64("a checkpoint epoch")?,
@@ -1817,6 +1935,7 @@ impl ApiError {
             ApiError::Io { reason } => format!("io {}", enc_str(reason)),
             ApiError::ReadOnly { leader } => format!("read-only {}", enc_str(leader)),
             ApiError::Lagging { epoch, seq } => format!("lagging {epoch} {seq}"),
+            ApiError::StaleTerm { term, current } => format!("stale-term {term} {current}"),
             ApiError::NotAttached => "not-attached".to_string(),
             ApiError::NoSuchProject { project } => {
                 format!("no-such-project {}", enc_str(project))
@@ -1894,6 +2013,10 @@ impl ApiError {
             "lagging" => ApiError::Lagging {
                 epoch: c.u64("a checkpoint epoch")?,
                 seq: c.u64("a record sequence number")?,
+            },
+            "stale-term" => ApiError::StaleTerm {
+                term: c.u64("a stale term")?,
+                current: c.u64("the current term")?,
             },
             "not-attached" => ApiError::NotAttached,
             "no-such-project" => ApiError::NoSuchProject {
@@ -1980,6 +2103,12 @@ mod tests {
             },
             Request::PumpInvocations,
             Request::TailFrom { epoch: 3, seq: 117 },
+            Request::Promote {
+                dir: "/tmp/dura dir".into(),
+                every: 1024,
+                term: 3,
+            },
+            Request::Fence { term: 4 },
             Request::Replay { epoch: 2, seq: 40 },
             Request::Trace {
                 mode: TraceMode::On,
@@ -2049,6 +2178,8 @@ mod tests {
                     resident_projects: 120,
                     activations: 9,
                     evictions: 7,
+                    term: 3,
+                    role: NodeRole::Follower,
                 },
             },
             Response::Replayed {
@@ -2076,10 +2207,15 @@ mod tests {
                 holder: Some("yves".into()),
             }),
             Response::Tailing { epoch: 5, seq: 42 },
+            Response::Promoted { epoch: 6, term: 2 },
             Response::Error(ApiError::ReadOnly {
                 leader: "127.0.0.1:7425".into(),
             }),
             Response::Error(ApiError::Lagging { epoch: 2, seq: 9 }),
+            Response::Error(ApiError::StaleTerm {
+                term: 2,
+                current: 3,
+            }),
             Response::Error(ApiError::InvocationFailed {
                 script: "hdl_sim".into(),
                 attempts: 6,
@@ -2206,5 +2342,32 @@ mod tests {
             mode: TraceMode::On,
         };
         assert!(!trace.is_barrier() && !trace.is_mutation());
+        // Promotion and fencing re-base durable state AND mutate it: both
+        // must flush the group-commit window before running.
+        let promote = Request::Promote {
+            dir: "d".into(),
+            every: 8,
+            term: 2,
+        };
+        assert!(promote.is_barrier() && promote.is_mutation());
+        let fence = Request::Fence { term: 2 };
+        assert!(fence.is_barrier() && fence.is_mutation());
+    }
+
+    #[test]
+    fn fenced_engine_error_maps_to_stale_term() {
+        let e: ApiError = EngineError::Fenced {
+            term: 2,
+            current: 3,
+        }
+        .into();
+        assert_eq!(
+            e,
+            ApiError::StaleTerm {
+                term: 2,
+                current: 3
+            }
+        );
+        assert!(e.to_string().contains("stale leadership term 2"));
     }
 }

@@ -36,6 +36,16 @@ pub enum EngineError {
         /// What went wrong.
         reason: String,
     },
+    /// The operation ran under a stale leadership term: a newer reign
+    /// fenced this server (or the request itself carried an outdated
+    /// term), so committing it could dual-commit against the current
+    /// leader's journal.
+    Fenced {
+        /// The stale term the operation ran (or was requested) under.
+        term: u64,
+        /// The newer term holding the reign.
+        current: u64,
+    },
     /// A detached tool invocation exhausted its retry budget. The failure
     /// also surfaces in-band as a `tool_failed` event at the invocation's
     /// origin; this variant is the out-of-band form for callers that
@@ -63,6 +73,10 @@ impl fmt::Display for EngineError {
                 write!(f, "event budget exhausted after {processed} events")
             }
             EngineError::Journal { reason } => write!(f, "durability error: {reason}"),
+            EngineError::Fenced { term, current } => write!(
+                f,
+                "stale leadership term {term}: term {current} holds the reign"
+            ),
             EngineError::InvocationFailed {
                 script,
                 attempts,
@@ -84,6 +98,7 @@ impl std::error::Error for EngineError {
             EngineError::Invalid { .. }
             | EngineError::Runaway { .. }
             | EngineError::Journal { .. }
+            | EngineError::Fenced { .. }
             | EngineError::InvocationFailed { .. } => None,
         }
     }

@@ -30,6 +30,30 @@
 //! via [`FollowerStatus`]); the pump reconnects and resumes from the
 //! cursor, and a divergent or garbled stream simply re-bootstraps.
 //!
+//! # Terms, fencing and promotion
+//!
+//! Every substantive frame carries the leadership **term** it was
+//! committed under (`DESIGN.md` §13). The loop tracks the highest term
+//! it has seen and refuses older frames — counted in
+//! [`FollowerStatus::stale_frames`] — so a deposed leader's stream can
+//! never overwrite state the new reign replicated. Applied frames are
+//! **re-published** through the node's own [`TailHub`] under the same
+//! term, so replicas form a tree: a follower's follower tails it exactly
+//! as it tails the leader.
+//!
+//! [`Request::Promote`] turns a caught-up follower into a leader: the
+//! loop enables a local journal at its cursor (the epoch floor is one
+//! above `cursor.epoch`, so the new reign never reuses a coordinate the
+//! old one published) under a term that must strictly exceed every term
+//! the stream has shown. From then on the loop serves the **full** request
+//! surface through its service — mutations journal locally, the hub
+//! republishes under the bumped term (re-parenting any subtree tailing
+//! this node), and frames still arriving from the old leader are refused
+//! as stale.
+//!
+//! [`TailHub`]: crate::engine::tail::TailHub
+//! [`Request::Promote`]: crate::engine::api::Request::Promote
+//!
 //! [`ProjectServer`]: crate::engine::server::ProjectServer
 //! [`ProjectServer::adopt_replica_image`]: crate::engine::server::ProjectServer::adopt_replica_image
 //! [`ProjectServer::apply_replica_op`]: crate::engine::server::ProjectServer::apply_replica_op
@@ -43,7 +67,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use damocles_meta::journal;
 use damocles_meta::LinkId;
 
-use crate::engine::api::{ApiError, Request, Response, SessionId};
+use crate::engine::api::{ApiError, NodeRole, Request, Response, SessionId};
 use crate::engine::exec::ScriptExecutor;
 use crate::engine::service::{loop_gone, Envelope, ProjectService, RequestSink};
 use crate::engine::tail::TailFrame;
@@ -85,6 +109,15 @@ struct StatusState {
     /// The replica diverged (an apply or bootstrap failed): incremental
     /// frames can no longer repair it, only a fresh `tail-reset` can.
     needs_reset: bool,
+    /// Highest leadership term observed in the stream (or taken by
+    /// promotion); frames from older terms are refused.
+    term: u64,
+    /// Frames refused because they carried a stale term — the split-brain
+    /// witness counter.
+    stale_frames: u64,
+    /// Set by a successful [`Request::Promote`](crate::engine::api::Request::Promote):
+    /// this node is now a leader.
+    promoted: bool,
 }
 
 impl FollowerStatus {
@@ -100,6 +133,27 @@ impl FollowerStatus {
             .lock()
             .expect("follower status lock")
             .bootstrapped
+    }
+
+    /// The highest leadership term this node has observed (0 before the
+    /// first term-bearing frame).
+    pub fn term(&self) -> u64 {
+        self.state.lock().expect("follower status lock").term
+    }
+
+    /// Frames refused because they carried a term older than the highest
+    /// observed — each one is a deposed leader's write that fencing kept
+    /// out of the replica.
+    pub fn stale_frames(&self) -> u64 {
+        self.state
+            .lock()
+            .expect("follower status lock")
+            .stale_frames
+    }
+
+    /// Whether a `Promote` turned this node into a leader.
+    pub fn promoted(&self) -> bool {
+        self.state.lock().expect("follower status lock").promoted
     }
 
     /// Whether the leader connection is currently up.
@@ -256,8 +310,10 @@ where
     )
 }
 
-/// The follower loop body: apply frames, answer reads, reject writes.
-/// Exposed for callers that want the loop on a thread they own.
+/// The follower loop body: apply frames, answer reads, reject writes —
+/// until a `Promote` turns it into a leader loop. Exposed for callers
+/// that want the loop on a thread they own.
+#[allow(clippy::too_many_lines)]
 pub fn run_follower_loop<E>(
     mut service: ProjectService<E>,
     rx: &Receiver<FollowerMsg>,
@@ -271,9 +327,36 @@ pub fn run_follower_loop<E>(
     let mut tags: HashMap<u64, LinkId> = HashMap::new();
     let mut bootstrapped = false;
     let mut cursor = (0u64, 0u64);
+    // Highest leadership term observed; frames below it are refused.
+    let mut seen_term = 0u64;
+    // Set by a successful Promote: this loop now serves the full leader
+    // surface and refuses every upstream frame.
+    let mut promoted = false;
+    // The node's own publication hub (fan-out): applied frames republish
+    // here under their term, so replicas form a tree.
+    let hub = service.tail_hub();
+    // Refuses a frame from a reign older than the highest seen — or any
+    // substantive frame once this node leads. Returns true when stale.
+    let stale = |frame_term: u64, seen: u64, promoted: bool, status: &FollowerStatus| -> bool {
+        if frame_term < seen || (promoted && frame_term <= seen) {
+            status.set(|st| st.stale_frames += 1);
+            return true;
+        }
+        if promoted {
+            // A term above our own while we lead: a newer reign exists.
+            // This loop does not re-demote itself; operators fence it.
+            eprintln!("promoted node: ignoring frame from newer term {frame_term} (fence me)");
+            status.set(|st| st.stale_frames += 1);
+            return true;
+        }
+        false
+    };
     while let Some(msg) = rx.recv() {
         match msg {
-            FollowerMsg::Frame(TailFrame::Reset { epoch, image }) => {
+            FollowerMsg::Frame(TailFrame::Reset { epoch, term, image }) => {
+                if stale(term, seen_term, promoted, status) {
+                    continue;
+                }
                 let adopted = service
                     .server_mut()
                     .ok_or_else(|| "no blueprint loaded".to_string())
@@ -284,17 +367,23 @@ pub fn run_follower_loop<E>(
                         tags = srv.replica_link_tags();
                         bootstrapped = true;
                         cursor = (epoch, 0);
+                        seen_term = term;
+                        // Re-publish the bootstrap for our own subtree.
+                        hub.publish_enable(epoch, term, image);
                         status.set(|st| {
                             st.epoch = epoch;
                             st.seq = 0;
                             st.bootstrapped = true;
                             st.leader_up = true;
                             st.needs_reset = false;
+                            st.term = term;
                         });
                     }
                     Err(reason) => {
                         eprintln!("follower: snapshot bootstrap failed: {reason}");
                         bootstrapped = false;
+                        // Our subtree must not trust a diverged image.
+                        hub.publish_disable();
                         status.set(|st| {
                             st.bootstrapped = false;
                             st.needs_reset = true;
@@ -302,24 +391,38 @@ pub fn run_follower_loop<E>(
                     }
                 }
             }
-            FollowerMsg::Frame(TailFrame::Epoch { epoch }) => {
-                if bootstrapped {
+            FollowerMsg::Frame(TailFrame::Epoch { epoch, term }) => {
+                if stale(term, seen_term, promoted, status) {
+                    continue;
+                }
+                if bootstrapped && term == seen_term {
                     // The stream guarantees every record of the folded
                     // epoch preceded this marker, so our image equals the
-                    // new snapshot; mirror the leader's re-tagging.
+                    // new snapshot; mirror the leader's re-tagging and
+                    // checkpoint our own stream (seamless: everything we
+                    // folded was republished first).
                     let srv = service.server_mut().expect("bootstrapped");
                     tags = srv.replica_link_tags();
+                    let image = srv.project_image();
                     cursor = (epoch, 0);
+                    hub.publish_checkpoint(epoch, term, image, true);
                     status.set(|st| {
                         st.epoch = epoch;
                         st.seq = 0;
                         st.leader_up = true;
                     });
                 }
+                // A marker from a NEWER term than the stream bootstrapped
+                // us into cannot be trusted as seamless — wait for the
+                // reset the new reign must send.
             }
-            FollowerMsg::Frame(TailFrame::Record { epoch, line }) => {
-                if !bootstrapped || epoch != cursor.0 {
-                    // A stale frame from before a reset raced in; the
+            FollowerMsg::Frame(TailFrame::Record { epoch, term, line }) => {
+                if stale(term, seen_term, promoted, status) {
+                    continue;
+                }
+                if !bootstrapped || epoch != cursor.0 || term != seen_term {
+                    // A frame from before a reset raced in, or a newer
+                    // reign's record arrived without its bootstrap; the
                     // stream will re-bootstrap us.
                     continue;
                 }
@@ -335,6 +438,7 @@ pub fn run_follower_loop<E>(
                 match applied {
                     Ok(()) => {
                         cursor.1 += 1;
+                        hub.publish_records([line]);
                         status.set(|st| {
                             st.seq = cursor.1;
                             st.leader_up = true;
@@ -349,6 +453,7 @@ pub fn run_follower_loop<E>(
                         // snapshot reset.
                         eprintln!("follower: record {}/{} failed: {reason}", epoch, cursor.1);
                         bootstrapped = false;
+                        hub.publish_disable();
                         status.set(|st| {
                             st.bootstrapped = false;
                             st.needs_reset = true;
@@ -357,11 +462,15 @@ pub fn run_follower_loop<E>(
                 }
             }
             FollowerMsg::Frame(TailFrame::Ping) => {
-                status.set(|st| st.leader_up = true);
+                if !promoted {
+                    status.set(|st| st.leader_up = true);
+                }
             }
             FollowerMsg::LeaderGone { reason } => {
-                eprintln!("follower: leader connection lost ({reason}); serving stale reads");
-                status.set(|st| st.leader_up = false);
+                if !promoted {
+                    eprintln!("follower: leader connection lost ({reason}); serving stale reads");
+                    status.set(|st| st.leader_up = false);
+                }
             }
             FollowerMsg::Inspect(reply) => {
                 let image = service
@@ -371,14 +480,109 @@ pub fn run_follower_loop<E>(
                 let _ = reply.send(image);
             }
             FollowerMsg::Client(envelope) => {
+                if promoted {
+                    // Full leader surface: the loop owns the service, so
+                    // requests route straight through it (mutations
+                    // journal locally and republish via the hub).
+                    envelope.respond_with(|request| service.call(request));
+                    continue;
+                }
+                if let Request::Promote { .. } = &envelope.request {
+                    let (resp, now_leading) = promote(
+                        &mut service,
+                        &envelope.request,
+                        bootstrapped,
+                        cursor,
+                        seen_term,
+                        status,
+                    );
+                    if let Some((epoch, term)) = now_leading {
+                        promoted = true;
+                        seen_term = term;
+                        cursor = (epoch, 0);
+                    }
+                    envelope.respond(resp);
+                    continue;
+                }
                 // respond_with moves the request out of the envelope —
                 // no clone of (possibly payload-heavy) requests just to
                 // bounce them.
                 envelope.respond_with(|request| {
-                    follower_call(&mut service, request, leader, bootstrapped, cursor)
+                    follower_call(
+                        &mut service,
+                        request,
+                        leader,
+                        bootstrapped,
+                        cursor,
+                        seen_term,
+                    )
                 });
             }
         }
+    }
+}
+
+/// Executes a [`Request::Promote`] against a (not yet promoted) follower
+/// loop: refuse before bootstrap or under a non-advancing term, otherwise
+/// enable the local journal above the consumed cursor. Returns the reply
+/// and, on success, the `(epoch, term)` the node now leads under.
+fn promote<E>(
+    service: &mut ProjectService<E>,
+    request: &Request,
+    bootstrapped: bool,
+    cursor: (u64, u64),
+    seen_term: u64,
+    status: &FollowerStatus,
+) -> (Response, Option<(u64, u64)>)
+where
+    E: ScriptExecutor + Default,
+{
+    let Request::Promote { dir, every, term } = request else {
+        unreachable!("caller matched Promote");
+    };
+    if !bootstrapped {
+        return (
+            Response::Error(ApiError::Lagging {
+                epoch: cursor.0,
+                seq: cursor.1,
+            }),
+            None,
+        );
+    }
+    if *term <= seen_term {
+        return (
+            Response::Error(ApiError::StaleTerm {
+                term: *term,
+                current: seen_term,
+            }),
+            None,
+        );
+    }
+    // The epoch floor: our reign's first epoch strictly exceeds the one
+    // we consumed, so no (epoch, seq) coordinate is ever published twice
+    // with different contents.
+    let promoted = service.server_mut().expect("bootstrapped").promote_journal(
+        dir,
+        *every,
+        cursor.0 + 1,
+        *term,
+    );
+    match promoted {
+        Ok(epoch) => {
+            status.set(|st| {
+                st.epoch = epoch;
+                st.seq = 0;
+                st.term = *term;
+                st.promoted = true;
+                st.leader_up = true;
+                st.needs_reset = false;
+            });
+            (
+                Response::Promoted { epoch, term: *term },
+                Some((epoch, *term)),
+            )
+        }
+        Err(e) => (Response::Error(e.into()), None),
     }
 }
 
@@ -387,18 +591,37 @@ pub fn run_follower_loop<E>(
 /// everything else runs against the replica. [`Request::Snapshot`] is
 /// allowed — configurations are service-local pins, not database
 /// mutations — so analysts can pin closures on a replica.
+/// [`Request::TailFrom`] is accepted once bootstrapped: the fan-out
+/// handshake — downstream replicas tail this node's hub exactly as it
+/// tails the leader.
 fn follower_call<E>(
     service: &mut ProjectService<E>,
     request: Request,
     leader: &str,
     bootstrapped: bool,
     cursor: (u64, u64),
+    term: u64,
 ) -> Response
 where
     E: ScriptExecutor + Default,
 {
+    if matches!(request, Request::TailFrom { .. }) {
+        // The hub republishes exactly what the loop applied, so the
+        // committed fan-out position IS the applied cursor.
+        return if bootstrapped {
+            Response::Tailing {
+                epoch: cursor.0,
+                seq: cursor.1,
+            }
+        } else {
+            Response::Error(ApiError::Lagging {
+                epoch: cursor.0,
+                seq: cursor.1,
+            })
+        };
+    }
     let read_only = !request.is_mutation() || matches!(request, Request::Snapshot { .. });
-    if !read_only || matches!(request, Request::TailFrom { .. }) {
+    if !read_only {
         return Response::Error(ApiError::ReadOnly {
             leader: leader.to_string(),
         });
@@ -409,7 +632,18 @@ where
             seq: cursor.1,
         });
     }
-    service.call(request)
+    match service.call(request) {
+        Response::Stat { mut stat } => {
+            // The service reports the server's own (journal-less) view;
+            // the loop knows the replication truth.
+            stat.term = term;
+            stat.role = NodeRole::Follower;
+            stat.cursor_epoch = cursor.0;
+            stat.cursor_seq = cursor.1;
+            Response::Stat { stat }
+        }
+        other => other,
+    }
 }
 
 #[cfg(test)]
@@ -577,6 +811,7 @@ mod tests {
         let status = handle.status();
         feed.send(FollowerMsg::Frame(TailFrame::Reset {
             epoch,
+            term: 1,
             image: snapshot_image.clone(),
         }))
         .unwrap();
@@ -586,6 +821,7 @@ mod tests {
         // A garbled record (bad checksum) cannot apply.
         feed.send(FollowerMsg::Frame(TailFrame::Record {
             epoch,
+            term: 1,
             line: "0000000000000000 0 create bad,v,1".into(),
         }))
         .unwrap();
@@ -605,6 +841,7 @@ mod tests {
         // The reset repairs the replica and clears the flag.
         feed.send(FollowerMsg::Frame(TailFrame::Reset {
             epoch,
+            term: 1,
             image: snapshot_image,
         }))
         .unwrap();
@@ -625,11 +862,188 @@ mod tests {
             Response::Error(ApiError::Lagging { epoch: 0, seq: 0 }) => {}
             other => panic!("{other:?}"),
         }
+        // Fan-out handshakes also wait for the bootstrap.
         match session.call(Request::TailFrom { epoch: 0, seq: 0 }) {
-            Response::Error(ApiError::ReadOnly { .. }) => {}
+            Response::Error(ApiError::Lagging { .. }) => {}
             other => panic!("{other:?}"),
         }
         drop((session, handle));
+        join.join().unwrap();
+    }
+
+    /// Promotion end-to-end on the loop: a caught-up follower refuses a
+    /// non-advancing term, accepts a strictly higher one, then serves the
+    /// full mutation surface under its own journal — and refuses frames
+    /// the deposed leader keeps sending (split-brain witness).
+    #[test]
+    fn promotion_takes_over_and_fences_the_old_stream() {
+        let dir = std::env::temp_dir().join("damocles-follower-promote");
+        let _ = std::fs::remove_dir_all(&dir);
+        let leader_dir = dir.join("leader");
+        let promoted_dir = dir.join("promoted");
+        let mut leader: ProjectService = ProjectService::new();
+        leader.call(Request::Init {
+            source: SIMPLE.into(),
+        });
+        leader.call(Request::EnableJournal {
+            dir: leader_dir.display().to_string(),
+            every: 1_000_000,
+        });
+        leader.call(Request::Checkin {
+            block: "pre".into(),
+            view: "HDL_model".into(),
+            user: "yves".into(),
+            payload: vec![1],
+        });
+        leader.call(Request::ProcessAll);
+        let hub = leader.tail_hub();
+
+        let follower_service: ProjectService =
+            ProjectService::with_server(ProjectServer::from_source(SIMPLE).unwrap());
+        let (handle, join) = spawn_follower_loop(follower_service, "leader:9");
+        let feed = handle.feed();
+        let status = handle.status();
+        let session = handle.session();
+
+        // Promotion before bootstrap is refused: nothing to lead yet.
+        match session.call(Request::Promote {
+            dir: promoted_dir.display().to_string(),
+            every: 1_000_000,
+            term: 2,
+        }) {
+            Response::Error(ApiError::Lagging { .. }) => {}
+            other => panic!("{other:?}"),
+        }
+
+        // Catch the follower up off the live hub (a Reset and the
+        // records come from separate pulls, like a live subscriber's).
+        let mut tail_cursor = crate::engine::tail::TailCursor { epoch: 0, seq: 0 };
+        let consumed = {
+            let srv = leader.server().unwrap();
+            (srv.journal_epoch().unwrap(), srv.journal_records().unwrap())
+        };
+        loop {
+            let frames = hub
+                .next_frames(&mut tail_cursor, Duration::from_millis(1))
+                .unwrap();
+            let mut progressed = false;
+            for frame in frames {
+                if !matches!(frame, TailFrame::Ping) {
+                    progressed = true;
+                    feed.send(FollowerMsg::Frame(frame)).unwrap();
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        assert!(status.wait_applied(consumed.0, consumed.1, Duration::from_secs(5)));
+        assert_eq!(status.term(), 1);
+
+        // A term that does not strictly advance the reign is refused.
+        match session.call(Request::Promote {
+            dir: promoted_dir.display().to_string(),
+            every: 1_000_000,
+            term: 1,
+        }) {
+            Response::Error(ApiError::StaleTerm {
+                term: 1,
+                current: 1,
+            }) => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(!status.promoted());
+
+        // Term 2 takes over: epoch strictly above the consumed one.
+        let new_epoch = match session.call(Request::Promote {
+            dir: promoted_dir.display().to_string(),
+            every: 1_000_000,
+            term: 2,
+        }) {
+            Response::Promoted { epoch, term: 2 } => epoch,
+            other => panic!("{other:?}"),
+        };
+        assert!(new_epoch > consumed.0);
+        assert!(status.promoted());
+        assert_eq!(status.term(), 2);
+
+        // Full leader surface: mutations commit locally now.
+        let resp = session.call(Request::Checkin {
+            block: "post-promote".into(),
+            view: "HDL_model".into(),
+            user: "amy".into(),
+            payload: vec![2],
+        });
+        assert!(!resp.is_error(), "{resp:?}");
+        match session.call(Request::Stat) {
+            Response::Stat { stat } => {
+                assert_eq!(stat.term, 2);
+                assert_eq!(stat.role, NodeRole::Leader);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // The deposed leader's stream is refused, loudly counted.
+        let before = status.stale_frames();
+        feed.send(FollowerMsg::Frame(TailFrame::Record {
+            epoch: consumed.0,
+            term: 1,
+            line: "deadbeef 99 junk".into(),
+        }))
+        .unwrap();
+        feed.send(FollowerMsg::Frame(TailFrame::Epoch {
+            epoch: consumed.0 + 7,
+            term: 1,
+        }))
+        .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while status.stale_frames() < before + 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(status.stale_frames(), before + 2);
+        // The refused frames changed nothing.
+        match session.call(Request::Stat) {
+            Response::Stat { stat } => assert_eq!(stat.term, 2),
+            other => panic!("{other:?}"),
+        }
+        drop((session, feed, handle));
+        join.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Stale-term frames never touch a (not promoted) follower either:
+    /// once the stream shows term 2, a term-1 record is refused and
+    /// counted rather than applied.
+    #[test]
+    fn stale_term_frames_are_refused_and_counted() {
+        let follower_service: ProjectService =
+            ProjectService::with_server(ProjectServer::from_source(SIMPLE).unwrap());
+        let (handle, join) = spawn_follower_loop(follower_service, "leader:3");
+        let feed = handle.feed();
+        let status = handle.status();
+        let image = ProjectServer::from_source(SIMPLE).unwrap().project_image();
+        feed.send(FollowerMsg::Frame(TailFrame::Reset {
+            epoch: 5,
+            term: 2,
+            image,
+        }))
+        .unwrap();
+        assert!(status.wait_applied(5, 0, Duration::from_secs(5)));
+        assert_eq!(status.term(), 2);
+
+        feed.send(FollowerMsg::Frame(TailFrame::Record {
+            epoch: 5,
+            term: 1,
+            line: "deadbeef 0 junk".into(),
+        }))
+        .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while status.stale_frames() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(status.stale_frames(), 1);
+        assert_eq!(status.cursor(), (5, 0), "the stale record did not apply");
+        drop((feed, handle));
         join.join().unwrap();
     }
 }

@@ -71,6 +71,8 @@ struct Durability {
     writer: JournalWriter,
     /// Epoch of the snapshot the journal extends.
     epoch: u64,
+    /// Leadership term the journal is written under (see `fence_term`).
+    term: u64,
     /// Fold the journal into a fresh snapshot after this many appended ops.
     checkpoint_every: u64,
     ops_since_checkpoint: u64,
@@ -244,6 +246,14 @@ pub struct ProjectServer<E = NullExecutor> {
     ast_dispatch: bool,
     /// Journal + checkpoint state (see [`ProjectServer::enable_journal`]).
     durability: Option<Durability>,
+    /// The leadership term this server last journaled (or adopted a
+    /// snapshot) under; 1 until a journal or promotion says otherwise.
+    term: u64,
+    /// Set when a newer leadership term fenced this server (see
+    /// [`ProjectServer::fence_term`]): the fencing term. A fenced server
+    /// can never commit again — the service layer refuses its mutations
+    /// as stale-term, and the journal refuses appends.
+    fenced_by: Option<u64>,
     /// Group-commit mode: operation boundaries buffer their journal ops
     /// in memory instead of appending+fsyncing; the owner (the command
     /// loop) calls [`ProjectServer::flush_journal`] once per batch.
@@ -346,6 +356,8 @@ impl<E: ScriptExecutor> ProjectServer<E> {
             inbox_buf: Vec::new(),
             ast_dispatch: false,
             durability: None,
+            term: 1,
+            fenced_by: None,
             group_commit: false,
             journal_poisoned: false,
             tail: Arc::new(TailHub::new()),
@@ -486,26 +498,78 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         dir: impl AsRef<Path>,
         checkpoint_every: u64,
     ) -> Result<u64, EngineError> {
-        let dir = dir.as_ref().to_path_buf();
+        self.enable_journal_inner(dir.as_ref(), checkpoint_every, 0, None)
+    }
+
+    /// The failover half of [`ProjectServer::enable_journal`]: enables
+    /// journaling under an explicit fencing `term` (the promotion bumps
+    /// it past the deposed leader's) with an epoch floor — a promoted
+    /// follower that consumed the leader's stream up to epoch *k* must
+    /// journal at epoch ≥ *k*+1 so its reign never reuses a coordinate
+    /// the old reign published. Returns the promoted epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Fenced`] when this server was already fenced by a
+    /// term ≥ `term`; [`EngineError::Journal`] on file-system failures.
+    pub fn promote_journal(
+        &mut self,
+        dir: impl AsRef<Path>,
+        checkpoint_every: u64,
+        min_epoch: u64,
+        term: u64,
+    ) -> Result<u64, EngineError> {
+        if let Some(fence) = self.fenced_by.filter(|f| *f >= term) {
+            return Err(EngineError::Fenced {
+                term,
+                current: fence,
+            });
+        }
+        // A promotion must strictly advance the reign: re-promoting at
+        // (or below) the term already in force would let two nodes
+        // journal under one term — exactly the dual-commit fencing
+        // exists to prevent.
+        let current = self.current_term();
+        if term <= current {
+            return Err(EngineError::Fenced { term, current });
+        }
+        self.fenced_by = None;
+        self.enable_journal_inner(dir.as_ref(), checkpoint_every, min_epoch, Some(term))
+    }
+
+    fn enable_journal_inner(
+        &mut self,
+        dir: &Path,
+        checkpoint_every: u64,
+        min_epoch: u64,
+        term: Option<u64>,
+    ) -> Result<u64, EngineError> {
+        let dir = dir.to_path_buf();
         std::fs::create_dir_all(&dir).map_err(journal_io)?;
-        // Continue the epoch sequence of any previous incarnation so a
-        // stale journal from before this enable can never pass the epoch
-        // match against a new snapshot. Only a MISSING snapshot means a
-        // fresh start; an unreadable one is an error (enable would
-        // otherwise overwrite state the operator may still want).
-        let epoch = match std::fs::read_to_string(dir.join(SNAPSHOT_FILE)) {
-            Ok(s) => journal::snapshot_epoch(&s),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+        // Continue the epoch sequence (and, absent an explicit promotion
+        // term, the term) of any previous incarnation so a stale journal
+        // from before this enable can never pass the (epoch, term) match
+        // against a new snapshot. Only a MISSING snapshot means a fresh
+        // start; an unreadable one is an error (enable would otherwise
+        // overwrite state the operator may still want).
+        let (on_disk_epoch, on_disk_term) = match std::fs::read_to_string(dir.join(SNAPSHOT_FILE)) {
+            Ok(s) => (journal::snapshot_epoch(&s), journal::snapshot_term(&s)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => (0, self.term),
             Err(e) => return Err(journal_io(e)),
-        } + 1;
-        let (writer, image) = Self::write_checkpoint_files(&dir, epoch, &self.db, &self.workspace)?;
+        };
+        let epoch = (on_disk_epoch + 1).max(min_epoch);
+        let term = term.unwrap_or(on_disk_term);
+        let (writer, image) =
+            Self::write_checkpoint_files(&dir, epoch, term, &self.db, &self.workspace)?;
         self.db.attach_journal();
         self.journal_poisoned = false;
-        self.tail.publish_enable(epoch, image);
+        self.term = term;
+        self.tail.publish_enable(epoch, term, image);
         self.durability = Some(Durability {
             dir,
             writer,
             epoch,
+            term,
             checkpoint_every: checkpoint_every.max(1),
             ops_since_checkpoint: 0,
             force_checkpoint: false,
@@ -556,6 +620,53 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         self.durability.as_ref().map(|d| d.dir.as_path())
     }
 
+    /// The leadership term in force: the open journal's, or the last
+    /// term this server journaled / adopted under (1 for a server that
+    /// never saw a failover).
+    pub fn current_term(&self) -> u64 {
+        self.durability.as_ref().map_or(self.term, |d| d.term)
+    }
+
+    /// The fencing term, when a newer reign fenced this server (see
+    /// [`ProjectServer::fence_term`]). The service layer consults this
+    /// before every mutation.
+    pub fn fenced_by(&self) -> Option<u64> {
+        self.fenced_by
+    }
+
+    /// Fences this server out of leadership: a coordinator (or a revived
+    /// ex-leader's operator) announces that term `term` now holds the
+    /// reign. If `term` is newer than this server's, the server becomes
+    /// permanently read-only — durability is closed (the on-disk journal
+    /// stays, a valid artifact of the old reign), the tail hub publishes
+    /// its end so subscribers fail over, and every later mutation or
+    /// journal append is refused as stale-term. Returns the term this
+    /// server held.
+    ///
+    /// Any journal ops still buffered (group-commit window) are
+    /// discarded un-appended: they were never acked as durable, and
+    /// appending them under a deposed term could dual-commit against the
+    /// new reign's journal.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Fenced`] when `term` is not newer than the term
+    /// this server already holds — the fence request itself is stale.
+    pub fn fence_term(&mut self, term: u64) -> Result<u64, EngineError> {
+        let current = self.current_term();
+        if term <= current {
+            return Err(EngineError::Fenced { term, current });
+        }
+        self.term = current;
+        self.fenced_by = Some(term);
+        let _discarded = self.db.drain_journal_ops();
+        if self.durability.take().is_some() {
+            self.db.detach_journal();
+            self.tail.publish_disable();
+        }
+        Ok(current)
+    }
+
     /// The replication publication point: tail subscribers read committed
     /// journal records and checkpoint rollovers from here (see
     /// [`crate::engine::tail`]).
@@ -585,7 +696,7 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         let text = String::from_utf8_lossy(&bytes);
         let mut lines = text.split_inclusive('\n');
         let _header = lines.next();
-        self.tail.publish_enable(d.epoch, snapshot);
+        self.tail.publish_enable(d.epoch, d.term, snapshot);
         self.tail.publish_records(
             // Only newline-terminated lines are committed records; a
             // torn fragment (impossible outside a crash) is not.
@@ -677,12 +788,12 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         // caught-up follower must re-bootstrap rather than take the cheap
         // epoch marker.
         let dropped_ops = self.db.drain_journal_ops().len();
-        let (dir, epoch, adopted) = {
+        let (dir, epoch, term, adopted) = {
             let d = self.durability.as_ref().expect("checked above");
-            (d.dir.clone(), d.epoch + 1, d.force_checkpoint)
+            (d.dir.clone(), d.epoch + 1, d.term, d.force_checkpoint)
         };
         let (writer, image) =
-            match Self::write_checkpoint_files(&dir, epoch, &self.db, &self.workspace) {
+            match Self::write_checkpoint_files(&dir, epoch, term, &self.db, &self.workspace) {
                 Ok(w) => w,
                 Err(e) => {
                     // The snapshot may have landed at the new epoch while the
@@ -734,7 +845,7 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         // Re-tag links in image order so tail ops and the snapshot agree.
         self.db.attach_journal();
         self.tail
-            .publish_checkpoint(epoch, image, dropped_ops == 0 && !adopted);
+            .publish_checkpoint(epoch, term, image, dropped_ops == 0 && !adopted);
         if !carried.is_empty() {
             self.tail.publish_records(
                 carried
@@ -776,6 +887,10 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         let recovered = journal::recover(&snapshot, &journal_bytes)?;
         self.durability = None;
         self.adopt_project(recovered.db, recovered.workspace);
+        // Recovery continues the on-disk reign: the fresh checkpoint is
+        // written under the recovered snapshot's term (promotion, which
+        // BUMPS the term, goes through `promote_journal` instead).
+        self.term = recovered.report.term;
         self.enable_journal(dir, checkpoint_every)?;
         // Work records survive even a stale journal (they have no
         // snapshot representation): re-enqueue unprocessed events and
@@ -827,12 +942,14 @@ impl<E: ScriptExecutor> ProjectServer<E> {
     fn write_checkpoint_files(
         dir: &Path,
         epoch: u64,
+        term: u64,
         db: &MetaDb,
         workspace: &Workspace,
     ) -> Result<(JournalWriter, String), EngineError> {
-        let image = journal::write_snapshot(db, workspace, epoch);
+        let image = journal::write_snapshot(db, workspace, epoch, term);
         journal::write_file_atomic(dir.join(SNAPSHOT_FILE), &image).map_err(journal_io)?;
-        let writer = JournalWriter::create(dir.join(JOURNAL_FILE), epoch).map_err(journal_io)?;
+        let writer =
+            JournalWriter::create(dir.join(JOURNAL_FILE), epoch, term).map_err(journal_io)?;
         Ok((writer, image))
     }
 
@@ -908,6 +1025,18 @@ impl<E: ScriptExecutor> ProjectServer<E> {
     ///
     /// [`EngineError::Journal`] on append/sync/checkpoint failures.
     pub fn flush_journal(&mut self) -> Result<(), EngineError> {
+        // A fenced server must never append again: even with durability
+        // already closed, any ops that slipped into the buffer are
+        // refused loudly rather than silently dropped.
+        if let Some(fence) = self.fenced_by {
+            if !self.db.drain_journal_ops().is_empty() {
+                return Err(EngineError::Fenced {
+                    term: self.term,
+                    current: fence,
+                });
+            }
+            return Ok(());
+        }
         if self.durability.is_none() {
             return Ok(());
         }

@@ -57,8 +57,8 @@ use damocles_meta::{
 };
 
 use crate::engine::api::{
-    ApiError, AuditCounters, Request, Response, ServerStat, SessionId, SnapshotInfo, SummaryRow,
-    TraceMode, WorkLeftItem,
+    ApiError, AuditCounters, NodeRole, Request, Response, ServerStat, SessionId, SnapshotInfo,
+    SummaryRow, TraceMode, WorkLeftItem,
 };
 use crate::engine::error::EngineError;
 use crate::engine::exec::{NullExecutor, ScriptExecutor};
@@ -243,6 +243,24 @@ impl<E: ScriptExecutor + Default> ProjectService<E> {
     // workspace instead of being copied per request on the command
     // loop's hot path.
     fn dispatch(&mut self, request: Request) -> Result<Response, ApiError> {
+        // The fencing choke point: a deposed server refuses every
+        // mutation as stale-term so it can never dual-commit against the
+        // reign that replaced it. Reads still answer (the node is a
+        // perfectly good stale replica), and `Promote`/`Fence` pass
+        // through — promotion under a higher term is how a fence lifts,
+        // and a re-fence must report its own term comparison.
+        if request.is_mutation()
+            && !matches!(request, Request::Promote { .. } | Request::Fence { .. })
+        {
+            if let Some(server) = self.server.as_ref() {
+                if let Some(fence) = server.fenced_by() {
+                    return Err(ApiError::StaleTerm {
+                        term: server.current_term(),
+                        current: fence,
+                    });
+                }
+            }
+        }
         match request {
             Request::Init { source } => {
                 let bp = parser::parse(&source).map_err(EngineError::Parse)?;
@@ -395,6 +413,19 @@ impl<E: ScriptExecutor + Default> ProjectService<E> {
                 let epoch = self.need()?.enable_journal(&dir, every)?;
                 Ok(Response::Epoch { epoch })
             }
+            Request::Promote { dir, every, term } => {
+                // On a service-level node (a leader, or a test harness)
+                // there is no replica cursor to floor the epoch with; the
+                // on-disk epoch sequence already advances monotonically.
+                // A follower loop calls `promote_journal` itself with the
+                // cursor-derived floor before delegating here.
+                let epoch = self.need()?.promote_journal(&dir, every, 0, term)?;
+                Ok(Response::Promoted { epoch, term })
+            }
+            Request::Fence { term } => {
+                self.need()?.fence_term(term)?;
+                Ok(Response::Ok)
+            }
             Request::Checkpoint => {
                 let epoch = self.need()?.checkpoint()?;
                 Ok(Response::Epoch { epoch })
@@ -488,6 +519,11 @@ impl<E: ScriptExecutor + Default> ProjectService<E> {
                         resident_projects: 0,
                         activations: 0,
                         evictions: 0,
+                        term: server.current_term(),
+                        // A service-level node serves mutations; the
+                        // follower loop patches `Follower` onto replies
+                        // it serves from a replica.
+                        role: NodeRole::Leader,
                     },
                 })
             }

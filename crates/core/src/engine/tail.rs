@@ -35,6 +35,16 @@
 //! checkpoint fold policy) plus one `(epoch, final-count)` pair for the
 //! marker optimization — memory stays O(checkpoint interval), never
 //! O(history).
+//!
+//! # Terms
+//!
+//! Every substantive frame carries the leadership **term** the publisher
+//! journals under (see `DESIGN.md` §13). Subscribers track the highest
+//! term they have seen and refuse frames from an older one — a deposed
+//! leader's stream, however it reaches them, can never overwrite state
+//! the new reign replicated. The hub is node-agnostic: a promoted
+//! follower republishes through its own hub under the bumped term, so
+//! replicas form a tree and a mid-tree promotion re-parents its subtree.
 
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
@@ -53,8 +63,10 @@ pub enum TailFrame {
     Reset {
         /// The snapshot's checkpoint epoch.
         epoch: u64,
+        /// The leadership term the publisher journals under.
+        term: u64,
         /// The full project image (`damocles_meta::persist::save_project`
-        /// text plus the epoch marker line).
+        /// text plus the epoch/term marker lines).
         image: String,
     },
     /// One committed journal record of `epoch`, exactly as it sits in the
@@ -63,6 +75,8 @@ pub enum TailFrame {
     Record {
         /// The epoch this record extends.
         epoch: u64,
+        /// The leadership term the record was committed under.
+        term: u64,
         /// The record line (no trailing newline).
         line: String,
     },
@@ -73,6 +87,8 @@ pub enum TailFrame {
     Epoch {
         /// The new checkpoint epoch.
         epoch: u64,
+        /// The leadership term the checkpoint was written under.
+        term: u64,
     },
     /// Keep-alive: nothing new within the wait window. Lets the leader
     /// detect dead tailer connections and followers detect stalls.
@@ -85,17 +101,17 @@ impl TailFrame {
     /// ```
     /// use blueprint_core::engine::tail::TailFrame;
     ///
-    /// let frame = TailFrame::Epoch { epoch: 4 };
-    /// assert_eq!(frame.encode(), "tail-epoch 4");
-    /// assert_eq!(TailFrame::decode("tail-epoch 4"), Ok(frame));
+    /// let frame = TailFrame::Epoch { epoch: 4, term: 2 };
+    /// assert_eq!(frame.encode(), "tail-epoch 4 2");
+    /// assert_eq!(TailFrame::decode("tail-epoch 4 2"), Ok(frame));
     /// ```
     pub fn encode(&self) -> String {
         match self {
-            TailFrame::Reset { epoch, image } => {
-                format!("tail-reset {epoch} {}", enc_str(image))
+            TailFrame::Reset { epoch, term, image } => {
+                format!("tail-reset {epoch} {term} {}", enc_str(image))
             }
-            TailFrame::Record { epoch, line } => format!("tail-rec {epoch} {line}"),
-            TailFrame::Epoch { epoch } => format!("tail-epoch {epoch}"),
+            TailFrame::Record { epoch, term, line } => format!("tail-rec {epoch} {term} {line}"),
+            TailFrame::Epoch { epoch, term } => format!("tail-epoch {epoch} {term}"),
             TailFrame::Ping => "tail-ping".to_string(),
         }
     }
@@ -111,32 +127,47 @@ impl TailFrame {
             Some((k, r)) => (k, r),
             None => (line, ""),
         };
-        let epoch_of = |w: &str| {
+        let num = |what: &str, w: &str| {
             w.parse::<u64>()
-                .map_err(|_| format!("bad tail epoch `{w}`"))
+                .map_err(|_| format!("bad tail {what} `{w}`"))
+        };
+        // `<epoch> <term> <rest…>` — the shared prefix of every
+        // substantive frame.
+        let coords = |rest: &'_ str| -> Result<(u64, u64, String), String> {
+            let mut words = rest.splitn(3, ' ');
+            let epoch = num("epoch", words.next().unwrap_or(""))?;
+            let term = num(
+                "term",
+                words.next().ok_or_else(|| "missing term".to_string())?,
+            )?;
+            Ok((epoch, term, words.next().unwrap_or("").to_string()))
         };
         match keyword {
             "tail-reset" => {
-                let (epoch, image) = rest
-                    .split_once(' ')
-                    .ok_or_else(|| "tail-reset missing image".to_string())?;
+                let (epoch, term, image) = coords(rest).map_err(|e| format!("tail-reset: {e}"))?;
+                if image.is_empty() {
+                    return Err("tail-reset missing image".to_string());
+                }
                 Ok(TailFrame::Reset {
-                    epoch: epoch_of(epoch)?,
-                    image: dec_str(image)?,
+                    epoch,
+                    term,
+                    image: dec_str(&image)?,
                 })
             }
             "tail-rec" => {
-                let (epoch, record) = rest
-                    .split_once(' ')
-                    .ok_or_else(|| "tail-rec missing record".to_string())?;
-                Ok(TailFrame::Record {
-                    epoch: epoch_of(epoch)?,
-                    line: record.to_string(),
-                })
+                let (epoch, term, line) = coords(rest).map_err(|e| format!("tail-rec: {e}"))?;
+                if line.is_empty() {
+                    return Err("tail-rec missing record".to_string());
+                }
+                Ok(TailFrame::Record { epoch, term, line })
             }
-            "tail-epoch" => Ok(TailFrame::Epoch {
-                epoch: epoch_of(rest)?,
-            }),
+            "tail-epoch" => {
+                let (epoch, term, extra) = coords(rest).map_err(|e| format!("tail-epoch: {e}"))?;
+                if !extra.is_empty() {
+                    return Err(format!("tail-epoch trailing `{extra}`"));
+                }
+                Ok(TailFrame::Epoch { epoch, term })
+            }
             "tail-ping" => Ok(TailFrame::Ping),
             other => Err(format!("unknown tail frame `{other}`")),
         }
@@ -169,6 +200,8 @@ struct TailState {
     enabled: bool,
     closed: bool,
     epoch: u64,
+    /// Leadership term the published records are committed under.
+    term: u64,
     snapshot: String,
     /// Committed record lines of `epoch` (`<fnv1a> <seq> <op…>`), index ==
     /// sequence number. Only fsynced records are ever pushed here.
@@ -198,11 +231,13 @@ impl TailHub {
     }
 
     /// Journaling was (re-)enabled: `snapshot` is the initial checkpoint
-    /// image at `epoch`, and the journal is empty.
-    pub fn publish_enable(&self, epoch: u64, snapshot: String) {
+    /// image at `epoch`, journaled under leadership `term`, and the
+    /// journal is empty.
+    pub fn publish_enable(&self, epoch: u64, term: u64, snapshot: String) {
         let mut st = self.state.lock().expect("tail hub lock");
         st.enabled = true;
         st.epoch = epoch;
+        st.term = term;
         st.snapshot = snapshot;
         st.records.clear();
         st.prev = None;
@@ -223,16 +258,19 @@ impl TailHub {
         self.notify();
     }
 
-    /// A checkpoint folded the journal into `snapshot` at `epoch`.
-    /// `seamless` means every previously committed record is represented
-    /// in the stream (nothing was dropped outside it), so a caught-up
-    /// subscriber may take the cheap [`TailFrame::Epoch`] marker instead
-    /// of re-bootstrapping.
-    pub fn publish_checkpoint(&self, epoch: u64, snapshot: String, seamless: bool) {
+    /// A checkpoint folded the journal into `snapshot` at `epoch`, under
+    /// leadership `term`. `seamless` means every previously committed
+    /// record is represented in the stream (nothing was dropped outside
+    /// it), so a caught-up subscriber may take the cheap
+    /// [`TailFrame::Epoch`] marker instead of re-bootstrapping.
+    pub fn publish_checkpoint(&self, epoch: u64, term: u64, snapshot: String, seamless: bool) {
         let mut st = self.state.lock().expect("tail hub lock");
-        st.prev = seamless.then_some((st.epoch, st.records.len() as u64));
+        // The marker shortcut only holds within one reign: a follower at
+        // the fold point of an older term must re-bootstrap instead.
+        st.prev = (seamless && st.term == term).then_some((st.epoch, st.records.len() as u64));
         st.enabled = true;
         st.epoch = epoch;
+        st.term = term;
         st.snapshot = snapshot;
         st.records.clear();
         drop(st);
@@ -266,6 +304,13 @@ impl TailHub {
         st.enabled.then_some((st.epoch, st.records.len() as u64))
     }
 
+    /// The leadership term the published stream is committed under, or
+    /// `None` when no journal is enabled.
+    pub fn term(&self) -> Option<u64> {
+        let st = self.state.lock().expect("tail hub lock");
+        st.enabled.then_some(st.term)
+    }
+
     /// Blocks until the stream has something past `cursor` (or `timeout`
     /// elapses — then a single [`TailFrame::Ping`] is returned so the
     /// caller can probe its transport). Advances `cursor` past whatever
@@ -294,12 +339,16 @@ impl TailHub {
                     // already equals the new snapshot.
                     cursor.epoch = st.epoch;
                     cursor.seq = 0;
-                    return Ok(vec![TailFrame::Epoch { epoch: st.epoch }]);
+                    return Ok(vec![TailFrame::Epoch {
+                        epoch: st.epoch,
+                        term: st.term,
+                    }]);
                 }
                 cursor.epoch = st.epoch;
                 cursor.seq = 0;
                 return Ok(vec![TailFrame::Reset {
                     epoch: st.epoch,
+                    term: st.term,
                     image: st.snapshot.clone(),
                 }]);
             }
@@ -310,6 +359,7 @@ impl TailHub {
                 cursor.seq = 0;
                 return Ok(vec![TailFrame::Reset {
                     epoch: st.epoch,
+                    term: st.term,
                     image: st.snapshot.clone(),
                 }]);
             }
@@ -318,6 +368,7 @@ impl TailHub {
                     .iter()
                     .map(|line| TailFrame::Record {
                         epoch: st.epoch,
+                        term: st.term,
                         line: line.clone(),
                     })
                     .collect();
@@ -351,13 +402,15 @@ mod tests {
         let frames = vec![
             TailFrame::Reset {
                 epoch: 3,
-                image: "damocles-db v1\noid a,v,1\n# epoch=3\n".into(),
+                term: 2,
+                image: "damocles-db v1\noid a,v,1\n# epoch=3\n# term=2\n".into(),
             },
             TailFrame::Record {
                 epoch: 3,
+                term: 2,
                 line: record_line(0),
             },
-            TailFrame::Epoch { epoch: 4 },
+            TailFrame::Epoch { epoch: 4, term: 2 },
             TailFrame::Ping,
         ];
         for frame in frames {
@@ -366,6 +419,10 @@ mod tests {
             assert_eq!(TailFrame::decode(&line), Ok(frame), "{line}");
         }
         assert!(TailFrame::decode("blah 1").is_err());
+        // Term-less frames are a different (pre-term) protocol: refused.
+        assert!(TailFrame::decode("tail-epoch 4").is_err());
+        assert!(TailFrame::decode("tail-epoch 4 2 junk").is_err());
+        assert!(TailFrame::decode("tail-rec 3 2").is_err());
     }
 
     #[test]
@@ -377,7 +434,7 @@ mod tests {
             hub.next_frames(&mut cursor, Duration::from_millis(1)),
             Err(TailEnded::Disabled)
         );
-        hub.publish_enable(1, "image-e1".into());
+        hub.publish_enable(1, 1, "image-e1".into());
         // Epoch 0 != 1: full bootstrap, then the committed records.
         let frames = hub
             .next_frames(&mut cursor, Duration::from_millis(1))
@@ -386,6 +443,7 @@ mod tests {
             frames,
             vec![TailFrame::Reset {
                 epoch: 1,
+                term: 1,
                 image: "image-e1".into()
             }]
         );
@@ -394,9 +452,10 @@ mod tests {
             .next_frames(&mut cursor, Duration::from_millis(1))
             .unwrap();
         assert_eq!(frames.len(), 2);
-        assert!(
-            matches!(&frames[0], TailFrame::Record { epoch: 1, line } if *line == record_line(0))
-        );
+        assert!(matches!(
+            &frames[0],
+            TailFrame::Record { epoch: 1, term: 1, line } if *line == record_line(0)
+        ));
         assert_eq!(cursor, TailCursor { epoch: 1, seq: 2 });
         // Caught up: the wait times out into a ping.
         assert_eq!(
@@ -408,14 +467,14 @@ mod tests {
     #[test]
     fn caught_up_subscriber_gets_the_cheap_rollover_marker() {
         let hub = TailHub::new();
-        hub.publish_enable(1, "image-e1".into());
+        hub.publish_enable(1, 1, "image-e1".into());
         hub.publish_records([record_line(0)]);
         let mut caught_up = TailCursor { epoch: 1, seq: 1 };
         let mut behind = TailCursor { epoch: 1, seq: 0 };
-        hub.publish_checkpoint(2, "image-e2".into(), true);
+        hub.publish_checkpoint(2, 1, "image-e2".into(), true);
         assert_eq!(
             hub.next_frames(&mut caught_up, Duration::from_millis(1)),
-            Ok(vec![TailFrame::Epoch { epoch: 2 }])
+            Ok(vec![TailFrame::Epoch { epoch: 2, term: 1 }])
         );
         assert_eq!(caught_up, TailCursor { epoch: 2, seq: 0 });
         // The straggler missed record 0 of the folded epoch: full reset.
@@ -423,20 +482,42 @@ mod tests {
             hub.next_frames(&mut behind, Duration::from_millis(1)),
             Ok(vec![TailFrame::Reset {
                 epoch: 2,
+                term: 1,
                 image: "image-e2".into()
             }])
         );
     }
 
     #[test]
+    fn cross_term_checkpoint_never_uses_the_marker() {
+        let hub = TailHub::new();
+        hub.publish_enable(1, 1, "image-e1".into());
+        hub.publish_records([record_line(0)]);
+        let mut caught_up = TailCursor { epoch: 1, seq: 1 };
+        // A new reign checkpoints at the same fold point; even a fully
+        // caught-up follower must re-bootstrap to adopt the new term's
+        // image — the marker shortcut only holds within one term.
+        hub.publish_checkpoint(2, 2, "image-t2".into(), true);
+        assert_eq!(
+            hub.next_frames(&mut caught_up, Duration::from_millis(1)),
+            Ok(vec![TailFrame::Reset {
+                epoch: 2,
+                term: 2,
+                image: "image-t2".into()
+            }])
+        );
+        assert_eq!(hub.term(), Some(2));
+    }
+
+    #[test]
     fn non_seamless_checkpoint_forces_reset_even_when_caught_up() {
         let hub = TailHub::new();
-        hub.publish_enable(1, "image-e1".into());
+        hub.publish_enable(1, 1, "image-e1".into());
         hub.publish_records([record_line(0)]);
         let mut caught_up = TailCursor { epoch: 1, seq: 1 };
         // Ops were folded without ever being streamed: the marker would
         // silently skip them.
-        hub.publish_checkpoint(2, "image-e2".into(), false);
+        hub.publish_checkpoint(2, 1, "image-e2".into(), false);
         assert!(matches!(
             hub.next_frames(&mut caught_up, Duration::from_millis(1))
                 .unwrap()
@@ -448,7 +529,7 @@ mod tests {
     #[test]
     fn future_cursor_is_reset_not_trusted() {
         let hub = TailHub::new();
-        hub.publish_enable(1, "image-e1".into());
+        hub.publish_enable(1, 1, "image-e1".into());
         let mut cursor = TailCursor { epoch: 1, seq: 99 };
         assert!(matches!(
             hub.next_frames(&mut cursor, Duration::from_millis(1))
@@ -462,7 +543,7 @@ mod tests {
     #[test]
     fn disable_and_close_end_subscriptions() {
         let hub = TailHub::new();
-        hub.publish_enable(1, "image".into());
+        hub.publish_enable(1, 1, "image".into());
         let mut cursor = TailCursor { epoch: 1, seq: 0 };
         hub.publish_disable();
         assert_eq!(
@@ -481,7 +562,7 @@ mod tests {
     fn blocked_subscriber_wakes_on_publish() {
         use std::sync::Arc;
         let hub = Arc::new(TailHub::new());
-        hub.publish_enable(1, "image".into());
+        hub.publish_enable(1, 1, "image".into());
         let waiter = {
             let hub = Arc::clone(&hub);
             std::thread::spawn(move || {

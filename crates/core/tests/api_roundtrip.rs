@@ -7,8 +7,8 @@
 use proptest::prelude::*;
 
 use blueprint_core::engine::api::{
-    ApiError, AuditCounters, ProjectEntry, Request, Response, ServerStat, SnapshotInfo, SummaryRow,
-    TraceMode, WorkLeftItem,
+    ApiError, AuditCounters, NodeRole, ProjectEntry, Request, Response, ServerStat, SnapshotInfo,
+    SummaryRow, TraceMode, WorkLeftItem,
 };
 use damocles_meta::{Direction, EventMessage, Oid, Value};
 
@@ -163,6 +163,12 @@ fn request() -> impl Strategy<Value = Request> {
             .prop_map(|(project, create)| Request::Attach { project, create })
             .boxed(),
         Just(Request::ListProjects).boxed(),
+        (text(), any::<u64>(), any::<u64>())
+            .prop_map(|(dir, every, term)| Request::Promote { dir, every, term })
+            .boxed(),
+        any::<u64>()
+            .prop_map(|term| Request::Fence { term })
+            .boxed(),
     ]
 }
 
@@ -235,7 +241,14 @@ fn api_error() -> impl Strategy<Value = ApiError> {
             .prop_map(|project| ApiError::ProjectPoisoned { project })
             .boxed(),
         Just(ApiError::NoFleet).boxed(),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(term, current)| ApiError::StaleTerm { term, current })
+            .boxed(),
     ]
+}
+
+fn node_role() -> impl Strategy<Value = NodeRole> {
+    prop_oneof![Just(NodeRole::Leader), Just(NodeRole::Follower)]
 }
 
 fn response() -> impl Strategy<Value = Response> {
@@ -356,11 +369,19 @@ fn response() -> impl Strategy<Value = Response> {
                 proptest::collection::vec(any::<u32>(), 4..5),
                 any::<u32>(),
                 any::<u32>(),
-                proptest::collection::vec(any::<u32>(), 4..5)
+                proptest::collection::vec(any::<u32>(), 4..5),
+                (any::<u64>(), node_role())
             )
         )
             .prop_map(
-                |(oids, links, pending, epoch, records, (workers, inv, cur_e, cur_s, fleet))| {
+                |(
+                    oids,
+                    links,
+                    pending,
+                    epoch,
+                    records,
+                    (workers, inv, cur_e, cur_s, fleet, (term, role)),
+                )| {
                     Response::Stat {
                         stat: ServerStat {
                             oids: u64::from(oids),
@@ -379,6 +400,8 @@ fn response() -> impl Strategy<Value = Response> {
                             resident_projects: u64::from(fleet[1]),
                             activations: u64::from(fleet[2]),
                             evictions: u64::from(fleet[3]),
+                            term,
+                            role,
                         },
                     }
                 }
@@ -386,6 +409,9 @@ fn response() -> impl Strategy<Value = Response> {
             .boxed(),
         (any::<u64>(), any::<u64>())
             .prop_map(|(epoch, seq)| Response::Tailing { epoch, seq })
+            .boxed(),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(epoch, term)| Response::Promoted { epoch, term })
             .boxed(),
         (any::<u64>(), any::<u64>(), any::<u64>(), text())
             .prop_map(|(epoch, seq, oids, image)| Response::Replayed {

@@ -30,7 +30,7 @@
 //! # File format
 //!
 //! ```text
-//! damocles-journal v1 epoch=3
+//! damocles-journal v1 epoch=3 term=2
 //! 1b0c2f... 0 create cpu,schematic,2
 //! 9ee41a... 1 prop cpu,schematic,2 uptodate b:true
 //! 77a0d3... 2 link 5 cpu,HDL_model,1 cpu,schematic,2 derive derive_from outofdate
@@ -49,6 +49,19 @@
 //! would corrupt the database. Recovery therefore compares the journal
 //! header's epoch with the snapshot's and ignores the tail on mismatch
 //! (reported via [`RecoveryReport::stale_journal`]).
+//!
+//! # Terms and fencing
+//!
+//! The header also carries a leadership **term**: a fencing number bumped
+//! on every failover promotion, never reused. A journal written under
+//! term *t* belongs to the leadership reign that wrote it; recovery
+//! refuses to mix reigns by requiring the journal's `(epoch, term)` to
+//! match the snapshot's (a mismatched term is reported as
+//! [`RecoveryReport::stale_journal`], exactly like a stale epoch).
+//! Headers predating terms parse as term 1, so pre-failover artifacts
+//! stay readable. The server layer enforces the live half of the fence:
+//! a deposed leader's appends are refused before they reach this file
+//! (see `DESIGN.md` §13).
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -66,9 +79,14 @@ use crate::workspace::Workspace;
 
 /// Journal format version written in every header.
 const HEADER_PREFIX: &str = "damocles-journal v1 epoch=";
+/// Separator between the epoch and term fields of a header line.
+const TERM_INFIX: &str = " term=";
 /// Marker line appended to checkpoint snapshots (skipped as a comment by
 /// [`persist::load`]).
 const EPOCH_COMMENT: &str = "# epoch=";
+/// Term marker line appended to checkpoint snapshots, after the epoch
+/// marker (also a comment to [`persist::load`]).
+const TERM_COMMENT: &str = "# term=";
 
 /// Which end of a link a [`JournalOp::MoveLinkEnd`] re-pointed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -658,17 +676,39 @@ pub fn encode_record(seq: u64, op: &JournalOp) -> String {
     format!("{:016x} {payload}\n", fnv1a(payload.as_bytes()))
 }
 
-/// Renders the journal header line for `epoch` (with trailing newline).
-pub fn encode_header(epoch: u64) -> String {
-    format!("{HEADER_PREFIX}{epoch}\n")
+/// Renders the journal header line for `epoch` under leadership `term`
+/// (with trailing newline).
+pub fn encode_header(epoch: u64, term: u64) -> String {
+    format!("{HEADER_PREFIX}{epoch}{TERM_INFIX}{term}\n")
 }
 
 /// Whether an incomplete final line could be a truncation artifact of a
-/// valid header: a strict prefix of `damocles-journal v1 epoch=<digits>`.
+/// valid header: a strict prefix of
+/// `damocles-journal v1 epoch=<digits> term=<digits>` (the term suffix
+/// is optional — pre-term headers stop after the epoch digits).
 fn is_torn_header(h: &str) -> bool {
     match h.strip_prefix(HEADER_PREFIX) {
-        Some(rest) => rest.bytes().all(|b| b.is_ascii_digit()),
+        Some(rest) => {
+            let digits = rest.bytes().take_while(u8::is_ascii_digit).count();
+            let after = &rest[digits..];
+            after.is_empty()
+                || (digits > 0
+                    && (TERM_INFIX.starts_with(after)
+                        || after
+                            .strip_prefix(TERM_INFIX)
+                            .is_some_and(|t| t.bytes().all(|b| b.is_ascii_digit()))))
+        }
         None => HEADER_PREFIX.starts_with(h),
+    }
+}
+
+/// Parses a complete header line into `(epoch, term)`. Headers written
+/// before terms existed carry no ` term=` field and parse as term 1.
+fn parse_header_fields(h: &str) -> Option<(u64, u64)> {
+    let rest = h.strip_prefix(HEADER_PREFIX)?;
+    match rest.split_once(TERM_INFIX) {
+        Some((epoch, term)) => Some((epoch.parse().ok()?, term.parse().ok()?)),
+        None => Some((rest.parse().ok()?, 1)),
     }
 }
 
@@ -729,6 +769,9 @@ fn parse_record(line: &str, expected_seq: u64) -> Result<JournalOp, String> {
 pub struct JournalTail {
     /// Epoch from the header; `None` when even the header was torn.
     pub epoch: Option<u64>,
+    /// Leadership term from the header (1 for pre-term headers); `None`
+    /// when even the header was torn.
+    pub term: Option<u64>,
     /// Ops of the valid prefix, in sequence order.
     pub ops: Vec<JournalOp>,
     /// Why parsing stopped early, if it did.
@@ -761,9 +804,12 @@ pub fn parse_journal(bytes: &[u8]) -> Result<JournalTail, JournalError> {
     };
     let header_complete = bytes.len() > header_bytes.len(); // a '\n' follows
     match std::str::from_utf8(header_bytes) {
-        Ok(h) if header_complete => match h.strip_prefix(HEADER_PREFIX).map(str::parse::<u64>) {
-            Some(Ok(e)) => tail.epoch = Some(e),
-            _ => {
+        Ok(h) if header_complete => match parse_header_fields(h) {
+            Some((epoch, term)) => {
+                tail.epoch = Some(epoch);
+                tail.term = Some(term);
+            }
+            None => {
                 return Err(JournalError::BadHeader {
                     found: h.to_string(),
                 })
@@ -822,21 +868,22 @@ pub struct JournalWriter {
     file: File,
     path: PathBuf,
     epoch: u64,
+    term: u64,
     seq: u64,
 }
 
 impl JournalWriter {
     /// Creates (atomically: tmp + rename) a fresh journal at `path` for
-    /// `epoch`, truncating any previous file.
+    /// `epoch` under leadership `term`, truncating any previous file.
     ///
     /// # Errors
     ///
     /// File-system errors.
-    pub fn create(path: impl AsRef<Path>, epoch: u64) -> Result<Self, std::io::Error> {
+    pub fn create(path: impl AsRef<Path>, epoch: u64, term: u64) -> Result<Self, std::io::Error> {
         let path = path.as_ref().to_path_buf();
         let tmp = tmp_sibling(&path);
         let mut file = File::create(&tmp)?;
-        file.write_all(encode_header(epoch).as_bytes())?;
+        file.write_all(encode_header(epoch, term).as_bytes())?;
         file.sync_all()?;
         fs::rename(&tmp, &path)?;
         sync_parent_dir(&path)?;
@@ -844,6 +891,7 @@ impl JournalWriter {
             file,
             path,
             epoch,
+            term,
             seq: 0,
         })
     }
@@ -880,6 +928,11 @@ impl JournalWriter {
         self.epoch
     }
 
+    /// The leadership term in this journal's header.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
     /// The journal file path.
     pub fn path(&self) -> &Path {
         &self.path
@@ -910,11 +963,11 @@ fn sync_parent_dir(path: &Path) -> Result<(), std::io::Error> {
 }
 
 /// Writes a checkpoint snapshot image: the [`persist::save_project`] text
-/// (database + workspace payloads) plus an epoch marker line that
+/// (database + workspace payloads) plus epoch and term marker lines that
 /// [`recover`] matches against the journal header.
-pub fn write_snapshot(db: &MetaDb, workspace: &Workspace, epoch: u64) -> String {
+pub fn write_snapshot(db: &MetaDb, workspace: &Workspace, epoch: u64, term: u64) -> String {
     let mut image = persist::save_project(db, workspace);
-    image.push_str(&format!("{EPOCH_COMMENT}{epoch}\n"));
+    image.push_str(&format!("{EPOCH_COMMENT}{epoch}\n{TERM_COMMENT}{term}\n"));
     image
 }
 
@@ -927,6 +980,17 @@ pub fn snapshot_epoch(image: &str) -> u64 {
         .find_map(|l| l.strip_prefix(EPOCH_COMMENT))
         .and_then(|e| e.trim().parse().ok())
         .unwrap_or(0)
+}
+
+/// The leadership-term marker of a snapshot image (1 for images written
+/// before terms existed, matching the pre-term journal-header default).
+pub fn snapshot_term(image: &str) -> u64 {
+    image
+        .lines()
+        .rev()
+        .find_map(|l| l.strip_prefix(TERM_COMMENT))
+        .and_then(|t| t.trim().parse().ok())
+        .unwrap_or(1)
 }
 
 /// Writes `content` to `path` atomically (tmp sibling + fsync + rename).
@@ -1033,14 +1097,18 @@ pub fn pending_work(ops: &[JournalOp]) -> PendingWork {
 pub struct RecoveryReport {
     /// The snapshot's epoch.
     pub epoch: u64,
+    /// The snapshot's leadership term (1 for pre-term images).
+    pub term: u64,
     /// Live objects restored from the snapshot alone.
     pub snapshot_oids: usize,
     /// Journal ops replayed on top of the snapshot.
     pub replayed_ops: usize,
     /// Why the journal's tail was cut short (torn final record), if it was.
     pub torn_tail: Option<String>,
-    /// The journal belonged to an older checkpoint epoch and was ignored
-    /// (its ops are already folded into the snapshot).
+    /// The journal belonged to an older checkpoint epoch or a different
+    /// leadership term and was ignored (a stale epoch's ops are already
+    /// folded into the snapshot; a stale term's belong to a deposed
+    /// leader and must never be applied).
     pub stale_journal: bool,
 }
 
@@ -1087,6 +1155,7 @@ pub fn recover_until(
         persist::load_project(snapshot).map_err(JournalError::Snapshot)?;
     let mut report = RecoveryReport {
         epoch: snapshot_epoch(snapshot),
+        term: snapshot_term(snapshot),
         snapshot_oids: db.oid_count(),
         ..Default::default()
     };
@@ -1104,13 +1173,16 @@ pub fn recover_until(
         }
         tail.ops.truncate(limit as usize);
     }
-    let replay = match tail.epoch {
-        Some(e) if e == report.epoch => true,
-        Some(_) => {
+    // The tail extends this snapshot only when BOTH coordinates match:
+    // a stale epoch's ops are already folded in; a stale (or future)
+    // term's were written by a different leadership reign.
+    let replay = match (tail.epoch, tail.term) {
+        (Some(e), Some(t)) if e == report.epoch && t == report.term => true,
+        (Some(_), _) => {
             report.stale_journal = true;
             false
         }
-        None => false, // torn header: no usable tail
+        _ => false, // torn header: no usable tail
     };
     report.torn_tail = tail.torn;
 
@@ -1258,8 +1330,8 @@ pub fn apply_op(
 }
 
 /// Folds `snapshot + journal tail` into a fresh snapshot at the next
-/// epoch — offline compaction. The live-server equivalent is
-/// `ProjectServer::checkpoint`.
+/// epoch, under the same leadership term — offline compaction. The
+/// live-server equivalent is `ProjectServer::checkpoint`.
 ///
 /// # Errors
 ///
@@ -1268,7 +1340,12 @@ pub fn compact(snapshot: &str, journal: &[u8]) -> Result<(String, RecoveryReport
     let recovered = recover(snapshot, journal)?;
     let next_epoch = recovered.report.epoch + 1;
     Ok((
-        write_snapshot(&recovered.db, &recovered.workspace, next_epoch),
+        write_snapshot(
+            &recovered.db,
+            &recovered.workspace,
+            next_epoch,
+            recovered.report.term,
+        ),
         recovered.report,
     ))
 }
@@ -1441,7 +1518,7 @@ mod tests {
 
     #[test]
     fn parse_journal_accepts_torn_tail() {
-        let mut bytes = encode_header(4).into_bytes();
+        let mut bytes = encode_header(4, 2).into_bytes();
         let ops = sample_ops();
         bytes.extend_from_slice(encode_record(0, &ops[0]).as_bytes());
         bytes.extend_from_slice(encode_record(1, &ops[1]).as_bytes());
@@ -1450,6 +1527,7 @@ mod tests {
         bytes.truncate(full.len() - 7);
         let tail = parse_journal(&bytes).unwrap();
         assert_eq!(tail.epoch, Some(4));
+        assert_eq!(tail.term, Some(2));
         assert_eq!(tail.ops.len(), 1);
         assert!(tail.torn.is_some());
         // The untouched journal parses fully.
@@ -1460,7 +1538,7 @@ mod tests {
 
     #[test]
     fn parse_journal_rejects_midfile_corruption() {
-        let mut text = encode_header(0);
+        let mut text = encode_header(0, 1);
         let ops = sample_ops();
         let mut bad = encode_record(0, &ops[0]);
         bad = bad.replace("cpu", "gpu"); // breaks the checksum
@@ -1477,7 +1555,7 @@ mod tests {
         // A newline-terminated final record cannot be a truncation
         // artifact: a bit flip there must error, exactly like mid-file.
         let ops = sample_ops();
-        let mut text = encode_header(0);
+        let mut text = encode_header(0, 1);
         text.push_str(&encode_record(0, &ops[0]));
         text.push_str(&encode_record(1, &ops[1]).replace("cpu", "gpu"));
         assert!(text.ends_with('\n'));
@@ -1497,6 +1575,7 @@ mod tests {
         let tail = parse_journal(b"damocles-jour").unwrap();
         assert!(tail.torn.is_some());
         assert!(tail.epoch.is_none());
+        assert!(tail.term.is_none());
         // Complete foreign header errors.
         assert!(matches!(
             parse_journal(b"some other file\n"),
@@ -1504,6 +1583,42 @@ mod tests {
         ));
         // Empty file is a torn (not yet written) journal.
         assert!(parse_journal(b"").unwrap().torn.is_some());
+    }
+
+    #[test]
+    fn header_term_grammar() {
+        // A full header round-trips both coordinates.
+        let tail = parse_journal(encode_header(4, 3).as_bytes()).unwrap();
+        assert_eq!((tail.epoch, tail.term), (Some(4), Some(3)));
+        // A pre-term header parses as term 1.
+        let tail = parse_journal(b"damocles-journal v1 epoch=4\n").unwrap();
+        assert_eq!((tail.epoch, tail.term), (Some(4), Some(1)));
+        // Truncation anywhere inside ` term=<digits>` is torn, not foreign.
+        for cut in [
+            "epoch=4 ",
+            "epoch=4 ter",
+            "epoch=4 term=",
+            "epoch=4 term=12",
+        ] {
+            let bytes = format!("damocles-journal v1 {cut}");
+            let tail = parse_journal(bytes.as_bytes()).unwrap();
+            assert!(tail.torn.is_some(), "`{cut}` should be torn");
+            assert!(tail.epoch.is_none());
+        }
+        // A complete header with a mangled term field is foreign.
+        for bad in [
+            "damocles-journal v1 epoch=4 tern=2\n",
+            "damocles-journal v1 epoch=4 term=x\n",
+            "damocles-journal v1 epoch= term=2\n",
+        ] {
+            assert!(
+                matches!(
+                    parse_journal(bad.as_bytes()),
+                    Err(JournalError::BadHeader { .. })
+                ),
+                "`{bad}` should be foreign"
+            );
+        }
     }
 
     #[test]
@@ -1534,19 +1649,49 @@ mod tests {
     fn snapshot_epoch_roundtrip() {
         let db = MetaDb::new();
         let ws = Workspace::new("w");
-        let image = write_snapshot(&db, &ws, 7);
+        let image = write_snapshot(&db, &ws, 7, 3);
         assert_eq!(snapshot_epoch(&image), 7);
-        // Plain persist images default to epoch 0.
+        assert_eq!(snapshot_term(&image), 3);
+        // Plain persist images default to epoch 0, term 1 (the pre-term
+        // journal-header default, so legacy pairs still match up).
         assert_eq!(snapshot_epoch(&persist::save(&db)), 0);
-        // The marker is a comment: persist::load still accepts the image.
+        assert_eq!(snapshot_term(&persist::save(&db)), 1);
+        // The markers are comments: persist::load still accepts the image.
         assert!(persist::load(&image).is_ok());
+    }
+
+    #[test]
+    fn journal_from_a_different_term_is_stale() {
+        let db = MetaDb::new();
+        let ws = Workspace::new("w");
+        let snapshot = write_snapshot(&db, &ws, 3, 2);
+        let op = JournalOp::CreateOid {
+            oid: Oid::new("a", "v", 1),
+        };
+        let journal = |term: u64| {
+            let mut j = encode_header(3, term);
+            j.push_str(&encode_record(0, &op));
+            j
+        };
+        // Matching (epoch, term): the tail replays.
+        let r = recover(&snapshot, journal(2).as_bytes()).unwrap();
+        assert_eq!((r.report.term, r.report.replayed_ops), (2, 1));
+        assert!(!r.report.stale_journal);
+        // A deposed leader's term (older OR newer than the snapshot's)
+        // never replays — its reign did not write this snapshot.
+        for stale in [1, 3] {
+            let r = recover(&snapshot, journal(stale).as_bytes()).unwrap();
+            assert!(r.report.stale_journal, "term {stale}");
+            assert_eq!(r.report.replayed_ops, 0);
+            assert_eq!(r.db.oid_count(), 0);
+        }
     }
 
     #[test]
     fn recover_until_cuts_history_at_the_cursor() {
         let db = MetaDb::new();
         let ws = Workspace::new("w");
-        let snapshot = write_snapshot(&db, &ws, 3);
+        let snapshot = write_snapshot(&db, &ws, 3, 1);
         let ops = [
             JournalOp::CreateOid {
                 oid: Oid::new("a", "v", 1),
@@ -1560,7 +1705,7 @@ mod tests {
                 value: Value::Int(1),
             },
         ];
-        let mut journal = encode_header(3);
+        let mut journal = encode_header(3, 1);
         for (seq, op) in ops.iter().enumerate() {
             journal.push_str(&encode_record(seq as u64, op));
         }

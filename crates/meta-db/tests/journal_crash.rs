@@ -128,8 +128,8 @@ fn apply_cmds(db: &mut MetaDb, cmds: &[Cmd], version_base: u32) {
     }
 }
 
-fn journal_bytes(epoch: u64, ops: &[JournalOp]) -> Vec<u8> {
-    let mut bytes = encode_header(epoch).into_bytes();
+fn journal_bytes(epoch: u64, term: u64, ops: &[JournalOp]) -> Vec<u8> {
+    let mut bytes = encode_header(epoch, term).into_bytes();
     for (seq, op) in ops.iter().enumerate() {
         bytes.extend_from_slice(encode_record(seq as u64, op).as_bytes());
     }
@@ -163,13 +163,14 @@ proptest! {
         );
 
         let epoch = 3;
-        let snapshot = journal::write_snapshot(&MetaDb::new(), &Workspace::new("w"), epoch);
-        let bytes = journal_bytes(epoch, &ops);
+        let term = 2;
+        let snapshot = journal::write_snapshot(&MetaDb::new(), &Workspace::new("w"), epoch, term);
+        let bytes = journal_bytes(epoch, term, &ops);
         // Byte offsets at which the file consists of whole records only:
         // end of header, then after each record. A cut exactly on a
         // boundary is indistinguishable from a journal with fewer records,
         // so only cuts OFF a boundary must raise the torn-tail flag.
-        let mut boundaries = vec![encode_header(epoch).len()];
+        let mut boundaries = vec![encode_header(epoch, term).len()];
         for (seq, op) in ops.iter().enumerate() {
             boundaries.push(boundaries[seq] + encode_record(seq as u64, op).len());
         }
@@ -232,7 +233,7 @@ proptest! {
         apply_cmds(&mut db, &setup, 0);
         let _ = db.drain_journal_ops();
         let ws = Workspace::new("w");
-        let snapshot = journal::write_snapshot(&db, &ws, 9);
+        let snapshot = journal::write_snapshot(&db, &ws, 9, 4);
 
         // Recovery of the bare snapshot is exact.
         let recovered = journal::recover(&snapshot, b"").expect("bare snapshot recovers");
@@ -244,7 +245,7 @@ proptest! {
         db.attach_journal();
         apply_cmds(&mut db, &tail, 6);
         let ops = db.drain_journal_ops();
-        let bytes = journal_bytes(9, &ops);
+        let bytes = journal_bytes(9, 4, &ops);
         let recovered = journal::recover(&snapshot, &bytes).expect("snapshot + tail recovers");
         prop_assert_eq!(
             persist::save(&recovered.db),
@@ -258,6 +259,10 @@ proptest! {
         let from_compacted = journal::recover(&compacted, b"").expect("compacted recovers");
         prop_assert_eq!(persist::save(&from_compacted.db), persist::save(&db));
         prop_assert_eq!(journal::snapshot_epoch(&compacted), 10);
+        prop_assert_eq!(
+            journal::snapshot_term(&compacted), 4,
+            "compaction rolls the epoch but continues the reign"
+        );
     }
 
     /// A journal whose epoch does not match the snapshot (the crash window
@@ -271,12 +276,78 @@ proptest! {
         let ops = db.drain_journal_ops();
         // Snapshot at epoch 5 already CONTAINS the ops' effects; the
         // journal still claims epoch 4.
-        let snapshot = journal::write_snapshot(&db, &Workspace::new("w"), 5);
-        let bytes = journal_bytes(4, &ops);
+        let snapshot = journal::write_snapshot(&db, &Workspace::new("w"), 5, 1);
+        let bytes = journal_bytes(4, 1, &ops);
         let recovered = journal::recover(&snapshot, &bytes).expect("stale journal tolerated");
         prop_assert!(recovered.report.stale_journal);
         prop_assert_eq!(recovered.report.replayed_ops, 0);
         prop_assert_eq!(persist::save(&recovered.db), persist::save(&db));
+    }
+
+    /// The fencing property at the durability layer (ISSUE 9): a journal
+    /// written under any OTHER leadership term than the snapshot's — a
+    /// deposed leader's tail left behind a promotion, or a failed
+    /// promotion's orphan — is never replayed into the image, at every
+    /// (snapshot term, journal term) interleaving.
+    #[test]
+    fn mismatched_term_journal_is_never_replayed(
+        setup in cmds(),
+        tail in cmds(),
+        snap_term in 1u64..6,
+        delta in 1u64..4,
+        journal_newer in any::<bool>(),
+    ) {
+        let mut db = MetaDb::new();
+        db.attach_journal();
+        apply_cmds(&mut db, &setup, 0);
+        let _ = db.drain_journal_ops();
+        let snapshot = journal::write_snapshot(&db, &Workspace::new("w"), 7, snap_term);
+        prop_assert_eq!(journal::snapshot_term(&snapshot), snap_term);
+
+        db.attach_journal();
+        apply_cmds(&mut db, &tail, 9);
+        let ops = db.drain_journal_ops();
+        // Same epoch, different term: the one disagreement epochs can't
+        // catch. Stale terms model the deposed leader; newer terms an
+        // orphaned promotion whose snapshot never landed.
+        let journal_term = if journal_newer {
+            snap_term + delta
+        } else {
+            snap_term.saturating_sub(delta).max(1)
+        };
+        let bytes = journal_bytes(7, journal_term, &ops);
+        let recovered = journal::recover(&snapshot, &bytes).expect("fenced journal tolerated");
+        if journal_term == snap_term {
+            // delta could collapse to equality at the floor; then it IS
+            // the matching reign and must replay.
+            prop_assert_eq!(recovered.report.replayed_ops, ops.len());
+        } else {
+            prop_assert!(recovered.report.stale_journal);
+            prop_assert_eq!(recovered.report.replayed_ops, 0);
+            prop_assert_eq!(recovered.report.term, snap_term);
+        }
+    }
+
+    /// The term grammar round-trips through snapshot + recovery at every
+    /// (epoch, term) — and a legacy (pre-term) journal header means term
+    /// 1, so it only ever replays into a term-1 snapshot.
+    #[test]
+    fn term_grammar_roundtrips_through_recovery(
+        epoch in 1u64..1_000_000,
+        term in 1u64..1_000_000,
+    ) {
+        let snapshot = journal::write_snapshot(&MetaDb::new(), &Workspace::new("w"), epoch, term);
+        prop_assert_eq!(journal::snapshot_epoch(&snapshot), epoch);
+        prop_assert_eq!(journal::snapshot_term(&snapshot), term);
+        let bytes = journal::encode_header(epoch, term).into_bytes();
+        let recovered = journal::recover(&snapshot, &bytes).expect("matching reign recovers");
+        prop_assert!(!recovered.report.stale_journal);
+        prop_assert_eq!(recovered.report.term, term);
+        // A journal written before terms existed carries no ` term=`
+        // field and belongs to reign 1 by definition.
+        let legacy = format!("damocles-journal v1 epoch={epoch}\n").into_bytes();
+        let recovered = journal::recover(&snapshot, &legacy).expect("legacy header tolerated");
+        prop_assert_eq!(recovered.report.stale_journal, term != 1);
     }
 
     /// Group commit (ISSUE 3): ops land in multi-record batches with one
@@ -291,8 +362,8 @@ proptest! {
         let mut db = MetaDb::new();
         db.attach_journal();
         let epoch = 2;
-        let snapshot = journal::write_snapshot(&MetaDb::new(), &Workspace::new("w"), epoch);
-        let mut bytes = encode_header(epoch).into_bytes();
+        let snapshot = journal::write_snapshot(&MetaDb::new(), &Workspace::new("w"), epoch, 1);
+        let mut bytes = encode_header(epoch, 1).into_bytes();
         let mut seq = 0u64;
         // Byte length of the journal and the database image at each
         // flushed batch boundary.

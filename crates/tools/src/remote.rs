@@ -9,9 +9,18 @@
 //! engine into the tool process, exactly the paper's process split. It
 //! is also the follower runtime's transport: [`RemoteWrapper::tail_from`]
 //! turns one connection into a live journal-tail stream.
+//!
+//! A bare [`RemoteWrapper`] dies with its socket. [`LeaderClient`] wraps
+//! it into a **leader-chasing** session for HA deployments (`DESIGN.md`
+//! §13): it reconnects through a bounded exponential backoff
+//! ([`ReconnectPolicy`]), rotates through its seed addresses when a node
+//! is gone, and follows `read-only` redirects to whichever node
+//! currently leads — so a workload survives a leader crash and lands on
+//! the promoted follower without the caller doing anything.
 
 use std::io::{self, BufRead, BufReader, Write as _};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use blueprint_core::engine::api::{ApiError, Request, Response};
 use blueprint_core::engine::tail::TailFrame;
@@ -141,6 +150,162 @@ impl RemoteWrapper {
     }
 }
 
+/// How hard a [`LeaderClient`] tries before giving up: a bounded number
+/// of attempts with exponential backoff between them. The PR 5 caveat —
+/// "a `RemoteWrapper` whose socket dies is dead" — is closed by this
+/// policy: the client re-dials instead.
+#[derive(Debug, Clone)]
+pub struct ReconnectPolicy {
+    /// Total request attempts (connects and redirects each consume one).
+    pub max_attempts: u32,
+    /// Sleep before the second attempt; doubles per `multiplier`.
+    pub base_delay: Duration,
+    /// Backoff growth factor per failed attempt.
+    pub multiplier: u32,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(25),
+            multiplier: 2,
+        }
+    }
+}
+
+/// A wrapper session that survives its socket: reconnects under a
+/// [`ReconnectPolicy`], rotates through seed addresses, and chases
+/// `read-only` redirects to the current leader.
+///
+/// Give it every node of the deployment as a seed; it finds whichever
+/// one accepts writes. Connection setup is lazy — construction never
+/// touches the network.
+#[derive(Debug)]
+pub struct LeaderClient {
+    /// Known front doors, tried round-robin when the current one fails.
+    seeds: Vec<String>,
+    next_seed: usize,
+    /// An explicit redirect target (from `read-only <leader>`), tried
+    /// before the seed rotation.
+    target: Option<String>,
+    user: String,
+    policy: ReconnectPolicy,
+    conn: Option<(String, RemoteWrapper)>,
+}
+
+impl LeaderClient {
+    /// A client that will chase the leader across `seeds` (at least one).
+    pub fn new(
+        seeds: impl IntoIterator<Item = impl Into<String>>,
+        user: impl Into<String>,
+    ) -> Self {
+        let seeds: Vec<String> = seeds.into_iter().map(Into::into).collect();
+        assert!(!seeds.is_empty(), "LeaderClient needs at least one seed");
+        LeaderClient {
+            seeds,
+            next_seed: 0,
+            target: None,
+            user: user.into(),
+            policy: ReconnectPolicy::default(),
+            conn: None,
+        }
+    }
+
+    /// Replaces the retry policy (builder-style).
+    #[must_use]
+    pub fn with_policy(mut self, policy: ReconnectPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The address of the node the client is currently connected to.
+    pub fn connected_to(&self) -> Option<&str> {
+        self.conn.as_ref().map(|(addr, _)| addr.as_str())
+    }
+
+    /// Sends one request, reconnecting/redirecting as needed under the
+    /// policy. A structured *application* error (unknown OID, policy
+    /// refusal, …) returns as a normal [`Response::Error`] — only
+    /// transport failures and leadership redirects are retried.
+    ///
+    /// **Ambiguity caveat:** a connection that dies after a request was
+    /// written may or may not have committed it. For a **mutation** this
+    /// method does NOT re-send in that window — it returns the transport
+    /// error and leaves re-submission to the caller, who knows whether
+    /// the operation is idempotent or detectable (e.g. a re-issued
+    /// `checkin` is detectable by querying whether the version landed).
+    /// Read-only requests are re-sent freely; failed *dials* and
+    /// leadership redirects never carry ambiguity and always retry.
+    ///
+    /// # Errors
+    ///
+    /// The last transport error once `max_attempts` is exhausted, or the
+    /// first post-send transport error of a mutation (ambiguous — see
+    /// above).
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        let ambiguity_safe = !request.is_mutation();
+        let mut delay = self.policy.base_delay;
+        let mut last_err: Option<io::Error> = None;
+        for attempt in 0..self.policy.max_attempts {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay *= self.policy.multiplier.max(1);
+            }
+            if self.conn.is_none() {
+                let addr = self.target.take().unwrap_or_else(|| {
+                    let addr = self.seeds[self.next_seed % self.seeds.len()].clone();
+                    self.next_seed += 1;
+                    addr
+                });
+                match RemoteWrapper::connect(&addr, self.user.clone()) {
+                    Ok(wrapper) => self.conn = Some((addr, wrapper)),
+                    Err(e) => {
+                        last_err = Some(e);
+                        continue;
+                    }
+                }
+            }
+            let (addr, wrapper) = self.conn.as_mut().expect("connected above");
+            match wrapper.request(request) {
+                Ok(Response::Error(ApiError::ReadOnly { leader })) => {
+                    // A follower: chase the leader it names (unless it
+                    // named us or nothing — then rotate seeds). The
+                    // request did not apply, so this is never ambiguous.
+                    if !leader.is_empty() && leader != *addr {
+                        self.target = Some(leader);
+                    }
+                    self.conn = None;
+                    last_err = Some(io::Error::new(
+                        io::ErrorKind::ConnectionRefused,
+                        "node is a read-only follower",
+                    ));
+                }
+                Ok(Response::Error(ApiError::StaleTerm { term, current })) => {
+                    // A fenced, deposed leader: it knows it lost the
+                    // reign but not to whom. Rotate.
+                    self.conn = None;
+                    last_err = Some(io::Error::new(
+                        io::ErrorKind::ConnectionRefused,
+                        format!("node fenced at term {term} (term {current} leads)"),
+                    ));
+                }
+                Ok(response) => return Ok(response),
+                Err(e) => {
+                    self.conn = None;
+                    if !ambiguity_safe {
+                        return Err(e);
+                    }
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::TimedOut, "no attempts were permitted")
+        }))
+    }
+}
+
 /// The outcome of [`RemoteWrapper::tail_from`].
 #[derive(Debug)]
 pub enum TailHandshake {
@@ -197,6 +362,108 @@ impl TailStream {
 mod tests {
     use super::*;
     use damocles_meta::{Direction, Oid};
+    use std::net::TcpListener;
+
+    /// A scripted one-shot node for transport tests: accepts connections
+    /// and answers each request line with the next canned reply —
+    /// `None` means "drop the socket mid-session" (the PR 5 caveat).
+    fn scripted_node(replies: Vec<Option<String>>) -> (String, std::thread::JoinHandle<usize>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let join = std::thread::spawn(move || {
+            let mut served = 0usize;
+            let mut replies = replies.into_iter();
+            loop {
+                let Ok((stream, _)) = listener.accept() else {
+                    return served;
+                };
+                served += 1;
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut out = stream;
+                loop {
+                    let mut line = String::new();
+                    if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                        break; // client went away
+                    }
+                    match replies.next() {
+                        Some(Some(reply)) => {
+                            out.write_all(format!("{reply}\n").as_bytes()).unwrap();
+                        }
+                        Some(None) => break, // scripted socket drop
+                        None => return served,
+                    }
+                }
+            }
+        });
+        (addr, join)
+    }
+
+    /// The PR 5 caveat, closed: the node drops the socket mid-session
+    /// (no promotion involved). A READ retries transparently on a fresh
+    /// connection; a MUTATION surfaces the ambiguous error (it may have
+    /// committed) but the client recovers on its next call.
+    #[test]
+    fn leader_client_survives_a_dropped_socket() {
+        let (addr, _join) = scripted_node(vec![
+            None,                        // read request: socket dropped
+            Some(Response::Ok.encode()), // read retry on a fresh conn
+            None,                        // mutation: dropped → ambiguous
+            Some(Response::Ok.encode()), // next call reconnects fine
+        ]);
+        let mut client = LeaderClient::new([addr], "test").with_policy(ReconnectPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(1),
+            multiplier: 2,
+        });
+        // Reads are never ambiguous: the drop is absorbed by the policy.
+        assert!(matches!(client.call(&Request::Stat).unwrap(), Response::Ok));
+        // A mutation must NOT be silently re-sent: the caller sees the
+        // ambiguous transport error and decides.
+        assert!(client.call(&Request::ProcessAll).is_err());
+        assert!(matches!(
+            client.call(&Request::ProcessAll).unwrap(),
+            Response::Ok
+        ));
+    }
+
+    /// A `read-only` reply redirects the client to the named leader; the
+    /// next attempt runs against that address.
+    #[test]
+    fn leader_client_chases_a_read_only_redirect() {
+        let (leader_addr, _leader) = scripted_node(vec![Some(Response::Ok.encode())]);
+        let follower_reply = Response::Error(ApiError::ReadOnly {
+            leader: leader_addr.clone(),
+        })
+        .encode();
+        let (follower_addr, _follower) = scripted_node(vec![Some(follower_reply)]);
+        let mut client = LeaderClient::new([follower_addr], "test").with_policy(ReconnectPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(1),
+            multiplier: 2,
+        });
+        assert!(matches!(
+            client.call(&Request::ProcessAll).unwrap(),
+            Response::Ok
+        ));
+        assert_eq!(client.connected_to(), Some(leader_addr.as_str()));
+    }
+
+    /// With every seed dead, the policy bounds the suffering: `call`
+    /// returns the last transport error after `max_attempts`.
+    #[test]
+    fn leader_client_gives_up_after_max_attempts() {
+        // Bind-then-drop reserves an address nobody is listening on.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let mut client = LeaderClient::new([dead], "test").with_policy(ReconnectPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            multiplier: 2,
+        });
+        assert!(client.call(&Request::ProcessAll).is_err());
+    }
 
     #[test]
     fn encode_post_roundtrips_through_the_codec() {

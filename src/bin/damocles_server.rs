@@ -360,14 +360,25 @@ fn run_fleet(
 
 /// Follower role: spawn the read-only loop, keep a tail connection to
 /// the leader alive (reconnecting from the applied cursor), and serve
-/// the read-only front door.
+/// the front door — reads from the replica, `tailfrom` fan-out from the
+/// node's own hub (replica trees), and `promote` to take leadership
+/// (after which the same loop serves the full mutation surface).
 fn run_follower(service: ProjectService, listener: TcpListener, bound: &str, leader: String) {
+    // The node's own publication hub: the loop republishes applied
+    // frames here, so downstream replicas (and the post-promotion tail)
+    // stream from this node exactly as it streams from the leader.
+    let hub = service.tail_hub();
     let (handle, _join) = spawn_follower_loop(service, leader.clone());
     let feed = handle.feed();
     let status = handle.status();
     eprintln!("following {leader}; read-only front door on {bound}");
 
     std::thread::spawn(move || loop {
+        if status.promoted() {
+            // This node leads now: the old stream is dead to us (any
+            // frame it still carried would be refused as stale anyway).
+            return;
+        }
         // The unservable sentinel cursor (after a divergence) forces the
         // leader to answer with a full snapshot reset.
         let (epoch, seq) = status.handshake_cursor();
@@ -389,6 +400,9 @@ fn run_follower(service: ProjectService, listener: TcpListener, bound: &str, lea
                             Ok(frame) => {
                                 if feed.send(FollowerMsg::Frame(frame)).is_err() {
                                     return; // follower loop gone: shut down
+                                }
+                                if status.promoted() {
+                                    return;
                                 }
                                 if status.needs_reset() {
                                     // The replica diverged: incremental
@@ -415,7 +429,7 @@ fn run_follower(service: ProjectService, listener: TcpListener, bound: &str, lea
         std::thread::sleep(std::time::Duration::from_secs(1));
     });
 
-    if let Err(e) = serve_with(listener, || handle.session(), None) {
+    if let Err(e) = serve_with(listener, || handle.session(), Some(hub)) {
         eprintln!("error: listener failed: {e}");
         std::process::exit(1);
     }

@@ -20,6 +20,8 @@
 //! | `journal <dir> [every]` | enable op-journal durability under `dir` |
 //! | `checkpoint` | fold the journal into a fresh snapshot |
 //! | `recover <dir> [every]` | restore from snapshot + journal tail |
+//! | `promote <dir> <term> [every]` | take leadership under a new term (HA failover) |
+//! | `fence <term>` | depose this node: refuse mutations below `term` |
 //! | `replay <epoch> <seq>` | reconstruct the image at a journal cursor |
 //! | `trace on\|off\|get` | per-wave execution tracing |
 //! | `freeze <view>` / `thaw <view>` | project policy: frozen views |
@@ -40,7 +42,7 @@
 use std::fmt::Write as _;
 
 use blueprint_core::engine::api::{
-    ApiError, Cursor, Request, Response, TraceMode, DEFAULT_CHECKPOINT_EVERY,
+    ApiError, Cursor, NodeRole, Request, Response, TraceMode, DEFAULT_CHECKPOINT_EVERY,
 };
 use blueprint_core::engine::server::ProjectServer;
 use blueprint_core::engine::service::ProjectService;
@@ -257,6 +259,26 @@ pub fn parse_command(line: &str) -> Result<Request, ApiError> {
                 seq: num(&mut words, "a journal sequence number")?,
             })
         }
+        "promote" => {
+            let dir = word(&mut words, "a durability directory")?;
+            let term = words.parse_with("a leadership term", |w| {
+                w.parse::<u64>().map_err(|_| "not a number".to_string())
+            })?;
+            Ok(Request::Promote {
+                dir,
+                every: u64_or(
+                    &mut words,
+                    "a checkpoint interval (ops)",
+                    DEFAULT_CHECKPOINT_EVERY,
+                )?,
+                term,
+            })
+        }
+        "fence" => Ok(Request::Fence {
+            term: words.parse_with("a leadership term", |w| {
+                w.parse::<u64>().map_err(|_| "not a number".to_string())
+            })?,
+        }),
         "trace" => Ok(Request::Trace {
             mode: words.parse_with("a trace mode (`on`, `off` or `get`)", |w| match w {
                 "on" => Ok(TraceMode::On),
@@ -487,6 +509,9 @@ fn render(shown: &Presented, response: Response) -> ShellOutput {
             format!("journaling to {dir} (epoch {epoch}, checkpoint every {every} ops)")
         }
         (_, Response::Epoch { epoch }) => format!("checkpoint written (epoch {epoch})"),
+        (_, Response::Promoted { epoch, term }) => {
+            format!("promoted: leading at epoch {epoch} under term {term}")
+        }
         (
             _,
             Response::Recovered {
@@ -591,6 +616,12 @@ fn render(shown: &Presented, response: Response) -> ShellOutput {
                     stat.active_projects, stat.resident_projects, stat.activations, stat.evictions
                 );
             }
+            // Leadership fields appear once a node has a replication
+            // identity (a follower, or any term past the first reign):
+            // plain term-1 leaders keep the historical line byte-identical.
+            if stat.term > 1 || stat.role != NodeRole::Leader {
+                let _ = write!(out, " term={} role={}", stat.term, stat.role);
+            }
             out
         }
         (_, Response::Attached { project, created }) => {
@@ -644,6 +675,10 @@ commands:
   recover <dir> [every]               restore from snapshot + journal tail
   replay <epoch> <seq>                reconstruct the historical image at a
                                       journal cursor (see `stat`'s cursor)
+  promote <dir> <term> [every]        take leadership under a strictly
+                                      higher term, journaling under dir
+  fence <term>                        depose this node: mutations refuse
+                                      until a promotion above <term>
   trace on|off|get                    per-wave execution tracing: retain,
                                       drop, or drain captured records
   freeze <view> / thaw <view>         project policy: forbid/allow check-ins
