@@ -24,12 +24,17 @@
 //! * speedup requires hardware parallelism — on a single-core container
 //!   the sharded series instead price the overlay + epilogue overhead
 //!   (the JSON records the core count next to the numbers);
-//! * the write-heavy `waves/parallel` storm is the adverse case: ~85% of
-//!   its wall-clock is property-write application (index + journal-op +
-//!   stats maintenance), which the deterministic epilogue replays
-//!   serially — Amdahl caps that workload regardless of cores. The
+//! * the write-heavy `waves/parallel` storm used to be the adverse case:
+//!   under PR 5 ~85% of its wall-clock was property-write application
+//!   replayed serially in the epilogue. PR 10's two-phase write pipeline
+//!   moves the arena writes and (hash-sharded) index maintenance into
+//!   the parallel phase, leaving only ordered journal-op replay + stats
+//!   serial — `bench_phase_split` reports the measured split. The
 //!   `waves/exec_storm` series adds per-delivery tool-invocation
-//!   rendering (no epilogue cost), the workload shape sharding helps.
+//!   rendering (no epilogue cost), the workload shape sharding helps
+//!   most; `waves/instance_chains` is the single-family storm that
+//!   per-view-component sharding could not parallelize at all and
+//!   per-OID instance sharding can.
 //!
 //! The `waves/exec_async` series (PR 6) swaps the rendering-only executor
 //! for a real tool boundary: the same `exec`-heavy storm runs once with
@@ -51,7 +56,8 @@
 //!
 //! Smoke mode for CI: set `BENCH_SMOKE=1` to shrink measurement windows;
 //! set `BENCH_JSON=<file>` to append results as JSON lines — that is how
-//! `BENCH_pr5.json`, `BENCH_pr6.json` and `BENCH_pr7.json` are produced.
+//! `BENCH_pr5.json`, `BENCH_pr6.json`, `BENCH_pr7.json` and
+//! `BENCH_pr10.json` are produced.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -74,13 +80,16 @@ const STAGES: usize = 6;
 /// Blocks (independent chains) per family.
 const BLOCKS: usize = 16;
 
-/// A blueprint of `FAMILIES` disjoint derivation chains. Every stage
+/// Instance chains in the single-family storm (`waves/instance_chains`).
+const CHAINS: usize = 64;
+
+/// A blueprint of `families` disjoint derivation chains. Every stage
 /// carries a `let` so each delivery re-evaluates an expression — the
 /// compute the workers parallelize. With `exec_heavy`, every stale
 /// delivery also renders a tool invocation (the §3.3 automatic tool
 /// loop): pure worker-side compute with no epilogue write, the workload
 /// shape sharding helps most.
-fn family_blueprint(exec_heavy: bool) -> String {
+fn family_blueprint_n(families: usize, exec_heavy: bool) -> String {
     use std::fmt::Write as _;
     let outofdate_rule = if exec_heavy {
         "when outofdate do uptodate = false; exec checker \"$oid\" \"$event by $user at $date\" done\n"
@@ -96,7 +105,7 @@ fn family_blueprint(exec_heavy: bool) -> String {
              {outofdate_rule}\
          endview\n",
     );
-    for f in 0..FAMILIES {
+    for f in 0..families {
         let _ = writeln!(src, "view f{f}_s0 endview");
         for s in 1..STAGES {
             let _ = writeln!(
@@ -110,15 +119,24 @@ fn family_blueprint(exec_heavy: bool) -> String {
     src
 }
 
-/// Builds the populated server: `BLOCKS` chains per family, each
+fn family_blueprint(exec_heavy: bool) -> String {
+    family_blueprint_n(FAMILIES, exec_heavy)
+}
+
+/// Builds the populated server: `blocks` chains per family, each
 /// `STAGES` deep, and returns the root OID names events target.
-fn populated(workers: usize, exec_heavy: bool) -> (ProjectServer, Vec<String>) {
-    let mut server =
-        ProjectServer::from_source(&family_blueprint(exec_heavy)).expect("blueprint parses");
+fn populated_n(
+    families: usize,
+    blocks: usize,
+    workers: usize,
+    exec_heavy: bool,
+) -> (ProjectServer, Vec<String>) {
+    let mut server = ProjectServer::from_source(&family_blueprint_n(families, exec_heavy))
+        .expect("blueprint parses");
     server.set_wave_workers(workers);
     let mut roots = Vec::new();
-    for f in 0..FAMILIES {
-        for b in 0..BLOCKS {
+    for f in 0..families {
+        for b in 0..blocks {
             let block = format!("f{f}b{b}");
             let mut prev = server
                 .checkin(&block, &format!("f{f}_s0"), "bench", b"r".to_vec())
@@ -135,6 +153,10 @@ fn populated(workers: usize, exec_heavy: bool) -> (ProjectServer, Vec<String>) {
     }
     server.process_all().unwrap();
     (server, roots)
+}
+
+fn populated(workers: usize, exec_heavy: bool) -> (ProjectServer, Vec<String>) {
+    populated_n(FAMILIES, BLOCKS, workers, exec_heavy)
 }
 
 /// One measured iteration: a batch of root `ckin` events (one per chain,
@@ -155,15 +177,13 @@ fn bench_series(c: &mut Criterion, name: &str, exec_heavy: bool) {
     group.throughput(Throughput::Elements((FAMILIES * BLOCKS * STAGES) as u64));
     for &workers in &[1usize, 2, 4, 8] {
         let (mut server, roots) = populated(workers, exec_heavy);
-        // Sanity: the partition really has one group per family.
+        // Sanity: per-OID sharding puts every instance chain — not just
+        // every view family — in its own group, and every chain link is
+        // one recorded union.
         if workers > 1 {
             let map = server.shard_map();
-            assert!(
-                map.group_count() as usize >= FAMILIES,
-                "expected >= {FAMILIES} shard groups, got {}",
-                map.group_count()
-            );
-            assert_eq!(map.merges(), 0);
+            assert_eq!(map.group_count() as usize, FAMILIES * BLOCKS);
+            assert_eq!(map.merges() as usize, FAMILIES * BLOCKS * (STAGES - 1));
         }
         group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, _| {
             b.iter(|| black_box(storm(&mut server, &roots)));
@@ -191,6 +211,70 @@ fn bench_parallel_waves(c: &mut Criterion) {
     // Tool-invocation storm: deliveries also render exec invocations —
     // worker-side compute with no epilogue cost, the favourable case.
     bench_series(c, "waves/exec_storm", true);
+}
+
+/// The instance-sharding storm (PR 10): ONE view family, `CHAINS`
+/// independent instance chains. Compile-time per-view-component sharding
+/// sees a single shard group here — the whole batch would run serial at
+/// any worker count. Per-OID union-find sharding gives one group per
+/// chain, so this series isolates exactly the parallelism instance-level
+/// sharding unlocked.
+fn bench_instance_chains(c: &mut Criterion) {
+    if !target_enabled("parallel_waves") {
+        return;
+    }
+    let mut group = c.benchmark_group("waves/instance_chains");
+    group.throughput(Throughput::Elements((CHAINS * STAGES) as u64));
+    for &workers in &[1usize, 2, 4, 8] {
+        let (mut server, roots) = populated_n(1, CHAINS, workers, false);
+        if workers > 1 {
+            let map = server.shard_map();
+            assert_eq!(map.group_count() as usize, CHAINS);
+            assert_eq!(map.merges() as usize, CHAINS * (STAGES - 1));
+        }
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, _| {
+            b.iter(|| black_box(storm(&mut server, &roots)));
+        });
+    }
+    group.finish();
+}
+
+/// The Amdahl accounting behind PR 10 (not a criterion series): runs the
+/// write-heavy storm at several worker counts and reports how the drain's
+/// wall-clock splits between the worker phase (wave execution on the
+/// shard lanes) and the apply phase (write application + absorb),
+/// straight from [`ProjectServer::wave_phase_ns`]. Under PR 5 the apply
+/// phase was one serial `set_prop` replay — ~85% of this storm. The
+/// two-phase pipeline runs the arena writes and hash-sharded index
+/// maintenance inside the apply phase in parallel, leaving only ordered
+/// journal-op replay + stats serial, so the apply fraction (and with
+/// cores, its wall-clock) is the number this PR exists to shrink.
+fn bench_phase_split(_c: &mut Criterion) {
+    if !target_enabled("parallel_waves") {
+        return;
+    }
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let iters = if smoke { 3 } else { 20 };
+    for &workers in &[2usize, 4] {
+        let (mut server, roots) = populated(workers, false);
+        let (w0, a0) = server.wave_phase_ns();
+        for _ in 0..iters {
+            black_box(storm(&mut server, &roots));
+        }
+        let (w1, a1) = server.wave_phase_ns();
+        let (worker_ns, apply_ns) = (w1 - w0, a1 - a0);
+        let total = (worker_ns + apply_ns).max(1);
+        let apply_frac = apply_ns as f64 / total as f64;
+        println!(
+            "waves/phase_split/workers_{workers}: worker {worker_ns} ns, \
+             apply {apply_ns} ns ({:.1}% of drain) over {iters} storms",
+            apply_frac * 100.0
+        );
+        append_bench_json(&format!(
+            "{{\"id\":\"waves/phase_split/workers_{workers}\",\"worker_ns\":{worker_ns},\
+             \"apply_ns\":{apply_ns},\"apply_fraction\":{apply_frac:.4},\"storms\":{iters}}}"
+        ));
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -474,6 +558,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_parallel_waves, bench_async_executor, bench_trace_overhead, bench_fault_latency
+    targets = bench_parallel_waves, bench_instance_chains, bench_async_executor, bench_trace_overhead, bench_fault_latency, bench_phase_split
 }
 criterion_main!(benches);

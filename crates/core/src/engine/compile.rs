@@ -44,7 +44,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use damocles_meta::{Direction, MetaDb, OidId, Sym, SymSet, SymbolTable};
+use damocles_meta::{Direction, MetaDb, OidId, Sym, SymSet, SymbolTable, TopoDelta};
 
 use crate::lang::ast::{Action, Blueprint, Expr, LinkSource, Template};
 
@@ -571,86 +571,83 @@ fn uf_union(parent: &mut [u32], a: u32, b: u32) -> bool {
 // The runtime shard map
 // ---------------------------------------------------------------------
 
-/// The runtime refinement of the compiled shard partition.
+/// The runtime **instance-level** shard partition.
 ///
 /// The compiler proves that template-instantiated links never cross
-/// [`ShardId`] boundaries, but a live database can hold links the templates
-/// never described — adopted images, raw [`MetaDb::add_link_with`] calls,
-/// tool-created relations. A `ShardMap` is built against one `(compiled
-/// blueprint, database topology)` pair: it scans every live link that can
-/// carry at least one event (an empty PROPAGATE set carries nothing) and
-/// merges the compile-time components its endpoints belong to. The result
-/// is a partition with the invariant the parallel wave scheduler needs:
+/// [`ShardId`] boundaries, but that partition is per *view component*: two
+/// disjoint instance chains of the same views land in one compile-time
+/// shard and serialize behind each other. A `ShardMap` instead runs a
+/// union-find over the **live OIDs themselves**, keyed by arena slot,
+/// folding in every live link that can carry at least one event (an empty
+/// PROPAGATE set carries nothing). The result is the finest partition with
+/// the invariant the parallel wave scheduler needs:
 ///
 /// > a propagation wave anchored at an OID of group *g* can only ever
-/// > read or write OIDs of group *g*.
+/// > read or write OIDs of group *g*,
 ///
-/// A `Connect` that bridges two previously-disjoint components bumps the
-/// database's [`topology stamp`](MetaDb::topology_stamp), which makes the
-/// map [stale](ShardMap::is_current); the owner rebuilds it before the
-/// next parallel batch (the shard-map generation is the stamp pair).
+/// because every wave read and write reaches its OIDs by walking
+/// propagating links out from the anchor.
+///
+/// Any link-topology change bumps the database's
+/// [`topology stamp`](MetaDb::topology_stamp), which makes the map
+/// [stale](ShardMap::is_current). The owner first tries
+/// [`ShardMap::try_update`], which replays the database's bounded
+/// [topology delta log](MetaDb::topology_deltas_since) — new bridges are
+/// pure union-find merges, so mid-session `Connect`/`PROPAGATE` growth
+/// costs O(deltas), not a rescan of every link. Only severing changes
+/// (link removal or repointing away) force a full rebuild, because a
+/// union-find cannot un-merge.
 #[derive(Debug, Clone)]
 pub struct ShardMap {
-    /// Union-find parents over the compiled shard space, seeded identity
-    /// and folded by runtime bridge links.
+    /// Union-find parents over OID arena slots, seeded identity and
+    /// folded by propagating links. Slots at or beyond the vector's end
+    /// are implicit singletons (OIDs created after the map was built).
     parent: Vec<u32>,
-    /// Database view symbol index → compile-time shard (raw, unresolved).
-    /// `u32::MAX` marks a view symbol with no live OID at build time;
-    /// [`ShardMap::group_of`] falls back to the compiled lookup for those.
-    by_view_sym: Vec<u32>,
-    /// The [`MetaDb::topology_stamp`] this map was built against.
+    /// The [`MetaDb::topology_stamp`] this map describes.
     topo_stamp: u64,
     /// The [`CompiledBlueprint::generation`] this map was built against.
     compiled_generation: u64,
-    /// Compile-time components merged by runtime bridge links.
+    /// Distinct components merged by propagating links (build + updates).
     merges: u64,
-    /// Distinct groups among view symbols with live OIDs at build time.
+    /// Incremental delta-log updates absorbed since the last full build.
+    incremental_updates: u64,
+    /// Distinct groups among live OIDs at build time, maintained
+    /// approximately across incremental updates (exact again on rebuild).
     groups: u32,
 }
 
 impl ShardMap {
-    /// Builds the map for the current database topology: seeds the
-    /// compiled partition, then folds in every live link whose PROPAGATE
-    /// set is non-empty.
+    /// Builds the map for the current database topology: seeds every live
+    /// OID as its own group, then folds in every live link whose
+    /// PROPAGATE set is non-empty.
     pub fn build(compiled: &CompiledBlueprint, db: &MetaDb) -> ShardMap {
-        let mut parent: Vec<u32> = (0..compiled.shard_space()).collect();
-        let mut by_view_sym = vec![u32::MAX; db.view_sym_count()];
-        for (_, entry) in db.iter_oids() {
-            let slot = entry.view_sym().index();
-            if by_view_sym[slot] == u32::MAX {
-                by_view_sym[slot] = compiled.shard_of_view(entry.oid.view.as_str()).0;
-            }
-        }
-        let shard_of = |by_view_sym: &[u32], id: OidId| -> Option<u32> {
-            db.entry(id).ok().map(|e| by_view_sym[e.view_sym().index()])
-        };
+        let slots = db
+            .iter_oids()
+            .map(|(id, _)| id.slot() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut parent: Vec<u32> = (0..slots).collect();
         let mut merges = 0u64;
         for (_, link) in db.iter_links() {
             if link.propagates().is_empty() {
                 continue;
             }
-            if let (Some(a), Some(b)) = (
-                shard_of(&by_view_sym, link.from),
-                shard_of(&by_view_sym, link.to),
-            ) {
-                if uf_union(&mut parent, a, b) {
-                    merges += 1;
-                }
+            if uf_union(&mut parent, link.from.slot(), link.to.slot()) {
+                merges += 1;
             }
         }
-        let mut roots: Vec<u32> = by_view_sym
-            .iter()
-            .filter(|&&raw| raw != u32::MAX)
-            .map(|&raw| uf_find(&mut parent, raw))
+        let mut roots: Vec<u32> = db
+            .iter_oids()
+            .map(|(id, _)| uf_find(&mut parent, id.slot()))
             .collect();
         roots.sort_unstable();
         roots.dedup();
         ShardMap {
             parent,
-            by_view_sym,
             topo_stamp: db.topology_stamp(),
             compiled_generation: compiled.generation(),
             merges,
+            incremental_updates: 0,
             groups: roots.len() as u32,
         }
     }
@@ -662,48 +659,87 @@ impl ShardMap {
         self.compiled_generation == compiled.generation() && self.topo_stamp == db.topology_stamp()
     }
 
+    /// Brings a stale map up to date by replaying the database's bounded
+    /// topology delta log, without rescanning any link. Returns `true` on
+    /// success (the map is then [current](ShardMap::is_current)) and
+    /// `false` when only a full [`ShardMap::build`] can help: the
+    /// blueprint generation moved, the log has been truncated past this
+    /// map's stamp, or a delta severed topology (union-find cannot
+    /// un-merge).
+    pub fn try_update(&mut self, compiled: &CompiledBlueprint, db: &MetaDb) -> bool {
+        if self.compiled_generation != compiled.generation() {
+            return false;
+        }
+        if self.topo_stamp == db.topology_stamp() {
+            return true;
+        }
+        let Some(deltas) = db.topology_deltas_since(self.topo_stamp) else {
+            return false;
+        };
+        let deltas: Vec<TopoDelta> = deltas.copied().collect();
+        if deltas.iter().any(|d| matches!(d, TopoDelta::Sever)) {
+            return false;
+        }
+        for delta in deltas {
+            let TopoDelta::Bridge { a, b } = delta else {
+                continue; // Quiet: a link that still carries nothing
+            };
+            let grow = a.slot().max(b.slot()) + 1;
+            if grow as usize > self.parent.len() {
+                // OIDs created since the build: late singletons.
+                self.groups += grow - self.parent.len() as u32;
+                self.parent.extend(self.parent.len() as u32..grow);
+            }
+            if uf_union(&mut self.parent, a.slot(), b.slot()) {
+                self.merges += 1;
+                self.groups = self.groups.saturating_sub(1);
+            }
+        }
+        self.topo_stamp = db.topology_stamp();
+        self.incremental_updates += 1;
+        true
+    }
+
     /// The shard-map generation: the `(blueprint generation, topology
-    /// stamp)` pair the partition was computed from. Any bridge-creating
+    /// stamp)` pair the partition describes. Any bridge-creating
     /// `Connect` moves it.
     pub fn generation(&self) -> (u64, u64) {
         (self.compiled_generation, self.topo_stamp)
     }
 
-    /// Resolves a compile-time shard through the runtime merges.
-    pub fn resolve(&self, shard: ShardId) -> ShardId {
-        let mut a = shard.0;
-        while self.parent[a as usize] != a {
+    /// The execution group of an OID: the union-find root of its arena
+    /// slot. OIDs created after the map was built are singleton groups
+    /// (correct: had they gained a propagating link, the map would be
+    /// stale). A stale handle lands in group 0 — the wave executing there
+    /// reports the same stale-OID error the sequential path would.
+    pub fn group_of(&self, _compiled: &CompiledBlueprint, db: &MetaDb, id: OidId) -> ShardId {
+        if !db.is_live(id) {
+            return ShardId(0);
+        }
+        let mut a = id.slot();
+        while (a as usize) < self.parent.len() && self.parent[a as usize] != a {
             a = self.parent[a as usize];
         }
         ShardId(a)
     }
 
-    /// The execution group of an OID: its view's compile-time shard,
-    /// resolved through the runtime merges. A stale handle lands in group
-    /// 0 — the wave executing there reports the same stale-OID error the
-    /// sequential path would.
-    pub fn group_of(&self, compiled: &CompiledBlueprint, db: &MetaDb, id: OidId) -> ShardId {
-        match db.entry(id) {
-            Err(_) => ShardId(0),
-            Ok(entry) => {
-                let raw = self
-                    .by_view_sym
-                    .get(entry.view_sym().index())
-                    .copied()
-                    .filter(|&raw| raw != u32::MAX)
-                    .unwrap_or_else(|| compiled.shard_of_view(entry.oid.view.as_str()).0);
-                self.resolve(ShardId(raw))
-            }
-        }
-    }
-
-    /// Compile-time components merged by runtime bridge links.
+    /// Distinct components merged by propagating links (at build time plus
+    /// across incremental updates).
     pub fn merges(&self) -> u64 {
         self.merges
     }
 
-    /// Distinct execution groups among views with live OIDs at build time
-    /// — the parallelism ceiling of one batch.
+    /// Incremental delta-log updates absorbed since the last full build —
+    /// `0` on a freshly built map, so a nonzero value proves mid-session
+    /// topology growth was patched in rather than rebuilt over.
+    pub fn incremental_updates(&self) -> u64 {
+        self.incremental_updates
+    }
+
+    /// Distinct execution groups among live OIDs at build time — the
+    /// parallelism ceiling of one batch. Maintained approximately across
+    /// incremental updates (merges decrement it, late OIDs join as
+    /// singletons); a rebuild makes it exact again.
     pub fn group_count(&self) -> u32 {
         self.groups
     }
@@ -889,6 +925,93 @@ mod tests {
             merged.group_of(&compiled, &db, b)
         );
         assert_eq!(merged.group_count(), 1);
+    }
+
+    #[test]
+    fn shard_map_absorbs_bridges_incrementally_and_rebuilds_on_sever() {
+        use damocles_meta::{LinkClass, LinkKind, MetaDb, Oid};
+        let bp = parse(
+            r#"blueprint shards
+            view a endview
+            view b endview
+            endblueprint"#,
+        )
+        .unwrap();
+        let compiled = CompiledBlueprint::compile(&bp);
+        let mut db = MetaDb::new();
+        let a = db.create_oid(Oid::new("x", "a", 1)).unwrap();
+        let b = db.create_oid(Oid::new("x", "b", 1)).unwrap();
+        let mut map = ShardMap::build(&compiled, &db);
+        assert_eq!(map.incremental_updates(), 0);
+        assert!(map.try_update(&compiled, &db), "current map: no-op update");
+        assert_eq!(map.incremental_updates(), 0, "no-op absorbs nothing");
+
+        // A late OID plus a bridge to it: both patched in from the delta
+        // log, no rebuild.
+        let c = db.create_oid(Oid::new("x", "b", 2)).unwrap();
+        let bridge = db
+            .add_link_with(a, c, LinkClass::Derive, LinkKind::DeriveFrom, ["zap"])
+            .unwrap();
+        assert!(!map.is_current(&compiled, &db));
+        assert!(map.try_update(&compiled, &db));
+        assert!(map.is_current(&compiled, &db));
+        assert_eq!(map.incremental_updates(), 1);
+        assert_eq!(map.merges(), 1);
+        assert_eq!(
+            map.group_of(&compiled, &db, a),
+            map.group_of(&compiled, &db, c)
+        );
+        assert_ne!(
+            map.group_of(&compiled, &db, a),
+            map.group_of(&compiled, &db, b)
+        );
+        assert_eq!(map.group_count(), 2, "{{a,c}} and {{b}}");
+
+        // Severing topology cannot be patched into a union-find.
+        db.remove_link(bridge).unwrap();
+        assert!(!map.try_update(&compiled, &db));
+        let rebuilt = ShardMap::build(&compiled, &db);
+        assert_eq!(rebuilt.incremental_updates(), 0);
+        assert_ne!(
+            rebuilt.group_of(&compiled, &db, a),
+            rebuilt.group_of(&compiled, &db, c)
+        );
+        assert_eq!(rebuilt.group_count(), 3);
+    }
+
+    #[test]
+    fn shard_map_separates_disjoint_chains_of_one_view_family() {
+        use damocles_meta::{LinkClass, LinkKind, MetaDb, Oid};
+        let bp = parse(
+            r#"blueprint shards
+            view a endview
+            view b endview
+            endblueprint"#,
+        )
+        .unwrap();
+        let compiled = CompiledBlueprint::compile(&bp);
+        let mut db = MetaDb::new();
+        // Two instance chains over the SAME views: compile-time sharding
+        // would serialize them; instance-level sharding must not.
+        let a1 = db.create_oid(Oid::new("x", "a", 1)).unwrap();
+        let b1 = db.create_oid(Oid::new("x", "b", 1)).unwrap();
+        let a2 = db.create_oid(Oid::new("y", "a", 1)).unwrap();
+        let b2 = db.create_oid(Oid::new("y", "b", 1)).unwrap();
+        db.add_link_with(a1, b1, LinkClass::Derive, LinkKind::DeriveFrom, ["ev"])
+            .unwrap();
+        db.add_link_with(a2, b2, LinkClass::Derive, LinkKind::DeriveFrom, ["ev"])
+            .unwrap();
+        let map = ShardMap::build(&compiled, &db);
+        assert_eq!(
+            map.group_of(&compiled, &db, a1),
+            map.group_of(&compiled, &db, b1)
+        );
+        assert_ne!(
+            map.group_of(&compiled, &db, a1),
+            map.group_of(&compiled, &db, a2),
+            "disjoint chains of one view family get their own groups"
+        );
+        assert_eq!(map.group_count(), 2);
     }
 
     #[test]

@@ -24,7 +24,9 @@
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
-use damocles_meta::{Direction, MetaDb, MetaError, Oid, OidId, PropertyMap, Sym, Value};
+use damocles_meta::{
+    Direction, LaneWrites, MetaDb, MetaError, Oid, OidId, PropWrite, PropertyMap, Sym, Value,
+};
 
 use crate::engine::audit::{AuditKind, AuditLog, AuditRecord};
 use crate::engine::compile::{CompiledBlueprint, ShardId, ShardMap};
@@ -129,6 +131,13 @@ pub struct RuntimeEngine {
     /// worker. Grown lazily to the requested worker count and reused
     /// across batches.
     worker_scratches: Vec<WaveScratch>,
+    /// Cumulative nanoseconds sharded batches spent in the parallel wave
+    /// phase (worker execution) — the phase-split observability half of
+    /// [`RuntimeEngine::batch_phase_ns`].
+    batch_worker_ns: u64,
+    /// Cumulative nanoseconds sharded batches spent in write application
+    /// (the epilogue: sharded storage/index writes + serial delta replay).
+    batch_apply_ns: u64,
 }
 
 impl Default for RuntimeEngine {
@@ -277,14 +286,6 @@ impl WaveStore for DirectStore<'_> {
     }
 }
 
-/// One logged property write of a worker wave, replayed in the epilogue.
-#[derive(Debug)]
-struct WriteOp {
-    id: OidId,
-    prop: String,
-    value: Value,
-}
-
 /// A minimal multiply-xor hasher for the overlay's `OidId` keys: arena
 /// indices are small and already well-distributed, so SipHash's collision
 /// resistance buys nothing on this internal, attacker-free map — but its
@@ -330,8 +331,9 @@ struct OverlayStore<'a> {
     /// (events of one link-connected component are ordered on one lane).
     dirty: OidMap<PropertyMap>,
     /// Writes of the event currently executing, in wave order. Drained
-    /// per event into its [`EventRun`].
-    writes: Vec<WriteOp>,
+    /// per event into its [`EventRun`] and applied through
+    /// [`MetaDb::apply_prop_writes_sharded`] in the epilogue.
+    writes: Vec<PropWrite>,
 }
 
 impl WaveStore for OverlayStore<'_> {
@@ -365,7 +367,7 @@ impl WaveStore for OverlayStore<'_> {
         };
         let overlay = self.dirty.entry(id).or_default();
         let old = overlay.set(name, value.clone()).or(base_old);
-        self.writes.push(WriteOp {
+        self.writes.push(PropWrite {
             id,
             prop: name.to_string(),
             value,
@@ -380,7 +382,7 @@ impl WaveStore for OverlayStore<'_> {
             self.db.entry(id)?;
         }
         self.dirty.entry(id).or_default().set(name, value.clone());
-        self.writes.push(WriteOp {
+        self.writes.push(PropWrite {
             id,
             prop: name.to_string(),
             value,
@@ -407,6 +409,8 @@ impl RuntimeEngine {
             clock: 0,
             scratch: WaveScratch::default(),
             worker_scratches: Vec::new(),
+            batch_worker_ns: 0,
+            batch_apply_ns: 0,
         }
     }
 
@@ -414,6 +418,15 @@ impl RuntimeEngine {
     /// to rules as `$date`.
     pub fn clock(&self) -> u64 {
         self.clock
+    }
+
+    /// Cumulative `(worker_ns, apply_ns)` phase split of every sharded
+    /// batch this engine has run: time in the parallel wave phase vs time
+    /// in write application. `apply / (worker + apply)` is the serial-ish
+    /// fraction Amdahl charges the batch path — the number the phase-split
+    /// bench reporter tracks across PRs.
+    pub fn batch_phase_ns(&self) -> (u64, u64) {
+        (self.batch_worker_ns, self.batch_apply_ns)
     }
 
     /// Drops the cached per-view dispatch resolutions. Must be called when
@@ -1388,6 +1401,7 @@ impl RuntimeEngine {
         let engine: &RuntimeEngine = self;
         let shared_db: &MetaDb = db;
         let mut outputs: Vec<LaneOutput> = Vec::with_capacity(lane_count);
+        let worker_start = std::time::Instant::now();
         std::thread::scope(|scope| {
             let handles: Vec<_> = lanes
                 .into_iter()
@@ -1414,8 +1428,11 @@ impl RuntimeEngine {
             }
         });
         self.worker_scratches = pool;
+        self.batch_worker_ns += worker_start.elapsed().as_nanos() as u64;
 
-        // Deterministic sequential epilogue: replay in batch order.
+        // Deterministic epilogue. Runs up to (and including) the first
+        // wave error apply; later ones requeue untouched.
+        let apply_start = std::time::Instant::now();
         let mut runs: Vec<EventRun> = Vec::new();
         let mut deferred: Vec<(usize, QueuedEvent)> = Vec::new();
         for output in outputs {
@@ -1428,26 +1445,45 @@ impl RuntimeEngine {
             .filter(|run| run.error.is_some())
             .map(|run| run.index)
             .min();
+        let mut applied_runs: Vec<EventRun> = Vec::with_capacity(runs.len());
+        for run in runs {
+            if err_index.is_some_and(|k| run.index > k) {
+                deferred.push((run.index, run.event));
+            } else {
+                applied_runs.push(run);
+            }
+        }
+
+        // All surviving runs' writes go through the sharded write
+        // pipeline in one pass: lanes are shard-disjoint by construction,
+        // so storage and index maintenance parallelize, while journal
+        // ops, counters and error semantics stay byte-identical to a
+        // serial set_prop replay in batch order.
+        let mut lane_writes: Vec<LaneWrites> =
+            (0..lane_count).map(|_| LaneWrites::default()).collect();
+        for run in &mut applied_runs {
+            let writes = std::mem::take(&mut run.writes);
+            lane_writes[run.lane].runs.push((run.index, writes));
+        }
+        let apply_err = db.apply_prop_writes_sharded(lane_writes, workers).err();
+        let apply_err_index = apply_err.as_ref().map(|(index, _)| *index);
+        let mut apply_error = apply_err.map(|(index, e)| (index, EngineError::from(e)));
+
         let mut batch = ShardedBatch::default();
         let mut processed = 0u64;
-        for run in runs {
-            if batch.error.is_some() || err_index.is_some_and(|k| run.index > k) {
+        for run in applied_runs {
+            if batch.error.is_some() || apply_err_index.is_some_and(|k| run.index > k) {
                 deferred.push((run.index, run.event));
                 continue;
             }
             processed += 1;
-            let mut apply_error = None;
-            for write in run.writes {
-                // Through the journaled database API, so ops, indices and
-                // stats land exactly as on the sequential path.
-                if let Err(e) = db.set_prop(write.id, &write.prop, write.value) {
-                    apply_error = Some(EngineError::from(e));
-                    break;
-                }
-            }
             audit.absorb(run.audit);
             trace.absorb(run.trace);
-            match run.error.or(apply_error) {
+            let apply_e = match &apply_error {
+                Some((index, _)) if *index == run.index => apply_error.take().map(|(_, e)| e),
+                _ => None,
+            };
+            match run.error.or(apply_e) {
                 Some(e) => batch.error = Some(e),
                 None => batch.outcomes.push(run.outcome),
             }
@@ -1455,6 +1491,7 @@ impl RuntimeEngine {
         self.clock = base_clock + processed;
         deferred.sort_by_key(|(index, _)| *index);
         batch.unprocessed = deferred.into_iter().map(|(_, ev)| ev).collect();
+        self.batch_apply_ns += apply_start.elapsed().as_nanos() as u64;
         batch
     }
 
@@ -1522,6 +1559,7 @@ impl RuntimeEngine {
             let stop = error.is_some();
             runs.push(EventRun {
                 index,
+                lane: lane_id,
                 event: ev,
                 writes,
                 audit,
@@ -1564,8 +1602,12 @@ struct LaneOutput {
 /// One executed event of a sharded batch, ready for the epilogue.
 struct EventRun {
     index: usize,
+    /// The worker lane that executed the event. Lanes hold disjoint OID
+    /// sets, which is what lets the epilogue apply all lanes' writes
+    /// through the parallel [`MetaDb::apply_prop_writes_sharded`] pass.
+    lane: usize,
     event: QueuedEvent,
-    writes: Vec<WriteOp>,
+    writes: Vec<PropWrite>,
     audit: AuditLog,
     trace: TraceLog,
     outcome: ProcessOutcome,

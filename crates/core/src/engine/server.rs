@@ -58,6 +58,22 @@ impl ProcessReport {
     }
 }
 
+/// The wave worker count new servers start with: the
+/// `DAMOCLES_WAVE_WORKERS` environment variable when it parses (floored
+/// at 1), else the machine's available hardware parallelism. Sharded
+/// waves are byte-identical to sequential execution at every worker
+/// count, so parallelism is the default; `workers 1` (shell) or
+/// `--wave-workers 1` (server binary) is the sequential opt-out, and the
+/// environment knob lets CI force the parallel path on any suite.
+pub fn default_wave_workers() -> usize {
+    if let Ok(raw) = std::env::var("DAMOCLES_WAVE_WORKERS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 /// Snapshot file name inside a durability directory.
 pub(crate) const SNAPSHOT_FILE: &str = "snapshot.ddb";
 /// Journal file name inside a durability directory.
@@ -361,7 +377,7 @@ impl<E: ScriptExecutor> ProjectServer<E> {
             group_commit: false,
             journal_poisoned: false,
             tail: Arc::new(TailHub::new()),
-            wave_workers: 1,
+            wave_workers: default_wave_workers(),
             shard_map: None,
             invoker: Invoker::default(),
             in_flight_ops: BTreeMap::new(),
@@ -1151,6 +1167,13 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         self.wave_workers
     }
 
+    /// Cumulative `(worker_ns, apply_ns)` phase split of the sharded wave
+    /// batches this server has run — see
+    /// [`RuntimeEngine::batch_phase_ns`].
+    pub fn wave_phase_ns(&self) -> (u64, u64) {
+        self.engine.batch_phase_ns()
+    }
+
     // ------------------------------------------------------------------
     // Async invocation pool
     // ------------------------------------------------------------------
@@ -1191,16 +1214,20 @@ impl<E: ScriptExecutor> ProjectServer<E> {
         self.invoker.wait_harvest(timeout)
     }
 
-    /// The shard partition the parallel wave path would use right now:
-    /// rebuilds the cached [`ShardMap`] if the blueprint or the link
-    /// topology changed, then returns it. Also the observability hook for
-    /// tests and tooling (group count, runtime merges, generation).
+    /// The shard partition the parallel wave path would use right now.
+    /// A stale cached [`ShardMap`] is first offered the database's
+    /// topology delta log ([`ShardMap::try_update`]) — mid-session
+    /// `Connect`/`PROPAGATE` growth patches in as pure union-find merges;
+    /// only severing changes (or delta-log truncation, or a blueprint
+    /// swap) pay for a full rebuild. Also the observability hook for
+    /// tests and tooling (group count, runtime merges, incremental
+    /// updates, generation).
     pub fn shard_map(&mut self) -> &ShardMap {
-        let current = self
-            .shard_map
-            .as_ref()
-            .is_some_and(|m| m.is_current(&self.compiled, &self.db));
-        if !current {
+        let updated = match self.shard_map.as_mut() {
+            Some(map) => map.try_update(&self.compiled, &self.db),
+            None => false,
+        };
+        if !updated {
             self.shard_map = Some(ShardMap::build(&self.compiled, &self.db));
         }
         self.shard_map.as_ref().expect("built above")

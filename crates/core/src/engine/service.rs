@@ -103,7 +103,7 @@ impl<E: ScriptExecutor + Default> ProjectService<E> {
             server: None,
             snapshots: BTreeMap::new(),
             group_commit: false,
-            wave_workers: 1,
+            wave_workers: crate::engine::server::default_wave_workers(),
             retry_policies: Vec::new(),
             tail: Arc::new(TailHub::new()),
         }

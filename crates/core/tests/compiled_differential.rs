@@ -9,10 +9,13 @@
 //! For randomized blueprints, design graphs and event streams, the paths
 //! are run side by side on cloned databases and held to the same
 //! [`ProcessOutcome`] (delivered count and script invocations), the same
-//! retained audit-record sequence, and the same final database image
+//! retained audit-record sequence, the same journal-op stream
+//! ([`MetaDb::drain_journal_ops`]) and the same final database image
 //! (`damocles_meta::persist::save`). The random graphs deliberately
-//! include raw links that bridge compile-time shard components, so the
-//! runtime [`ShardMap`] merges are exercised throughout.
+//! include raw links that bridge compile-time shard components, and a
+//! dedicated case runs disjoint instance chains of one view family —
+//! per-OID [`ShardMap`] groups that only exist with instance-level
+//! sharding — so both merge and split behaviour are exercised.
 
 use blueprint_core::engine::audit::AuditLog;
 use blueprint_core::engine::compile::{CompiledBlueprint, ShardMap};
@@ -218,6 +221,105 @@ fn events() -> impl Strategy<Value = Vec<EventSpec>> {
     )
 }
 
+/// A fixed two-view blueprint for the instance-chain cases: both chain
+/// views carry write-heavy rules so every delivery produces prop writes
+/// that the sharded apply pipeline must order exactly like sequential.
+fn chain_blueprint() -> Blueprint {
+    let mut alpha = ViewDef::empty("alpha".to_string());
+    alpha.rules.push(RuleDef {
+        event: "ev0".to_string(),
+        actions: vec![
+            Action::Assign {
+                prop: "p0".to_string(),
+                value: Template::var("arg"),
+            },
+            Action::Assign {
+                prop: "state".to_string(),
+                value: Template::parse_interpolated("$event by $user"),
+            },
+        ],
+        span: Span::default(),
+    });
+    alpha.rules.push(RuleDef {
+        event: "ckin".to_string(),
+        actions: vec![Action::Assign {
+            prop: "state".to_string(),
+            value: Template::lit("fresh"),
+        }],
+        span: Span::default(),
+    });
+    let mut beta = ViewDef::empty("beta".to_string());
+    beta.rules.push(RuleDef {
+        event: "ev0".to_string(),
+        actions: vec![
+            Action::Assign {
+                prop: "p1".to_string(),
+                value: Template::var("arg"),
+            },
+            Action::Notify {
+                message: Template::parse_interpolated("chain hit $oid"),
+            },
+        ],
+        span: Span::default(),
+    });
+    Blueprint {
+        name: "chaintest".to_string(),
+        views: vec![alpha, beta],
+        span: Span::default(),
+    }
+}
+
+/// Builds `chains` disjoint instance chains of `length` OIDs each, all
+/// drawn from the same alpha/beta view family, linked along the chain
+/// with PROPAGATE ev0+ckin, plus raw bridge links (tail of chain `a` to
+/// head of chain `b`) for each requested bridge pair.
+fn build_chains(
+    chains: usize,
+    length: usize,
+    bridges: &[(usize, usize)],
+) -> (MetaDb, Vec<OidId>, Vec<Vec<OidId>>) {
+    let mut db = MetaDb::new();
+    let mut all = Vec::new();
+    let mut per_chain = Vec::new();
+    for c in 0..chains {
+        let mut ids = Vec::new();
+        for i in 0..length {
+            let view = if i % 2 == 0 { "alpha" } else { "beta" };
+            let id = db
+                .create_oid(Oid::new(format!("c{c}n{i}"), view, 1))
+                .expect("fresh oid");
+            ids.push(id);
+            all.push(id);
+        }
+        for pair in ids.windows(2) {
+            db.add_link_with(
+                pair[0],
+                pair[1],
+                LinkClass::Derive,
+                LinkKind::DeriveFrom,
+                vec!["ev0".to_string(), "ckin".to_string()],
+            )
+            .expect("chain endpoints live");
+        }
+        per_chain.push(ids);
+    }
+    for &(a, b) in bridges {
+        let (a, b) = (a % chains, b % chains);
+        if a == b {
+            continue;
+        }
+        db.add_link_with(
+            per_chain[a][length - 1],
+            per_chain[b][0],
+            LinkClass::Derive,
+            LinkKind::DeriveFrom,
+            vec!["ev0".to_string()],
+        )
+        .expect("bridge endpoints live");
+    }
+    (db, all, per_chain)
+}
+
 /// Per-event observation: delivered count and debug-rendered invocations.
 type Observation = (u64, Vec<String>);
 /// Full-stream observation: per-event outcomes, final db image, audit trail.
@@ -315,6 +417,7 @@ proptest! {
         };
         let compiled = CompiledBlueprint::compile(&bp);
         let (mut db_seq, ids) = build_db(&spec);
+        db_seq.attach_journal();
 
         // Sequential reference: one process_compiled call per event.
         let (seq_outcomes, seq_image, seq_records) = run_stream(
@@ -332,9 +435,15 @@ proptest! {
             &stream,
             &policy,
         );
+        let seq_journal: Vec<String> = db_seq
+            .drain_journal_ops()
+            .iter()
+            .map(|op| format!("{op:?}"))
+            .collect();
 
         for workers in [1usize, 2, 4, 8] {
             let (mut db, ids) = build_db(&spec);
+            db.attach_journal();
             let shards = ShardMap::build(&compiled, &db);
             let mut engine = RuntimeEngine::new(policy.clone());
             let mut audit = AuditLog::retaining();
@@ -370,8 +479,140 @@ proptest! {
                 .collect();
             let records: Vec<String> =
                 audit.records().iter().map(|r| format!("{r:?}")).collect();
+            let journal: Vec<String> = db
+                .drain_journal_ops()
+                .iter()
+                .map(|op| format!("{op:?}"))
+                .collect();
             prop_assert_eq!(&outcomes, &seq_outcomes, "workers={}", workers);
             prop_assert_eq!(&records, &seq_records, "workers={}", workers);
+            prop_assert_eq!(&journal, &seq_journal, "workers={}", workers);
+            prop_assert_eq!(&persist::save(&db), &seq_image, "workers={}", workers);
+        }
+    }
+
+    /// Disjoint instance chains of a *single* view family must land in
+    /// distinct per-OID shard groups, and — with random raw bridge links
+    /// welding some chains together — the sharded path must still match
+    /// sequential execution byte-for-byte at every worker count,
+    /// including the journal-op stream.
+    #[test]
+    fn same_view_instance_chains_shard_apart_and_match_sequential(
+        chains in 2usize..5,
+        length in 2usize..5,
+        bridges in proptest::collection::vec((0usize..4, 0usize..4), 0..3),
+        stream in events(),
+    ) {
+        let bp = chain_blueprint();
+        let policy = Policy::default();
+        let compiled = CompiledBlueprint::compile(&bp);
+
+        let (db_probe, _, per_chain) = build_chains(chains, length, &bridges);
+        let effective: Vec<(usize, usize)> = bridges
+            .iter()
+            .map(|&(a, b)| (a % chains, b % chains))
+            .filter(|(a, b)| a != b)
+            .collect();
+        let shards = ShardMap::build(&compiled, &db_probe);
+        if effective.is_empty() {
+            // No bridges: every chain is its own group, and per-view-
+            // component sharding (which keyed on the shared view family)
+            // could never have told them apart.
+            let heads: Vec<_> = per_chain
+                .iter()
+                .map(|chain| shards.group_of(&compiled, &db_probe, chain[0]))
+                .collect();
+            for (ci, chain) in per_chain.iter().enumerate() {
+                for id in chain {
+                    prop_assert_eq!(
+                        shards.group_of(&compiled, &db_probe, *id),
+                        heads[ci],
+                        "chain {} is internally split", ci
+                    );
+                }
+            }
+            let distinct: std::collections::BTreeSet<_> = heads.iter().collect();
+            prop_assert_eq!(distinct.len(), chains);
+        } else {
+            // Bridged chains must share a group.
+            for &(a, b) in &effective {
+                prop_assert_eq!(
+                    shards.group_of(&compiled, &db_probe, per_chain[a][length - 1]),
+                    shards.group_of(&compiled, &db_probe, per_chain[b][0]),
+                    "bridge {}->{} not merged", a, b
+                );
+            }
+        }
+
+        let (mut db_seq, ids, _) = build_chains(chains, length, &bridges);
+        db_seq.attach_journal();
+        let (seq_outcomes, seq_image, seq_records) = run_stream(
+            |engine, db, audit, ev| {
+                let out = engine
+                    .process_compiled(&compiled, db, audit, ev)
+                    .expect("lenient policy");
+                (
+                    out.delivered,
+                    out.invocations.iter().map(|i| format!("{i:?}")).collect(),
+                )
+            },
+            &mut db_seq,
+            &ids,
+            &stream,
+            &policy,
+        );
+        let seq_journal: Vec<String> = db_seq
+            .drain_journal_ops()
+            .iter()
+            .map(|op| format!("{op:?}"))
+            .collect();
+
+        for workers in [1usize, 2, 4, 8] {
+            let (mut db, ids, _) = build_chains(chains, length, &bridges);
+            db.attach_journal();
+            let shards = ShardMap::build(&compiled, &db);
+            let mut engine = RuntimeEngine::new(policy.clone());
+            let mut audit = AuditLog::retaining();
+            let events: Vec<QueuedEvent> = stream
+                .iter()
+                .map(|(event_idx, up, target, arg)| {
+                    let dir = if *up { Direction::Up } else { Direction::Down };
+                    let id = ids[target % ids.len()];
+                    QueuedEvent::target(EVENTS[*event_idx], dir, id, "difftest")
+                        .with_arg(arg.clone())
+                })
+                .collect();
+            let batch = engine.process_batch_sharded(
+                &compiled,
+                &shards,
+                &mut db,
+                &mut audit,
+                events,
+                workers,
+            );
+            prop_assert!(batch.error.is_none(), "lenient policy: {:?}", batch.error);
+            prop_assert!(batch.unprocessed.is_empty());
+
+            let outcomes: Vec<Observation> = batch
+                .outcomes
+                .iter()
+                .map(|out| {
+                    (
+                        out.delivered,
+                        out.invocations.iter().map(|i| format!("{i:?}")).collect(),
+                    )
+                })
+                .collect();
+            let records: Vec<String> =
+                audit.records().iter().map(|r| format!("{r:?}")).collect();
+            let journal: Vec<String> = db
+                .drain_journal_ops()
+                .iter()
+                .map(|op| format!("{op:?}"))
+                .collect();
+            prop_assert_eq!(&outcomes, &seq_outcomes, "workers={}", workers);
+            prop_assert_eq!(&records, &seq_records, "workers={}", workers);
+            prop_assert_eq!(&journal, &seq_journal, "workers={}", workers);
             prop_assert_eq!(&persist::save(&db), &seq_image, "workers={}", workers);
         }
     }

@@ -23,9 +23,11 @@
 //! batch takes exactly what is queued when it forms, so an idle client
 //! pays one fsync of latency while a burst amortizes one append+fsync
 //! across the whole backlog — a reply in hand always means the effect is
-//! durable. There is no batch-size knob to tune. `--wave-workers N`
-//! shards each `process` drain across N wave worker threads (see
-//! `DESIGN.md` §9).
+//! durable. There is no batch-size knob to tune. Each `process` drain is
+//! sharded across wave worker threads — hardware parallelism by default
+//! (sharded waves are byte-identical to sequential execution);
+//! `--wave-workers N` overrides the count and `--wave-workers 1` opts
+//! back into sequential draining (see `DESIGN.md` §9).
 //!
 //! **Follower** (`--follow <leader-addr>`): a read-only replica. It
 //! connects to a journaling leader, bootstraps from the leader's
@@ -78,7 +80,7 @@ fn main() {
     let mut listen = "127.0.0.1:7425".to_string();
     let mut journal_dir: Option<String> = None;
     let mut every: u64 = DEFAULT_CHECKPOINT_EVERY;
-    let mut wave_workers: usize = 1;
+    let mut wave_workers: Option<usize> = None;
     let mut retry: Option<[u64; 4]> = None;
     let mut follow: Option<String> = None;
     let mut replay_until: Option<(u64, u64)> = None;
@@ -103,12 +105,14 @@ fn main() {
                 })
             }
             "--wave-workers" => {
-                wave_workers = value_of(&mut args, "--wave-workers")
-                    .parse()
-                    .unwrap_or_else(|_| {
-                        eprintln!("error: --wave-workers needs a number\n{USAGE}");
-                        std::process::exit(2);
-                    })
+                wave_workers = Some(
+                    value_of(&mut args, "--wave-workers")
+                        .parse()
+                        .unwrap_or_else(|_| {
+                            eprintln!("error: --wave-workers needs a number\n{USAGE}");
+                            std::process::exit(2);
+                        }),
+                )
             }
             "--retry" => {
                 let spec = value_of(&mut args, "--retry");
@@ -291,11 +295,14 @@ fn main() {
         }
     }
 
-    if wave_workers > 1 {
+    // Without the flag the service defaults to hardware parallelism
+    // (or `DAMOCLES_WAVE_WORKERS`); an explicit value always wins, and
+    // `--wave-workers 1` is the sequential opt-out.
+    if let Some(workers) = wave_workers {
         match service.call(Request::SetWaveWorkers {
-            workers: wave_workers as u64,
+            workers: workers.max(1) as u64,
         }) {
-            Response::Ok => eprintln!("wave sharding across {wave_workers} workers"),
+            Response::Ok => eprintln!("wave sharding across {workers} workers"),
             other => {
                 eprintln!("error: unexpected waveworkers response {other:?}");
                 std::process::exit(2);

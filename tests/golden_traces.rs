@@ -22,6 +22,9 @@ use damocles::flows::{DesignSpec, EDTC_LOOSENED_SOURCE, EDTC_SOURCE};
 /// trace, one encoded record per line.
 fn traced_run(source: &str, steps: &[Step]) -> String {
     let mut server = ProjectServer::from_source(source).expect("scenario blueprint parses");
+    // The fixtures pin the sequential trace shape (`lane: None`), so the
+    // hardware-parallel default must be opted out of here.
+    server.set_wave_workers(1);
     server.set_trace_retention(true);
     play(&mut server, steps).expect("scenario plays cleanly");
     let lines: Vec<String> = server
@@ -85,6 +88,7 @@ fn edtc_walkthrough_trace_is_golden() {
     // The §3.4 walkthrough: model + schematic, derive link, a second
     // model version invalidating downstream, then a sim result.
     let mut server = ProjectServer::from_source(EDTC_SOURCE).expect("EDTC parses");
+    server.set_wave_workers(1); // fixture pins the sequential trace shape
     server.set_trace_retention(true);
     let steps = [
         Step::checkin("CPU", "HDL_model", "yves", b"module cpu v1"),

@@ -102,20 +102,43 @@ fn worker_count_never_changes_results() {
 }
 
 #[test]
-fn two_families_occupy_distinct_shard_groups() {
+fn every_instance_chain_occupies_its_own_shard_group() {
     let mut server = ProjectServer::from_source(TWO_FAMILIES).unwrap();
     server.set_wave_workers(4);
-    populate(&mut server, 2);
+    let pairs = populate(&mut server, 2);
     server.process_all().unwrap();
     let compiled = server.compiled();
     let a = compiled.shard_of_view("a_src");
     let b = compiled.shard_of_view("b_src");
     assert_ne!(a, b, "compile-time components must separate the families");
     assert_eq!(compiled.shard_of_view("a_der"), a, "template edge unions");
-    let map = server.shard_map();
-    assert_eq!(map.merges(), 0, "template links never bridge components");
-    assert!(map.group_count() >= 2, "groups: {}", map.group_count());
-    assert_ne!(map.resolve(a), map.resolve(b));
+    let map = server.shard_map().clone();
+    let ids: Vec<(damocles_meta::OidId, damocles_meta::OidId)> = pairs
+        .iter()
+        .map(|(src, der)| {
+            (
+                server.db().resolve(src).unwrap(),
+                server.db().resolve(der).unwrap(),
+            )
+        })
+        .collect();
+    let (compiled, db) = (server.compiled(), server.db());
+    // Chain-mates share a group; each connect link merged two singletons.
+    for (src, der) in &ids {
+        assert_eq!(
+            map.group_of(compiled, db, *src),
+            map.group_of(compiled, db, *der)
+        );
+    }
+    assert_eq!(map.merges(), 4, "one union per chain's connect link");
+    // The instance-level win: 4 disjoint chains → 4 execution groups,
+    // even though the compiler only sees 2 view components.
+    let groups: std::collections::BTreeSet<_> = ids
+        .iter()
+        .map(|(src, _)| map.group_of(compiled, db, *src))
+        .collect();
+    assert_eq!(groups.len(), 4, "disjoint same-view chains must separate");
+    assert_eq!(map.group_count(), 4);
 }
 
 /// A wrapper tool that, when invoked, relates its origin OID to the
@@ -160,7 +183,11 @@ fn mid_session_bridge_invalidates_shard_map_and_propagates() {
     populate(&mut server, 2);
     server.process_all().unwrap();
     let gen_before = server.shard_map().generation();
-    assert_eq!(server.shard_map().merges(), 0);
+    assert_eq!(
+        server.shard_map().group_count(),
+        4,
+        "4 disjoint chains before the bridge"
+    );
 
     // Mid-session: the tool bridges a0's derived view into b0's source.
     server
@@ -169,17 +196,26 @@ fn mid_session_bridge_invalidates_shard_map_and_propagates() {
     server.process_all().unwrap();
 
     // The raw propagating link must have bumped the shard-map generation
-    // and merged the two families into one execution group.
-    let compiled_a = server.compiled().shard_of_view("a_src");
-    let compiled_b = server.compiled().shard_of_view("b_src");
-    let map = server.shard_map();
+    // and merged the two bridged chains into one execution group —
+    // through the incremental delta-log path, not a rebuild.
+    let map = server.shard_map().clone();
     assert_ne!(
         map.generation(),
         gen_before,
         "bridge must move the generation"
     );
-    assert!(map.merges() >= 1, "bridge must merge components");
-    assert_eq!(map.resolve(compiled_a), map.resolve(compiled_b));
+    assert!(map.merges() >= 5, "bridge must union on top of the chains");
+    assert!(
+        map.incremental_updates() >= 1,
+        "mid-session growth must patch the map in, not rebuild it"
+    );
+    let a_der = server.db().resolve(&Oid::new("a0", "a_der", 1)).unwrap();
+    let b_src = server.db().resolve(&Oid::new("b0", "b_src", 1)).unwrap();
+    assert_eq!(
+        map.group_of(server.compiled(), server.db(), a_der),
+        map.group_of(server.compiled(), server.db(), b_src),
+        "bridged chains share one group"
+    );
 
     // And propagation across the bridge is correct on the next drain: a
     // fresh a0 source version invalidates b0's source+derived chain too.
@@ -196,6 +232,94 @@ fn mid_session_bridge_invalidates_shard_map_and_propagates() {
             "{oid} must be invalidated through the mid-session bridge"
         );
     }
+}
+
+/// Regression (ISSUE 10 satellite): mid-session PROPAGATE growth and a
+/// link repoint are absorbed by the **incremental** per-OID union-find —
+/// [`ShardMap::try_update`] patches the cached map from the database's
+/// topology delta log instead of rebuilding — and a late bridge link
+/// still merges groups correctly. Only severing forces a rebuild.
+#[test]
+fn propagate_growth_and_repoint_update_union_find_incrementally() {
+    use blueprint_core::engine::compile::{CompiledBlueprint, ShardMap};
+    use damocles_meta::{LinkClass, LinkKind, MetaDb};
+
+    let bp = parse(TWO_FAMILIES).unwrap();
+    let compiled = CompiledBlueprint::compile(&bp);
+    let mut db = MetaDb::new();
+    let a_src = db.create_oid(Oid::new("a0", "a_src", 1)).unwrap();
+    let a_der = db.create_oid(Oid::new("a0", "a_der", 1)).unwrap();
+    let b_src = db.create_oid(Oid::new("b0", "b_src", 1)).unwrap();
+    let b_der = db.create_oid(Oid::new("b0", "b_der", 1)).unwrap();
+    db.add_link_with(
+        a_src,
+        a_der,
+        LinkClass::Derive,
+        LinkKind::DeriveFrom,
+        ["outofdate"],
+    )
+    .unwrap();
+    let b_link = db
+        .add_link_with(
+            b_src,
+            b_der,
+            LinkClass::Derive,
+            LinkKind::DeriveFrom,
+            ["outofdate"],
+        )
+        .unwrap();
+    let mut map = ShardMap::build(&compiled, &db);
+    assert_eq!(map.group_count(), 2, "two disjoint chains");
+    assert_eq!(map.incremental_updates(), 0);
+
+    // PROPAGATE growth: a quiet link starts carrying an event — the
+    // update is an incremental union, not a rebuild.
+    let quiet = db
+        .add_link(a_der, b_src, LinkClass::Derive, LinkKind::DeriveFrom)
+        .unwrap();
+    assert!(map.try_update(&compiled, &db));
+    assert_eq!(map.incremental_updates(), 1, "quiet link absorbed");
+    assert_ne!(
+        map.group_of(&compiled, &db, a_der),
+        map.group_of(&compiled, &db, b_src),
+        "a link carrying nothing must not merge"
+    );
+    db.allow_event(quiet, "outofdate").unwrap();
+    assert!(!map.is_current(&compiled, &db));
+    assert!(
+        map.try_update(&compiled, &db),
+        "PROPAGATE growth is a pure union"
+    );
+    assert_eq!(map.incremental_updates(), 2);
+    assert_eq!(
+        map.group_of(&compiled, &db, a_src),
+        map.group_of(&compiled, &db, b_der),
+        "the grown link merges the two chains end to end"
+    );
+
+    // Link repoint: moving an end is a bridge to the new endpoint (the
+    // old attachment is over-approximated as still merged until the next
+    // rebuild — never under-approximated, so waves stay safe).
+    let late = db.create_oid(Oid::new("c0", "b_der", 1)).unwrap();
+    db.move_link_end(b_link, b_der, late).unwrap();
+    assert!(map.try_update(&compiled, &db), "repoint patches in");
+    assert_eq!(map.incremental_updates(), 3);
+    assert_eq!(
+        map.group_of(&compiled, &db, b_src),
+        map.group_of(&compiled, &db, late),
+        "the repointed link's new endpoint joins the group"
+    );
+
+    // Severing cannot be patched into a union-find: rebuild required.
+    db.remove_link(quiet).unwrap();
+    assert!(!map.try_update(&compiled, &db), "sever forces a rebuild");
+    let rebuilt = ShardMap::build(&compiled, &db);
+    assert_eq!(rebuilt.incremental_updates(), 0);
+    assert_ne!(
+        rebuilt.group_of(&compiled, &db, a_src),
+        rebuilt.group_of(&compiled, &db, b_src),
+        "the rebuilt map separates the un-bridged chains again"
+    );
 }
 
 #[test]
